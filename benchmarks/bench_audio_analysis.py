@@ -1,0 +1,57 @@
+"""E15 — interview audio analysis (the site's Audio multimedia type).
+
+Paper anchor: the Australian Open site "also contains multimedia
+fragments: audio files of interviews"; the architecture analyses any
+multimedia type plugged into the grammar.
+
+Expected shape: speech/music classification at 100% on the synthetic
+corpus; speaker-turn boundaries within one analysis frame (50 ms) of
+ground truth; throughput linear in audio duration.
+"""
+
+import pytest
+
+from repro.media.audio import (classify_audio, make_interview, make_jingle,
+                               segment_speakers)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_interview_turn_recovery(benchmark, seed):
+    audio = make_interview(f"http://b/iv{seed}.wav", turns=6,
+                           seed=seed + 100)
+
+    turns = benchmark(segment_speakers, audio.samples)
+
+    assert [turn.speaker for turn in turns] \
+        == [speaker for _, _, speaker in audio.truth.turns]
+    worst = max(max(abs(found.start - start), abs(found.end - end))
+                for found, (start, end, _)
+                in zip(turns, audio.truth.turns))
+    benchmark.extra_info["turns"] = len(turns)
+    benchmark.extra_info["worst_boundary_error_s"] = round(worst, 3)
+    assert worst <= 0.1
+
+
+def test_speech_music_classification(benchmark):
+    corpus = ([make_interview(f"u{i}", turns=3, seed=i) for i in range(6)]
+              + [make_jingle(f"m{i}", seed=i) for i in range(6)])
+
+    def classify_all():
+        return [classify_audio(audio.samples) for audio in corpus]
+
+    kinds = benchmark(classify_all)
+    expected = ["speech"] * 6 + ["music"] * 6
+    accuracy = sum(1 for got, want in zip(kinds, expected)
+                   if got == want) / len(expected)
+    benchmark.extra_info["accuracy"] = accuracy
+    assert accuracy == 1.0
+
+
+def test_analysis_scales_with_duration(benchmark):
+    audio = make_interview("http://b/long.wav", turns=20, seed=7)
+
+    turns = benchmark(segment_speakers, audio.samples)
+
+    benchmark.extra_info["duration_s"] = round(audio.duration, 1)
+    benchmark.extra_info["turns_found"] = len(turns)
+    assert len(turns) == 20

@@ -1,0 +1,67 @@
+"""E4 — SAX bulkload: throughput scales linearly, memory O(height).
+
+Paper claim: the bulkload "has only slightly higher memory requirements
+than SAX — O(height of document)" and "lets us process very large
+amounts of documents in relatively little memory".
+
+Expected shape: time per *node* roughly constant across document sizes
+(linear total time); tracked state (peak stack depth) stays at the
+document height regardless of size.
+"""
+
+import pytest
+
+from repro.xmlstore.pathsummary import PathSummary
+from repro.xmlstore.shredder import BulkLoader
+from repro.xmlstore.store import XmlStore
+from repro.xmlstore.writer import serialize
+
+from benchmarks.conftest import make_document
+
+SIZES = [20, 80, 320]
+
+
+@pytest.mark.parametrize("pages", SIZES)
+def test_bulkload_tree(benchmark, pages):
+    document = make_document(pages)
+
+    def load():
+        store = XmlStore()
+        store.insert("doc", document)
+        return store
+
+    store = benchmark(load)
+    benchmark.extra_info["nodes"] = store.stats.nodes
+    benchmark.extra_info["inserts"] = store.stats.inserts
+    benchmark.extra_info["peak_stack_depth"] = store.stats.peak_stack_depth
+    # O(height): a 16x larger document keeps the same stack depth
+    assert store.stats.peak_stack_depth <= document.height() + 1
+
+
+@pytest.mark.parametrize("pages", SIZES)
+def test_bulkload_from_text(benchmark, pages):
+    """The full SAX path: tokenize + shred, no tree ever built."""
+    text = serialize(make_document(pages))
+
+    def load():
+        store = XmlStore()
+        store.insert("doc", text)
+        return store
+
+    store = benchmark(load)
+    benchmark.extra_info["nodes"] = store.stats.nodes
+
+
+def test_incremental_insert_many_documents(benchmark):
+    """Document-dependent mapping: later documents reuse the schema."""
+    documents = [(f"d{i}", make_document(10)) for i in range(30)]
+
+    def load():
+        store = XmlStore()
+        store.insert_many(documents)
+        return store
+
+    store = benchmark(load)
+    # the path summary stabilises: 30 identical-shape documents create
+    # relations only once
+    assert store.stats.new_relations < store.stats.inserts / 10

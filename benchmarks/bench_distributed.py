@@ -1,0 +1,59 @@
+"""E7 — shared-nothing distribution: near-linear critical-path scaling.
+
+Paper claim: distributing TF "on a per-document basis to the available
+hosts ... allows us ... to achieve almost perfect shared nothing
+parallelism which facilitates (almost) unlimited scalability".
+
+Expected shape: with k servers, the busiest node touches ~1/k of the
+tuples a single server would, while the merged top-10 stays identical to
+the central ranking.
+"""
+
+import pytest
+
+from repro.ir.distributed import DistributedIndex
+from repro.monetdb.server import Cluster
+
+from benchmarks.conftest import zipf_corpus
+
+QUERY = "grandslam finalist term005"
+CLUSTER_SIZES = [1, 2, 4, 8]
+
+
+def _build(cluster_size):
+    index = DistributedIndex(Cluster(cluster_size), fragment_count=4)
+    index.add_documents(zipf_corpus(240, seed=21))
+    return index
+
+
+@pytest.mark.parametrize("cluster_size", CLUSTER_SIZES)
+def test_distributed_query(benchmark, cluster_size):
+    index = _build(cluster_size)
+
+    result = benchmark(index.query, QUERY, 10)
+    benchmark.extra_info["cluster"] = cluster_size
+    benchmark.extra_info["critical_path_tuples"] = result.max_node_tuples()
+    benchmark.extra_info["total_tuples"] = result.total_tuples()
+    central = index.exact_central_ranking(QUERY, n=10)
+    assert [doc for doc, _ in result.ranking] \
+        == [doc for doc, _ in central]
+
+
+def test_critical_path_scales_down(benchmark):
+    """The scalability headline in one run: per-node work ~ 1/k."""
+
+    def measure():
+        paths = {}
+        for cluster_size in CLUSTER_SIZES:
+            index = _build(cluster_size)
+            result = index.query(QUERY, n=10, prune=False)
+            paths[cluster_size] = result.max_node_tuples()
+        return paths
+
+    paths = benchmark(measure)
+    benchmark.extra_info["critical_path_by_cluster"] = paths
+    assert paths[2] < paths[1]
+    assert paths[4] < paths[2]
+    assert paths[8] < paths[4]
+    # "almost perfect": 8 nodes cut the critical path by at least 4x
+    assert paths[8] * 4 <= paths[1]

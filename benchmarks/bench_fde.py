@@ -1,0 +1,123 @@
+"""E10 — shared-suffix token stacks vs naive copying.
+
+Paper claim: "Simple copying of stacks places a high burden on both
+memory consumption and CPU time.  However, many copies share the same
+suffix of tokens.  Those suffixes can be shared and thus limit the
+resource consumption."
+
+Expected shape: on a backtracking-heavy grammar, the shared-stack FDE
+allocates far fewer stack cells (and runs faster) than the copying
+ablation, with identical parse trees.  A second pair of benches
+measures the in-process vs simulated-RPC detector transport overhead.
+"""
+
+import pytest
+
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.parsetree import tree_to_xml
+from repro.featuregrammar.rpc import RpcServer, default_transports
+from repro.featuregrammar.tokens import CopyingTokenStack, SharedTokenStack
+from repro.xmlstore.writer import serialize
+
+# item* must repeatedly give back occurrences for the tail to match:
+# a worst case for stack versioning
+BACKTRACK_GRAMMAR = """
+%start S(x);
+%atom str x;
+%detector feed(x);
+%atom int n;
+S : x feed;
+feed : block*;
+block : item* tail;
+item : n;
+tail : n n n;
+"""
+
+TOKENS = 400
+
+
+def _registry():
+    registry = DetectorRegistry()
+    registry.register("feed", lambda x: list(range(TOKENS)))
+    return registry
+
+
+def _parse(shared: bool):
+    grammar = parse_grammar(BACKTRACK_GRAMMAR)
+    fde = FDE(grammar, _registry(), shared_stacks=shared)
+    return fde.parse("http://bench/input")
+
+
+def test_fde_shared_stacks(benchmark):
+    SharedTokenStack.cells_allocated = 0
+    outcome = benchmark(_parse, True)
+    benchmark.extra_info["cells_allocated"] = \
+        SharedTokenStack.cells_allocated
+    benchmark.extra_info["backtracks"] = outcome.backtracks
+    assert outcome.leftover_tokens == 0
+
+
+def test_fde_copying_stacks(benchmark):
+    CopyingTokenStack.cells_allocated = 0
+    outcome = benchmark(_parse, False)
+    benchmark.extra_info["cells_allocated"] = \
+        CopyingTokenStack.cells_allocated
+    assert outcome.leftover_tokens == 0
+
+
+def test_sharing_saves_cells(benchmark):
+    """The headline factor: identical trees, far fewer cells."""
+
+    def measure():
+        SharedTokenStack.cells_allocated = 0
+        CopyingTokenStack.cells_allocated = 0
+        shared_outcome = _parse(True)
+        shared_cells = SharedTokenStack.cells_allocated
+        copying_outcome = _parse(False)
+        copying_cells = CopyingTokenStack.cells_allocated
+        return shared_outcome, shared_cells, copying_outcome, copying_cells
+
+    shared_outcome, shared_cells, copying_outcome, copying_cells = \
+        benchmark(measure)
+    assert serialize(tree_to_xml(shared_outcome.tree)) \
+        == serialize(tree_to_xml(copying_outcome.tree))
+    benchmark.extra_info["shared_cells"] = shared_cells
+    benchmark.extra_info["copying_cells"] = copying_cells
+    benchmark.extra_info["factor"] = round(copying_cells
+                                           / max(1, shared_cells), 1)
+    assert copying_cells > 5 * shared_cells
+
+
+# -- transport micro-ablation -------------------------------------------
+
+SIMPLE_GRAMMAR = """
+%start S(x);
+%atom str x;
+%detector feed(x);
+%atom int n;
+S : x feed;
+feed : item*;
+item : n;
+"""
+
+
+def test_detector_in_process(benchmark):
+    grammar = parse_grammar(SIMPLE_GRAMMAR)
+    registry = DetectorRegistry()
+    registry.register("feed", lambda x: list(range(200)))
+    fde = FDE(grammar, registry)
+    outcome = benchmark(fde.parse, "http://bench/input")
+    assert outcome.leftover_tokens == 0
+
+
+def test_detector_over_xmlrpc(benchmark):
+    grammar = parse_grammar(SIMPLE_GRAMMAR)
+    server = RpcServer()
+    server.register("feed", lambda x: list(range(200)))
+    registry = DetectorRegistry(default_transports(server))
+    registry.remote("xml-rpc", "feed")
+    fde = FDE(grammar, registry)
+    outcome = benchmark(fde.parse, "http://bench/input")
+    assert outcome.leftover_tokens == 0

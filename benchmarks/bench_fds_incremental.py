@@ -1,0 +1,105 @@
+"""E9 — incremental maintenance vs full re-parse.
+
+Paper claim: "The main goal of this process is to prevent the
+regeneration, and the associated calls to detectors, of the complete
+parse tree" — the FDS localises a detector change to the dependent
+subtrees.
+
+Expected shape: after a minor revision of the ``tennis`` detector over a
+collection of analysed videos, the incremental path re-executes only the
+tennis detector (per tennis shot), never header or segment; the naive
+rebuild re-runs everything, costing several times more detector calls.
+"""
+
+import pytest
+
+from repro.cobra.grammar import build_tennis_grammar, build_tennis_registry
+from repro.cobra.library import VideoLibrary
+from repro.cobra.video import generate_video, tennis_match_script
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.fds import FDS
+
+VIDEOS = 6
+
+
+def _build_fds():
+    library = VideoLibrary()
+    for index in range(VIDEOS):
+        script = tennis_match_script(rng_seed=index, rallies=3,
+                                     netplay_rallies=(index % 3,),
+                                     frames_per_shot=6)
+        library.add(generate_video(script, f"http://b/v{index}.mpg",
+                                   seed=index))
+    grammar = build_tennis_grammar()
+    registry = build_tennis_registry(library)
+    fds = FDS(FDE(grammar, registry))
+    for location in library.locations():
+        fds.add_object(location, location)
+    return fds, registry
+
+
+def test_incremental_maintenance(benchmark):
+    def run():
+        fds, registry = _build_fds()
+        registry.set_version("tennis", "1.1.0")
+        fds.notify_detector_change("tennis")
+        registry.reset_executions()
+        fds.run()
+        return registry
+
+    registry = benchmark(run)
+    benchmark.extra_info["detector_calls"] = registry.executions()
+    assert registry.executions("header") == 0
+    assert registry.executions("segment") == 0
+    assert registry.executions("tennis") > 0
+
+
+def test_full_rebuild_baseline(benchmark):
+    def run():
+        fds, registry = _build_fds()
+        registry.set_version("tennis", "1.1.0")
+        registry.reset_executions()
+        fds.rebuild_all()
+        return registry
+
+    registry = benchmark(run)
+    benchmark.extra_info["detector_calls"] = registry.executions()
+    assert registry.executions("header") == VIDEOS
+    assert registry.executions("segment") == VIDEOS
+
+
+def test_incremental_beats_rebuild(benchmark):
+    """The headline factor, measured in detector executions."""
+
+    def measure():
+        fds, registry = _build_fds()
+        registry.set_version("tennis", "1.1.0")
+        fds.notify_detector_change("tennis")
+        registry.reset_executions()
+        fds.run()
+        incremental = registry.executions()
+        registry.reset_executions()
+        fds.rebuild_all()
+        rebuild = registry.executions()
+        return incremental, rebuild
+
+    incremental, rebuild = benchmark(measure)
+    benchmark.extra_info["incremental_calls"] = incremental
+    benchmark.extra_info["rebuild_calls"] = rebuild
+    assert incremental < rebuild
+
+
+def test_correction_revision_is_free(benchmark):
+    """Lowest revision level: the FDS does not touch anything."""
+
+    def run():
+        fds, registry = _build_fds()
+        registry.set_version("tennis", "1.0.1")
+        level = fds.notify_detector_change("tennis")
+        registry.reset_executions()
+        fds.run()
+        return level, registry.executions()
+
+    level, calls = benchmark(run)
+    assert calls == 0
+    benchmark.extra_info["change_level"] = level.name

@@ -1,0 +1,57 @@
+"""E14 — HMM stroke recognition ([PJZ01]).
+
+Paper claim: HMMs "recognize events in video data automatically"; the
+companion paper reports high stroke-classification accuracy.
+
+Expected shape: per-class HMMs trained with Baum-Welch classify held-out
+synthetic stroke sequences well above the 25% chance level (typically
+> 90%), at interactive speeds.
+"""
+
+import pytest
+
+from repro.cobra.hmm import (STROKE_CLASSES, StrokeRecognizer,
+                             synthetic_stroke_sequences)
+
+
+@pytest.fixture(scope="module")
+def recognizer():
+    recognizer = StrokeRecognizer(n_states=4)
+    training = {stroke: synthetic_stroke_sequences(stroke, 30, seed=41)
+                for stroke in STROKE_CLASSES}
+    recognizer.train(training, iterations=10)
+    return recognizer
+
+
+@pytest.fixture(scope="module")
+def test_set():
+    return [(stroke, sequence)
+            for stroke in STROKE_CLASSES
+            for sequence in synthetic_stroke_sequences(stroke, 15,
+                                                       seed=99)]
+
+
+def test_training(benchmark):
+    training = {stroke: synthetic_stroke_sequences(stroke, 30, seed=41)
+                for stroke in STROKE_CLASSES}
+
+    def train():
+        recognizer = StrokeRecognizer(n_states=4)
+        recognizer.train(training, iterations=10)
+        return recognizer
+
+    recognizer = benchmark(train)
+    assert len(recognizer.models) == len(STROKE_CLASSES)
+
+
+def test_classification_accuracy(benchmark, recognizer, test_set):
+    accuracy = benchmark(recognizer.accuracy, test_set)
+    benchmark.extra_info["accuracy"] = round(accuracy, 3)
+    benchmark.extra_info["chance_level"] = round(1 / len(STROKE_CLASSES), 3)
+    assert accuracy > 0.85
+
+
+def test_single_classification_latency(benchmark, recognizer):
+    sequence = synthetic_stroke_sequences("forehand", 1, seed=7)[0]
+    stroke = benchmark(recognizer.classify, sequence)
+    assert stroke in STROKE_CLASSES

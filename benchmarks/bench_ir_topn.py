@@ -1,0 +1,73 @@
+"""E6 — top-N optimization over idf-ordered fragments.
+
+Paper claim: fragmentation on descending idf "allows us to exploit this
+knowledge later on during query optimization" — the top-10 can stop
+after the high-idf fragments.
+
+Expected shape: pruned top-N reads a fraction of the TF tuples the full
+scan reads, while returning the exact top-N set; under the *random*
+fragment-order ablation, pruning cannot stop early.
+"""
+
+import pytest
+
+from repro.ir.fragmentation import fragment_by_idf
+from repro.ir.ranking import query_term_oids
+from repro.ir.topn import topn_fragmented
+
+QUERY = "grandslam finalist term000"
+N = 10
+FRAGMENTS = 8
+
+
+@pytest.fixture(scope="module")
+def fragmented(ir_relations):
+    return fragment_by_idf(ir_relations, FRAGMENTS)
+
+
+@pytest.fixture(scope="module")
+def fragmented_random(ir_relations):
+    return fragment_by_idf(ir_relations, FRAGMENTS, order="random")
+
+
+@pytest.fixture(scope="module")
+def terms(ir_relations):
+    return query_term_oids(ir_relations, QUERY)
+
+
+def test_topn_full_scan(benchmark, fragmented, terms):
+    result = benchmark(topn_fragmented, fragmented, terms, N, False)
+    benchmark.extra_info["tuples_read"] = result.tuples_read
+    benchmark.extra_info["fragments_read"] = result.fragments_read
+
+
+def test_topn_pruned(benchmark, fragmented, terms):
+    result = benchmark(topn_fragmented, fragmented, terms, N, True)
+    benchmark.extra_info["tuples_read"] = result.tuples_read
+    benchmark.extra_info["fragments_read"] = result.fragments_read
+    benchmark.extra_info["stopped_early"] = result.stopped_early
+    full = topn_fragmented(fragmented, terms, N, prune=False)
+    assert {doc for doc, _ in result.ranking} \
+        == {doc for doc, _ in full.ranking}
+    assert result.tuples_read < full.tuples_read
+    assert result.stopped_early
+
+
+def test_topn_pruned_with_refinement(benchmark, fragmented, terms):
+    result = benchmark(topn_fragmented, fragmented, terms, N, True, True)
+    benchmark.extra_info["tuples_read"] = result.tuples_read
+    full = topn_fragmented(fragmented, terms, N, prune=False)
+    assert result.ranking == full.ranking  # exact scores after refinement
+
+
+def test_topn_random_order_ablation(benchmark, fragmented_random,
+                                    ir_relations):
+    """Ablation: without the idf ordering the bounds cannot close early,
+    so pruning degenerates to (nearly) a full scan."""
+    terms = query_term_oids(ir_relations, QUERY)
+    result = benchmark(topn_fragmented, fragmented_random, terms, N, True)
+    benchmark.extra_info["tuples_read"] = result.tuples_read
+    benchmark.extra_info["fragments_read"] = result.fragments_read
+    idf_ordered = fragment_by_idf(ir_relations, FRAGMENTS)
+    pruned = topn_fragmented(idf_ordered, terms, N, prune=True)
+    assert result.tuples_read >= pruned.tuples_read

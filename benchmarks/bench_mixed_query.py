@@ -1,0 +1,100 @@
+"""E12 — the running example, end to end (Fig. 13).
+
+Paper claim: the integrated architecture answers "Show me video shots of
+left-handed female players, who have won the Australian Open in the
+past, and in which they approach the net" by combining conceptual
+search (gender, play hand), content-based text retrieval ("Winner" in
+the history Hypertext) and the video meta-index (the netplay event).
+
+Expected shape: the query returns exactly the ground-truth
+(player, video) pairs with the ground-truth netplay shots attached;
+population cost is dominated by video analysis; query latency is
+interactive.
+"""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+
+def _mixed_query(engine):
+    return (engine.new_query()
+            .from_class("p", "Player")
+            .where("p.gender", "==", "female")
+            .where("p.plays", "==", "left")
+            .contains("p.history", "Winner")
+            .from_class("v", "Video")
+            .join("Features", "v", "p")
+            .video_event("v.video", "netplay")
+            .select("p.name", "v.title", "v.video"))
+
+
+def test_populate_lifecycle(benchmark):
+    """Stage 2 of the lifecycle: crawl + re-engineer + shred + analyse."""
+    server, truth = build_ausopen_site(players=12, articles=10, videos=6,
+                                       frames_per_shot=8)
+
+    def populate():
+        engine = SearchEngine(australian_open_schema(), server,
+                              EngineConfig(fragment_count=4))
+        return engine.populate(), engine
+
+    (report, engine) = benchmark(populate)
+    benchmark.extra_info["pages_crawled"] = report.pages_crawled
+    benchmark.extra_info["videos_analyzed"] = report.videos_analyzed
+    benchmark.extra_info["detector_calls"] = report.detector_calls
+    assert report.videos_analyzed == len(truth.videos)
+
+
+def test_mixed_query(benchmark, populated_engine):
+    """Stage 3: the headline query itself."""
+    engine, truth = populated_engine
+    query = _mixed_query(engine)
+
+    result = benchmark(engine.query, query)
+
+    answers = sorted((row.keys["p"], row.keys["v"]) for row in result)
+    benchmark.extra_info["rows"] = len(result)
+    benchmark.extra_info["tuples_touched"] = result.tuples_touched
+    assert answers == truth.mixed_query_answer()
+    for row in result:
+        assert row.shots["v"], "each answer carries its video shots"
+
+
+def test_conceptual_only_query(benchmark, populated_engine):
+    engine, truth = populated_engine
+    query = (engine.new_query()
+             .from_class("p", "Player")
+             .where("p.plays", "==", "left")
+             .select("p.name")
+             .top(50))
+    result = benchmark(engine.query, query)
+    expected = {p.name for p in truth.players if p.plays == "left"}
+    assert set(result.column("p.name")) == expected
+
+
+def test_content_only_query(benchmark, populated_engine):
+    engine, truth = populated_engine
+    query = (engine.new_query()
+             .from_class("p", "Player")
+             .contains("p.history", "Winner championship trophy")
+             .select("p.name")
+             .top(50))
+    result = benchmark(engine.query, query)
+    champions = {p.name for p in truth.players if p.is_champion}
+    assert set(result.column("p.name")) == champions
+
+
+def test_event_only_query(benchmark, populated_engine):
+    engine, truth = populated_engine
+    query = (engine.new_query()
+             .from_class("v", "Video")
+             .video_event("v.video", "netplay")
+             .select("v.title")
+             .top(50))
+    result = benchmark(engine.query, query)
+    assert set(result.column("v.title")) \
+        == {v.title for v in truth.videos if v.netplay}

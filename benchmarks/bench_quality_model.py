@@ -1,0 +1,92 @@
+"""E8 — the cost-quality trade-off of a-priori fragment cut-off.
+
+Paper claim ([BHC+01]): "a quality model that allows the query optimizer
+to estimate the quality degrade resulting from a-priori ignoring
+fragments with lower idf".
+
+Expected shape: a query over mid- and low-idf terms (the regime where
+cut-off matters): as more low-idf fragments are ignored, cost (tuples
+read) falls sharply while quality (overlap@10 with the exact ranking)
+degrades gracefully and monotonically.
+"""
+
+import pytest
+
+from repro.ir.fragmentation import fragment_by_idf
+from repro.ir.ranking import query_term_oids, rank_tfidf
+from repro.ir.topn import quality_degrade, topn_cutoff
+
+QUERY = "term060 term030 term012 term004 term000"
+N = 10
+FRAGMENTS = 8
+
+
+@pytest.fixture(scope="module")
+def fragmented(ir_relations):
+    return fragment_by_idf(ir_relations, FRAGMENTS)
+
+
+@pytest.mark.parametrize("keep", [1, 2, 4, 6, 8])
+def test_cutoff_quality(benchmark, fragmented, ir_relations, keep):
+    terms = query_term_oids(ir_relations, QUERY)
+    exact = rank_tfidf(ir_relations, QUERY, n=N)
+
+    result = benchmark(topn_cutoff, fragmented, terms, N, keep)
+    quality = quality_degrade(exact, result.ranking)
+    benchmark.extra_info["fragments_kept"] = keep
+    benchmark.extra_info["tuples_read"] = result.tuples_read
+    benchmark.extra_info["quality_at_10"] = round(quality, 3)
+    if keep == FRAGMENTS:
+        assert quality == 1.0
+
+
+def test_quality_monotone_and_cost_falls(fragmented, ir_relations,
+                                         benchmark):
+    """The whole curve in one run: quality rises, cost rises, both
+    monotonically in fragments kept."""
+    terms = query_term_oids(ir_relations, QUERY)
+    exact = rank_tfidf(ir_relations, QUERY, n=N)
+
+    def sweep():
+        curve = []
+        for keep in range(1, FRAGMENTS + 1):
+            cut = topn_cutoff(fragmented, terms, N, keep)
+            curve.append((keep, cut.tuples_read,
+                          quality_degrade(exact, cut.ranking)))
+        return curve
+
+    curve = benchmark(sweep)
+    qualities = [quality for _, _, quality in curve]
+    costs = [cost for _, cost, _ in curve]
+    assert qualities == sorted(qualities)
+    assert costs == sorted(costs)
+    assert qualities[-1] == 1.0
+    benchmark.extra_info["curve"] = [
+        {"kept": kept, "tuples": cost, "quality": round(quality, 3)}
+        for kept, cost, quality in curve]
+
+
+def test_cost_model_optimizer(benchmark, fragmented, ir_relations):
+    """The [BCBA01]/[BHC+01] decision made a-priori: the model picks the
+    cheapest fragment prefix predicted to meet a quality target, from
+    metadata alone."""
+    from repro.ir.selectivity import QueryCostModel
+
+    terms = query_term_oids(ir_relations, QUERY)
+    exact = rank_tfidf(ir_relations, QUERY, n=N)
+
+    def plan_and_execute():
+        model = QueryCostModel(fragmented)
+        plan = model.choose_fragments(terms, quality_target=0.9)
+        cut = topn_cutoff(fragmented, terms, N, plan.keep_fragments)
+        return plan, cut
+
+    plan, cut = benchmark(plan_and_execute)
+    measured_quality = quality_degrade(exact, cut.ranking)
+    benchmark.extra_info["keep_fragments"] = plan.keep_fragments
+    benchmark.extra_info["predicted_cost"] = plan.predicted_cost
+    benchmark.extra_info["measured_cost"] = cut.tuples_read
+    benchmark.extra_info["predicted_quality"] = round(
+        plan.predicted_quality, 3)
+    benchmark.extra_info["measured_quality"] = round(measured_quality, 3)
+    assert plan.predicted_cost == cut.tuples_read  # cost model is exact

@@ -1,0 +1,73 @@
+"""E11 — tennis video analysis accuracy (Fig. 5's pipeline).
+
+Paper claim: shot segmentation by colour-histogram differences, 4-way
+classification (tennis/close-up/audience/other), and the dominant-colour
+method working "with different classes of tennis courts without changing
+any parameters".
+
+Expected shape: boundary and category accuracy at (or near) 1.0 on the
+synthetic ground truth, for every court surface, with one fixed
+parameter set; netplay events land exactly in the ground-truth shots.
+"""
+
+import pytest
+
+from repro.cobra.grammar import analyze_video
+from repro.cobra.video import COURT_COLORS, generate_video, tennis_match_script
+
+
+def _match(court, seed=17):
+    script = tennis_match_script(rng_seed=seed, rallies=4,
+                                 netplay_rallies=(1, 3),
+                                 frames_per_shot=10)
+    return generate_video(script, f"http://b/{court}.mpg", court=court,
+                          seed=seed)
+
+
+@pytest.mark.parametrize("court", sorted(COURT_COLORS))
+def test_analysis_accuracy_per_court(benchmark, court):
+    video = _match(court)
+
+    description = benchmark(analyze_video, video)
+
+    boundaries = [shot.begin for shot in description.shots]
+    categories = [shot.category for shot in description.shots]
+    boundary_accuracy = float(boundaries == video.truth.boundaries)
+    category_hits = sum(1 for left, right
+                        in zip(categories, video.truth.categories)
+                        if left == right)
+    benchmark.extra_info["court"] = court
+    benchmark.extra_info["boundary_exact"] = boundary_accuracy
+    benchmark.extra_info["category_accuracy"] = round(
+        category_hits / len(video.truth.categories), 3)
+    assert boundaries == video.truth.boundaries
+    assert categories == video.truth.categories
+
+
+def test_netplay_event_accuracy(benchmark):
+    video = _match("rebound_ace")
+
+    description = benchmark(analyze_video, video)
+
+    truth_ranges = video.truth.shot_ranges(video.frame_count)
+    expected = {truth_ranges[i] for i in video.truth.netplay_shots}
+    found = set()
+    for event in description.events_named("netplay"):
+        for begin, end in truth_ranges:
+            if begin <= event.begin <= end:
+                found.add((begin, end))
+    benchmark.extra_info["netplay_expected"] = len(expected)
+    benchmark.extra_info["netplay_found"] = len(found)
+    assert found == expected
+
+
+def test_segmentation_scales_with_frames(benchmark):
+    """Throughput: one long video, time ~ frames."""
+    script = tennis_match_script(rng_seed=3, rallies=8,
+                                 netplay_rallies=(2, 5),
+                                 frames_per_shot=16)
+    video = generate_video(script, "http://b/long.mpg", seed=3)
+    description = benchmark(analyze_video, video)
+    benchmark.extra_info["frames"] = video.frame_count
+    benchmark.extra_info["shots"] = len(description.shots)
+    assert len(description.shots) == len(video.truth.boundaries)

@@ -1,0 +1,67 @@
+"""Shared corpora and engines for the benchmark suite (session-scoped)."""
+
+import random
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.ir.relations import IrRelations
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+from repro.xmlstore.model import Element, element
+
+
+def make_document(pages: int, sections: int = 4) -> Element:
+    """A synthetic site-like XML document with pages*sections*3 nodes."""
+    root = element("site", {"name": "bench"})
+    for page in range(pages):
+        node = root.add_element("page", {"id": f"p{page}"})
+        node.add_element("title").add_text(f"title {page}")
+        for section in range(sections):
+            sec = node.add_element("section", {"n": str(section)})
+            sec.add_element("head").add_text(f"head {page}.{section}")
+            sec.add_element("body").add_text(
+                f"body text {page} {section} alpha beta gamma")
+    return root
+
+
+def zipf_corpus(documents: int, vocabulary: int = 150,
+                words_per_doc: int = 60, seed: int = 13,
+                rare_marker_every: int = 25):
+    """(url, text) pairs with a Zipf term distribution + rare markers.
+
+    Marker documents repeat the rare markers a varying number of times,
+    so their tf·idf scores separate in the high-idf region — the regime
+    in which fragment pruning can prove a top-10 final early.
+    """
+    rng = random.Random(seed)
+    vocab = [f"term{i:03d}" for i in range(vocabulary)]
+    weights = [1.0 / (i + 1) for i in range(vocabulary)]
+    docs = []
+    for d in range(documents):
+        words = rng.choices(vocab, weights=weights, k=words_per_doc)
+        if d % rare_marker_every == 0:
+            # strictly increasing multiplicity: marker scores all differ,
+            # so the top-N boundary has a gap the pruning bound can use
+            repeat = d // rare_marker_every + 1
+            words += ["grandslam", "finalist"] * repeat
+        docs.append((f"http://bench/d{d:04d}", " ".join(words)))
+    return docs
+
+
+@pytest.fixture(scope="session")
+def ir_relations():
+    relations = IrRelations()
+    relations.add_documents(zipf_corpus(300))
+    return relations
+
+
+@pytest.fixture(scope="session")
+def populated_engine():
+    server, truth = build_ausopen_site(players=12, articles=10, videos=6,
+                                       frames_per_shot=8)
+    engine = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(fragment_count=4))
+    engine.populate()
+    return engine, truth

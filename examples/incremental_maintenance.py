@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Index maintenance: detector evolution handled by the FDS.
+
+Shows the paper's three-level version scheme in action on the populated
+Australian Open engine:
+
+* a **correction** revision — nothing re-runs,
+* a **minor** revision — the tennis detector re-runs per tennis shot;
+  header and segment are never touched,
+* a **major** revision with a *changed implementation* — the netplay
+  events disappear from the meta-index and the mixed query's answer
+  changes accordingly,
+* a **source-data change** — one video is re-published and only its
+  parse tree is regenerated.
+
+Run:  python examples/incremental_maintenance.py
+"""
+
+from repro.cobra.video import generate_video, tennis_match_script
+from repro.core import EngineConfig, SearchEngine
+from repro.web import build_ausopen_site
+from repro.webspace import australian_open_schema
+
+
+def netplay_videos(engine) -> set[str]:
+    query = (engine.new_query()
+             .from_class("v", "Video")
+             .video_event("v.video", "netplay")
+             .select("v.title")
+             .top(50))
+    return {row.keys["v"] for row in engine.query(query)}
+
+
+def main() -> None:
+    server, truth = build_ausopen_site(players=10, articles=6, videos=4,
+                                       frames_per_shot=8)
+    engine = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(fragment_count=2))
+    engine.populate()
+    print(f"populated; videos with netplay: {sorted(netplay_videos(engine))}")
+
+    print("\n1. correction revision of 'segment' (1.0.0 -> 1.0.1)")
+    level = engine.upgrade_detector("segment", "1.0.1")
+    engine.registry.reset_executions()
+    report = engine.maintain()
+    print(f"   change level: {level.name}; detectors re-run: "
+          f"{report.detectors_rerun} (stored trees stay valid)")
+
+    print("\n2. minor revision of 'tennis' (1.0.1 -> 1.1.0)")
+    level = engine.upgrade_detector("tennis", "1.1.0")
+    engine.registry.reset_executions()
+    report = engine.maintain()
+    print(f"   change level: {level.name}")
+    print(f"   tennis re-ran {engine.registry.executions('tennis')}x; "
+          f"segment {engine.registry.executions('segment')}x; "
+          f"header {engine.registry.executions('header')}x")
+
+    print("\n3. major revision: a new tennis tracker that never sees a "
+          "net approach")
+
+    def flat_tennis(location: str, begin: int, end: int) -> list:
+        tokens = []
+        for frame in range(begin, end + 1):
+            tokens.extend([frame, 320.0, 320.0, 450, 0.5, 0.1])
+        return tokens
+
+    engine.registry.transports.get("xml-rpc").server.register(
+        "tennis", flat_tennis)
+    level = engine.upgrade_detector("tennis", "2.0.0")
+    report = engine.maintain()
+    print(f"   change level: {level.name}; re-runs: "
+          f"{report.detectors_rerun}")
+    print(f"   videos with netplay now: {sorted(netplay_videos(engine))} "
+          f"(expected: none)")
+
+    print("\n   ... rolling the tracker back to the real implementation "
+          "(2.0.0 -> 3.0.0)")
+    from repro.cobra.grammar import tennis_procedure
+    engine.registry.transports.get("xml-rpc").server.register(
+        "tennis", tennis_procedure(engine.video_library))
+    engine.upgrade_detector("tennis", "3.0.0")
+    engine.maintain()
+    print(f"   videos with netplay restored: "
+          f"{sorted(netplay_videos(engine))}")
+
+    print("\n4. source-data change: video v0 is re-published with a new "
+          "net-rush rally")
+    video = truth.videos[0]
+    url = server.absolute(video.media_path)
+    new_script = tennis_match_script(rng_seed=123, rallies=2,
+                                     netplay_rallies=(0, 1),
+                                     frames_per_shot=8)
+    replacement = generate_video(new_script, url, seed=123)
+    server.add_media(video.media_path, ("video", "mpeg"),
+                     payload=replacement, last_modified=2026)
+    engine.video_library.add(replacement)
+    changed = engine.notify_source_change(url)
+    report = engine.maintain()
+    print(f"   stale: {changed}; trees regenerated: "
+          f"{report.trees_regenerated} (only v0's tree)")
+    shots = [row.shots["v"] for row in engine.query(
+        engine.new_query().from_class("v", "Video")
+        .where("v.title", "==", video.title)
+        .video_event("v.video", "netplay")
+        .select("v.title"))]
+    print(f"   v0's new netplay shots: "
+          f"{[(s.begin, s.end) for group in shots for s in group]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the wheel
+package (the environment is offline, so PEP 517 build isolation cannot
+fetch build requirements)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""repro — a reproduction of "Flexible and Scalable Digital Library Search".
+
+The package mirrors the paper's three-level architecture:
+
+* conceptual level: :mod:`repro.webspace` (the Webspace Method),
+* logical level: :mod:`repro.featuregrammar` (Acoi feature grammars) with
+  the COBRA tennis-video instantiation in :mod:`repro.cobra` and generic
+  Internet detectors in :mod:`repro.media`,
+* physical level: :mod:`repro.monetdb` (binary-association column store),
+  :mod:`repro.xmlstore` (the Monet XML mapping) and :mod:`repro.ir`
+  (distributed tf.idf retrieval).
+
+:mod:`repro.core` ties the levels together into the paper's integrated
+search engine; :mod:`repro.web` supplies the simulated web substrate used
+by the examples and benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,182 @@
+"""A command-line interface to the search engine.
+
+The Acoi system shipped operator tools around the engine; this CLI is
+their equivalent for the reproduction.  It drives the full lifecycle
+against the bundled synthetic webspaces::
+
+    repro-search populate --site ausopen --snapshot ./index
+    repro-search query    --snapshot ./index \\
+        "SELECT p.name FROM Player p WHERE p.plays = 'left' TOP 10"
+    repro-search stats    --snapshot ./index
+    repro-search paths    --snapshot ./index
+
+``populate`` builds the named site, populates an engine and saves a
+snapshot; ``query`` reloads the snapshot and runs a textual conceptual
+query; ``stats``/``paths`` inspect the stored index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.core.persistence import load_engine, save_engine
+from repro.errors import ReproError
+
+__all__ = ["main"]
+
+_SITE_MANIFEST = "site.json"
+
+
+def _build_site(name: str, args: argparse.Namespace):
+    """(server, truth, schema, extractor) for a named synthetic site."""
+    if name == "ausopen":
+        from repro.web.ausopen import build_ausopen_site
+        from repro.webspace.schema import australian_open_schema
+        server, truth = build_ausopen_site(
+            players=args.players, articles=args.articles,
+            videos=args.videos, frames_per_shot=args.frames)
+        return server, truth, australian_open_schema(), None
+    if name == "lonelyplanet":
+        from repro.web.lonelyplanet import (build_lonelyplanet_site,
+                                            lonely_planet_schema,
+                                            reengineer_lonelyplanet)
+        server, truth = build_lonelyplanet_site()
+        return server, truth, lonely_planet_schema(), \
+            reengineer_lonelyplanet
+    raise ReproError(f"unknown site {name!r} (ausopen | lonelyplanet)")
+
+
+def _rebuild_from_manifest(snapshot: Path):
+    manifest_path = snapshot / _SITE_MANIFEST
+    if not manifest_path.exists():
+        raise ReproError(f"no site manifest in {snapshot}")
+    manifest = json.loads(manifest_path.read_text())
+    args = argparse.Namespace(**manifest["args"])
+    return _build_site(manifest["site"], args), manifest["site"]
+
+
+def _cmd_populate(args: argparse.Namespace) -> int:
+    server, _, schema, extractor = _build_site(args.site, args)
+    engine = SearchEngine(schema, server,
+                          EngineConfig(fragment_count=args.fragments),
+                          extractor=extractor)
+    report = engine.populate()
+    snapshot = Path(args.snapshot)
+    save_engine(engine, snapshot)
+    (snapshot / _SITE_MANIFEST).write_text(json.dumps({
+        "site": args.site,
+        "args": {"players": args.players, "articles": args.articles,
+                 "videos": args.videos, "frames": args.frames},
+    }, indent=2))
+    print(f"crawled {report.pages_crawled} pages, stored "
+          f"{report.documents_stored} documents, indexed "
+          f"{report.hypertexts_indexed} texts, analysed "
+          f"{report.videos_analyzed} videos / "
+          f"{report.audios_analyzed} audios")
+    print(f"snapshot written to {snapshot}")
+    return 0
+
+
+def _load(args: argparse.Namespace) -> SearchEngine:
+    snapshot = Path(args.snapshot)
+    (server, _, schema, extractor), _ = _rebuild_from_manifest(snapshot)
+    return load_engine(snapshot, schema, server, extractor=extractor)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = _load(args)
+    result = engine.query_text(args.query)
+    if args.explain:
+        print(result.explain())
+        print()
+    if not result.rows:
+        print("no results")
+        return 0
+    for row in result:
+        values = "  ".join(f"{path}={value!r}"
+                           for path, value in row.values.items())
+        score = f"  score={row.score:.3f}" if row.score else ""
+        print(f"{values}{score}")
+        for alias, shots in row.shots.items():
+            for shot in shots:
+                print(f"    {alias}: shot frames "
+                      f"{shot.begin}-{shot.end} ({shot.event})")
+        for alias, turns in row.turns.items():
+            for turn in turns:
+                print(f"    {alias}: speaker {turn.speaker} "
+                      f"{turn.start:.2f}s-{turn.end:.2f}s")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    engine = _load(args)
+    for section, values in engine.stats().items():
+        print(f"{section}: {values}")
+    return 0
+
+
+def _cmd_paths(args: argparse.Namespace) -> int:
+    engine = _load(args)
+    print("conceptual store path summary:")
+    for path in engine.conceptual_store.paths():
+        print(f"  {path}")
+    print("meta store path summary:")
+    for path in engine.meta_store.paths():
+        print(f"  {path}")
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Flexible and scalable digital library search "
+                    "(VLDB 2001 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    populate = commands.add_parser(
+        "populate", help="build a site, populate the index, snapshot it")
+    populate.add_argument("--site", default="ausopen",
+                          choices=["ausopen", "lonelyplanet"])
+    populate.add_argument("--snapshot", required=True)
+    populate.add_argument("--players", type=int, default=12)
+    populate.add_argument("--articles", type=int, default=10)
+    populate.add_argument("--videos", type=int, default=4)
+    populate.add_argument("--frames", type=int, default=8)
+    populate.add_argument("--fragments", type=int, default=4)
+    populate.set_defaults(handler=_cmd_populate)
+
+    query = commands.add_parser(
+        "query", help="run a textual conceptual query against a snapshot")
+    query.add_argument("--snapshot", required=True)
+    query.add_argument("--explain", action="store_true",
+                       help="print the executed physical plan")
+    query.add_argument("query")
+    query.set_defaults(handler=_cmd_query)
+
+    stats = commands.add_parser("stats", help="index statistics")
+    stats.add_argument("--snapshot", required=True)
+    stats.set_defaults(handler=_cmd_stats)
+
+    paths = commands.add_parser("paths", help="show the path summaries")
+    paths.add_argument("--snapshot", required=True)
+    paths.set_defaults(handler=_cmd_paths)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = _parser().parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""COBRA: the COntent-Based RetrievAl video model and tennis analysis.
+
+Public surface:
+
+* :mod:`~repro.cobra.video` — the synthetic video substrate + scripts,
+* :func:`~repro.cobra.grammar.analyze_video` — the full analysis chain,
+* :func:`~repro.cobra.grammar.build_tennis_grammar` /
+  ``build_tennis_registry`` — the Fig 6/7 feature grammar, operational,
+* :mod:`~repro.cobra.hmm` — HMM stroke recognition,
+* :class:`~repro.cobra.library.VideoLibrary` — raw-data side store.
+"""
+
+from repro.cobra.classification import ClassifiedShot, classify_shots, estimate_court_color
+from repro.cobra.events import NETPLAY_Y, detect_events, detect_netplay, detect_rally
+from repro.cobra.grammar import (TENNIS_GRAMMAR, analyze_video,
+                                 build_tennis_grammar, build_tennis_registry)
+from repro.cobra.hmm import (N_SYMBOLS, STROKE_CLASSES, DiscreteHMM,
+                             StrokeRecognizer, observations_from_track,
+                             synthetic_stroke_sequences)
+from repro.cobra.library import VideoLibrary
+from repro.cobra.model import (CobraDescription, FrameFeatures, RawVideo,
+                               ShotFeatures, VideoEvent, VideoObject)
+from repro.cobra.segmentation import Shot, detect_boundaries, segment_video
+from repro.cobra.tracking import TrackedFrame, player_mask, track_player
+from repro.cobra.video import (COURT_COLORS, ShotSpec, SyntheticVideo,
+                               VideoGroundTruth, generate_video,
+                               tennis_match_script)
+
+__all__ = [
+    "SyntheticVideo", "ShotSpec", "VideoGroundTruth", "generate_video",
+    "tennis_match_script", "COURT_COLORS",
+    "Shot", "detect_boundaries", "segment_video",
+    "ClassifiedShot", "classify_shots", "estimate_court_color",
+    "TrackedFrame", "track_player", "player_mask",
+    "detect_events", "detect_netplay", "detect_rally", "NETPLAY_Y",
+    "DiscreteHMM", "StrokeRecognizer", "observations_from_track",
+    "synthetic_stroke_sequences", "STROKE_CLASSES", "N_SYMBOLS",
+    "VideoLibrary", "CobraDescription", "RawVideo", "FrameFeatures",
+    "ShotFeatures", "VideoObject", "VideoEvent",
+    "TENNIS_GRAMMAR", "build_tennis_grammar", "build_tennis_registry",
+    "analyze_video",
+]

@@ -1,0 +1,61 @@
+"""Rule-based event recognition (layer 4 of COBRA).
+
+The paper formalises high-level concepts with object/event grammars
+"aimed at ... facilitating their extraction based on spatio-temporal
+reasoning".  The grammar-level ``netplay`` whitebox detector is the
+primary instance; this module provides the equivalent spatio-temporal
+rules as plain functions (used directly by examples and to cross-check
+the grammar path) plus a few more events built on the tracked features.
+"""
+
+from __future__ import annotations
+
+from repro.cobra.model import VideoEvent
+from repro.cobra.tracking import TrackedFrame
+from repro.cobra.video import NET_Y
+
+__all__ = ["NETPLAY_Y", "detect_netplay", "detect_rally",
+           "detect_events"]
+
+# "player.yPos <= 170.0" — the paper's netplay threshold in virtual
+# coordinates (the net line lies at y = 150).
+NETPLAY_Y = 170.0
+
+
+def detect_netplay(tracked: list[TrackedFrame],
+                   threshold: float = NETPLAY_Y) -> VideoEvent | None:
+    """Netplay: the player approaches the net in some frame of the shot."""
+    at_net = [record for record in tracked if record.y <= threshold]
+    if not at_net:
+        return None
+    return VideoEvent(
+        name="netplay",
+        begin=at_net[0].frame_no,
+        end=at_net[-1].frame_no,
+        attributes={"min_y": min(record.y for record in at_net)},
+    )
+
+
+def detect_rally(tracked: list[TrackedFrame],
+                 baseline_band: float = 60.0) -> VideoEvent | None:
+    """Baseline rally: the player stays in the baseline band all shot."""
+    if not tracked:
+        return None
+    top = NET_Y + baseline_band
+    if all(record.y >= top for record in tracked):
+        return VideoEvent(
+            name="baseline_rally",
+            begin=tracked[0].frame_no,
+            end=tracked[-1].frame_no,
+        )
+    return None
+
+
+def detect_events(tracked: list[TrackedFrame]) -> list[VideoEvent]:
+    """All rule-based events recognised in one tennis shot."""
+    events = []
+    for detector in (detect_netplay, detect_rally):
+        event = detector(tracked)
+        if event is not None:
+            events.append(event)
+    return events

@@ -1,0 +1,69 @@
+"""Shape features of the segmented player.
+
+"Besides the player's position, we extract the dominant color, and
+standard shape features such as the mass center, the area, the bounding
+box, the orientation, and the eccentricity."  All are classical
+moment-based measures over the player's binary mask.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShapeFeatures", "shape_features"]
+
+
+@dataclass(frozen=True)
+class ShapeFeatures:
+    """Moment-based descriptors of one binary region."""
+
+    area: int
+    center_row: float
+    center_col: float
+    bounding_box: tuple[int, int, int, int]  # top, left, bottom, right
+    orientation: float                       # radians, -pi/2..pi/2
+    eccentricity: float                      # 0 (circle) .. ~1 (line)
+
+
+def shape_features(mask: np.ndarray, center: tuple[int, int],
+                   window_rows: int, window_cols: int) -> ShapeFeatures:
+    """Features of the region around ``center`` in a foreground mask."""
+    row, col = center
+    top = max(0, row - window_rows)
+    bottom = min(mask.shape[0], row + window_rows + 1)
+    left = max(0, col - window_cols)
+    right = min(mask.shape[1], col + window_cols + 1)
+    window = mask[top:bottom, left:right]
+    rows, cols = np.nonzero(window)
+    if rows.size == 0:
+        return ShapeFeatures(0, float(row), float(col),
+                             (row, col, row, col), 0.0, 0.0)
+    area = int(rows.size)
+    center_row = float(rows.mean()) + top
+    center_col = float(cols.mean()) + left
+    bbox = (int(rows.min()) + top, int(cols.min()) + left,
+            int(rows.max()) + top, int(cols.max()) + left)
+
+    # central second moments
+    dr = rows - rows.mean()
+    dc = cols - cols.mean()
+    mu20 = float((dc * dc).mean())
+    mu02 = float((dr * dr).mean())
+    mu11 = float((dr * dc).mean())
+
+    orientation = 0.5 * math.atan2(2.0 * mu11, mu20 - mu02) \
+        if (mu20 != mu02 or mu11 != 0.0) else 0.0
+
+    # eigenvalues of the covariance matrix -> eccentricity
+    common = math.sqrt(max(0.0, (mu20 - mu02) ** 2 + 4.0 * mu11 ** 2))
+    lambda1 = (mu20 + mu02 + common) / 2.0
+    lambda2 = (mu20 + mu02 - common) / 2.0
+    if lambda1 <= 0.0:
+        eccentricity = 0.0
+    else:
+        eccentricity = math.sqrt(max(0.0, 1.0 - lambda2 / lambda1))
+    return ShapeFeatures(area, center_row, center_col, bbox,
+                         orientation, eccentricity)

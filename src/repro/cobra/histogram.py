@@ -1,0 +1,87 @@
+"""Colour statistics: histograms, dominant colour, entropy, skin pixels.
+
+These are the layer-2 features of the COBRA instantiation: "The shot
+boundaries are detected using differences in color histograms of
+neighboring frames.  For each shot, we extract its dominant color ...
+For the classification, we also use entropy characteristics, mean and
+variance."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["color_histogram", "histogram_difference", "dominant_color",
+           "entropy", "mean_intensity", "variance_intensity",
+           "skin_fraction", "quantize_color"]
+
+_BINS = 8
+_QUANT = 32  # dominant-colour quantisation step
+
+
+def color_histogram(frame: np.ndarray) -> np.ndarray:
+    """Normalised per-channel histogram (3 x 8 bins, concatenated)."""
+    parts = []
+    pixels = frame.reshape(-1, 3)
+    for channel in range(3):
+        counts, _ = np.histogram(pixels[:, channel], bins=_BINS,
+                                 range=(0, 256))
+        parts.append(counts)
+    histogram = np.concatenate(parts).astype(np.float64)
+    return histogram / max(histogram.sum(), 1.0)
+
+
+def histogram_difference(left: np.ndarray, right: np.ndarray) -> float:
+    """L1 distance between two normalised histograms (0..2)."""
+    return float(np.abs(left - right).sum())
+
+
+def quantize_color(color: np.ndarray) -> tuple[int, int, int]:
+    """Snap an RGB triple to the dominant-colour grid."""
+    q = (np.asarray(color, dtype=np.int64) // _QUANT) * _QUANT + _QUANT // 2
+    return int(q[0]), int(q[1]), int(q[2])
+
+
+def dominant_color(frame: np.ndarray) -> tuple[int, int, int]:
+    """The most frequent quantised colour of a frame."""
+    pixels = frame.reshape(-1, 3).astype(np.int64) // _QUANT
+    keys = pixels[:, 0] * 64 + pixels[:, 1] * 8 + pixels[:, 2]
+    values, counts = np.unique(keys, return_counts=True)
+    best = int(values[np.argmax(counts)])
+    r, g, b = best // 64, (best // 8) % 8, best % 8
+    return (r * _QUANT + _QUANT // 2, g * _QUANT + _QUANT // 2,
+            b * _QUANT + _QUANT // 2)
+
+
+def entropy(frame: np.ndarray) -> float:
+    """Shannon entropy of the grey-level distribution (bits)."""
+    grey = frame.mean(axis=2).astype(np.int64)
+    counts = np.bincount(grey.reshape(-1), minlength=256).astype(np.float64)
+    probabilities = counts / counts.sum()
+    nonzero = probabilities[probabilities > 0]
+    return float(-(nonzero * np.log2(nonzero)).sum())
+
+
+def mean_intensity(frame: np.ndarray) -> float:
+    return float(frame.mean())
+
+
+def variance_intensity(frame: np.ndarray) -> float:
+    return float(frame.astype(np.float64).var())
+
+
+def skin_mask(frame: np.ndarray) -> np.ndarray:
+    """Boolean mask of skin-coloured pixels (classic RGB rule)."""
+    r = frame[:, :, 0].astype(np.int64)
+    g = frame[:, :, 1].astype(np.int64)
+    b = frame[:, :, 2].astype(np.int64)
+    return ((r > 95) & (g > 40) & (b > 20)
+            & (r > g) & (g > b) & (r - g > 15)
+            & ((frame.max(axis=2).astype(np.int64)
+                - frame.min(axis=2).astype(np.int64)) > 15))
+
+
+def skin_fraction(frame: np.ndarray) -> float:
+    """Fraction of skin-coloured pixels in a frame."""
+    mask = skin_mask(frame)
+    return float(mask.mean())

@@ -1,0 +1,54 @@
+"""The video library: raw multimedia data outside the DBMS.
+
+"Opposed to the conceptual data, which exists mainly in the DBMS, the
+stored meta-data forms an index to external data (i.e. the raw
+multimedia data)."  The library is that external side: synthetic videos
+keyed by location url, with the MIME headers a real HTTP server would
+serve.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VideoError
+from repro.cobra.video import SyntheticVideo
+
+__all__ = ["VideoLibrary"]
+
+
+class VideoLibrary:
+    """Location url -> synthetic video (+ MIME type)."""
+
+    def __init__(self) -> None:
+        self._videos: dict[str, SyntheticVideo] = {}
+        self._mime: dict[str, tuple[str, str]] = {}
+
+    def add(self, video: SyntheticVideo,
+            mime: tuple[str, str] = ("video", "mpeg")) -> None:
+        self._videos[video.location] = video
+        self._mime[video.location] = mime
+
+    def add_non_video(self, location: str,
+                      mime: tuple[str, str]) -> None:
+        """Register a location that is not a video (exercise MIME branch)."""
+        self._mime[location] = mime
+
+    def get(self, location: str) -> SyntheticVideo:
+        try:
+            return self._videos[location]
+        except KeyError:
+            raise VideoError(f"no video at {location!r}") from None
+
+    def mime(self, location: str) -> tuple[str, str]:
+        try:
+            return self._mime[location]
+        except KeyError:
+            raise VideoError(f"no resource at {location!r}") from None
+
+    def __contains__(self, location: str) -> bool:
+        return location in self._mime
+
+    def locations(self) -> list[str]:
+        return sorted(self._mime)
+
+    def __len__(self) -> int:
+        return len(self._mime)

@@ -1,0 +1,99 @@
+"""The COBRA video data model (paper Fig. 4, [PJ00]).
+
+COBRA distinguishes "four distinct layers within video content: the raw
+data, the feature, the object, and the event layer.  The object and
+event layers consist of entities characterized by prominent spatial and
+temporal dimensions respectively."  The model is deliberately
+independent of the feature/semantic extractors: the analysis modules in
+this package *populate* it, and the feature grammar maps it into the
+meta-index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RawVideo", "FrameFeatures", "ShotFeatures", "VideoObject",
+           "VideoEvent", "CobraDescription"]
+
+
+@dataclass(frozen=True)
+class RawVideo:
+    """Layer 1 — a handle to the raw data (location + dimensions)."""
+
+    location: str
+    frame_count: int
+    width: int
+    height: int
+    fps: float = 25.0
+
+
+@dataclass
+class FrameFeatures:
+    """Layer 2 — per-frame visual features."""
+
+    frame_no: int
+    histogram: tuple[float, ...] = ()
+    dominant_color: tuple[int, int, int] = (0, 0, 0)
+    entropy: float = 0.0
+    mean: float = 0.0
+    variance: float = 0.0
+    skin_fraction: float = 0.0
+
+
+@dataclass
+class ShotFeatures:
+    """Layer 2/3 boundary — per-shot aggregates."""
+
+    begin: int
+    end: int
+    dominant_color: tuple[int, int, int] = (0, 0, 0)
+    entropy: float = 0.0
+    skin_fraction: float = 0.0
+    category: str = "other"  # tennis | closeup | audience | other
+
+
+@dataclass
+class VideoObject:
+    """Layer 3 — a spatial entity (here: the tracked player)."""
+
+    name: str
+    frame_no: int
+    x: float
+    y: float
+    area: int
+    bounding_box: tuple[int, int, int, int] = (0, 0, 0, 0)
+    orientation: float = 0.0
+    eccentricity: float = 0.0
+    dominant_color: tuple[int, int, int] = (0, 0, 0)
+
+
+@dataclass
+class VideoEvent:
+    """Layer 4 — a temporal entity (netplay, rally, a stroke...)."""
+
+    name: str
+    begin: int
+    end: int
+    confidence: float = 1.0
+    attributes: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class CobraDescription:
+    """A complete COBRA description of one video."""
+
+    raw: RawVideo
+    frames: list[FrameFeatures] = field(default_factory=list)
+    shots: list[ShotFeatures] = field(default_factory=list)
+    objects: list[VideoObject] = field(default_factory=list)
+    events: list[VideoEvent] = field(default_factory=list)
+
+    def shots_of_category(self, category: str) -> list[ShotFeatures]:
+        return [shot for shot in self.shots if shot.category == category]
+
+    def events_named(self, name: str) -> list[VideoEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def objects_in_range(self, begin: int, end: int) -> list[VideoObject]:
+        return [obj for obj in self.objects if begin <= obj.frame_no <= end]

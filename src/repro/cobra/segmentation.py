@@ -1,0 +1,61 @@
+"""Shot-boundary detection (the ``segment`` detector's first half).
+
+"The algorithm that segments the video into different shots is
+implemented as a segment detector.  The shot boundaries are detected
+using differences in color histograms of neighboring frames."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VideoError
+from repro.cobra.histogram import color_histogram, histogram_difference
+
+__all__ = ["detect_boundaries", "Shot", "segment_video"]
+
+from dataclasses import dataclass
+
+# An L1 histogram distance above this marks a cut.  Neighbouring frames
+# of one shot differ by sensor noise only (<< 0.2); a cut replaces the
+# whole colour distribution (> 0.5 in practice).
+DEFAULT_THRESHOLD = 0.35
+
+
+@dataclass(frozen=True)
+class Shot:
+    """One detected shot: an inclusive frame range."""
+
+    begin: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.begin + 1
+
+
+def detect_boundaries(frames: np.ndarray,
+                      threshold: float = DEFAULT_THRESHOLD) -> list[int]:
+    """Frame indices that start a new shot (always includes frame 0)."""
+    if frames.ndim != 4 or frames.shape[0] == 0:
+        raise VideoError("frames must be a non-empty (n, h, w, 3) array")
+    boundaries = [0]
+    previous = color_histogram(frames[0])
+    for index in range(1, frames.shape[0]):
+        current = color_histogram(frames[index])
+        if histogram_difference(previous, current) > threshold:
+            boundaries.append(index)
+        previous = current
+    return boundaries
+
+
+def segment_video(frames: np.ndarray,
+                  threshold: float = DEFAULT_THRESHOLD) -> list[Shot]:
+    """Split a video into shots."""
+    boundaries = detect_boundaries(frames, threshold)
+    shots = []
+    for position, begin in enumerate(boundaries):
+        end = (boundaries[position + 1] - 1
+               if position + 1 < len(boundaries) else frames.shape[0] - 1)
+        shots.append(Shot(begin, end))
+    return shots

@@ -1,0 +1,131 @@
+"""Player segmentation and tracking (the ``tennis`` detector).
+
+"Using estimated statistics of the tennis field color, the algorithm
+does the initial quadratic segmentation of the first image of a video
+sequence classified as a playing shot.  In the next frames, we predict
+the player position and search for a similar region in the neighborhood
+of the initially detected player."
+
+Segmentation is colour-based: court-coloured pixels and court lines are
+background, the remainder is foreground; the player is the densest
+foreground region.  The initial frame is searched exhaustively in a
+coarse-to-fine ("quadratic") manner; subsequent frames only search a
+window around the motion-predicted position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cobra.features import ShapeFeatures, shape_features
+from repro.cobra.video import VIRTUAL_HEIGHT, VIRTUAL_WIDTH
+
+__all__ = ["TrackedFrame", "player_mask", "track_player"]
+
+_COLOR_TOLERANCE = 40
+_SEARCH_MARGIN = 0.18  # fraction of frame size around the prediction
+
+
+@dataclass(frozen=True)
+class TrackedFrame:
+    """One frame's tracking output in virtual coordinates."""
+
+    frame_no: int
+    x: float
+    y: float
+    features: ShapeFeatures
+
+
+def player_mask(frame: np.ndarray,
+                court_color: tuple[int, int, int]) -> np.ndarray:
+    """Foreground mask: pixels that are neither court nor line colour."""
+    pixels = frame.astype(np.int64)
+    court = np.asarray(court_color, dtype=np.int64)
+    is_court = (np.abs(pixels - court).sum(axis=2) < _COLOR_TOLERANCE * 3)
+    # court lines are bright and nearly grey
+    brightness = pixels.sum(axis=2)
+    spread = pixels.max(axis=2) - pixels.min(axis=2)
+    is_line = (brightness > 600) & (spread < 30)
+    return ~(is_court | is_line)
+
+
+def _window_centroid(mask: np.ndarray, center: tuple[int, int] | None,
+                     margin_rows: int, margin_cols: int
+                     ) -> tuple[int, int] | None:
+    """Centroid of foreground inside a search window (or globally)."""
+    if center is None:
+        window = mask
+        row_offset = col_offset = 0
+    else:
+        row, col = center
+        top = max(0, row - margin_rows)
+        bottom = min(mask.shape[0], row + margin_rows + 1)
+        left = max(0, col - margin_cols)
+        right = min(mask.shape[1], col + margin_cols + 1)
+        window = mask[top:bottom, left:right]
+        row_offset, col_offset = top, left
+    rows, cols = np.nonzero(window)
+    if rows.size == 0:
+        return None
+    return (int(rows.mean()) + row_offset, int(cols.mean()) + col_offset)
+
+
+def _initial_quadratic_search(mask: np.ndarray) -> tuple[int, int] | None:
+    """Coarse-to-fine search of the first frame.
+
+    Pass one scans a coarse grid of blocks for the densest foreground
+    block (quadratic in the grid size, hence the paper's name); pass two
+    refines to the centroid inside that block's neighbourhood.
+    """
+    height, width = mask.shape
+    block = max(4, min(height, width) // 6)
+    best = None
+    best_count = -1
+    for top in range(0, height, block):
+        for left in range(0, width, block):
+            count = int(mask[top:top + block, left:left + block].sum())
+            if count > best_count:
+                best_count = count
+                best = (top + block // 2, left + block // 2)
+    if best is None or best_count == 0:
+        return None
+    return _window_centroid(mask, best, block, block)
+
+
+def track_player(frames: np.ndarray, begin: int, end: int,
+                 court_color: tuple[int, int, int]) -> list[TrackedFrame]:
+    """Track the player through a shot; returns one record per frame.
+
+    Frames where segmentation finds no foreground are skipped (the
+    grammar's ``frame*`` absorbs the variable count).
+    """
+    height, width = frames.shape[1], frames.shape[2]
+    margin_rows = max(2, int(height * _SEARCH_MARGIN))
+    margin_cols = max(2, int(width * _SEARCH_MARGIN))
+    tracked: list[TrackedFrame] = []
+    position: tuple[int, int] | None = None
+    velocity = (0, 0)
+    for frame_no in range(begin, end + 1):
+        mask = player_mask(frames[frame_no], court_color)
+        if position is None:
+            found = _initial_quadratic_search(mask)
+        else:
+            prediction = (position[0] + velocity[0],
+                          position[1] + velocity[1])
+            found = _window_centroid(mask, prediction,
+                                     margin_rows, margin_cols)
+            if found is None:  # lost: fall back to a full re-detection
+                found = _initial_quadratic_search(mask)
+        if found is None:
+            continue
+        if position is not None:
+            velocity = (found[0] - position[0], found[1] - position[1])
+        position = found
+        features = shape_features(mask, found, margin_rows * 2,
+                                  margin_cols * 2)
+        x = found[1] / (width - 1) * VIRTUAL_WIDTH
+        y = found[0] / (height - 1) * VIRTUAL_HEIGHT
+        tracked.append(TrackedFrame(frame_no, float(x), float(y), features))
+    return tracked

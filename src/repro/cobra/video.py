@@ -1,0 +1,254 @@
+"""The synthetic video substrate.
+
+The paper analyses real tennis broadcasts; offline we synthesise videos
+whose *pixel statistics* drive the same algorithms: colour-histogram
+shot boundaries, dominant-colour court detection, skin-fraction
+close-ups, entropy-rich audience shots, and a player blob moving on a
+scripted trajectory.  Every generated video carries its ground truth, so
+benchmark E11 can score the analysis chain.
+
+Videos are numpy arrays of shape (frames, height, width, 3), dtype
+uint8.  Player positions are expressed in a virtual 640x360 coordinate
+system (the net line sits at virtual y = 150; smaller y = closer to the
+net), matching the paper's ``player.yPos <= 170.0`` netplay predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import VideoError
+
+__all__ = [
+    "VIRTUAL_WIDTH", "VIRTUAL_HEIGHT", "NET_Y", "BASELINE_Y",
+    "COURT_COLORS", "SKIN_COLOR", "ShotSpec", "VideoGroundTruth",
+    "SyntheticVideo", "generate_video", "tennis_match_script",
+]
+
+VIRTUAL_WIDTH = 640.0
+VIRTUAL_HEIGHT = 360.0
+NET_Y = 150.0
+BASELINE_Y = 330.0
+
+# Court surfaces the segmentation must adapt to without re-tuning
+# ("our segmentation algorithm is generalized to work with different
+# classes of tennis courts without changing any parameters").
+COURT_COLORS = {
+    "rebound_ace": (40, 110, 60),    # the Australian Open green
+    "plexicushion": (40, 90, 150),   # the later AO blue
+    "clay": (170, 90, 40),           # Roland Garros orange
+    "grass": (60, 130, 50),          # Wimbledon
+}
+
+SKIN_COLOR = (224, 172, 138)
+_OUTFIT_COLOR = (240, 240, 240)
+_LINE_COLOR = (250, 250, 250)
+
+
+@dataclass
+class ShotSpec:
+    """One scripted shot."""
+
+    category: str                 # tennis | closeup | audience | other
+    length: int                   # frames
+    trajectory: list[tuple[float, float]] = field(default_factory=list)
+    # virtual (x, y) player positions, one per frame (tennis shots only)
+    stroke: str = ""              # optional stroke label (serve/forehand/...)
+
+
+@dataclass
+class VideoGroundTruth:
+    """What the generator actually put in the pixels."""
+
+    boundaries: list[int] = field(default_factory=list)   # first frame of each shot
+    categories: list[str] = field(default_factory=list)
+    trajectories: list[list[tuple[float, float]]] = field(default_factory=list)
+    netplay_shots: list[int] = field(default_factory=list)  # shot indices
+    strokes: list[str] = field(default_factory=list)
+    court_color: tuple[int, int, int] = (0, 0, 0)
+
+    def shot_ranges(self, total_frames: int) -> list[tuple[int, int]]:
+        """(begin, end) inclusive frame ranges per shot."""
+        ranges = []
+        for index, begin in enumerate(self.boundaries):
+            end = (self.boundaries[index + 1] - 1
+                   if index + 1 < len(self.boundaries) else total_frames - 1)
+            ranges.append((begin, end))
+        return ranges
+
+
+@dataclass
+class SyntheticVideo:
+    """Frames plus ground truth plus a location for the grammar."""
+
+    location: str
+    frames: np.ndarray           # (n, h, w, 3) uint8
+    truth: VideoGroundTruth
+
+    @property
+    def frame_count(self) -> int:
+        return int(self.frames.shape[0])
+
+    @property
+    def height(self) -> int:
+        return int(self.frames.shape[1])
+
+    @property
+    def width(self) -> int:
+        return int(self.frames.shape[2])
+
+
+def _virtual_to_pixel(x: float, y: float, width: int, height: int
+                      ) -> tuple[int, int]:
+    px = int(round(x / VIRTUAL_WIDTH * (width - 1)))
+    py = int(round(y / VIRTUAL_HEIGHT * (height - 1)))
+    return max(0, min(width - 1, px)), max(0, min(height - 1, py))
+
+
+def _paint_court(frame: np.ndarray, court: tuple[int, int, int],
+                 rng: np.random.Generator) -> None:
+    height, width, _ = frame.shape
+    base = np.array(court, dtype=np.int16)
+    noise = rng.integers(-8, 9, size=(height, width, 3), dtype=np.int16)
+    frame[:] = np.clip(base + noise, 0, 255).astype(np.uint8)
+    # court lines: the net line and two side lines
+    net_row = int(NET_Y / VIRTUAL_HEIGHT * (height - 1))
+    base_row = int(BASELINE_Y / VIRTUAL_HEIGHT * (height - 1))
+    frame[net_row, :, :] = _LINE_COLOR
+    frame[base_row, :, :] = _LINE_COLOR
+    frame[net_row:base_row, width // 8, :] = _LINE_COLOR
+    frame[net_row:base_row, width - 1 - width // 8, :] = _LINE_COLOR
+
+
+def _paint_player(frame: np.ndarray, x: float, y: float) -> None:
+    # the blob is centred on (x, y) so the tracker's mass centre matches
+    # the scripted trajectory (and the netplay ground truth)
+    height, width, _ = frame.shape
+    px, py = _virtual_to_pixel(x, y, width, height)
+    body_h = max(3, height // 9)
+    body_w = max(2, width // 24)
+    top = max(0, py - body_h // 2)
+    bottom = min(height, py + body_h // 2 + 1)
+    left = max(0, px - body_w // 2)
+    right = min(width, px + body_w // 2 + 1)
+    frame[top:bottom, left:right, :] = _OUTFIT_COLOR
+    # head: a skin-coloured cap above the body
+    head_top = max(0, top - max(1, body_h // 3))
+    frame[head_top:top, left:right, :] = SKIN_COLOR
+
+
+def _paint_closeup(frame: np.ndarray, rng: np.random.Generator,
+                   background: np.ndarray) -> None:
+    height, width, _ = frame.shape
+    frame[:] = background.astype(np.uint8)
+    # a large skin-coloured face region (~40% of the frame)
+    fh, fw = int(height * 0.7), int(width * 0.55)
+    top = (height - fh) // 2
+    left = (width - fw) // 2
+    face = np.array(SKIN_COLOR, dtype=np.int16)
+    noise = rng.integers(-10, 11, size=(fh, fw, 3), dtype=np.int16)
+    frame[top:top + fh, left:left + fw, :] = np.clip(
+        face + noise, 0, 255).astype(np.uint8)
+
+
+def _paint_audience(frame: np.ndarray, rng: np.random.Generator) -> None:
+    # a mosaic of random colours: maximal entropy
+    height, width, _ = frame.shape
+    frame[:] = rng.integers(0, 256, size=(height, width, 3),
+                            dtype=np.int64).astype(np.uint8)
+
+
+def _paint_other(frame: np.ndarray, rng: np.random.Generator,
+                 base: np.ndarray) -> None:
+    # a flat, non-court colour with light noise (e.g. a studio backdrop)
+    height, width, _ = frame.shape
+    noise = rng.integers(-5, 6, size=(height, width, 3), dtype=np.int16)
+    frame[:] = np.clip(base + noise, 0, 255).astype(np.uint8)
+
+
+def generate_video(shots: list[ShotSpec], location: str,
+                   court: str = "rebound_ace",
+                   width: int = 64, height: int = 36,
+                   seed: int = 0) -> SyntheticVideo:
+    """Render a scripted list of shots into a synthetic video."""
+    if court not in COURT_COLORS:
+        raise VideoError(f"unknown court surface {court!r}")
+    if not shots:
+        raise VideoError("a video needs at least one shot")
+    court_color = COURT_COLORS[court]
+    rng = np.random.default_rng(seed)
+    total = sum(spec.length for spec in shots)
+    frames = np.zeros((total, height, width, 3), dtype=np.uint8)
+    truth = VideoGroundTruth(court_color=court_color)
+
+    cursor = 0
+    for index, spec in enumerate(shots):
+        if spec.length < 1:
+            raise VideoError(f"shot {index} has no frames")
+        truth.boundaries.append(cursor)
+        truth.categories.append(spec.category)
+        truth.strokes.append(spec.stroke)
+        trajectory = list(spec.trajectory)
+        if spec.category == "tennis" and not trajectory:
+            # default: a baseline rally
+            trajectory = [(VIRTUAL_WIDTH / 2, BASELINE_Y - 20)] * spec.length
+        truth.trajectories.append(trajectory)
+        if spec.category == "tennis" and any(y <= 170.0
+                                             for _, y in trajectory):
+            truth.netplay_shots.append(index)
+        # shot-level style: backgrounds stay fixed within a shot so only
+        # real cuts move the colour histogram
+        closeup_background = rng.integers(40, 120, size=3)
+        other_base = rng.integers(60, 200, size=3).astype(np.int16)
+        other_base[2] = max(int(other_base[2]), 180)  # away from skin and
+        other_base[0] = min(int(other_base[0]), 120)  # court hues
+        for offset in range(spec.length):
+            frame = frames[cursor + offset]
+            if spec.category == "tennis":
+                _paint_court(frame, court_color, rng)
+                x, y = trajectory[min(offset, len(trajectory) - 1)]
+                _paint_player(frame, x, y)
+            elif spec.category == "closeup":
+                _paint_closeup(frame, rng, closeup_background)
+            elif spec.category == "audience":
+                _paint_audience(frame, rng)
+            elif spec.category == "other":
+                _paint_other(frame, rng, other_base)
+            else:
+                raise VideoError(f"unknown shot category {spec.category!r}")
+        cursor += spec.length
+    return SyntheticVideo(location, frames, truth)
+
+
+def tennis_match_script(rng_seed: int = 0, rallies: int = 3,
+                        netplay_rallies: tuple[int, ...] = (1,),
+                        frames_per_shot: int = 12,
+                        strokes: tuple[str, ...] = ()) -> list[ShotSpec]:
+    """A typical broadcast script: rallies with close-ups and crowd shots.
+
+    ``netplay_rallies`` lists the rally indices in which the player
+    approaches the net.  A deterministic function of its arguments.
+    """
+    rng = np.random.default_rng(rng_seed)
+    script: list[ShotSpec] = []
+    for rally in range(rallies):
+        x = float(rng.uniform(200, 440))
+        if rally in netplay_rallies:
+            # approach: walk from the baseline to the net
+            ys = np.linspace(BASELINE_Y - 10, NET_Y - 10, frames_per_shot)
+        else:
+            ys = (BASELINE_Y - 20
+                  + 10 * np.sin(np.linspace(0, 3.0, frames_per_shot)))
+        trajectory = [(x + 12 * float(np.sin(i)), float(y))
+                      for i, y in enumerate(ys)]
+        stroke = strokes[rally % len(strokes)] if strokes else ""
+        script.append(ShotSpec("tennis", frames_per_shot, trajectory,
+                               stroke=stroke))
+        if rally % 2 == 0:
+            script.append(ShotSpec("closeup", max(4, frames_per_shot // 2)))
+        else:
+            script.append(ShotSpec("audience", max(4, frames_per_shot // 2)))
+    script.append(ShotSpec("other", max(4, frames_per_shot // 2)))
+    return script

@@ -1,0 +1,24 @@
+"""The paper's primary contribution: the integrated three-level engine.
+
+Public surface:
+
+* :class:`~repro.core.engine.SearchEngine` — model / populate /
+  maintain / query, over all three levels,
+* :class:`~repro.core.config.EngineConfig`,
+* :mod:`~repro.core.results` — result rows with shots and scores,
+* :mod:`~repro.core.translate` — conceptual-to-physical translation.
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.persistence import load_engine, save_engine
+from repro.core.plan import PlanNode, format_plan
+from repro.core.engine import PopulationReport, RecrawlReport, SearchEngine
+from repro.core.results import QueryResult, ResultRow, ShotRange
+from repro.core.translate import ConceptualIndex, execute_query
+
+__all__ = [
+    "SearchEngine", "PopulationReport", "RecrawlReport", "EngineConfig",
+    "save_engine", "load_engine", "PlanNode", "format_plan",
+    "QueryResult", "ResultRow", "ShotRange",
+    "ConceptualIndex", "execute_query",
+]

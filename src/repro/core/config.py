@@ -1,0 +1,24 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the integrated search engine.
+
+    ``cluster_size`` and ``fragment_count`` drive the physical level's
+    scalability hooks (shared-nothing IR distribution and idf-ordered
+    fragmentation); ``top_n`` is the default result size; ``crawl_seed``
+    is the crawler's entry page.
+    """
+
+    cluster_size: int = 1
+    fragment_count: int = 4
+    top_n: int = 10
+    crawl_seed: str = "index.html"
+    ranking_model: str = "tfidf"  # or "hiemstra"

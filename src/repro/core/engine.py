@@ -1,0 +1,358 @@
+"""The integrated search engine: the paper's system, end to end.
+
+One object drives the whole lifecycle:
+
+1. **Modeling** — construct with a webspace schema (conceptual level)
+   and a feature grammar + detector registry (logical level).
+2. **Populating** — :meth:`populate`: crawl the site, re-engineer HTML
+   into materialized views, shred them into the conceptual store, index
+   Hypertext attributes in the (optionally distributed) IR relations,
+   and run the FDE over every multimedia object, storing parse trees in
+   the FDS and their XML dumps in the meta store.
+3. **Maintaining** — :meth:`upgrade_detector` / :meth:`notify_source_change`
+   + :meth:`maintain`: the FDS localises the work.
+4. **Querying** — :meth:`query`: conceptual + content-based, integrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cobra.grammar import build_tennis_grammar, build_tennis_registry
+from repro.cobra.library import VideoLibrary
+from repro.errors import QueryError
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.fds import FDS, MaintenanceReport
+from repro.featuregrammar.parsetree import tree_to_xml
+from repro.featuregrammar.versions import ChangeLevel, Version
+from repro.ir.engine import ClusterIrEngine, IrEngine
+from repro.web.crawler import crawl
+from repro.web.reengineer import reengineer_site
+from repro.web.site import SimulatedWebServer
+from repro.webspace.documents import document_to_xml
+from repro.webspace.query import WebspaceQuery
+from repro.webspace.schema import WebspaceSchema
+from repro.xmlstore.store import XmlStore
+from repro.core.config import EngineConfig
+from repro.core.results import QueryResult
+from repro.core.translate import ConceptualIndex, execute_query
+
+__all__ = ["SearchEngine", "PopulationReport", "RecrawlReport"]
+
+
+@dataclass
+class PopulationReport:
+    """What one population run ingested."""
+
+    pages_crawled: int = 0
+    documents_stored: int = 0
+    hypertexts_indexed: int = 0
+    videos_analyzed: int = 0
+    audios_analyzed: int = 0
+    detector_calls: int = 0
+    media_skipped: list[str] = field(default_factory=list)
+
+
+@dataclass
+class RecrawlReport:
+    """What a maintenance re-crawl changed."""
+
+    pages_crawled: int = 0
+    documents_added: int = 0
+    documents_replaced: int = 0
+    documents_unchanged: int = 0
+    documents_removed: int = 0
+    hypertexts_reindexed: int = 0
+
+
+class SearchEngine:
+    """The three-level search engine for one webspace."""
+
+    def __init__(self, schema: WebspaceSchema, server: SimulatedWebServer,
+                 config: EngineConfig | None = None,
+                 grammar=None, registry: DetectorRegistry | None = None,
+                 extractor=None):
+        self.schema = schema
+        self.server = server
+        self.config = config or EngineConfig()
+        # the re-engineering process is site-specific ("using a special
+        # purpose feature grammar"); engines for other webspaces plug in
+        # their own extractor(schema, pages) -> [WebspaceDocument]
+        self.extractor = extractor or reengineer_site
+
+        # physical level
+        self.conceptual_store = XmlStore()
+        self.meta_store = XmlStore()
+        if self.config.cluster_size > 1:
+            # "distribute the query workload over several database
+            # engines": content predicates run the distributed plan
+            self.ir = ClusterIrEngine(
+                self.config.cluster_size,
+                fragment_count=self.config.fragment_count)
+        else:
+            self.ir = IrEngine(fragment_count=self.config.fragment_count,
+                               model=self.config.ranking_model)
+
+        # logical level: default to the tennis video grammar
+        self.video_library = VideoLibrary()
+        self.grammar = grammar or build_tennis_grammar()
+        self.registry = registry or build_tennis_registry(self.video_library)
+        self.fde = FDE(self.grammar, self.registry)
+        self.fds = FDS(self.fde, source_stamp=self._source_stamp)
+
+        self._index = ConceptualIndex(self.conceptual_store)
+
+    # ------------------------------------------------------------------
+    # populating
+    # ------------------------------------------------------------------
+
+    def _source_stamp(self, key: str):
+        if key in self.server:
+            return self.server.head(key)["Last-Modified"]
+        return None
+
+    def populate(self) -> PopulationReport:
+        """Crawl, re-engineer, shred, index, analyze."""
+        report = PopulationReport()
+        result = crawl(self.server, seed=self.config.crawl_seed)
+        report.pages_crawled = len(result.pages)
+
+        # conceptual level -> physical level
+        documents = self.extractor(self.schema, result.pages)
+        for document in documents:
+            xml = document_to_xml(self.schema, document)
+            if document.doc_id in self.conceptual_store:
+                self.conceptual_store.replace(document.doc_id, xml)
+            else:
+                self.conceptual_store.insert(document.doc_id, xml)
+        report.documents_stored = len(documents)
+        self._index.invalidate()
+
+        # full-text hooks: every Hypertext attribute value becomes an
+        # IR document keyed <class>:<key>:<attribute>
+        for document in documents:
+            report.hypertexts_indexed += self._index_hypertexts(document)
+
+        # logical level: analyse every crawled video and audio object
+        # through the feature grammar
+        for resource in result.media:
+            if resource.mime[0] in ("video", "audio") \
+                    and resource.payload is not None:
+                self.video_library.add(resource.payload, resource.mime)
+            elif resource.url not in self.video_library:
+                self.video_library.add_non_video(resource.url, resource.mime)
+        for location in self.video_library.locations():
+            if self.video_library.mime(location)[0] not in ("video",
+                                                            "audio"):
+                continue
+            if location in self.meta_store:
+                continue
+            outcome = self.fds.add_object(location, location)
+            if self.video_library.mime(location)[0] == "video":
+                report.videos_analyzed += 1
+            else:
+                report.audios_analyzed += 1
+            report.detector_calls += outcome.detector_calls
+            self.meta_store.insert(location, tree_to_xml(outcome.tree))
+        return report
+
+    def recrawl(self) -> RecrawlReport:
+        """Conceptual-level maintenance: re-crawl and apply the diff.
+
+        "the source data and the extraction algorithms may all change,
+        so the stored data has to be maintained to keep its validity" —
+        pages that serialise identically are left untouched; changed
+        pages are incrementally replaced (and their Hypertext
+        attributes re-indexed); disappeared pages are deleted.
+        """
+        from repro.xmlstore.writer import canonical_xml
+
+        report = RecrawlReport()
+        result = crawl(self.server, seed=self.config.crawl_seed)
+        report.pages_crawled = len(result.pages)
+        documents = self.extractor(self.schema, result.pages)
+        seen: set[str] = set()
+        for document in documents:
+            seen.add(document.doc_id)
+            xml = document_to_xml(self.schema, document)
+            if document.doc_id in self.conceptual_store:
+                old = self.conceptual_store.reconstruct(document.doc_id)
+                if canonical_xml(old) == canonical_xml(xml):
+                    report.documents_unchanged += 1
+                    continue
+                self.conceptual_store.replace(document.doc_id, xml)
+                report.documents_replaced += 1
+            else:
+                self.conceptual_store.insert(document.doc_id, xml)
+                report.documents_added += 1
+            report.hypertexts_reindexed += self._index_hypertexts(document)
+        for key in list(self.conceptual_store.document_keys()):
+            if key not in seen:
+                self._unindex_document(key)
+                self.conceptual_store.delete(key)
+                report.documents_removed += 1
+        self._index.invalidate()
+        return report
+
+    def _index_hypertexts(self, document) -> int:
+        indexed = 0
+        for obj in document.objects:
+            cls = self.schema.cls(obj.cls)
+            for name, atype in cls.multimedia_attributes().items():
+                if atype.by_reference:
+                    continue
+                text = obj.attributes.get(name)
+                if not text:
+                    continue
+                self.ir.reindex(f"{obj.cls}:{obj.key}:{name}", str(text))
+                indexed += 1
+        return indexed
+
+    def _unindex_document(self, doc_id: str) -> None:
+        """Drop the IR documents of a deleted materialized view."""
+        root = self.conceptual_store.reconstruct(doc_id)
+        for node in root.element_children():
+            if node.tag not in self.schema.classes:
+                continue
+            cls = self.schema.cls(node.tag)
+            key = node.attributes.get("id", "")
+            for name, atype in cls.multimedia_attributes().items():
+                if atype.by_reference:
+                    continue
+                url = f"{node.tag}:{key}:{name}"
+                if self.ir.relations.doc_oid(url) is not None:
+                    self.ir.remove(url)
+
+    # ------------------------------------------------------------------
+    # maintaining
+    # ------------------------------------------------------------------
+
+    def upgrade_detector(self, name: str, version: str | Version,
+                         implementation=None) -> ChangeLevel:
+        """Install a new detector version; returns its change level."""
+        if implementation is not None:
+            old_version = self.registry.get(name).version
+            self.registry.register(name, implementation, old_version)
+        self.registry.set_version(name, version)
+        return self.fds.notify_detector_change(name)
+
+    def notify_source_change(self, location: str) -> bool:
+        """Tell the engine a media object's source data changed."""
+        return self.fds.notify_source_change(location)
+
+    def maintain(self) -> MaintenanceReport:
+        """Run pending maintenance and refresh the meta store."""
+        report = self.fds.run()
+        for key in self.fds.keys():
+            xml = tree_to_xml(self.fds.tree(key))
+            if key in self.meta_store:
+                self.meta_store.replace(key, xml)
+            else:
+                self.meta_store.insert(key, xml)
+        return report
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def new_query(self) -> WebspaceQuery:
+        """Start a conceptual query over this engine's schema."""
+        return WebspaceQuery(self.schema)
+
+    def query_text(self, source: str) -> QueryResult:
+        """Parse and execute a textual conceptual query.
+
+        The textual language is the CLI-friendly counterpart of the
+        paper's graphical query interface (Fig 13); see
+        :mod:`repro.webspace.language` for the grammar.
+        """
+        from repro.webspace.language import parse_query
+        return self.query(parse_query(self.schema, source))
+
+    def query(self, query: WebspaceQuery) -> QueryResult:
+        """Execute an integrated conceptual + content-based query."""
+        if query.schema is not self.schema:
+            raise QueryError("query was built for a different schema")
+        self.conceptual_store.server.reset_accounting()
+        return execute_query(query, self._index,
+                             self._content_search, self._event_search,
+                             self._audio_search)
+
+    # -- the two optimization hooks -----------------------------------
+
+    def _content_search(self, cls: str, attribute: str, text: str
+                        ) -> dict[str, float]:
+        """IR hook: ranked keys of one class/attribute namespace."""
+        prefix = f"{cls}:"
+        suffix = f":{attribute}"
+        ranked: dict[str, float] = {}
+        for url, score in self.ir.search_urls(text, n=None):
+            if url.startswith(prefix) and url.endswith(suffix):
+                key = url[len(prefix):len(url) - len(suffix)]
+                ranked[key] = score
+        return ranked
+
+    def _event_search(self, media_url: str, event: str
+                      ) -> list[tuple[int, int]]:
+        """Meta-index hook: shots of a video in which an event holds."""
+        if media_url not in self.meta_store:
+            return []
+        ranges: list[tuple[int, int]] = []
+        tree = self.meta_store.reconstruct(media_url)
+        for shot in tree.iter():
+            if getattr(shot, "tag", None) != "shot":
+                continue
+            event_nodes = [node for node in shot.iter()
+                           if getattr(node, "tag", None) == event]
+            if not event_nodes:
+                continue
+            holds = any(node.text().strip() == "true"
+                        and node.attributes.get("valid") != "false"
+                        for node in event_nodes)
+            if not holds:
+                continue
+            begin = shot.find("begin")
+            end = shot.find("end")
+            if begin is None or end is None:
+                continue
+            ranges.append((int(begin.deep_text().strip()),
+                           int(end.deep_text().strip())))
+        return ranges
+
+    def _audio_search(self, media_url: str, kind: str
+                      ) -> tuple[bool, list[tuple[float, float, int]]]:
+        """Audio meta-index hook: kind match + speaker turns."""
+        if media_url not in self.meta_store:
+            return False, []
+        tree = self.meta_store.reconstruct(media_url)
+        kind_nodes = [node for node in tree.iter()
+                      if getattr(node, "tag", None) == "audio_kind"]
+        if not kind_nodes:
+            return False, []
+        matched = any(node.children and node.children[0].tag == kind
+                      for node in kind_nodes)
+        if not matched:
+            return False, []
+        speaker_turns: list[tuple[float, float, int]] = []
+        for turn in tree.iter():
+            if getattr(turn, "tag", None) != "turn":
+                continue
+            values = [child.deep_text().strip()
+                      for child in turn.element_children()]
+            if len(values) == 3:
+                speaker_turns.append((float(values[0]), float(values[1]),
+                                      int(values[2])))
+        return True, speaker_turns
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "conceptual": self.conceptual_store.catalog.stats(),
+            "meta": self.meta_store.catalog.stats(),
+            "ir": self.ir.relations.stats(),
+            "videos": len(self.fds),
+        }

@@ -1,0 +1,70 @@
+"""Result model of the integrated engine.
+
+"Using the Webspace Method specific conceptual information can be
+fetched as the result of a query, rather than a bunch of relevant
+document URLs" — a result row therefore carries projected attribute
+values, the bindings' object keys, the IR score that ranked it, and for
+video-event predicates the matching shots (Fig 13's answer shows the
+video fragments themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ShotRange", "TurnRange", "ResultRow", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class ShotRange:
+    """One matching video shot (inclusive frame range)."""
+
+    begin: int
+    end: int
+    event: str
+
+
+@dataclass(frozen=True)
+class TurnRange:
+    """One matching audio speaker turn (seconds)."""
+
+    start: float
+    end: float
+    speaker: int
+
+
+@dataclass
+class ResultRow:
+    """One answer row."""
+
+    keys: dict[str, str]                      # alias -> object key
+    values: dict[str, object] = field(default_factory=dict)
+    score: float = 0.0
+    shots: dict[str, list[ShotRange]] = field(default_factory=dict)
+    turns: dict[str, list[TurnRange]] = field(default_factory=dict)
+
+    def value(self, path: str) -> object:
+        return self.values.get(path)
+
+
+@dataclass
+class QueryResult:
+    """All answer rows plus execution accounting."""
+
+    rows: list[ResultRow] = field(default_factory=list)
+    candidates_considered: int = 0
+    tuples_touched: int = 0
+    plan: object = None  # PlanNode of the executed physical plan
+
+    def explain(self) -> str:
+        """The executed physical plan, EXPLAIN ANALYZE style."""
+        return str(self.plan) if self.plan is not None else "(no plan)"
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, path: str) -> list[object]:
+        return [row.value(path) for row in self.rows]

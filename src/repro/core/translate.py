@@ -1,0 +1,358 @@
+"""Query translation: conceptual queries down to physical searches.
+
+"Under the hood of the system the query is translated into an XML
+representation, which in its turn is translated into the query algebra
+of the storage engine.  During this translation statements using the
+optimization hooks, like implemented for full text retrieval, are
+inserted."
+
+Concretely, a :class:`~repro.webspace.query.WebspaceQuery` becomes:
+
+* path-expression scans over the shredded materialized views (class
+  instances, attribute values, association pairs),
+* ranked IR probes for ``contains`` predicates (through the fragment-
+  pruned top-N access path),
+* meta-index scans over the shredded parse trees for ``video_event``
+  predicates,
+
+joined with BAT algebra and ranked by the summed IR scores.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.errors import QueryError
+from repro.monetdb.atoms import Oid
+from repro.webspace.query import WebspaceQuery
+from repro.xmlstore.pathexpr import descend, match_paths, node_oids
+from repro.xmlstore.store import XmlStore
+from repro.core.plan import PlanNode
+from repro.core.results import QueryResult, ResultRow, ShotRange, TurnRange
+
+__all__ = ["ConceptualIndex", "execute_query"]
+
+
+class ConceptualIndex:
+    """Read access to the shredded materialized views.
+
+    Thin, cached lookups over the conceptual :class:`XmlStore`:
+    class instances, attribute values and association pairs.
+    """
+
+    def __init__(self, store: XmlStore):
+        self.store = store
+        self._attr_cache: dict[tuple[str, str], dict[str, str]] = {}
+        self._key_cache: dict[str, set[str]] = {}
+        self._assoc_cache: dict[str, list[tuple[str, str]]] = {}
+
+    def invalidate(self) -> None:
+        self._attr_cache.clear()
+        self._key_cache.clear()
+        self._assoc_cache.clear()
+
+    def _class_nodes(self, cls: str) -> tuple[Any, list[Oid]]:
+        paths = match_paths(self.store.summary, f"/webspace/{cls}")
+        if not paths:
+            return None, []
+        node = paths[0]
+        return node, node_oids(self.store.catalog, node, self.store.server)
+
+    def keys_of(self, cls: str) -> set[str]:
+        """All object keys of a class (deduplicated across documents)."""
+        cached = self._key_cache.get(cls)
+        if cached is not None:
+            return cached
+        node, oids = self._class_nodes(cls)
+        keys: set[str] = set()
+        if node is not None:
+            id_relation = self.store.catalog.get_or_none(
+                node.attribute_relation("id"))
+            if id_relation is not None:
+                self.store.server.charge(len(id_relation))
+                keys = {id_relation.find(oid) for oid in oids
+                        if id_relation.exists(oid)}
+        self._key_cache[cls] = keys
+        return keys
+
+    def attribute_values(self, cls: str, attribute: str) -> dict[str, str]:
+        """object key -> attribute value (text or href), merged over docs."""
+        slot = (cls, attribute)
+        cached = self._attr_cache.get(slot)
+        if cached is not None:
+            return cached
+        values: dict[str, str] = {}
+        node, oids = self._class_nodes(cls)
+        if node is not None:
+            id_relation = self.store.catalog.get_or_none(
+                node.attribute_relation("id"))
+            attr_node = node.get_child(attribute)
+            if id_relation is not None and attr_node is not None:
+                # by-reference multimedia attributes live in @href
+                href = self.store.catalog.get_or_none(
+                    attr_node.attribute_relation("href"))
+                if href is not None:
+                    pairs = descend(self.store.catalog, node, oids,
+                                    attribute, self.store.server)
+                    self.store.server.charge(len(href))
+                    for obj_oid, attr_oid in pairs:
+                        if href.exists(attr_oid):
+                            key = id_relation.find(obj_oid)
+                            values.setdefault(key, href.find(attr_oid))
+                cdata_node = attr_node.get_child("pcdata")
+                if cdata_node is not None:
+                    cdata = self.store.catalog.get_or_none(
+                        cdata_node.cdata_relation())
+                    if cdata is not None:
+                        pairs = descend(self.store.catalog, node, oids,
+                                        f"{attribute}/pcdata",
+                                        self.store.server)
+                        self.store.server.charge(len(cdata))
+                        for obj_oid, text_oid in pairs:
+                            key = id_relation.find(obj_oid)
+                            values.setdefault(key, cdata.find(text_oid))
+        self._attr_cache[slot] = values
+        return values
+
+    def association_pairs(self, name: str) -> list[tuple[str, str]]:
+        """(source key, target key) pairs of an association concept."""
+        cached = self._assoc_cache.get(name)
+        if cached is not None:
+            return cached
+        pairs: list[tuple[str, str]] = []
+        paths = match_paths(self.store.summary, f"/webspace/{name}")
+        if paths:
+            node = paths[0]
+            source = self.store.catalog.get_or_none(
+                node.attribute_relation("source"))
+            target = self.store.catalog.get_or_none(
+                node.attribute_relation("target"))
+            if source is not None and target is not None:
+                self.store.server.charge(len(source) + len(target))
+                seen: set[tuple[str, str]] = set()
+                for oid in node_oids(self.store.catalog, node,
+                                     self.store.server):
+                    pair = (source.find(oid), target.find(oid))
+                    if pair not in seen:
+                        seen.add(pair)
+                        pairs.append(pair)
+        self._assoc_cache[name] = pairs
+        return pairs
+
+
+_COMPARATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def execute_query(query: WebspaceQuery, index: ConceptualIndex,
+                  content_search, event_search,
+                  audio_search=None) -> QueryResult:
+    """Run a conceptual query.
+
+    ``content_search(cls, attribute, text)`` must return
+    ``dict[object key, score]`` (the IR hook); ``event_search(media_url,
+    event)`` must return a list of (begin, end) shot ranges, empty when
+    the event never occurs; ``audio_search(media_url, kind)`` must
+    return (matched, [(start, end, speaker)]) — all three are the
+    physical level's optimization hooks.
+    """
+    query.validate()
+    result = QueryResult()
+    plan = PlanNode("TopN", f"limit={query.limit}")
+    rank_node = plan.add(PlanNode("Rank", "by summed content scores"))
+    join_root = rank_node.add(PlanNode("JoinGraph"))
+
+    # 1. candidate keys per binding after local predicates
+    candidates: dict[str, set[str]] = {}
+    scores: dict[str, dict[str, float]] = defaultdict(dict)
+    shots: dict[str, dict[str, list[ShotRange]]] = defaultdict(dict)
+    turns: dict[str, dict[str, list[TurnRange]]] = defaultdict(dict)
+    bind_nodes: dict[str, PlanNode] = {}
+
+    for binding in query.bindings:
+        keys = set(index.keys_of(binding.cls))
+        candidates[binding.alias] = keys
+        bind_nodes[binding.alias] = join_root.add(PlanNode(
+            "Bind", f"{binding.alias}: {binding.cls}",
+            {"instances": len(keys)}))
+
+    for predicate in query.attribute_predicates:
+        cls = query.cls_of(predicate.alias)
+        before = len(candidates[predicate.alias])
+        values = index.attribute_values(cls, predicate.attribute)
+        compare = _COMPARATORS[predicate.op]
+        candidates[predicate.alias] &= {
+            key for key, value in values.items()
+            if compare(value, predicate.value)}
+        bind_nodes[predicate.alias].add(PlanNode(
+            "AttrSelect",
+            f"{predicate.alias}.{predicate.attribute} {predicate.op} "
+            f"{predicate.value!r}",
+            {"in": before, "out": len(candidates[predicate.alias])}))
+
+    for predicate in query.content_predicates:
+        cls = query.cls_of(predicate.alias)
+        before = len(candidates[predicate.alias])
+        ranked = content_search(cls, predicate.attribute, predicate.text)
+        candidates[predicate.alias] &= set(ranked)
+        for key, score in ranked.items():
+            previous = scores[predicate.alias].get(key, 0.0)
+            scores[predicate.alias][key] = previous + score
+        bind_nodes[predicate.alias].add(PlanNode(
+            "IrProbe",
+            f"{predicate.alias}.{predicate.attribute} CONTAINS "
+            f"{predicate.text!r}",
+            {"in": before, "matched": len(ranked),
+             "out": len(candidates[predicate.alias])}))
+
+    for predicate in query.event_predicates:
+        cls = query.cls_of(predicate.alias)
+        before = len(candidates[predicate.alias])
+        media = index.attribute_values(cls, predicate.attribute)
+        surviving: set[str] = set()
+        for key in candidates[predicate.alias]:
+            url = media.get(key)
+            if not url:
+                continue
+            ranges = event_search(url, predicate.event)
+            if ranges:
+                surviving.add(key)
+                shots[predicate.alias][key] = [
+                    ShotRange(begin, end, predicate.event)
+                    for begin, end in ranges]
+        candidates[predicate.alias] &= surviving
+        bind_nodes[predicate.alias].add(PlanNode(
+            "MetaProbe",
+            f"{predicate.alias}.{predicate.attribute} EVENT "
+            f"{predicate.event}",
+            {"in": before, "out": len(candidates[predicate.alias])}))
+
+    for predicate in query.audio_predicates:
+        if audio_search is None:
+            raise QueryError("this engine has no audio meta-index hook")
+        cls = query.cls_of(predicate.alias)
+        before = len(candidates[predicate.alias])
+        media = index.attribute_values(cls, predicate.attribute)
+        surviving: set[str] = set()
+        for key in candidates[predicate.alias]:
+            url = media.get(key)
+            if not url:
+                continue
+            matched, speaker_turns = audio_search(url, predicate.kind)
+            if matched:
+                surviving.add(key)
+                turns[predicate.alias][key] = [
+                    TurnRange(start, end, speaker)
+                    for start, end, speaker in speaker_turns]
+        candidates[predicate.alias] &= surviving
+        bind_nodes[predicate.alias].add(PlanNode(
+            "AudioProbe",
+            f"{predicate.alias}.{predicate.attribute} KIND "
+            f"{predicate.kind}",
+            {"in": before, "out": len(candidates[predicate.alias])}))
+
+    result.candidates_considered = sum(len(keys)
+                                       for keys in candidates.values())
+
+    # 2. joins: build the connected row set
+    rows = _join_rows(query, candidates, index, join_root)
+
+    # 3. rank by summed content scores, project, cut to top-N
+    scored_rows: list[ResultRow] = []
+    for keys in rows:
+        row = ResultRow(keys=dict(keys))
+        row.score = sum(scores[alias].get(key, 0.0)
+                        for alias, key in keys.items())
+        for alias, key in keys.items():
+            if alias in shots and key in shots[alias]:
+                row.shots[alias] = shots[alias][key]
+            if alias in turns and key in turns[alias]:
+                row.turns[alias] = turns[alias][key]
+        for alias, attribute in query.projections:
+            cls = query.cls_of(alias)
+            values = index.attribute_values(cls, attribute)
+            row.values[f"{alias}.{attribute}"] = values.get(keys[alias])
+        scored_rows.append(row)
+    scored_rows.sort(key=lambda row: (-row.score,
+                                      tuple(sorted(row.keys.items()))))
+    rank_node.counter("rows", len(scored_rows))
+    result.rows = scored_rows[:query.limit]
+    plan.counter("rows", len(result.rows))
+    result.tuples_touched = index.store.server.tuples_touched
+    plan.counter("tuples_touched", result.tuples_touched)
+    result.plan = plan
+    return result
+
+
+def _join_rows(query: WebspaceQuery, candidates: dict[str, set[str]],
+               index: ConceptualIndex,
+               plan: PlanNode | None = None) -> list[dict[str, str]]:
+    """Combine per-binding candidates through the association joins."""
+    aliases = [binding.alias for binding in query.bindings]
+    if len(aliases) == 1:
+        alias = aliases[0]
+        return [{alias: key} for key in sorted(candidates[alias])]
+
+    rows: list[dict[str, str]] = [
+        {aliases[0]: key} for key in sorted(candidates[aliases[0]])]
+    remaining_joins = list(query.joins)
+    bound = {aliases[0]}
+    while remaining_joins:
+        progressed = False
+        for join in list(remaining_joins):
+            if join.source_alias in bound or join.target_alias in bound:
+                rows = _apply_join(rows, join, candidates, index, bound)
+                if plan is not None:
+                    plan.add(PlanNode(
+                        "AssocJoin",
+                        f"{join.source_alias} -{join.association}-> "
+                        f"{join.target_alias}",
+                        {"pairs": len(index.association_pairs(
+                            join.association)),
+                         "rows": len(rows)}))
+                remaining_joins.remove(join)
+                bound.add(join.source_alias)
+                bound.add(join.target_alias)
+                progressed = True
+        if not progressed:  # validate() guarantees connectivity
+            raise QueryError("join graph is not connected")
+    return rows
+
+
+def _apply_join(rows: list[dict[str, str]], join, candidates, index,
+                bound: set[str]) -> list[dict[str, str]]:
+    pairs = index.association_pairs(join.association)
+    by_source: dict[str, list[str]] = defaultdict(list)
+    by_target: dict[str, list[str]] = defaultdict(list)
+    for source, target in pairs:
+        by_source[source].append(target)
+        by_target[target].append(source)
+
+    next_rows: list[dict[str, str]] = []
+    source_bound = join.source_alias in bound
+    target_bound = join.target_alias in bound
+    for row in rows:
+        if source_bound and target_bound:
+            if row[join.target_alias] in by_source.get(
+                    row[join.source_alias], ()):
+                next_rows.append(row)
+        elif source_bound:
+            for target in by_source.get(row[join.source_alias], ()):
+                if target in candidates[join.target_alias]:
+                    extended = dict(row)
+                    extended[join.target_alias] = target
+                    next_rows.append(extended)
+        else:
+            for source in by_target.get(row[join.target_alias], ()):
+                if source in candidates[join.source_alias]:
+                    extended = dict(row)
+                    extended[join.source_alias] = source
+                    next_rows.append(extended)
+    return next_rows

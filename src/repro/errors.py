@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AtomTypeError(ReproError):
+    """A value does not conform to its declared atom ADT."""
+
+
+class CatalogError(ReproError):
+    """A named relation is missing or already exists in a catalog."""
+
+
+class BatError(ReproError):
+    """An invalid operation on a binary association table."""
+
+
+class XmlSyntaxError(ReproError):
+    """The XML tokenizer met malformed input."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class XmlStoreError(ReproError):
+    """An invalid operation on the XML store (unknown document, bad path)."""
+
+
+class PathExpressionError(ReproError):
+    """A path expression could not be parsed or evaluated."""
+
+
+class GrammarSyntaxError(ReproError):
+    """The feature grammar source could not be parsed."""
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        location = f" (line {line}, column {column})" if line >= 0 else ""
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class GrammarSemanticsError(ReproError):
+    """The feature grammar is syntactically valid but inconsistent."""
+
+
+class DetectorError(ReproError):
+    """A detector implementation failed or is missing."""
+
+
+class ParseError(ReproError):
+    """The Feature Detector Engine rejected an input sentence."""
+
+
+class SchedulerError(ReproError):
+    """The Feature Detector Scheduler met an inconsistent state."""
+
+
+class SchemaError(ReproError):
+    """A webspace schema definition or instance is inconsistent."""
+
+
+class QueryError(ReproError):
+    """A conceptual query is malformed or references unknown concepts."""
+
+
+class WebError(ReproError):
+    """A simulated web access failed (unknown URL, bad HTML)."""
+
+
+class VideoError(ReproError):
+    """Invalid video data or analysis parameters."""

@@ -1,0 +1,41 @@
+"""The Acoi feature grammar system: the paper's logical level.
+
+Public surface:
+
+* :func:`~repro.featuregrammar.parser.parse_grammar` — load a grammar,
+* :class:`~repro.featuregrammar.detectors.DetectorRegistry` — bind
+  implementations (local or via simulated RPC transports),
+* :class:`~repro.featuregrammar.fde.FDE` — the Feature Detector Engine,
+* :class:`~repro.featuregrammar.fds.FDS` — the Feature Detector
+  Scheduler for incremental maintenance,
+* :class:`~repro.featuregrammar.dependency.DependencyGraph` — Fig 8,
+* :func:`~repro.featuregrammar.parsetree.tree_to_xml` — hand parse trees
+  to the physical level.
+"""
+
+from repro.featuregrammar.ast import (DetectorDecl, Grammar, Multiplicity,
+                                      Rule, StartDecl, SymbolKind, Term,
+                                      TreePath)
+from repro.featuregrammar.dependency import DependencyEdge, DependencyGraph
+from repro.featuregrammar.detectors import DetectorImpl, DetectorRegistry
+from repro.featuregrammar.fde import FDE, ParseOutcome
+from repro.featuregrammar.fds import FDS, MaintenanceReport, Priority
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.parsetree import NodeKind, ParseNode, tree_to_xml
+from repro.featuregrammar.rpc import (RpcServer, Transport, TransportRegistry,
+                                      default_transports)
+from repro.featuregrammar.tokens import (CopyingTokenStack, SharedTokenStack,
+                                         Token)
+from repro.featuregrammar.versions import ChangeLevel, Version
+
+__all__ = [
+    "Grammar", "Rule", "Term", "TreePath", "DetectorDecl", "StartDecl",
+    "SymbolKind", "Multiplicity", "parse_grammar",
+    "DetectorRegistry", "DetectorImpl",
+    "FDE", "ParseOutcome", "FDS", "MaintenanceReport", "Priority",
+    "DependencyGraph", "DependencyEdge",
+    "NodeKind", "ParseNode", "tree_to_xml",
+    "RpcServer", "Transport", "TransportRegistry", "default_transports",
+    "SharedTokenStack", "CopyingTokenStack", "Token",
+    "ChangeLevel", "Version",
+]

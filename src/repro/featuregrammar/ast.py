@@ -1,0 +1,262 @@
+"""Abstract syntax of the feature grammar language.
+
+A feature grammar is "a context-free grammar with some extensions related
+to a special set of variables called detectors": formally a quintuple
+``G = (V, D, T, S, P)``.  This module defines the data model the grammar
+parser produces and the FDE/FDS consume:
+
+* :class:`Grammar` — the quintuple plus declarations,
+* :class:`Rule` / :class:`Term` — productions in regular-right-part form
+  (``?``, ``*``, ``+`` multiplicities, literals, ``&`` references),
+* :class:`DetectorDecl` — black/whitebox detectors, parameter paths,
+  hooks (init/final/begin/end) and optional external protocol,
+* :class:`TreePath` — dotted paths into the parse tree (detector inputs
+  and whitebox predicate operands).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import GrammarSemanticsError
+from repro.monetdb.atoms import AtomType, atom_type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.featuregrammar.predicate import Predicate
+
+__all__ = [
+    "SymbolKind", "Multiplicity", "TreePath", "Term", "Rule",
+    "DetectorDecl", "StartDecl", "Grammar",
+]
+
+
+class SymbolKind(enum.Enum):
+    """Classification of grammar symbols after semantic analysis."""
+
+    ATOM = "atom"          # terminal with a declared ADT
+    VARIABLE = "variable"  # nonterminal with production rules
+    DETECTOR = "detector"  # variable bound to an extraction algorithm
+
+
+class Multiplicity(enum.Enum):
+    """Regular-right-part occurrence counts."""
+
+    ONE = ""
+    OPTIONAL = "?"
+    STAR = "*"
+    PLUS = "+"
+
+    @property
+    def lower_bound(self) -> int:
+        return 0 if self in (Multiplicity.OPTIONAL, Multiplicity.STAR) else 1
+
+    @property
+    def repeatable(self) -> bool:
+        return self in (Multiplicity.STAR, Multiplicity.PLUS)
+
+
+@dataclass(frozen=True)
+class TreePath:
+    """A dotted path such as ``begin.frameNo`` or ``player.yPos``.
+
+    Paths "always refer to available nodes in the parse tree", i.e. to
+    preceding symbols; resolution walks enclosing contexts left-to-right
+    (see :mod:`repro.featuregrammar.paths`).
+    """
+
+    steps: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise GrammarSemanticsError("empty tree path")
+
+    @classmethod
+    def parse(cls, source: str) -> "TreePath":
+        return cls(tuple(part for part in source.split(".") if part))
+
+    def __str__(self) -> str:
+        return ".".join(self.steps)
+
+
+@dataclass(frozen=True)
+class Term:
+    """One item in a production's right-hand side."""
+
+    symbol: str                      # symbol name, or literal text
+    multiplicity: Multiplicity = Multiplicity.ONE
+    literal: bool = False            # a quoted "string" terminal
+    reference: bool = False          # &symbol — structure sharing
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        text = f'"{self.symbol}"' if self.literal else self.symbol
+        if self.reference:
+            text = "&" + text
+        return text + self.multiplicity.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One production alternative ``lhs : terms ;``."""
+
+    lhs: str
+    terms: tuple[Term, ...]
+
+    def last_obligatory(self) -> Term | None:
+        """The last term with a lower bound > 0 (rule-dependency anchor)."""
+        for term in reversed(self.terms):
+            if term.multiplicity.lower_bound > 0:
+                return term
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.lhs} : {' '.join(str(t) for t in self.terms)};"
+
+
+@dataclass
+class DetectorDecl:
+    """Declaration of a detector symbol.
+
+    Blackbox detectors carry parameter paths and an optional external
+    protocol prefix (``xml-rpc::segment``); whitebox detectors carry a
+    predicate over the parse tree instead of an implementation.
+    """
+
+    name: str
+    parameters: tuple[TreePath, ...] = ()
+    protocol: str | None = None
+    predicate: "Predicate | None" = None
+    hooks: set[str] = field(default_factory=set)  # init/final/begin/end
+
+    @property
+    def whitebox(self) -> bool:
+        return self.predicate is not None
+
+    @property
+    def blackbox(self) -> bool:
+        return self.predicate is None
+
+
+@dataclass(frozen=True)
+class StartDecl:
+    """``%start MMO(location);`` — start symbol + minimum token set."""
+
+    symbol: str
+    parameters: tuple[str, ...]
+
+
+class Grammar:
+    """A complete feature grammar: declarations plus productions."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.start: StartDecl | None = None
+        self.atoms: dict[str, AtomType] = {}
+        self.detectors: dict[str, DetectorDecl] = {}
+        self.rules: dict[str, list[Rule]] = {}
+        self.rule_order: list[Rule] = []
+        self.implicit_atoms: list[str] = []  # undeclared leaf symbols
+
+    # -- construction (used by the grammar parser) -----------------------
+
+    def declare_atom(self, type_name: str, *names: str) -> None:
+        """``%atom flt xPos,yPos;`` — or ``%atom url;`` for a new ADT."""
+        adt = atom_type(type_name)
+        for name in names:
+            if name in self.atoms:
+                raise GrammarSemanticsError(f"atom {name!r} declared twice")
+            self.atoms[name] = adt
+
+    def declare_detector(self, decl: DetectorDecl) -> None:
+        existing = self.detectors.get(decl.name)
+        if existing is not None:
+            raise GrammarSemanticsError(
+                f"detector {decl.name!r} declared twice")
+        self.detectors[decl.name] = decl
+
+    def declare_hook(self, detector_name: str, hook: str) -> None:
+        """``%detector header.init();`` — attach a lifecycle hook."""
+        decl = self.detectors.get(detector_name)
+        if decl is None:
+            raise GrammarSemanticsError(
+                f"hook on undeclared detector {detector_name!r}")
+        if hook not in ("init", "final", "begin", "end"):
+            raise GrammarSemanticsError(f"unknown hook {hook!r}")
+        decl.hooks.add(hook)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.setdefault(rule.lhs, []).append(rule)
+        self.rule_order.append(rule)
+
+    # -- semantic analysis -------------------------------------------------
+
+    def kind_of(self, symbol: str) -> SymbolKind:
+        """Classify a symbol (after :meth:`validate`)."""
+        if symbol in self.detectors:
+            return SymbolKind.DETECTOR
+        if symbol in self.atoms:
+            return SymbolKind.ATOM
+        if symbol in self.rules:
+            return SymbolKind.VARIABLE
+        raise GrammarSemanticsError(f"unknown symbol {symbol!r}")
+
+    def atom_of(self, symbol: str) -> AtomType:
+        try:
+            return self.atoms[symbol]
+        except KeyError:
+            raise GrammarSemanticsError(
+                f"symbol {symbol!r} is not an atom") from None
+
+    def alternatives(self, symbol: str) -> list[Rule]:
+        """Production alternatives for a variable or detector symbol."""
+        return self.rules.get(symbol, [])
+
+    def symbols(self) -> set[str]:
+        """All symbols mentioned anywhere in the grammar."""
+        names: set[str] = set(self.atoms) | set(self.detectors)
+        names.update(self.rules)
+        for rule in self.rule_order:
+            for term in rule.terms:
+                if not term.literal:
+                    names.add(term.symbol)
+        return names
+
+    def validate(self) -> None:
+        """Check global consistency; promote undeclared leaves to str atoms.
+
+        The paper shows partial grammar fragments (Fig 14) whose leaf
+        symbols (``word``, ``title``) are declared elsewhere; to load
+        such fragments verbatim, any symbol that is never an LHS and
+        never declared becomes an implicit ``str`` atom, recorded in
+        :attr:`implicit_atoms` so callers can surface a warning.
+        """
+        if self.start is None:
+            raise GrammarSemanticsError("grammar has no %start declaration")
+        for rule in self.rule_order:
+            for term in rule.terms:
+                if term.literal:
+                    continue
+                symbol = term.symbol
+                known = (symbol in self.atoms or symbol in self.detectors
+                         or symbol in self.rules)
+                if not known:
+                    self.atoms[symbol] = atom_type("str")
+                    self.implicit_atoms.append(symbol)
+        if (self.start.symbol not in self.rules
+                and self.start.symbol not in self.detectors):
+            raise GrammarSemanticsError(
+                f"start symbol {self.start.symbol!r} has no production")
+        for name in self.detectors:
+            if name in self.atoms:
+                # whitebox detectors may double as (bit) atoms: netplay
+                continue
+        for name, decl in self.detectors.items():
+            if decl.whitebox and name not in self.atoms:
+                # a whitebox detector's value is its truth: a bit atom
+                self.atoms[name] = atom_type("bit")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Grammar({self.name or '<anonymous>'}: "
+                f"{len(self.rules)} variables, {len(self.detectors)} "
+                f"detectors, {len(self.atoms)} atoms)")

@@ -1,0 +1,182 @@
+"""The grammar dependency graph (paper Fig. 8).
+
+Three edge types connect the grammar's symbols:
+
+1. **sibling** — symbols appearing together in one right-hand side
+   influence each other's validity ("header depends on location and vice
+   versa"),
+2. **rule** — a left-hand symbol depends on the validity of the *last
+   obligatory* symbol of each alternative (``MMO`` depends on ``header``,
+   not on the optional ``mm_type``),
+3. **parameter** — a detector depends on the symbols its input paths
+   (or whitebox predicate paths) mention.
+
+The FDS reads two closures off this graph: the *downward* closure (which
+nodes a changed detector invalidates) and the *upward* walk (which
+enclosing detector or start symbol absorbs an invalid subtree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.featuregrammar.ast import Grammar
+
+__all__ = ["DependencyGraph", "DependencyEdge"]
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """A typed edge: ``source`` depends on ``target``."""
+
+    source: str
+    target: str
+    kind: str  # "sibling" | "rule" | "parameter"
+
+
+@dataclass
+class DependencyGraph:
+    """Typed dependency edges plus the traversals the FDS needs."""
+
+    grammar: Grammar
+    edges: list[DependencyEdge] = field(default_factory=list)
+    _rule_targets: dict[str, set[str]] = field(default_factory=dict)
+    _siblings: dict[str, set[str]] = field(default_factory=dict)
+    _parameters: dict[str, set[str]] = field(default_factory=dict)
+    _containers: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_grammar(cls, grammar: Grammar) -> "DependencyGraph":
+        graph = cls(grammar)
+        for rule in grammar.rule_order:
+            symbols = [term.symbol for term in rule.terms if not term.literal]
+            # sibling edges (both directions)
+            for index, left in enumerate(symbols):
+                for right in symbols[index + 1:]:
+                    if left != right:
+                        graph._add("sibling", left, right)
+                        graph._add("sibling", right, left)
+            # rule edge to the last obligatory symbol
+            last = rule.last_obligatory()
+            if last is not None and not last.literal:
+                graph._add("rule", rule.lhs, last.symbol)
+            # containment (for the upward walk): lhs contains every symbol
+            for symbol in symbols:
+                graph._containers.setdefault(symbol, set()).add(rule.lhs)
+        # parameter edges
+        for name, decl in grammar.detectors.items():
+            paths = list(decl.parameters)
+            if decl.predicate is not None:
+                paths.extend(decl.predicate.paths())
+            for path in paths:
+                for step in path.steps:
+                    if step in grammar.symbols():
+                        graph._add("parameter", name, step)
+        return graph
+
+    def _add(self, kind: str, source: str, target: str) -> None:
+        edge = DependencyEdge(source, target, kind)
+        if edge in self.edges:
+            return
+        self.edges.append(edge)
+        if kind == "rule":
+            self._rule_targets.setdefault(source, set()).add(target)
+        elif kind == "sibling":
+            self._siblings.setdefault(source, set()).add(target)
+        elif kind == "parameter":
+            self._parameters.setdefault(source, set()).add(target)
+
+    # -- queries -----------------------------------------------------------
+
+    def edges_of_kind(self, kind: str) -> list[DependencyEdge]:
+        return [edge for edge in self.edges if edge.kind == kind]
+
+    def rule_targets(self, symbol: str) -> set[str]:
+        return self._rule_targets.get(symbol, set())
+
+    def siblings(self, symbol: str) -> set[str]:
+        return self._siblings.get(symbol, set())
+
+    def parameters(self, detector: str) -> set[str]:
+        return self._parameters.get(detector, set())
+
+    def downward_closure(self, symbol: str) -> set[str]:
+        """Symbols invalidated when ``symbol`` changes.
+
+        Follows rule edges downward, pulling in the siblings of each
+        symbol reached *through a rule edge* — reproducing the paper's
+        header example: {header, MIME_type, secondary, primary}.
+        """
+        closure: set[str] = {symbol}
+        frontier = [symbol]
+        while frontier:
+            current = frontier.pop()
+            for target in self.rule_targets(current):
+                for candidate in {target} | self.siblings(target):
+                    if candidate not in closure:
+                        closure.add(candidate)
+                        frontier.append(candidate)
+        return closure
+
+    def parameter_dependents(self, symbols: set[str]) -> set[str]:
+        """Detectors whose parameter paths mention any of ``symbols``."""
+        dependents: set[str] = set()
+        for detector, used in self._parameters.items():
+            if used & symbols:
+                dependents.add(detector)
+        return dependents
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz DOT (the Fig 8 picture).
+
+        Node shapes follow the figure's legend: atoms are plain boxes,
+        variables rounded, detectors diamonds; edge styles distinguish
+        rule (solid), sibling (dashed) and parameter (dotted) edges.
+        """
+        from repro.featuregrammar.ast import SymbolKind
+
+        lines = ["digraph dependencies {", "  rankdir=BT;"]
+        for symbol in sorted(self.grammar.symbols()):
+            try:
+                kind = self.grammar.kind_of(symbol)
+            except Exception:
+                continue
+            shape = {SymbolKind.ATOM: "box",
+                     SymbolKind.VARIABLE: "ellipse",
+                     SymbolKind.DETECTOR: "diamond"}[kind]
+            lines.append(f'  "{symbol}" [shape={shape}];')
+        styles = {"rule": "solid", "sibling": "dashed",
+                  "parameter": "dotted"}
+        for edge in self.edges:
+            if edge.kind == "sibling" and edge.source > edge.target:
+                continue  # draw each sibling pair once, undirected
+            arrow = ("dir=none" if edge.kind == "sibling"
+                     else "dir=forward")
+            lines.append(
+                f'  "{edge.source}" -> "{edge.target}" '
+                f'[style={styles[edge.kind]}, {arrow}, '
+                f'label="{edge.kind}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def upward_detectors(self, symbol: str) -> set[str]:
+        """The nearest enclosing detectors (or the start symbol).
+
+        "the rule and sibling dependencies are followed upward to the
+        first detector or start symbol which is marked invalid."
+        """
+        start = self.grammar.start.symbol if self.grammar.start else None
+        found: set[str] = set()
+        seen: set[str] = {symbol}
+        frontier = [symbol]
+        while frontier:
+            current = frontier.pop()
+            for container in self._containers.get(current, set()):
+                if container in seen:
+                    continue
+                seen.add(container)
+                if container in self.grammar.detectors or container == start:
+                    found.add(container)
+                else:
+                    frontier.append(container)
+        return found

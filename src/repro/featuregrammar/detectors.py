@@ -1,0 +1,135 @@
+"""The detector registry: implementations, hooks, versions, accounting.
+
+A blackbox detector is "a variable bound to a feature extraction
+algorithm"; the grammar only declares its inputs (tree paths) and its
+outputs (its production rules).  Implementations are registered here by
+name — locally (the "linked C code" case) or on an RPC server reached
+through a protocol transport (``xml-rpc::segment``).
+
+The registry also tracks per-detector :class:`Version` numbers and an
+execution counter; the FDS reads the former and the incremental-
+maintenance benchmarks read the latter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DetectorError
+from repro.featuregrammar.rpc import TransportRegistry
+from repro.featuregrammar.versions import Version
+
+__all__ = ["DetectorImpl", "DetectorRegistry"]
+
+Implementation = Callable[..., Any]
+Hook = Callable[[], None]
+
+
+@dataclass
+class DetectorImpl:
+    """A registered implementation plus its lifecycle state."""
+
+    name: str
+    function: Implementation
+    version: Version = Version(1, 0, 0)
+    protocol: str | None = None
+    hooks: dict[str, Hook] = field(default_factory=dict)
+    executions: int = 0
+    initialized: bool = False
+
+
+class DetectorRegistry:
+    """Name -> implementation, with hook and transport dispatch."""
+
+    def __init__(self, transports: TransportRegistry | None = None):
+        self._detectors: dict[str, DetectorImpl] = {}
+        self.transports = transports or TransportRegistry()
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, name: str, function: Implementation,
+                 version: str | Version = "1.0.0",
+                 protocol: str | None = None) -> DetectorImpl:
+        """Register (or re-register) a detector implementation."""
+        if isinstance(version, str):
+            version = Version.parse(version)
+        impl = DetectorImpl(name, function, version, protocol)
+        self._detectors[name] = impl
+        return impl
+
+    def register_hook(self, detector: str, hook: str,
+                      function: Hook) -> None:
+        self.get(detector).hooks[hook] = function
+
+    def remote(self, protocol: str, name: str,
+               version: str | Version = "1.0.0") -> DetectorImpl:
+        """Register a detector whose implementation lives on a transport."""
+        transport = self.transports.get(protocol)
+
+        def call_remote(*arguments: Any) -> Any:
+            return transport.call(name, arguments)
+
+        return self.register(name, call_remote, version, protocol=protocol)
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, name: str) -> DetectorImpl:
+        try:
+            return self._detectors[name]
+        except KeyError:
+            raise DetectorError(
+                f"no implementation registered for detector {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._detectors
+
+    def version(self, name: str) -> Version:
+        return self.get(name).version
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(self, name: str, arguments: tuple[Any, ...]) -> Any:
+        """Run a detector implementation, counting the execution."""
+        impl = self.get(name)
+        impl.executions += 1
+        try:
+            return impl.function(*arguments)
+        except DetectorError:
+            raise
+        except Exception as exc:
+            raise DetectorError(f"detector {name!r} failed: {exc}") from exc
+
+    def run_hook(self, name: str, hook: str) -> bool:
+        """Run a lifecycle hook if registered; returns whether it ran."""
+        impl = self._detectors.get(name)
+        if impl is None:
+            return False
+        function = impl.hooks.get(hook)
+        if function is None:
+            return False
+        function()
+        if hook == "init":
+            impl.initialized = True
+        return True
+
+    # -- accounting ----------------------------------------------------------
+
+    def executions(self, name: str | None = None) -> int:
+        """Execution count of one detector, or of all detectors."""
+        if name is not None:
+            return self.get(name).executions
+        return sum(impl.executions for impl in self._detectors.values())
+
+    def reset_executions(self) -> None:
+        for impl in self._detectors.values():
+            impl.executions = 0
+
+    def set_version(self, name: str, version: str | Version) -> Version:
+        """Update a detector's version; returns the OLD version."""
+        impl = self.get(name)
+        old = impl.version
+        impl.version = (Version.parse(version) if isinstance(version, str)
+                        else version)
+        return old

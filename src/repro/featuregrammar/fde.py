@@ -1,0 +1,424 @@
+"""The Feature Detector Engine (FDE).
+
+"The current FDE implementation uses a recursive descent algorithm ...
+the FDE works top-down and left-to-right by trying to prove that the
+start symbol of the grammar is valid.  While doing this the FDE manages
+a stack of tokens (the input sentence), a parse tree, and a set of
+feature detectors.  Tokens are matched against the production rules and
+move from the stack to the parse tree.  Upon its way through the
+production rules the FDE encounters the detector symbols and executes
+their associated algorithms.  The algorithms produce new tokens which
+are pushed on the token stack."
+
+Backtracking is generator-based: every parse function lazily yields the
+possible token-stack versions left after matching, and un-does its tree
+mutations when a caller asks for the next possibility.  Stack versions
+share suffixes (:mod:`repro.featuregrammar.tokens`), exactly the
+resource-sharing argument of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import DetectorError, ParseError
+from repro.featuregrammar.ast import Grammar, Multiplicity, SymbolKind, Term
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.parsetree import NodeKind, ParseNode
+from repro.featuregrammar.paths import resolve_value
+from repro.featuregrammar.tokens import Token, make_stack
+
+__all__ = ["FDE", "ParseOutcome"]
+
+
+@dataclass
+class ParseOutcome:
+    """A successful parse plus the accounting counters."""
+
+    tree: ParseNode
+    references: list[tuple[str, Any]] = field(default_factory=list)
+    detector_calls: int = 0
+    backtracks: int = 0
+    nodes: int = 0
+    leftover_tokens: int = 0
+
+
+def _flatten(values: Any) -> Iterator[Any]:
+    if isinstance(values, (list, tuple)):
+        for value in values:
+            yield from _flatten(value)
+    elif values is not None:
+        yield values
+
+
+class FDE:
+    """A parser generated from one feature grammar."""
+
+    def __init__(self, grammar: Grammar, registry: DetectorRegistry,
+                 shared_stacks: bool = True):
+        self.grammar = grammar
+        self.registry = registry
+        self.shared_stacks = shared_stacks
+        self._seen_symbols: set[str] = set()
+        self._initialized: list[str] = []
+        self._detector_calls = 0
+        self._backtracks = 0
+        self._nodes = 0
+        self._references: list[tuple[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def parse(self, *start_tokens: Any) -> ParseOutcome:
+        """Prove the start symbol from the minimum token set.
+
+        ``start_tokens`` are the values declared by ``%start`` (e.g. the
+        location url of an MMO).  Raises :class:`ParseError` when the
+        sentence is not in L(G).
+        """
+        start = self.grammar.start
+        assert start is not None  # grammar.validate() guarantees this
+        if len(start_tokens) < len(start.parameters):
+            raise ParseError(
+                f"start symbol {start.symbol} needs "
+                f"{len(start.parameters)} initial tokens "
+                f"({', '.join(start.parameters)}), got {len(start_tokens)}")
+        self._reset_counters()
+        stack = make_stack([Token(value) for value in start_tokens],
+                           shared=self.shared_stacks)
+        holder = ParseNode("<holder>", NodeKind.VARIABLE)
+        term = Term(start.symbol)
+        outcome_stack = None
+        # Membership in L(G) means the whole sentence is explained: accept
+        # the first reading that consumes every token (detector outputs
+        # included), backtracking over readings that leave tokens behind.
+        for left in self._parse_single(term, holder, stack):
+            if left.is_empty():
+                outcome_stack = left
+                break
+        self._run_finals()
+        if outcome_stack is None or not holder.children:
+            raise ParseError(
+                f"input is not in L({self.grammar.name or 'G'}) for start "
+                f"symbol {start.symbol}")
+        tree = holder.children[0]
+        tree.parent = None
+        references = [(node.name, node.reference_key)
+                      for node in tree.walk()
+                      if node.kind == NodeKind.REFERENCE]
+        return ParseOutcome(
+            tree=tree,
+            references=references,
+            detector_calls=self._detector_calls,
+            backtracks=self._backtracks,
+            nodes=self._nodes,
+            leftover_tokens=len(outcome_stack),
+        )
+
+    def reparse_detector(self, node: ParseNode) -> bool:
+        """Incrementally re-parse one detector node in an existing tree.
+
+        Used by the FDS: the node keeps its identity and position; its
+        children are rebuilt by re-running the detector against the
+        current tree context.  Returns whether the re-parse succeeded
+        (on failure the node is left marked invalid with no children).
+        """
+        if node.kind != NodeKind.DETECTOR:
+            raise ParseError(f"not a detector node: {node.name!r}")
+        decl = self.grammar.detectors[node.name]
+        old_children = node.children
+        node.children = []
+        node.valid = True
+        if decl.whitebox:
+            context = node
+            truth = decl.predicate.evaluate(context)
+            node.value = truth
+            node.detector_version = self.registry.version(node.name) \
+                if node.name in self.registry else node.detector_version
+            if not truth:
+                node.valid = False
+                node.children = old_children  # keep data, marked invalid
+                for child in node.children:
+                    child.parent = node
+                node.invalidate()
+            return truth
+        try:
+            arguments = tuple(resolve_value(node, path)
+                              for path in decl.parameters)
+            outputs = self.registry.execute(node.name, arguments)
+            self._detector_calls += 1
+        except DetectorError:
+            node.valid = False
+            return False
+        tokens = [Token(value, producer=node.name)
+                  for value in _flatten(outputs)]
+        stack = make_stack(tokens, shared=self.shared_stacks)
+        node.detector_version = self.registry.version(node.name)
+        for left in self._parse_alternatives(node.name, node, stack):
+            return True
+        self._backtracks += 1
+        node.valid = False
+        node.children = []
+        return False
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _reset_counters(self) -> None:
+        self._detector_calls = 0
+        self._backtracks = 0
+        self._nodes = 0
+        self._references = []
+        self._seen_symbols = set()
+        self._initialized = []
+
+    def _new_node(self, name: str, kind: NodeKind, **kwargs: Any
+                  ) -> ParseNode:
+        self._nodes += 1
+        return ParseNode(name, kind, **kwargs)
+
+    # -- sequences and multiplicities --------------------------------------
+
+    def _parse_sequence(self, terms: tuple[Term, ...], index: int,
+                        parent: ParseNode, stack) -> Iterator[Any]:
+        if index == len(terms):
+            yield stack
+            return
+        term = terms[index]
+        for after_term in self._parse_term(term, parent, stack):
+            yield from self._parse_sequence(terms, index + 1, parent,
+                                            after_term)
+
+    def _parse_term(self, term: Term, parent: ParseNode, stack
+                    ) -> Iterator[Any]:
+        multiplicity = term.multiplicity
+        if multiplicity == Multiplicity.ONE:
+            yield from self._parse_single(term, parent, stack)
+        elif multiplicity == Multiplicity.OPTIONAL:
+            produced = False
+            for after in self._parse_single(term, parent, stack):
+                produced = True
+                yield after
+            if not produced:
+                self._backtracks += 1
+            yield stack  # the zero-occurrence reading
+        else:
+            minimum = multiplicity.lower_bound
+            yield from self._parse_repeat(term, parent, stack, minimum)
+
+    def _parse_repeat(self, term: Term, parent: ParseNode, stack,
+                      minimum: int) -> Iterator[Any]:
+        """Greedy longest-first matching for ``*`` and ``+``.
+
+        Iterative on purpose: a video shot contributes hundreds of
+        ``frame`` occurrences and recursive repetition would exhaust the
+        interpreter stack.  One live generator is kept per occurrence;
+        on continuation failure the deepest occurrence is asked for its
+        next reading (re-extending greedily), and when it is exhausted
+        the shorter prefix is offered — full backtracking, O(1) Python
+        recursion depth in the occurrence count.
+        """
+        generators: list[Iterator[Any]] = []
+        stacks = [stack]
+
+        def extend_greedily() -> None:
+            while True:
+                generator = self._parse_single(term, parent, stacks[-1])
+                try:
+                    after = next(generator)
+                except StopIteration:
+                    return
+                generators.append(generator)
+                stacks.append(after)
+
+        extend_greedily()
+        while True:
+            if len(generators) >= minimum:
+                yield stacks[-1]
+                self._backtracks += 1  # the consumer rejected this reading
+            advanced = False
+            while generators:
+                try:
+                    # resuming pops the occurrence's old subtree and, on
+                    # success, attaches its next reading
+                    after = next(generators[-1])
+                except StopIteration:
+                    # occurrence exhausted (its subtree already removed):
+                    # the shorter prefix is itself the next reading
+                    generators.pop()
+                    stacks.pop()
+                    advanced = True
+                    break
+                stacks[-1] = after
+                extend_greedily()
+                advanced = True
+                break
+            if not advanced:
+                return
+
+    # -- single symbols --------------------------------------------------
+
+    def _parse_single(self, term: Term, parent: ParseNode, stack
+                      ) -> Iterator[Any]:
+        if term.reference:
+            yield from self._parse_reference(term, parent, stack)
+            return
+        if term.literal:
+            yield from self._parse_literal(term, parent, stack)
+            return
+        kind = self.grammar.kind_of(term.symbol)
+        if kind == SymbolKind.DETECTOR:
+            yield from self._parse_detector(term.symbol, parent, stack)
+        elif kind == SymbolKind.ATOM:
+            yield from self._parse_atom(term.symbol, parent, stack)
+        else:
+            yield from self._parse_variable(term.symbol, parent, stack)
+
+    def _parse_literal(self, term: Term, parent: ParseNode, stack
+                       ) -> Iterator[Any]:
+        if stack.is_empty():
+            return
+        token, rest = stack.pop()
+        if token.value != term.symbol:
+            return
+        node = self._new_node(term.symbol, NodeKind.LITERAL,
+                              value=token.value)
+        parent.add(node)
+        yield rest
+        parent.children.pop()
+        node.parent = None
+
+    def _parse_atom(self, symbol: str, parent: ParseNode, stack
+                    ) -> Iterator[Any]:
+        if stack.is_empty():
+            return
+        token, rest = stack.pop()
+        adt = self.grammar.atom_of(symbol)
+        if not adt.accepts(token.value):
+            return
+        node = self._new_node(symbol, NodeKind.ATOM,
+                              value=adt.coerce(token.value))
+        parent.add(node)
+        yield rest
+        parent.children.pop()
+        node.parent = None
+
+    def _parse_variable(self, symbol: str, parent: ParseNode, stack
+                        ) -> Iterator[Any]:
+        node = self._new_node(symbol, NodeKind.VARIABLE)
+        parent.add(node)
+        produced = False
+        for left in self._parse_alternatives(symbol, node, stack):
+            produced = True
+            yield left
+        if not produced:
+            self._backtracks += 1
+        parent.children.pop()
+        node.parent = None
+
+    def _parse_alternatives(self, symbol: str, node: ParseNode, stack
+                            ) -> Iterator[Any]:
+        for rule in self.grammar.alternatives(symbol):
+            saved = len(node.children)
+            produced = False
+            for left in self._parse_sequence(rule.terms, 0, node, stack):
+                produced = True
+                yield left
+            if not produced:
+                self._backtracks += 1
+            del node.children[saved:]
+
+    def _parse_reference(self, term: Term, parent: ParseNode, stack
+                         ) -> Iterator[Any]:
+        """&symbol — consume the identifying token, record the link.
+
+        References realise structure sharing: the referenced object is
+        parsed (at most once) by its own FDE run; here we only record
+        the link key so the driving engine can schedule that run.
+        """
+        if stack.is_empty():
+            return
+        token, rest = stack.pop()
+        node = self._new_node(term.symbol, NodeKind.REFERENCE,
+                              reference_key=token.value)
+        parent.add(node)
+        yield rest
+        parent.children.pop()
+        node.parent = None
+
+    # -- detectors ---------------------------------------------------------
+
+    def _hooks(self, symbol: str, moment: str) -> None:
+        if symbol not in self.grammar.detectors:
+            return
+        decl = self.grammar.detectors[symbol]
+        if moment == "begin":
+            if "init" in decl.hooks and symbol not in self._seen_symbols:
+                if self.registry.run_hook(symbol, "init"):
+                    self._initialized.append(symbol)
+            self._seen_symbols.add(symbol)
+            if "begin" in decl.hooks:
+                self.registry.run_hook(symbol, "begin")
+        elif moment == "end" and "end" in decl.hooks:
+            self.registry.run_hook(symbol, "end")
+
+    def _run_finals(self) -> None:
+        for symbol in self._initialized:
+            self.registry.run_hook(symbol, "final")
+
+    def _parse_detector(self, symbol: str, parent: ParseNode, stack
+                        ) -> Iterator[Any]:
+        decl = self.grammar.detectors[symbol]
+        self._hooks(symbol, "begin")
+        if decl.whitebox:
+            node = self._new_node(symbol, NodeKind.DETECTOR)
+            parent.add(node)
+            try:
+                truth = decl.predicate.evaluate(node)
+            except DetectorError:
+                truth = False
+            if truth:
+                node.value = True
+                rules = self.grammar.alternatives(symbol)
+                if rules:
+                    for left in self._parse_alternatives(symbol, node, stack):
+                        self._hooks(symbol, "end")
+                        yield left
+                else:
+                    self._hooks(symbol, "end")
+                    yield stack
+            else:
+                self._backtracks += 1
+            parent.children.pop()
+            node.parent = None
+            return
+
+        node = self._new_node(symbol, NodeKind.DETECTOR)
+        parent.add(node)
+        try:
+            arguments = tuple(resolve_value(node, path)
+                              for path in decl.parameters)
+            outputs = self.registry.execute(symbol, arguments)
+            self._detector_calls += 1
+        except DetectorError:
+            self._backtracks += 1
+            parent.children.pop()
+            node.parent = None
+            return
+        node.detector_version = self.registry.version(symbol) \
+            if symbol in self.registry else None
+        tokens = [Token(value, producer=symbol)
+                  for value in _flatten(outputs)]
+        detector_stack = stack.push_all(tokens)
+        produced = False
+        for left in self._parse_alternatives(symbol, node, detector_stack):
+            produced = True
+            self._hooks(symbol, "end")
+            yield left
+        if not produced:
+            self._backtracks += 1
+        parent.children.pop()
+        node.parent = None

@@ -1,0 +1,260 @@
+"""The Feature Detector Scheduler (FDS): incremental index maintenance.
+
+"Based on the dependency graph, deduced from the grammar rules, the FDS
+can localize the effects of the evolutionary changes, and trigger
+incremental parses ... The main goal of this process is to prevent the
+regeneration, and the associated calls to detectors, of the complete
+parse tree."
+
+The scheduler holds the stored parse trees (the meta-index), watches
+detector versions, and on a change:
+
+* **correction** — no action,
+* **minor** — schedule revalidation with LOW priority,
+* **major** — schedule with HIGH priority;
+
+then processes its queue: invalidate the downward closure of the changed
+detector, incrementally re-parse the detector nodes in place, check the
+*parameter dependencies* of detectors reading the re-parsed region (step
+2 of the paper's procedure), and on subtree failure walk *upward* to the
+first enclosing detector or the start symbol (step 3).  A special
+source detector attached to the start symbol notices source-data changes
+and triggers whole-tree regeneration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SchedulerError
+from repro.featuregrammar.dependency import DependencyGraph
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE, ParseOutcome
+from repro.featuregrammar.parsetree import NodeKind, ParseNode  # noqa: F401
+from repro.featuregrammar.versions import ChangeLevel, Version
+
+__all__ = ["FDS", "Priority", "MaintenanceReport"]
+
+
+def _leaf_snapshot(node: "ParseNode") -> list[tuple[str, Any]]:
+    """The (name, value) leaves of a subtree — change detection for step 2."""
+    return [(part.name, part.value) for part in node.walk()
+            if part.value is not None]
+
+
+class Priority:
+    HIGH = 0
+    LOW = 1
+
+
+@dataclass(order=True)
+class _Task:
+    priority: int
+    sequence: int
+    kind: str = field(compare=False)          # "revalidate" | "regenerate"
+    key: Any = field(compare=False)           # object key
+    detector: str = field(compare=False, default="")
+
+
+@dataclass
+class MaintenanceReport:
+    """What one maintenance run did (benchmark E9 reads this)."""
+
+    tasks_processed: int = 0
+    nodes_invalidated: int = 0
+    detectors_rerun: int = 0
+    subtree_failures: int = 0
+    trees_regenerated: int = 0
+    cascaded_revalidations: int = 0
+
+
+@dataclass
+class _StoredTree:
+    key: Any
+    start_tokens: tuple[Any, ...]
+    tree: ParseNode
+    source_stamp: Any = None
+
+
+class FDS:
+    """Scheduler over a set of stored parse trees."""
+
+    def __init__(self, fde: FDE,
+                 source_stamp: Callable[[Any], Any] | None = None):
+        self.fde = fde
+        self.grammar = fde.grammar
+        self.registry: DetectorRegistry = fde.registry
+        self.graph = DependencyGraph.from_grammar(self.grammar)
+        self._trees: dict[Any, _StoredTree] = {}
+        self._queue: list[_Task] = []
+        self._sequence = itertools.count()
+        self._known_versions: dict[str, Version] = {}
+        # source_stamp(key) returns a value identifying the source data's
+        # current state; a changed stamp invalidates the whole tree.
+        self._source_stamp = source_stamp
+
+    # -- population -------------------------------------------------------
+
+    def add_object(self, key: Any, *start_tokens: Any) -> ParseOutcome:
+        """Parse a new multimedia object and store its tree."""
+        outcome = self.fde.parse(*start_tokens)
+        stamp = self._source_stamp(key) if self._source_stamp else None
+        self._trees[key] = _StoredTree(key, start_tokens, outcome.tree, stamp)
+        for name in self.grammar.detectors:
+            if name in self.registry:
+                self._known_versions[name] = self.registry.version(name)
+        return outcome
+
+    def tree(self, key: Any) -> ParseNode:
+        try:
+            return self._trees[key].tree
+        except KeyError:
+            raise SchedulerError(f"no stored parse tree for {key!r}") from None
+
+    def keys(self) -> list[Any]:
+        return list(self._trees)
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    # -- change notification -----------------------------------------------
+
+    def notify_detector_change(self, name: str) -> ChangeLevel:
+        """A detector implementation changed; classify and schedule.
+
+        Reads the new version from the registry and compares it with the
+        last version this scheduler observed.  Correction revisions do
+        not invalidate anything; minor revisions queue LOW-priority
+        revalidation; major revisions queue HIGH-priority revalidation.
+        """
+        if name not in self.grammar.detectors:
+            raise SchedulerError(f"unknown detector {name!r}")
+        new_version = self.registry.version(name)
+        old_version = self._known_versions.get(name, new_version)
+        level = old_version.change_level(new_version)
+        self._known_versions[name] = new_version
+        if level in (ChangeLevel.NONE, ChangeLevel.CORRECTION):
+            return level
+        priority = Priority.HIGH if level == ChangeLevel.MAJOR else Priority.LOW
+        for key, stored in self._trees.items():
+            if stored.tree.find_all(name):
+                self._enqueue(priority, "revalidate", key, name)
+        return level
+
+    def notify_source_change(self, key: Any) -> bool:
+        """Check one object's source stamp; schedule regeneration if stale."""
+        stored = self._trees.get(key)
+        if stored is None:
+            raise SchedulerError(f"no stored parse tree for {key!r}")
+        if self._source_stamp is None:
+            return False
+        stamp = self._source_stamp(key)
+        if stamp == stored.source_stamp:
+            return False
+        self._enqueue(Priority.HIGH, "regenerate", key)
+        return True
+
+    def check_all_sources(self) -> int:
+        """Poll every object's source stamp; returns how many were stale."""
+        stale = 0
+        for key in list(self._trees):
+            if self.notify_source_change(key):
+                stale += 1
+        return stale
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def _enqueue(self, priority: int, kind: str, key: Any,
+                 detector: str = "") -> None:
+        heapq.heappush(self._queue, _Task(
+            priority, next(self._sequence), kind, key, detector))
+
+    # -- maintenance -----------------------------------------------------
+
+    def run(self, limit: int | None = None) -> MaintenanceReport:
+        """Process queued maintenance tasks (all of them by default)."""
+        report = MaintenanceReport()
+        processed = 0
+        while self._queue and (limit is None or processed < limit):
+            task = heapq.heappop(self._queue)
+            if task.kind == "regenerate":
+                self._regenerate(task.key, report)
+            else:
+                self._revalidate(task.key, task.detector, report)
+            processed += 1
+            report.tasks_processed += 1
+        return report
+
+    def _regenerate(self, key: Any, report: MaintenanceReport) -> None:
+        stored = self._trees[key]
+        outcome = self.fde.parse(*stored.start_tokens)
+        stored.tree = outcome.tree
+        stored.source_stamp = (self._source_stamp(key)
+                               if self._source_stamp else None)
+        report.trees_regenerated += 1
+        report.detectors_rerun += outcome.detector_calls
+
+    def _revalidate(self, key: Any, detector: str,
+                    report: MaintenanceReport) -> None:
+        stored = self._trees.get(key)
+        if stored is None:
+            return
+        closure = self.graph.downward_closure(detector)
+        dependents = self.graph.parameter_dependents(closure)
+        dependents.discard(detector)
+        for node in stored.tree.find_all(detector):
+            if node.kind != NodeKind.DETECTOR:
+                continue
+            # step 1: the partial parse tree rooted here is invalidated
+            # and incrementally re-parsed in place
+            report.nodes_invalidated += sum(
+                1 for part in node.walk() if part.name in closure)
+            before = _leaf_snapshot(node)
+            ok = self.fde.reparse_detector(node)
+            report.detectors_rerun += 1
+            if ok:
+                # step 2: "If there has been a modification the dependent
+                # detector needs to be revalidated."
+                if before != _leaf_snapshot(node):
+                    self._cascade(key, dependents, stored, report)
+            else:
+                # step 3: follow the dependencies upward to the first
+                # enclosing detector (or regenerate from the start symbol)
+                report.subtree_failures += 1
+                self._escalate(key, detector, report)
+
+    def _cascade(self, key: Any, dependents: set[str], stored: _StoredTree,
+                 report: MaintenanceReport) -> None:
+        for dependent in sorted(dependents):
+            report.cascaded_revalidations += 1
+            if stored.tree.find_all(dependent):
+                self._enqueue(Priority.HIGH, "revalidate", key, dependent)
+            else:
+                # the dependent never instantiated (e.g. an optional
+                # branch that failed before): only a broader re-parse can
+                # create the missing branch
+                self._escalate(key, dependent, report)
+
+    def _escalate(self, key: Any, symbol: str,
+                  report: MaintenanceReport) -> None:
+        uphill = self.graph.upward_detectors(symbol)
+        start = self.grammar.start.symbol if self.grammar.start else None
+        if not uphill or start in uphill:
+            self._enqueue(Priority.HIGH, "regenerate", key)
+        else:
+            for enclosing in sorted(uphill):
+                self._enqueue(Priority.HIGH, "revalidate", key, enclosing)
+
+    # -- full rebuild baseline (for the E9 comparison) --------------------
+
+    def rebuild_all(self) -> MaintenanceReport:
+        """The naive alternative: re-parse every stored object."""
+        report = MaintenanceReport()
+        for key in list(self._trees):
+            self._regenerate(key, report)
+            report.tasks_processed += 1
+        return report

@@ -1,0 +1,125 @@
+"""Tokenizer for the feature grammar language (paper Figs 6, 7, 14).
+
+Token categories: ``%``-directives, identifiers (possibly with a
+``protocol::`` prefix or dotted suffix), string and number literals,
+punctuation, comparison operators and the logical keywords used inside
+whitebox predicates.  Comments run from ``//`` or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import GrammarSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_PUNCT = {
+    "::": "DCOLON", ":": "COLON", ";": "SEMI", "(": "LPAREN", ")": "RPAREN",
+    ",": "COMMA", "?": "QMARK", "*": "STAR", "+": "PLUS", "[": "LBRACK",
+    "]": "RBRACK", "&&": "ANDOP", "||": "OROP", "&": "AMP", "|": "PIPE",
+    "==": "EQ", "!=": "NE", "<=": "LE", ">=": "GE", "<": "LT", ">": "GT",
+    "!": "NOT", ".": "DOT",
+}
+# longest-first matching order
+_PUNCT_ORDER = sorted(_PUNCT, key=len, reverse=True)
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CHARS = _IDENT_START | set("0123456789-")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`GrammarSyntaxError` on bad input."""
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> GrammarSyntaxError:
+        return GrammarSyntaxError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index) or char == "#":
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if char == "%":
+            start = index + 1
+            end = start
+            while end < length and source[end] in _IDENT_CHARS:
+                end += 1
+            word = source[start:end]
+            if not word:
+                raise error("bare '%'")
+            yield Token("DIRECTIVE", word, line, column)
+            column += end - index
+            index = end
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end < 0:
+                raise error("unterminated string literal")
+            yield Token("STRING", source[index + 1:end], line, column)
+            column += end + 1 - index
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length
+                              and source[index + 1].isdigit()):
+            end = index + 1
+            seen_dot = False
+            while end < length and (source[end].isdigit()
+                                    or (source[end] == "." and not seen_dot)):
+                if source[end] == ".":
+                    # a dot not followed by a digit is punctuation (paths)
+                    if end + 1 >= length or not source[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            text = source[index:end]
+            kind = "FLOAT" if "." in text else "INT"
+            yield Token(kind, text, line, column)
+            column += end - index
+            index = end
+            continue
+        if char in _IDENT_START:
+            end = index + 1
+            while end < length and source[end] in _IDENT_CHARS:
+                end += 1
+            yield Token("IDENT", source[index:end], line, column)
+            column += end - index
+            index = end
+            continue
+        for punct in _PUNCT_ORDER:
+            if source.startswith(punct, index):
+                yield Token(_PUNCT[punct], punct, line, column)
+                column += len(punct)
+                index += len(punct)
+                break
+        else:
+            raise error(f"unexpected character {char!r}")
+    yield Token("EOF", "", line, column)

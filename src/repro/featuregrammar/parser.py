@@ -1,0 +1,258 @@
+"""Parser for the feature grammar language.
+
+Accepts the syntax of the paper's Figures 6, 7 and 14 verbatim:
+directives (``%start``, ``%detector``, ``%atom``, ``%module``),
+production rules with regular right parts (``?``, ``*``, ``+``),
+literals, ``&`` references, detector hooks (``header.init()``),
+external protocols (``xml-rpc::segment``) and whitebox predicates with
+``some``/``all``/``one`` quantifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GrammarSyntaxError
+from repro.featuregrammar.ast import (DetectorDecl, Grammar, Multiplicity,
+                                      Rule, StartDecl, Term, TreePath)
+from repro.featuregrammar.lexer import Token, tokenize
+from repro.featuregrammar.predicate import (And, Compare, Constant, Not, Or,
+                                            Predicate, Quantifier)
+
+__all__ = ["parse_grammar"]
+
+_HOOKS = frozenset({"init", "final", "begin", "end"})
+_QUANTIFIERS = frozenset({"some", "all", "one"})
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.tokens = list(tokenize(source))
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise GrammarSyntaxError(
+                f"expected {kind}, found {token.kind} {token.value!r}",
+                token.line, token.column)
+        return self.advance()
+
+    def accept(self, kind: str) -> Token | None:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    # -- entry -----------------------------------------------------------
+
+    def parse(self) -> Grammar:
+        grammar = Grammar()
+        while self.peek().kind != "EOF":
+            if self.peek().kind == "DIRECTIVE":
+                self._directive(grammar)
+            else:
+                self._production(grammar)
+        grammar.validate()
+        return grammar
+
+    # -- directives --------------------------------------------------------
+
+    def _directive(self, grammar: Grammar) -> None:
+        token = self.expect("DIRECTIVE")
+        if token.value == "module":
+            grammar.name = self.expect("IDENT").value
+            self.expect("SEMI")
+        elif token.value == "start":
+            symbol = self.expect("IDENT").value
+            parameters: list[str] = []
+            self.expect("LPAREN")
+            if self.peek().kind != "RPAREN":
+                parameters.append(self.expect("IDENT").value)
+                while self.accept("COMMA"):
+                    parameters.append(self.expect("IDENT").value)
+            self.expect("RPAREN")
+            self.expect("SEMI")
+            grammar.start = StartDecl(symbol, tuple(parameters))
+        elif token.value == "atom":
+            type_name = self.expect("IDENT").value
+            names: list[str] = []
+            if self.peek().kind == "IDENT":
+                names.append(self.advance().value)
+                while self.accept("COMMA"):
+                    names.append(self.expect("IDENT").value)
+            self.expect("SEMI")
+            if names:
+                grammar.declare_atom(type_name, *names)
+            else:
+                # '%atom url;' — declare the ADT itself; the store layer
+                # registers built-in ADTs, so this is a no-op assertion.
+                from repro.monetdb.atoms import atom_type
+                atom_type(type_name)
+        elif token.value == "detector":
+            self._detector(grammar)
+        else:
+            raise GrammarSyntaxError(
+                f"unknown directive %{token.value}", token.line, token.column)
+
+    def _detector(self, grammar: Grammar) -> None:
+        first = self.expect("IDENT")
+        protocol: str | None = None
+        name = first.value
+        if self.accept("DCOLON"):
+            protocol = name
+            name = self.expect("IDENT").value
+        if self.peek().kind == "DOT" and self.peek(1).value in _HOOKS:
+            self.advance()  # DOT
+            hook = self.expect("IDENT").value
+            self.expect("LPAREN")
+            self.expect("RPAREN")
+            self.expect("SEMI")
+            grammar.declare_hook(name, hook)
+            return
+        if self.peek().kind == "LPAREN":
+            self.advance()
+            parameters: list[TreePath] = []
+            if self.peek().kind != "RPAREN":
+                parameters.append(self._tree_path())
+                while self.accept("COMMA"):
+                    parameters.append(self._tree_path())
+            self.expect("RPAREN")
+            self.expect("SEMI")
+            grammar.declare_detector(DetectorDecl(
+                name, tuple(parameters), protocol=protocol))
+            return
+        predicate = self._or_expr()
+        self.expect("SEMI")
+        grammar.declare_detector(DetectorDecl(name, predicate=predicate))
+
+    # -- predicates --------------------------------------------------------
+
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        parts = [left]
+        while (self.accept("OROP")
+               or (self.peek().kind == "IDENT" and self.peek().value == "or"
+                   and self.advance())):
+            parts.append(self._and_expr())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _and_expr(self) -> Predicate:
+        parts = [self._unary()]
+        while (self.accept("ANDOP")
+               or (self.peek().kind == "IDENT" and self.peek().value == "and"
+                   and self.advance())):
+            parts.append(self._unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _unary(self) -> Predicate:
+        if self.accept("NOT"):
+            return Not(self._unary())
+        if self.peek().kind == "IDENT" and self.peek().value == "not":
+            self.advance()
+            return Not(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Predicate:
+        token = self.peek()
+        if token.kind == "LPAREN":
+            self.advance()
+            inner = self._or_expr()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "IDENT" and token.value in _QUANTIFIERS \
+                and self.peek(1).kind == "LBRACK":
+            kind = self.advance().value
+            self.expect("LBRACK")
+            binding = self._tree_path()
+            self.expect("RBRACK")
+            self.expect("LPAREN")
+            inner = self._or_expr()
+            self.expect("RPAREN")
+            return Quantifier(kind, binding, inner)
+        if token.kind == "IDENT" and token.value in ("true", "false") \
+                and self.peek(1).kind not in ("DOT", "EQ", "NE", "LE", "GE",
+                                              "LT", "GT"):
+            self.advance()
+            return Constant(token.value == "true")
+        left = self._tree_path()
+        op_token = self.advance()
+        if op_token.kind not in ("EQ", "NE", "LE", "GE", "LT", "GT"):
+            raise GrammarSyntaxError(
+                f"expected a comparison operator, found {op_token.value!r}",
+                op_token.line, op_token.column)
+        right = self._comparison_operand()
+        return Compare(left, op_token.value, right)
+
+    def _comparison_operand(self) -> Any:
+        token = self.peek()
+        if token.kind == "STRING":
+            return self.advance().value
+        if token.kind == "INT":
+            return int(self.advance().value)
+        if token.kind == "FLOAT":
+            return float(self.advance().value)
+        if token.kind == "IDENT" and token.value in ("true", "false"):
+            return self.advance().value == "true"
+        return self._tree_path()
+
+    def _tree_path(self) -> TreePath:
+        steps = [self.expect("IDENT").value]
+        while self.peek().kind == "DOT":
+            self.advance()
+            steps.append(self.expect("IDENT").value)
+        return TreePath(tuple(steps))
+
+    # -- productions ------------------------------------------------------
+
+    def _production(self, grammar: Grammar) -> None:
+        lhs = self.expect("IDENT").value
+        self.expect("COLON")
+        alternatives: list[list[Term]] = [[]]
+        while self.peek().kind != "SEMI":
+            if self.accept("PIPE"):
+                alternatives.append([])
+                continue
+            alternatives[-1].append(self._term())
+        self.expect("SEMI")
+        for terms in alternatives:
+            grammar.add_rule(Rule(lhs, tuple(terms)))
+
+    def _term(self) -> Term:
+        reference = bool(self.accept("AMP"))
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            symbol = token.value
+            literal = True
+        elif token.kind == "IDENT":
+            self.advance()
+            symbol = token.value
+            literal = False
+        else:
+            raise GrammarSyntaxError(
+                f"expected a symbol, found {token.value!r}",
+                token.line, token.column)
+        multiplicity = Multiplicity.ONE
+        if self.accept("QMARK"):
+            multiplicity = Multiplicity.OPTIONAL
+        elif self.accept("STAR"):
+            multiplicity = Multiplicity.STAR
+        elif self.accept("PLUS"):
+            multiplicity = Multiplicity.PLUS
+        return Term(symbol, multiplicity, literal, reference)
+
+
+def parse_grammar(source: str) -> Grammar:
+    """Parse feature grammar source text into a validated :class:`Grammar`."""
+    return _Parser(source).parse()

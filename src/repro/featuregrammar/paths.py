@@ -1,0 +1,110 @@
+"""Resolution of tree paths against a parse tree.
+
+Detector inputs and whitebox predicates refer to parse-tree nodes by
+dotted paths.  "These paths can only refer to preceding symbols" — so
+resolution from a context node searches the *visible region*: the
+context's ancestors and, per ancestor, the subtrees of children that
+precede the branch leading to the context (nearest enclosing scope
+first).  Inside quantifier bindings the inner predicate is resolved
+*within* the bound node's subtree instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import DetectorError
+from repro.featuregrammar.ast import TreePath
+from repro.featuregrammar.parsetree import ParseNode
+
+__all__ = ["resolve_nodes", "resolve_value", "resolve_within"]
+
+
+def _descend(nodes: list[ParseNode], steps: tuple[str, ...]
+             ) -> list[ParseNode]:
+    """Follow the remaining path steps through direct children."""
+    current = nodes
+    for step in steps:
+        next_nodes: list[ParseNode] = []
+        for node in current:
+            next_nodes.extend(node.children_named(step))
+        current = next_nodes
+        if not current:
+            break
+    return current
+
+
+def _scoped_candidates(context: ParseNode, step: str
+                       ) -> Iterator[list[ParseNode]]:
+    """Visible matches of the first path step, one scope at a time.
+
+    Scopes are the ancestor levels, nearest first.  Within a scope the
+    candidates are the matches inside preceding-sibling subtrees (nearest
+    sibling first) plus the ancestor itself when its name matches.  Each
+    yielded list is one scope's matches; callers take the first scope
+    that leads to a full path match, so ``tennis.frame`` inside a shot
+    binds that shot's frames, never an earlier shot's.
+    """
+    node = context
+    for ancestor in context.ancestors():
+        matches: list[ParseNode] = []
+        branch_index = ancestor.children.index(node)
+        for sibling in reversed(ancestor.children[:branch_index]):
+            matches.extend(n for n in sibling.walk() if n.name == step)
+        if ancestor.name == step:
+            matches.append(ancestor)
+        if matches:
+            yield matches
+        node = ancestor
+
+
+def resolve_nodes(context: ParseNode, path: TreePath,
+                  all_matches: bool = False) -> list[ParseNode]:
+    """Resolve a path from a context node.
+
+    The *visible region* (preceding symbols, the paper's rule) is
+    searched scope by scope, nearest enclosing scope first; the first
+    scope in which the whole path resolves wins.  When no scope matches
+    — the context is itself a binding or a re-run detector — the
+    context's own subtree is searched instead.  With ``all_matches``
+    false only the first match of the winning scope is returned.
+    """
+    first, rest = path.steps[0], path.steps[1:]
+    for candidates in _scoped_candidates(context, first):
+        resolved = _descend(candidates, rest)
+        if resolved:
+            return resolved if all_matches else resolved[:1]
+    own = [node for node in context.walk() if node.name == first]
+    resolved = _descend(own, rest)
+    if resolved:
+        return resolved if all_matches else resolved[:1]
+    return []
+
+
+def resolve_within(scope: ParseNode, path: TreePath) -> list[ParseNode]:
+    """Resolve a path inside a scope node's subtree only."""
+    first, rest = path.steps[0], path.steps[1:]
+    candidates = [node for node in scope.walk() if node.name == first]
+    return _descend(candidates, rest)
+
+
+def resolve_value(context: ParseNode, path: TreePath,
+                  scoped: bool = False) -> Any:
+    """Resolve a path to the single value it denotes.
+
+    With ``scoped`` true the context's own subtree is searched first
+    (quantifier-binding semantics).  Raises :class:`DetectorError` when
+    the path matches nothing or the match has no atomic value.
+    """
+    if scoped:
+        nodes = resolve_within(context, path) or resolve_nodes(context, path)
+    else:
+        nodes = resolve_nodes(context, path)
+    if not nodes:
+        raise DetectorError(
+            f"path {path} matches nothing from {context.name!r}")
+    value = nodes[0].leaf_value()
+    if value is None:
+        raise DetectorError(
+            f"path {path} resolved to non-atomic node {nodes[0].name!r}")
+    return value

@@ -1,0 +1,181 @@
+"""Whitebox detector predicates.
+
+"In contrast to a blackbox detector the complete specification of a
+whitebox detector is part of the feature grammar.  This specification
+takes the form of a boolean predicate over the information in the parse
+tree."  Predicates combine comparisons over tree paths with boolean
+connectives and the three quantifiers of the paper — ``some``, ``all``
+and ``one`` — which bind a path to a set of nodes and evaluate an inner
+predicate relative to each binding (Fig 7's ``netplay`` detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import DetectorError
+from repro.featuregrammar.ast import TreePath
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.featuregrammar.parsetree import ParseNode
+
+__all__ = ["Predicate", "Compare", "And", "Or", "Not", "Quantifier",
+           "Constant"]
+
+_OPERATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<=": lambda a, b: a <= b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+}
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`evaluate`.
+
+    ``scoped`` is true when the context node is a quantifier binding:
+    paths then resolve *within* the binding's subtree first, falling back
+    to the visible region only when nothing matches inside.
+    """
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        raise NotImplementedError
+
+    def paths(self) -> list[TreePath]:
+        """All tree paths the predicate reads (for dependency edges)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Constant(Predicate):
+    """A literal truth value (useful in tests and degenerate grammars)."""
+
+    value: bool
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        return self.value
+
+    def paths(self) -> list[TreePath]:
+        return []
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """``path op literal`` or ``path op path``."""
+
+    left: TreePath
+    op: str
+    right: Any  # literal value or TreePath
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        from repro.featuregrammar.paths import resolve_value
+
+        left_value = resolve_value(context, self.left, scoped=scoped)
+        if isinstance(self.right, TreePath):
+            right_value = resolve_value(context, self.right, scoped=scoped)
+        else:
+            right_value = self.right
+        try:
+            return _OPERATORS[self.op](left_value, right_value)
+        except TypeError as exc:
+            raise DetectorError(
+                f"cannot compare {left_value!r} {self.op} {right_value!r}"
+            ) from exc
+
+    def paths(self) -> list[TreePath]:
+        result = [self.left]
+        if isinstance(self.right, TreePath):
+            result.append(self.right)
+        return result
+
+    def __str__(self) -> str:
+        right = (str(self.right) if isinstance(self.right, TreePath)
+                 else repr(self.right))
+        return f"{self.left} {self.op} {right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    children: tuple[Predicate, ...]
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        return all(child.evaluate(context, scoped)
+                   for child in self.children)
+
+    def paths(self) -> list[TreePath]:
+        return [path for child in self.children for path in child.paths()]
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    children: tuple[Predicate, ...]
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        return any(child.evaluate(context, scoped)
+                   for child in self.children)
+
+    def paths(self) -> list[TreePath]:
+        return [path for child in self.children for path in child.paths()]
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    child: Predicate
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        return not self.child.evaluate(context, scoped)
+
+    def paths(self) -> list[TreePath]:
+        return self.child.paths()
+
+    def __str__(self) -> str:
+        return f"not {self.child}"
+
+
+@dataclass(frozen=True)
+class Quantifier(Predicate):
+    """``some[path](inner)``, ``all[path](inner)`` or ``one[path](inner)``.
+
+    The binding path is resolved to every matching node; the inner
+    predicate is evaluated with each match as its context.  ``some``
+    requires at least one true binding, ``one`` exactly one, and ``all``
+    requires every binding to be true (vacuously true on zero bindings).
+    """
+
+    kind: str
+    binding: TreePath
+    inner: Predicate
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("some", "all", "one"):
+            raise DetectorError(f"unknown quantifier {self.kind!r}")
+
+    def evaluate(self, context: "ParseNode", scoped: bool = False) -> bool:
+        from repro.featuregrammar.paths import resolve_nodes
+
+        bindings = resolve_nodes(context, self.binding, all_matches=True)
+        truths = [self.inner.evaluate(node, scoped=True)
+                  for node in bindings]
+        if self.kind == "some":
+            return any(truths)
+        if self.kind == "one":
+            return sum(truths) == 1
+        return all(truths)
+
+    def paths(self) -> list[TreePath]:
+        return [self.binding] + self.inner.paths()
+
+    def __str__(self) -> str:
+        return f"{self.kind}[{self.binding}]({self.inner})"

@@ -1,0 +1,109 @@
+"""Simulated external-detector transports.
+
+"Instead of linking the C code into the parser ... this detector is
+implemented externally (and may even run on a different machine).  To
+contact the external implementation the XML-RPC protocol is used ...
+Several other connection protocols for external detector implementations
+are supported: from plain system calls to using distributed objects
+through CORBA."
+
+Offline we cannot open sockets, but the *code path* matters: a protocol
+transport serialises the arguments, crosses a process-boundary stand-in,
+deserialises on the far side, runs the registered remote procedure, and
+ships the (serialised) results back.  Every supported protocol prefix —
+``xml-rpc::``, ``system::``, ``corba::`` — goes through that marshalling
+round-trip, so detectors cannot accidentally exchange live Python objects
+with the parser.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.errors import DetectorError
+
+__all__ = ["RpcServer", "Transport", "TransportRegistry",
+           "default_transports"]
+
+RemoteProcedure = Callable[..., Any]
+
+
+class RpcServer:
+    """A named registry of remote procedures (one per simulated host)."""
+
+    def __init__(self, name: str = "remote"):
+        self.name = name
+        self._procedures: dict[str, RemoteProcedure] = {}
+        self.calls = 0
+
+    def register(self, name: str, procedure: RemoteProcedure) -> None:
+        self._procedures[name] = procedure
+
+    def procedure(self, name: str) -> RemoteProcedure:
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise DetectorError(
+                f"no remote procedure {name!r} on server {self.name!r}"
+            ) from None
+
+    def invoke(self, name: str, payload: str) -> str:
+        """Execute a call from its serialised argument payload."""
+        self.calls += 1
+        arguments = json.loads(payload)
+        result = self.procedure(name)(*arguments)
+        return json.dumps(result)
+
+
+class Transport:
+    """One protocol binding: marshal, cross the boundary, unmarshal."""
+
+    def __init__(self, protocol: str, server: RpcServer):
+        self.protocol = protocol
+        self.server = server
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def call(self, name: str, arguments: tuple[Any, ...]) -> Any:
+        try:
+            payload = json.dumps(list(arguments))
+        except TypeError as exc:
+            raise DetectorError(
+                f"{self.protocol}::{name}: arguments are not serialisable"
+            ) from exc
+        self.bytes_sent += len(payload)
+        response = self.server.invoke(name, payload)
+        self.bytes_received += len(response)
+        return json.loads(response)
+
+
+class TransportRegistry:
+    """Protocol prefix -> transport, as used by ``xml-rpc::name``."""
+
+    def __init__(self) -> None:
+        self._transports: dict[str, Transport] = {}
+
+    def bind(self, protocol: str, server: RpcServer) -> Transport:
+        transport = Transport(protocol, server)
+        self._transports[protocol] = transport
+        return transport
+
+    def get(self, protocol: str) -> Transport:
+        try:
+            return self._transports[protocol]
+        except KeyError:
+            raise DetectorError(
+                f"no transport bound for protocol {protocol!r}") from None
+
+    def __contains__(self, protocol: str) -> bool:
+        return protocol in self._transports
+
+
+def default_transports(server: RpcServer | None = None) -> TransportRegistry:
+    """A registry with the paper's three protocols bound to one server."""
+    server = server or RpcServer()
+    registry = TransportRegistry()
+    for protocol in ("xml-rpc", "system", "corba"):
+        registry.bind(protocol, server)
+    return registry

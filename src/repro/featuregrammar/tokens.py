@@ -1,0 +1,152 @@
+"""Token stacks with shared suffixes.
+
+"To support backtracking, the FDE needs to maintain several versions of
+the token stack.  Simple copying of stacks places a high burden on both
+memory consumption and CPU time.  However, many copies share the same
+suffix of tokens.  Those suffixes can be shared" — in the manner of
+Tomita's graph-structured stacks [Tom86].
+
+:class:`SharedTokenStack` is a persistent cons list: ``push``/``pop``
+are O(1) and every stack version alive during backtracking shares its
+suffix cells with the others.  :class:`CopyingTokenStack` is the naive
+ablation baseline (each saved version copies the whole list); both
+implement the same interface and count the cells they allocate so the
+E10 benchmark can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Token", "SharedTokenStack", "CopyingTokenStack", "make_stack"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: a raw value, optionally tagged with its producer."""
+
+    value: Any
+    producer: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.value!r})"
+
+
+class SharedTokenStack:
+    """Persistent stack: versions share suffix cells."""
+
+    __slots__ = ("_token", "_rest", "length")
+
+    cells_allocated = 0  # class-level accounting for the ablation bench
+
+    def __init__(self, token: Token | None = None,
+                 rest: "SharedTokenStack | None" = None):
+        self._token = token
+        self._rest = rest
+        self.length = 0 if rest is None and token is None \
+            else (rest.length if rest is not None else 0) + 1
+        if token is not None:
+            SharedTokenStack.cells_allocated += 1
+
+    @classmethod
+    def empty(cls) -> "SharedTokenStack":
+        return cls()
+
+    @classmethod
+    def from_tokens(cls, tokens: Iterable[Token]) -> "SharedTokenStack":
+        stack = cls.empty()
+        for token in reversed(list(tokens)):
+            stack = stack.push(token)
+        return stack
+
+    def is_empty(self) -> bool:
+        return self._token is None
+
+    def push(self, token: Token) -> "SharedTokenStack":
+        """A new version with ``token`` on top; O(1), shares the suffix."""
+        return SharedTokenStack(token, self)
+
+    def push_all(self, tokens: Iterable[Token]) -> "SharedTokenStack":
+        """Push tokens so the FIRST of ``tokens`` ends up on top."""
+        stack = self
+        for token in reversed(list(tokens)):
+            stack = stack.push(token)
+        return stack
+
+    def peek(self) -> Token | None:
+        return self._token
+
+    def pop(self) -> tuple[Token, "SharedTokenStack"]:
+        if self._token is None:
+            raise IndexError("pop from empty token stack")
+        assert self._rest is not None
+        return self._token, self._rest
+
+    def save(self) -> "SharedTokenStack":
+        """A backtracking point: for shared stacks this is free."""
+        return self
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[Token]:
+        node = self
+        while node._token is not None:
+            yield node._token
+            assert node._rest is not None
+            node = node._rest
+
+
+class CopyingTokenStack:
+    """Naive baseline: saving a version copies the whole stack."""
+
+    __slots__ = ("_tokens",)
+
+    cells_allocated = 0
+
+    def __init__(self, tokens: list[Token] | None = None):
+        # stored bottom-to-top; top is the end of the list
+        self._tokens = tokens if tokens is not None else []
+        CopyingTokenStack.cells_allocated += len(self._tokens)
+
+    @classmethod
+    def empty(cls) -> "CopyingTokenStack":
+        return cls()
+
+    @classmethod
+    def from_tokens(cls, tokens: Iterable[Token]) -> "CopyingTokenStack":
+        return cls(list(reversed(list(tokens))))
+
+    def is_empty(self) -> bool:
+        return not self._tokens
+
+    def push(self, token: Token) -> "CopyingTokenStack":
+        return CopyingTokenStack(self._tokens + [token])
+
+    def push_all(self, tokens: Iterable[Token]) -> "CopyingTokenStack":
+        return CopyingTokenStack(
+            self._tokens + list(reversed(list(tokens))))
+
+    def peek(self) -> Token | None:
+        return self._tokens[-1] if self._tokens else None
+
+    def pop(self) -> tuple[Token, "CopyingTokenStack"]:
+        if not self._tokens:
+            raise IndexError("pop from empty token stack")
+        return self._tokens[-1], CopyingTokenStack(self._tokens[:-1])
+
+    def save(self) -> "CopyingTokenStack":
+        return CopyingTokenStack(list(self._tokens))
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(reversed(self._tokens))
+
+
+def make_stack(tokens: Iterable[Token], shared: bool = True):
+    """Build a token stack of the requested flavour (top = first token)."""
+    cls = SharedTokenStack if shared else CopyingTokenStack
+    return cls.from_tokens(tokens)

@@ -1,0 +1,77 @@
+"""Three-level detector versions (major.minor.correction).
+
+"The impact of changes in a detector implementation is indicated by a
+version.  Such a version consists of three levels":
+
+* **correction** — stored parse trees stay valid; the FDS takes no action,
+* **minor** — partial parse trees are invalidated but may still answer
+  queries; revalidation is scheduled with *low* priority,
+* **major** — the stored data is unusable; revalidation gets *high*
+  priority.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+__all__ = ["Version", "ChangeLevel"]
+
+
+class ChangeLevel(enum.IntEnum):
+    """How severe a version change is (ordering matters: NONE < ... < MAJOR)."""
+
+    NONE = 0
+    CORRECTION = 1
+    MINOR = 2
+    MAJOR = 3
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """A three-level version number."""
+
+    major: int
+    minor: int = 0
+    correction: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.major, self.minor, self.correction) < 0:
+            raise SchedulerError(f"negative version component: {self}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Version":
+        parts = text.split(".")
+        if not 1 <= len(parts) <= 3:
+            raise SchedulerError(f"bad version string: {text!r}")
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError:
+            raise SchedulerError(f"bad version string: {text!r}") from None
+        numbers += [0] * (3 - len(numbers))
+        return cls(*numbers)
+
+    def change_level(self, other: "Version") -> ChangeLevel:
+        """The severity of moving from this version to ``other``."""
+        if other.major != self.major:
+            return ChangeLevel.MAJOR
+        if other.minor != self.minor:
+            return ChangeLevel.MINOR
+        if other.correction != self.correction:
+            return ChangeLevel.CORRECTION
+        return ChangeLevel.NONE
+
+    def bump(self, level: ChangeLevel) -> "Version":
+        """The next version at the given change level."""
+        if level == ChangeLevel.MAJOR:
+            return Version(self.major + 1, 0, 0)
+        if level == ChangeLevel.MINOR:
+            return Version(self.major, self.minor + 1, 0)
+        if level == ChangeLevel.CORRECTION:
+            return Version(self.major, self.minor, self.correction + 1)
+        return self
+
+    def __str__(self) -> str:
+        return f"{self.major}.{self.minor}.{self.correction}"

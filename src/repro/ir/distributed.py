@@ -1,0 +1,180 @@
+"""Distributed retrieval: per-document distribution over a cluster.
+
+The paper's plan: the central server holds the global vocabulary and IDF;
+TF/DT tuples are distributed "on a per-document basis to the available
+hosts".  A query is stemmed centrally, reduced to term oids, and the
+top-10 request is pushed to every node together with the term oids (and
+their global idf weights); each node computes a *local* top-N over its
+own documents (optionally with fragment pruning), returns
+``RES(doc-oid, rank)``, and the central node merges the local rankings
+into the final top-N — "almost perfect shared nothing parallelism".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.monetdb.algebra import topn_merge
+from repro.monetdb.atoms import Oid
+from repro.monetdb.server import Cluster
+from repro.ir.fragmentation import FragmentSet, fragment_by_idf
+from repro.ir.ranking import Ranking, query_term_oids
+from repro.ir.relations import IrRelations
+from repro.ir.topn import TopNResult, topn_fragmented
+
+__all__ = ["DistributedIndex", "DistributedQueryResult"]
+
+
+@dataclass
+class DistributedQueryResult:
+    """Merged ranking plus per-node work accounting."""
+
+    ranking: Ranking
+    local_results: dict[str, TopNResult] = field(default_factory=dict)
+
+    def tuples_read_per_node(self) -> dict[str, int]:
+        return {name: result.tuples_read
+                for name, result in self.local_results.items()}
+
+    def max_node_tuples(self) -> int:
+        """Critical-path work: the busiest node's tuples read."""
+        return max((result.tuples_read
+                    for result in self.local_results.values()), default=0)
+
+    def total_tuples(self) -> int:
+        return sum(result.tuples_read
+                   for result in self.local_results.values())
+
+
+class DistributedIndex:
+    """Global vocabulary at the central node, postings spread per-document."""
+
+    def __init__(self, cluster: Cluster, fragment_count: int = 4):
+        self.cluster = cluster
+        self.fragment_count = fragment_count
+        # The central node's view: global T/D/DT/TF/IDF (used for exact
+        # reference rankings and for stemming queries into term oids).
+        self.central = IrRelations()
+        # Per-node relations, holding only that node's documents.
+        self.nodes: dict[str, IrRelations] = {
+            server.name: IrRelations(server.catalog)
+            for server in cluster.servers
+        }
+        self._fragments: dict[str, FragmentSet] = {}
+
+    # -- indexing ---------------------------------------------------------
+
+    def add_document(self, url: str, text: str) -> None:
+        """Index a document centrally and on its placement node."""
+        self.central.add_document(url, text)
+        node = self.cluster.place(url)
+        self.nodes[node.name].add_document(url, text)
+        self._fragments.clear()
+
+    def add_documents(self, documents) -> None:
+        for url, text in documents:
+            self.add_document(url, text)
+        self.refresh()
+
+    def remove_document(self, url: str) -> None:
+        """Un-index a document centrally and on its placement node."""
+        self.central.remove_document(url)
+        node = self.cluster.place(url)
+        self.nodes[node.name].remove_document(url)
+        self._fragments.clear()
+
+    def reindex_document(self, url: str, text: str) -> None:
+        """Replace a document's body everywhere."""
+        if self.central.doc_oid(url) is not None:
+            self.remove_document(url)
+        self.add_document(url, text)
+
+    def refresh(self) -> None:
+        """Batch refresh: IDF everywhere, then rebuild node fragments."""
+        self.central.refresh_idf()
+        for relations in self.nodes.values():
+            relations.refresh_idf()
+        self._fragments = {
+            name: fragment_by_idf(relations, self.fragment_count)
+            for name, relations in self.nodes.items()
+        }
+
+    def _node_fragments(self, name: str) -> FragmentSet:
+        if name not in self._fragments:
+            self.refresh()
+        return self._fragments[name]
+
+    # -- querying ---------------------------------------------------------
+
+    def query(self, query: str, n: int = 10, prune: bool = True
+              ) -> DistributedQueryResult:
+        """Distributed top-N: local top-N per node, merged centrally.
+
+        Global idf weights are pushed to the nodes with the term oids, so
+        every node scores against the same weighting and the merged
+        ranking equals the central ranking (verified by tests).
+        """
+        # The central node stems the query and resolves the vocabulary.
+        central_terms = query_term_oids(self.central, query)
+        central_term_names = [self.central.T.find(oid)
+                              for oid in central_terms]
+        global_idf = {self.central.T.find(oid): self.central.idf(oid)
+                      for oid in central_terms}
+
+        result = DistributedQueryResult(ranking=[])
+        local_rankings: list[Ranking] = []
+        for name, relations in self.nodes.items():
+            # translate global terms into this node's vocabulary space
+            local_terms = []
+            for term in central_term_names:
+                oid = relations.term_oid(term)
+                if oid is not None:
+                    local_terms.append(oid)
+            fragments = self._node_fragments(name)
+            # override local idf with the pushed global weights
+            patched = _patch_fragment_idf(fragments, relations, global_idf)
+            local = topn_fragmented(patched, local_terms, n, prune=prune,
+                                    refine=True)
+            # report work against the node's server accounting as well
+            for server in self.cluster.servers:
+                if server.name == name:
+                    server.charge(local.tuples_read)
+            result.local_results[name] = local
+            local_rankings.append(
+                [(self._to_central_doc(relations, doc), score)
+                 for doc, score in local.ranking])
+        result.ranking = topn_merge(local_rankings, n)
+        return result
+
+    def _to_central_doc(self, relations: IrRelations, doc: Oid) -> Oid:
+        url = relations.doc_url(doc)
+        central_doc = self.central.doc_oid(url)
+        assert central_doc is not None
+        return central_doc
+
+    def exact_central_ranking(self, query: str, n: int = 10) -> Ranking:
+        """Reference ranking computed at the central node alone."""
+        from repro.ir.ranking import rank_tfidf
+        return rank_tfidf(self.central, query, n)
+
+
+def _patch_fragment_idf(fragments: FragmentSet, relations: IrRelations,
+                        global_idf: dict[str, float]) -> FragmentSet:
+    """Return a fragment view whose idf weights are the global ones."""
+    from repro.ir.fragmentation import Fragment
+
+    patched = FragmentSet()
+    for fragment in fragments:
+        idf = {}
+        for term_oid in fragment.term_oids:
+            term = relations.T.find(term_oid)
+            idf[term_oid] = global_idf.get(term, fragment.idf[term_oid])
+        patched.fragments.append(Fragment(
+            index=fragment.index,
+            term_oids=fragment.term_oids,
+            postings=fragment.postings,
+            idf=idf,
+            max_tf=fragment.max_tf,
+            tuples=fragment.tuples,
+        ))
+    return patched

@@ -1,0 +1,121 @@
+"""The IrEngine facade: one object for index + maintain + query.
+
+Used by the integrated search engine (``repro.core``) for the Hypertext
+attributes of a webspace, and directly by examples that only need text
+search.
+"""
+
+from __future__ import annotations
+
+from repro.monetdb.atoms import Oid
+from repro.ir.fragmentation import FragmentSet, fragment_by_idf
+from repro.ir.ranking import Ranking, query_term_oids, rank_hiemstra, rank_tfidf
+from repro.ir.relations import IrRelations
+from repro.ir.topn import TopNResult, topn_fragmented
+
+__all__ = ["IrEngine", "ClusterIrEngine"]
+
+
+class IrEngine:
+    """Single-node full-text engine over the paper's IR relations."""
+
+    def __init__(self, fragment_count: int = 4, model: str = "tfidf"):
+        if model not in ("tfidf", "hiemstra"):
+            raise ValueError(f"unknown ranking model: {model!r}")
+        self.relations = IrRelations()
+        self.fragment_count = fragment_count
+        self.model = model
+        self._fragments: FragmentSet | None = None
+
+    # -- indexing ---------------------------------------------------------
+
+    def index(self, url: str, text: str) -> Oid:
+        """Index one document body under a url key."""
+        doc = self.relations.add_document(url, text)
+        self._fragments = None
+        return doc
+
+    def remove(self, url: str) -> None:
+        """Un-index one document."""
+        self.relations.remove_document(url)
+        self._fragments = None
+
+    def reindex(self, url: str, text: str) -> Oid:
+        """Replace a document body (source data changed)."""
+        if self.relations.doc_oid(url) is not None:
+            self.relations.remove_document(url)
+        return self.index(url, text)
+
+    def fragments(self) -> FragmentSet:
+        """The idf-ordered fragment set, rebuilt lazily after updates."""
+        if self._fragments is None:
+            self._fragments = fragment_by_idf(self.relations,
+                                              self.fragment_count)
+        return self._fragments
+
+    # -- querying ---------------------------------------------------------
+
+    def search(self, query: str, n: int = 10) -> Ranking:
+        """Rank documents for a free-text query; returns (doc oid, score)."""
+        self.relations.refresh_idf()
+        if self.model == "hiemstra":
+            return rank_hiemstra(self.relations, query, n)
+        return rank_tfidf(self.relations, query, n)
+
+    def search_urls(self, query: str, n: int = 10) -> list[tuple[str, float]]:
+        """Like :meth:`search` but resolving doc oids to urls."""
+        return [(self.relations.doc_url(doc), score)
+                for doc, score in self.search(query, n)]
+
+    def search_fragmented(self, query: str, n: int = 10,
+                          prune: bool = True) -> TopNResult:
+        """Top-N through the fragment-pruned access path."""
+        self.relations.refresh_idf()
+        terms = query_term_oids(self.relations, query)
+        return topn_fragmented(self.fragments(), terms, n, prune=prune)
+
+    def matching_documents(self, query: str) -> set[Oid]:
+        """Doc oids containing at least one query term (boolean filter)."""
+        docs: set[Oid] = set()
+        for term_oid in query_term_oids(self.relations, query):
+            for doc, _ in self.relations.postings(term_oid):
+                docs.add(doc)
+        return docs
+
+
+class ClusterIrEngine:
+    """The IrEngine surface over a shared-nothing cluster.
+
+    The integrated engine uses this backend when
+    ``EngineConfig.cluster_size > 1``: documents distribute per-document
+    over the cluster, and every content predicate runs as the paper's
+    distributed plan (local pruned+refined top-N per node, merged at the
+    central node against pushed global idf weights).
+    """
+
+    def __init__(self, cluster_size: int, fragment_count: int = 4):
+        from repro.ir.distributed import DistributedIndex
+        from repro.monetdb.server import Cluster
+
+        self.cluster = Cluster(cluster_size)
+        self.index = DistributedIndex(self.cluster,
+                                      fragment_count=fragment_count)
+
+    @property
+    def relations(self) -> IrRelations:
+        """The central node's global relations (vocabulary + IDF)."""
+        return self.index.central
+
+    def reindex(self, url: str, text: str) -> None:
+        self.index.reindex_document(url, text)
+
+    def remove(self, url: str) -> None:
+        self.index.remove_document(url)
+
+    def search_urls(self, query: str, n: int | None = 10
+                    ) -> list[tuple[str, float]]:
+        limit = n if n is not None else max(
+            1, self.index.central.document_count())
+        result = self.index.query(query, n=limit)
+        return [(self.index.central.doc_url(doc), score)
+                for doc, score in result.ranking]

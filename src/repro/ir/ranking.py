@@ -1,0 +1,81 @@
+"""Ranking models: tf·idf and the probabilistic model it derives from.
+
+The paper supports "a variant of the tf·idf ranking model, derived from
+the well founded probabilistic retrieval model of [Hie98]" (Hiemstra's
+linguistically motivated language model).  Both are provided:
+
+* :func:`rank_tfidf` — score(d) = Σ_t tf(d,t) · idf(t),
+* :func:`rank_hiemstra` — score(d) = Σ_t log(1 + (λ·tf·C)/((1-λ)·cf·|d|)),
+  the log-space form of Π (λ P(t|d) + (1-λ) P(t|C)) with the
+  document-independent factor dropped.
+
+Results are sorted by descending score with deterministic tie-breaks on
+the document oid.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.monetdb.atoms import Oid
+from repro.ir.relations import IrRelations
+from repro.ir.text import analyze
+
+__all__ = ["query_term_oids", "rank_tfidf", "rank_hiemstra", "Ranking"]
+
+import math
+
+Ranking = list[tuple[Oid, float]]
+
+
+def query_term_oids(relations: IrRelations, query: str) -> list[Oid]:
+    """Stem/stop a query and map it to vocabulary oids (OOV terms drop)."""
+    oids: list[Oid] = []
+    for term in analyze(query):
+        oid = relations.term_oid(term)
+        if oid is not None:
+            oids.append(oid)
+    return oids
+
+
+def _sorted_ranking(scores: dict[Oid, float], n: int | None) -> Ranking:
+    # quantized sort key: see repro.ir.topn._rank — different summation
+    # orders across access paths must not flip float ties
+    ranking = sorted(scores.items(),
+                     key=lambda item: (-round(item[1], 9), item[0]))
+    return ranking if n is None else ranking[:n]
+
+
+def rank_tfidf(relations: IrRelations, query: str, n: int | None = 10
+               ) -> Ranking:
+    """Exact tf·idf ranking over the full TF relation."""
+    scores: dict[Oid, float] = defaultdict(float)
+    for term_oid in query_term_oids(relations, query):
+        weight = relations.idf(term_oid)
+        for doc, tf in relations.postings(term_oid):
+            scores[doc] += tf * weight
+    return _sorted_ranking(scores, n)
+
+
+def rank_hiemstra(relations: IrRelations, query: str, n: int | None = 10,
+                  smoothing: float = 0.15) -> Ranking:
+    """Hiemstra's language-model ranking ([Hie98])."""
+    if not 0.0 < smoothing < 1.0:
+        raise ValueError("smoothing must lie strictly between 0 and 1")
+    collection_length = max(relations.collection_length, 1)
+    scores: dict[Oid, float] = defaultdict(float)
+    doc_lengths: dict[Oid, int] = {}
+    for term_oid in query_term_oids(relations, query):
+        postings = relations.postings(term_oid)
+        collection_frequency = sum(tf for _, tf in postings)
+        if collection_frequency == 0:
+            continue
+        for doc, tf in postings:
+            length = doc_lengths.get(doc)
+            if length is None:
+                length = max(relations.document_length(doc), 1)
+                doc_lengths[doc] = length
+            odds = (smoothing * tf * collection_length) / (
+                (1.0 - smoothing) * collection_frequency * length)
+            scores[doc] += math.log1p(odds)
+    return _sorted_ranking(scores, n)

@@ -1,0 +1,166 @@
+"""The full-text relations of the paper: T, D, DT, TF and IDF.
+
+Quoting the optimization-support section, the store transparently
+integrates:
+
+* ``T(term-oid, term)``   — the vocabulary (stemmed, stopped),
+* ``D(doc-oid, doc-url)`` — the global document collection,
+* ``DT(doc-oid, term-oid, pair-oid)`` — the document-term list,
+* ``TF(pair-oid, tf)``    — term frequency per pair (derivable from DT),
+* ``IDF(term-oid, idf)``  — with ``idf = 1/df`` (derivable from TF).
+
+BATs are binary, so the ternary DT is decomposed Monet-style into two
+BATs sharing the pair-oid head (``DT_doc`` and ``DT_term``).  The IDF
+relation is maintained *incrementally*: documents are added eagerly to
+T/D/DT/TF while IDF refresh is batched, mirroring the paper's "started
+every time the storage manager has parsed a certain number of document
+bodies".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.errors import CatalogError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.catalog import Catalog
+from repro.ir.text import analyze
+
+__all__ = ["IrRelations"]
+
+
+class IrRelations:
+    """The five IR relations over one catalog, with incremental updates."""
+
+    def __init__(self, catalog: Catalog | None = None,
+                 refresh_batch: int = 64):
+        self.catalog = catalog or Catalog()
+        self.T = self.catalog.ensure("ir:T", "oid", "str")
+        self.D = self.catalog.ensure("ir:D", "oid", "url")
+        self.DT_doc = self.catalog.ensure("ir:DT:doc", "oid", "oid")
+        self.DT_term = self.catalog.ensure("ir:DT:term", "oid", "oid")
+        self.TF = self.catalog.ensure("ir:TF", "oid", "int")
+        self.IDF = self.catalog.ensure("ir:IDF", "oid", "flt")
+        self.refresh_batch = refresh_batch
+        self._term_oids: dict[str, Oid] = {t: o for o, t in self.T}
+        self._doc_oids: dict[str, Oid] = {u: o for o, u in self.D}
+        self._pending_since_refresh = 0
+        # total term occurrences (for LM ranking); restored from TF when
+        # the catalog comes from a snapshot
+        self.collection_length = sum(self.TF.tail)
+
+    # -- vocabulary ------------------------------------------------------
+
+    def term_oid(self, term: str) -> Oid | None:
+        """Oid of a (normalised) term, or ``None`` when out of vocabulary."""
+        return self._term_oids.get(term)
+
+    def _intern_term(self, term: str) -> Oid:
+        oid = self._term_oids.get(term)
+        if oid is None:
+            oid = self.catalog.oids.new()
+            self.T.insert(oid, term)
+            self._term_oids[term] = oid
+        return oid
+
+    def vocabulary_size(self) -> int:
+        return len(self._term_oids)
+
+    # -- documents -----------------------------------------------------
+
+    def doc_oid(self, url: str) -> Oid | None:
+        """Oid of a document url, or ``None`` when unknown."""
+        return self._doc_oids.get(url)
+
+    def doc_url(self, oid: Oid) -> str:
+        return self.D.find(oid)
+
+    def document_count(self) -> int:
+        return len(self._doc_oids)
+
+    def document_length(self, doc: Oid) -> int:
+        """Total term occurrences of one document."""
+        total = 0
+        for pair in self.DT_doc.find_heads(doc):
+            total += self.TF.find(pair)
+        return total
+
+    # -- indexing ---------------------------------------------------------
+
+    def add_document(self, url: str, text: str) -> Oid:
+        """Index one document body; IDF refresh is batched."""
+        if url in self._doc_oids:
+            raise CatalogError(f"document already indexed: {url!r}")
+        doc = self.catalog.oids.new()
+        self.D.insert(doc, url)
+        self._doc_oids[url] = doc
+        counts = Counter(analyze(text))
+        for term, frequency in counts.items():
+            term_oid = self._intern_term(term)
+            pair = self.catalog.oids.new()
+            self.DT_doc.insert(pair, doc)
+            self.DT_term.insert(pair, term_oid)
+            self.TF.insert(pair, frequency)
+            self.collection_length += frequency
+        self._pending_since_refresh += 1
+        if self._pending_since_refresh >= self.refresh_batch:
+            self.refresh_idf()
+        return doc
+
+    def add_documents(self, documents: Iterable[tuple[str, str]]) -> None:
+        """Index many (url, text) documents, then refresh IDF once."""
+        for url, text in documents:
+            self.add_document(url, text)
+        self.refresh_idf()
+
+    def remove_document(self, url: str) -> None:
+        """Un-index one document (source data changed or disappeared)."""
+        doc = self._doc_oids.pop(url, None)
+        if doc is None:
+            raise CatalogError(f"document not indexed: {url!r}")
+        pairs = [pair for pair, d in self.DT_doc if d == doc]
+        for pair in pairs:
+            self.collection_length -= self.TF.find(pair)
+            self.DT_doc.delete_head(pair)
+            self.DT_term.delete_head(pair)
+            self.TF.delete_head(pair)
+        self.D.delete_head(doc)
+        self.refresh_idf()
+
+    def refresh_idf(self) -> None:
+        """Recompute IDF from DT (``idf = 1/df``, as in the paper)."""
+        frequencies: Counter[Oid] = Counter(self.DT_term.tail)
+        fresh = self.catalog.get("ir:IDF")
+        fresh._head.clear()  # rebuilt wholesale: IDF is small (vocabulary)
+        fresh._tail.clear()
+        fresh._head_index = None
+        fresh._tail_index = None
+        for term_oid, document_frequency in frequencies.items():
+            fresh.insert(term_oid, 1.0 / document_frequency)
+        self._pending_since_refresh = 0
+
+    # -- per-term access (used by ranking and fragmentation) -----------
+
+    def idf(self, term_oid: Oid) -> float:
+        """idf of a term (0.0 when the term occurs nowhere)."""
+        return self.IDF.get(term_oid, 0.0)
+
+    def postings(self, term_oid: Oid) -> list[tuple[Oid, int]]:
+        """(doc-oid, tf) postings of one term, via the DT/TF relations."""
+        result: list[tuple[Oid, int]] = []
+        pairs = self.DT_term.find_heads(term_oid)
+        for pair in pairs:
+            result.append((self.DT_doc.find(pair), self.TF.find(pair)))
+        return result
+
+    def document_frequency(self, term_oid: Oid) -> int:
+        return len(self.DT_term.find_heads(term_oid))
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "documents": self.document_count(),
+            "terms": self.vocabulary_size(),
+            "pairs": len(self.TF),
+            "collection_length": self.collection_length,
+        }

@@ -1,0 +1,58 @@
+"""Tokenization, stopping and stemming — the "stemmer and stopper".
+
+The query pipeline of the paper "first pushes the terms ... through the
+stemmer and stopper"; documents go through the same normalisation at
+indexing time so query terms and indexed terms meet in the same
+vocabulary space.
+"""
+
+from __future__ import annotations
+
+from repro.ir.stemmer import stem
+
+__all__ = ["STOP_WORDS", "tokenize", "normalize", "analyze"]
+
+# A compact classic English stopword list (van Rijsbergen-style subset).
+STOP_WORDS = frozenset("""
+a about above after again against all am an and any are as at be because
+been before being below between both but by could did do does doing down
+during each few for from further had has have having he her here hers
+herself him himself his how i if in into is it its itself just me more
+most my myself no nor not now of off on once only or other our ours
+ourselves out over own same she should so some such than that the their
+theirs them themselves then there these they this those through to too
+under until up very was we were what when where which while who whom why
+will with you your yours yourself yourselves
+""".split())
+
+
+def tokenize(text: str) -> list[str]:
+    """Split text into lowercase word tokens (letters and digits)."""
+    tokens: list[str] = []
+    word: list[str] = []
+    for char in text:
+        if char.isalnum():
+            word.append(char.lower())
+        elif word:
+            tokens.append("".join(word))
+            word.clear()
+    if word:
+        tokens.append("".join(word))
+    return tokens
+
+
+def normalize(token: str) -> str | None:
+    """Stop-and-stem one token; ``None`` when it is a stop word."""
+    if token in STOP_WORDS:
+        return None
+    return stem(token)
+
+
+def analyze(text: str) -> list[str]:
+    """The full pipeline: tokenize, stop, stem."""
+    terms: list[str] = []
+    for token in tokenize(text):
+        term = normalize(token)
+        if term is not None:
+            terms.append(term)
+    return terms

@@ -1,0 +1,53 @@
+"""A small thesaurus for semantic query expansion.
+
+The future-work query — "show me all portraits embedded in pages
+containing keywords semantically related to the word 'champion'" —
+needs a notion of semantic relatedness.  A compact synonym ring file
+plays the role of the ontology/Semantic Web resource the paper
+anticipates; expansion happens in stemmed term space so it composes
+with the IR pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.ir.stemmer import stem
+from repro.ir.text import analyze
+
+__all__ = ["Thesaurus", "DEFAULT_RINGS"]
+
+DEFAULT_RINGS: list[set[str]] = [
+    {"champion", "winner", "titleholder", "victor", "trophy"},
+    {"match", "game", "encounter", "rubber"},
+    {"tournament", "competition", "championship", "open"},
+    {"player", "athlete", "competitor", "professional"},
+    {"net", "volley", "netplay"},
+    {"court", "surface", "arena"},
+    {"fast", "quick", "rapid", "speedy"},
+]
+
+
+class Thesaurus:
+    """Synonym rings with stemmed-space lookup."""
+
+    def __init__(self, rings: list[set[str]] | None = None):
+        self._related: dict[str, set[str]] = {}
+        for ring in (rings if rings is not None else DEFAULT_RINGS):
+            stemmed = {stem(word.lower()) for word in ring}
+            for term in stemmed:
+                self._related.setdefault(term, set()).update(stemmed)
+
+    def related(self, word: str) -> set[str]:
+        """All terms semantically related to a word (stemmed, inclusive)."""
+        term = stem(word.lower())
+        return set(self._related.get(term, set())) | {term}
+
+    def expand_query(self, query: str) -> str:
+        """Expand every query term with its ring; returns a term string."""
+        expanded: list[str] = []
+        seen: set[str] = set()
+        for term in analyze(query):
+            for related in sorted(self.related(term)):
+                if related not in seen:
+                    seen.add(related)
+                    expanded.append(related)
+        return " ".join(expanded)

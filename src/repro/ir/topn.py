@@ -1,0 +1,160 @@
+"""Top-N query optimization over idf-ordered fragments.
+
+Two techniques from the paper's query section:
+
+* **Safe pruning** (:func:`topn_fragmented`): fragments are processed in
+  descending-idf order while score accumulators grow; processing stops as
+  soon as the current top-N is provably final.  The stopping bound uses
+  per-fragment ``idf · max_tf`` ceilings per remaining query term — the
+  database-style "reducing the braking distance" family ([CK98, DR99]).
+
+* **A-priori cut-off with a quality model** (:func:`topn_cutoff`,
+  :func:`quality_degrade`): ignore the low-idf tail fragments outright
+  and *estimate/measure* the resulting quality degrade, the cost-quality
+  trade-off of [BHC+01] — "IR is inherently uncertain allowing other
+  probabilistic query optimization tricks".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.monetdb.atoms import Oid
+from repro.ir.fragmentation import FragmentSet
+from repro.ir.ranking import Ranking
+
+__all__ = ["TopNResult", "topn_fragmented", "topn_cutoff", "quality_degrade"]
+
+
+@dataclass
+class TopNResult:
+    """A ranking plus the work accounting the benchmarks report."""
+
+    ranking: Ranking
+    fragments_read: int = 0
+    tuples_read: int = 0
+    exact: bool = True
+    stopped_early: bool = False
+    details: dict[str, float] = field(default_factory=dict)
+
+
+def _rank(scores: dict[Oid, float], n: int) -> Ranking:
+    # scores are quantized in the sort key: summation order differs
+    # between access paths, and a 1-ulp difference must not flip a tie
+    return sorted(scores.items(),
+                  key=lambda item: (-round(item[1], 9), item[0]))[:n]
+
+
+def topn_fragmented(fragments: FragmentSet, query_terms: list[Oid],
+                    n: int, prune: bool = True,
+                    refine: bool = False) -> TopNResult:
+    """Exact top-N over fragments, stopping early when provably final.
+
+    After each fragment, ``remaining[t]`` bounds the score any document
+    can still gain from query term ``t`` in unread fragments.  The scan
+    stops when the N-th accumulated score strictly exceeds (a) the total
+    remaining bound (no unseen document can enter) and (b) every
+    runner-up's accumulated score plus the remaining bound (no seen
+    document can overtake).
+
+    The guarantee is the exact top-N *set*: members' scores may still be
+    partial when the scan stops early, so their relative order can
+    differ from the exhaustive ranking (the classic top-N cut-off
+    trade-off of [CK98]).  ``refine=True`` adds a completion pass that
+    reads the query terms' tail postings *for the member documents
+    only*, making the returned scores exact (the distributed plan needs
+    exact local scores before merging); ``prune=False`` is exhaustive.
+    """
+    result = TopNResult(ranking=[])
+    scores: dict[Oid, float] = defaultdict(float)
+    wanted = set(query_terms)
+
+    remaining: dict[Oid, float] = defaultdict(float)
+    for fragment in fragments:
+        for term in wanted & fragment.term_oids:
+            remaining[term] += fragment.max_score_bound(term)
+
+    stop_index = len(fragments.fragments)
+    for position, fragment in enumerate(fragments):
+        touched = wanted & fragment.term_oids
+        if not touched and prune:
+            # bound bookkeeping only; nothing read from this fragment
+            continue
+        result.fragments_read += 1
+        for term in touched:
+            weight = fragment.idf[term]
+            postings = fragment.postings[term]
+            result.tuples_read += len(postings)
+            for doc, tf in postings:
+                scores[doc] += tf * weight
+            remaining[term] -= fragment.max_score_bound(term)
+        if not prune:
+            continue
+        total_remaining = sum(remaining[term] for term in wanted)
+        if total_remaining <= 0.0:
+            result.stopped_early = True
+            stop_index = position + 1
+            break
+        if len(scores) < n:
+            continue
+        ranking = _rank(scores, len(scores))
+        nth_score = ranking[n - 1][1]
+        if nth_score <= total_remaining:
+            continue
+        runners_up = ranking[n:]
+        ceiling = max((score for _, score in runners_up), default=0.0)
+        # strict: an unseen or runner-up document can never even tie
+        if nth_score > ceiling + total_remaining:
+            result.stopped_early = True
+            stop_index = position + 1
+            break
+
+    if refine and result.stopped_early:
+        members = {doc for doc, _ in _rank(scores, n)}
+        for fragment in fragments.fragments[stop_index:]:
+            for term in wanted & fragment.term_oids:
+                weight = fragment.idf[term]
+                postings = fragment.postings[term]
+                result.tuples_read += len(postings)
+                for doc, tf in postings:
+                    if doc in members:
+                        scores[doc] += tf * weight
+
+    result.ranking = _rank(scores, n)
+    return result
+
+
+def topn_cutoff(fragments: FragmentSet, query_terms: list[Oid], n: int,
+                keep_fragments: int) -> TopNResult:
+    """Approximate top-N reading only the first ``keep_fragments``."""
+    scores: dict[Oid, float] = defaultdict(float)
+    result = TopNResult(ranking=[], exact=False)
+    wanted = set(query_terms)
+    for fragment in fragments.fragments[:keep_fragments]:
+        touched = wanted & fragment.term_oids
+        if not touched:
+            continue
+        result.fragments_read += 1
+        for term in touched:
+            weight = fragment.idf[term]
+            postings = fragment.postings[term]
+            result.tuples_read += len(postings)
+            for doc, tf in postings:
+                scores[doc] += tf * weight
+    result.ranking = _rank(scores, n)
+    return result
+
+
+def quality_degrade(exact: Ranking, approximate: Ranking) -> float:
+    """Quality of an approximate ranking: overlap@N with the exact one.
+
+    1.0 means the approximate top-N found every exact top-N document;
+    0.0 means it found none — the paper's "quality degrade resulting from
+    a-priori ignoring fragments with lower idf", measured.
+    """
+    if not exact:
+        return 1.0
+    exact_docs = {doc for doc, _ in exact}
+    found = sum(1 for doc, _ in approximate if doc in exact_docs)
+    return found / len(exact_docs)

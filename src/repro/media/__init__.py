@@ -1,0 +1,36 @@
+"""Generic Internet detectors and the Internet-scale engine.
+
+Public surface:
+
+* :mod:`~repro.media.images` — synthetic images, photo/graphic
+  classifier, portrait detector,
+* :class:`~repro.media.language.LanguageDetector` — trigram language id,
+* :func:`~repro.media.grammar.build_internet_grammar` /
+  ``build_internet_registry`` — the Fig 14 grammar, operational,
+* :class:`~repro.media.internet.InternetSearchEngine` — the future-work
+  engine (portraits about a concept).
+"""
+
+from repro.media.audio import (SyntheticAudio, classify_audio,
+                               make_interview, make_jingle,
+                               segment_speakers)
+from repro.media.grammar import (INTERNET_GRAMMAR, build_internet_grammar,
+                                 build_internet_registry)
+from repro.media.images import (SyntheticImage, classify_photo_graphic,
+                                detect_portrait, distinct_colors,
+                                make_graphic, make_photo, make_portrait,
+                                smoothness)
+from repro.media.internet import InternetSearchEngine, PortraitHit
+from repro.media.language import SUPPORTED_LANGUAGES, LanguageDetector
+
+__all__ = [
+    "SyntheticImage", "make_portrait", "make_photo", "make_graphic",
+    "classify_photo_graphic", "detect_portrait", "distinct_colors",
+    "smoothness",
+    "LanguageDetector", "SUPPORTED_LANGUAGES",
+    "INTERNET_GRAMMAR", "build_internet_grammar",
+    "build_internet_registry",
+    "InternetSearchEngine", "PortraitHit",
+    "SyntheticAudio", "make_interview", "make_jingle", "classify_audio",
+    "segment_speakers",
+]

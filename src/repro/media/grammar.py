@@ -1,0 +1,133 @@
+"""The Internet feature grammar (paper Fig. 14) and its detectors.
+
+The future-work section applies the architecture "to the Internet as a
+whole ... by replacing the specific webschema by a very generic one":
+HTML pages modelled as keyword bags plus anchors, where each anchor is a
+``&MMO`` *reference* back to the start symbol — "the hierarchical
+structure of the grammar can be turned into a graph ... In this way the
+linking structure of the web is modeled."
+
+The multimedia branch runs the generic detectors the paper lists: a
+photo/graphic classifier [ASF97], face/portrait detection [LH96] and
+language detection [TNO01].
+"""
+
+from __future__ import annotations
+
+from repro.featuregrammar.ast import Grammar
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.rpc import RpcServer, default_transports
+from repro.ir.text import analyze
+from repro.media.images import classify_photo_graphic, detect_portrait
+from repro.media.language import LanguageDetector
+from repro.web.html import extract_links, extract_text, parse_html
+from repro.web.site import SimulatedWebServer
+
+__all__ = ["INTERNET_GRAMMAR", "build_internet_grammar",
+           "build_internet_registry"]
+
+INTERNET_GRAMMAR = """
+%module internet;
+%start MMO(location);
+
+%detector header(location);
+%detector html_type  primary == "text";
+%detector image_type primary == "image";
+%detector xml-rpc::parse_page(location);
+%detector xml-rpc::image_features(location);
+%detector system::language(location);
+
+%atom url;
+%atom url location;
+%atom str primary;
+%atom str secondary;
+%atom str word, title_text, lang_code;
+%atom bit is_portrait;
+
+MMO       : location header mm_type?;
+header    : MIME_type;
+MIME_type : primary secondary;
+mm_type   : html_type html;
+mm_type   : image_type image;
+
+html      : parse_page;
+parse_page : language? title? body? anchor*;
+language  : lang_code;
+title     : "title" title_text;
+body      : keyword+;
+keyword   : "kw" word;
+anchor    : "a" &MMO;
+
+image       : image_features;
+image_features : img_class portrait;
+img_class   : "photo";
+img_class   : "graphic";
+portrait    : is_portrait;
+"""
+
+# keep pages from flooding the token stack; enough for relevance ranking
+_MAX_KEYWORDS = 120
+
+
+def build_internet_grammar() -> Grammar:
+    """Parse the Internet feature grammar."""
+    return parse_grammar(INTERNET_GRAMMAR)
+
+
+def build_internet_registry(server: SimulatedWebServer,
+                            rpc: RpcServer | None = None
+                            ) -> DetectorRegistry:
+    """Bind the generic detectors against a simulated web server."""
+    rpc = rpc or RpcServer("internet-analysis")
+    registry = DetectorRegistry(default_transports(rpc))
+    language_detector = LanguageDetector()
+
+    def header(location: str) -> list[str]:
+        mime = server.mime(location)
+        return [mime[0], mime[1]]
+
+    def parse_page(location: str) -> list:
+        resource = server.get(location)
+        page = parse_html(resource.body)
+        tokens: list = []
+        title = page.find("head")
+        title_node = title.find("title") if title is not None else None
+        if title_node is None:
+            for node in page.iter():
+                if getattr(node, "tag", None) == "title":
+                    title_node = node
+                    break
+        if title_node is not None:
+            tokens.extend(["title", title_node.text()])
+        words = analyze(extract_text(page))
+        for word in words[:_MAX_KEYWORDS]:
+            tokens.extend(["kw", word])
+        for link in extract_links(page):
+            tokens.extend(["a", server.absolute(link)])
+        return tokens
+
+    def language(location: str) -> list[str]:
+        resource = server.get(location)
+        page = parse_html(resource.body)
+        return [language_detector.detect(extract_text(page))]
+
+    def image_features(location: str) -> list:
+        resource = server.get(location)
+        image = resource.payload
+        if image is None:
+            return ["graphic", False]
+        kind = classify_photo_graphic(image.pixels)
+        portrait = bool(detect_portrait(image.pixels))
+        if portrait:
+            kind = "photo"  # a portrait is by definition a photograph
+        return [kind, portrait]
+
+    registry.register("header", header)
+    rpc.register("parse_page", parse_page)
+    rpc.register("image_features", image_features)
+    rpc.register("language", language)
+    registry.remote("xml-rpc", "parse_page")
+    registry.remote("xml-rpc", "image_features")
+    registry.remote("system", "language")
+    return registry

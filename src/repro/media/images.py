@@ -1,0 +1,147 @@
+"""Synthetic images and the generic image detectors of the future-work
+section: a photo/graphic classifier ([ASF97]) and a face/portrait
+detector ([LH96]).
+
+The originals work on colour statistics: photographs have smooth
+gradients and a wide colour distribution, graphics have few, flat
+colours; faces are compact skin-coloured regions with head-like aspect
+ratios.  The synthetic generators produce images with exactly those
+statistics, plus ground truth for the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cobra.histogram import skin_mask
+
+__all__ = ["SyntheticImage", "make_portrait", "make_graphic", "make_photo",
+           "classify_photo_graphic", "detect_portrait", "distinct_colors",
+           "smoothness"]
+
+
+@dataclass
+class SyntheticImage:
+    """An image plus what the generator put in it."""
+
+    location: str
+    pixels: np.ndarray          # (h, w, 3) uint8
+    kind: str                   # "portrait" | "photo" | "graphic"
+
+    @property
+    def is_portrait(self) -> bool:
+        return self.kind == "portrait"
+
+
+_SKIN = np.array([224, 172, 138], dtype=np.int16)
+
+
+def make_portrait(location: str, seed: int = 0,
+                  size: tuple[int, int] = (48, 36)) -> SyntheticImage:
+    """A head-and-shoulders photograph: a large elliptical skin region."""
+    rng = np.random.default_rng(seed)
+    height, width = size
+    vertical = np.linspace(0, 60, height)[:, None, None]
+    # a cool (blue-dominant) studio backdrop: never skin-coloured, so the
+    # face region is the only skin blob in the image
+    base = np.array([rng.uniform(40, 80), rng.uniform(60, 110),
+                     rng.uniform(120, 170)])
+    pixels = (base + vertical
+              + rng.normal(0, 6, size=(height, width, 3)))
+    rows = np.arange(height)[:, None]
+    cols = np.arange(width)[None, :]
+    center_row, center_col = height * 0.42, width / 2
+    radius_row, radius_col = height * 0.30, width * 0.26
+    face = (((rows - center_row) / radius_row) ** 2
+            + ((cols - center_col) / radius_col) ** 2) <= 1.0
+    face_pixels = _SKIN + rng.normal(0, 8, size=(height, width, 3))
+    pixels = np.where(face[:, :, None], face_pixels, pixels)
+    return SyntheticImage(location, np.clip(pixels, 0, 255).astype(np.uint8),
+                          "portrait")
+
+
+def make_photo(location: str, seed: int = 0,
+               size: tuple[int, int] = (48, 36)) -> SyntheticImage:
+    """A natural photograph: smooth gradients, wide colour spread."""
+    rng = np.random.default_rng(seed)
+    height, width = size
+    rows = np.linspace(0, 1, height)[:, None]
+    cols = np.linspace(0, 1, width)[None, :]
+    channels = []
+    for _ in range(3):
+        a, b, c = rng.uniform(40, 200, size=3)
+        channels.append(a * rows + b * cols + c * rows * cols
+                        + rng.normal(0, 8, size=(height, width)))
+    pixels = np.stack(channels, axis=2)
+    return SyntheticImage(location, np.clip(pixels, 0, 255).astype(np.uint8),
+                          "photo")
+
+
+def make_graphic(location: str, seed: int = 0,
+                 size: tuple[int, int] = (48, 36)) -> SyntheticImage:
+    """A logo/chart: a handful of flat colours, hard edges."""
+    rng = np.random.default_rng(seed)
+    height, width = size
+    palette = rng.integers(0, 256, size=(4, 3))
+    pixels = np.zeros((height, width, 3), dtype=np.uint8)
+    pixels[:] = palette[0]
+    pixels[:height // 2, :width // 2] = palette[1]
+    pixels[height // 3:, 2 * width // 3:] = palette[2]
+    band = slice(height // 2, height // 2 + max(1, height // 8))
+    pixels[band, :] = palette[3]
+    return SyntheticImage(location, pixels, "graphic")
+
+
+def distinct_colors(pixels: np.ndarray, step: int = 16) -> int:
+    """Number of distinct quantised colours."""
+    quantised = (pixels.reshape(-1, 3).astype(np.int64) // step)
+    keys = (quantised[:, 0] * 10000 + quantised[:, 1] * 100
+            + quantised[:, 2])
+    return int(np.unique(keys).size)
+
+
+def smoothness(pixels: np.ndarray) -> float:
+    """Mean absolute neighbour difference (photos are smooth + dithered)."""
+    grey = pixels.mean(axis=2)
+    dx = np.abs(np.diff(grey, axis=1)).mean()
+    dy = np.abs(np.diff(grey, axis=0)).mean()
+    return float((dx + dy) / 2.0)
+
+
+def classify_photo_graphic(pixels: np.ndarray) -> str:
+    """Distinguish photographs from graphics by colour statistics.
+
+    Graphics: few flat colours (most pixels exactly share a colour);
+    photographs: wide, dithered distributions.  The decision combines
+    the distinct-colour count with the fraction of pixels in the most
+    common colour (the [ASF97] signals).
+    """
+    colors = distinct_colors(pixels)
+    flat = pixels.reshape(-1, 3)
+    keys = (flat[:, 0].astype(np.int64) * 65536
+            + flat[:, 1].astype(np.int64) * 256 + flat[:, 2])
+    _, counts = np.unique(keys, return_counts=True)
+    top_fraction = float(counts.max()) / keys.size
+    if colors <= 24 or top_fraction > 0.2:
+        return "graphic"
+    return "photo"
+
+
+def detect_portrait(pixels: np.ndarray) -> bool:
+    """Is there a face-sized skin region (a portrait)?
+
+    Requires a substantial skin fraction and a compact, roughly
+    head-shaped (taller-than-wide) skin bounding box.
+    """
+    mask = skin_mask(pixels)
+    fraction = float(mask.mean())
+    if fraction < 0.10:
+        return False
+    rows, cols = np.nonzero(mask)
+    height = rows.max() - rows.min() + 1
+    width = cols.max() - cols.min() + 1
+    density = rows.size / float(height * width)
+    aspect = height / max(1.0, float(width))
+    return density > 0.5 and 0.8 <= aspect <= 3.0

@@ -1,0 +1,105 @@
+"""Relational algebra helpers over BATs.
+
+The query translator (``repro.core.translate``) breaks conceptual queries
+down to sequences of these operators; they are thin, well-named wrappers
+that keep translation code readable and chargeable to a server's cost
+accounting.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.monetdb.bat import BAT
+from repro.monetdb.server import MonetServer
+
+__all__ = [
+    "select_eq", "select_where", "join", "semijoin", "intersect_heads",
+    "union_heads", "difference_heads", "topn_merge", "project_tails",
+]
+
+
+def _charge(server: MonetServer | None, tuples: int) -> None:
+    if server is not None:
+        server.charge(tuples)
+
+
+def select_eq(bat: BAT, value: Any, server: MonetServer | None = None) -> BAT:
+    """Tail equality selection (indexed); charges the input size once."""
+    _charge(server, len(bat))
+    return bat.select_tail(value)
+
+
+def select_where(bat: BAT, predicate: Callable[[Any], bool],
+                 server: MonetServer | None = None) -> BAT:
+    """Tail predicate selection (scan)."""
+    _charge(server, len(bat))
+    return bat.select(predicate)
+
+
+def join(left: BAT, right: BAT, server: MonetServer | None = None) -> BAT:
+    """Hash equi-join on left.tail == right.head."""
+    _charge(server, len(left) + len(right))
+    return left.join(right)
+
+
+def semijoin(left: BAT, right: BAT, server: MonetServer | None = None) -> BAT:
+    """Keep left associations whose head appears as a head of right."""
+    _charge(server, len(left) + len(right))
+    return left.semijoin(right)
+
+
+def intersect_heads(bats: Sequence[BAT],
+                    server: MonetServer | None = None) -> set[Any]:
+    """Intersection of the head sets of several BATs."""
+    if not bats:
+        return set()
+    _charge(server, sum(len(bat) for bat in bats))
+    result = set(bats[0].head)
+    for bat in bats[1:]:
+        result &= set(bat.head)
+    return result
+
+
+def union_heads(bats: Sequence[BAT],
+                server: MonetServer | None = None) -> set[Any]:
+    """Union of the head sets of several BATs."""
+    _charge(server, sum(len(bat) for bat in bats))
+    result: set[Any] = set()
+    for bat in bats:
+        result |= set(bat.head)
+    return result
+
+
+def difference_heads(left: BAT, right: BAT,
+                     server: MonetServer | None = None) -> set[Any]:
+    """Head set of ``left`` minus head set of ``right``."""
+    _charge(server, len(left) + len(right))
+    return set(left.head) - set(right.head)
+
+
+def project_tails(bat: BAT, heads: Iterable[Any],
+                  server: MonetServer | None = None) -> list[Any]:
+    """Tails of the associations whose head is in the given set, in order."""
+    keys = set(heads)
+    _charge(server, len(bat))
+    return [tail for head, tail in bat if head in keys]
+
+
+def topn_merge(rankings: Sequence[Sequence[tuple[Any, float]]], n: int
+               ) -> list[tuple[Any, float]]:
+    """Merge per-server (key, score) rankings into one global top-N.
+
+    Each input ranking must already be sorted by descending score; the
+    merge is the central node's final step in the distributed top-N plan.
+    Ties break on the key for determinism.
+    """
+    merged = heapq.merge(
+        *rankings, key=lambda pair: (-round(pair[1], 9), pair[0]))
+    result: list[tuple[Any, float]] = []
+    for pair in merged:
+        result.append(pair)
+        if len(result) == n:
+            break
+    return result

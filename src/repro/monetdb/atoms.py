@@ -1,0 +1,132 @@
+"""Atom abstract data types (ADTs) of the binary-association store.
+
+The paper's physical level stores all data as *binary associations* whose
+columns carry typed atoms.  The feature grammar language likewise declares
+``%atom`` ADTs (``oid``, ``int``, ``flt``, ``str``, ``bit``, ``url``) that
+"should be supported by the lower system levels".  This module is that
+support: a small registry of atom types with validation and coercion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import AtomTypeError
+
+__all__ = ["Oid", "AtomType", "ATOM_TYPES", "atom_type", "register_atom_type"]
+
+
+class Oid(int):
+    """An object identifier.
+
+    Oids are plain integers with a distinct type so that accidental mixing
+    of oids and data integers is caught by atom validation.  They print in
+    the Monet style (``123@0``).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{int(self)}@0"
+
+
+def _check_oid(value: Any) -> Oid:
+    if isinstance(value, Oid):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return Oid(value)
+    raise AtomTypeError(f"not an oid: {value!r}")
+
+
+def _check_int(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise AtomTypeError(f"not an int: {value!r}")
+    return value
+
+
+def _check_flt(value: Any) -> float:
+    if isinstance(value, bool):
+        raise AtomTypeError(f"not a flt: {value!r}")
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    raise AtomTypeError(f"not a flt: {value!r}")
+
+
+def _check_str(value: Any) -> str:
+    if not isinstance(value, str):
+        raise AtomTypeError(f"not a str: {value!r}")
+    return value
+
+
+def _check_bit(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise AtomTypeError(f"not a bit: {value!r}")
+    return value
+
+
+def _check_url(value: Any) -> str:
+    if not isinstance(value, str) or not value:
+        raise AtomTypeError(f"not a url: {value!r}")
+    if ":" not in value and not value.startswith("/"):
+        raise AtomTypeError(f"not a url (no scheme or absolute path): {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class AtomType:
+    """A named atom ADT with a validating coercion function."""
+
+    name: str
+    check: Callable[[Any], Any]
+
+    def coerce(self, value: Any) -> Any:
+        """Return ``value`` coerced to this ADT, or raise :class:`AtomTypeError`."""
+        return self.check(value)
+
+    def accepts(self, value: Any) -> bool:
+        """Report whether ``value`` conforms to this ADT."""
+        try:
+            self.check(value)
+        except AtomTypeError:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AtomType({self.name})"
+
+
+ATOM_TYPES: dict[str, AtomType] = {
+    "oid": AtomType("oid", _check_oid),
+    "int": AtomType("int", _check_int),
+    "flt": AtomType("flt", _check_flt),
+    "str": AtomType("str", _check_str),
+    "bit": AtomType("bit", _check_bit),
+    "url": AtomType("url", _check_url),
+}
+
+
+def atom_type(name: str) -> AtomType:
+    """Look up a registered atom ADT by name."""
+    try:
+        return ATOM_TYPES[name]
+    except KeyError:
+        raise AtomTypeError(f"unknown atom type: {name!r}") from None
+
+
+def register_atom_type(name: str, check: Callable[[Any], Any]) -> AtomType:
+    """Register a new atom ADT (the ``%atom url;`` declaration of the paper).
+
+    Re-registering an existing name with a new checker is an error; the
+    declaration is idempotent when the checker is identical.
+    """
+    existing = ATOM_TYPES.get(name)
+    if existing is not None:
+        if existing.check is check:
+            return existing
+        raise AtomTypeError(f"atom type {name!r} already registered")
+    new_type = AtomType(name, check)
+    ATOM_TYPES[name] = new_type
+    return new_type

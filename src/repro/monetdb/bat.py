@@ -1,0 +1,399 @@
+"""Binary Association Tables (BATs): the storage primitive of the engine.
+
+Monet [BK95] decomposes all data into binary relations of (head, tail)
+pairs.  The paper's Monet XML mapping stores every association type (one
+per root-to-node path) in one such relation.  This module implements the
+BAT with the operator repertoire the upper levels need:
+
+* point and range selections on head or tail,
+* equi-joins and semijoins,
+* reverse / mirror views,
+* grouped aggregation and sorting,
+* append with optional hash indexes kept up to date.
+
+A BAT is deliberately simple: two parallel Python lists plus lazy hash
+indexes.  That keeps operator semantics obvious while still giving the
+asymptotics (hash join, indexed selection) the benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import BatError
+from repro.monetdb.atoms import AtomType, atom_type
+
+__all__ = ["BAT"]
+
+
+class BAT:
+    """A binary association table with typed head and tail columns."""
+
+    __slots__ = ("name", "head_type", "tail_type", "_head", "_tail",
+                 "_head_index", "_tail_index")
+
+    def __init__(self, head_type: AtomType | str, tail_type: AtomType | str,
+                 name: str = ""):
+        if isinstance(head_type, str):
+            head_type = atom_type(head_type)
+        if isinstance(tail_type, str):
+            tail_type = atom_type(tail_type)
+        self.name = name
+        self.head_type = head_type
+        self.tail_type = tail_type
+        self._head: list[Any] = []
+        self._tail: list[Any] = []
+        self._head_index: dict[Any, list[int]] | None = None
+        self._tail_index: dict[Any, list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._head)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return zip(self._head, self._tail)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "<anonymous>"
+        return (f"BAT[{self.head_type.name},{self.tail_type.name}]"
+                f"({label}, {len(self)} buns)")
+
+    @property
+    def head(self) -> list[Any]:
+        """The head column (read-only by convention)."""
+        return self._head
+
+    @property
+    def tail(self) -> list[Any]:
+        """The tail column (read-only by convention)."""
+        return self._tail
+
+    def count(self) -> int:
+        """Number of associations (buns) in the BAT."""
+        return len(self._head)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def insert(self, head: Any, tail: Any) -> None:
+        """Append one association, validating both atoms."""
+        head = self.head_type.coerce(head)
+        tail = self.tail_type.coerce(tail)
+        position = len(self._head)
+        self._head.append(head)
+        self._tail.append(tail)
+        if self._head_index is not None:
+            self._head_index[head].append(position)
+        if self._tail_index is not None:
+            self._tail_index[tail].append(position)
+
+    def extend(self, pairs: Iterable[tuple[Any, Any]]) -> None:
+        """Append many associations."""
+        for head, tail in pairs:
+            self.insert(head, tail)
+
+    def delete_head(self, head: Any) -> int:
+        """Delete every association with the given head; return the count."""
+        positions = self._positions_by_head(head)
+        if not positions:
+            return 0
+        doomed = set(positions)
+        self._head = [h for i, h in enumerate(self._head) if i not in doomed]
+        self._tail = [t for i, t in enumerate(self._tail) if i not in doomed]
+        self._head_index = None
+        self._tail_index = None
+        return len(doomed)
+
+    def replace(self, head: Any, tail: Any) -> int:
+        """Replace the tail of every association with the given head."""
+        tail = self.tail_type.coerce(tail)
+        positions = self._positions_by_head(head)
+        for position in positions:
+            self._tail[position] = tail
+        if positions:
+            self._tail_index = None
+        return len(positions)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+
+    def _build_head_index(self) -> dict[Any, list[int]]:
+        index: dict[Any, list[int]] = defaultdict(list)
+        for position, value in enumerate(self._head):
+            index[value].append(position)
+        self._head_index = index
+        return index
+
+    def _build_tail_index(self) -> dict[Any, list[int]]:
+        index: dict[Any, list[int]] = defaultdict(list)
+        for position, value in enumerate(self._tail):
+            index[value].append(position)
+        self._tail_index = index
+        return index
+
+    def _positions_by_head(self, value: Any) -> list[int]:
+        index = self._head_index or self._build_head_index()
+        return index.get(value, [])
+
+    def _positions_by_tail(self, value: Any) -> list[int]:
+        index = self._tail_index or self._build_tail_index()
+        return index.get(value, [])
+
+    # ------------------------------------------------------------------
+    # selections
+    # ------------------------------------------------------------------
+
+    def find(self, head: Any) -> Any:
+        """Return the tail of the first association with the given head.
+
+        Raises :class:`BatError` when the head is absent.  Mirrors Monet's
+        ``find`` for functional BATs (head is a key).
+        """
+        positions = self._positions_by_head(head)
+        if not positions:
+            raise BatError(f"head {head!r} not found in {self.name or 'BAT'}")
+        return self._tail[positions[0]]
+
+    def find_all(self, head: Any) -> list[Any]:
+        """Return the tails of all associations with the given head."""
+        return [self._tail[i] for i in self._positions_by_head(head)]
+
+    def get(self, head: Any, default: Any = None) -> Any:
+        """Like :meth:`find` but returning ``default`` when absent."""
+        positions = self._positions_by_head(head)
+        if not positions:
+            return default
+        return self._tail[positions[0]]
+
+    def exists(self, head: Any) -> bool:
+        """Report whether any association has the given head."""
+        return bool(self._positions_by_head(head))
+
+    def find_heads(self, tail: Any) -> list[Any]:
+        """Return the heads of all associations with the given tail.
+
+        Uses the tail hash index, so repeated reverse lookups don't pay
+        for building a reversed BAT.
+        """
+        return [self._head[i] for i in self._positions_by_tail(tail)]
+
+    def select_tail(self, value: Any) -> "BAT":
+        """Select associations whose tail equals ``value`` (uses the index)."""
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.select")
+        for position in self._positions_by_tail(value):
+            result._head.append(self._head[position])
+            result._tail.append(self._tail[position])
+        return result
+
+    def select(self, predicate: Callable[[Any], bool]) -> "BAT":
+        """Select associations whose tail satisfies ``predicate`` (scan)."""
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.select")
+        for head, tail in zip(self._head, self._tail):
+            if predicate(tail):
+                result._head.append(head)
+                result._tail.append(tail)
+        return result
+
+    def select_range(self, low: Any, high: Any,
+                     include_low: bool = True,
+                     include_high: bool = True) -> "BAT":
+        """Range selection on the tail column (scan)."""
+        def in_range(value: Any) -> bool:
+            if low is not None:
+                if include_low:
+                    if value < low:
+                        return False
+                elif value <= low:
+                    return False
+            if high is not None:
+                if include_high:
+                    if value > high:
+                        return False
+                elif value >= high:
+                    return False
+            return True
+
+        return self.select(in_range)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def reverse(self) -> "BAT":
+        """Return a BAT with head and tail swapped."""
+        result = BAT(self.tail_type, self.head_type,
+                     name=f"{self.name}.reverse")
+        result._head = list(self._tail)
+        result._tail = list(self._head)
+        return result
+
+    def mirror(self) -> "BAT":
+        """Return a BAT mapping each head to itself."""
+        result = BAT(self.head_type, self.head_type,
+                     name=f"{self.name}.mirror")
+        result._head = list(self._head)
+        result._tail = list(self._head)
+        return result
+
+    def copy(self, name: str = "") -> "BAT":
+        """Return an independent copy of this BAT."""
+        result = BAT(self.head_type, self.tail_type,
+                     name=name or self.name)
+        result._head = list(self._head)
+        result._tail = list(self._tail)
+        return result
+
+    def slice(self, start: int, stop: int) -> "BAT":
+        """Return the positional slice [start, stop) as a new BAT."""
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.slice")
+        result._head = self._head[start:stop]
+        result._tail = self._tail[start:stop]
+        return result
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+
+    def join(self, other: "BAT") -> "BAT":
+        """Equi-join: pairs (h1, t2) where self.tail == other.head.
+
+        Implemented as a hash join on the smaller side's join column.
+        """
+        if self.tail_type.name != other.head_type.name:
+            raise BatError(
+                f"join type mismatch: {self.tail_type.name} vs "
+                f"{other.head_type.name}")
+        result = BAT(self.head_type, other.tail_type,
+                     name=f"{self.name}.join({other.name})")
+        other_index = other._head_index or other._build_head_index()
+        for head, tail in zip(self._head, self._tail):
+            for position in other_index.get(tail, ()):
+                result._head.append(head)
+                result._tail.append(other._tail[position])
+        return result
+
+    def semijoin(self, other: "BAT") -> "BAT":
+        """Keep associations whose head occurs as a head in ``other``."""
+        keys = set(other._head)
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.semijoin")
+        for head, tail in zip(self._head, self._tail):
+            if head in keys:
+                result._head.append(head)
+                result._tail.append(tail)
+        return result
+
+    def antijoin(self, other: "BAT") -> "BAT":
+        """Keep associations whose head does NOT occur as a head in ``other``."""
+        keys = set(other._head)
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.antijoin")
+        for head, tail in zip(self._head, self._tail):
+            if head not in keys:
+                result._head.append(head)
+                result._tail.append(tail)
+        return result
+
+    def semijoin_values(self, heads: Iterable[Any]) -> "BAT":
+        """Keep associations whose head is in the given value set."""
+        keys = set(heads)
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.semijoin")
+        for head, tail in zip(self._head, self._tail):
+            if head in keys:
+                result._head.append(head)
+                result._tail.append(tail)
+        return result
+
+    # ------------------------------------------------------------------
+    # ordering and aggregation
+    # ------------------------------------------------------------------
+
+    def sort_tail(self, descending: bool = False) -> "BAT":
+        """Return a copy ordered by tail value."""
+        order = sorted(range(len(self._head)),
+                       key=lambda i: self._tail[i], reverse=descending)
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.sort")
+        result._head = [self._head[i] for i in order]
+        result._tail = [self._tail[i] for i in order]
+        return result
+
+    def topn(self, n: int, descending: bool = True) -> "BAT":
+        """Return the n associations with the largest (or smallest) tails."""
+        if n < 0:
+            raise BatError("topn requires n >= 0")
+        return self.sort_tail(descending=descending).slice(0, n)
+
+    def group_count(self) -> "BAT":
+        """Group by head; tail is the group size."""
+        counts: dict[Any, int] = defaultdict(int)
+        order: list[Any] = []
+        for head in self._head:
+            if head not in counts:
+                order.append(head)
+            counts[head] += 1
+        result = BAT(self.head_type, atom_type("int"),
+                     name=f"{self.name}.count")
+        for head in order:
+            result._head.append(head)
+            result._tail.append(counts[head])
+        return result
+
+    def group_sum(self) -> "BAT":
+        """Group by head; tail is the sum of tails per group."""
+        sums: dict[Any, Any] = {}
+        order: list[Any] = []
+        for head, tail in zip(self._head, self._tail):
+            if head not in sums:
+                order.append(head)
+                sums[head] = tail
+            else:
+                sums[head] = sums[head] + tail
+        result = BAT(self.head_type, self.tail_type,
+                     name=f"{self.name}.sum")
+        for head in order:
+            result._head.append(head)
+            result._tail.append(sums[head])
+        return result
+
+    def unique_heads(self) -> list[Any]:
+        """Distinct head values in first-appearance order."""
+        seen: set[Any] = set()
+        values: list[Any] = []
+        for head in self._head:
+            if head not in seen:
+                seen.add(head)
+                values.append(head)
+        return values
+
+    def unique_tails(self) -> list[Any]:
+        """Distinct tail values in first-appearance order."""
+        seen: set[Any] = set()
+        values: list[Any] = []
+        for tail in self._tail:
+            if tail not in seen:
+                seen.add(tail)
+                values.append(tail)
+        return values
+
+    # ------------------------------------------------------------------
+    # bulk construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, head_type: AtomType | str, tail_type: AtomType | str,
+                   pairs: Iterable[tuple[Any, Any]], name: str = "") -> "BAT":
+        """Build a BAT from an iterable of (head, tail) pairs."""
+        bat = cls(head_type, tail_type, name=name)
+        bat.extend(pairs)
+        return bat

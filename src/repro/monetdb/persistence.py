@@ -1,0 +1,94 @@
+"""Snapshot persistence for a server catalog.
+
+Monet is a main-memory system with explicit persistence; we mirror that
+with a line-oriented JSON snapshot (one header line per BAT, one line per
+association) so that example scripts can save and reload an index without
+rebuilding it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CatalogError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.catalog import Catalog
+
+__all__ = ["save_catalog", "load_catalog"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any, type_name: str) -> Any:
+    if type_name == "oid":
+        return int(value)
+    return value
+
+
+def _decode_value(value: Any, type_name: str) -> Any:
+    if type_name == "oid":
+        return Oid(value)
+    return value
+
+
+def save_catalog(catalog: Catalog, path: str | Path) -> None:
+    """Write the catalog to ``path`` as a line-oriented JSON snapshot."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        header = {
+            "format": _FORMAT_VERSION,
+            "next_oid": int(catalog.oids.peek()),
+        }
+        stream.write(json.dumps(header) + "\n")
+        for name in catalog.names():
+            bat = catalog.get(name)
+            meta = {
+                "bat": name,
+                "head": bat.head_type.name,
+                "tail": bat.tail_type.name,
+                "count": len(bat),
+            }
+            stream.write(json.dumps(meta) + "\n")
+            for head, tail in bat:
+                pair = [_encode_value(head, bat.head_type.name),
+                        _encode_value(tail, bat.tail_type.name)]
+                stream.write(json.dumps(pair) + "\n")
+
+
+def load_catalog(path: str | Path) -> Catalog:
+    """Load a catalog snapshot written by :func:`save_catalog`."""
+    path = Path(path)
+    catalog = Catalog()
+    with path.open("r", encoding="utf-8") as stream:
+        header_line = stream.readline()
+        if not header_line:
+            raise CatalogError(f"empty snapshot: {path}")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT_VERSION:
+            raise CatalogError(
+                f"unsupported snapshot format: {header.get('format')!r}")
+        current = None
+        remaining = 0
+        for line in stream:
+            record = json.loads(line)
+            if isinstance(record, dict):
+                if remaining:
+                    raise CatalogError(
+                        f"snapshot truncated: {remaining} pairs missing in "
+                        f"{current.name if current else '?'}")
+                current = catalog.create(record["bat"], record["head"],
+                                         record["tail"])
+                remaining = record["count"]
+            else:
+                if current is None:
+                    raise CatalogError("snapshot pair before any BAT header")
+                head = _decode_value(record[0], current.head_type.name)
+                tail = _decode_value(record[1], current.tail_type.name)
+                current.insert(head, tail)
+                remaining -= 1
+        if remaining:
+            raise CatalogError("snapshot ends mid-BAT")
+    catalog.oids.advance_past(header["next_oid"] - 1)
+    return catalog

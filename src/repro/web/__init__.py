@@ -1,0 +1,35 @@
+"""The simulated web substrate: server, HTML, crawler, Australian Open.
+
+Public surface:
+
+* :class:`~repro.web.site.SimulatedWebServer` — the HTTP stand-in,
+* :func:`~repro.web.html.parse_html` — lenient HTML parsing,
+* :func:`~repro.web.crawler.crawl` — breadth-first site crawl,
+* :func:`~repro.web.ausopen.build_ausopen_site` — the running example's
+  website, with ground truth,
+* :func:`~repro.web.reengineer.reengineer_site` — HTML back to webspace
+  materialized views.
+"""
+
+from repro.web.ausopen import (ArticleRecord, AusOpenGroundTruth,
+                               PlayerRecord, VideoRecord, build_ausopen_site)
+from repro.web.crawler import CrawlResult, crawl
+from repro.web.lonelyplanet import (build_lonelyplanet_site,
+                                    lonely_planet_schema,
+                                    reengineer_lonelyplanet)
+from repro.web.html import (extract_links, extract_text, find_by_class,
+                            find_by_id, parse_html)
+from repro.web.reengineer import reengineer_page, reengineer_site
+from repro.web.site import SimulatedWebServer, WebResource
+
+__all__ = [
+    "SimulatedWebServer", "WebResource",
+    "parse_html", "extract_links", "extract_text", "find_by_id",
+    "find_by_class",
+    "crawl", "CrawlResult",
+    "build_ausopen_site", "AusOpenGroundTruth", "PlayerRecord",
+    "ArticleRecord", "VideoRecord",
+    "reengineer_site", "reengineer_page",
+    "build_lonelyplanet_site", "lonely_planet_schema",
+    "reengineer_lonelyplanet",
+]

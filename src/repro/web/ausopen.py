@@ -1,0 +1,368 @@
+"""The synthetic Australian Open website (the paper's running example).
+
+The real ausopen.org of 2001 is gone; this generator rebuilds its
+*shape*: presentation-oriented HTML pages whose source data carries the
+hidden semantics of Fig 1 — players with gender, name, country, play
+hand, a history Hypertext, a picture; articles covering players; match
+videos.  The generator keeps the source data as ground truth so the
+re-engineering step and the final mixed query can be verified exactly.
+
+Monica Seles is seeded deliberately: female, left-handed, a past
+champion whose match video contains a net approach — the paper's
+"video shots of left-handed female players, who have won the Australian
+Open in the past, and in which they approach the net" must return her.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cobra.video import SyntheticVideo, generate_video, tennis_match_script
+from repro.media.audio import make_interview
+from repro.media.images import SyntheticImage, make_graphic, make_portrait
+from repro.web.site import SimulatedWebServer
+
+__all__ = ["PlayerRecord", "ArticleRecord", "VideoRecord",
+           "AusOpenGroundTruth", "build_ausopen_site"]
+
+
+@dataclass
+class PlayerRecord:
+    key: str
+    name: str
+    gender: str          # "female" | "male"
+    country: str
+    plays: str           # "left" | "right"
+    champion_years: tuple[int, ...] = ()
+    history: str = ""
+    picture_path: str = ""
+    page_path: str = ""
+    interview_path: str = ""  # champions give post-match interviews
+
+    @property
+    def is_champion(self) -> bool:
+        return bool(self.champion_years)
+
+
+@dataclass
+class ArticleRecord:
+    key: str
+    title: str
+    body: str
+    about: tuple[str, ...] = ()          # player keys
+    video_key: str | None = None
+    page_path: str = ""
+
+
+@dataclass
+class VideoRecord:
+    key: str
+    title: str
+    players: tuple[str, ...] = ()        # player keys
+    media_path: str = ""
+    page_path: str = ""
+    netplay: bool = False
+    court: str = "rebound_ace"
+    seed: int = 0
+
+
+@dataclass
+class AusOpenGroundTruth:
+    """Everything the generator put into the site."""
+
+    players: list[PlayerRecord] = field(default_factory=list)
+    articles: list[ArticleRecord] = field(default_factory=list)
+    videos: list[VideoRecord] = field(default_factory=list)
+
+    def player(self, key: str) -> PlayerRecord:
+        return next(p for p in self.players if p.key == key)
+
+    def mixed_query_answer(self) -> list[tuple[str, str]]:
+        """(player key, video key) pairs the headline query must return:
+        left-handed female past champions with a netplay video."""
+        answers = []
+        for video in self.videos:
+            if not video.netplay:
+                continue
+            for player_key in video.players:
+                player = self.player(player_key)
+                if (player.gender == "female" and player.plays == "left"
+                        and player.is_champion):
+                    answers.append((player_key, video.key))
+        return sorted(set(answers))
+
+
+_FEMALE_FIRST = ["Monica", "Jana", "Iva", "Petra", "Lena", "Carla", "Aiko",
+                 "Ines", "Sofia", "Maren", "Talia", "Vera"]
+_MALE_FIRST = ["Andre", "Boris", "Carlos", "Dmitri", "Elio", "Franz",
+               "Goran", "Henri", "Ivan", "Janko", "Karol", "Luca"]
+_LAST = ["Seles", "Novak", "Verbeek", "Okafor", "Lindqvist", "Moreau",
+         "Tanaka", "Petrov", "Silva", "Keller", "Brandt", "Costa",
+         "Duval", "Egberts", "Fischer", "Horvat", "Iversen", "Jansen",
+         "Kowalski", "Larsen", "Meijer", "Nagy", "Olsen", "Peeters"]
+_COUNTRIES = ["USA", "Netherlands", "France", "Germany", "Spain", "Sweden",
+              "Japan", "Croatia", "Brazil", "Hungary", "Norway", "Belgium"]
+
+_HISTORY_CHAMPION = (
+    "{name} is a celebrated figure at Melbourne Park. "
+    "Winner of the Australian Open in {years}, {pronoun} dominated the "
+    "tournament with fearless baseline play. The championship trophy "
+    "cemented {possessive} reputation as one of the great competitors "
+    "of the era.")
+_HISTORY_REGULAR = (
+    "{name} has been a steady presence on the professional tour. "
+    "{pronoun_cap} reached the quarter finals at Melbourne Park and "
+    "continues to push for a breakthrough at the grand slam events.")
+
+_ARTICLE_BODIES = [
+    "A gripping encounter on the centre court kept the crowd on its "
+    "feet as {names} traded powerful groundstrokes deep into the "
+    "evening session.",
+    "The tournament organisers praised the quality of play this week; "
+    "{names} produced some of the finest tennis seen at Melbourne Park.",
+    "In a post-match interview {names} reflected on the heat rule, the "
+    "fast surface and the road towards the second week.",
+    "Fans queued for hours to watch {names} practise ahead of the "
+    "quarter final, a testament to the tournament's growing popularity.",
+]
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "-")
+
+
+def _years_text(years: tuple[int, ...]) -> str:
+    if len(years) == 1:
+        return str(years[0])
+    return ", ".join(str(year) for year in years[:-1]) + f" and {years[-1]}"
+
+
+def _make_players(count: int) -> list[PlayerRecord]:
+    """A deterministic player pool; Monica Seles is always player 0."""
+    players = [PlayerRecord(
+        key="monica-seles", name="Monica Seles", gender="female",
+        country="USA", plays="left", champion_years=(1991, 1992, 1993))]
+    for index in range(1, count):
+        female = index % 2 == 0
+        first = (_FEMALE_FIRST if female else _MALE_FIRST)[index % 12]
+        last = _LAST[(index * 7 + 3) % len(_LAST)]
+        name = f"{first} {last}"
+        key = _slug(name)
+        if any(player.key == key for player in players):
+            name = f"{first} {_LAST[(index * 7 + 4) % len(_LAST)]}"
+            key = _slug(name)
+        champion = (index % 5 == 0)
+        plays = "left" if index % 3 == 0 else "right"
+        players.append(PlayerRecord(
+            key=key, name=name,
+            gender="female" if female else "male",
+            country=_COUNTRIES[(index * 5 + 1) % len(_COUNTRIES)],
+            plays=plays,
+            champion_years=(1995 + index % 6,) if champion else ()))
+    for player in players:
+        she = player.gender == "female"
+        if player.is_champion:
+            player.history = _HISTORY_CHAMPION.format(
+                name=player.name, years=_years_text(player.champion_years),
+                pronoun="she" if she else "he",
+                possessive="her" if she else "his")
+        else:
+            player.history = _HISTORY_REGULAR.format(
+                name=player.name, pronoun_cap="She" if she else "He")
+    return players
+
+
+def _profile_page(player: PlayerRecord, articles: list[ArticleRecord],
+                  videos: list[VideoRecord]) -> str:
+    hand = "Left-handed" if player.plays == "left" else "Right-handed"
+    gender = "Female" if player.gender == "female" else "Male"
+    related_articles = "".join(
+        f'<li><a href="/{a.page_path}">{a.title}</a></li>'
+        for a in articles if player.key in a.about)
+    related_videos = "".join(
+        f'<li><a class="video" href="/{v.page_path}">{v.title}</a></li>'
+        for v in videos if player.key in v.players)
+    interview = ""
+    if player.interview_path:
+        interview = (f'<p><a class="interview" '
+                     f'href="/{player.interview_path}">'
+                     f'Interview with {player.name}</a></p>')
+    return f"""<html>
+<head><title>{player.name} - Player Profile - Australian Open</title></head>
+<body>
+<h1 class="player-name">{player.name}</h1>
+<img class="player-picture" src="/{player.picture_path}">
+<table class="profile">
+<tr><td>Gender</td><td class="gender">{gender}</td></tr>
+<tr><td>Country</td><td class="country">{player.country}</td></tr>
+<tr><td>Plays</td><td class="plays">{hand}</td></tr>
+</table>
+<div id="history"><p>{player.history}</p></div>
+{interview}
+<div class="related"><h2>Coverage</h2><ul>{related_articles}</ul>
+<h2>Match videos</h2><ul>{related_videos}</ul></div>
+<p><a href="/players.html">All players</a></p>
+</body></html>"""
+
+
+def _article_page(article: ArticleRecord,
+                  players: dict[str, PlayerRecord],
+                  videos: dict[str, VideoRecord]) -> str:
+    body = article.body
+    for key in article.about:
+        player = players[key]
+        body = body.replace(
+            player.name,
+            f'<a href="/{player.page_path}">{player.name}</a>', 1)
+    video_link = ""
+    if article.video_key:
+        video = videos[article.video_key]
+        video_link = (f'<p>Watch: <a class="video" '
+                      f'href="/{video.page_path}">{video.title}</a></p>')
+    return f"""<html>
+<head><title>{article.title} - Australian Open News</title></head>
+<body>
+<h1 class="article-title">{article.title}</h1>
+<div id="body"><p>{body}</p></div>
+{video_link}
+<p><a href="/articles.html">All articles</a></p>
+</body></html>"""
+
+
+def _video_page(video: VideoRecord,
+                players: dict[str, PlayerRecord]) -> str:
+    featured = "".join(
+        f'<li><a href="/{players[key].page_path}">{players[key].name}</a></li>'
+        for key in video.players)
+    return f"""<html>
+<head><title>{video.title} - Australian Open Video</title></head>
+<body>
+<h1 class="video-title">{video.title}</h1>
+<a class="media" href="/{video.media_path}">Full match video</a>
+<h2>Featuring</h2><ul class="featuring">{featured}</ul>
+<p><a href="/videos.html">All videos</a></p>
+</body></html>"""
+
+
+def build_ausopen_site(players: int = 16, articles: int = 12,
+                       videos: int = 6, frames_per_shot: int = 10,
+                       seed: int = 2001
+                       ) -> tuple[SimulatedWebServer, AusOpenGroundTruth]:
+    """Generate the site; returns (server, ground truth).
+
+    Deterministic in its arguments.  Every second video contains a net
+    approach; video 0 always features Monica Seles *with* netplay so the
+    headline query has a guaranteed witness.
+    """
+    truth = AusOpenGroundTruth()
+    truth.players = _make_players(players)
+    player_index = {player.key: player for player in truth.players}
+
+    # -- videos ---------------------------------------------------------
+    courts = list(("rebound_ace", "plexicushion", "clay", "grass"))
+    for index in range(videos):
+        featured: tuple[str, ...]
+        if index == 0:
+            featured = ("monica-seles",)
+        else:
+            first = truth.players[(index * 3 + 1) % len(truth.players)]
+            second = truth.players[(index * 5 + 2) % len(truth.players)]
+            featured = tuple(sorted({first.key, second.key}))
+        netplay = (index % 2 == 0)
+        names = " and ".join(player_index[key].name for key in featured)
+        truth.videos.append(VideoRecord(
+            key=f"v{index}", title=f"Match highlights: {names}",
+            players=featured, netplay=netplay,
+            court=courts[index % len(courts)], seed=seed + index,
+            media_path=f"media/v{index}.mpg",
+            page_path=f"videos/v{index}.html"))
+
+    # -- articles ---------------------------------------------------------
+    for index in range(articles):
+        subject = truth.players[index % len(truth.players)]
+        other = truth.players[(index * 3 + 2) % len(truth.players)]
+        about = tuple(sorted({subject.key, other.key}))
+        names = " and ".join(player_index[key].name for key in about)
+        body = _ARTICLE_BODIES[index % len(_ARTICLE_BODIES)].format(
+            names=names)
+        video_key = (truth.videos[index % len(truth.videos)].key
+                     if truth.videos and index % 3 == 0 else None)
+        truth.articles.append(ArticleRecord(
+            key=f"a{index}", title=f"Day {index + 1}: {names} impress",
+            body=body, about=about, video_key=video_key,
+            page_path=f"articles/a{index}.html"))
+
+    # -- paths -------------------------------------------------------------
+    for player in truth.players:
+        player.page_path = f"players/{player.key}.html"
+        player.picture_path = f"img/{player.key}.jpg"
+        if player.is_champion:
+            player.interview_path = f"audio/{player.key}.wav"
+
+    # -- publish ------------------------------------------------------------
+    server = SimulatedWebServer("http://www.ausopen.org")
+    video_index = {video.key: video for video in truth.videos}
+
+    for player in truth.players:
+        server.add_page(player.page_path,
+                        _profile_page(player, truth.articles, truth.videos))
+        portrait: SyntheticImage = make_portrait(
+            server.absolute(player.picture_path),
+            seed=seed + sum(player.key.encode()))
+        server.add_media(player.picture_path, ("image", "jpeg"),
+                         payload=portrait)
+        if player.interview_path:
+            interview = make_interview(
+                server.absolute(player.interview_path),
+                turns=4, seed=seed + sum(player.key.encode()))
+            server.add_media(player.interview_path, ("audio", "wav"),
+                             payload=interview)
+    for article in truth.articles:
+        server.add_page(article.page_path,
+                        _article_page(article, player_index, video_index))
+    for video in truth.videos:
+        server.add_page(video.page_path, _video_page(video, player_index))
+        script = tennis_match_script(
+            rng_seed=video.seed, rallies=3,
+            netplay_rallies=(1,) if video.netplay else (),
+            frames_per_shot=frames_per_shot)
+        synthetic: SyntheticVideo = generate_video(
+            script, server.absolute(video.media_path),
+            court=video.court, seed=video.seed)
+        server.add_media(video.media_path, ("video", "mpeg"),
+                         payload=synthetic)
+
+    logo = make_graphic(server.absolute("img/logo.gif"), seed=seed)
+    server.add_media("img/logo.gif", ("image", "gif"), payload=logo)
+
+    player_links = "".join(
+        f'<li><a href="/{p.page_path}">{p.name}</a></li>'
+        for p in truth.players)
+    article_links = "".join(
+        f'<li><a href="/{a.page_path}">{a.title}</a></li>'
+        for a in truth.articles)
+    video_links = "".join(
+        f'<li><a href="/{v.page_path}">{v.title}</a></li>'
+        for v in truth.videos)
+    server.add_page("players.html",
+                    f"<html><head><title>Players</title></head>"
+                    f"<body><h1>Players</h1><ul>{player_links}</ul></body>"
+                    f"</html>")
+    server.add_page("articles.html",
+                    f"<html><head><title>News</title></head>"
+                    f"<body><h1>News</h1><ul>{article_links}</ul></body>"
+                    f"</html>")
+    server.add_page("videos.html",
+                    f"<html><head><title>Videos</title></head>"
+                    f"<body><h1>Videos</h1><ul>{video_links}</ul></body>"
+                    f"</html>")
+    server.add_page("index.html", """<html>
+<head><title>Australian Open - Melbourne Park</title></head>
+<body><h1>Australian Open</h1>
+<img src="/img/logo.gif">
+<ul>
+<li><a href="/players.html">Players</a></li>
+<li><a href="/articles.html">News</a></li>
+<li><a href="/videos.html">Videos</a></li>
+</ul></body></html>""")
+    return server, truth

@@ -1,0 +1,59 @@
+"""The crawler: breadth-first retrieval of a webspace's documents.
+
+"In the indexing phase, a crawler retrieves the source documents from a
+webspace."  The crawler walks the simulated server's link graph from a
+seed page, restricted to the server's own domain (the paper's
+IP-domain restriction), and reports HTML pages and media resources
+separately.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.web.html import extract_links, parse_html
+from repro.web.site import SimulatedWebServer, WebResource
+from repro.xmlstore.model import Element
+
+__all__ = ["CrawlResult", "crawl"]
+
+
+@dataclass
+class CrawlResult:
+    """Everything one crawl found."""
+
+    pages: list[tuple[str, Element]] = field(default_factory=list)
+    media: list[WebResource] = field(default_factory=list)
+    visited: set[str] = field(default_factory=set)
+    dead_links: list[str] = field(default_factory=list)
+
+
+def crawl(server: SimulatedWebServer, seed: str = "index.html",
+          max_pages: int | None = None) -> CrawlResult:
+    """Breadth-first crawl from the seed page."""
+    result = CrawlResult()
+    queue: deque[str] = deque([server.absolute(seed)])
+    result.visited.add(server.absolute(seed))
+    while queue:
+        if max_pages is not None and len(result.pages) >= max_pages:
+            break
+        url = queue.popleft()
+        if url not in server:
+            result.dead_links.append(url)
+            continue
+        resource = server.get(url)
+        if resource.mime != ("text", "html"):
+            result.media.append(resource)
+            continue
+        page = parse_html(resource.body)
+        result.pages.append((url, page))
+        for link in extract_links(page):
+            absolute = server.absolute(link)
+            if not absolute.startswith(server.domain):
+                continue  # stay inside the webspace
+            if absolute in result.visited:
+                continue
+            result.visited.add(absolute)
+            queue.append(absolute)
+    return result

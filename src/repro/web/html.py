@@ -1,0 +1,193 @@
+"""A small, forgiving HTML parser.
+
+The re-engineering process "extracts the relevant data from the
+(HTML-)documents on a website".  HTML is not XML: void elements
+(``<img>``, ``<br>``) never close and tag case is insignificant.  This
+parser handles the subset our simulated sites emit and real-world-ish
+sloppiness (unclosed ``<p>``/``<li>``, attribute values without quotes),
+building the same :class:`~repro.xmlstore.model.Element` trees as the
+XML side so downstream code shares one node type.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WebError
+from repro.xmlstore.model import Element, Text
+
+__all__ = ["parse_html", "extract_links", "extract_text", "find_by_id",
+           "find_by_class", "VOID_ELEMENTS"]
+
+VOID_ELEMENTS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link",
+    "meta", "param", "source", "track", "wbr",
+})
+
+# elements implicitly closed by an opening tag of the same kind
+_AUTOCLOSE = {"p": {"p"}, "li": {"li"}, "tr": {"tr"}, "td": {"td", "tr"},
+              "th": {"th", "tr"}, "option": {"option"}}
+
+_NAME_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+
+def _read_tag(text: str, start: int) -> tuple[str, dict[str, str], bool, int]:
+    """Parse a tag starting at ``start`` ('<'); returns
+    (name, attributes, selfclosing, position-after)."""
+    index = start + 1
+    length = len(text)
+    name_start = index
+    while index < length and text[index].lower() in _NAME_CHARS:
+        index += 1
+    name = text[name_start:index].lower()
+    if not name:
+        raise WebError(f"bad tag at offset {start}")
+    attributes: dict[str, str] = {}
+    selfclosing = False
+    while index < length:
+        while index < length and text[index] in " \t\r\n":
+            index += 1
+        if index >= length:
+            raise WebError("unterminated tag")
+        char = text[index]
+        if char == ">":
+            index += 1
+            break
+        if char == "/":
+            selfclosing = True
+            index += 1
+            continue
+        attr_start = index
+        while index < length and text[index] not in "=> \t\r\n/":
+            index += 1
+        attr_name = text[attr_start:index].lower()
+        value = ""
+        while index < length and text[index] in " \t\r\n":
+            index += 1
+        if index < length and text[index] == "=":
+            index += 1
+            while index < length and text[index] in " \t\r\n":
+                index += 1
+            if index < length and text[index] in "\"'":
+                quote = text[index]
+                end = text.find(quote, index + 1)
+                if end < 0:
+                    raise WebError("unterminated attribute value")
+                value = text[index + 1:end]
+                index = end + 1
+            else:
+                value_start = index
+                while index < length and text[index] not in "> \t\r\n":
+                    index += 1
+                value = text[value_start:index]
+        if attr_name:
+            attributes[attr_name] = value
+    return name, attributes, selfclosing, index
+
+
+def parse_html(text: str) -> Element:
+    """Parse an HTML document into an element tree rooted at <html>."""
+    root = Element("html")
+    stack: list[Element] = []
+    index = 0
+    length = len(text)
+    seen_html = False
+
+    def current() -> Element:
+        return stack[-1] if stack else root
+
+    while index < length:
+        if text[index] != "<":
+            end = text.find("<", index)
+            if end < 0:
+                end = length
+            raw = text[index:end]
+            if raw.strip():
+                current().add_text(_decode(raw))
+            index = end
+            continue
+        if text.startswith("<!--", index):
+            end = text.find("-->", index)
+            index = length if end < 0 else end + 3
+            continue
+        if text.startswith("<!", index) or text.startswith("<?", index):
+            end = text.find(">", index)
+            index = length if end < 0 else end + 1
+            continue
+        if text.startswith("</", index):
+            end = text.find(">", index)
+            if end < 0:
+                raise WebError("unterminated end tag")
+            name = text[index + 2:end].strip().lower()
+            index = end + 1
+            # close up to the matching element, forgiving mis-nesting
+            for depth in range(len(stack) - 1, -1, -1):
+                if stack[depth].tag == name:
+                    del stack[depth:]
+                    break
+            continue
+        name, attributes, selfclosing, index = _read_tag(text, index)
+        if name == "html":
+            seen_html = True
+            root.attributes.update(attributes)
+            continue
+        while stack and stack[-1].tag in _AUTOCLOSE.get(name, ()):  # <p><p>
+            stack.pop()
+        node = Element(name, attributes)
+        current().children.append(node)
+        if not selfclosing and name not in VOID_ELEMENTS:
+            stack.append(node)
+    if not seen_html and len(root.children) == 1 \
+            and isinstance(root.children[0], Element) \
+            and root.children[0].tag == "html":
+        return root.children[0]
+    return root
+
+
+_ENTITIES = {"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": '"',
+             "&apos;": "'", "&nbsp;": " "}
+
+
+def _decode(raw: str) -> str:
+    for entity, char in _ENTITIES.items():
+        raw = raw.replace(entity, char)
+    return raw
+
+
+def extract_links(root: Element) -> list[str]:
+    """All href/src link targets, in document order."""
+    links: list[str] = []
+    for node in root.iter():
+        if isinstance(node, Element):
+            for attribute in ("href", "src"):
+                value = node.attributes.get(attribute)
+                if value:
+                    links.append(value)
+    return links
+
+
+def extract_text(root: Element) -> str:
+    """Visible text of the page (whitespace-normalised).
+
+    Text nodes are joined with a space — adjacent block elements render
+    as separate words, as they do in a browser.
+    """
+    parts = [node.value for node in root.iter() if isinstance(node, Text)]
+    return " ".join(" ".join(parts).split())
+
+
+def find_by_id(root: Element, wanted: str) -> Element | None:
+    """The element with the given id attribute, or None."""
+    for node in root.iter():
+        if isinstance(node, Element) and node.attributes.get("id") == wanted:
+            return node
+    return None
+
+
+def find_by_class(root: Element, wanted: str) -> list[Element]:
+    """All elements carrying the given class token."""
+    matches = []
+    for node in root.iter():
+        if isinstance(node, Element):
+            classes = node.attributes.get("class", "").split()
+            if wanted in classes:
+                matches.append(node)
+    return matches

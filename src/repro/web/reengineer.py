@@ -1,0 +1,140 @@
+"""Re-engineering: HTML pages back into webspace materialized views.
+
+"If a webspace is based on an already existing document collection, a
+reengineering process can be invoked.  The process extracts the relevant
+data from the (HTML-)documents on a website, and stores it in
+XML-documents, which form a correct view over the webspace schema.  The
+documents for the Australian Open search engine are generated in this
+manner."
+
+The extractor recognises the site's page types from their structure
+(``h1.player-name``, ``h1.article-title``, ``h1.video-title``) and
+recovers the semantics the HTML translation lost — exactly the Fig 1
+annotations: gender, name, country, picture, history.
+"""
+
+from __future__ import annotations
+
+from repro.webspace.documents import WebspaceDocument
+from repro.webspace.objects import AssociationInstance, WebObject
+from repro.webspace.schema import WebspaceSchema
+from repro.web.html import extract_text, find_by_class, find_by_id
+from repro.xmlstore.model import Element
+
+__all__ = ["reengineer_page", "reengineer_site"]
+
+
+def _page_key(url: str) -> str:
+    """players/monica-seles.html -> monica-seles"""
+    leaf = url.rstrip("/").rsplit("/", 1)[-1]
+    return leaf[:-5] if leaf.endswith(".html") else leaf
+
+
+def _linked_keys(root: Element, section: str) -> list[str]:
+    """Player keys linked from hrefs like /players/<key>.html."""
+    keys = []
+    for node in root.iter():
+        if not isinstance(node, Element):
+            continue
+        href = node.attributes.get("href", "")
+        if f"/{section}/" in href and href.endswith(".html"):
+            keys.append(_page_key(href))
+    return keys
+
+
+def _absolute(base_url: str, href: str) -> str:
+    if href.startswith("http://") or href.startswith("https://"):
+        return href
+    domain = base_url.split("/", 3)
+    root = "/".join(domain[:3])
+    return f"{root}/{href.lstrip('/')}"
+
+
+def _extract_player(url: str, page: Element) -> WebspaceDocument:
+    name_node = find_by_class(page, "player-name")[0]
+    key = _page_key(url)
+    obj = WebObject("Player", key, {"name": extract_text(name_node)})
+    for field, css in (("gender", "gender"), ("country", "country"),
+                       ("plays", "plays")):
+        cells = find_by_class(page, css)
+        if cells:
+            raw = extract_text(cells[0])
+            if field == "gender":
+                obj.attributes[field] = raw.lower()
+            elif field == "plays":
+                obj.attributes[field] = raw.split("-")[0].lower()
+            else:
+                obj.attributes[field] = raw
+    history = find_by_id(page, "history")
+    if history is not None:
+        obj.attributes["history"] = extract_text(history)
+    pictures = find_by_class(page, "player-picture")
+    if pictures:
+        obj.attributes["picture"] = _absolute(
+            url, pictures[0].attributes.get("src", ""))
+    interviews = find_by_class(page, "interview")
+    if interviews:
+        obj.attributes["interview"] = _absolute(
+            url, interviews[0].attributes.get("href", ""))
+    profile = WebObject("Profile", f"profile:{key}", {"document": url})
+    document = WebspaceDocument(url)
+    document.objects = [obj, profile]
+    document.associations = [
+        AssociationInstance("Is_covered_in", key, profile.key)]
+    return document
+
+
+def _extract_article(url: str, page: Element) -> WebspaceDocument:
+    title_node = find_by_class(page, "article-title")[0]
+    key = _page_key(url)
+    body_node = find_by_id(page, "body")
+    obj = WebObject("Article", key, {
+        "title": extract_text(title_node),
+        "body": extract_text(body_node) if body_node is not None else "",
+    })
+    document = WebspaceDocument(url)
+    document.objects = [obj]
+    for player_key in sorted(set(_linked_keys(page, "players"))):
+        document.associations.append(
+            AssociationInstance("About", key, player_key))
+    return document
+
+
+def _extract_video(url: str, page: Element) -> WebspaceDocument:
+    title_node = find_by_class(page, "video-title")[0]
+    key = _page_key(url)
+    media = find_by_class(page, "media")
+    obj = WebObject("Video", key, {"title": extract_text(title_node)})
+    if media:
+        obj.attributes["video"] = _absolute(
+            url, media[0].attributes.get("href", ""))
+    document = WebspaceDocument(url)
+    document.objects = [obj]
+    for player_key in sorted(set(_linked_keys(page, "players"))):
+        document.associations.append(
+            AssociationInstance("Features", key, player_key))
+    return document
+
+
+def reengineer_page(schema: WebspaceSchema, url: str,
+                    page: Element) -> WebspaceDocument | None:
+    """Extract one page's materialized view; None for navigation pages."""
+    if find_by_class(page, "player-name"):
+        return _extract_player(url, page)
+    if find_by_class(page, "article-title"):
+        return _extract_article(url, page)
+    if find_by_class(page, "video-title"):
+        return _extract_video(url, page)
+    return None
+
+
+def reengineer_site(schema: WebspaceSchema,
+                    pages: list[tuple[str, Element]]
+                    ) -> list[WebspaceDocument]:
+    """Re-engineer a crawled page collection into webspace documents."""
+    documents = []
+    for url, page in pages:
+        document = reengineer_page(schema, url, page)
+        if document is not None:
+            documents.append(document)
+    return documents

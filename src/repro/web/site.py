@@ -1,0 +1,107 @@
+"""The simulated web: an HTTP server stand-in.
+
+The paper's crawler and ``header`` detector talk HTTP (via the W3C
+libwww).  Offline, :class:`SimulatedWebServer` plays the server role:
+resources keyed by url, each carrying MIME headers, a last-modified
+stamp and (for HTML) a textual body.  The ``header`` detector reads
+exactly what an HTTP HEAD would return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WebError
+
+__all__ = ["WebResource", "SimulatedWebServer"]
+
+
+@dataclass
+class WebResource:
+    """One served resource."""
+
+    url: str
+    mime: tuple[str, str]
+    body: str = ""
+    last_modified: int = 0
+    payload: object = None  # non-textual content (e.g. a SyntheticVideo)
+
+
+class SimulatedWebServer:
+    """url -> resource, with the few verbs the system needs."""
+
+    def __init__(self, domain: str = "http://www.ausopen.org"):
+        self.domain = domain.rstrip("/")
+        self._resources: dict[str, WebResource] = {}
+        self.requests = 0
+
+    # -- publishing ----------------------------------------------------
+
+    def absolute(self, path: str) -> str:
+        """Resolve a path against the server's domain."""
+        if path.startswith("http://") or path.startswith("https://"):
+            return path
+        return f"{self.domain}/{path.lstrip('/')}"
+
+    def add_page(self, path: str, html: str,
+                 last_modified: int = 0) -> str:
+        """Publish an HTML page; returns its absolute url."""
+        url = self.absolute(path)
+        self._resources[url] = WebResource(url, ("text", "html"), html,
+                                           last_modified)
+        return url
+
+    def add_media(self, path: str, mime: tuple[str, str],
+                  payload: object = None, last_modified: int = 0) -> str:
+        """Publish a non-HTML resource (video, image, audio)."""
+        url = self.absolute(path)
+        self._resources[url] = WebResource(url, mime, "", last_modified,
+                                           payload)
+        return url
+
+    def touch(self, path: str, last_modified: int) -> None:
+        """Bump a resource's last-modified stamp (source-data change)."""
+        self.resource(path).last_modified = last_modified
+
+    def remove(self, path: str) -> None:
+        """Unpublish a resource; subsequent fetches 404."""
+        url = self.absolute(path)
+        if url not in self._resources:
+            raise WebError(f"404: {url}")
+        del self._resources[url]
+
+    # -- serving ------------------------------------------------------------
+
+    def resource(self, path: str) -> WebResource:
+        url = self.absolute(path)
+        try:
+            resource = self._resources[url]
+        except KeyError:
+            raise WebError(f"404: {url}") from None
+        return resource
+
+    def head(self, path: str) -> dict[str, str]:
+        """The headers an HTTP HEAD would return."""
+        self.requests += 1
+        resource = self.resource(path)
+        return {
+            "Content-Type": f"{resource.mime[0]}/{resource.mime[1]}",
+            "Last-Modified": str(resource.last_modified),
+        }
+
+    def get(self, path: str) -> WebResource:
+        """Full fetch."""
+        self.requests += 1
+        return self.resource(path)
+
+    def mime(self, path: str) -> tuple[str, str]:
+        return self.resource(path).mime
+
+    def __contains__(self, path: str) -> bool:
+        return self.absolute(path) in self._resources
+
+    def urls(self) -> list[str]:
+        return sorted(self._resources)
+
+    def __len__(self) -> int:
+        return len(self._resources)

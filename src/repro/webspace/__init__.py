@@ -1,0 +1,37 @@
+"""The Webspace Method: the paper's conceptual level.
+
+Public surface:
+
+* :class:`~repro.webspace.schema.WebspaceSchema` and
+  :func:`~repro.webspace.schema.australian_open_schema` (Fig 3),
+* :class:`~repro.webspace.objects.WebObject` / ``ObjectGraph``,
+* :mod:`~repro.webspace.documents` — materialized views as XML,
+* :func:`~repro.webspace.retriever.retrieve_objects` — the web object
+  retriever,
+* :class:`~repro.webspace.query.WebspaceQuery` — conceptual queries.
+"""
+
+from repro.webspace.authoring import (WebspaceAuthor, author_documents,
+                                      validate_coverage)
+from repro.webspace.documents import (WebspaceDocument, document_from_xml,
+                                      document_to_xml)
+from repro.webspace.objects import AssociationInstance, ObjectGraph, WebObject
+from repro.webspace.language import parse_query
+from repro.webspace.query import WebspaceQuery
+from repro.webspace.retriever import retrieve_from_xml, retrieve_objects
+from repro.webspace.schema import (Association, WebspaceClass, WebspaceSchema,
+                                   australian_open_schema)
+from repro.webspace.types import (AUDIO, HYPERTEXT, IMAGE, INT, STR, URI,
+                                  VIDEO, AttributeType)
+
+__all__ = [
+    "WebspaceSchema", "WebspaceClass", "Association",
+    "australian_open_schema",
+    "WebObject", "ObjectGraph", "AssociationInstance",
+    "WebspaceDocument", "document_to_xml", "document_from_xml",
+    "retrieve_objects", "retrieve_from_xml",
+    "WebspaceQuery", "parse_query",
+    "WebspaceAuthor", "author_documents", "validate_coverage",
+    "AttributeType", "STR", "INT", "URI", "HYPERTEXT", "IMAGE", "VIDEO",
+    "AUDIO",
+]

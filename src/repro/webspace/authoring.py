@@ -1,0 +1,191 @@
+"""The webspace authoring tool ([ZA00a]).
+
+"When a webspace is setup from scratch the author will create the
+documents using a specialized webspace authoring tool.  The tool guides
+the author through the entire design process."  Two entry points:
+
+* :class:`WebspaceAuthor` — the guided, incremental interface: open a
+  document, put objects into it, relate them, close it; the tool
+  validates every step against the schema and tracks coverage.
+* :func:`author_documents` — batch authoring: partition a complete
+  object graph into materialized views by a named strategy.
+
+Both produce overlapping views on purpose: "The overlap of concepts
+used in different documents provides the necessary conditions for
+conceptual search over a webspace."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.webspace.documents import WebspaceDocument
+from repro.webspace.objects import AssociationInstance, ObjectGraph, WebObject
+from repro.webspace.schema import WebspaceSchema
+
+__all__ = ["WebspaceAuthor", "author_documents", "validate_coverage",
+           "CoverageReport"]
+
+
+class WebspaceAuthor:
+    """Guided document-by-document authoring against a schema."""
+
+    def __init__(self, schema: WebspaceSchema):
+        self.schema = schema
+        self.documents: list[WebspaceDocument] = []
+        self._current: WebspaceDocument | None = None
+        self._known_objects: dict[tuple[str, str], WebObject] = {}
+
+    # -- the guided flow -------------------------------------------------
+
+    def open_document(self, doc_id: str) -> "WebspaceAuthor":
+        """Start a new materialized view."""
+        if self._current is not None:
+            raise SchemaError("close the current document first")
+        if any(doc.doc_id == doc_id for doc in self.documents):
+            raise SchemaError(f"document id {doc_id!r} already used")
+        self._current = WebspaceDocument(doc_id)
+        return self
+
+    def put(self, cls: str, key: str, **attributes) -> "WebspaceAuthor":
+        """Materialise (part of) an object in the current document."""
+        document = self._require_document()
+        schema_cls = self.schema.cls(cls)
+        for name in attributes:
+            schema_cls.attribute(name)  # validates
+        obj = WebObject(cls, key, dict(attributes))
+        document.objects.append(obj)
+        slot = (cls, key)
+        known = self._known_objects.get(slot)
+        if known is None:
+            self._known_objects[slot] = WebObject(cls, key,
+                                                  dict(attributes))
+        else:
+            known.merge(obj)
+        return self
+
+    def relate(self, association: str, source_key: str,
+               target_key: str) -> "WebspaceAuthor":
+        """Record an association instance in the current document."""
+        document = self._require_document()
+        self.schema.association(association)  # validates
+        document.associations.append(
+            AssociationInstance(association, source_key, target_key))
+        return self
+
+    def close_document(self) -> WebspaceDocument:
+        """Finish the current view; it must not be empty."""
+        document = self._require_document()
+        if not document.objects and not document.associations:
+            raise SchemaError(f"document {document.doc_id!r} is empty")
+        self.documents.append(document)
+        self._current = None
+        return document
+
+    def _require_document(self) -> WebspaceDocument:
+        if self._current is None:
+            raise SchemaError("open_document() first")
+        return self._current
+
+    # -- outcome ------------------------------------------------------------
+
+    def graph(self) -> ObjectGraph:
+        """The merged object graph the authored documents describe."""
+        from repro.webspace.retriever import retrieve_objects
+        return retrieve_objects(self.schema, self.documents)
+
+
+def author_documents(graph: ObjectGraph, strategy: str = "per-object"
+                     ) -> list[WebspaceDocument]:
+    """Partition an object graph into materialized views.
+
+    ``per-object`` gives each object its own document carrying the
+    object fully plus stubs (key-only materialisations) of its
+    association partners — overlapping views, one page per concept
+    instance, the shape of a real website.  ``per-class`` gives one
+    document per class plus one for all associations — the minimal
+    non-overlapping partition.
+    """
+    schema = graph.schema
+    documents: list[WebspaceDocument] = []
+    if strategy == "per-object":
+        owner: dict[str, str] = {}  # key -> owning class (for stubs)
+        for cls in schema.classes:
+            for obj in graph.objects_of(cls):
+                owner[obj.key] = cls
+        for cls in schema.classes:
+            for obj in graph.objects_of(cls):
+                document = WebspaceDocument(f"doc:{cls}:{obj.key}")
+                document.objects.append(
+                    WebObject(cls, obj.key, dict(obj.attributes)))
+                for name, association in schema.associations.items():
+                    if association.source == cls:
+                        for target in graph.related(name, obj.key):
+                            document.associations.append(
+                                AssociationInstance(name, obj.key, target))
+                            target_cls = owner.get(target)
+                            if target_cls:
+                                document.objects.append(
+                                    WebObject(target_cls, target))
+                documents.append(document)
+    elif strategy == "per-class":
+        for cls in schema.classes:
+            objects = graph.objects_of(cls)
+            if not objects:
+                continue
+            document = WebspaceDocument(f"doc:class:{cls}")
+            document.objects = [WebObject(cls, obj.key,
+                                          dict(obj.attributes))
+                                for obj in objects]
+            documents.append(document)
+        associations = [instance
+                        for name in schema.associations
+                        for instance in graph.associations_named(name)]
+        if associations:
+            document = WebspaceDocument("doc:associations")
+            document.associations = associations
+            documents.append(document)
+    else:
+        raise SchemaError(f"unknown authoring strategy {strategy!r}")
+    return documents
+
+
+@dataclass
+class CoverageReport:
+    """Does a document set materialise a whole object graph?"""
+
+    missing_objects: list[tuple[str, str]] = field(default_factory=list)
+    missing_attributes: list[tuple[str, str, str]] = field(
+        default_factory=list)
+    missing_associations: list[AssociationInstance] = field(
+        default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not (self.missing_objects or self.missing_attributes
+                    or self.missing_associations)
+
+
+def validate_coverage(graph: ObjectGraph,
+                      documents: list[WebspaceDocument]) -> CoverageReport:
+    """Check that the views jointly materialise the whole graph."""
+    from repro.webspace.retriever import retrieve_objects
+
+    report = CoverageReport()
+    merged = retrieve_objects(graph.schema, documents)
+    for cls in graph.schema.classes:
+        for obj in graph.objects_of(cls):
+            if not merged.has_object(cls, obj.key):
+                report.missing_objects.append((cls, obj.key))
+                continue
+            restored = merged.object(cls, obj.key)
+            for name, value in obj.attributes.items():
+                if restored.get(name) != value:
+                    report.missing_attributes.append((cls, obj.key, name))
+    for name in graph.schema.associations:
+        wanted = set(graph.associations_named(name))
+        present = set(merged.associations_named(name))
+        report.missing_associations.extend(sorted(
+            wanted - present, key=lambda a: (a.source_key, a.target_key)))
+    return report

@@ -1,0 +1,104 @@
+"""Materialized views: webspace documents as XML.
+
+"Each document then forms a materialized view over the webspace schema:
+describing a part of the webspace" — it carries both content and
+schematic information.  The XML layout mirrors that idea: element names
+*are* schema concepts::
+
+    <webspace schema="australian-open" id="...">
+      <Player id="monica-seles">
+        <name>Monica Seles</name>
+        <history type="Hypertext">...</history>
+        <picture type="Image" href="http://..."/>
+      </Player>
+      <About source="a3" target="monica-seles"/>
+    </webspace>
+
+:func:`document_to_xml` authors such views (the webspace authoring
+tool's output); :func:`document_from_xml` parses them back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.webspace.objects import AssociationInstance, WebObject
+from repro.webspace.schema import WebspaceSchema
+from repro.xmlstore.model import Element
+
+__all__ = ["WebspaceDocument", "document_to_xml", "document_from_xml"]
+
+
+@dataclass
+class WebspaceDocument:
+    """One materialized view over the webspace schema."""
+
+    doc_id: str
+    objects: list[WebObject] = field(default_factory=list)
+    associations: list[AssociationInstance] = field(default_factory=list)
+
+
+def document_to_xml(schema: WebspaceSchema,
+                    document: WebspaceDocument) -> Element:
+    """Author a document as an XML materialized view."""
+    root = Element("webspace", {"schema": schema.name,
+                                "id": document.doc_id})
+    for obj in document.objects:
+        cls = schema.cls(obj.cls)
+        node = root.add_element(obj.cls, {"id": obj.key})
+        for name, atype in cls.attributes.items():
+            value = obj.attributes.get(name)
+            if value is None:
+                continue
+            attrs: dict[str, str] = {}
+            if atype.multimedia:
+                attrs["type"] = atype.name
+            child = node.add_element(name, attrs)
+            if atype.by_reference:
+                child.attributes["href"] = str(value)
+            else:
+                child.add_text(str(value))
+    for assoc in document.associations:
+        root.add_element(assoc.name, {"source": assoc.source_key,
+                                      "target": assoc.target_key})
+    return root
+
+
+def document_from_xml(schema: WebspaceSchema,
+                      root: Element) -> WebspaceDocument:
+    """Parse a materialized view back into objects and associations."""
+    if root.tag != "webspace":
+        raise SchemaError(f"not a webspace document: <{root.tag}>")
+    if root.attributes.get("schema") != schema.name:
+        raise SchemaError(
+            f"document is a view over {root.attributes.get('schema')!r}, "
+            f"expected {schema.name!r}")
+    document = WebspaceDocument(root.attributes.get("id", ""))
+    for node in root.element_children():
+        if node.tag in schema.classes:
+            cls = schema.cls(node.tag)
+            key = node.attributes.get("id")
+            if not key:
+                raise SchemaError(f"object <{node.tag}> without an id")
+            obj = WebObject(node.tag, key)
+            for attr_node in node.element_children():
+                atype = cls.attribute(attr_node.tag)
+                if atype.by_reference:
+                    obj.attributes[attr_node.tag] = \
+                        attr_node.attributes.get("href", "")
+                elif atype.name == "integer":
+                    obj.attributes[attr_node.tag] = int(attr_node.text())
+                else:
+                    obj.attributes[attr_node.tag] = attr_node.text()
+            document.objects.append(obj)
+        elif node.tag in schema.associations:
+            document.associations.append(AssociationInstance(
+                node.tag,
+                node.attributes.get("source", ""),
+                node.attributes.get("target", "")))
+        else:
+            raise SchemaError(
+                f"<{node.tag}> is neither a class nor an association of "
+                f"schema {schema.name!r}")
+    return document

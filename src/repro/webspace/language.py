@@ -1,0 +1,208 @@
+"""A textual conceptual query language.
+
+The paper's end users compose queries through a GUI that visualises the
+webspace schema ([BWZ+01, ZA01]); programmatic users get the fluent
+builder of :mod:`repro.webspace.query`.  This module adds the third
+interface: a small OQL-flavoured textual language, convenient for the
+CLI and for tests::
+
+    SELECT p.name, v.title
+    FROM Player p, Video v
+    WHERE p.gender = 'female'
+      AND p.plays = 'left'
+      AND p.history CONTAINS 'Winner'
+      AND v FEATURES p
+      AND v.video EVENT netplay
+    TOP 10
+
+Grammar::
+
+    query      := SELECT projection (',' projection)*
+                  FROM binding (',' binding)*
+                  [WHERE condition (AND condition)*]
+                  [TOP number]
+    projection := IDENT '.' IDENT
+    binding    := ClassName IDENT
+    condition  := path op literal            -- attribute predicate
+                | path CONTAINS string       -- ranked text predicate
+                | path EVENT IDENT           -- meta-index predicate
+                | IDENT AssocName IDENT      -- association join
+    op         := = | != | < | <= | > | >=
+
+Keywords are case-insensitive; class and association names are matched
+against the schema case-sensitively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.webspace.query import WebspaceQuery
+from repro.webspace.schema import WebspaceSchema
+
+__all__ = ["parse_query"]
+
+_KEYWORDS = {"select", "from", "where", "and", "top", "contains", "event"}
+_OPERATORS = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">",
+              ">=": ">="}
+
+
+def _tokenize_with_strings(source: str) -> list[str]:
+    """Tokenize, keeping quoted strings as single '␣'-marked tokens."""
+    tokens: list[str] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char in "'\"":
+            end = source.find(char, index + 1)
+            if end < 0:
+                raise QueryError("unterminated string literal in query")
+            tokens.append("\0" + source[index + 1:end])
+            index = end + 1
+        elif char.isspace():
+            index += 1
+        elif source.startswith(("<=", ">=", "!="), index):
+            tokens.append(source[index:index + 2])
+            index += 2
+        elif char in "=<>.,":
+            tokens.append(char)
+            index += 1
+        elif char.isalnum() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum()
+                                      or source[index] in "_-"):
+                index += 1
+            tokens.append(source[start:index])
+        else:
+            raise QueryError(f"unexpected character {char!r} in query")
+    return tokens
+
+
+class _QueryParser:
+    def __init__(self, schema: WebspaceSchema, source: str):
+        self.schema = schema
+        self.tokens = _tokenize_with_strings(source)
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.index += 1
+        return token
+
+    def _is_keyword(self, token: str | None, keyword: str) -> bool:
+        return token is not None and token.lower() == keyword
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if not self._is_keyword(token, keyword):
+            raise QueryError(f"expected {keyword.upper()}, got {token!r}")
+
+    def _expect(self, literal: str) -> None:
+        token = self._next()
+        if token != literal:
+            raise QueryError(f"expected {literal!r}, got {token!r}")
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> WebspaceQuery:
+        self._expect_keyword("select")
+        projections: list[str] = [self._projection()]
+        while self._peek() == ",":
+            self._next()
+            projections.append(self._projection())
+
+        self._expect_keyword("from")
+        query = WebspaceQuery(self.schema)
+        self._binding(query)
+        while self._peek() == ",":
+            self._next()
+            self._binding(query)
+
+        if self._is_keyword(self._peek(), "where"):
+            self._next()
+            self._condition(query)
+            while self._is_keyword(self._peek(), "and"):
+                self._next()
+                self._condition(query)
+
+        if self._is_keyword(self._peek(), "top"):
+            self._next()
+            query.top(int(self._next()))
+
+        if self._peek() is not None:
+            raise QueryError(f"trailing input from {self._peek()!r}")
+
+        query.select(*projections)
+        query.validate()
+        return query
+
+    def _projection(self) -> str:
+        alias = self._next()
+        self._expect(".")
+        attribute = self._next()
+        return f"{alias}.{attribute}"
+
+    def _binding(self, query: WebspaceQuery) -> None:
+        cls = self._next()
+        alias = self._next()
+        if alias.lower() in _KEYWORDS or alias in (",", "."):
+            raise QueryError(f"binding {cls!r} needs an alias")
+        query.from_class(alias, cls)
+
+    def _condition(self, query: WebspaceQuery) -> None:
+        left = self._next()
+        follow = self._peek()
+        if follow == ".":
+            self._next()
+            attribute = self._next()
+            path = f"{left}.{attribute}"
+            token = self._next()
+            if self._is_keyword(token, "contains"):
+                query.contains(path, self._string())
+            elif self._is_keyword(token, "event"):
+                query.video_event(path, self._next())
+            elif token in _OPERATORS:
+                query.where(path, _OPERATORS[token], self._literal())
+            else:
+                raise QueryError(
+                    f"expected an operator, CONTAINS or EVENT after "
+                    f"{path!r}, got {token!r}")
+        else:
+            # association join: sourceAlias AssocName targetAlias
+            association = self._next()
+            target = self._next()
+            query.join(association, left, target)
+
+    def _string(self) -> str:
+        token = self._next()
+        if not token.startswith("\0"):
+            raise QueryError(f"expected a quoted string, got {token!r}")
+        return token[1:]
+
+    def _literal(self):
+        token = self._next()
+        if token.startswith("\0"):
+            return token[1:]
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            pass
+        return token
+
+
+def parse_query(schema: WebspaceSchema, source: str) -> WebspaceQuery:
+    """Parse a textual conceptual query against a schema."""
+    return _QueryParser(schema, source).parse()

@@ -1,0 +1,228 @@
+"""Conceptual queries over a webspace schema.
+
+"It allows a user to integrate information stored in different
+documents in a single query ... Furthermore, using the Webspace Method
+specific conceptual information can be fetched as the result of a
+query, rather than a bunch of relevant document URLs."
+
+A :class:`WebspaceQuery` combines:
+
+* class bindings (the query's variables),
+* attribute predicates (exact-match conceptual conditions),
+* content predicates (ranked free-text search on Hypertext attributes),
+* event predicates (content-based conditions on Video attributes,
+  answered from the feature grammar's meta-index),
+* association joins between bindings,
+* a select list of ``alias.attribute`` projections.
+
+The paper's GUI builds exactly such a query from the visualised schema
+(Fig 13); here the fluent builder plays the interface role.  Execution
+belongs to the integrated engine (:mod:`repro.core.translate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError, SchemaError
+from repro.webspace.schema import WebspaceSchema
+
+__all__ = ["WebspaceQuery", "ClassBinding", "AttributePredicate",
+           "ContentPredicate", "EventPredicate", "AudioPredicate",
+           "AssociationJoin"]
+
+_OPERATORS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class ClassBinding:
+    alias: str
+    cls: str
+
+
+@dataclass(frozen=True)
+class AttributePredicate:
+    alias: str
+    attribute: str
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class ContentPredicate:
+    alias: str
+    attribute: str
+    text: str
+
+
+@dataclass(frozen=True)
+class EventPredicate:
+    alias: str
+    attribute: str
+    event: str
+
+
+@dataclass(frozen=True)
+class AudioPredicate:
+    alias: str
+    attribute: str
+    kind: str            # "speech" | "music"
+
+
+@dataclass(frozen=True)
+class AssociationJoin:
+    association: str
+    source_alias: str
+    target_alias: str
+
+
+@dataclass
+class WebspaceQuery:
+    """A validated conceptual query."""
+
+    schema: WebspaceSchema
+    bindings: list[ClassBinding] = field(default_factory=list)
+    attribute_predicates: list[AttributePredicate] = field(default_factory=list)
+    content_predicates: list[ContentPredicate] = field(default_factory=list)
+    event_predicates: list[EventPredicate] = field(default_factory=list)
+    audio_predicates: list[AudioPredicate] = field(default_factory=list)
+    joins: list[AssociationJoin] = field(default_factory=list)
+    projections: list[tuple[str, str]] = field(default_factory=list)
+    limit: int = 10
+
+    # -- builder ------------------------------------------------------------
+
+    def from_class(self, alias: str, cls: str) -> "WebspaceQuery":
+        """Bind an alias to a schema class."""
+        if any(binding.alias == alias for binding in self.bindings):
+            raise QueryError(f"alias {alias!r} bound twice")
+        try:
+            self.schema.cls(cls)
+        except SchemaError as error:
+            raise QueryError(str(error)) from None
+        self.bindings.append(ClassBinding(alias, cls))
+        return self
+
+    def _split(self, path: str) -> tuple[str, str]:
+        if "." not in path:
+            raise QueryError(f"expected alias.attribute, got {path!r}")
+        alias, attribute = path.split(".", 1)
+        cls = self.cls_of(alias)
+        try:
+            self.schema.cls(cls).attribute(attribute)
+        except SchemaError as error:
+            raise QueryError(str(error)) from None
+        return alias, attribute
+
+    def where(self, path: str, op: str, value: object) -> "WebspaceQuery":
+        """An exact-match conceptual predicate, e.g. gender == female."""
+        if op not in _OPERATORS:
+            raise QueryError(f"unknown operator {op!r}")
+        alias, attribute = self._split(path)
+        self.attribute_predicates.append(
+            AttributePredicate(alias, attribute, op, value))
+        return self
+
+    def contains(self, path: str, text: str) -> "WebspaceQuery":
+        """A ranked free-text predicate on a Hypertext attribute."""
+        alias, attribute = self._split(path)
+        atype = self.schema.cls(self.cls_of(alias)).attribute(attribute)
+        if not atype.multimedia or atype.by_reference:
+            raise QueryError(
+                f"contains() needs a Hypertext attribute, "
+                f"{path!r} is {atype.name}")
+        self.content_predicates.append(
+            ContentPredicate(alias, attribute, text))
+        return self
+
+    def video_event(self, path: str, event: str) -> "WebspaceQuery":
+        """A content-based predicate answered from the meta-index."""
+        alias, attribute = self._split(path)
+        atype = self.schema.cls(self.cls_of(alias)).attribute(attribute)
+        if atype.name != "Video":
+            raise QueryError(
+                f"video_event() needs a Video attribute, "
+                f"{path!r} is {atype.name}")
+        self.event_predicates.append(EventPredicate(alias, attribute, event))
+        return self
+
+    def audio_event(self, path: str, kind: str) -> "WebspaceQuery":
+        """A content-based predicate on an Audio attribute.
+
+        ``kind`` selects objects whose analysed audio is of that kind
+        ("speech" for interviews, "music" for jingles); matching speaker
+        turns are attached to the result rows.
+        """
+        alias, attribute = self._split(path)
+        atype = self.schema.cls(self.cls_of(alias)).attribute(attribute)
+        if atype.name != "Audio":
+            raise QueryError(
+                f"audio_event() needs an Audio attribute, "
+                f"{path!r} is {atype.name}")
+        if kind not in ("speech", "music"):
+            raise QueryError(f"unknown audio kind {kind!r}")
+        self.audio_predicates.append(AudioPredicate(alias, attribute, kind))
+        return self
+
+    def join(self, association: str, source_alias: str,
+             target_alias: str) -> "WebspaceQuery":
+        """Relate two bindings through a schema association."""
+        assoc = self.schema.association(association)
+        if self.cls_of(source_alias) != assoc.source:
+            raise QueryError(
+                f"association {association!r} starts at {assoc.source!r}, "
+                f"not {self.cls_of(source_alias)!r}")
+        if self.cls_of(target_alias) != assoc.target:
+            raise QueryError(
+                f"association {association!r} ends at {assoc.target!r}, "
+                f"not {self.cls_of(target_alias)!r}")
+        self.joins.append(
+            AssociationJoin(association, source_alias, target_alias))
+        return self
+
+    def select(self, *paths: str) -> "WebspaceQuery":
+        """Project alias.attribute values into the result rows."""
+        for path in paths:
+            self.projections.append(self._split(path))
+        return self
+
+    def top(self, n: int) -> "WebspaceQuery":
+        """Limit (and rank) the result to the best n rows."""
+        if n < 1:
+            raise QueryError("top() needs n >= 1")
+        self.limit = n
+        return self
+
+    # -- introspection -----------------------------------------------------
+
+    def cls_of(self, alias: str) -> str:
+        for binding in self.bindings:
+            if binding.alias == alias:
+                return binding.cls
+        raise QueryError(f"unbound alias {alias!r}")
+
+    def validate(self) -> None:
+        if not self.bindings:
+            raise QueryError("query binds no classes")
+        if not self.projections:
+            raise QueryError("query selects nothing")
+        bound = {binding.alias for binding in self.bindings}
+        for join in self.joins:
+            if join.source_alias not in bound or join.target_alias not in bound:
+                raise QueryError(f"join {join.association!r} uses an "
+                                 f"unbound alias")
+        # every binding must be reachable from the first via joins
+        # (cartesian products are never what a conceptual query means)
+        if len(self.bindings) > 1:
+            reached = {self.bindings[0].alias}
+            changed = True
+            while changed:
+                changed = False
+                for join in self.joins:
+                    pair = {join.source_alias, join.target_alias}
+                    if pair & reached and not pair <= reached:
+                        reached |= pair
+                        changed = True
+            if reached != bound:
+                raise QueryError(
+                    "query is not connected: add join() between bindings")

@@ -1,0 +1,38 @@
+"""The web object retriever.
+
+"This is done by the web object retriever, which reconstructs the
+web-objects, and the relations among them, stored in the documents,
+given the corresponding webspace schema."  Documents overlap — the same
+object may be materialised (partially) in several views — so retrieval
+merges by (class, key).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.webspace.documents import WebspaceDocument, document_from_xml
+from repro.webspace.objects import ObjectGraph
+from repro.webspace.schema import WebspaceSchema
+from repro.xmlstore.model import Element
+
+__all__ = ["retrieve_objects", "retrieve_from_xml"]
+
+
+def retrieve_objects(schema: WebspaceSchema,
+                     documents: Iterable[WebspaceDocument]) -> ObjectGraph:
+    """Merge a document collection into one object graph."""
+    graph = ObjectGraph(schema)
+    for document in documents:
+        for obj in document.objects:
+            graph.add_object(obj)
+        for association in document.associations:
+            graph.add_association(association)
+    return graph
+
+
+def retrieve_from_xml(schema: WebspaceSchema,
+                      roots: Iterable[Element]) -> ObjectGraph:
+    """Like :func:`retrieve_objects`, from raw XML views."""
+    return retrieve_objects(
+        schema, (document_from_xml(schema, root) for root in roots))

@@ -1,0 +1,130 @@
+"""The webspace schema: classes, attributes and associations (Fig 3).
+
+"The webspace schema models the concepts in terms of classes, attributes
+of classes, and associations over classes.  Together the concepts give a
+semantic description of the content available in a webspace."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.webspace.types import AttributeType, TYPE_BY_NAME
+
+__all__ = ["WebspaceClass", "Association", "WebspaceSchema",
+           "australian_open_schema"]
+
+
+@dataclass
+class WebspaceClass:
+    """One class concept with typed attributes."""
+
+    name: str
+    attributes: dict[str, AttributeType] = field(default_factory=dict)
+
+    def attribute(self, name: str) -> AttributeType:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise SchemaError(
+                f"class {self.name!r} has no attribute {name!r}") from None
+
+    def multimedia_attributes(self) -> dict[str, AttributeType]:
+        return {name: atype for name, atype in self.attributes.items()
+                if atype.multimedia}
+
+
+@dataclass(frozen=True)
+class Association:
+    """A named association concept between two classes."""
+
+    name: str
+    source: str
+    target: str
+
+
+class WebspaceSchema:
+    """A complete webspace schema."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.classes: dict[str, WebspaceClass] = {}
+        self.associations: dict[str, Association] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_class(self, name: str,
+                  attributes: dict[str, AttributeType | str]) -> WebspaceClass:
+        if name in self.classes:
+            raise SchemaError(f"class {name!r} defined twice")
+        resolved: dict[str, AttributeType] = {}
+        for attr_name, atype in attributes.items():
+            if isinstance(atype, str):
+                if atype not in TYPE_BY_NAME:
+                    raise SchemaError(f"unknown attribute type {atype!r}")
+                atype = TYPE_BY_NAME[atype]
+            resolved[attr_name] = atype
+        cls = WebspaceClass(name, resolved)
+        self.classes[name] = cls
+        return cls
+
+    def add_association(self, name: str, source: str, target: str
+                        ) -> Association:
+        if name in self.associations:
+            raise SchemaError(f"association {name!r} defined twice")
+        for cls in (source, target):
+            if cls not in self.classes:
+                raise SchemaError(
+                    f"association {name!r} references unknown class {cls!r}")
+        association = Association(name, source, target)
+        self.associations[name] = association
+        return association
+
+    # -- lookup ------------------------------------------------------------
+
+    def cls(self, name: str) -> WebspaceClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise SchemaError(f"unknown class {name!r}") from None
+
+    def association(self, name: str) -> Association:
+        try:
+            return self.associations[name]
+        except KeyError:
+            raise SchemaError(f"unknown association {name!r}") from None
+
+    def validate(self) -> None:
+        if not self.classes:
+            raise SchemaError("schema has no classes")
+
+
+def australian_open_schema() -> WebspaceSchema:
+    """The Fig 3 schema fragment, completed for the running example."""
+    schema = WebspaceSchema("australian-open")
+    schema.add_class("Player", {
+        "name": "varchar",
+        "gender": "varchar",
+        "country": "varchar",
+        "plays": "varchar",
+        "history": "Hypertext",
+        "picture": "Image",
+        "interview": "Audio",
+    })
+    schema.add_class("Article", {
+        "title": "varchar",
+        "body": "Hypertext",
+    })
+    schema.add_class("Profile", {
+        "document": "Uri",
+    })
+    schema.add_class("Video", {
+        "title": "varchar",
+        "video": "Video",
+    })
+    schema.add_association("About", "Article", "Player")
+    schema.add_association("Is_covered_in", "Player", "Profile")
+    schema.add_association("Features", "Video", "Player")
+    schema.validate()
+    return schema

@@ -1,0 +1,41 @@
+"""Attribute types of the webspace schema.
+
+"For the integration with content-based information retrieval we allow
+the conceptual schema to be extended with all kinds of multimedia types
+(i.e. text, images, video or audio)."  Multimedia-typed attributes hold
+references to external media objects; the logical level augments them
+with meta-data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AttributeType", "STR", "INT", "URI", "HYPERTEXT", "IMAGE",
+           "VIDEO", "AUDIO", "TYPE_BY_NAME"]
+
+
+@dataclass(frozen=True)
+class AttributeType:
+    """A named attribute type; multimedia types get content-based search."""
+
+    name: str
+    multimedia: bool = False
+    # multimedia attributes whose *value itself* is the content (Hypertext)
+    # versus a reference to an external object (Image/Video/Audio)
+    by_reference: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+STR = AttributeType("varchar")
+INT = AttributeType("integer")
+URI = AttributeType("Uri")
+HYPERTEXT = AttributeType("Hypertext", multimedia=True)
+IMAGE = AttributeType("Image", multimedia=True, by_reference=True)
+VIDEO = AttributeType("Video", multimedia=True, by_reference=True)
+AUDIO = AttributeType("Audio", multimedia=True, by_reference=True)
+
+TYPE_BY_NAME = {atype.name: atype
+                for atype in (STR, INT, URI, HYPERTEXT, IMAGE, VIDEO, AUDIO)}

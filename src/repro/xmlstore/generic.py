@@ -1,0 +1,131 @@
+"""Baseline: a generic document-independent edge mapping.
+
+The paper contrasts its path-per-relation mapping with mappings that
+"maintain a heap on which all documents are stored".  This module is that
+baseline: four global relations independent of document structure —
+
+* ``label (oid, tag)``   — element names,
+* ``edge  (parent, child)`` — parent/child element and pcdata edges,
+* ``attr:<name> (oid, value)`` — attribute values per attribute name,
+* ``cdata (oid, value)`` — character data,
+* ``rank  (oid, int)``   — sibling order.
+
+Path expressions must traverse ``edge`` level by level, filtering by
+``label`` — no semantic clustering.  Benchmark E5 measures the difference
+against :mod:`repro.xmlstore.pathexpr`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PathExpressionError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.catalog import Catalog
+from repro.xmlstore.model import Element, Text
+from repro.xmlstore.pathexpr import PathExpression, parse_path
+from repro.xmlstore.pathsummary import PCDATA
+
+__all__ = ["GenericStore"]
+
+
+class GenericStore:
+    """XML documents on a generic node/edge heap."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.label = self.catalog.create("label", "oid", "str")
+        self.edge = self.catalog.create("edge", "oid", "oid")
+        self.cdata = self.catalog.create("cdata", "oid", "str")
+        self.rank = self.catalog.create("rank", "oid", "int")
+        self.roots: list[Oid] = []
+        self.tuples_touched = 0
+
+    # -- loading -----------------------------------------------------------
+
+    def insert_tree(self, root: Element) -> Oid:
+        """Store one document; return its root oid."""
+        root_oid = self._insert_node(root)
+        self.roots.append(root_oid)
+        return root_oid
+
+    def _attr_bat(self, name: str):
+        return self.catalog.ensure(f"attr:{name}", "oid", "str")
+
+    def _insert_node(self, node: Element) -> Oid:
+        oid = self.catalog.oids.new()
+        self.label.insert(oid, node.tag)
+        for name, value in node.attributes.items():
+            self._attr_bat(name).insert(oid, value)
+        for position, child in enumerate(node.children):
+            if isinstance(child, Text):
+                child_oid = self.catalog.oids.new()
+                self.label.insert(child_oid, PCDATA)
+                self.cdata.insert(child_oid, child.value)
+            else:
+                child_oid = self._insert_node(child)
+            self.edge.insert(oid, child_oid)
+            self.rank.insert(child_oid, position)
+        return oid
+
+    # -- querying ---------------------------------------------------------
+
+    def _charge(self, tuples: int) -> None:
+        self.tuples_touched += tuples
+
+    def _label_matches(self, oids: list[Oid], tag: str) -> list[Oid]:
+        self._charge(len(self.label))
+        if tag == "*":
+            pcdata = {oid for oid, name in self.label if name == PCDATA}
+            return [oid for oid in oids if oid not in pcdata]
+        wanted = {oid for oid, name in self.label if name == tag}
+        return [oid for oid in oids if oid in wanted]
+
+    def _children(self, oids: list[Oid]) -> list[Oid]:
+        self._charge(len(oids))
+        result: list[Oid] = []
+        for oid in oids:
+            result.extend(self.edge.find_all(oid))
+        return result
+
+    def _descendants(self, oids: list[Oid]) -> list[Oid]:
+        result: list[Oid] = []
+        frontier = list(oids)
+        while frontier:
+            children = self._children(frontier)
+            result.extend(children)
+            frontier = children
+        return result
+
+    def evaluate(self, expr: PathExpression | str
+                 ) -> tuple[list[Oid], list[tuple[Oid, str]]]:
+        """Evaluate a path expression; returns (oids, leaf values)."""
+        if isinstance(expr, str):
+            expr = parse_path(expr)
+        current = list(self.roots)
+        for position, step in enumerate(expr.steps):
+            if position == 0:
+                candidates = (current + self._descendants(current)
+                              if step.descendant else current)
+            else:
+                candidates = (self._descendants(current)
+                              if step.descendant else self._children(current))
+            current = self._label_matches(candidates, step.tag)
+            if not current:
+                break
+        if expr.attribute is not None:
+            bat = self.catalog.get_or_none(f"attr:{expr.attribute}")
+            if bat is None:
+                return [], []
+            self._charge(len(bat))
+            if not expr.steps:
+                raise PathExpressionError(
+                    "generic store needs at least one element step")
+            keys = set(current)
+            values = [(oid, value) for oid, value in bat if oid in keys]
+            return [oid for oid, _ in values], values
+        if expr.text:
+            self._charge(len(self.cdata))
+            keys = set(current)
+            values = [(oid, value) for oid, value in self.cdata
+                      if oid in keys]
+            return [oid for oid, _ in values], values
+        return current, []

@@ -1,0 +1,160 @@
+"""The XML document model of the paper's physical level.
+
+The paper defines an XML document as a rooted tree
+``d = (V, E, r, labelE, labelA, rank)`` where ``labelE`` assigns element
+names to nodes, ``labelA`` assigns attribute name/value pairs, character
+data is "modeled as a special attribute of cdata nodes", and ``rank``
+orders siblings.  :class:`Element` and :class:`Text` realise exactly that
+model; :func:`isomorphic` implements the equality notion under which the
+Monet transform is invertible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+__all__ = ["Element", "Text", "Node", "isomorphic", "element"]
+
+
+class Text:
+    """A character-data (cdata) node."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preview = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+        return f"Text({preview!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Text) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Text", self.value))
+
+
+class Element:
+    """An element node: tag, ordered attributes and ordered children."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str,
+                 attributes: dict[str, str] | None = None,
+                 children: list["Node"] | None = None):
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Node] = list(children or [])
+
+    # -- construction helpers -----------------------------------------
+
+    def append(self, child: "Node") -> "Node":
+        """Append a child node and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def add_element(self, tag: str, attributes: dict[str, str] | None = None
+                    ) -> "Element":
+        """Append and return a new child element."""
+        child = Element(tag, attributes)
+        self.children.append(child)
+        return child
+
+    def add_text(self, value: str) -> Text:
+        """Append and return a new text child."""
+        child = Text(value)
+        self.children.append(child)
+        return child
+
+    # -- traversal ------------------------------------------------------
+
+    def element_children(self) -> list["Element"]:
+        """Child elements only, in document order."""
+        return [child for child in self.children if isinstance(child, Element)]
+
+    def text(self) -> str:
+        """Concatenated direct character data of this element."""
+        return "".join(child.value for child in self.children
+                       if isinstance(child, Text))
+
+    def deep_text(self) -> str:
+        """Concatenated character data of the whole subtree."""
+        parts: list[str] = []
+        for node in self.iter():
+            if isinstance(node, Text):
+                parts.append(node.value)
+        return "".join(parts)
+
+    def iter(self) -> Iterator["Node"]:
+        """Depth-first, document-order iteration over the subtree."""
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, Element):
+                stack.extend(reversed(node.children))
+
+    def find(self, tag: str) -> "Element | None":
+        """First child element with the given tag, or None."""
+        for child in self.children:
+            if isinstance(child, Element) and child.tag == tag:
+                return child
+        return None
+
+    def find_all(self, tag: str) -> list["Element"]:
+        """All child elements with the given tag, in order."""
+        return [child for child in self.children
+                if isinstance(child, Element) and child.tag == tag]
+
+    def size(self) -> int:
+        """Number of nodes in the subtree (elements + text nodes)."""
+        return sum(1 for _ in self.iter())
+
+    def height(self) -> int:
+        """Height of the subtree (a leaf element has height 1)."""
+        best = 1
+        for child in self.children:
+            if isinstance(child, Element):
+                depth = 1 + child.height()
+                if depth > best:
+                    best = depth
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Element(<{self.tag}> {len(self.children)} children)"
+
+
+Node = Union[Element, Text]
+
+
+def element(tag: str, attributes: dict[str, str] | None = None,
+            *children: Node | str) -> Element:
+    """Terse constructor: strings become text nodes.
+
+    >>> doc = element("a", {"x": "1"}, element("b"), "hi")
+    """
+    node = Element(tag, attributes)
+    for child in children:
+        if isinstance(child, str):
+            node.add_text(child)
+        else:
+            node.append(child)
+    return node
+
+
+def isomorphic(left: Node, right: Node) -> bool:
+    """Structural equality: tags, attributes, sibling order and cdata.
+
+    This is the equivalence under which ``M_t^{-1}(M_t(d))`` must equal
+    ``d`` (Definition 1's invertibility claim).
+    """
+    if isinstance(left, Text) or isinstance(right, Text):
+        return (isinstance(left, Text) and isinstance(right, Text)
+                and left.value == right.value)
+    if left.tag != right.tag or left.attributes != right.attributes:
+        return False
+    if len(left.children) != len(right.children):
+        return False
+    return all(isomorphic(a, b)
+               for a, b in zip(left.children, right.children))

@@ -1,0 +1,283 @@
+"""Path expression evaluation over the path summary.
+
+"The main rationale for the path-centric storage of documents is to
+evaluate the ubiquitous XML path expressions efficiently."  Because every
+root-to-node path has its own relation, evaluating an absolute path
+expression reduces to: match the expression against the path summary
+(pure metadata, no data touched), then scan only the relations of the
+matching paths.
+
+Supported grammar (a pragmatic XPath subset)::
+
+    expr   := '/' step ( '/' step )* ( '/' leaf )?
+            | '//' step ...              (descendant axis, any position)
+    step   := NAME | '*'
+    leaf   := '@' NAME                   (attribute values)
+            | 'text()'                   (character data)
+
+Results are (oid, value) pairs for leaf expressions and oids otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import PathExpressionError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.catalog import Catalog
+from repro.monetdb.server import MonetServer
+from repro.xmlstore.pathsummary import PCDATA, PathNode, PathSummary
+from repro.xmlstore.shredder import SYS_RELATION
+
+__all__ = ["PathExpression", "PathResult", "parse_path", "evaluate",
+           "match_paths", "node_oids", "parent_of", "root_of", "descend"]
+
+
+@dataclass(frozen=True)
+class _Step:
+    tag: str            # element name, or "*"
+    descendant: bool    # reached via // ?
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """A parsed path expression."""
+
+    steps: tuple[_Step, ...]
+    attribute: str | None = None   # trailing @name
+    text: bool = False             # trailing text()
+    source: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.source
+
+
+@dataclass
+class PathResult:
+    """The outcome of evaluating a path expression."""
+
+    paths: list[PathNode]
+    oids: list[Oid]
+    values: list[tuple[Oid, str]]
+
+    def value_list(self) -> list[str]:
+        """Just the values of a leaf result."""
+        return [value for _, value in self.values]
+
+
+def parse_path(source: str) -> PathExpression:
+    """Parse a path expression string."""
+    if not source or not source.startswith("/"):
+        raise PathExpressionError(
+            f"path expression must start with '/': {source!r}")
+    steps: list[_Step] = []
+    attribute: str | None = None
+    text = False
+    index = 0
+    length = len(source)
+    while index < length:
+        if source.startswith("//", index):
+            descendant = True
+            index += 2
+        elif source.startswith("/", index):
+            descendant = False
+            index += 1
+        else:
+            raise PathExpressionError(
+                f"expected '/' at offset {index} in {source!r}")
+        if index >= length:
+            raise PathExpressionError(f"trailing '/' in {source!r}")
+        end = source.find("/", index)
+        if end < 0:
+            end = length
+        token = source[index:end]
+        index = end
+        if not token:
+            raise PathExpressionError(f"empty step in {source!r}")
+        if token.startswith("@"):
+            if index != length:
+                raise PathExpressionError(
+                    f"attribute step must be last in {source!r}")
+            if descendant:
+                raise PathExpressionError(
+                    f"'//@' is not supported in {source!r}")
+            attribute = token[1:]
+            if not attribute:
+                raise PathExpressionError(f"empty attribute in {source!r}")
+        elif token == "text()":
+            if index != length:
+                raise PathExpressionError(
+                    f"text() step must be last in {source!r}")
+            steps.append(_Step(PCDATA, descendant))
+            text = True
+        else:
+            steps.append(_Step(token, descendant))
+    if not steps and attribute is None:
+        raise PathExpressionError(f"empty path expression: {source!r}")
+    return PathExpression(tuple(steps), attribute, text, source)
+
+
+def _descendants(nodes: Iterable[PathNode]) -> list[PathNode]:
+    result: list[PathNode] = []
+    for node in nodes:
+        result.extend(node.walk())
+    return result
+
+
+def match_paths(summary: PathSummary, expr: PathExpression | str
+                ) -> list[PathNode]:
+    """All path-summary nodes matched by the expression (metadata only)."""
+    if isinstance(expr, str):
+        expr = parse_path(expr)
+    current: list[PathNode] = []
+    for position, step in enumerate(expr.steps):
+        if position == 0:
+            if step.descendant:
+                candidates = _descendants(summary.roots())
+            else:
+                candidates = summary.roots()
+        else:
+            if step.descendant:
+                candidates = [child for node in current
+                              for descendant in node.children.values()
+                              for child in descendant.walk()]
+            else:
+                candidates = [child for node in current
+                              for child in node.children.values()]
+        if step.tag == "*":
+            current = [node for node in candidates if not node.is_pcdata()]
+        else:
+            current = [node for node in candidates if node.tag == step.tag]
+        # de-duplicate while keeping order (descendant axes can repeat)
+        seen: set[str] = set()
+        unique: list[PathNode] = []
+        for node in current:
+            if node.path not in seen:
+                seen.add(node.path)
+                unique.append(node)
+        current = unique
+        if not current:
+            return []
+    return current
+
+
+def node_oids(catalog: Catalog, node: PathNode,
+              server: MonetServer | None = None) -> list[Oid]:
+    """All instance oids stored at a path-summary node."""
+    if node.parent is None:
+        sys_relation = catalog.get_or_none(SYS_RELATION)
+        if sys_relation is None:
+            return []
+        if server is not None:
+            server.charge(len(sys_relation))
+        return [oid for oid, tag in sys_relation if tag == node.tag]
+    edges = catalog.get_or_none(node.edge_relation())
+    if edges is None:
+        return []
+    if server is not None:
+        server.charge(len(edges))
+    return list(edges.tail)
+
+
+def evaluate(catalog: Catalog, summary: PathSummary,
+             expr: PathExpression | str,
+             server: MonetServer | None = None) -> PathResult:
+    """Evaluate a path expression against the store."""
+    if isinstance(expr, str):
+        expr = parse_path(expr)
+    values: list[tuple[Oid, str]] = []
+    oids: list[Oid] = []
+
+    if expr.attribute is not None:
+        owner_expr = PathExpression(expr.steps, None, False, expr.source)
+        owners = (match_paths(summary, owner_expr)
+                  if expr.steps else summary.roots())
+        paths = owners
+        for node in owners:
+            relation = catalog.get_or_none(
+                node.attribute_relation(expr.attribute))
+            if relation is None:
+                continue
+            if server is not None:
+                server.charge(len(relation))
+            values.extend(relation)
+            oids.extend(relation.head)
+        return PathResult(paths, oids, values)
+
+    paths = match_paths(summary, expr)
+    if expr.text:
+        for node in paths:
+            relation = catalog.get_or_none(node.cdata_relation())
+            if relation is None:
+                continue
+            if server is not None:
+                server.charge(len(relation))
+            values.extend(relation)
+            oids.extend(relation.head)
+        return PathResult(paths, oids, values)
+
+    for node in paths:
+        oids.extend(node_oids(catalog, node, server))
+    return PathResult(paths, oids, [])
+
+
+def parent_of(catalog: Catalog, node: PathNode, oid: Oid) -> Oid | None:
+    """The parent oid of an instance at the given path node."""
+    if node.parent is None:
+        return None
+    edges = catalog.get_or_none(node.edge_relation())
+    if edges is None:
+        return None
+    for parent, child in edges:
+        if child == oid:
+            return parent
+    return None
+
+
+def root_of(catalog: Catalog, node: PathNode, oid: Oid) -> Oid:
+    """The document-root oid above an instance at the given path node."""
+    current_node = node
+    current_oid = oid
+    while current_node.parent is not None:
+        parent_oid = parent_of(catalog, current_node, current_oid)
+        if parent_oid is None:
+            raise PathExpressionError(
+                f"dangling node {current_oid!r} at {current_node.path}")
+        current_node = current_node.parent
+        current_oid = parent_oid
+    return current_oid
+
+
+def descend(catalog: Catalog, node: PathNode, oids: Iterable[Oid],
+            relative_path: str,
+            server: MonetServer | None = None) -> list[tuple[Oid, Oid]]:
+    """Follow a relative child path from the given instances.
+
+    ``relative_path`` is a '/'-separated sequence of child tags (no axes).
+    Returns (ancestor oid, descendant oid) pairs; the ancestor column lets
+    callers correlate results back to their starting objects.
+    """
+    current: list[tuple[Oid, Oid]] = [(oid, oid) for oid in oids]
+    current_node = node
+    for tag in relative_path.split("/"):
+        if not tag:
+            raise PathExpressionError(
+                f"empty step in relative path {relative_path!r}")
+        child_node = current_node.get_child(tag)
+        if child_node is None:
+            return []
+        edges = catalog.get_or_none(child_node.edge_relation())
+        if edges is None:
+            return []
+        if server is not None:
+            server.charge(len(edges))
+        next_pairs: list[tuple[Oid, Oid]] = []
+        for origin, parent in current:
+            for child in edges.find_all(parent):
+                next_pairs.append((origin, child))
+        current = next_pairs
+        current_node = child_node
+        if not current:
+            return []
+    return current

@@ -1,0 +1,233 @@
+"""A small event-based XML tokenizer (the paper's SAX access path).
+
+The bulkload algorithm of the paper deliberately avoids DOM: it consumes a
+stream of start-tag / end-tag / character-data events with memory bounded
+by the document height.  This module provides that stream for the XML
+subset the system produces itself (elements, attributes, character data,
+comments, XML declarations; entities ``&amp; &lt; &gt; &quot; &apos;`` and
+numeric character references).
+
+The tokenizer is intentionally independent of the tree model so both the
+bulkloader (no tree) and :func:`parse_document` (tree) build on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import XmlSyntaxError
+from repro.xmlstore.model import Element
+
+__all__ = [
+    "StartElement", "EndElement", "Characters", "SaxEvent",
+    "iter_events", "parse_document",
+]
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """A start tag, carrying the tag name and its attributes in order."""
+    tag: str
+    attributes: tuple[tuple[str, str], ...]
+    selfclosing: bool = False
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """An end tag."""
+    tag: str
+
+
+@dataclass(frozen=True)
+class Characters:
+    """A maximal run of character data between tags."""
+    value: str
+
+
+SaxEvent = StartElement | EndElement | Characters
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+def _decode_entities(raw: str, position: int) -> str:
+    if "&" not in raw:
+        return raw
+    parts: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char != "&":
+            parts.append(char)
+            index += 1
+            continue
+        end = raw.find(";", index + 1)
+        if end < 0:
+            raise XmlSyntaxError("unterminated entity reference", position)
+        name = raw[index + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            parts.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            parts.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            parts.append(_ENTITIES[name])
+        else:
+            raise XmlSyntaxError(f"unknown entity &{name};", position)
+        index = end + 1
+    return "".join(parts)
+
+
+class _Scanner:
+    """Character-level scanner shared by the tag and attribute readers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def advance(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        return char
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XmlSyntaxError(
+                f"expected {literal!r} at offset {self.pos}", self.pos)
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in _NAME_START:
+            raise XmlSyntaxError(
+                f"expected a name at offset {self.pos}", self.pos)
+        self.pos += 1
+        while (self.pos < len(self.text)
+               and self.text[self.pos] in _NAME_CHARS):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise XmlSyntaxError(
+                f"expected {literal!r} before end of input", self.pos)
+        value = self.text[self.pos:end]
+        self.pos = end + len(literal)
+        return value
+
+
+def iter_events(text: str) -> Iterator[SaxEvent]:
+    """Yield SAX events for an XML document string.
+
+    Whitespace-only character runs between tags are suppressed (the
+    documents the system writes never carry significant inter-tag
+    whitespace); all other character data is entity-decoded and preserved.
+    """
+    scanner = _Scanner(text)
+    while not scanner.eof():
+        if scanner.peek() == "<":
+            start = scanner.pos
+            scanner.advance()
+            nxt = scanner.peek()
+            if nxt == "?":
+                scanner.read_until("?>")
+            elif nxt == "!":
+                if scanner.text.startswith("!--", scanner.pos):
+                    scanner.pos += 3
+                    scanner.read_until("-->")
+                elif scanner.text.startswith("![CDATA[", scanner.pos):
+                    scanner.pos += len("![CDATA[")
+                    yield Characters(scanner.read_until("]]>"))
+                else:
+                    scanner.read_until(">")  # DOCTYPE etc.
+            elif nxt == "/":
+                scanner.advance()
+                tag = scanner.read_name()
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                yield EndElement(tag)
+            else:
+                tag = scanner.read_name()
+                attributes: list[tuple[str, str]] = []
+                while True:
+                    scanner.skip_whitespace()
+                    char = scanner.peek()
+                    if char == ">":
+                        scanner.advance()
+                        yield StartElement(tag, tuple(attributes))
+                        break
+                    if char == "/":
+                        scanner.advance()
+                        scanner.expect(">")
+                        yield StartElement(tag, tuple(attributes),
+                                           selfclosing=True)
+                        yield EndElement(tag)
+                        break
+                    if not char:
+                        raise XmlSyntaxError("unterminated start tag", start)
+                    name = scanner.read_name()
+                    scanner.skip_whitespace()
+                    scanner.expect("=")
+                    scanner.skip_whitespace()
+                    quote = scanner.advance()
+                    if quote not in "\"'":
+                        raise XmlSyntaxError(
+                            "attribute value must be quoted", scanner.pos)
+                    raw = scanner.read_until(quote)
+                    attributes.append((name, _decode_entities(raw, start)))
+        else:
+            start = scanner.pos
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                end = len(scanner.text)
+            raw = scanner.text[start:end]
+            scanner.pos = end
+            if raw.strip():
+                yield Characters(_decode_entities(raw, start))
+
+
+def parse_document(text: str) -> Element:
+    """Parse an XML string into an :class:`Element` tree (DOM-style)."""
+    root: Element | None = None
+    stack: list[Element] = []
+    for event in iter_events(text):
+        if isinstance(event, StartElement):
+            node = Element(event.tag, dict(event.attributes))
+            if stack:
+                stack[-1].children.append(node)
+            elif root is None:
+                root = node
+            else:
+                raise XmlSyntaxError("multiple root elements")
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            if not stack:
+                raise XmlSyntaxError(f"unmatched end tag </{event.tag}>")
+            open_node = stack.pop()
+            if open_node.tag != event.tag:
+                raise XmlSyntaxError(
+                    f"mismatched end tag </{event.tag}>, "
+                    f"expected </{open_node.tag}>")
+        else:
+            if not stack:
+                raise XmlSyntaxError("character data outside the root")
+            stack[-1].add_text(event.value)
+    if stack:
+        raise XmlSyntaxError(f"unclosed element <{stack[-1].tag}>")
+    if root is None:
+        raise XmlSyntaxError("empty document")
+    return root

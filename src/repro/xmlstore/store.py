@@ -1,0 +1,201 @@
+"""The XmlStore facade: documents in, relations + queries out.
+
+This is the physical level's public face.  Both the conceptual level
+(webspace documents) and the logical level (parse trees dumped by the
+FDE) "pass on their data in the form of XML documents"; the store shreds
+them with the Monet transform, keeps a document registry, answers path
+expressions, and supports incremental replacement and deletion — the
+"extremely flexible storage method" the dynamic feature grammars need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import XmlStoreError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.server import MonetServer
+from repro.xmlstore.model import Element
+from repro.xmlstore.pathexpr import (PathExpression, PathResult, evaluate,
+                                     parse_path, root_of)
+from repro.xmlstore.pathsummary import PathNode, PathSummary
+from repro.xmlstore.reconstruct import reconstruct
+from repro.xmlstore.sax import parse_document
+from repro.xmlstore.shredder import SYS_RELATION, BulkLoader, LoadStats
+
+__all__ = ["XmlStore"]
+
+DOCS_RELATION = "docs"  # (root oid, document key): the persistent registry
+
+
+class XmlStore:
+    """Path-relation storage for a collection of XML documents."""
+
+    def __init__(self, server: MonetServer | None = None):
+        self.server = server or MonetServer("xmlstore")
+        self.catalog = self.server.catalog
+        self.summary = PathSummary()
+        self.stats = LoadStats()
+        self._doc_root: dict[str, Oid] = {}
+        self._root_doc: dict[Oid, str] = {}
+        self._docs = self.catalog.ensure(DOCS_RELATION, "oid", "str")
+        # restore the registry and path summary when the catalog was
+        # loaded from a snapshot
+        for oid, key in self._docs:
+            self._doc_root[key] = oid
+            self._root_doc[oid] = key
+        self._rebuild_summary()
+
+    # -- document registry ---------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._doc_root
+
+    def __len__(self) -> int:
+        return len(self._doc_root)
+
+    def document_keys(self) -> list[str]:
+        """All registered document keys, sorted."""
+        return sorted(self._doc_root)
+
+    def root_oid(self, key: str) -> Oid:
+        """Root oid of a registered document."""
+        try:
+            return self._doc_root[key]
+        except KeyError:
+            raise XmlStoreError(f"unknown document: {key!r}") from None
+
+    def document_key(self, root_oid: Oid) -> str:
+        """Document key for a root oid."""
+        try:
+            return self._root_doc[root_oid]
+        except KeyError:
+            raise XmlStoreError(f"unknown root oid: {root_oid!r}") from None
+
+    # -- loading -----------------------------------------------------------
+
+    def insert(self, key: str, document: Element | str) -> Oid:
+        """Shred and register one document under ``key``."""
+        if key in self._doc_root:
+            raise XmlStoreError(f"document already stored: {key!r}")
+        loader = BulkLoader(self.catalog, self.summary)
+        if isinstance(document, str):
+            oid = loader.load_text(document)
+        else:
+            oid = loader.load_tree(document)
+        self.stats.merge(loader.stats)
+        self._doc_root[key] = oid
+        self._root_doc[oid] = key
+        self._docs.insert(oid, key)
+        return oid
+
+    def insert_many(self, documents: Iterable[tuple[str, Element | str]]
+                    ) -> list[Oid]:
+        """Bulk-load many (key, document) pairs."""
+        return [self.insert(key, document) for key, document in documents]
+
+    def replace(self, key: str, document: Element | str) -> Oid:
+        """Incrementally update a document: delete the old, load the new."""
+        self.delete(key)
+        return self.insert(key, document)
+
+    def delete(self, key: str) -> None:
+        """Remove one document and all its associations."""
+        root = self.root_oid(key)
+        sys_relation = self.catalog.get(SYS_RELATION)
+        root_tag = sys_relation.find(root)
+        context = self.summary.get_root(root_tag)
+        if context is None:
+            raise XmlStoreError(f"path summary lost root {root_tag!r}")
+        self._delete_subtree(context, root)
+        sys_relation.delete_head(root)
+        self._docs.delete_head(root)
+        del self._doc_root[key]
+        del self._root_doc[root]
+
+    def _delete_subtree(self, context: PathNode, oid: Oid) -> None:
+        for name in context.attribute_names:
+            relation = self.catalog.get_or_none(
+                context.attribute_relation(name))
+            if relation is not None:
+                relation.delete_head(oid)
+        if context.is_pcdata():
+            cdata = self.catalog.get_or_none(context.cdata_relation())
+            if cdata is not None:
+                cdata.delete_head(oid)
+        for child_context in context.children.values():
+            edges = self.catalog.get_or_none(child_context.edge_relation())
+            if edges is None:
+                continue
+            child_oids = edges.find_all(oid)
+            if not child_oids:
+                continue
+            ranks = self.catalog.get_or_none(child_context.rank_relation())
+            for child_oid in child_oids:
+                self._delete_subtree(child_context, child_oid)
+                if ranks is not None:
+                    ranks.delete_head(child_oid)
+            edges.delete_head(oid)
+
+    # -- retrieval ---------------------------------------------------------
+
+    def reconstruct(self, key: str) -> Element:
+        """Rebuild the original document for a key (inverse mapping)."""
+        return reconstruct(self.catalog, self.summary, self.root_oid(key))
+
+    def parse(self, text: str) -> Element:
+        """Convenience: parse XML text to a tree (no storage)."""
+        return parse_document(text)
+
+    def query(self, expr: PathExpression | str) -> PathResult:
+        """Evaluate a path expression over all stored documents."""
+        return evaluate(self.catalog, self.summary, expr, self.server)
+
+    def paths(self) -> list[str]:
+        """The current path summary, as sorted path strings."""
+        return self.summary.paths()
+
+    def document_of(self, node: PathNode, oid: Oid) -> str:
+        """Document key containing the instance ``oid`` at ``node``."""
+        return self.document_key(root_of(self.catalog, node, oid))
+
+    def parse_path(self, source: str) -> PathExpression:
+        """Parse a path expression (re-exported for convenience)."""
+        return parse_path(source)
+
+    # -- persistence --------------------------------------------------------
+
+    def _rebuild_summary(self) -> None:
+        """Re-derive the path summary from the catalog's relation names.
+
+        Relation names *are* paths (plus ``[attr]``/``[rank]``/``[cdata]``
+        decorations), so a snapshot needs no separate schema file.
+        """
+        for name in self.catalog.names():
+            if name in (SYS_RELATION, DOCS_RELATION):
+                continue
+            if name.endswith("]"):
+                path, _, decoration = name.rpartition("[")
+                decoration = decoration[:-1]
+            else:
+                path, decoration = name, ""
+            parts = path.split("/")
+            node = self.summary.root(parts[0])
+            for tag in parts[1:]:
+                node = node.child(tag)
+            if decoration and decoration not in ("rank", "cdata", "start",
+                                                 "end"):
+                node.attribute_names.add(decoration)
+
+    def save(self, path) -> None:
+        """Snapshot the whole store (relations + registry) to a file."""
+        from repro.monetdb.persistence import save_catalog
+        save_catalog(self.catalog, path)
+
+    @classmethod
+    def load(cls, path, server: MonetServer | None = None) -> "XmlStore":
+        """Restore a store from a snapshot written by :meth:`save`."""
+        from repro.monetdb.persistence import load_catalog
+        server = server or MonetServer("xmlstore")
+        server.catalog = load_catalog(path)
+        return cls(server)

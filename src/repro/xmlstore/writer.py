@@ -1,0 +1,93 @@
+"""XML serialisation of the document model, with escaping.
+
+The writer is the counterpart of :mod:`repro.xmlstore.sax`: everything it
+produces the tokenizer accepts, and serialise-then-parse is the identity
+up to isomorphism (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import Element, Node, Text
+
+__all__ = ["escape_text", "escape_attribute", "serialize",
+           "canonical_xml"]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace(">", "&gt;"))
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (escape_text(value)
+            .replace('"', "&quot;")
+            .replace("\n", "&#10;")
+            .replace("\t", "&#9;")
+            .replace("\r", "&#13;"))
+
+
+def _write(node: Node, parts: list[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    if isinstance(node, Text):
+        parts.append(escape_text(node.value))
+        return
+    attrs = "".join(f' {name}="{escape_attribute(value)}"'
+                    for name, value in node.attributes.items())
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attrs}/>")
+        if pretty:
+            parts.append("\n")
+        return
+    only_text = all(isinstance(child, Text) for child in node.children)
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    if pretty and not only_text:
+        parts.append("\n")
+    for child in node.children:
+        if only_text:
+            _write(child, parts, 0, False)
+        else:
+            _write(child, parts, indent + 1, pretty)
+            if pretty and isinstance(child, Text):
+                parts.append("\n")
+    if not only_text:
+        parts.append(pad)
+    parts.append(f"</{node.tag}>")
+    if pretty:
+        parts.append("\n")
+
+
+def canonical_xml(root: Element) -> str:
+    """Serialisation with attributes in sorted order.
+
+    Attribute order is not significant in XML; the canonical form lets
+    callers compare a freshly authored document against one
+    reconstructed from the store (which sorts attribute relations).
+    """
+    def _copy_sorted(node: Node) -> Node:
+        if isinstance(node, Text):
+            return Text(node.value)
+        clone = Element(node.tag,
+                        dict(sorted(node.attributes.items())))
+        clone.children = [_copy_sorted(child) for child in node.children]
+        return clone
+
+    return serialize(_copy_sorted(root))
+
+
+def serialize(root: Element, pretty: bool = False,
+              declaration: bool = False) -> str:
+    """Serialise an element tree to an XML string.
+
+    ``pretty`` indents nested elements; mixed-content elements keep their
+    text inline so pretty-printing never changes significant cdata.
+    """
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+        if pretty:
+            parts.append("\n")
+    _write(root, parts, 0, pretty)
+    return "".join(parts).rstrip("\n") if pretty else "".join(parts)

@@ -1,0 +1,114 @@
+"""The operational tennis grammar: grammar path vs direct analysis."""
+
+import pytest
+
+from repro.errors import VideoError
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.rpc import RpcServer
+from repro.cobra.grammar import (analyze_video, build_tennis_grammar,
+                                 build_tennis_registry)
+from repro.cobra.library import VideoLibrary
+from repro.cobra.video import generate_video, tennis_match_script
+
+
+@pytest.fixture(scope="module")
+def setup():
+    script = tennis_match_script(rng_seed=2, rallies=3,
+                                 netplay_rallies=(1,), frames_per_shot=8)
+    video = generate_video(script, "http://x/m.mpg", seed=2)
+    library = VideoLibrary()
+    library.add(video)
+    library.add_non_video("http://x/p.jpg", ("image", "jpeg"))
+    server = RpcServer("video")
+    grammar = build_tennis_grammar()
+    registry = build_tennis_registry(library, server)
+    return video, library, grammar, registry, server
+
+
+class TestGrammarDriven:
+    def test_video_parses_with_zero_leftover(self, setup):
+        video, _, grammar, registry, _ = setup
+        outcome = FDE(grammar, registry).parse(video.location)
+        assert outcome.leftover_tokens == 0
+
+    def test_shot_structure_matches_truth(self, setup):
+        video, _, grammar, registry, _ = setup
+        outcome = FDE(grammar, registry).parse(video.location)
+        shots = outcome.tree.find_all("shot")
+        begins = [s.child("begin").leaf_value() for s in shots]
+        assert begins == video.truth.boundaries
+        types = [s.child("type").children[0].name for s in shots]
+        assert types == video.truth.categories
+
+    def test_netplay_matches_truth(self, setup):
+        video, _, grammar, registry, _ = setup
+        outcome = FDE(grammar, registry).parse(video.location)
+        shots = outcome.tree.find_all("shot")
+        truth_ranges = video.truth.shot_ranges(video.frame_count)
+        netplay_shots = [
+            truth_ranges.index((s.child("begin").leaf_value(),
+                                s.child("end").leaf_value()))
+            for s in shots if any(n.value for n in s.find_all("netplay"))]
+        assert netplay_shots == video.truth.netplay_shots
+
+    def test_external_detectors_really_cross_the_transport(self, setup):
+        video, _, grammar, registry, server = setup
+        calls_before = server.calls
+        FDE(grammar, registry).parse(video.location)
+        assert server.calls > calls_before
+
+    def test_non_video_takes_mime_branch(self, setup):
+        _, _, grammar, registry, _ = setup
+        outcome = FDE(grammar, registry).parse("http://x/p.jpg")
+        assert outcome.tree.child("mm_type") is None
+
+
+class TestCrossCheck:
+    def test_grammar_agrees_with_direct_analysis(self, setup):
+        """The grammar-driven extraction and analyze_video must agree on
+        shots, categories and netplay events."""
+        video, _, grammar, registry, _ = setup
+        description = analyze_video(video)
+        outcome = FDE(grammar, registry).parse(video.location)
+        grammar_shots = [
+            (s.child("begin").leaf_value(), s.child("end").leaf_value(),
+             s.child("type").children[0].name)
+            for s in outcome.tree.find_all("shot")]
+        direct_shots = [(s.begin, s.end, s.category)
+                        for s in description.shots]
+        assert grammar_shots == direct_shots
+
+    def test_direct_analysis_netplay_events(self, setup):
+        video, _, _, _, _ = setup
+        description = analyze_video(video)
+        truth_ranges = video.truth.shot_ranges(video.frame_count)
+        expected = {truth_ranges[i] for i in video.truth.netplay_shots}
+        found = set()
+        for event in description.events_named("netplay"):
+            for begin, end in truth_ranges:
+                if begin <= event.begin <= end:
+                    found.add((begin, end))
+        assert found == expected
+
+    def test_objects_populated_for_tennis_shots_only(self, setup):
+        video, _, _, _, _ = setup
+        description = analyze_video(video)
+        tennis_frames = sum(
+            shot.end - shot.begin + 1
+            for shot in description.shots_of_category("tennis"))
+        assert len(description.objects) == tennis_frames
+
+
+class TestLibrary:
+    def test_missing_video_raises(self):
+        with pytest.raises(VideoError):
+            VideoLibrary().get("http://x/none.mpg")
+
+    def test_mime_lookup(self, setup):
+        _, library, _, _, _ = setup
+        assert library.mime("http://x/m.mpg") == ("video", "mpeg")
+        assert library.mime("http://x/p.jpg") == ("image", "jpeg")
+
+    def test_locations_sorted(self, setup):
+        _, library, _, _, _ = setup
+        assert library.locations() == ["http://x/m.mpg", "http://x/p.jpg"]

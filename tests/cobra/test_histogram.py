@@ -1,0 +1,82 @@
+"""Colour statistics."""
+
+import numpy as np
+import pytest
+
+from repro.cobra.histogram import (color_histogram, dominant_color, entropy,
+                                   histogram_difference, mean_intensity,
+                                   quantize_color, skin_fraction, skin_mask,
+                                   variance_intensity)
+from repro.cobra.video import SKIN_COLOR
+
+
+def _flat(color, shape=(20, 30, 3)):
+    return np.full(shape, color, dtype=np.uint8)
+
+
+class TestHistogram:
+    def test_normalised(self):
+        histogram = color_histogram(_flat((10, 20, 30)))
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram.shape == (24,)
+
+    def test_identical_frames_zero_difference(self):
+        frame = _flat((10, 20, 30))
+        assert histogram_difference(color_histogram(frame),
+                                    color_histogram(frame)) == 0.0
+
+    def test_different_frames_large_difference(self):
+        left = color_histogram(_flat((10, 10, 10)))
+        right = color_histogram(_flat((250, 250, 250)))
+        assert histogram_difference(left, right) == pytest.approx(2.0)
+
+    def test_noise_gives_small_difference(self):
+        rng = np.random.default_rng(0)
+        base = np.full((20, 30, 3), 100, dtype=np.int16)
+        one = (base + rng.integers(-8, 9, base.shape)).astype(np.uint8)
+        two = (base + rng.integers(-8, 9, base.shape)).astype(np.uint8)
+        assert histogram_difference(color_histogram(one),
+                                    color_histogram(two)) < 0.2
+
+
+class TestDominantColor:
+    def test_flat_frame(self):
+        assert dominant_color(_flat((40, 110, 60))) \
+            == quantize_color(np.array([40, 110, 60]))
+
+    def test_majority_wins(self):
+        frame = _flat((40, 110, 60))
+        frame[:5, :, :] = (250, 250, 250)
+        assert dominant_color(frame) == quantize_color(
+            np.array([40, 110, 60]))
+
+
+class TestScalarFeatures:
+    def test_entropy_of_flat_frame_is_zero(self):
+        assert entropy(_flat((100, 100, 100))) == 0.0
+
+    def test_entropy_of_noise_is_high(self):
+        rng = np.random.default_rng(0)
+        noise = rng.integers(0, 256, (40, 60, 3)).astype(np.uint8)
+        assert entropy(noise) > 6.0
+
+    def test_mean_and_variance(self):
+        assert mean_intensity(_flat((100, 100, 100))) == 100.0
+        assert variance_intensity(_flat((100, 100, 100))) == 0.0
+
+
+class TestSkin:
+    def test_skin_color_detected(self):
+        assert skin_fraction(_flat(SKIN_COLOR)) == 1.0
+
+    def test_court_green_is_not_skin(self):
+        assert skin_fraction(_flat((40, 110, 60))) == 0.0
+
+    def test_mask_is_boolean(self):
+        mask = skin_mask(_flat(SKIN_COLOR))
+        assert mask.dtype == bool and mask.all()
+
+    def test_partial_skin(self):
+        frame = _flat((40, 110, 60))
+        frame[:10, :, :] = SKIN_COLOR
+        assert skin_fraction(frame) == pytest.approx(0.5)

@@ -1,0 +1,121 @@
+"""HMM machinery and stroke recognition (E14)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.cobra.hmm import (N_SYMBOLS, STROKE_CLASSES, DiscreteHMM,
+                             StrokeRecognizer, observations_from_track,
+                             synthetic_stroke_sequences)
+
+
+class TestDiscreteHMM:
+    def test_distributions_normalised(self):
+        hmm = DiscreteHMM(3, 5, seed=1)
+        assert hmm.initial.sum() == pytest.approx(1.0)
+        assert np.allclose(hmm.transition.sum(axis=1), 1.0)
+        assert np.allclose(hmm.emission.sum(axis=1), 1.0)
+
+    def test_likelihood_is_log_probability(self):
+        hmm = DiscreteHMM(2, 3, seed=1)
+        assert hmm.log_likelihood([0, 1, 2]) < 0.0
+
+    def test_likelihood_sums_to_one_over_sequences(self):
+        # sum over all length-2 observation sequences must be 1
+        hmm = DiscreteHMM(2, 2, seed=3)
+        total = sum(math.exp(hmm.log_likelihood([a, b]))
+                    for a in range(2) for b in range(2))
+        assert total == pytest.approx(1.0)
+
+    def test_viterbi_length_matches(self):
+        hmm = DiscreteHMM(3, 4, seed=2)
+        states = hmm.viterbi([0, 1, 2, 3, 0])
+        assert len(states) == 5
+        assert all(0 <= s < 3 for s in states)
+
+    def test_viterbi_follows_deterministic_emissions(self):
+        hmm = DiscreteHMM(2, 2, seed=0)
+        hmm.initial = np.array([0.5, 0.5])
+        hmm.transition = np.array([[0.5, 0.5], [0.5, 0.5]])
+        hmm.emission = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert hmm.viterbi([0, 1, 0, 1]) == [0, 1, 0, 1]
+
+    def test_baum_welch_increases_likelihood(self):
+        rng = np.random.default_rng(4)
+        sequences = [list(rng.integers(0, 4, size=10)) for _ in range(8)]
+        hmm = DiscreteHMM(3, 4, seed=4)
+        before = sum(hmm.log_likelihood(s) for s in sequences)
+        hmm.baum_welch(sequences, iterations=10)
+        after = sum(hmm.log_likelihood(s) for s in sequences)
+        assert after >= before
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(VideoError):
+            DiscreteHMM(2, 2).log_likelihood([])
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(VideoError):
+            DiscreteHMM(2, 2).log_likelihood([5])
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(VideoError):
+            DiscreteHMM(0, 2)
+
+
+class TestObservations:
+    def test_alphabet_bounds(self):
+        sequences = synthetic_stroke_sequences("serve", 5, seed=1)
+        for sequence in sequences:
+            assert all(0 <= symbol < N_SYMBOLS for symbol in sequence)
+
+    def test_deterministic(self):
+        assert synthetic_stroke_sequences("volley", 3, seed=7) \
+            == synthetic_stroke_sequences("volley", 3, seed=7)
+
+    def test_unknown_stroke_rejected(self):
+        with pytest.raises(VideoError):
+            synthetic_stroke_sequences("smash", 3)
+
+    def test_track_discretisation(self):
+        from repro.cobra.features import ShapeFeatures
+        from repro.cobra.tracking import TrackedFrame
+        dummy = ShapeFeatures(10, 0.0, 0.0, (0, 0, 1, 1), 0.0, 0.5)
+        track = [TrackedFrame(0, 300.0, 320.0, dummy),
+                 TrackedFrame(1, 330.0, 150.0, dummy),   # moved right, at net
+                 TrackedFrame(2, 300.0, 250.0, dummy)]   # moved left, mid
+        symbols = observations_from_track(track)
+        assert symbols == [2 * 3 + 1, 0 * 3 + 2, 1 * 3 + 0]
+
+    def test_empty_track(self):
+        assert observations_from_track([]) == []
+
+
+class TestStrokeRecognizer:
+    @pytest.fixture(scope="class")
+    def recognizer(self):
+        recognizer = StrokeRecognizer(n_states=4)
+        training = {stroke: synthetic_stroke_sequences(stroke, 25, seed=11)
+                    for stroke in STROKE_CLASSES}
+        recognizer.train(training, iterations=10)
+        return recognizer
+
+    def test_accuracy_well_above_chance(self, recognizer):
+        test_set = [(stroke, sequence)
+                    for stroke in STROKE_CLASSES
+                    for sequence in synthetic_stroke_sequences(
+                        stroke, 12, seed=99)]
+        accuracy = recognizer.accuracy(test_set)
+        assert accuracy > 0.8  # chance is 0.25
+
+    def test_classify_returns_known_class(self, recognizer):
+        sequence = synthetic_stroke_sequences("serve", 1, seed=5)[0]
+        assert recognizer.classify(sequence) in STROKE_CLASSES
+
+    def test_untrained_recognizer_rejected(self):
+        with pytest.raises(VideoError):
+            StrokeRecognizer().classify([0, 1])
+
+    def test_accuracy_of_empty_set(self, recognizer):
+        assert recognizer.accuracy([]) == 1.0

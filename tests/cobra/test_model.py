@@ -1,0 +1,51 @@
+"""The COBRA description model helpers."""
+
+import pytest
+
+from repro.cobra.model import (CobraDescription, RawVideo, ShotFeatures,
+                               VideoEvent, VideoObject)
+
+
+@pytest.fixture
+def description():
+    raw = RawVideo("http://x/v.mpg", frame_count=30, width=64, height=36)
+    description = CobraDescription(raw)
+    description.shots = [
+        ShotFeatures(0, 9, category="tennis"),
+        ShotFeatures(10, 14, category="closeup"),
+        ShotFeatures(15, 29, category="tennis"),
+    ]
+    description.objects = [
+        VideoObject("player", frame_no=n, x=300.0, y=320.0, area=400)
+        for n in list(range(0, 10)) + list(range(15, 30))
+    ]
+    description.events = [
+        VideoEvent("netplay", 20, 25),
+        VideoEvent("baseline_rally", 0, 9),
+    ]
+    return description
+
+
+class TestLayers:
+    def test_raw_layer_is_a_handle(self, description):
+        assert description.raw.location == "http://x/v.mpg"
+        assert description.raw.fps == 25.0
+
+    def test_shots_of_category(self, description):
+        tennis = description.shots_of_category("tennis")
+        assert [(s.begin, s.end) for s in tennis] == [(0, 9), (15, 29)]
+        assert description.shots_of_category("audience") == []
+
+    def test_events_named(self, description):
+        assert len(description.events_named("netplay")) == 1
+        assert description.events_named("serve") == []
+
+    def test_objects_in_range(self, description):
+        in_second_shot = description.objects_in_range(15, 29)
+        assert len(in_second_shot) == 15
+        assert all(15 <= obj.frame_no <= 29 for obj in in_second_shot)
+
+    def test_event_confidence_defaults(self, description):
+        event = description.events[0]
+        assert event.confidence == 1.0
+        assert event.attributes == {}

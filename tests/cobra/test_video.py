@@ -1,0 +1,98 @@
+"""Synthetic video generator: determinism and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.cobra.video import (COURT_COLORS, ShotSpec, generate_video,
+                               tennis_match_script)
+
+
+class TestGeneration:
+    def test_frame_array_shape(self):
+        video = generate_video([ShotSpec("tennis", 5)], "http://x/v.mpg",
+                               width=32, height=18)
+        assert video.frames.shape == (5, 18, 32, 3)
+        assert video.frames.dtype == np.uint8
+
+    def test_deterministic_for_same_seed(self):
+        script = [ShotSpec("tennis", 4), ShotSpec("audience", 3)]
+        first = generate_video(script, "http://x/v.mpg", seed=9)
+        second = generate_video(script, "http://x/v.mpg", seed=9)
+        assert np.array_equal(first.frames, second.frames)
+
+    def test_different_seeds_differ(self):
+        script = [ShotSpec("audience", 3)]
+        first = generate_video(script, "http://x/v.mpg", seed=1)
+        second = generate_video(script, "http://x/v.mpg", seed=2)
+        assert not np.array_equal(first.frames, second.frames)
+
+    def test_ground_truth_boundaries(self):
+        script = [ShotSpec("tennis", 5), ShotSpec("closeup", 3),
+                  ShotSpec("other", 2)]
+        video = generate_video(script, "http://x/v.mpg")
+        assert video.truth.boundaries == [0, 5, 8]
+        assert video.truth.categories == ["tennis", "closeup", "other"]
+        assert video.truth.shot_ranges(video.frame_count) \
+            == [(0, 4), (5, 7), (8, 9)]
+
+    def test_netplay_ground_truth(self):
+        approach = [(320.0, 330.0), (320.0, 160.0)]
+        stay = [(320.0, 330.0), (320.0, 320.0)]
+        video = generate_video(
+            [ShotSpec("tennis", 2, approach), ShotSpec("tennis", 2, stay)],
+            "http://x/v.mpg")
+        assert video.truth.netplay_shots == [0]
+
+    def test_unknown_court_rejected(self):
+        with pytest.raises(VideoError):
+            generate_video([ShotSpec("tennis", 2)], "http://x/v.mpg",
+                           court="moon_dust")
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(VideoError):
+            generate_video([], "http://x/v.mpg")
+
+    def test_zero_length_shot_rejected(self):
+        with pytest.raises(VideoError):
+            generate_video([ShotSpec("tennis", 0)], "http://x/v.mpg")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(VideoError):
+            generate_video([ShotSpec("drone", 2)], "http://x/v.mpg")
+
+    def test_court_color_dominates_tennis_frames(self):
+        for court, color in COURT_COLORS.items():
+            video = generate_video([ShotSpec("tennis", 2)], "http://x/v",
+                                   court=court)
+            frame = video.frames[0].reshape(-1, 3).astype(int)
+            close = (np.abs(frame - np.array(color)).sum(axis=1) < 40)
+            assert close.mean() > 0.5
+
+
+class TestMatchScript:
+    def test_script_structure(self):
+        script = tennis_match_script(rng_seed=0, rallies=3,
+                                     netplay_rallies=(1,))
+        categories = [spec.category for spec in script]
+        assert categories.count("tennis") == 3
+        assert categories[-1] == "other"
+
+    def test_netplay_rally_reaches_net(self):
+        script = tennis_match_script(rng_seed=0, rallies=2,
+                                     netplay_rallies=(0,))
+        netplay_shot = [s for s in script if s.category == "tennis"][0]
+        assert min(y for _, y in netplay_shot.trajectory) <= 170.0
+
+    def test_baseline_rally_stays_back(self):
+        script = tennis_match_script(rng_seed=0, rallies=2,
+                                     netplay_rallies=())
+        for spec in script:
+            if spec.category == "tennis":
+                assert min(y for _, y in spec.trajectory) > 170.0
+
+    def test_strokes_assigned_round_robin(self):
+        script = tennis_match_script(rng_seed=0, rallies=4,
+                                     strokes=("serve", "forehand"))
+        strokes = [s.stroke for s in script if s.category == "tennis"]
+        assert strokes == ["serve", "forehand", "serve", "forehand"]

@@ -1,0 +1,79 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-snapshot")
+    code = main(["populate", "--site", "ausopen",
+                 "--snapshot", str(directory),
+                 "--players", "8", "--articles", "4",
+                 "--videos", "3", "--frames", "6"])
+    assert code == 0
+    return directory
+
+
+class TestPopulate:
+    def test_populate_writes_snapshot(self, snapshot):
+        assert (snapshot / "engine.json").exists()
+        assert (snapshot / "site.json").exists()
+        assert (snapshot / "conceptual.jsonl").exists()
+
+    def test_populate_report_printed(self, tmp_path, capsys):
+        main(["populate", "--site", "lonelyplanet",
+              "--snapshot", str(tmp_path / "lp")])
+        out = capsys.readouterr().out
+        assert "crawled" in out and "snapshot written" in out
+
+
+class TestQuery:
+    def test_mixed_query(self, snapshot, capsys):
+        code = main(["query", "--snapshot", str(snapshot),
+                     "SELECT p.name, v.title FROM Player p, Video v "
+                     "WHERE p.gender = 'female' AND p.plays = 'left' "
+                     "AND p.history CONTAINS 'Winner' AND v Features p "
+                     "AND v.video EVENT netplay TOP 5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Monica Seles" in out
+        assert "shot frames" in out
+
+    def test_conceptual_query(self, snapshot, capsys):
+        code = main(["query", "--snapshot", str(snapshot),
+                     "SELECT p.name FROM Player p "
+                     "WHERE p.plays = 'left' TOP 20"])
+        assert code == 0
+        assert "p.name=" in capsys.readouterr().out
+
+    def test_no_results(self, snapshot, capsys):
+        code = main(["query", "--snapshot", str(snapshot),
+                     "SELECT p.name FROM Player p "
+                     "WHERE p.name = 'Nobody'"])
+        assert code == 0
+        assert "no results" in capsys.readouterr().out
+
+    def test_bad_query_fails_cleanly(self, snapshot, capsys):
+        code = main(["query", "--snapshot", str(snapshot), "SELECT"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInspection:
+    def test_stats(self, snapshot, capsys):
+        assert main(["stats", "--snapshot", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "conceptual:" in out and "ir:" in out
+
+    def test_paths(self, snapshot, capsys):
+        assert main(["paths", "--snapshot", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "webspace/Player" in out
+        assert "MMO" in out
+
+    def test_missing_snapshot_fails_cleanly(self, tmp_path, capsys):
+        code = main(["stats", "--snapshot", str(tmp_path / "nope")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,83 @@
+"""The engine on a shared-nothing cluster (EngineConfig.cluster_size)."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.ir.engine import ClusterIrEngine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture(scope="module")
+def engines():
+    server, truth = build_ausopen_site(players=10, articles=8, videos=3,
+                                       frames_per_shot=6)
+    single = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(cluster_size=1))
+    single.populate()
+    clustered = SearchEngine(australian_open_schema(), server,
+                             EngineConfig(cluster_size=4))
+    clustered.populate()
+    return single, clustered, truth
+
+
+MIXED = ("SELECT p.name, v.title FROM Player p, Video v "
+         "WHERE p.gender = 'female' AND p.plays = 'left' "
+         "AND p.history CONTAINS 'Winner' AND v Features p "
+         "AND v.video EVENT netplay TOP 10")
+
+
+class TestBackendSelection:
+    def test_cluster_backend_chosen(self, engines):
+        single, clustered, _ = engines
+        assert isinstance(clustered.ir, ClusterIrEngine)
+        assert not isinstance(single.ir, ClusterIrEngine)
+
+    def test_documents_spread_across_nodes(self, engines):
+        _, clustered, _ = engines
+        counts = [relations.document_count()
+                  for relations in clustered.ir.index.nodes.values()]
+        assert all(count > 0 for count in counts)
+        assert sum(counts) \
+            == clustered.ir.relations.document_count()
+
+
+class TestResultEquivalence:
+    @pytest.mark.parametrize("query", [
+        MIXED,
+        "SELECT p.name FROM Player p "
+        "WHERE p.history CONTAINS 'Winner championship' TOP 20",
+        "SELECT a.title FROM Article a "
+        "WHERE a.body CONTAINS 'centre court' TOP 20",
+    ])
+    def test_clustered_matches_single_node(self, engines, query):
+        single, clustered, _ = engines
+        left = single.query_text(query)
+        right = clustered.query_text(query)
+        assert [row.keys for row in left.rows] \
+            == [row.keys for row in right.rows]
+
+    def test_mixed_query_answer(self, engines):
+        _, clustered, truth = engines
+        result = clustered.query_text(MIXED)
+        assert sorted((row.keys["p"], row.keys["v"]) for row in result) \
+            == truth.mixed_query_answer()
+
+
+class TestClusteredMaintenance:
+    def test_recrawl_on_cluster(self, engines):
+        server, truth = build_ausopen_site(players=6, articles=4,
+                                           videos=2, frames_per_shot=6)
+        engine = SearchEngine(australian_open_schema(), server,
+                              EngineConfig(cluster_size=3))
+        engine.populate()
+        player = truth.player("monica-seles")
+        page = server.get(player.page_path)
+        server.add_page(player.page_path,
+                        page.body.replace("Winner", "Runner-up"))
+        engine.recrawl()
+        result = engine.query_text(
+            "SELECT p.name FROM Player p "
+            "WHERE p.history CONTAINS 'Winner' TOP 50")
+        assert "Monica Seles" not in result.column("p.name")

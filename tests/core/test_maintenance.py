@@ -1,0 +1,104 @@
+"""Engine maintenance: detector upgrades and source changes (E9 shape)."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.featuregrammar.versions import ChangeLevel
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture
+def engine():
+    server, truth = build_ausopen_site(players=8, articles=4, videos=3,
+                                       frames_per_shot=8)
+    engine = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(fragment_count=2))
+    engine.populate()
+    return engine, server, truth
+
+
+def _netplay_videos(engine):
+    query = (engine.new_query()
+             .from_class("v", "Video")
+             .video_event("v.video", "netplay")
+             .select("v.title")
+             .top(50))
+    return {row.keys["v"] for row in engine.query(query)}
+
+
+class TestDetectorUpgrades:
+    def test_correction_revision_runs_nothing(self, engine):
+        search, _, _ = engine
+        level = search.upgrade_detector("segment", "1.0.1")
+        assert level == ChangeLevel.CORRECTION
+        search.registry.reset_executions()
+        report = search.maintain()
+        assert report.detectors_rerun == 0
+
+    def test_minor_revision_reruns_only_dependents(self, engine):
+        search, _, truth = engine
+        level = search.upgrade_detector("tennis", "1.1.0")
+        assert level == ChangeLevel.MINOR
+        search.registry.reset_executions()
+        search.maintain()
+        # tennis re-ran per tennis shot, header and segment did not
+        assert search.registry.executions("tennis") > 0
+        assert search.registry.executions("header") == 0
+        assert search.registry.executions("segment") == 0
+
+    def test_major_revision_with_new_implementation(self, engine):
+        """Upgrading netplay's threshold detector-style: a new tennis
+        implementation that reports everyone at the baseline removes
+        all netplay events from the meta-index."""
+        search, _, _ = engine
+        assert _netplay_videos(search)  # some netplay videos exist
+
+        def flat_tennis(location, begin, end):
+            tokens = []
+            for frame in range(begin, end + 1):
+                tokens.extend([frame, 320.0, 320.0, 450, 0.5, 0.1])
+            return tokens
+
+        # the implementation is remote (xml-rpc): replace on the server
+        search.registry.transports.get("xml-rpc").server.register(
+            "tennis", flat_tennis)
+        level = search.upgrade_detector("tennis", "2.0.0")
+        assert level == ChangeLevel.MAJOR
+        search.maintain()
+        assert _netplay_videos(search) == set()
+
+    def test_query_results_consistent_after_maintenance(self, engine):
+        search, _, truth = engine
+        before = _netplay_videos(search)
+        search.upgrade_detector("tennis", "1.2.0")
+        search.maintain()
+        assert _netplay_videos(search) == before  # same implementation
+
+
+class TestSourceChanges:
+    def test_changed_media_triggers_regeneration(self, engine):
+        search, server, truth = engine
+        video = truth.videos[0]
+        url = server.absolute(video.media_path)
+
+        # replace the video by one without any net approach
+        from repro.cobra.video import generate_video, tennis_match_script
+        new_script = tennis_match_script(rng_seed=77, rallies=2,
+                                         netplay_rallies=(),
+                                         frames_per_shot=8)
+        replacement = generate_video(new_script, url, seed=77)
+        server.add_media(video.media_path, ("video", "mpeg"),
+                         payload=replacement, last_modified=999)
+        search.video_library.add(replacement)
+
+        assert search.notify_source_change(url) is True
+        report = search.maintain()
+        assert report.trees_regenerated == 1
+        assert video.key not in _netplay_videos(search)
+
+    def test_unchanged_source_is_noop(self, engine):
+        search, server, truth = engine
+        url = server.absolute(truth.videos[0].media_path)
+        assert search.notify_source_change(url) is False

@@ -1,0 +1,109 @@
+"""Conceptual-level maintenance: the re-crawl diff."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture
+def engine():
+    server, truth = build_ausopen_site(players=8, articles=5, videos=2,
+                                       frames_per_shot=6)
+    engine = SearchEngine(australian_open_schema(), server, EngineConfig())
+    engine.populate()
+    return engine, server, truth
+
+
+class TestNoChange:
+    def test_idempotent_recrawl(self, engine):
+        search, _, truth = engine
+        report = search.recrawl()
+        total = (len(truth.players) + len(truth.articles)
+                 + len(truth.videos))
+        assert report.documents_unchanged == total
+        assert report.documents_replaced == 0
+        assert report.documents_added == 0
+        assert report.documents_removed == 0
+
+    def test_queries_unchanged_after_noop_recrawl(self, engine):
+        search, _, _ = engine
+        before = search.query_text(
+            "SELECT p.name FROM Player p WHERE p.plays = 'left' TOP 50")
+        search.recrawl()
+        after = search.query_text(
+            "SELECT p.name FROM Player p WHERE p.plays = 'left' TOP 50")
+        assert before.column("p.name") == after.column("p.name")
+
+
+class TestChangedPage:
+    def test_changed_profile_is_replaced(self, engine):
+        search, server, truth = engine
+        player = truth.player("monica-seles")
+        page = server.get(player.page_path)
+        # Seles changes representation: USA -> Ruritania
+        server.add_page(player.page_path,
+                        page.body.replace(">USA<", ">Ruritania<"))
+        report = search.recrawl()
+        assert report.documents_replaced == 1
+        result = search.query_text(
+            "SELECT p.name FROM Player p "
+            "WHERE p.country = 'Ruritania' TOP 10")
+        assert result.column("p.name") == ["Monica Seles"]
+
+    def test_changed_history_reindexes_text(self, engine):
+        search, server, truth = engine
+        player = truth.player("monica-seles")
+        page = server.get(player.page_path)
+        server.add_page(player.page_path,
+                        page.body.replace("Winner", "Runner-up"))
+        report = search.recrawl()
+        assert report.hypertexts_reindexed >= 1
+        result = search.query_text(
+            "SELECT p.name FROM Player p "
+            "WHERE p.history CONTAINS 'Winner' TOP 50")
+        assert "Monica Seles" not in result.column("p.name")
+
+
+class TestAddedAndRemovedPages:
+    def test_new_article_is_added(self, engine):
+        search, server, truth = engine
+        server.add_page("articles/a99.html", """<html>
+<head><title>Breaking</title></head>
+<body><h1 class="article-title">A shock result</h1>
+<div id="body"><p>An astonishing upset on centre court.</p></div>
+<p><a href="/articles.html">All articles</a></p>
+</body></html>""")
+        listing = server.get("articles.html")
+        server.add_page("articles.html", listing.body.replace(
+            "</ul>", '<li><a href="/articles/a99.html">Breaking</a></li>'
+            "</ul>"))
+        report = search.recrawl()
+        assert report.documents_added == 1
+        result = search.query_text(
+            "SELECT a.title FROM Article a "
+            "WHERE a.body CONTAINS 'astonishing upset' TOP 5")
+        assert result.column("a.title") == ["A shock result"]
+
+    def test_removed_page_is_dropped(self, engine):
+        search, server, truth = engine
+        article = truth.articles[0]
+        server.remove(article.page_path)  # the page 404s from now on
+        report = search.recrawl()
+        assert report.documents_removed == 1
+        result = search.query_text(
+            f"SELECT a.title FROM Article a "
+            f"WHERE a.title = '{article.title}' TOP 5")
+        assert len(result) == 0
+
+    def test_removed_page_unindexed_from_ir(self, engine):
+        search, server, truth = engine
+        article = truth.articles[0]
+        assert search.ir.relations.doc_oid(
+            f"Article:{article.key}:body") is not None
+        server.remove(article.page_path)
+        search.recrawl()
+        assert search.ir.relations.doc_oid(
+            f"Article:{article.key}:body") is None

@@ -1,0 +1,115 @@
+"""Shared fixtures: an operational tennis-style grammar with stub
+implementations whose behaviour tests can steer per-object."""
+
+import pytest
+
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.parser import parse_grammar
+
+OPERATIONAL_GRAMMAR = """
+%module tennis_test;
+%start MMO(location);
+
+%detector header(location);
+%detector video_type primary == "video";
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location, begin.frameNo, end.frameNo);
+%detector netplay some[tennis.frame]( player.yPos <= 170.0 );
+
+%atom url location;
+%atom str primary, secondary;
+%atom flt xPos, yPos, Ecc, Orient;
+%atom int frameNo, Area;
+%atom bit netplay;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+video : segment;
+segment : shot*;
+shot : begin end type;
+begin : frameNo;
+end : frameNo;
+type : "tennis" tennis;
+type : "other";
+tennis : frame* event;
+frame : frameNo player;
+player : xPos yPos Area Ecc Orient;
+event : netplay?;
+"""
+
+
+class StubWorld:
+    """Mutable backing data for the stub detectors."""
+
+    def __init__(self):
+        # location -> (primary, secondary)
+        self.mime = {}
+        # location -> [(begin, end, type, [yPos per frame])]
+        self.shots = {}
+
+    def add_video(self, location, shots):
+        self.mime[location] = ("video", "mpeg")
+        self.shots[location] = shots
+
+    def add_other(self, location, mime=("image", "jpeg")):
+        self.mime[location] = mime
+
+
+def build_registry(world: StubWorld) -> DetectorRegistry:
+    from repro.featuregrammar.rpc import RpcServer, default_transports
+
+    server = RpcServer()
+    registry = DetectorRegistry(default_transports(server))
+    registry.register("header",
+                      lambda location: list(world.mime[location]))
+
+    def segment(location):
+        tokens = []
+        for begin, end, shot_type, _ in world.shots.get(location, []):
+            tokens.extend([begin, end, shot_type])
+        return tokens
+
+    def tennis(location, begin, end):
+        tokens = []
+        for b, e, shot_type, ys in world.shots.get(location, []):
+            if b == begin and e == end:
+                for offset, y in enumerate(ys):
+                    tokens.extend([b + offset, 100.0, float(y),
+                                   450, 0.6, 0.2])
+        return tokens
+
+    server.register("segment", segment)
+    server.register("tennis", tennis)
+    registry.remote("xml-rpc", "segment")
+    registry.remote("xml-rpc", "tennis")
+    return registry
+
+
+@pytest.fixture
+def world() -> StubWorld:
+    world = StubWorld()
+    world.add_video("http://site/match.mpg", [
+        (0, 2, "tennis", [300.0, 250.0, 160.0]),   # approaches the net
+        (3, 4, "other", []),
+        (5, 7, "tennis", [300.0, 310.0, 305.0]),   # stays at the baseline
+    ])
+    world.add_other("http://site/photo.jpg")
+    return world
+
+
+@pytest.fixture
+def grammar():
+    return parse_grammar(OPERATIONAL_GRAMMAR)
+
+
+@pytest.fixture
+def registry(world):
+    return build_registry(world)
+
+
+@pytest.fixture
+def fde(grammar, registry) -> FDE:
+    return FDE(grammar, registry)

@@ -1,0 +1,132 @@
+"""E2: the dependency graph of Fig 8 and its closures."""
+
+import pytest
+
+from repro.featuregrammar.dependency import DependencyGraph
+from repro.featuregrammar.parser import parse_grammar
+
+FIGURE_6 = """
+%start MMO(location);
+%detector header(location);
+%detector video_type primary == "video";
+%atom url location;
+%atom str primary;
+%atom str secondary;
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+"""
+
+
+@pytest.fixture
+def graph():
+    return DependencyGraph.from_grammar(parse_grammar(FIGURE_6))
+
+
+class TestEdges:
+    def test_sibling_edges_of_mmo_rule(self, graph):
+        # "header depends on location and vice versa"
+        assert "location" in graph.siblings("header")
+        assert "header" in graph.siblings("location")
+        assert "mm_type" in graph.siblings("header")
+
+    def test_rule_edge_skips_optional(self, graph):
+        # "MMO depends on the validity of header and not ... mm_type"
+        assert graph.rule_targets("MMO") == {"header"}
+
+    def test_rule_edges_down_the_chain(self, graph):
+        assert graph.rule_targets("header") == {"MIME_type"}
+        assert graph.rule_targets("MIME_type") == {"secondary"}
+        assert graph.rule_targets("mm_type") == {"video"}
+
+    def test_parameter_edges(self, graph):
+        assert graph.parameters("header") == {"location"}
+        # the whitebox predicate's path is a parameter dependency
+        assert graph.parameters("video_type") == {"primary"}
+
+    def test_edge_kinds_enumerable(self, graph):
+        kinds = {edge.kind for edge in graph.edges}
+        assert kinds == {"sibling", "rule", "parameter"}
+
+
+class TestClosures:
+    def test_header_closure_matches_paper(self, graph):
+        # "This will involve header, MIME_type, secondary and primary
+        # nodes, as can be derived by following the rule and sibling
+        # dependencies downward."
+        assert graph.downward_closure("header") \
+            == {"header", "MIME_type", "secondary", "primary"}
+
+    def test_parameter_dependents_of_header_closure(self, graph):
+        # "If ... the primary MIME type has changed the video_type
+        # detector will become invalid."
+        closure = graph.downward_closure("header")
+        assert graph.parameter_dependents(closure) == {"video_type",
+                                                       "header"} \
+            or graph.parameter_dependents(closure) == {"video_type"}
+
+    def test_atom_closure_is_itself(self, graph):
+        assert graph.downward_closure("secondary") == {"secondary"}
+
+
+class TestUpward:
+    def test_mime_type_escalates_to_header(self, graph):
+        assert graph.upward_detectors("MIME_type") == {"header"}
+
+    def test_primary_escalates_to_header(self, graph):
+        assert graph.upward_detectors("primary") == {"header"}
+
+    def test_header_escalates_to_start(self, graph):
+        assert graph.upward_detectors("header") == {"MMO"}
+
+    def test_video_type_escalates_to_start(self, graph):
+        # mm_type is not a detector, MMO is the start symbol
+        assert graph.upward_detectors("video_type") == {"MMO"}
+
+
+class TestLargerGrammar:
+    def test_tennis_chain(self, grammar):
+        graph = DependencyGraph.from_grammar(grammar)
+        # tennis reads begin.frameNo/end.frameNo: parameter edges
+        assert {"location", "begin", "frameNo", "end"} \
+            <= graph.parameters("tennis")
+        # netplay quantifies over tennis.frame and reads player.yPos
+        assert {"tennis", "frame", "player", "yPos"} \
+            <= graph.parameters("netplay")
+
+    def test_segment_closure_stops_at_pure_star_rule(self, grammar):
+        # 'segment : shot*' has no obligatory symbol, so no rule edge:
+        # the paper's rule dependency anchors on "the last symbol with a
+        # lower bound greater than zero", which a pure-star rule lacks
+        graph = DependencyGraph.from_grammar(grammar)
+        assert graph.downward_closure("segment") == {"segment"}
+
+    def test_shot_closure_contains_whole_shot_structure(self, grammar):
+        graph = DependencyGraph.from_grammar(grammar)
+        closure = graph.downward_closure("shot")
+        assert {"shot", "type", "begin", "end", "tennis", "event",
+                "frame"} <= closure
+
+    def test_netplay_escalates_to_tennis(self, grammar):
+        graph = DependencyGraph.from_grammar(grammar)
+        assert graph.upward_detectors("netplay") == {"tennis"}
+
+
+class TestDotExport:
+    def test_fig8_shapes_and_styles(self, graph):
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert '"header" [shape=diamond];' in dot
+        assert '"MMO" [shape=ellipse];' in dot
+        assert '"location" [shape=box];' in dot
+        assert "style=dashed" in dot      # sibling
+        assert "style=solid" in dot       # rule
+        assert "style=dotted" in dot      # parameter
+
+    def test_sibling_pairs_drawn_once(self, graph):
+        dot = graph.to_dot()
+        drawn = dot.count('label="sibling"')
+        pairs = {frozenset((e.source, e.target))
+                 for e in graph.edges_of_kind("sibling")}
+        assert drawn == len(pairs)

@@ -1,0 +1,85 @@
+"""The detector registry: registration, versions, hooks, accounting."""
+
+import pytest
+
+from repro.errors import DetectorError
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.versions import Version
+
+
+@pytest.fixture
+def registry():
+    registry = DetectorRegistry()
+    registry.register("alpha", lambda x: x + 1, version="1.2.3")
+    registry.register("beta", lambda: "out")
+    return registry
+
+
+class TestRegistration:
+    def test_lookup(self, registry):
+        assert "alpha" in registry
+        assert registry.get("alpha").name == "alpha"
+
+    def test_missing_raises(self, registry):
+        with pytest.raises(DetectorError):
+            registry.get("gamma")
+        with pytest.raises(DetectorError):
+            registry.execute("gamma", ())
+
+    def test_reregistration_replaces_implementation(self, registry):
+        registry.register("alpha", lambda x: x * 10, version="1.2.3")
+        assert registry.execute("alpha", (3,)) == 30
+
+    def test_version_parsing(self, registry):
+        assert registry.version("alpha") == Version(1, 2, 3)
+        assert registry.version("beta") == Version(1, 0, 0)
+
+    def test_set_version_returns_old(self, registry):
+        old = registry.set_version("alpha", "2.0.0")
+        assert old == Version(1, 2, 3)
+        assert registry.version("alpha") == Version(2, 0, 0)
+
+
+class TestExecution:
+    def test_execute_passes_arguments(self, registry):
+        assert registry.execute("alpha", (41,)) == 42
+
+    def test_implementation_errors_wrapped(self, registry):
+        registry.register("broken", lambda: 1 / 0)
+        with pytest.raises(DetectorError):
+            registry.execute("broken", ())
+
+    def test_detector_error_passes_through(self, registry):
+        def refuse():
+            raise DetectorError("refused")
+        registry.register("refusing", refuse)
+        with pytest.raises(DetectorError, match="refused"):
+            registry.execute("refusing", ())
+
+    def test_execution_accounting(self, registry):
+        registry.execute("alpha", (1,))
+        registry.execute("alpha", (2,))
+        registry.execute("beta", ())
+        assert registry.executions("alpha") == 2
+        assert registry.executions() == 3
+        registry.reset_executions()
+        assert registry.executions() == 0
+
+
+class TestHooks:
+    def test_hooks_run_and_report(self, registry):
+        events = []
+        registry.register_hook("alpha", "begin",
+                               lambda: events.append("begin"))
+        assert registry.run_hook("alpha", "begin") is True
+        assert events == ["begin"]
+
+    def test_missing_hook_reports_false(self, registry):
+        assert registry.run_hook("alpha", "final") is False
+        assert registry.run_hook("nonexistent", "init") is False
+
+    def test_init_marks_initialized(self, registry):
+        registry.register_hook("alpha", "init", lambda: None)
+        assert not registry.get("alpha").initialized
+        registry.run_hook("alpha", "init")
+        assert registry.get("alpha").initialized

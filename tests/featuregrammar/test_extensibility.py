@@ -1,0 +1,134 @@
+"""The paper's extensibility claim, demonstrated.
+
+"As announced before this grammar is easily extensible.  New multimedia
+types can be (and indeed are) added by providing alternative rules for
+the mm_type symbol.  Furthermore, if the segment detector would be able
+to recognize soccer shots, an alternative type rule could trigger a
+whole sequence of soccer specific detectors."
+
+The test appends a soccer branch to the tennis grammar source — new
+``type`` alternative, new detectors, new atoms — and shows that mixed
+tennis/soccer broadcasts parse, with soccer shots flowing through the
+soccer pipeline and tennis shots through the unchanged tennis one.
+"""
+
+import pytest
+
+from repro.cobra.grammar import TENNIS_GRAMMAR
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.rpc import RpcServer, default_transports
+
+SOCCER_EXTENSION = """
+// --- the soccer extension: only additions, no edits ---
+%detector xml-rpc::soccer(location, begin.frameNo, end.frameNo);
+%detector goal_chance some[soccer.possession]( duration >= 50 );
+
+%atom int teamId, duration;
+%atom bit goal_chance;
+
+type       : "soccer" soccer;
+soccer     : possession* soccer_event;
+possession : teamId duration;
+soccer_event : goal_chance?;
+"""
+
+# location -> [(begin, end, type)]
+SHOTS = {
+    "http://b/mixed.mpg": [
+        (0, 49, "tennis"), (50, 99, "soccer"), (100, 119, "audience"),
+    ],
+}
+# per soccer shot: [(teamId, duration frames)]
+POSSESSIONS = {
+    (50, 99): [(1, 30), (2, 55), (1, 15)],
+}
+TENNIS_FRAMES = {
+    (0, 49): [(0, 320.0, 300.0), (1, 325.0, 160.0)],
+}
+
+
+@pytest.fixture
+def extended():
+    grammar = parse_grammar(TENNIS_GRAMMAR + SOCCER_EXTENSION)
+    server = RpcServer("sports")
+    registry = DetectorRegistry(default_transports(server))
+    registry.register("header", lambda loc: ["video", "mpeg"])
+
+    def segment(location):
+        tokens = []
+        for begin, end, kind in SHOTS[location]:
+            tokens.extend([begin, end, kind])
+        return tokens
+
+    def tennis(location, begin, end):
+        tokens = []
+        for frame, x, y in TENNIS_FRAMES.get((begin, end), []):
+            tokens.extend([frame, x, y, 400, 0.5, 0.1])
+        return tokens
+
+    def soccer(location, begin, end):
+        tokens = []
+        for team, duration in POSSESSIONS.get((begin, end), []):
+            tokens.extend([team, duration])
+        return tokens
+
+    server.register("segment", segment)
+    server.register("tennis", tennis)
+    server.register("soccer", soccer)
+    registry.remote("xml-rpc", "segment")
+    registry.remote("xml-rpc", "tennis")
+    registry.remote("xml-rpc", "soccer")
+    return grammar, registry
+
+
+class TestSoccerExtension:
+    def test_extended_grammar_parses(self, extended):
+        grammar, _ = extended
+        assert "soccer" in grammar.detectors
+        assert len(grammar.alternatives("type")) == 5  # 4 tennis + soccer
+
+    def test_mixed_broadcast_parses(self, extended):
+        grammar, registry = extended
+        outcome = FDE(grammar, registry).parse("http://b/mixed.mpg")
+        assert outcome.leftover_tokens == 0
+        shots = outcome.tree.find_all("shot")
+        kinds = [s.child("type").children[0].name for s in shots]
+        assert kinds == ["tennis", "soccer", "audience"]
+
+    def test_soccer_pipeline_ran(self, extended):
+        grammar, registry = extended
+        outcome = FDE(grammar, registry).parse("http://b/mixed.mpg")
+        possessions = outcome.tree.find_all("possession")
+        assert len(possessions) == 3
+        durations = [p.child("duration").leaf_value()
+                     for p in possessions]
+        assert durations == [30, 55, 15]
+
+    def test_soccer_whitebox_event(self, extended):
+        grammar, registry = extended
+        outcome = FDE(grammar, registry).parse("http://b/mixed.mpg")
+        # one possession lasts >= 50 frames: a goal chance
+        chances = [n.value for n in outcome.tree.find_all("goal_chance")]
+        assert chances == [True]
+
+    def test_tennis_pipeline_untouched(self, extended):
+        grammar, registry = extended
+        outcome = FDE(grammar, registry).parse("http://b/mixed.mpg")
+        netplays = [n.value for n in outcome.tree.find_all("netplay")]
+        assert netplays == [True]  # the y=160 frame
+
+    def test_soccer_detector_only_runs_on_soccer_shots(self, extended):
+        grammar, registry = extended
+        FDE(grammar, registry).parse("http://b/mixed.mpg")
+        assert registry.executions("soccer") == 1
+        assert registry.executions("tennis") == 1
+
+    def test_dependency_graph_extends_too(self, extended):
+        from repro.featuregrammar.dependency import DependencyGraph
+        grammar, _ = extended
+        graph = DependencyGraph.from_grammar(grammar)
+        assert {"soccer", "possession", "duration"} \
+            <= graph.parameters("goal_chance")
+        assert graph.upward_detectors("goal_chance") == {"soccer"}

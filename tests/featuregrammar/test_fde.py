@@ -1,0 +1,272 @@
+"""The Feature Detector Engine: parsing semantics."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.parsetree import NodeKind, tree_to_xml
+from repro.xmlstore.writer import serialize
+
+
+class TestVideoParsing:
+    def test_video_parses(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        assert outcome.tree.name == "MMO"
+        assert outcome.leftover_tokens == 0
+
+    def test_shots_match_segmenter_output(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        shots = outcome.tree.find_all("shot")
+        assert [(s.child("begin").leaf_value(), s.child("end").leaf_value())
+                for s in shots] == [(0, 2), (3, 4), (5, 7)]
+
+    def test_type_literals_select_alternatives(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        shots = outcome.tree.find_all("shot")
+        types = [s.child("type").children[0].name for s in shots]
+        assert types == ["tennis", "other", "tennis"]
+
+    def test_netplay_only_on_net_approach(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        shots = outcome.tree.find_all("shot")
+        netplay = [[n.value for n in s.find_all("netplay")] for s in shots]
+        assert netplay == [[True], [], []]
+
+    def test_frames_carry_player_features(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        frames = outcome.tree.find_all("frame")
+        assert len(frames) == 6  # 3 + 3 tennis frames
+        first_player = frames[0].child("player")
+        assert first_player.child("yPos").leaf_value() == 300.0
+        assert first_player.child("Area").leaf_value() == 450
+
+    def test_non_video_skips_mm_type(self, fde):
+        outcome = fde.parse("http://site/photo.jpg")
+        assert outcome.tree.child("mm_type") is None
+        mime = outcome.tree.find_all("primary")[0]
+        assert mime.leaf_value() == "image"
+
+    def test_detector_calls_counted(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        # header + segment + tennis x 2 tennis shots
+        assert outcome.detector_calls == 4
+
+    def test_detector_version_recorded(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        header = outcome.tree.find_all("header")[0]
+        assert str(header.detector_version) == "1.0.0"
+
+    def test_references_empty_without_reference_terms(self, fde):
+        assert fde.parse("http://site/photo.jpg").references == []
+
+
+class TestErrors:
+    def test_missing_start_tokens(self, fde):
+        with pytest.raises(ParseError):
+            fde.parse()
+
+    def test_unknown_object_fails_parse(self, fde):
+        with pytest.raises(ParseError):
+            fde.parse("http://site/missing.mpg")
+
+
+class TestXmlDump:
+    def test_tree_dumps_to_xml(self, fde):
+        outcome = fde.parse("http://site/match.mpg")
+        xml = tree_to_xml(outcome.tree)
+        text = serialize(xml)
+        assert text.startswith("<MMO>")
+        assert "<netplay>true</netplay>" in text
+        assert 'version="1.0.0"' in text
+
+    def test_dump_survives_storage_round_trip(self, fde):
+        from repro.xmlstore.model import isomorphic
+        from repro.xmlstore.store import XmlStore
+
+        outcome = fde.parse("http://site/match.mpg")
+        xml = tree_to_xml(outcome.tree)
+        store = XmlStore()
+        store.insert("meta", xml)
+        assert isomorphic(store.reconstruct("meta"), xml)
+
+
+class TestGrammarMechanics:
+    def test_plus_requires_one(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            S : x feed;
+            feed : item+;
+            item : n;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: [])
+        with pytest.raises(ParseError):
+            FDE(grammar, registry).parse("http://x/a")
+        registry.register("feed", lambda x: [1, 2])
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        assert len(outcome.tree.find_all("item")) == 2
+
+    def test_star_accepts_zero(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            S : x feed;
+            feed : item*;
+            item : n;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: [])
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        assert outcome.tree.find_all("item") == []
+
+    def test_long_repetition_is_iterative(self):
+        # hundreds of occurrences must not exhaust the interpreter stack
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            S : x feed;
+            feed : item*;
+            item : n;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: list(range(3000)))
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        assert len(outcome.tree.find_all("item")) == 3000
+
+    def test_backtracking_across_alternatives(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            %atom str w;
+            S : x feed;
+            feed : n n;
+            feed : n w;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: [1, "two"])
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        assert outcome.tree.find_all("w")[0].leaf_value() == "two"
+        assert outcome.backtracks >= 1
+
+    def test_repetition_backs_off_for_the_continuation(self):
+        # feed emits ints; item* must stop early so tail can match
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            S : x feed;
+            feed : item* tail;
+            item : n;
+            tail : n n;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: [1, 2, 3, 4])
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        assert len(outcome.tree.find_all("item")) == 2
+        assert outcome.tree.find_all("tail")[0].children[0].leaf_value() == 3
+
+    def test_repetition_revisits_occurrence_alternatives(self):
+        # the first reading of an occurrence may swallow tokens the
+        # continuation needs; the repetition must then re-read that
+        # occurrence through its OTHER alternative, not merely drop it
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            %atom str w;
+            S : x feed;
+            feed : item* tail;
+            item : n n;
+            item : n;
+            tail : n w;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: [1, 2, "end"])
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        # the only consistent reading: item=(1), tail=(2, "end")
+        items = outcome.tree.find_all("item")
+        assert len(items) == 1
+        assert [leaf.leaf_value() for leaf in items[0].children] == [1]
+        tail = outcome.tree.find_all("tail")[0]
+        assert [leaf.leaf_value() for leaf in tail.children] == [2, "end"]
+
+    def test_repetition_backs_off_across_detector_boundaries(self):
+        # the soccer-extension scenario: a repetition inside one shot
+        # must not permanently swallow the next shot's tokens
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector feed(x);
+            %atom int n;
+            S : x feed;
+            feed : group*;
+            group : "g" pair*;
+            pair : n n;
+        """)
+        registry = DetectorRegistry()
+        registry.register("feed", lambda x: ["g", 1, 2, "g", 3, 4])
+        outcome = FDE(grammar, registry).parse("http://x/a")
+        groups = outcome.tree.find_all("group")
+        assert len(groups) == 2
+        assert [len(g.find_all("pair")) for g in groups] == [1, 1]
+
+    def test_reference_consumes_identifying_token(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom url x;
+            %detector links(x);
+            S : x links;
+            links : anchor*;
+            anchor : "a" &S;
+        """)
+        registry = DetectorRegistry()
+        registry.register(
+            "links", lambda x: ["a", "http://x/1", "a", "http://x/2"])
+        outcome = FDE(grammar, registry).parse("http://x/root")
+        assert outcome.references == [("S", "http://x/1"),
+                                      ("S", "http://x/2")]
+        anchors = outcome.tree.find_all("anchor")
+        assert anchors[0].children[1].kind == NodeKind.REFERENCE
+
+    def test_hooks_fire_in_order(self):
+        events = []
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x, y;
+            %detector d(x);
+            %detector d.init();
+            %detector d.final();
+            %detector d.begin();
+            %detector d.end();
+            S : x d d;
+            d : y;
+        """)
+        registry = DetectorRegistry()
+        registry.register("d", lambda x: ["out"])
+        registry.register_hook("d", "init", lambda: events.append("init"))
+        registry.register_hook("d", "final", lambda: events.append("final"))
+        registry.register_hook("d", "begin", lambda: events.append("begin"))
+        registry.register_hook("d", "end", lambda: events.append("end"))
+        FDE(grammar, registry).parse("http://x/a")
+        assert events == ["init", "begin", "end", "begin", "end", "final"]
+
+    def test_copying_stacks_give_same_parse(self, grammar, registry):
+        shared = FDE(grammar, registry, shared_stacks=True)
+        copying = FDE(grammar, registry, shared_stacks=False)
+        left = shared.parse("http://site/match.mpg")
+        right = copying.parse("http://site/match.mpg")
+        assert serialize(tree_to_xml(left.tree)) \
+            == serialize(tree_to_xml(right.tree))

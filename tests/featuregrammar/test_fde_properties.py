@@ -1,0 +1,143 @@
+"""Property-based FDE tests: acceptance against regular references.
+
+For grammars whose token-type language is regular, FDE acceptance must
+coincide exactly with a regex over the token-type string — soundness
+(never accepts a sentence outside L(G)) and completeness (backtracking
+finds every derivable reading) in one property.  Random token sequences
+come from hypothesis; the detector simply replays them.
+"""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.fde import FDE
+from repro.featuregrammar.parser import parse_grammar
+
+
+def _build(grammar_source: str, tokens):
+    grammar = parse_grammar(grammar_source)
+    registry = DetectorRegistry()
+    registry.register("feed", lambda x: list(tokens))
+    return FDE(grammar, registry)
+
+
+def _accepts(grammar_source: str, tokens) -> bool:
+    try:
+        outcome = _build(grammar_source, tokens).parse("http://p/x")
+    except ParseError:
+        return False
+    assert outcome.leftover_tokens == 0
+    return True
+
+
+def _types(tokens) -> str:
+    return "".join("B" if token == "b" else
+                   "I" if isinstance(token, int) else "W"
+                   for token in tokens)
+
+
+# item* tail with ambiguous item: L = I+ W  (items eat 1-2 ints each,
+# the tail needs one int and the word)
+AMBIGUOUS = """
+%start S(x);
+%atom str x;
+%detector feed(x);
+%atom int n;
+%atom str w;
+S : x feed;
+feed : item* tail;
+item : n n;
+item : n;
+tail : n w;
+"""
+
+_token = st.one_of(st.integers(0, 9),
+                   st.sampled_from(["end", "stop"]))
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_token, max_size=10))
+def test_ambiguous_repetition_matches_regular_reference(tokens):
+    expected = bool(re.fullmatch(r"I+W", _types(tokens)))
+    assert _accepts(AMBIGUOUS, tokens) == expected
+
+
+# blocks guarded by a literal: L = (B I*)*
+BLOCKS = """
+%start S(x);
+%atom str x;
+%detector feed(x);
+%atom int n;
+S : x feed;
+feed : block*;
+block : "b" pair*;
+pair : n n;
+"""
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(st.one_of(st.just("b"), st.integers(0, 9)), max_size=10))
+def test_literal_guarded_blocks_match_reference(tokens):
+    expected = bool(re.fullmatch(r"(B(II)*)*", _types(tokens)))
+    assert _accepts(BLOCKS, tokens) == expected
+
+
+# optional prefix + plus: L = W? I+
+OPTIONAL_PLUS = """
+%start S(x);
+%atom str x;
+%detector feed(x);
+%atom int n;
+%atom str w;
+S : x feed;
+feed : label? number+;
+label : w;
+number : n;
+"""
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_token, max_size=8))
+def test_optional_plus_matches_reference(tokens):
+    expected = bool(re.fullmatch(r"W?I+", _types(tokens)))
+    assert _accepts(OPTIONAL_PLUS, tokens) == expected
+
+
+# nested repetition with trailing obligatory element per group:
+# L = ( I* W )*
+GROUPS = """
+%start S(x);
+%atom str x;
+%detector feed(x);
+%atom int n;
+%atom str w;
+S : x feed;
+feed : group*;
+group : number* terminator;
+number : n;
+terminator : w;
+"""
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(_token, max_size=10))
+def test_nested_repetition_matches_reference(tokens):
+    expected = bool(re.fullmatch(r"(I*W)*", _types(tokens)))
+    assert _accepts(GROUPS, tokens) == expected
+
+
+@pytest.mark.parametrize("tokens,expected", [
+    ([1, "end"], True),             # zero items, tail=(1, end)
+    ([1, 2, "end"], True),          # item=(1), tail=(2, end)
+    ([1, 2, 3, "end"], True),       # item=(1,2), tail=(3, end)
+    (["end"], False),               # tail needs an int first
+    ([1, 2, 3], False),             # no word for the tail
+    ([], False),
+])
+def test_ambiguous_examples(tokens, expected):
+    assert _accepts(AMBIGUOUS, tokens) == expected

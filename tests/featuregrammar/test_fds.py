@@ -1,0 +1,154 @@
+"""The Feature Detector Scheduler: incremental maintenance."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.featuregrammar.fds import FDS, Priority
+from repro.featuregrammar.versions import ChangeLevel
+
+from tests.featuregrammar.conftest import StubWorld, build_registry
+
+
+@pytest.fixture
+def fds(fde, world):
+    fds = FDS(fde)
+    fds.add_object("http://site/match.mpg", "http://site/match.mpg")
+    fds.add_object("http://site/photo.jpg", "http://site/photo.jpg")
+    return fds
+
+
+class TestPopulation:
+    def test_trees_stored(self, fds):
+        assert len(fds) == 2
+        assert fds.tree("http://site/match.mpg").name == "MMO"
+
+    def test_unknown_key_raises(self, fds):
+        with pytest.raises(SchedulerError):
+            fds.tree("http://nowhere")
+
+    def test_keys(self, fds):
+        assert set(fds.keys()) == {"http://site/match.mpg",
+                                   "http://site/photo.jpg"}
+
+
+class TestChangeClassification:
+    def test_correction_takes_no_action(self, fds, registry):
+        registry.set_version("segment", "1.0.1")
+        level = fds.notify_detector_change("segment")
+        assert level == ChangeLevel.CORRECTION
+        assert fds.pending() == 0
+
+    def test_minor_schedules_low_priority(self, fds, registry):
+        registry.set_version("segment", "1.1.0")
+        level = fds.notify_detector_change("segment")
+        assert level == ChangeLevel.MINOR
+        assert fds.pending() == 1  # only the video tree has segment nodes
+
+    def test_major_schedules_high_priority(self, fds, registry):
+        registry.set_version("segment", "2.0.0")
+        assert fds.notify_detector_change("segment") == ChangeLevel.MAJOR
+        registry.set_version("header", "1.1.0")
+        fds.notify_detector_change("header")
+        # queue drains majors (HIGH) before minors (LOW)
+        task = fds._queue[0]
+        assert task.priority == Priority.HIGH
+        assert task.detector == "segment"
+
+    def test_unknown_detector_rejected(self, fds):
+        with pytest.raises(SchedulerError):
+            fds.notify_detector_change("not_a_detector")
+
+    def test_unchanged_version_is_none(self, fds):
+        assert fds.notify_detector_change("segment") == ChangeLevel.NONE
+
+
+class TestIncrementalMaintenance:
+    def test_localized_rerun(self, fds, registry, world):
+        """Changing segment re-runs analysis for videos only, and the
+        header detector is never re-executed."""
+        world.shots["http://site/match.mpg"] = [
+            (0, 5, "tennis", [300.0, 280.0, 250.0, 200.0, 165.0, 150.0]),
+        ]
+        registry.set_version("segment", "1.1.0")
+        fds.notify_detector_change("segment")
+        registry.reset_executions()
+        report = fds.run()
+        assert report.tasks_processed >= 1
+        assert registry.executions("header") == 0
+        tree = fds.tree("http://site/match.mpg")
+        shots = tree.find_all("shot")
+        assert len(shots) == 1
+        assert [n.value for n in tree.find_all("netplay")] == [True]
+
+    def test_whitebox_revalidation_cascade(self, fds, registry, world):
+        """A tennis revision that moves the player to the net makes the
+        netplay whitebox true without re-running segment."""
+        # shot 2 (frames 5-7) now approaches the net
+        world.shots["http://site/match.mpg"][2] = \
+            (5, 7, "tennis", [300.0, 200.0, 100.0])
+        registry.set_version("tennis", "1.1.0")
+        fds.notify_detector_change("tennis")
+        registry.reset_executions()
+        fds.run()
+        assert registry.executions("segment") == 0
+        tree = fds.tree("http://site/match.mpg")
+        netplays = [n.value for n in tree.find_all("netplay")]
+        assert netplays == [True, True]
+
+    def test_full_rebuild_costs_more(self, fds, registry, world):
+        registry.set_version("tennis", "1.2.0")
+        fds.notify_detector_change("tennis")
+        registry.reset_executions()
+        fds.run()
+        incremental = registry.executions()
+        registry.reset_executions()
+        fds.rebuild_all()
+        full = registry.executions()
+        assert incremental < full
+
+    def test_untouched_objects_stay_untouched(self, fds, registry):
+        photo_before = fds.tree("http://site/photo.jpg")
+        registry.set_version("segment", "1.3.0")
+        fds.notify_detector_change("segment")
+        fds.run()
+        assert fds.tree("http://site/photo.jpg") is photo_before
+
+
+class TestSourceChanges:
+    def test_source_change_triggers_regeneration(self, grammar):
+        world = StubWorld()
+        world.add_video("http://s/v.mpg", [(0, 1, "tennis", [300.0, 160.0])])
+        registry = build_registry(world)
+        from repro.featuregrammar.fde import FDE
+        stamps = {"http://s/v.mpg": 1}
+        fds = FDS(FDE(grammar, registry),
+                  source_stamp=lambda key: stamps[key])
+        fds.add_object("http://s/v.mpg", "http://s/v.mpg")
+
+        assert fds.notify_source_change("http://s/v.mpg") is False
+        stamps["http://s/v.mpg"] = 2
+        world.shots["http://s/v.mpg"] = [(0, 2, "other", [])]
+        assert fds.notify_source_change("http://s/v.mpg") is True
+        report = fds.run()
+        assert report.trees_regenerated == 1
+        tree = fds.tree("http://s/v.mpg")
+        types = [s.child("type").children[0].name
+                 for s in tree.find_all("shot")]
+        assert types == ["other"]
+
+    def test_check_all_sources(self, grammar):
+        world = StubWorld()
+        world.add_video("http://s/a.mpg", [(0, 1, "tennis", [300.0, 300.0])])
+        world.add_video("http://s/b.mpg", [(0, 1, "other", [])])
+        registry = build_registry(world)
+        from repro.featuregrammar.fde import FDE
+        stamps = {"http://s/a.mpg": 1, "http://s/b.mpg": 1}
+        fds = FDS(FDE(grammar, registry),
+                  source_stamp=lambda key: stamps[key])
+        fds.add_object("http://s/a.mpg", "http://s/a.mpg")
+        fds.add_object("http://s/b.mpg", "http://s/b.mpg")
+        stamps["http://s/b.mpg"] = 7
+        assert fds.check_all_sources() == 1
+
+    def test_source_check_without_stamp_function(self, fds):
+        assert fds.notify_source_change("http://site/match.mpg") is False

@@ -1,0 +1,85 @@
+"""Feature grammar tokenizer."""
+
+import pytest
+
+from repro.errors import GrammarSyntaxError
+from repro.featuregrammar.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)]
+
+
+class TestBasics:
+    def test_directive(self):
+        assert kinds("%start")[:-1] == ["DIRECTIVE"]
+        assert values("%start")[0] == "start"
+
+    def test_identifiers_with_dash(self):
+        tokens = list(tokenize("xml-rpc::segment"))
+        assert [t.kind for t in tokens[:-1]] == ["IDENT", "DCOLON", "IDENT"]
+        assert tokens[0].value == "xml-rpc"
+
+    def test_rule_punctuation(self):
+        assert kinds("a : b? c* d+ ;")[:-1] == [
+            "IDENT", "COLON", "IDENT", "QMARK", "IDENT", "STAR",
+            "IDENT", "PLUS", "SEMI"]
+
+    def test_string_literal(self):
+        tokens = list(tokenize('"tennis"'))
+        assert tokens[0].kind == "STRING" and tokens[0].value == "tennis"
+
+    def test_numbers(self):
+        tokens = list(tokenize("170.0 42 -3"))
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("FLOAT", "170.0"), ("INT", "42"), ("INT", "-3")]
+
+    def test_dot_in_path_vs_float(self):
+        tokens = list(tokenize("begin.frameNo"))
+        assert [t.kind for t in tokens[:-1]] == ["IDENT", "DOT", "IDENT"]
+
+    def test_comparison_operators(self):
+        assert kinds("== != <= >= < >")[:-1] == \
+            ["EQ", "NE", "LE", "GE", "LT", "GT"]
+
+    def test_reference_and_quantifier_brackets(self):
+        assert kinds("&MMO some[a.b]")[:-1] == [
+            "AMP", "IDENT", "IDENT", "LBRACK", "IDENT", "DOT", "IDENT",
+            "RBRACK"]
+
+    def test_comments_skipped(self):
+        assert kinds("a // comment\nb # more\nc")[:-1] == ["IDENT"] * 3
+
+    def test_positions_tracked(self):
+        tokens = list(tokenize("a\n  b"))
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_always_present(self):
+        assert kinds("")[-1] == "EOF"
+
+
+class TestErrors:
+    def test_bare_percent(self):
+        with pytest.raises(GrammarSyntaxError):
+            list(tokenize("% start"))
+
+    def test_unterminated_string(self):
+        with pytest.raises(GrammarSyntaxError):
+            list(tokenize('"oops'))
+
+    def test_unexpected_character(self):
+        with pytest.raises(GrammarSyntaxError):
+            list(tokenize("a $ b"))
+
+    def test_error_carries_location(self):
+        try:
+            list(tokenize("ok\n  $"))
+        except GrammarSyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected a syntax error")

@@ -1,0 +1,153 @@
+"""E1: the paper's grammar fragments parse verbatim.
+
+Figures 6, 7 and 14 are reproduced character-for-character (minus the
+printed line numbers) and must load.  Where a fragment is partial, the
+undeclared leaf symbols are promoted to implicit str atoms.
+"""
+
+from repro.featuregrammar.ast import Multiplicity
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.predicate import Quantifier
+
+FIGURE_6 = """
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector video_type primary == "video";
+
+%atom url;
+
+%atom url location;
+%atom str primary;
+%atom str secondary;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+"""
+
+FIGURE_7 = """
+%start MMO(location);
+
+%detector xml-rpc::segment(location);
+%detector xml-rpc::tennis(location,begin.frameNo,
+end.frameNo);
+
+%detector netplay some[tennis.frame](
+  player.yPos <= 170.0
+);
+
+%atom flt xPos,yPos,Ecc,Orient;
+%atom int frameNo,Area;
+%atom bit netplay;
+
+MMO : video;
+video : segment;
+segment : shot*;
+shot : begin end type;
+begin : frameNo;
+end : frameNo;
+type : "tennis" tennis;
+type : "other";
+tennis : frame* event;
+frame : frameNo player;
+player : xPos yPos Area Ecc Orient;
+event : netplay;
+"""
+
+FIGURE_14 = """
+%start html(location);
+%atom url location;
+html : title? body? anchor* ;
+body : &keyword+;
+anchor : &MMO embedded link? alternative?;
+keyword : word;
+"""
+
+
+class TestFigure6:
+    def test_parses(self):
+        grammar = parse_grammar(FIGURE_6)
+        assert grammar.start.symbol == "MMO"
+        assert grammar.start.parameters == ("location",)
+
+    def test_detectors(self):
+        grammar = parse_grammar(FIGURE_6)
+        assert grammar.detectors["header"].blackbox
+        assert grammar.detectors["header"].hooks == {"init", "final"}
+        assert grammar.detectors["video_type"].whitebox
+
+    def test_video_fragment_is_implicit(self):
+        # 'video' has no rule in the Fig 6 fragment: promoted to an atom
+        grammar = parse_grammar(FIGURE_6)
+        assert "video" in grammar.implicit_atoms
+
+    def test_mm_type_optional(self):
+        grammar = parse_grammar(FIGURE_6)
+        mm_type = grammar.rules["MMO"][0].terms[2]
+        assert mm_type.multiplicity == Multiplicity.OPTIONAL
+
+    def test_rule_dependency_anchor(self):
+        # "MMO depends on the validity of header and not ... mm_type"
+        grammar = parse_grammar(FIGURE_6)
+        assert grammar.rules["MMO"][0].last_obligatory().symbol == "header"
+
+
+class TestFigure7:
+    def test_parses(self):
+        grammar = parse_grammar(FIGURE_7)
+        assert {"segment", "tennis", "netplay"} <= set(grammar.detectors)
+
+    def test_external_protocols(self):
+        grammar = parse_grammar(FIGURE_7)
+        assert grammar.detectors["segment"].protocol == "xml-rpc"
+        assert grammar.detectors["tennis"].protocol == "xml-rpc"
+
+    def test_tennis_parameters_are_paths(self):
+        grammar = parse_grammar(FIGURE_7)
+        parameters = [str(p) for p in grammar.detectors["tennis"].parameters]
+        assert parameters == ["location", "begin.frameNo", "end.frameNo"]
+
+    def test_netplay_quantifier(self):
+        grammar = parse_grammar(FIGURE_7)
+        predicate = grammar.detectors["netplay"].predicate
+        assert isinstance(predicate, Quantifier)
+        assert predicate.kind == "some"
+        assert str(predicate.binding) == "tennis.frame"
+        assert str(predicate.inner) == "player.yPos <= 170.0"
+
+    def test_type_alternatives_with_literals(self):
+        grammar = parse_grammar(FIGURE_7)
+        alternatives = grammar.alternatives("type")
+        assert len(alternatives) == 2
+        assert alternatives[0].terms[0].literal
+        assert alternatives[0].terms[0].symbol == "tennis"
+
+    def test_atom_types(self):
+        grammar = parse_grammar(FIGURE_7)
+        assert grammar.atom_of("yPos").name == "flt"
+        assert grammar.atom_of("frameNo").name == "int"
+        assert grammar.atom_of("netplay").name == "bit"
+
+
+class TestFigure14:
+    def test_parses(self):
+        grammar = parse_grammar(FIGURE_14)
+        assert "html" in grammar.rules
+
+    def test_references_model_the_web_graph(self):
+        grammar = parse_grammar(FIGURE_14)
+        body = grammar.rules["body"][0].terms[0]
+        assert body.reference and body.symbol == "keyword"
+        assert body.multiplicity == Multiplicity.PLUS
+        anchor = grammar.rules["anchor"][0].terms[0]
+        assert anchor.reference and anchor.symbol == "MMO"
+
+    def test_partial_symbols_promoted(self):
+        grammar = parse_grammar(FIGURE_14)
+        assert {"title", "embedded", "link", "alternative", "word",
+                "MMO"} <= set(grammar.implicit_atoms)

@@ -1,0 +1,228 @@
+"""Feature grammar language parser."""
+
+import pytest
+
+from repro.errors import GrammarSemanticsError, GrammarSyntaxError
+from repro.featuregrammar.ast import Multiplicity, SymbolKind
+from repro.featuregrammar.parser import parse_grammar
+from repro.featuregrammar.predicate import Compare, Quantifier
+
+MINIMAL = """
+%start S(x);
+%atom str x;
+S : x;
+"""
+
+
+class TestDirectives:
+    def test_start_declaration(self):
+        grammar = parse_grammar(MINIMAL)
+        assert grammar.start.symbol == "S"
+        assert grammar.start.parameters == ("x",)
+
+    def test_module_name(self):
+        grammar = parse_grammar("%module demo;\n" + MINIMAL)
+        assert grammar.name == "demo"
+
+    def test_atom_declaration_lists(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom flt a, b;
+            %atom int c;
+            S : a b c;
+        """)
+        assert grammar.atom_of("a").name == "flt"
+        assert grammar.atom_of("b").name == "flt"
+        assert grammar.atom_of("c").name == "int"
+
+    def test_atom_adt_only_declaration(self):
+        # '%atom url;' declares the ADT itself
+        parse_grammar("%start S(x);\n%atom url;\n%atom url x;\nS : x;")
+
+    def test_duplicate_atom_raises(self):
+        with pytest.raises(GrammarSemanticsError):
+            parse_grammar("%start S(x);\n%atom str x;\n%atom int x;\nS : x;")
+
+    def test_missing_start_raises(self):
+        with pytest.raises(GrammarSemanticsError):
+            parse_grammar("%atom str x;\nS : x;")
+
+    def test_start_without_production_raises(self):
+        with pytest.raises(GrammarSemanticsError):
+            parse_grammar("%start T(x);\n%atom str x;\nS : x;")
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("%frobnicate x;\n" + MINIMAL)
+
+
+class TestDetectors:
+    def test_blackbox_with_parameters(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x, y;
+            %detector d(x, a.b);
+            S : x d;
+            d : y;
+        """)
+        decl = grammar.detectors["d"]
+        assert decl.blackbox
+        assert [str(path) for path in decl.parameters] == ["x", "a.b"]
+
+    def test_protocol_prefix(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x, y;
+            %detector xml-rpc::d(x);
+            S : x d;
+            d : y;
+        """)
+        assert grammar.detectors["d"].protocol == "xml-rpc"
+
+    def test_hooks(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x, y;
+            %detector d(x);
+            %detector d.init();
+            %detector d.final();
+            %detector d.begin();
+            %detector d.end();
+            S : x d;
+            d : y;
+        """)
+        assert grammar.detectors["d"].hooks == {"init", "final", "begin",
+                                                "end"}
+
+    def test_hook_on_undeclared_detector_raises(self):
+        with pytest.raises(GrammarSemanticsError):
+            parse_grammar("%start S(x);\n%detector d.init();\n"
+                          "%atom str x;\nS : x;")
+
+    def test_duplicate_detector_raises(self):
+        with pytest.raises(GrammarSemanticsError):
+            parse_grammar("""
+                %start S(x);
+                %atom str x;
+                %detector d(x);
+                %detector d(x);
+                S : x;
+            """)
+
+    def test_whitebox_predicate(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector w x == "video";
+            S : x w?;
+        """)
+        decl = grammar.detectors["w"]
+        assert decl.whitebox
+        assert isinstance(decl.predicate, Compare)
+
+    def test_whitebox_quantifier(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom flt x;
+            %detector w some[a.b]( c.d <= 170.0 );
+            S : x w?;
+        """)
+        predicate = grammar.detectors["w"].predicate
+        assert isinstance(predicate, Quantifier)
+        assert predicate.kind == "some"
+        assert str(predicate.binding) == "a.b"
+
+    def test_whitebox_becomes_bit_atom(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom str x;
+            %detector w x == "v";
+            S : x w?;
+        """)
+        assert grammar.atom_of("w").name == "bit"
+
+    def test_whitebox_boolean_connectives(self):
+        grammar = parse_grammar("""
+            %start S(x);
+            %atom flt x;
+            %detector w x > 1.0 and x < 2.0 or not x == 1.5;
+            S : x w?;
+        """)
+        assert grammar.detectors["w"].predicate is not None
+
+
+class TestProductions:
+    def test_multiplicities(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a, b, c, d;
+            S : a b? c* d+;
+        """)
+        terms = grammar.rules["S"][0].terms
+        assert [t.multiplicity for t in terms] == [
+            Multiplicity.ONE, Multiplicity.OPTIONAL, Multiplicity.STAR,
+            Multiplicity.PLUS]
+
+    def test_alternatives_by_repeated_lhs(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a, b;
+            S : a;
+            S : b;
+        """)
+        assert len(grammar.alternatives("S")) == 2
+
+    def test_alternatives_by_pipe(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a, b;
+            S : a | b;
+        """)
+        assert len(grammar.alternatives("S")) == 2
+
+    def test_literals(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a;
+            S : "tennis" a;
+        """)
+        first = grammar.rules["S"][0].terms[0]
+        assert first.literal and first.symbol == "tennis"
+
+    def test_references(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a;
+            S : &S a | a;
+        """)
+        assert grammar.rules["S"][0].terms[0].reference
+
+    def test_last_obligatory(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a, b, c;
+            S : a b c?;
+        """)
+        assert grammar.rules["S"][0].last_obligatory().symbol == "b"
+
+    def test_kind_classification(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a, y;
+            %detector d(a);
+            S : a V d;
+            V : a;
+            d : y;
+        """)
+        assert grammar.kind_of("a") == SymbolKind.ATOM
+        assert grammar.kind_of("V") == SymbolKind.VARIABLE
+        assert grammar.kind_of("d") == SymbolKind.DETECTOR
+
+    def test_implicit_atoms_promoted(self):
+        grammar = parse_grammar("""
+            %start S(a);
+            %atom str a;
+            S : a mystery;
+        """)
+        assert "mystery" in grammar.implicit_atoms
+        assert grammar.atom_of("mystery").name == "str"

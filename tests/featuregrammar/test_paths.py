@@ -1,0 +1,108 @@
+"""Tree path resolution: visible region, scoping, quantifier bindings."""
+
+import pytest
+
+from repro.errors import DetectorError
+from repro.featuregrammar.ast import TreePath
+from repro.featuregrammar.parsetree import NodeKind, ParseNode
+from repro.featuregrammar.paths import (resolve_nodes, resolve_value,
+                                        resolve_within)
+
+
+def _atom(name, value):
+    return ParseNode(name, NodeKind.ATOM, value=value)
+
+
+def _var(name, *children):
+    node = ParseNode(name, NodeKind.VARIABLE)
+    for child in children:
+        node.add(child)
+    return node
+
+
+@pytest.fixture
+def shot_tree():
+    """segment > shot* with begin/end/tennis(frame*/player) structure."""
+    def make_shot(begin, end, ys):
+        frames = []
+        for offset, y in enumerate(ys):
+            frames.append(_var(
+                "frame", _atom("frameNo", begin + offset),
+                _var("player", _atom("xPos", 1.0), _atom("yPos", y))))
+        tennis = _var("tennis", *frames, _var("event"))
+        return _var("shot",
+                    _var("begin", _atom("frameNo", begin)),
+                    _var("end", _atom("frameNo", end)),
+                    _var("type", tennis))
+    return _var("segment",
+                make_shot(0, 1, [300.0, 160.0]),
+                make_shot(2, 3, [310.0, 305.0]))
+
+
+class TestVisibleRegion:
+    def test_preceding_sibling_found(self, shot_tree):
+        shot = shot_tree.children[0]
+        tennis = shot.children[2].children[0]
+        value = resolve_value(tennis, TreePath.parse("begin.frameNo"))
+        assert value == 0
+
+    def test_second_shot_sees_its_own_begin(self, shot_tree):
+        shot = shot_tree.children[1]
+        tennis = shot.children[2].children[0]
+        assert resolve_value(tennis, TreePath.parse("begin.frameNo")) == 2
+
+    def test_ancestor_itself_matches(self, shot_tree):
+        shot = shot_tree.children[1]
+        event = shot.children[2].children[0].children[-1]
+        nodes = resolve_nodes(event, TreePath.parse("tennis.frame"),
+                              all_matches=True)
+        # only the enclosing shot's frames, never the first shot's
+        assert [n.child("frameNo").value for n in nodes] == [2, 3]
+
+    def test_nearest_scope_wins(self, shot_tree):
+        shot = shot_tree.children[1]
+        end = shot.children[1]
+        # from 'end', the nearest 'begin' is this shot's, not shot 1's
+        assert resolve_value(end, TreePath.parse("begin.frameNo")) == 2
+
+    def test_missing_path_raises(self, shot_tree):
+        shot = shot_tree.children[0]
+        with pytest.raises(DetectorError):
+            resolve_value(shot, TreePath.parse("nonexistent"))
+
+    def test_non_atomic_target_raises(self, shot_tree):
+        event = shot_tree.children[0].children[2].children[0].children[-1]
+        with pytest.raises(DetectorError):
+            resolve_value(event, TreePath.parse("tennis.frame"))
+
+
+class TestScopedResolution:
+    def test_within_searches_subtree_only(self, shot_tree):
+        frame = shot_tree.children[0].children[2].children[0].children[0]
+        nodes = resolve_within(frame, TreePath.parse("player.yPos"))
+        assert [n.value for n in nodes] == [300.0]
+
+    def test_scoped_value_prefers_own_subtree(self, shot_tree):
+        second_frame = \
+            shot_tree.children[0].children[2].children[0].children[1]
+        value = resolve_value(second_frame, TreePath.parse("player.yPos"),
+                              scoped=True)
+        assert value == 160.0  # not the preceding frame's 300.0
+
+    def test_own_subtree_fallback_without_scope_flag(self, shot_tree):
+        # the root has no ancestors: falls back to its own subtree
+        value = resolve_value(shot_tree, TreePath.parse("begin.frameNo"))
+        assert value == 0
+
+
+class TestTreePath:
+    def test_parse(self):
+        assert TreePath.parse("a.b.c").steps == ("a", "b", "c")
+
+    def test_str_round_trip(self):
+        assert str(TreePath.parse("a.b")) == "a.b"
+
+    def test_empty_rejected(self):
+        from repro.errors import GrammarSemanticsError
+        with pytest.raises(GrammarSemanticsError):
+            TreePath(())

@@ -1,0 +1,149 @@
+"""Whitebox predicate evaluation."""
+
+import pytest
+
+from repro.errors import DetectorError
+from repro.featuregrammar.ast import TreePath
+from repro.featuregrammar.parsetree import NodeKind, ParseNode
+from repro.featuregrammar.predicate import (And, Compare, Constant, Not, Or,
+                                            Quantifier)
+
+
+def _atom(name, value):
+    return ParseNode(name, NodeKind.ATOM, value=value)
+
+
+def _var(name, *children):
+    node = ParseNode(name, NodeKind.VARIABLE)
+    for child in children:
+        node.add(child)
+    return node
+
+
+@pytest.fixture
+def context():
+    """MIME-style tree with a detector context node at the end."""
+    tree = _var("MMO",
+                _atom("location", "http://x/v.mpg"),
+                _var("header",
+                     _var("MIME_type",
+                          _atom("primary", "video"),
+                          _atom("secondary", "mpeg"))),
+                _var("probe"))
+    return tree.children[2]  # the probe node: predicates evaluate here
+
+
+class TestCompare:
+    def test_equality_true(self, context):
+        assert Compare(TreePath.parse("primary"), "==", "video") \
+            .evaluate(context)
+
+    def test_equality_false(self, context):
+        assert not Compare(TreePath.parse("primary"), "==", "image") \
+            .evaluate(context)
+
+    @pytest.mark.parametrize("op,right,expected", [
+        ("!=", "image", True), ("!=", "video", False),
+        ("<", "w", True), ("<=", "video", True),
+        (">", "u", True), (">=", "video", True),
+    ])
+    def test_all_operators(self, context, op, right, expected):
+        assert Compare(TreePath.parse("primary"), op, right) \
+            .evaluate(context) is expected
+
+    def test_path_to_path_comparison(self, context):
+        assert Compare(TreePath.parse("primary"), "!=",
+                       TreePath.parse("secondary")).evaluate(context)
+
+    def test_type_mismatch_raises(self, context):
+        with pytest.raises(DetectorError):
+            Compare(TreePath.parse("primary"), "<", 42).evaluate(context)
+
+    def test_missing_path_raises(self, context):
+        with pytest.raises(DetectorError):
+            Compare(TreePath.parse("absent"), "==", 1).evaluate(context)
+
+
+class TestConnectives:
+    def test_and(self, context):
+        video = Compare(TreePath.parse("primary"), "==", "video")
+        mpeg = Compare(TreePath.parse("secondary"), "==", "mpeg")
+        assert And((video, mpeg)).evaluate(context)
+        assert not And((video, Not(mpeg))).evaluate(context)
+
+    def test_or(self, context):
+        video = Compare(TreePath.parse("primary"), "==", "video")
+        wrong = Compare(TreePath.parse("primary"), "==", "image")
+        assert Or((wrong, video)).evaluate(context)
+        assert not Or((wrong, wrong)).evaluate(context)
+
+    def test_not(self, context):
+        assert Not(Constant(False)).evaluate(context)
+
+    def test_constants(self, context):
+        assert Constant(True).evaluate(context)
+        assert not Constant(False).evaluate(context)
+
+    def test_paths_collected(self):
+        predicate = And((Compare(TreePath.parse("a.b"), "==", 1),
+                         Not(Compare(TreePath.parse("c"), ">", 2.0))))
+        assert [str(p) for p in predicate.paths()] == ["a.b", "c"]
+
+
+@pytest.fixture
+def frames_context():
+    frames = []
+    for number, y in [(0, 300.0), (1, 160.0), (2, 310.0)]:
+        frames.append(_var("frame", _atom("frameNo", number),
+                           _var("player", _atom("yPos", y))))
+    tennis = _var("tennis", *frames, _var("event"))
+    _var("shot", tennis)
+    return tennis.children[-1]  # the event node
+
+
+class TestQuantifiers:
+    def _netplay(self, kind):
+        return Quantifier(kind, TreePath.parse("tennis.frame"),
+                          Compare(TreePath.parse("player.yPos"),
+                                  "<=", 170.0))
+
+    def test_some_true(self, frames_context):
+        assert self._netplay("some").evaluate(frames_context)
+
+    def test_one_true_for_single_match(self, frames_context):
+        assert self._netplay("one").evaluate(frames_context)
+
+    def test_all_false_when_any_fails(self, frames_context):
+        assert not self._netplay("all").evaluate(frames_context)
+
+    def test_all_with_relaxed_threshold(self, frames_context):
+        relaxed = Quantifier("all", TreePath.parse("tennis.frame"),
+                             Compare(TreePath.parse("player.yPos"),
+                                     "<=", 1000.0))
+        assert relaxed.evaluate(frames_context)
+
+    def test_all_vacuously_true_on_no_bindings(self, frames_context):
+        empty = Quantifier("all", TreePath.parse("tennis.nothing"),
+                           Constant(False))
+        assert empty.evaluate(frames_context)
+
+    def test_some_false_on_no_bindings(self, frames_context):
+        empty = Quantifier("some", TreePath.parse("tennis.nothing"),
+                           Constant(True))
+        assert not empty.evaluate(frames_context)
+
+    def test_inner_predicate_scoped_per_binding(self, frames_context):
+        # every frame's own yPos is inspected, not the first frame's
+        exactly_one = Quantifier(
+            "one", TreePath.parse("tennis.frame"),
+            Compare(TreePath.parse("player.yPos"), "==", 160.0))
+        assert exactly_one.evaluate(frames_context)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DetectorError):
+            Quantifier("most", TreePath.parse("a"), Constant(True))
+
+    def test_str_rendering(self):
+        predicate = self._netplay("some")
+        assert str(predicate) == \
+            "some[tennis.frame](player.yPos <= 170.0)"

@@ -1,0 +1,84 @@
+"""Simulated external detector transports."""
+
+import pytest
+
+from repro.errors import DetectorError
+from repro.featuregrammar.detectors import DetectorRegistry
+from repro.featuregrammar.rpc import RpcServer, default_transports
+
+
+class TestRpcServer:
+    def test_call_round_trips_through_serialisation(self):
+        server = RpcServer()
+        server.register("add", lambda a, b: a + b)
+        transports = default_transports(server)
+        assert transports.get("xml-rpc").call("add", (2, 3)) == 5
+
+    def test_unknown_procedure_raises(self):
+        transports = default_transports()
+        with pytest.raises(DetectorError):
+            transports.get("xml-rpc").call("nope", ())
+
+    def test_unknown_protocol_raises(self):
+        transports = default_transports()
+        with pytest.raises(DetectorError):
+            transports.get("soap")
+
+    def test_all_paper_protocols_bound(self):
+        transports = default_transports()
+        for protocol in ("xml-rpc", "system", "corba"):
+            assert protocol in transports
+
+    def test_unserialisable_arguments_raise(self):
+        server = RpcServer()
+        server.register("id", lambda x: x)
+        transports = default_transports(server)
+        with pytest.raises(DetectorError):
+            transports.get("xml-rpc").call("id", (object(),))
+
+    def test_marshalling_flattens_types(self):
+        # tuples cross the boundary as lists: a real serialisation effect
+        server = RpcServer()
+        server.register("echo", lambda x: x)
+        transports = default_transports(server)
+        assert transports.get("corba").call("echo", ((1, 2),)) == [1, 2]
+
+    def test_byte_accounting(self):
+        server = RpcServer()
+        server.register("echo", lambda x: x)
+        transport = default_transports(server).get("xml-rpc")
+        transport.call("echo", ("payload",))
+        assert transport.bytes_sent > 0
+        assert transport.bytes_received > 0
+        assert server.calls == 1
+
+
+class TestRegistryIntegration:
+    def test_remote_detector_counts_executions(self):
+        server = RpcServer()
+        server.register("double", lambda x: x * 2)
+        registry = DetectorRegistry(default_transports(server))
+        registry.remote("xml-rpc", "double")
+        assert registry.execute("double", (21,)) == 42
+        assert registry.executions("double") == 1
+
+    def test_remote_failure_becomes_detector_error(self):
+        server = RpcServer()
+
+        def broken(x):
+            raise RuntimeError("remote crash")
+
+        server.register("broken", broken)
+        registry = DetectorRegistry(default_transports(server))
+        registry.remote("xml-rpc", "broken")
+        with pytest.raises(DetectorError):
+            registry.execute("broken", (1,))
+
+    def test_local_and_remote_coexist(self):
+        server = RpcServer()
+        server.register("remote_fn", lambda: "far")
+        registry = DetectorRegistry(default_transports(server))
+        registry.register("local_fn", lambda: "near")
+        registry.remote("system", "remote_fn")
+        assert registry.execute("local_fn", ()) == "near"
+        assert registry.execute("remote_fn", ()) == "far"

@@ -1,0 +1,102 @@
+"""Token stacks: shared-suffix and copying semantics must agree."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.featuregrammar.tokens import (CopyingTokenStack, SharedTokenStack,
+                                         Token, make_stack)
+
+
+@pytest.fixture(params=[SharedTokenStack, CopyingTokenStack])
+def stack_class(request):
+    return request.param
+
+
+class TestInterface:
+    def test_empty(self, stack_class):
+        stack = stack_class.empty()
+        assert stack.is_empty() and len(stack) == 0
+        assert stack.peek() is None
+
+    def test_pop_empty_raises(self, stack_class):
+        with pytest.raises(IndexError):
+            stack_class.empty().pop()
+
+    def test_from_tokens_top_is_first(self, stack_class):
+        stack = stack_class.from_tokens([Token(1), Token(2), Token(3)])
+        assert stack.peek().value == 1
+        assert [token.value for token in stack] == [1, 2, 3]
+
+    def test_push_pop(self, stack_class):
+        stack = stack_class.empty().push(Token("a"))
+        token, rest = stack.pop()
+        assert token.value == "a" and rest.is_empty()
+
+    def test_push_all_order(self, stack_class):
+        stack = stack_class.empty().push_all([Token(1), Token(2)])
+        assert [token.value for token in stack] == [1, 2]
+
+    def test_persistence_of_versions(self, stack_class):
+        base = stack_class.from_tokens([Token("x")])
+        version_a = base.push(Token("a"))
+        version_b = base.push(Token("b"))
+        assert version_a.peek().value == "a"
+        assert version_b.peek().value == "b"
+        assert base.peek().value == "x"
+
+    def test_save_is_usable_after_mutating_path(self, stack_class):
+        stack = stack_class.from_tokens([Token(1), Token(2)])
+        saved = stack.save()
+        _, popped = stack.pop()
+        assert len(saved) == 2 and len(popped) == 1
+
+
+class TestSharingAccounting:
+    def test_shared_push_allocates_one_cell(self):
+        stack = SharedTokenStack.from_tokens([Token(i) for i in range(100)])
+        before = SharedTokenStack.cells_allocated
+        stack.push(Token("top"))
+        assert SharedTokenStack.cells_allocated - before == 1
+
+    def test_copying_save_allocates_full_copy(self):
+        stack = CopyingTokenStack.from_tokens([Token(i) for i in range(100)])
+        before = CopyingTokenStack.cells_allocated
+        stack.save()
+        assert CopyingTokenStack.cells_allocated - before == 100
+
+    def test_shared_save_is_free(self):
+        stack = SharedTokenStack.from_tokens([Token(i) for i in range(100)])
+        before = SharedTokenStack.cells_allocated
+        saved = stack.save()
+        assert saved is stack
+        assert SharedTokenStack.cells_allocated == before
+
+    def test_suffixes_physically_shared(self):
+        base = SharedTokenStack.from_tokens([Token(1), Token(2)])
+        version_a = base.push(Token("a"))
+        version_b = base.push(Token("b"))
+        assert version_a._rest is version_b._rest  # the shared suffix
+
+
+class TestFactory:
+    def test_make_stack_shared(self):
+        assert isinstance(make_stack([Token(1)], shared=True),
+                          SharedTokenStack)
+
+    def test_make_stack_copying(self):
+        assert isinstance(make_stack([Token(1)], shared=False),
+                          CopyingTokenStack)
+
+
+@given(st.lists(st.integers(), max_size=30))
+def test_both_flavours_agree(values):
+    tokens = [Token(v) for v in values]
+    shared = SharedTokenStack.from_tokens(tokens)
+    copying = CopyingTokenStack.from_tokens(tokens)
+    assert list(t.value for t in shared) == list(t.value for t in copying)
+    while not shared.is_empty():
+        s_token, shared = shared.pop()
+        c_token, copying = copying.pop()
+        assert s_token.value == c_token.value
+    assert copying.is_empty()

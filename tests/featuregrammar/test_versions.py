@@ -1,0 +1,74 @@
+"""Three-level detector versions."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.featuregrammar.versions import ChangeLevel, Version
+
+
+class TestParsing:
+    def test_full_version(self):
+        assert Version.parse("2.3.4") == Version(2, 3, 4)
+
+    def test_short_forms(self):
+        assert Version.parse("2") == Version(2, 0, 0)
+        assert Version.parse("2.1") == Version(2, 1, 0)
+
+    def test_str_round_trip(self):
+        assert str(Version.parse("1.2.3")) == "1.2.3"
+
+    @pytest.mark.parametrize("bad", ["", "a.b", "1.2.3.4", "1..2"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(SchedulerError):
+            Version.parse(bad)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchedulerError):
+            Version(-1, 0, 0)
+
+
+class TestChangeLevels:
+    def test_same_version_is_none(self):
+        assert Version(1, 2, 3).change_level(Version(1, 2, 3)) \
+            == ChangeLevel.NONE
+
+    def test_correction(self):
+        assert Version(1, 2, 3).change_level(Version(1, 2, 4)) \
+            == ChangeLevel.CORRECTION
+
+    def test_minor(self):
+        assert Version(1, 2, 3).change_level(Version(1, 3, 0)) \
+            == ChangeLevel.MINOR
+
+    def test_major(self):
+        assert Version(1, 2, 3).change_level(Version(2, 0, 0)) \
+            == ChangeLevel.MAJOR
+
+    def test_major_dominates_lower_components(self):
+        assert Version(1, 2, 3).change_level(Version(2, 2, 3)) \
+            == ChangeLevel.MAJOR
+
+    def test_levels_are_ordered(self):
+        assert ChangeLevel.NONE < ChangeLevel.CORRECTION \
+            < ChangeLevel.MINOR < ChangeLevel.MAJOR
+
+
+class TestBump:
+    def test_bump_correction(self):
+        assert Version(1, 2, 3).bump(ChangeLevel.CORRECTION) \
+            == Version(1, 2, 4)
+
+    def test_bump_minor_resets_correction(self):
+        assert Version(1, 2, 3).bump(ChangeLevel.MINOR) == Version(1, 3, 0)
+
+    def test_bump_major_resets_all(self):
+        assert Version(1, 2, 3).bump(ChangeLevel.MAJOR) == Version(2, 0, 0)
+
+    def test_bump_none_is_identity(self):
+        assert Version(1, 2, 3).bump(ChangeLevel.NONE) == Version(1, 2, 3)
+
+    def test_bump_round_trips_change_level(self):
+        for level in (ChangeLevel.CORRECTION, ChangeLevel.MINOR,
+                      ChangeLevel.MAJOR):
+            assert Version(1, 2, 3).change_level(
+                Version(1, 2, 3).bump(level)) == level

@@ -1,0 +1,81 @@
+"""Distributed retrieval: merge correctness and shared-nothing shape."""
+
+import random
+
+import pytest
+
+from repro.ir.distributed import DistributedIndex
+from repro.monetdb.server import Cluster
+
+
+def _corpus(documents=60, seed=5):
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(80)]
+    weights = [1.0 / (i + 1) for i in range(80)]
+    docs = []
+    for d in range(documents):
+        words = rng.choices(vocab, weights=weights, k=40)
+        if d % 6 == 0:
+            words += ["trophy", "melbourne"]
+        docs.append((f"http://site/p{d}", " ".join(words)))
+    return docs
+
+
+@pytest.fixture(scope="module")
+def index() -> DistributedIndex:
+    cluster = Cluster(4)
+    index = DistributedIndex(cluster, fragment_count=4)
+    index.add_documents(_corpus())
+    return index
+
+
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("query", [
+        "trophy", "trophy melbourne", "w0 trophy", "w1 w2 w3",
+    ])
+    def test_distributed_equals_central(self, index, query):
+        distributed = index.query(query, n=10)
+        central = index.exact_central_ranking(query, n=10)
+        assert [doc for doc, _ in distributed.ranking] \
+            == [doc for doc, _ in central]
+
+    def test_scores_match_central(self, index):
+        distributed = dict(index.query("trophy", n=10).ranking)
+        central = dict(index.exact_central_ranking("trophy", n=10))
+        for doc, score in distributed.items():
+            assert score == pytest.approx(central[doc])
+
+    def test_unpruned_also_correct(self, index):
+        distributed = index.query("trophy melbourne", n=10, prune=False)
+        central = index.exact_central_ranking("trophy melbourne", n=10)
+        assert [doc for doc, _ in distributed.ranking] \
+            == [doc for doc, _ in central]
+
+    def test_empty_query(self, index):
+        assert index.query("zzzunknown", n=10).ranking == []
+
+
+class TestSharedNothingShape:
+    def test_every_node_holds_a_share(self, index):
+        counts = [relations.document_count()
+                  for relations in index.nodes.values()]
+        assert all(count > 0 for count in counts)
+        assert sum(counts) == index.central.document_count()
+
+    def test_work_splits_across_nodes(self, index):
+        result = index.query("w0 w1 trophy", n=10)
+        per_node = result.tuples_read_per_node()
+        assert len(per_node) == 4
+        # critical path well below total work: that is the parallelism
+        assert result.max_node_tuples() < result.total_tuples()
+
+    def test_larger_cluster_lowers_critical_path(self):
+        docs = _corpus(documents=120, seed=7)
+        small = DistributedIndex(Cluster(2), fragment_count=4)
+        small.add_documents(docs)
+        large = DistributedIndex(Cluster(8), fragment_count=4)
+        large.add_documents(docs)
+        query = "w0 w1 w2 trophy"
+        small_path = small.query(query, n=10, prune=False).max_node_tuples()
+        large_path = large.query(query, n=10, prune=False).max_node_tuples()
+        assert large_path < small_path

@@ -1,0 +1,68 @@
+"""IrEngine facade behaviour."""
+
+import pytest
+
+from repro.ir.engine import IrEngine
+
+
+@pytest.fixture
+def engine() -> IrEngine:
+    engine = IrEngine(fragment_count=4)
+    engine.index("doc:u1", "champion tennis serve")
+    engine.index("doc:u2", "tennis court surface")
+    engine.index("doc:u3", "football goal keeper")
+    return engine
+
+
+class TestLifecycle:
+    def test_search_urls(self, engine):
+        urls = [url for url, _ in engine.search_urls("champion")]
+        assert urls == ["doc:u1"]
+
+    def test_remove_unindexes(self, engine):
+        engine.remove("doc:u1")
+        assert engine.search_urls("champion") == []
+
+    def test_reindex_replaces_content(self, engine):
+        engine.reindex("doc:u3", "champion of football")
+        urls = [url for url, _ in engine.search_urls("champion")]
+        assert set(urls) == {"doc:u1", "doc:u3"}
+
+    def test_reindex_of_new_url_indexes(self, engine):
+        engine.reindex("doc:u4", "brand new champion")
+        assert "doc:u4" in [url for url, _ in engine.search_urls("champion")]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            IrEngine(model="bm25")
+
+    def test_hiemstra_model_works(self):
+        engine = IrEngine(model="hiemstra")
+        engine.index("doc:u1", "champion tennis")
+        engine.index("doc:u2", "court tennis")
+        assert engine.search_urls("champion")[0][0] == "doc:u1"
+
+
+class TestFragmentsCache:
+    def test_fragments_rebuilt_after_updates(self, engine):
+        first = engine.fragments()
+        engine.index("doc:u9", "fresh words entirely")
+        second = engine.fragments()
+        assert second is not first
+        assert second.total_tuples() > first.total_tuples()
+
+    def test_search_fragmented_matches_search(self, engine):
+        exact = engine.search("tennis champion", n=3)
+        fragmented = engine.search_fragmented("tennis champion", n=3)
+        assert [doc for doc, _ in fragmented.ranking] \
+            == [doc for doc, _ in exact]
+
+
+class TestBooleanFilter:
+    def test_matching_documents(self, engine):
+        docs = engine.matching_documents("tennis")
+        urls = {engine.relations.doc_url(doc) for doc in docs}
+        assert urls == {"doc:u1", "doc:u2"}
+
+    def test_matching_documents_empty(self, engine):
+        assert engine.matching_documents("quidditch") == set()

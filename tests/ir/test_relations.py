@@ -1,0 +1,92 @@
+"""The T/D/DT/TF/IDF relation scheme."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.ir.relations import IrRelations
+from repro.ir.stemmer import stem
+
+
+@pytest.fixture
+def relations() -> IrRelations:
+    relations = IrRelations()
+    relations.add_documents([
+        ("http://x/d1", "tennis tennis champion"),
+        ("http://x/d2", "tennis court"),
+        ("http://x/d3", "football"),
+    ])
+    return relations
+
+
+class TestVocabulary:
+    def test_terms_are_stemmed_and_interned_once(self, relations):
+        relations.add_document("http://x/d4", "champions championed")
+        assert relations.term_oid("champion") is not None
+
+    def test_unknown_term_is_none(self, relations):
+        assert relations.term_oid("quidditch") is None
+
+    def test_vocabulary_size(self, relations):
+        assert relations.vocabulary_size() == 4  # tennis champion court football
+
+
+class TestDocuments:
+    def test_doc_oid_round_trip(self, relations):
+        oid = relations.doc_oid("http://x/d1")
+        assert relations.doc_url(oid) == "http://x/d1"
+
+    def test_duplicate_document_raises(self, relations):
+        with pytest.raises(CatalogError):
+            relations.add_document("http://x/d1", "again")
+
+    def test_document_length_counts_occurrences(self, relations):
+        assert relations.document_length(
+            relations.doc_oid("http://x/d1")) == 3
+
+    def test_collection_length(self, relations):
+        assert relations.collection_length == 6
+
+
+class TestFrequencies:
+    def test_tf_counts_per_pair(self, relations):
+        tennis = relations.term_oid(stem("tennis"))
+        postings = dict(relations.postings(tennis))
+        assert postings[relations.doc_oid("http://x/d1")] == 2
+        assert postings[relations.doc_oid("http://x/d2")] == 1
+
+    def test_df_and_idf(self, relations):
+        tennis = relations.term_oid(stem("tennis"))
+        football = relations.term_oid(stem("football"))
+        assert relations.document_frequency(tennis) == 2
+        assert relations.idf(tennis) == pytest.approx(0.5)
+        assert relations.idf(football) == pytest.approx(1.0)
+
+    def test_idf_of_unknown_is_zero(self, relations):
+        assert relations.idf(999999) == 0.0
+
+    def test_idf_refresh_batched(self):
+        relations = IrRelations(refresh_batch=2)
+        relations.add_document("doc:u1", "alpha")
+        assert len(relations.IDF) == 0  # not refreshed yet
+        relations.add_document("doc:u2", "alpha beta")
+        assert len(relations.IDF) == 2  # batch boundary hit
+
+
+class TestRemoval:
+    def test_remove_document_updates_everything(self, relations):
+        tennis = relations.term_oid(stem("tennis"))
+        relations.remove_document("http://x/d2")
+        assert relations.document_count() == 2
+        assert relations.document_frequency(tennis) == 1
+        assert relations.idf(tennis) == pytest.approx(1.0)
+        assert relations.collection_length == 4
+
+    def test_remove_unknown_raises(self, relations):
+        with pytest.raises(CatalogError):
+            relations.remove_document("http://x/nope")
+
+    def test_stats(self, relations):
+        stats = relations.stats()
+        assert stats["documents"] == 3
+        assert stats["terms"] == 4
+        assert stats["pairs"] == 5

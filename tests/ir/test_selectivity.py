@@ -1,0 +1,122 @@
+"""The cost/quality prediction model."""
+
+import random
+
+import pytest
+
+from repro.ir.fragmentation import fragment_by_idf
+from repro.ir.ranking import query_term_oids, rank_tfidf
+from repro.ir.relations import IrRelations
+from repro.ir.selectivity import QueryCostModel
+from repro.ir.topn import quality_degrade, topn_cutoff
+
+
+def _corpus() -> IrRelations:
+    rng = random.Random(5)
+    vocab = [f"w{i:03d}" for i in range(100)]
+    weights = [1.0 / (i + 1) for i in range(100)]
+    relations = IrRelations()
+    docs = []
+    for d in range(150):
+        words = rng.choices(vocab, weights=weights, k=50)
+        if d % 15 == 0:
+            words += ["raremark"] * (d // 15 + 1)
+        docs.append((f"http://c/d{d}", " ".join(words)))
+    relations.add_documents(docs)
+    return relations
+
+
+@pytest.fixture(scope="module")
+def setup():
+    relations = _corpus()
+    fragments = fragment_by_idf(relations, 6)
+    return relations, fragments, QueryCostModel(fragments)
+
+
+QUERY = "raremark w030 w000"
+
+
+class TestCostPrediction:
+    def test_cost_predictions_are_exact(self, setup):
+        relations, fragments, model = setup
+        terms = query_term_oids(relations, QUERY)
+        for keep in range(0, 7):
+            predicted = model.predict_cost(terms, keep)
+            measured = topn_cutoff(fragments, terms, 10, keep).tuples_read
+            assert predicted == measured
+
+    def test_cost_monotone_in_keep(self, setup):
+        relations, _, model = setup
+        terms = query_term_oids(relations, QUERY)
+        costs = [model.predict_cost(terms, keep) for keep in range(7)]
+        assert costs == sorted(costs)
+
+    def test_empty_query_costs_nothing(self, setup):
+        _, _, model = setup
+        assert model.predict_cost([], 6) == 0
+
+
+class TestQualityPrediction:
+    def test_endpoints(self, setup):
+        relations, _, model = setup
+        terms = query_term_oids(relations, QUERY)
+        assert model.predict_quality(terms, 0) == 0.0
+        assert model.predict_quality(terms, 6) == pytest.approx(1.0)
+
+    def test_monotone_in_keep(self, setup):
+        relations, _, model = setup
+        terms = query_term_oids(relations, QUERY)
+        curve = [model.predict_quality(terms, keep) for keep in range(7)]
+        assert curve == sorted(curve)
+
+    def test_predictions_track_measured_quality(self, setup):
+        """Calibration: predicted and measured quality must agree in
+        rank order (the optimizer only needs the ordering)."""
+        relations, fragments, model = setup
+        terms = query_term_oids(relations, QUERY)
+        exact = rank_tfidf(relations, QUERY, n=10)
+        predicted = []
+        measured = []
+        for keep in range(1, 7):
+            predicted.append(model.predict_quality(terms, keep))
+            cut = topn_cutoff(fragments, terms, 10, keep)
+            measured.append(quality_degrade(exact, cut.ranking))
+        # same ordering, and when prediction says 1.0 quality IS 1.0
+        order_p = sorted(range(6), key=lambda i: predicted[i])
+        order_m = sorted(range(6), key=lambda i: measured[i])
+        assert order_p == order_m or measured == sorted(measured)
+        for p, m in zip(predicted, measured):
+            if p == pytest.approx(1.0):
+                assert m == 1.0
+
+    def test_unknown_terms_mean_perfect_quality(self, setup):
+        _, _, model = setup
+        assert model.predict_quality([], 0) == 1.0
+
+
+class TestOptimizerDecision:
+    def test_plan_meets_target(self, setup):
+        relations, fragments, model = setup
+        terms = query_term_oids(relations, QUERY)
+        exact = rank_tfidf(relations, QUERY, n=10)
+        plan = model.choose_fragments(terms, quality_target=0.95)
+        cut = topn_cutoff(fragments, terms, 10, plan.keep_fragments)
+        assert plan.predicted_quality >= 0.95
+        # the a-priori plan reads no more than the full scan
+        full = topn_cutoff(fragments, terms, 10, 6)
+        assert cut.tuples_read <= full.tuples_read
+
+    def test_lower_target_is_cheaper(self, setup):
+        relations, _, model = setup
+        terms = query_term_oids(relations, QUERY)
+        cheap = model.choose_fragments(terms, quality_target=0.5)
+        thorough = model.choose_fragments(terms, quality_target=0.99)
+        assert cheap.keep_fragments <= thorough.keep_fragments
+        assert cheap.predicted_cost <= thorough.predicted_cost
+
+    def test_curve_shape(self, setup):
+        relations, _, model = setup
+        terms = query_term_oids(relations, QUERY)
+        curve = model.quality_curve(terms)
+        assert curve[0] == (0, 0, 0.0)
+        assert curve[-1][2] == pytest.approx(1.0)

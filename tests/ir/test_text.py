@@ -1,0 +1,59 @@
+"""Tokenizer, stopper, analyzer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.text import STOP_WORDS, analyze, normalize, tokenize
+
+
+class TestTokenize:
+    def test_splits_on_punctuation(self):
+        assert tokenize("Hello, world! It's me.") \
+            == ["hello", "world", "it", "s", "me"]
+
+    def test_lowercases(self):
+        assert tokenize("Monica SELES") == ["monica", "seles"]
+
+    def test_keeps_digits(self):
+        assert tokenize("won in 1991") == ["won", "in", "1991"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("  ...  ") == []
+
+
+class TestNormalize:
+    def test_stop_words_dropped(self):
+        assert normalize("the") is None
+        assert normalize("and") is None
+
+    def test_content_words_stemmed(self):
+        assert normalize("winners") == "winner"
+        assert normalize("approaching") == "approach"
+
+
+class TestAnalyze:
+    def test_pipeline(self):
+        terms = analyze("The winner approaches the net")
+        assert "the" not in terms
+        assert "winner" in terms
+        assert "approach" in terms
+        assert "net" in terms
+
+    def test_stability(self):
+        assert analyze("Winner!") == analyze("winner")
+
+    def test_stopword_only_text(self):
+        assert analyze("the and of to") == []
+
+
+@given(st.text(max_size=200))
+def test_analyze_never_returns_stopwords(text):
+    assert not (set(analyze(text)) & STOP_WORDS)
+
+
+@given(st.text(max_size=200))
+def test_tokens_are_lowercase_alnum(text):
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert token.isalnum()

@@ -1,0 +1,46 @@
+"""Thesaurus expansion."""
+
+from repro.ir.stemmer import stem
+from repro.ir.thesaurus import Thesaurus
+
+
+class TestRelated:
+    def test_ring_members_related(self):
+        thesaurus = Thesaurus()
+        related = thesaurus.related("champion")
+        assert stem("winner") in related
+        assert stem("trophy") in related
+
+    def test_relation_is_symmetric(self):
+        thesaurus = Thesaurus()
+        assert stem("champion") in thesaurus.related("winner")
+
+    def test_unknown_word_relates_to_itself(self):
+        thesaurus = Thesaurus()
+        assert thesaurus.related("xylophone") == {stem("xylophone")}
+
+    def test_inflected_forms_hit_the_ring(self):
+        thesaurus = Thesaurus()
+        assert stem("winner") in thesaurus.related("champions")
+
+
+class TestExpansion:
+    def test_expand_query_includes_synonyms(self):
+        thesaurus = Thesaurus()
+        expanded = thesaurus.expand_query("champion").split()
+        assert stem("winner") in expanded
+        assert stem("champion") in expanded
+
+    def test_expansion_deduplicates(self):
+        thesaurus = Thesaurus()
+        expanded = thesaurus.expand_query("champion winner").split()
+        assert len(expanded) == len(set(expanded))
+
+    def test_stopwords_not_expanded(self):
+        thesaurus = Thesaurus()
+        assert thesaurus.expand_query("the of") == ""
+
+    def test_custom_rings(self):
+        thesaurus = Thesaurus(rings=[{"cat", "feline"}])
+        assert stem("feline") in thesaurus.related("cat")
+        assert thesaurus.related("champion") == {stem("champion")}

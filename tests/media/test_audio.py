@@ -1,0 +1,193 @@
+"""Synthetic audio, classification and speaker-turn segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.media.audio import (SAMPLE_RATE, classify_audio, frame_features,
+                               harmonicity, make_interview, make_jingle,
+                               pause_ratio, segment_speakers,
+                               spectral_flatness)
+
+
+@pytest.fixture(scope="module")
+def interview():
+    return make_interview("http://x/iv.wav", turns=6, seed=5)
+
+
+@pytest.fixture(scope="module")
+def jingle():
+    return make_jingle("http://x/jg.wav", seed=5)
+
+
+class TestSynthesis:
+    def test_waveform_shape(self, interview):
+        assert interview.samples.ndim == 1
+        assert interview.duration > 5.0
+
+    def test_deterministic(self):
+        first = make_interview("u", turns=3, seed=9)
+        second = make_interview("u", turns=3, seed=9)
+        assert np.array_equal(first.samples, second.samples)
+
+    def test_ground_truth_alternates_speakers(self, interview):
+        speakers = [speaker for _, _, speaker in interview.truth.turns]
+        assert speakers == [0, 1, 0, 1, 0, 1]
+
+    def test_zero_turns_rejected(self):
+        with pytest.raises(VideoError):
+            make_interview("u", turns=0)
+
+
+class TestFeatures:
+    def test_frame_features_shapes(self, interview):
+        features = frame_features(interview.samples)
+        frames = len(interview.samples) // 400
+        assert features["energy"].shape == (frames,)
+        assert features["centroid"].shape == (frames,)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(VideoError):
+            frame_features(np.zeros(10))
+
+    def test_speech_has_pauses_music_does_not(self, interview, jingle):
+        assert pause_ratio(interview.samples) > 0.05
+        assert pause_ratio(jingle.samples) < 0.02
+
+    def test_music_is_harmonic(self, interview, jingle):
+        assert harmonicity(jingle.samples) > harmonicity(interview.samples)
+
+    def test_flatness_in_unit_range(self, interview):
+        flatness = spectral_flatness(interview.samples)
+        assert 0.0 <= flatness <= 1.0
+
+
+class TestClassification:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_interviews_are_speech(self, seed):
+        audio = make_interview("u", turns=4, seed=seed)
+        assert classify_audio(audio.samples) == "speech"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_jingles_are_music(self, seed):
+        audio = make_jingle("u", seed=seed)
+        assert classify_audio(audio.samples) == "music"
+
+
+class TestSpeakerSegmentation:
+    def test_turn_count_matches_truth(self, interview):
+        turns = segment_speakers(interview.samples)
+        assert len(turns) == len(interview.truth.turns)
+
+    def test_speaker_sequence_matches_truth(self, interview):
+        turns = segment_speakers(interview.samples)
+        assert [turn.speaker for turn in turns] \
+            == [speaker for _, _, speaker in interview.truth.turns]
+
+    def test_boundaries_within_a_frame(self, interview):
+        turns = segment_speakers(interview.samples)
+        for found, (start, end, _) in zip(turns, interview.truth.turns):
+            assert abs(found.start - start) <= 0.1
+            assert abs(found.end - end) <= 0.1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_robust_across_seeds(self, seed):
+        audio = make_interview("u", turns=5, seed=seed + 20)
+        turns = segment_speakers(audio.samples)
+        assert [turn.speaker for turn in turns] \
+            == [speaker for _, _, speaker in audio.truth.turns]
+
+
+class TestGrammarIntegration:
+    def test_interview_parses_through_the_grammar(self):
+        from repro.cobra import (VideoLibrary, build_tennis_grammar,
+                                 build_tennis_registry)
+        from repro.featuregrammar import FDE
+
+        library = VideoLibrary()
+        audio = make_interview("http://x/iv.wav", turns=4, seed=2)
+        library.add(audio, mime=("audio", "wav"))
+        fde = FDE(build_tennis_grammar(), build_tennis_registry(library))
+        outcome = fde.parse(audio.location)
+        assert outcome.leftover_tokens == 0
+        kinds = outcome.tree.find_all("audio_kind")
+        assert kinds[0].children[0].name == "speech"
+        assert len(outcome.tree.find_all("turn")) == 4
+
+    def test_jingle_has_no_turns(self):
+        from repro.cobra import (VideoLibrary, build_tennis_grammar,
+                                 build_tennis_registry)
+        from repro.featuregrammar import FDE
+
+        library = VideoLibrary()
+        audio = make_jingle("http://x/jg.wav", seed=2)
+        library.add(audio, mime=("audio", "wav"))
+        fde = FDE(build_tennis_grammar(), build_tennis_registry(library))
+        outcome = fde.parse(audio.location)
+        kinds = outcome.tree.find_all("audio_kind")
+        assert kinds[0].children[0].name == "music"
+        assert outcome.tree.find_all("turn") == []
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        from repro.core import EngineConfig, SearchEngine
+        from repro.web import build_ausopen_site
+        from repro.webspace import australian_open_schema
+
+        server, truth = build_ausopen_site(players=10, articles=4,
+                                           videos=2, frames_per_shot=6)
+        engine = SearchEngine(australian_open_schema(), server,
+                              EngineConfig())
+        engine.populate()
+        return engine, truth
+
+    def test_interviews_analysed(self, engine):
+        search, truth = engine
+        interviews = sum(1 for p in truth.players if p.interview_path)
+        report_like = search.stats()
+        assert interviews > 0
+        assert search.stats()["videos"] == len(truth.videos) + interviews
+
+    def test_audio_event_query(self, engine):
+        search, truth = engine
+        result = search.query(
+            search.new_query()
+            .from_class("p", "Player")
+            .audio_event("p.interview", "speech")
+            .select("p.name")
+            .top(20))
+        champions = {p.name for p in truth.players if p.is_champion}
+        assert set(result.column("p.name")) == champions
+
+    def test_turns_attached_to_rows(self, engine):
+        search, _ = engine
+        result = search.query(
+            search.new_query()
+            .from_class("p", "Player")
+            .audio_event("p.interview", "speech")
+            .select("p.name"))
+        for row in result:
+            assert row.turns["p"]
+            speakers = {turn.speaker for turn in row.turns["p"]}
+            assert speakers == {0, 1}  # interviewer and player
+
+    def test_music_kind_matches_nothing(self, engine):
+        search, _ = engine
+        result = search.query(
+            search.new_query()
+            .from_class("p", "Player")
+            .audio_event("p.interview", "music")
+            .select("p.name"))
+        assert len(result) == 0
+
+    def test_audio_event_validates_type(self, engine):
+        search, _ = engine
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            search.new_query().from_class("p", "Player") \
+                .audio_event("p.history", "speech")
+        with pytest.raises(QueryError):
+            search.new_query().from_class("p", "Player") \
+                .audio_event("p.interview", "podcast")

@@ -1,0 +1,63 @@
+"""Photo/graphic classifier and portrait detector."""
+
+import pytest
+
+from repro.media.images import (classify_photo_graphic, detect_portrait,
+                                distinct_colors, make_graphic, make_photo,
+                                make_portrait, smoothness)
+
+
+class TestGenerators:
+    def test_shapes(self):
+        image = make_portrait("http://x/p.jpg", size=(40, 30))
+        assert image.pixels.shape == (40, 30, 3)
+
+    def test_deterministic(self):
+        import numpy as np
+        first = make_photo("http://x/a.jpg", seed=4)
+        second = make_photo("http://x/a.jpg", seed=4)
+        assert np.array_equal(first.pixels, second.pixels)
+
+    def test_kinds(self):
+        assert make_portrait("u").kind == "portrait"
+        assert make_photo("u").kind == "photo"
+        assert make_graphic("u").kind == "graphic"
+        assert make_portrait("u").is_portrait
+        assert not make_photo("u").is_portrait
+
+
+class TestPhotoGraphicClassifier:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_photos_classified_photo(self, seed):
+        image = make_photo("u", seed=seed)
+        assert classify_photo_graphic(image.pixels) == "photo"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_graphics_classified_graphic(self, seed):
+        image = make_graphic("u", seed=seed)
+        assert classify_photo_graphic(image.pixels) == "graphic"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_portraits_are_photographs(self, seed):
+        image = make_portrait("u", seed=seed)
+        assert classify_photo_graphic(image.pixels) == "photo"
+
+    def test_signal_separation(self):
+        photo = make_photo("u", seed=0).pixels
+        graphic = make_graphic("u", seed=0).pixels
+        assert distinct_colors(photo) > distinct_colors(graphic)
+        assert smoothness(graphic) >= 0.0
+
+
+class TestPortraitDetector:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_portraits_detected(self, seed):
+        assert detect_portrait(make_portrait("u", seed=seed).pixels)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_plain_photos_rejected(self, seed):
+        assert not detect_portrait(make_photo("u", seed=seed).pixels)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_graphics_rejected(self, seed):
+        assert not detect_portrait(make_graphic("u", seed=seed).pixels)

@@ -1,0 +1,44 @@
+"""Trigram language identification."""
+
+import pytest
+
+from repro.media.language import SUPPORTED_LANGUAGES, LanguageDetector
+
+SAMPLES = {
+    "en": "The defending champion played a wonderful match on the centre "
+          "court and the crowd cheered when she approached the net to "
+          "volley the winning point of the tournament",
+    "nl": "De titelverdedigster speelde een prachtige wedstrijd op het "
+          "centrale veld en het publiek juichte toen zij naar het net "
+          "liep om het winnende punt van het toernooi te slaan",
+    "fr": "La championne en titre a joué un match magnifique sur le court "
+          "central et le public a applaudi quand elle s'est approchée du "
+          "filet pour marquer le point gagnant du tournoi",
+}
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return LanguageDetector()
+
+
+class TestDetection:
+    @pytest.mark.parametrize("language", sorted(SAMPLES))
+    def test_each_language_recognised(self, detector, language):
+        assert detector.detect(SAMPLES[language]) == language
+
+    def test_scores_cover_all_languages(self, detector):
+        scores = detector.scores(SAMPLES["en"])
+        assert set(scores) == set(SUPPORTED_LANGUAGES)
+        assert scores["en"] > scores["fr"]
+        assert scores["en"] > scores["nl"]
+
+    def test_empty_text_returns_some_language(self, detector):
+        assert detector.detect("") in SUPPORTED_LANGUAGES
+
+    def test_case_insensitive(self, detector):
+        assert detector.detect(SAMPLES["en"].upper()) == "en"
+
+    def test_custom_corpora(self):
+        detector = LanguageDetector({"xx": "zzz zzz zzz", "yy": "qqq qqq"})
+        assert detector.detect("zzz zzz") == "xx"

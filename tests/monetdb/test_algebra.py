@@ -1,0 +1,70 @@
+"""Algebra helpers and the top-N merge."""
+
+from repro.monetdb.algebra import (difference_heads, intersect_heads, join,
+                                   project_tails, select_eq, semijoin,
+                                   topn_merge, union_heads)
+from repro.monetdb.atoms import Oid
+from repro.monetdb.bat import BAT
+from repro.monetdb.server import MonetServer
+
+
+def _bat(pairs):
+    return BAT.from_pairs("oid", "str", [(Oid(h), t) for h, t in pairs])
+
+
+class TestOperators:
+    def test_select_eq_charges_server(self):
+        server = MonetServer("n")
+        bat = _bat([(1, "a"), (2, "b")])
+        result = select_eq(bat, "a", server)
+        assert result.head == [1]
+        assert server.tuples_touched == 2
+
+    def test_join(self):
+        left = _bat([(1, "x"), (2, "y")])
+        right = BAT.from_pairs("str", "int", [("x", 7)])
+        assert list(join(left, right)) == [(1, 7)]
+
+    def test_semijoin(self):
+        left = _bat([(1, "x"), (2, "y")])
+        right = _bat([(2, "z")])
+        assert semijoin(left, right).head == [2]
+
+    def test_intersect_heads(self):
+        sets = intersect_heads([_bat([(1, "a"), (2, "b")]),
+                                _bat([(2, "c"), (3, "d")])])
+        assert sets == {2}
+
+    def test_intersect_empty_input(self):
+        assert intersect_heads([]) == set()
+
+    def test_union_heads(self):
+        assert union_heads([_bat([(1, "a")]), _bat([(2, "b")])]) == {1, 2}
+
+    def test_difference_heads(self):
+        assert difference_heads(_bat([(1, "a"), (2, "b")]),
+                                _bat([(2, "x")])) == {1}
+
+    def test_project_tails_preserves_order(self):
+        bat = _bat([(1, "a"), (2, "b"), (3, "c")])
+        assert project_tails(bat, {3, 1}) == ["a", "c"]
+
+
+class TestTopNMerge:
+    def test_merges_sorted_rankings(self):
+        merged = topn_merge([[("a", 3.0), ("b", 1.0)],
+                             [("c", 2.0)]], n=3)
+        assert merged == [("a", 3.0), ("c", 2.0), ("b", 1.0)]
+
+    def test_cuts_to_n(self):
+        merged = topn_merge([[("a", 3.0), ("b", 2.0)],
+                             [("c", 2.5)]], n=2)
+        assert merged == [("a", 3.0), ("c", 2.5)]
+
+    def test_ties_break_on_key(self):
+        merged = topn_merge([[("b", 1.0)], [("a", 1.0)]], n=2)
+        assert merged == [("a", 1.0), ("b", 1.0)]
+
+    def test_empty_inputs(self):
+        assert topn_merge([], n=5) == []
+        assert topn_merge([[], []], n=5) == []

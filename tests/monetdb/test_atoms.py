@@ -1,0 +1,109 @@
+"""Atom ADT validation and coercion."""
+
+import pytest
+
+from repro.errors import AtomTypeError
+from repro.monetdb.atoms import ATOM_TYPES, Oid, atom_type, register_atom_type
+
+
+class TestOid:
+    def test_oid_is_int(self):
+        assert Oid(7) == 7
+
+    def test_oid_repr_monet_style(self):
+        assert repr(Oid(123)) == "123@0"
+
+    def test_oid_type_coerces_plain_int(self):
+        assert isinstance(atom_type("oid").coerce(5), Oid)
+
+    def test_oid_rejects_bool(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("oid").coerce(True)
+
+    def test_oid_rejects_string(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("oid").coerce("7")
+
+
+class TestBuiltinTypes:
+    def test_all_builtins_registered(self):
+        assert {"oid", "int", "flt", "str", "bit", "url"} <= set(ATOM_TYPES)
+
+    def test_int_accepts_int(self):
+        assert atom_type("int").coerce(42) == 42
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("int").coerce(False)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("int").coerce(1.5)
+
+    def test_flt_accepts_float(self):
+        assert atom_type("flt").coerce(1.5) == 1.5
+
+    def test_flt_widens_int(self):
+        value = atom_type("flt").coerce(3)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_flt_rejects_bool(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("flt").coerce(True)
+
+    def test_str_accepts_text(self):
+        assert atom_type("str").coerce("hi") == "hi"
+
+    def test_str_rejects_int(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("str").coerce(3)
+
+    def test_bit_accepts_bool(self):
+        assert atom_type("bit").coerce(True) is True
+
+    def test_bit_rejects_int(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("bit").coerce(1)
+
+    def test_url_accepts_scheme(self):
+        assert atom_type("url").coerce("http://x/y") == "http://x/y"
+
+    def test_url_accepts_absolute_path(self):
+        assert atom_type("url").coerce("/media/v0.mpg")
+
+    def test_url_rejects_bare_word(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("url").coerce("word")
+
+    def test_url_rejects_empty(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("url").coerce("")
+
+    def test_accepts_reports_without_raising(self):
+        assert atom_type("int").accepts(3)
+        assert not atom_type("int").accepts("3")
+
+
+class TestRegistry:
+    def test_unknown_type_raises(self):
+        with pytest.raises(AtomTypeError):
+            atom_type("nosuch")
+
+    def test_register_new_type(self):
+        checker = lambda v: v  # noqa: E731
+        new_type = register_atom_type("test_custom_atom", checker)
+        assert atom_type("test_custom_atom") is new_type
+        del ATOM_TYPES["test_custom_atom"]
+
+    def test_register_idempotent_with_same_checker(self):
+        checker = lambda v: v  # noqa: E731
+        first = register_atom_type("test_idem_atom", checker)
+        second = register_atom_type("test_idem_atom", checker)
+        assert first is second
+        del ATOM_TYPES["test_idem_atom"]
+
+    def test_register_conflicting_checker_raises(self):
+        register_atom_type("test_conflict_atom", lambda v: v)
+        with pytest.raises(AtomTypeError):
+            register_atom_type("test_conflict_atom", lambda v: v)
+        del ATOM_TYPES["test_conflict_atom"]

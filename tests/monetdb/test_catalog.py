@@ -1,0 +1,90 @@
+"""Catalog and oid-generation semantics."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.monetdb.catalog import Catalog, OidGenerator
+
+
+class TestOidGenerator:
+    def test_sequence_is_monotone(self):
+        gen = OidGenerator()
+        assert [gen.new() for _ in range(3)] == [0, 1, 2]
+
+    def test_stride_shards_sequences(self):
+        even = OidGenerator(start=0, stride=2)
+        odd = OidGenerator(start=1, stride=2)
+        assert [even.new(), even.new()] == [0, 2]
+        assert [odd.new(), odd.new()] == [1, 3]
+
+    def test_peek_does_not_consume(self):
+        gen = OidGenerator()
+        assert gen.peek() == 0
+        assert gen.new() == 0
+
+    def test_advance_past(self):
+        gen = OidGenerator()
+        gen.advance_past(10)
+        assert gen.new() == 11
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(CatalogError):
+            OidGenerator(stride=0)
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        bat = catalog.create("r", "oid", "str")
+        assert catalog.get("r") is bat
+        assert "r" in catalog
+
+    def test_create_duplicate_raises(self):
+        catalog = Catalog()
+        catalog.create("r", "oid", "str")
+        with pytest.raises(CatalogError):
+            catalog.create("r", "oid", "str")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("missing")
+
+    def test_get_or_none(self):
+        assert Catalog().get_or_none("missing") is None
+
+    def test_ensure_creates_then_reuses(self):
+        catalog = Catalog()
+        first = catalog.ensure("r", "oid", "int")
+        second = catalog.ensure("r", "oid", "int")
+        assert first is second
+        assert len(catalog) == 1
+
+    def test_ensure_type_conflict_raises(self):
+        catalog = Catalog()
+        catalog.ensure("r", "oid", "int")
+        with pytest.raises(CatalogError):
+            catalog.ensure("r", "oid", "str")
+
+    def test_drop(self):
+        catalog = Catalog()
+        catalog.create("r", "oid", "str")
+        catalog.drop("r")
+        assert "r" not in catalog
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop("r")
+
+    def test_names_sorted(self):
+        catalog = Catalog()
+        catalog.create("b", "oid", "str")
+        catalog.create("a", "oid", "str")
+        assert catalog.names() == ["a", "b"]
+
+    def test_total_buns(self):
+        catalog = Catalog()
+        bat = catalog.create("r", "oid", "int")
+        bat.insert(catalog.oids.new(), 1)
+        bat.insert(catalog.oids.new(), 2)
+        assert catalog.total_buns() == 2
+        assert catalog.stats() == {"relations": 1, "buns": 2}

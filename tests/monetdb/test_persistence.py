@@ -1,0 +1,79 @@
+"""Catalog snapshot save/load round-trips."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.catalog import Catalog
+from repro.monetdb.persistence import load_catalog, save_catalog
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    names = catalog.create("names", "oid", "str")
+    names.insert(catalog.oids.new(), "monica")
+    names.insert(catalog.oids.new(), "albrecht")
+    scores = catalog.create("scores", "oid", "flt")
+    scores.insert(Oid(0), 1.5)
+    flags = catalog.create("flags", "oid", "bit")
+    flags.insert(Oid(1), True)
+    return catalog
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_relations(self, catalog, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded.names() == ["flags", "names", "scores"]
+        assert list(loaded.get("names")) == [(0, "monica"), (1, "albrecht")]
+        assert loaded.get("scores").find(Oid(0)) == 1.5
+        assert loaded.get("flags").find(Oid(1)) is True
+
+    def test_round_trip_preserves_oid_types(self, catalog, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert isinstance(loaded.get("names").head[0], Oid)
+
+    def test_oid_sequence_continues_after_load(self, catalog, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        used = catalog.oids.peek()
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded.oids.new() >= used
+
+    def test_empty_catalog_round_trips(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_catalog(Catalog(), path)
+        assert len(load_catalog(path)) == 0
+
+
+class TestErrors:
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("")
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_bad_format_version_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"format": 99, "next_oid": 0}\n')
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_truncated_bat_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text(
+            '{"format": 1, "next_oid": 1}\n'
+            '{"bat": "r", "head": "oid", "tail": "int", "count": 2}\n'
+            '[0, 5]\n')
+        with pytest.raises(CatalogError):
+            load_catalog(path)
+
+    def test_pair_before_header_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"format": 1, "next_oid": 1}\n[0, 5]\n')
+        with pytest.raises(CatalogError):
+            load_catalog(path)

@@ -1,0 +1,103 @@
+"""Property-based tests: BAT operators against a reference model."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monetdb.atoms import Oid
+from repro.monetdb.bat import BAT
+
+_pairs = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(-50, 50)),
+    max_size=40)
+
+
+def _bat_and_model(pairs):
+    bat = BAT("oid", "int", name="model")
+    model: dict[int, list[int]] = defaultdict(list)
+    for head, tail in pairs:
+        bat.insert(Oid(head), tail)
+        model[head].append(tail)
+    return bat, model
+
+
+@settings(max_examples=80)
+@given(_pairs)
+def test_find_all_matches_model(pairs):
+    bat, model = _bat_and_model(pairs)
+    for head in range(21):
+        assert bat.find_all(Oid(head)) == model.get(head, [])
+
+
+@settings(max_examples=80)
+@given(_pairs, st.integers(-50, 50))
+def test_find_heads_matches_model(pairs, needle):
+    bat, model = _bat_and_model(pairs)
+    expected = [head for head, tail in pairs if tail == needle]
+    assert bat.find_heads(needle) == expected
+
+
+@settings(max_examples=80)
+@given(_pairs, st.integers(-50, 50))
+def test_select_tail_matches_model(pairs, needle):
+    bat, _ = _bat_and_model(pairs)
+    expected = [(h, t) for h, t in pairs if t == needle]
+    assert list(bat.select_tail(needle)) == expected
+
+
+@settings(max_examples=80)
+@given(_pairs)
+def test_reverse_is_involution(pairs):
+    bat, _ = _bat_and_model(pairs)
+    assert list(bat.reverse().reverse()) == list(bat)
+
+
+@settings(max_examples=80)
+@given(_pairs, st.integers(0, 20))
+def test_delete_head_matches_model(pairs, doomed):
+    bat, model = _bat_and_model(pairs)
+    removed = bat.delete_head(Oid(doomed))
+    assert removed == len(model.get(doomed, []))
+    assert list(bat) == [(h, t) for h, t in pairs if h != doomed]
+
+
+@settings(max_examples=80)
+@given(_pairs)
+def test_sort_tail_is_stable_permutation(pairs):
+    bat, _ = _bat_and_model(pairs)
+    ordered = list(bat.sort_tail())
+    assert sorted(t for _, t in pairs) == [t for _, t in ordered]
+    assert sorted(ordered) == sorted(pairs)  # a permutation
+
+
+@settings(max_examples=80)
+@given(_pairs)
+def test_group_sum_matches_model(pairs):
+    bat, model = _bat_and_model(pairs)
+    sums = dict(bat.group_sum())
+    assert sums == {head: sum(tails) for head, tails in model.items()}
+
+
+@settings(max_examples=80)
+@given(_pairs, _pairs)
+def test_join_matches_nested_loop(left_pairs, right_pairs):
+    left = BAT("oid", "int")
+    for head, tail in left_pairs:
+        left.insert(Oid(head), tail)
+    right = BAT("int", "str")
+    for head, tail in right_pairs:
+        right.insert(head, str(tail))
+    expected = [(Oid(lh), str(rt))
+                for lh, lt in left_pairs
+                for rh, rt in right_pairs if lt == rh]
+    assert sorted(left.join(right)) == sorted(expected)
+
+
+@settings(max_examples=80)
+@given(_pairs, st.integers(0, 5))
+def test_topn_matches_sorted_prefix(pairs, n):
+    bat, _ = _bat_and_model(pairs)
+    top = list(bat.topn(n))
+    tails = sorted((t for _, t in pairs), reverse=True)[:n]
+    assert [t for _, t in top] == tails

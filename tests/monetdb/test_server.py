@@ -1,0 +1,73 @@
+"""Server and shared-nothing cluster semantics."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.monetdb.server import Cluster, MonetServer
+
+
+class TestServer:
+    def test_cost_accounting(self):
+        server = MonetServer("n0")
+        server.charge(5)
+        server.charge(7)
+        assert server.tuples_touched == 12
+        server.reset_accounting()
+        assert server.tuples_touched == 0
+
+
+class TestCluster:
+    def test_size_validated(self):
+        with pytest.raises(CatalogError):
+            Cluster(0)
+
+    def test_servers_get_disjoint_oid_sequences(self):
+        cluster = Cluster(3)
+        oids = [server.catalog.oids.new() for server in cluster
+                for _ in range(2)]
+        assert len(set(oids)) == len(oids)
+
+    def test_placement_is_deterministic(self):
+        cluster = Cluster(4)
+        first = cluster.place("http://x/doc1").name
+        assert all(cluster.place("http://x/doc1").name == first
+                   for _ in range(5))
+
+    def test_placement_spreads_documents(self):
+        cluster = Cluster(4)
+        names = {cluster.place(f"http://x/doc{i}").name for i in range(50)}
+        assert len(names) == 4
+
+    def test_int_keys_place_by_modulo(self):
+        cluster = Cluster(3)
+        assert cluster.place(7).name == cluster.servers[1].name
+
+    def test_custom_placement(self):
+        cluster = Cluster(2, placement=lambda key: 1)
+        assert cluster.place("anything").name == cluster.servers[1].name
+
+    def test_placement_out_of_range_raises(self):
+        cluster = Cluster(2, placement=lambda key: 9)
+        with pytest.raises(CatalogError):
+            cluster.place("x")
+
+    def test_unplaceable_key_raises(self):
+        with pytest.raises(CatalogError):
+            Cluster(2).place(3.14)
+
+    def test_scatter_partitions_items(self):
+        cluster = Cluster(2)
+        parts = cluster.scatter([(i, f"payload{i}") for i in range(6)])
+        total = sum(len(items) for items in parts.values())
+        assert total == 6
+        assert set(parts) == {"node0", "node1"}
+
+    def test_cluster_accounting(self):
+        cluster = Cluster(2)
+        cluster.servers[0].charge(10)
+        cluster.servers[1].charge(4)
+        assert cluster.total_tuples_touched() == 14
+        assert cluster.max_tuples_touched() == 10
+        assert cluster.accounting() == {"node0": 10, "node1": 4}
+        cluster.reset_accounting()
+        assert cluster.total_tuples_touched() == 0

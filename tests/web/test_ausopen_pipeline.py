@@ -1,0 +1,131 @@
+"""Site generator, crawler and re-engineering: the conceptual pipeline."""
+
+import pytest
+
+from repro.web.ausopen import build_ausopen_site
+from repro.web.crawler import crawl
+from repro.web.reengineer import reengineer_site
+from repro.webspace.retriever import retrieve_objects
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_ausopen_site(players=12, articles=9, videos=4,
+                              frames_per_shot=6)
+
+
+@pytest.fixture(scope="module")
+def crawled(site):
+    server, _ = site
+    return crawl(server)
+
+
+@pytest.fixture(scope="module")
+def graph(site, crawled):
+    _, truth = site
+    schema = australian_open_schema()
+    documents = reengineer_site(schema, crawled.pages)
+    return retrieve_objects(schema, documents), truth
+
+
+class TestSiteGenerator:
+    def test_deterministic(self):
+        first_server, first_truth = build_ausopen_site(players=6,
+                                                       videos=2,
+                                                       frames_per_shot=4)
+        second_server, second_truth = build_ausopen_site(players=6,
+                                                         videos=2,
+                                                         frames_per_shot=4)
+        assert first_server.urls() == second_server.urls()
+        assert [p.name for p in first_truth.players] \
+            == [p.name for p in second_truth.players]
+
+    def test_seles_is_the_guaranteed_witness(self, site):
+        _, truth = site
+        seles = truth.player("monica-seles")
+        assert seles.gender == "female"
+        assert seles.plays == "left"
+        assert seles.is_champion
+        assert ("monica-seles", "v0") in truth.mixed_query_answer()
+
+    def test_video_payloads_have_netplay_truth(self, site):
+        server, truth = site
+        for video in truth.videos:
+            payload = server.get(video.media_path).payload
+            assert bool(payload.truth.netplay_shots) == video.netplay
+
+    def test_champion_history_mentions_winner(self, site):
+        _, truth = site
+        for player in truth.players:
+            assert ("Winner" in player.history) == player.is_champion
+
+
+class TestCrawler:
+    def test_no_dead_links(self, crawled):
+        assert crawled.dead_links == []
+
+    def test_finds_all_pages_and_media(self, site, crawled):
+        server, truth = site
+        html_pages = (len(truth.players) + len(truth.articles)
+                      + len(truth.videos) + 4)  # 3 listings + index
+        assert len(crawled.pages) == html_pages
+        assert len(crawled.media) == len(server) - html_pages
+
+    def test_stays_inside_domain(self, site, crawled):
+        server, _ = site
+        assert all(url.startswith(server.domain)
+                   for url in crawled.visited)
+
+    def test_max_pages_cap(self, site):
+        server, _ = site
+        partial = crawl(server, max_pages=3)
+        assert len(partial.pages) == 3
+
+
+class TestReengineering:
+    def test_every_player_reconstructed(self, graph):
+        object_graph, truth = graph
+        for player in truth.players:
+            obj = object_graph.object("Player", player.key)
+            assert obj.get("name") == player.name
+            assert obj.get("gender") == player.gender
+            assert obj.get("plays") == player.plays
+            assert obj.get("country") == player.country
+            assert obj.get("history") == player.history
+
+    def test_picture_references_absolute(self, graph):
+        object_graph, truth = graph
+        obj = object_graph.object("Player", "monica-seles")
+        assert obj.get("picture").startswith("http://")
+
+    def test_articles_and_about_associations(self, graph):
+        object_graph, truth = graph
+        for article in truth.articles:
+            obj = object_graph.object("Article", article.key)
+            assert obj.get("title") == article.title
+            assert object_graph.related("About", article.key) \
+                == sorted(article.about)
+
+    def test_videos_and_features_associations(self, graph):
+        object_graph, truth = graph
+        for video in truth.videos:
+            obj = object_graph.object("Video", video.key)
+            assert obj.get("video").endswith(video.media_path)
+            assert object_graph.related("Features", video.key) \
+                == sorted(video.players)
+
+    def test_profiles_created(self, graph):
+        object_graph, truth = graph
+        assert len(object_graph.objects_of("Profile")) \
+            == len(truth.players)
+        related = object_graph.related("Is_covered_in", "monica-seles")
+        assert related == ["profile:monica-seles"]
+
+    def test_navigation_pages_skipped(self, site, crawled):
+        server, truth = site
+        schema = australian_open_schema()
+        documents = reengineer_site(schema, crawled.pages)
+        semantic_pages = (len(truth.players) + len(truth.articles)
+                          + len(truth.videos))
+        assert len(documents) == semantic_pages

@@ -1,0 +1,72 @@
+"""Crawler edge cases: cycles, dead links, domain fences."""
+
+from repro.web.crawler import crawl
+from repro.web.site import SimulatedWebServer
+
+
+def _page(*links, body="text"):
+    anchors = "".join(f'<a href="{link}">x</a>' for link in links)
+    return f"<html><body><p>{body}</p>{anchors}</body></html>"
+
+
+class TestCycles:
+    def test_cyclic_links_terminate(self):
+        server = SimulatedWebServer("http://cyc.example")
+        server.add_page("index.html", _page("/a.html"))
+        server.add_page("a.html", _page("/b.html"))
+        server.add_page("b.html", _page("/a.html", "/index.html"))
+        result = crawl(server)
+        assert len(result.pages) == 3
+
+    def test_self_link(self):
+        server = SimulatedWebServer("http://cyc.example")
+        server.add_page("index.html", _page("/index.html"))
+        result = crawl(server)
+        assert len(result.pages) == 1
+
+
+class TestDeadLinksAndFences:
+    def test_dead_links_recorded_not_fatal(self):
+        server = SimulatedWebServer("http://d.example")
+        server.add_page("index.html", _page("/gone.html", "/a.html"))
+        server.add_page("a.html", _page())
+        result = crawl(server)
+        assert result.dead_links == ["http://d.example/gone.html"]
+        assert len(result.pages) == 2
+
+    def test_external_links_not_followed(self):
+        server = SimulatedWebServer("http://in.example")
+        server.add_page("index.html",
+                        _page("http://out.example/else.html", "/a.html"))
+        server.add_page("a.html", _page())
+        result = crawl(server)
+        assert len(result.pages) == 2
+        assert all(url.startswith("http://in.example")
+                   for url in result.visited)
+
+    def test_missing_seed_is_a_dead_link(self):
+        server = SimulatedWebServer("http://e.example")
+        result = crawl(server, seed="nowhere.html")
+        assert result.pages == []
+        assert result.dead_links == ["http://e.example/nowhere.html"]
+
+
+class TestMediaSeparation:
+    def test_media_resources_not_parsed_as_html(self):
+        server = SimulatedWebServer("http://m.example")
+        server.add_page("index.html", _page("/v.mpg", "/i.jpg", "/a.html"))
+        server.add_page("a.html", _page())
+        server.add_media("v.mpg", ("video", "mpeg"), payload="raw")
+        server.add_media("i.jpg", ("image", "jpeg"), payload="raw")
+        result = crawl(server)
+        assert len(result.pages) == 2
+        assert sorted(r.mime for r in result.media) \
+            == [("image", "jpeg"), ("video", "mpeg")]
+
+    def test_media_visited_once_despite_multiple_links(self):
+        server = SimulatedWebServer("http://m.example")
+        server.add_page("index.html", _page("/v.mpg", "/a.html"))
+        server.add_page("a.html", _page("/v.mpg"))
+        server.add_media("v.mpg", ("video", "mpeg"))
+        result = crawl(server)
+        assert len(result.media) == 1

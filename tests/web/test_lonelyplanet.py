@@ -1,0 +1,115 @@
+"""The Lonely Planet case study: flexibility of the architecture."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.web.crawler import crawl
+from repro.web.lonelyplanet import (build_lonelyplanet_site,
+                                    lonely_planet_schema,
+                                    reengineer_lonelyplanet)
+from repro.webspace.retriever import retrieve_objects
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_lonelyplanet_site()
+
+
+@pytest.fixture(scope="module")
+def engine(site):
+    server, _ = site
+    engine = SearchEngine(lonely_planet_schema(), server,
+                          EngineConfig(fragment_count=2),
+                          extractor=reengineer_lonelyplanet)
+    engine.populate()
+    return engine
+
+
+class TestSchemaAndExtraction:
+    def test_schema_builds(self):
+        schema = lonely_planet_schema()
+        assert set(schema.classes) == {"Destination", "Region", "Activity"}
+        assert schema.association("Located_in").target == "Region"
+
+    def test_extraction_recovers_ground_truth(self, site):
+        server, truth = site
+        schema = lonely_planet_schema()
+        documents = reengineer_lonelyplanet(schema,
+                                            crawl(server).pages)
+        graph = retrieve_objects(schema, documents)
+        for destination in truth.destinations:
+            obj = graph.object("Destination", destination.key)
+            assert obj.get("name") == destination.name
+            assert obj.get("country") == destination.country
+            assert obj.get("description") == destination.description
+            assert graph.related("Located_in", destination.key) \
+                == [destination.region_key]
+            assert graph.related("Offers", destination.key) \
+                == sorted(destination.activity_keys)
+        for region in truth.regions:
+            assert graph.object("Region", region.key).get("climate") \
+                == region.climate
+
+
+class TestSameEngineDifferentDomain:
+    def test_conceptual_query(self, engine, site):
+        _, truth = site
+        result = engine.query_text(
+            "SELECT d.name FROM Destination d "
+            "WHERE d.country = 'Tanzania' TOP 20")
+        expected = sorted(d.name for d in truth.destinations
+                          if d.country == "Tanzania")
+        assert sorted(result.column("d.name")) == expected
+
+    def test_cross_document_join(self, engine, site):
+        _, truth = site
+        result = engine.query_text("""
+            SELECT d.name FROM Destination d, Region r
+            WHERE d Located_in r AND r.climate = 'alpine'
+            TOP 20
+        """)
+        names = {d.name for d in truth.destinations
+                 if d.region_key == "andes"}
+        assert set(result.column("d.name")) == names
+
+    def test_content_based_query(self, engine, site):
+        _, truth = site
+        result = engine.query_text("""
+            SELECT d.name FROM Destination d
+            WHERE d.description CONTAINS 'trek' TOP 20
+        """)
+        trekky = {d.name for d in truth.destinations
+                  if "trek" in d.description.lower()}
+        assert set(result.column("d.name")) == trekky
+
+    def test_three_way_join(self, engine, site):
+        """Destinations in a tropical region offering diving."""
+        _, truth = site
+        result = engine.query_text("""
+            SELECT d.name FROM Destination d, Region r, Activity a
+            WHERE d Located_in r AND d Offers a
+              AND r.climate = 'tropical' AND a.name = 'Diving'
+            TOP 20
+        """)
+        expected = {d.name for d in truth.destinations
+                    if d.region_key == "south-east-asia"
+                    and "diving" in d.activity_keys}
+        assert set(result.column("d.name")) == expected
+
+    def test_mixed_conceptual_and_content(self, engine, site):
+        """The Fig 13 pattern in the travel domain: a structural join
+        plus ranked text search, in one query."""
+        _, truth = site
+        result = engine.query_text("""
+            SELECT d.name, r.name FROM Destination d, Region r
+            WHERE d Located_in r
+              AND d.description CONTAINS 'reef diving beaches'
+              AND r.climate = 'tropical'
+            TOP 5
+        """)
+        assert result.rows
+        assert all(row.value("r.name") == "South-East Asia"
+                   for row in result.rows)
+        scores = [row.score for row in result.rows]
+        assert scores == sorted(scores, reverse=True)

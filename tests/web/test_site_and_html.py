@@ -1,0 +1,99 @@
+"""Simulated server and HTML parser."""
+
+import pytest
+
+from repro.errors import WebError
+from repro.web.html import (extract_links, extract_text, find_by_class,
+                            find_by_id, parse_html)
+from repro.web.site import SimulatedWebServer
+
+
+class TestServer:
+    def test_absolute_resolution(self):
+        server = SimulatedWebServer("http://ex.org")
+        assert server.absolute("a/b.html") == "http://ex.org/a/b.html"
+        assert server.absolute("/a.html") == "http://ex.org/a.html"
+        assert server.absolute("http://other/x") == "http://other/x"
+
+    def test_pages_and_media(self):
+        server = SimulatedWebServer()
+        url = server.add_page("p.html", "<html><body>hi</body></html>")
+        server.add_media("v.mpg", ("video", "mpeg"), payload=123)
+        assert url in server
+        assert server.get("p.html").body.startswith("<html>")
+        assert server.get("v.mpg").payload == 123
+
+    def test_head_returns_mime_headers(self):
+        server = SimulatedWebServer()
+        server.add_media("v.mpg", ("video", "mpeg"), last_modified=42)
+        headers = server.head("v.mpg")
+        assert headers["Content-Type"] == "video/mpeg"
+        assert headers["Last-Modified"] == "42"
+
+    def test_touch_updates_stamp(self):
+        server = SimulatedWebServer()
+        server.add_page("p.html", "<html></html>", last_modified=1)
+        server.touch("p.html", 9)
+        assert server.head("p.html")["Last-Modified"] == "9"
+
+    def test_missing_resource_raises(self):
+        with pytest.raises(WebError):
+            SimulatedWebServer().get("nope.html")
+
+    def test_request_counter(self):
+        server = SimulatedWebServer()
+        server.add_page("p.html", "<html></html>")
+        server.get("p.html")
+        server.head("p.html")
+        assert server.requests == 2
+
+
+class TestHtmlParser:
+    def test_basic_structure(self):
+        page = parse_html("<html><body><h1>T</h1><p>text</p></body></html>")
+        assert page.tag == "html"
+        assert extract_text(page) == "T text"
+
+    def test_void_elements_do_not_nest(self):
+        page = parse_html("<html><body><img src='a.jpg'><p>after</p>"
+                          "</body></html>")
+        body = page.find("body")
+        assert [c.tag for c in body.element_children()] == ["img", "p"]
+
+    def test_case_insensitive_tags(self):
+        page = parse_html("<HTML><BODY><H1>x</H1></BODY></HTML>")
+        assert page.find("body") is not None
+
+    def test_unquoted_attributes(self):
+        page = parse_html("<html><a href=/x.html>link</a></html>")
+        anchor = page.find("a")
+        assert anchor.attributes["href"] == "/x.html"
+
+    def test_autoclose_paragraphs(self):
+        page = parse_html("<html><p>one<p>two</html>")
+        assert len(page.find_all("p")) == 2
+        assert page.find_all("p")[0].text() == "one"
+
+    def test_mismatched_close_forgiven(self):
+        page = parse_html("<html><div><b>x</div></html>")
+        assert extract_text(page) == "x"
+
+    def test_comments_and_doctype_skipped(self):
+        page = parse_html("<!DOCTYPE html><!-- c --><html><p>x</p></html>")
+        assert extract_text(page) == "x"
+
+    def test_entities_decoded(self):
+        page = parse_html("<html><p>a &amp; b</p></html>")
+        assert extract_text(page) == "a & b"
+
+    def test_extract_links_href_and_src(self):
+        page = parse_html('<html><a href="/a.html">x</a>'
+                          '<img src="/i.jpg"></html>')
+        assert extract_links(page) == ["/a.html", "/i.jpg"]
+
+    def test_find_by_id_and_class(self):
+        page = parse_html('<html><div id="history">h</div>'
+                          '<td class="gender x">f</td></html>')
+        assert find_by_id(page, "history").text() == "h"
+        assert find_by_class(page, "gender")[0].text() == "f"
+        assert find_by_id(page, "none") is None

@@ -1,0 +1,144 @@
+"""The webspace authoring tool."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.webspace.authoring import (WebspaceAuthor, author_documents,
+                                      validate_coverage)
+from repro.webspace.objects import AssociationInstance, ObjectGraph, WebObject
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture
+def schema():
+    return australian_open_schema()
+
+
+@pytest.fixture
+def graph(schema):
+    graph = ObjectGraph(schema)
+    graph.add_object(WebObject("Player", "seles", {
+        "name": "Monica Seles", "gender": "female"}))
+    graph.add_object(WebObject("Player", "novak", {
+        "name": "Talia Novak", "gender": "female"}))
+    graph.add_object(WebObject("Article", "a1", {"title": "Day 1"}))
+    graph.add_object(WebObject("Video", "v1", {"title": "Highlights"}))
+    graph.add_association(AssociationInstance("About", "a1", "seles"))
+    graph.add_association(AssociationInstance("Features", "v1", "seles"))
+    graph.add_association(AssociationInstance("Features", "v1", "novak"))
+    return graph
+
+
+class TestGuidedAuthoring:
+    def test_full_flow(self, schema):
+        author = WebspaceAuthor(schema)
+        author.open_document("http://x/seles.html") \
+            .put("Player", "seles", name="Monica Seles",
+                 gender="female") \
+            .put("Profile", "profile:seles", document="http://x/s.html") \
+            .relate("Is_covered_in", "seles", "profile:seles") \
+            .close_document()
+        author.open_document("http://x/a1.html") \
+            .put("Article", "a1", title="Day 1") \
+            .put("Player", "seles") \
+            .relate("About", "a1", "seles") \
+            .close_document()
+        merged = author.graph()
+        assert merged.object("Player", "seles").get("name") \
+            == "Monica Seles"
+        assert merged.related("About", "a1") == ["seles"]
+
+    def test_put_requires_open_document(self, schema):
+        with pytest.raises(SchemaError):
+            WebspaceAuthor(schema).put("Player", "x")
+
+    def test_unknown_attribute_rejected(self, schema):
+        author = WebspaceAuthor(schema).open_document("d")
+        with pytest.raises(SchemaError):
+            author.put("Player", "x", ranking=1)
+
+    def test_nested_open_rejected(self, schema):
+        author = WebspaceAuthor(schema).open_document("d")
+        with pytest.raises(SchemaError):
+            author.open_document("d2")
+
+    def test_empty_document_rejected(self, schema):
+        author = WebspaceAuthor(schema).open_document("d")
+        with pytest.raises(SchemaError):
+            author.close_document()
+
+    def test_duplicate_document_id_rejected(self, schema):
+        author = WebspaceAuthor(schema)
+        author.open_document("d").put("Player", "x").close_document()
+        with pytest.raises(SchemaError):
+            author.open_document("d")
+
+
+class TestBatchAuthoring:
+    @pytest.mark.parametrize("strategy", ["per-object", "per-class"])
+    def test_strategies_cover_the_graph(self, graph, strategy):
+        documents = author_documents(graph, strategy)
+        report = validate_coverage(graph, documents)
+        assert report.complete, (report.missing_objects,
+                                 report.missing_attributes,
+                                 report.missing_associations)
+
+    def test_per_object_documents_overlap(self, graph):
+        """The paper's point: views share objects."""
+        documents = author_documents(graph, "per-object")
+        seen: dict[str, int] = {}
+        for document in documents:
+            for obj in document.objects:
+                seen[obj.key] = seen.get(obj.key, 0) + 1
+        assert seen["seles"] >= 3  # own page + article stub + video stub
+
+    def test_per_class_is_a_partition(self, graph):
+        documents = author_documents(graph, "per-class")
+        # every object materialised exactly once
+        keys = [obj.key for document in documents
+                for obj in document.objects]
+        assert len(keys) == len(set(keys))
+
+    def test_unknown_strategy_rejected(self, graph):
+        with pytest.raises(SchemaError):
+            author_documents(graph, "per-page")
+
+    def test_round_trip_through_the_store(self, schema, graph):
+        """Authored views shred, store and retrieve identically."""
+        from repro.webspace.documents import document_to_xml
+        from repro.webspace.retriever import retrieve_from_xml
+        from repro.xmlstore.store import XmlStore
+
+        documents = author_documents(graph, "per-object")
+        store = XmlStore()
+        for document in documents:
+            store.insert(document.doc_id, document_to_xml(schema, document))
+        roots = [store.reconstruct(key) for key in store.document_keys()]
+        merged = retrieve_from_xml(schema, roots)
+        assert merged.object("Player", "seles").get("name") \
+            == "Monica Seles"
+        assert merged.related("Features", "v1") == ["novak", "seles"]
+
+
+class TestCoverageValidation:
+    def test_detects_missing_object(self, graph):
+        documents = author_documents(graph, "per-object")
+        documents = [d for d in documents
+                     if d.doc_id != "doc:Video:v1"]
+        report = validate_coverage(graph, documents)
+        assert ("Video", "v1") in report.missing_objects
+        assert not report.complete
+
+    def test_detects_missing_attribute(self, schema, graph):
+        from repro.webspace.documents import WebspaceDocument
+        thin = [WebspaceDocument("only-keys")]
+        thin[0].objects = [WebObject("Player", "seles")]
+        report = validate_coverage(graph, thin)
+        assert ("Player", "seles", "name") in report.missing_attributes
+
+    def test_detects_missing_association(self, graph):
+        documents = author_documents(graph, "per-class")
+        documents = [d for d in documents if d.doc_id != "doc:associations"]
+        report = validate_coverage(graph, documents)
+        assert AssociationInstance("About", "a1", "seles") \
+            in report.missing_associations

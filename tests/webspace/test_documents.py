@@ -1,0 +1,111 @@
+"""Materialized views: XML authoring and parsing."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.webspace.documents import (WebspaceDocument, document_from_xml,
+                                      document_to_xml)
+from repro.webspace.objects import AssociationInstance, WebObject
+from repro.webspace.schema import australian_open_schema
+from repro.xmlstore.sax import parse_document
+from repro.xmlstore.writer import serialize
+
+
+@pytest.fixture
+def schema():
+    return australian_open_schema()
+
+
+@pytest.fixture
+def document():
+    return WebspaceDocument(
+        "http://x/seles.html",
+        objects=[
+            WebObject("Player", "monica-seles", {
+                "name": "Monica Seles", "gender": "female",
+                "plays": "left", "history": "Winner of the Open.",
+                "picture": "http://x/img/seles.jpg"}),
+            WebObject("Profile", "profile:monica-seles",
+                      {"document": "http://x/seles.html"}),
+        ],
+        associations=[AssociationInstance(
+            "Is_covered_in", "monica-seles", "profile:monica-seles")])
+
+
+class TestAuthoring:
+    def test_structure_mirrors_schema(self, schema, document):
+        xml = document_to_xml(schema, document)
+        assert xml.tag == "webspace"
+        assert xml.attributes["schema"] == "australian-open"
+        player = xml.find("Player")
+        assert player.attributes["id"] == "monica-seles"
+        assert player.find("name").text() == "Monica Seles"
+
+    def test_multimedia_types_annotated(self, schema, document):
+        xml = document_to_xml(schema, document)
+        player = xml.find("Player")
+        assert player.find("history").attributes["type"] == "Hypertext"
+        assert player.find("picture").attributes["type"] == "Image"
+
+    def test_by_reference_attributes_use_href(self, schema, document):
+        xml = document_to_xml(schema, document)
+        picture = xml.find("Player").find("picture")
+        assert picture.attributes["href"] == "http://x/img/seles.jpg"
+        assert picture.text() == ""
+
+    def test_associations_rendered(self, schema, document):
+        xml = document_to_xml(schema, document)
+        assoc = xml.find("Is_covered_in")
+        assert assoc.attributes == {"source": "monica-seles",
+                                    "target": "profile:monica-seles"}
+
+    def test_missing_attributes_omitted(self, schema, document):
+        xml = document_to_xml(schema, document)
+        assert xml.find("Player").find("country") is None
+
+
+class TestRoundTrip:
+    def test_to_xml_and_back(self, schema, document):
+        xml = document_to_xml(schema, document)
+        parsed = document_from_xml(schema, xml)
+        assert parsed.doc_id == document.doc_id
+        original = document.objects[0]
+        restored = parsed.objects[0]
+        assert restored.cls == original.cls
+        assert restored.key == original.key
+        assert restored.attributes == original.attributes
+        assert parsed.associations == document.associations
+
+    def test_round_trip_through_serialisation(self, schema, document):
+        xml = document_to_xml(schema, document)
+        reparsed = parse_document(serialize(xml))
+        restored = document_from_xml(schema, reparsed)
+        assert restored.objects[0].attributes \
+            == document.objects[0].attributes
+
+
+class TestValidation:
+    def test_wrong_root_rejected(self, schema):
+        from repro.xmlstore.model import element
+        with pytest.raises(SchemaError):
+            document_from_xml(schema, element("site"))
+
+    def test_wrong_schema_name_rejected(self, schema):
+        from repro.xmlstore.model import element
+        bad = element("webspace", {"schema": "lonely-planet"})
+        with pytest.raises(SchemaError):
+            document_from_xml(schema, bad)
+
+    def test_object_without_id_rejected(self, schema):
+        from repro.xmlstore.model import element
+        bad = element("webspace", {"schema": "australian-open"},
+                      element("Player"))
+        with pytest.raises(SchemaError):
+            document_from_xml(schema, bad)
+
+    def test_unknown_concept_rejected(self, schema):
+        from repro.xmlstore.model import element
+        bad = element("webspace", {"schema": "australian-open"},
+                      element("Umpire", {"id": "u1"}))
+        with pytest.raises(SchemaError):
+            document_from_xml(schema, bad)

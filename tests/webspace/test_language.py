@@ -1,0 +1,106 @@
+"""The textual conceptual query language."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webspace.language import parse_query
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture
+def schema():
+    return australian_open_schema()
+
+
+class TestParsing:
+    def test_headline_query(self, schema):
+        query = parse_query(schema, """
+            SELECT p.name, v.title
+            FROM Player p, Video v
+            WHERE p.gender = 'female'
+              AND p.plays = 'left'
+              AND p.history CONTAINS 'Winner'
+              AND v Features p
+              AND v.video EVENT netplay
+            TOP 10
+        """)
+        assert [b.cls for b in query.bindings] == ["Player", "Video"]
+        assert len(query.attribute_predicates) == 2
+        assert query.content_predicates[0].text == "Winner"
+        assert query.event_predicates[0].event == "netplay"
+        assert query.joins[0].association == "Features"
+        assert query.limit == 10
+        assert query.projections == [("p", "name"), ("v", "title")]
+
+    def test_minimal_query(self, schema):
+        query = parse_query(schema, "SELECT p.name FROM Player p")
+        assert query.limit == 10  # default
+        assert not query.attribute_predicates
+
+    def test_keywords_case_insensitive(self, schema):
+        query = parse_query(schema,
+                            "select p.name from Player p where "
+                            "p.plays = 'left' top 5")
+        assert query.limit == 5
+
+    def test_double_quoted_strings(self, schema):
+        query = parse_query(schema, 'SELECT p.name FROM Player p WHERE '
+                                    'p.name = "Monica Seles"')
+        assert query.attribute_predicates[0].value == "Monica Seles"
+
+    def test_comparison_operators_translate(self, schema):
+        query = parse_query(schema, "SELECT p.name FROM Player p WHERE "
+                                    "p.name != 'X' AND p.country >= 'A'")
+        ops = [pred.op for pred in query.attribute_predicates]
+        assert ops == ["!=", ">="]
+
+    def test_join_condition(self, schema):
+        query = parse_query(schema, """
+            SELECT a.title FROM Article a, Player p
+            WHERE a About p AND p.name = 'Monica Seles'
+        """)
+        assert query.joins[0].source_alias == "a"
+        assert query.joins[0].target_alias == "p"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT",
+        "SELECT p.name",                              # no FROM
+        "SELECT p.name FROM Umpire u",                # unknown class
+        "SELECT p.name FROM Player p WHERE p.name",   # dangling predicate
+        "SELECT p.name FROM Player p WHERE p.name LIKE 'x'",
+        "SELECT p.name FROM Player p TOP",            # missing number
+        "SELECT p.name FROM Player p extra",          # trailing tokens
+        "SELECT p.name FROM Player p WHERE p.history CONTAINS Winner",
+        "SELECT p.name FROM Player p WHERE p.name = 'unterminated",
+    ])
+    def test_rejects_malformed(self, schema, bad):
+        with pytest.raises((QueryError, ValueError)):
+            parse_query(schema, bad)
+
+    def test_disconnected_query_rejected(self, schema):
+        with pytest.raises(QueryError):
+            parse_query(schema,
+                        "SELECT p.name FROM Player p, Article a")
+
+
+class TestExecutionEquivalence:
+    def test_text_and_builder_agree(self):
+        from repro.core import EngineConfig, SearchEngine
+        from repro.web import build_ausopen_site
+
+        server, truth = build_ausopen_site(players=8, articles=4,
+                                           videos=3, frames_per_shot=6)
+        engine = SearchEngine(australian_open_schema(), server,
+                              EngineConfig())
+        engine.populate()
+
+        text_result = engine.query_text(
+            "SELECT p.name FROM Player p WHERE p.plays = 'left' TOP 50")
+        builder_result = engine.query(
+            engine.new_query().from_class("p", "Player")
+            .where("p.plays", "==", "left").select("p.name").top(50))
+        assert text_result.column("p.name") \
+            == builder_result.column("p.name")

@@ -1,0 +1,112 @@
+"""Conceptual query construction and validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webspace.query import WebspaceQuery
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture
+def schema():
+    return australian_open_schema()
+
+
+class TestBuilder:
+    def test_headline_query_builds(self, schema):
+        query = (WebspaceQuery(schema)
+                 .from_class("p", "Player")
+                 .where("p.gender", "==", "female")
+                 .where("p.plays", "==", "left")
+                 .contains("p.history", "Winner")
+                 .from_class("v", "Video")
+                 .join("Features", "v", "p")
+                 .video_event("v.video", "netplay")
+                 .select("p.name", "v.title"))
+        query.validate()
+        assert len(query.bindings) == 2
+        assert len(query.attribute_predicates) == 2
+        assert len(query.content_predicates) == 1
+        assert len(query.event_predicates) == 1
+
+    def test_alias_bound_twice_rejected(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.from_class("p", "Article")
+
+    def test_unknown_class_rejected(self, schema):
+        with pytest.raises(QueryError):
+            WebspaceQuery(schema).from_class("u", "Umpire")
+
+    def test_unknown_attribute_rejected(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.where("p.ranking", "==", 1)
+
+    def test_unbound_alias_rejected(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.where("x.name", "==", "A")
+
+    def test_bad_operator_rejected(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.where("p.name", "~=", "A")
+
+    def test_path_without_dot_rejected(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.where("name", "==", "A")
+
+    def test_contains_requires_hypertext(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.contains("p.name", "text")  # varchar, not Hypertext
+        with pytest.raises(QueryError):
+            query.contains("p.picture", "text")  # Image is by-reference
+
+    def test_video_event_requires_video(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.video_event("p.picture", "netplay")
+
+    def test_join_direction_checked(self, schema):
+        query = (WebspaceQuery(schema)
+                 .from_class("p", "Player")
+                 .from_class("a", "Article"))
+        with pytest.raises(QueryError):
+            query.join("About", "p", "a")  # About goes Article -> Player
+        query.join("About", "a", "p")
+
+    def test_top_validated(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.top(0)
+        assert query.top(5).limit == 5
+
+
+class TestValidation:
+    def test_no_bindings_invalid(self, schema):
+        with pytest.raises(QueryError):
+            WebspaceQuery(schema).validate()
+
+    def test_no_projection_invalid(self, schema):
+        query = WebspaceQuery(schema).from_class("p", "Player")
+        with pytest.raises(QueryError):
+            query.validate()
+
+    def test_disconnected_bindings_invalid(self, schema):
+        query = (WebspaceQuery(schema)
+                 .from_class("p", "Player")
+                 .from_class("a", "Article")
+                 .select("p.name", "a.title"))
+        with pytest.raises(QueryError):
+            query.validate()
+
+    def test_connected_bindings_valid(self, schema):
+        query = (WebspaceQuery(schema)
+                 .from_class("p", "Player")
+                 .from_class("a", "Article")
+                 .join("About", "a", "p")
+                 .select("p.name"))
+        query.validate()

@@ -1,0 +1,107 @@
+"""Webspace schema and object graph."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.webspace.objects import (AssociationInstance, ObjectGraph,
+                                    WebObject)
+from repro.webspace.schema import WebspaceSchema, australian_open_schema
+
+
+class TestSchema:
+    def test_fig3_schema_builds(self):
+        schema = australian_open_schema()
+        assert set(schema.classes) == {"Player", "Article", "Profile",
+                                       "Video"}
+        assert schema.cls("Player").attribute("history").name == "Hypertext"
+        assert schema.cls("Video").attribute("video").name == "Video"
+        assert schema.association("About").source == "Article"
+        assert schema.association("About").target == "Player"
+
+    def test_multimedia_attributes(self):
+        schema = australian_open_schema()
+        multimedia = schema.cls("Player").multimedia_attributes()
+        assert set(multimedia) == {"history", "picture", "interview"}
+        assert not multimedia["history"].by_reference
+        assert multimedia["picture"].by_reference
+        assert multimedia["interview"].by_reference
+
+    def test_duplicate_class_rejected(self):
+        schema = WebspaceSchema("s")
+        schema.add_class("A", {"x": "varchar"})
+        with pytest.raises(SchemaError):
+            schema.add_class("A", {"x": "varchar"})
+
+    def test_unknown_attribute_type_rejected(self):
+        schema = WebspaceSchema("s")
+        with pytest.raises(SchemaError):
+            schema.add_class("A", {"x": "blob"})
+
+    def test_association_needs_known_classes(self):
+        schema = WebspaceSchema("s")
+        schema.add_class("A", {})
+        with pytest.raises(SchemaError):
+            schema.add_association("rel", "A", "B")
+
+    def test_empty_schema_invalid(self):
+        with pytest.raises(SchemaError):
+            WebspaceSchema("s").validate()
+
+    def test_unknown_lookups_raise(self):
+        schema = australian_open_schema()
+        with pytest.raises(SchemaError):
+            schema.cls("Umpire")
+        with pytest.raises(SchemaError):
+            schema.association("Coaches")
+        with pytest.raises(SchemaError):
+            schema.cls("Player").attribute("ranking")
+
+
+class TestObjectGraph:
+    @pytest.fixture
+    def graph(self):
+        return ObjectGraph(australian_open_schema())
+
+    def test_add_and_fetch(self, graph):
+        graph.add_object(WebObject("Player", "p1", {"name": "A"}))
+        assert graph.object("Player", "p1").get("name") == "A"
+        assert graph.has_object("Player", "p1")
+        assert not graph.has_object("Player", "p2")
+
+    def test_merging_partial_views(self, graph):
+        graph.add_object(WebObject("Player", "p1", {"name": "A"}))
+        graph.add_object(WebObject("Player", "p1", {"country": "NL"}))
+        merged = graph.object("Player", "p1")
+        assert merged.get("name") == "A"
+        assert merged.get("country") == "NL"
+
+    def test_merge_does_not_overwrite(self, graph):
+        graph.add_object(WebObject("Player", "p1", {"name": "A"}))
+        graph.add_object(WebObject("Player", "p1", {"name": "B"}))
+        assert graph.object("Player", "p1").get("name") == "A"
+
+    def test_unknown_class_rejected(self, graph):
+        with pytest.raises(SchemaError):
+            graph.add_object(WebObject("Umpire", "u1"))
+
+    def test_unknown_attribute_rejected(self, graph):
+        with pytest.raises(SchemaError):
+            graph.add_object(WebObject("Player", "p1", {"ranking": 3}))
+
+    def test_associations_deduplicated(self, graph):
+        graph.add_object(WebObject("Article", "a1"))
+        graph.add_object(WebObject("Player", "p1"))
+        instance = AssociationInstance("About", "a1", "p1")
+        graph.add_association(instance)
+        graph.add_association(instance)
+        assert graph.association_count() == 1
+        assert graph.related("About", "a1") == ["p1"]
+
+    def test_objects_of_sorted_by_key(self, graph):
+        graph.add_object(WebObject("Player", "zz"))
+        graph.add_object(WebObject("Player", "aa"))
+        assert [o.key for o in graph.objects_of("Player")] == ["aa", "zz"]
+
+    def test_missing_object_raises(self, graph):
+        with pytest.raises(SchemaError):
+            graph.object("Player", "ghost")

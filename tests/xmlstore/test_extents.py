@@ -1,0 +1,83 @@
+"""Extent recording in the bulkloader."""
+
+import pytest
+
+from repro.monetdb.catalog import Catalog
+from repro.xmlstore.model import element
+from repro.xmlstore.pathsummary import PathSummary
+from repro.xmlstore.shredder import BulkLoader
+
+
+@pytest.fixture
+def loaded():
+    catalog = Catalog()
+    summary = PathSummary()
+    loader = BulkLoader(catalog, summary, record_extents=True)
+    doc = element("a", None,
+                  element("b", None, "x",
+                          element("d")),
+                  element("c"))
+    root = loader.load_tree(doc)
+    return catalog, root
+
+
+def _extent(catalog, path, oid):
+    return (catalog.get(f"{path}[start]").find(oid),
+            catalog.get(f"{path}[end]").find(oid))
+
+
+class TestExtents:
+    def test_every_element_has_an_extent(self, loaded):
+        catalog, root = loaded
+        for path in ("a", "a/b", "a/b/d", "a/c"):
+            assert f"{path}[start]" in catalog
+            assert f"{path}[end]" in catalog
+
+    def test_start_precedes_end(self, loaded):
+        catalog, root = loaded
+        start, end = _extent(catalog, "a", root)
+        assert start < end
+
+    def test_children_nest_inside_parents(self, loaded):
+        catalog, root = loaded
+        root_start, root_end = _extent(catalog, "a", root)
+        b_oid = catalog.get("a/b").tail[0]
+        b_start, b_end = _extent(catalog, "a/b", b_oid)
+        d_oid = catalog.get("a/b/d").tail[0]
+        d_start, d_end = _extent(catalog, "a/b/d", d_oid)
+        assert root_start < b_start < b_end < root_end
+        assert b_start < d_start < d_end < b_end
+
+    def test_siblings_do_not_overlap(self, loaded):
+        catalog, root = loaded
+        b_oid = catalog.get("a/b").tail[0]
+        c_oid = catalog.get("a/c").tail[0]
+        _, b_end = _extent(catalog, "a/b", b_oid)
+        c_start, _ = _extent(catalog, "a/c", c_oid)
+        assert b_end < c_start
+
+    def test_containment_by_extent_comparison(self, loaded):
+        """The paper's purpose: containment without edge walking."""
+        catalog, root = loaded
+        d_oid = catalog.get("a/b/d").tail[0]
+        c_oid = catalog.get("a/c").tail[0]
+        b_oid = catalog.get("a/b").tail[0]
+        b_start, b_end = _extent(catalog, "a/b", b_oid)
+        d_start, d_end = _extent(catalog, "a/b/d", d_oid)
+        c_start, c_end = _extent(catalog, "a/c", c_oid)
+        assert b_start < d_start and d_end < b_end       # d inside b
+        assert not (b_start < c_start and c_end < b_end)  # c outside b
+
+    def test_default_loader_records_no_extents(self):
+        catalog = Catalog()
+        loader = BulkLoader(catalog, PathSummary())
+        loader.load_tree(element("a", None, element("b")))
+        assert "a[start]" not in catalog
+
+    def test_positions_continue_across_documents(self):
+        catalog = Catalog()
+        loader = BulkLoader(catalog, PathSummary(), record_extents=True)
+        first = loader.load_tree(element("a"))
+        second = loader.load_tree(element("a"))
+        starts = catalog.get("a[start]")
+        assert starts.find(first) < starts.find(second)

@@ -1,0 +1,82 @@
+"""Document tree model."""
+
+from repro.xmlstore.model import Element, Text, element, isomorphic
+
+
+class TestConstruction:
+    def test_element_builder_with_text(self):
+        node = element("a", {"x": "1"}, element("b"), "hi")
+        assert node.tag == "a"
+        assert node.attributes == {"x": "1"}
+        assert [type(child).__name__ for child in node.children] \
+            == ["Element", "Text"]
+
+    def test_add_element_returns_child(self):
+        root = Element("r")
+        child = root.add_element("c", {"k": "v"})
+        assert child.tag == "c" and root.children == [child]
+
+    def test_add_text(self):
+        root = Element("r")
+        root.add_text("body")
+        assert root.text() == "body"
+
+
+class TestTraversal:
+    def test_iter_is_document_order(self):
+        root = element("a", None, element("b", None, "t"), element("c"))
+        names = [node.tag if isinstance(node, Element) else "#text"
+                 for node in root.iter()]
+        assert names == ["a", "b", "#text", "c"]
+
+    def test_find_and_find_all(self):
+        root = element("a", None, element("b"), element("b"), element("c"))
+        assert root.find("b") is root.children[0]
+        assert len(root.find_all("b")) == 2
+        assert root.find("zzz") is None
+
+    def test_element_children_skips_text(self):
+        root = element("a", None, "x", element("b"))
+        assert [child.tag for child in root.element_children()] == ["b"]
+
+    def test_deep_text(self):
+        root = element("a", None, "x", element("b", None, "y"))
+        assert root.deep_text() == "xy"
+
+    def test_size_and_height(self):
+        root = element("a", None, element("b", None, element("c")), "t")
+        assert root.size() == 4
+        assert root.height() == 3
+
+    def test_height_of_leaf(self):
+        assert Element("a").height() == 1
+
+
+class TestIsomorphism:
+    def test_equal_trees(self):
+        left = element("a", {"k": "v"}, element("b", None, "t"))
+        right = element("a", {"k": "v"}, element("b", None, "t"))
+        assert isomorphic(left, right)
+
+    def test_tag_mismatch(self):
+        assert not isomorphic(element("a"), element("b"))
+
+    def test_attribute_mismatch(self):
+        assert not isomorphic(element("a", {"k": "v"}),
+                              element("a", {"k": "w"}))
+
+    def test_child_order_matters(self):
+        left = element("a", None, element("b"), element("c"))
+        right = element("a", None, element("c"), element("b"))
+        assert not isomorphic(left, right)
+
+    def test_text_vs_element(self):
+        assert not isomorphic(Text("x"), Element("x"))
+
+    def test_text_values(self):
+        assert isomorphic(Text("x"), Text("x"))
+        assert not isomorphic(Text("x"), Text("y"))
+
+    def test_child_count_matters(self):
+        assert not isomorphic(element("a", None, element("b")),
+                              element("a"))

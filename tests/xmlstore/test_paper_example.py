@@ -1,0 +1,109 @@
+"""E3: the paper's own example (Figures 9-12).
+
+The ``<image>`` document of Fig 9 must shred into the relation families
+of Fig 12 — one relation per root-to-node path — and reconstruct
+isomorphically (Definition 1's invertibility).
+"""
+
+import pytest
+
+from repro.xmlstore.model import element, isomorphic
+from repro.xmlstore.store import XmlStore
+
+PAPER_DOCUMENT = """<image key="18934" source="http://www.ex.org/seles.jpg">\
+<date> 999010530 </date><colors>\
+<histogram> 0.399 0.277 0.344 </histogram>\
+<saturation> 0.390 </saturation>\
+<version> 0.8 </version>\
+</colors></image>"""
+
+
+@pytest.fixture
+def store() -> XmlStore:
+    store = XmlStore()
+    store.insert("fig9", PAPER_DOCUMENT)
+    return store
+
+
+class TestFig12SchemaTree:
+    def test_path_summary_matches_figure(self, store):
+        # Fig 12 names R1../image, R2../image[key], R3../image[source],
+        # R4../image/date, R5../image/date/PCDATA, ... — our path summary
+        # must contain exactly the element/cdata paths of that tree.
+        assert store.paths() == [
+            "image",
+            "image/colors",
+            "image/colors/histogram",
+            "image/colors/histogram/pcdata",
+            "image/colors/saturation",
+            "image/colors/saturation/pcdata",
+            "image/colors/version",
+            "image/colors/version/pcdata",
+            "image/date",
+            "image/date/pcdata",
+        ]
+
+    def test_attribute_relations_exist(self, store):
+        assert store.catalog.get_or_none("image[key]") is not None
+        assert store.catalog.get_or_none("image[source]") is not None
+
+    def test_attribute_values(self, store):
+        assert store.query("/image/@key").value_list() == ["18934"]
+        assert store.query("/image/@source").value_list() \
+            == ["http://www.ex.org/seles.jpg"]
+
+    def test_cdata_values(self, store):
+        assert store.query("/image/date/text()").value_list() \
+            == [" 999010530 "]
+        assert store.query("/image/colors/saturation/text()").value_list() \
+            == [" 0.390 "]
+
+    def test_rank_relations_keep_topology(self, store):
+        ranks = store.catalog.get("image/colors[rank]")
+        # colors is the second child of image
+        assert list(ranks.tail) == [1]
+
+    def test_sys_relation_records_root(self, store):
+        sys_relation = store.catalog.get("sys")
+        assert list(sys_relation.tail) == ["image"]
+
+
+class TestInverseMapping:
+    def test_reconstruction_is_isomorphic(self, store):
+        original = store.parse(PAPER_DOCUMENT)
+        assert isomorphic(store.reconstruct("fig9"), original)
+
+    def test_naive_insert_sequence_length(self, store):
+        # the paper's naive bulkload issues one insert per association;
+        # Fig 9's document: 1 sys + 2 attrs + 9 edges (5 element + 4
+        # pcdata) + 9 ranks + 4 cdata values
+        assert store.stats.inserts == 1 + 2 + 9 + 9 + 4
+
+    def test_nodes_counted(self, store):
+        # 6 elements + 4 cdata nodes
+        assert store.stats.nodes == 10
+
+
+class TestSemanticClustering:
+    def test_one_relation_per_path(self, store):
+        # "we use path to group semantically related associations":
+        # adding a second image document grows relations, not the schema
+        relations_before = len(store.catalog)
+        store.insert("fig9b", PAPER_DOCUMENT.replace("18934", "42"))
+        assert len(store.catalog) == relations_before
+
+    def test_path_query_touches_only_its_relation(self, store):
+        store.server.reset_accounting()
+        store.query("/image/colors/saturation/text()")
+        saturation = store.catalog.get(
+            "image/colors/saturation/pcdata[cdata]")
+        # only the cdata relation of that exact path is scanned
+        assert store.server.tuples_touched == len(saturation)
+
+    def test_no_nulls_needed(self, store):
+        # a document missing <colors> coexists without NULL padding
+        small = element("image", {"key": "1"},
+                        element("date", None, "123"))
+        store.insert("small", small)
+        assert isomorphic(store.reconstruct("small"), small)
+        assert store.query("/image/@key").value_list() == ["18934", "1"]

@@ -1,0 +1,129 @@
+"""Path expression parsing and evaluation."""
+
+import pytest
+
+from repro.errors import PathExpressionError
+from repro.xmlstore.model import element
+from repro.xmlstore.pathexpr import descend, match_paths, parse_path, root_of
+from repro.xmlstore.store import XmlStore
+
+
+@pytest.fixture
+def store() -> XmlStore:
+    store = XmlStore()
+    store.insert("d1", element(
+        "site", {"name": "s1"},
+        element("page", {"id": "p1"},
+                element("title", None, "one"),
+                element("section", None,
+                        element("title", None, "one.inner"))),
+        element("page", {"id": "p2"},
+                element("title", None, "two"))))
+    store.insert("d2", element(
+        "site", {"name": "s2"},
+        element("page", {"id": "p3"}, element("title", None, "three"))))
+    return store
+
+
+class TestParse:
+    def test_simple_path(self):
+        expr = parse_path("/a/b/c")
+        assert [step.tag for step in expr.steps] == ["a", "b", "c"]
+        assert not expr.text and expr.attribute is None
+
+    def test_descendant_axis(self):
+        expr = parse_path("//b")
+        assert expr.steps[0].descendant
+
+    def test_attribute_leaf(self):
+        expr = parse_path("/a/@k")
+        assert expr.attribute == "k"
+
+    def test_text_leaf(self):
+        expr = parse_path("/a/text()")
+        assert expr.text and expr.steps[-1].tag == "pcdata"
+
+    def test_wildcard(self):
+        assert parse_path("/a/*").steps[1].tag == "*"
+
+    @pytest.mark.parametrize("bad", [
+        "", "a/b", "/a/@k/b", "/a//@k", "/a/text()/b", "/", "/a/", "/@",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PathExpressionError):
+            parse_path(bad)
+
+
+class TestMatchPaths:
+    def test_absolute_match(self, store):
+        nodes = match_paths(store.summary, "/site/page/title")
+        assert [node.path for node in nodes] == ["site/page/title"]
+
+    def test_descendant_matches_all_depths(self, store):
+        nodes = match_paths(store.summary, "//title")
+        assert sorted(node.path for node in nodes) == [
+            "site/page/section/title", "site/page/title"]
+
+    def test_wildcard_step(self, store):
+        nodes = match_paths(store.summary, "/site/*")
+        assert [node.path for node in nodes] == ["site/page"]
+
+    def test_wildcard_skips_pcdata(self, store):
+        nodes = match_paths(store.summary, "/site/page/title/*")
+        assert nodes == []
+
+    def test_no_match(self, store):
+        assert match_paths(store.summary, "/nope") == []
+
+
+class TestEvaluate:
+    def test_node_result_spans_documents(self, store):
+        result = store.query("/site/page")
+        assert len(result.oids) == 3
+
+    def test_text_values(self, store):
+        values = store.query("/site/page/title/text()").value_list()
+        assert sorted(values) == ["one", "three", "two"]
+
+    def test_descendant_text(self, store):
+        values = store.query("//title/text()").value_list()
+        assert sorted(values) == ["one", "one.inner", "three", "two"]
+
+    def test_attribute_values(self, store):
+        assert sorted(store.query("/site/page/@id").value_list()) \
+            == ["p1", "p2", "p3"]
+
+    def test_root_attribute(self, store):
+        assert sorted(store.query("/site/@name").value_list()) \
+            == ["s1", "s2"]
+
+    def test_missing_attribute_is_empty(self, store):
+        assert store.query("/site/page/@nope").value_list() == []
+
+
+class TestNavigation:
+    def test_root_of_climbs_to_document_root(self, store):
+        result = store.query("/site/page/section/title")
+        node = result.paths[0]
+        root = root_of(store.catalog, node, result.oids[0])
+        assert store.document_key(root) == "d1"
+
+    def test_descend_correlates_ancestors(self, store):
+        pages = store.query("/site/page")
+        page_node = pages.paths[0]
+        pairs = descend(store.catalog, page_node, pages.oids,
+                        "title/pcdata")
+        assert len(pairs) == 3
+        ancestors = {pair[0] for pair in pairs}
+        assert ancestors <= set(pages.oids)
+
+    def test_descend_missing_path_is_empty(self, store):
+        pages = store.query("/site/page")
+        assert descend(store.catalog, pages.paths[0], pages.oids,
+                       "nothing/here") == []
+
+    def test_descend_rejects_empty_step(self, store):
+        pages = store.query("/site/page")
+        with pytest.raises(PathExpressionError):
+            descend(store.catalog, pages.paths[0], pages.oids,
+                    "title//pcdata")

@@ -1,0 +1,107 @@
+"""Property-based tests: the Monet transform's core guarantees.
+
+Random document trees are shredded and reconstructed; serialisation and
+parsing round-trip; deletion restores the store exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlstore.model import Element, element, isomorphic
+from repro.xmlstore.sax import parse_document
+from repro.xmlstore.store import XmlStore
+from repro.xmlstore.writer import serialize
+
+_tags = st.sampled_from(["a", "b", "c", "item", "node"])
+_attr_names = st.sampled_from(["k", "id", "href"])
+# texts avoid pure whitespace (the tokenizer suppresses it by design)
+_texts = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=12).filter(lambda s: s.strip())
+
+
+@st.composite
+def _documents(draw, depth: int = 3) -> Element:
+    tag = draw(_tags)
+    attr_count = draw(st.integers(0, 2))
+    attributes = {}
+    for _ in range(attr_count):
+        attributes[draw(_attr_names)] = draw(_texts)
+    node = Element(tag, attributes)
+    if depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                node.children.append(draw(_documents(depth=depth - 1)))
+            else:
+                # adjacent text nodes are indistinguishable after
+                # serialisation (XML merges them); never generate two in
+                # a row, like any real document writer
+                from repro.xmlstore.model import Text
+                if node.children and isinstance(node.children[-1], Text):
+                    continue
+                node.add_text(draw(_texts))
+    return node
+
+
+@settings(max_examples=60, deadline=None)
+@given(_documents())
+def test_shred_reconstruct_is_isomorphic(doc):
+    store = XmlStore()
+    store.insert("doc", doc)
+    assert isomorphic(store.reconstruct("doc"), doc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_documents())
+def test_serialize_parse_round_trip(doc):
+    assert isomorphic(parse_document(serialize(doc)), doc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_documents(), min_size=1, max_size=4))
+def test_many_documents_reconstruct_independently(docs):
+    store = XmlStore()
+    for index, doc in enumerate(docs):
+        store.insert(f"d{index}", doc)
+    for index, doc in enumerate(docs):
+        assert isomorphic(store.reconstruct(f"d{index}"), doc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_documents(), _documents())
+def test_delete_restores_bun_counts(first, second):
+    store = XmlStore()
+    store.insert("keep", first)
+    buns_before = store.catalog.total_buns()
+    store.insert("gone", second)
+    store.delete("gone")
+    assert store.catalog.total_buns() == buns_before
+    assert isomorphic(store.reconstruct("keep"), first)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_documents())
+def test_bulkload_stack_depth_bounded_by_height(doc):
+    store = XmlStore()
+    store.insert("doc", doc)
+    # O(height) memory claim: the loader's peak stack never exceeds the
+    # document height (+1 frame while a pcdata node is being entered)
+    assert store.stats.peak_stack_depth <= doc.height() + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(_documents())
+def test_node_count_matches_tree_size(doc):
+    store = XmlStore()
+    store.insert("doc", doc)
+    assert store.stats.nodes == doc.size()
+
+
+def test_example_roundtrip_with_namespaced_entities():
+    doc = element("a", {"q": 'say "hi" & <bye>'},
+                  element("b", None, "x & y < z"))
+    store = XmlStore()
+    store.insert("d", doc)
+    assert isomorphic(store.reconstruct("d"), doc)
+    assert isomorphic(parse_document(serialize(doc)), doc)

@@ -1,0 +1,104 @@
+"""Event-based XML tokenizer and DOM-style parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlstore.sax import (Characters, EndElement, StartElement,
+                                iter_events, parse_document)
+
+
+class TestEvents:
+    def test_simple_element(self):
+        events = list(iter_events("<a>hi</a>"))
+        assert events == [StartElement("a", ()), Characters("hi"),
+                          EndElement("a")]
+
+    def test_attributes_in_order(self):
+        (start,) = [e for e in iter_events('<a x="1" y="2"/>')
+                    if isinstance(e, StartElement)]
+        assert start.attributes == (("x", "1"), ("y", "2"))
+
+    def test_selfclosing_emits_end(self):
+        events = list(iter_events("<a/>"))
+        assert events == [StartElement("a", (), selfclosing=True),
+                          EndElement("a")]
+
+    def test_whitespace_only_text_suppressed(self):
+        events = list(iter_events("<a>\n  <b/>\n</a>"))
+        assert not any(isinstance(e, Characters) for e in events)
+
+    def test_entity_decoding_in_text(self):
+        events = list(iter_events("<a>x &amp; y &lt;z&gt;</a>"))
+        assert events[1] == Characters("x & y <z>")
+
+    def test_entity_decoding_in_attribute(self):
+        (start,) = [e for e in iter_events('<a v="&quot;q&quot;"/>')
+                    if isinstance(e, StartElement)]
+        assert start.attributes == (("v", '"q"'),)
+
+    def test_numeric_character_references(self):
+        events = list(iter_events("<a>&#65;&#x42;</a>"))
+        assert events[1] == Characters("AB")
+
+    def test_comments_skipped(self):
+        events = list(iter_events("<a><!-- note --><b/></a>"))
+        assert [type(e).__name__ for e in events] \
+            == ["StartElement", "StartElement", "EndElement", "EndElement"]
+
+    def test_declaration_skipped(self):
+        events = list(iter_events('<?xml version="1.0"?><a/>'))
+        assert isinstance(events[0], StartElement)
+
+    def test_cdata_section(self):
+        events = list(iter_events("<a><![CDATA[<raw>]]></a>"))
+        assert events[1] == Characters("<raw>")
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a>&nope;</a>"))
+
+    def test_unterminated_tag_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a foo"))
+
+    def test_unquoted_attribute_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            list(iter_events("<a x=1/>"))
+
+
+class TestParseDocument:
+    def test_builds_tree(self):
+        root = parse_document('<a k="v"><b>t</b><c/></a>')
+        assert root.tag == "a"
+        assert root.attributes == {"k": "v"}
+        assert root.find("b").text() == "t"
+        assert root.find("c") is not None
+
+    def test_mismatched_end_tag_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a><b></a></b>")
+
+    def test_unclosed_element_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a><b>")
+
+    def test_unmatched_end_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a/></b>")
+
+    def test_multiple_roots_raise(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a/><b/>")
+
+    def test_empty_document_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("   ")
+
+    def test_text_outside_root_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("stray<a/>")
+
+    def test_mixed_content_preserved(self):
+        root = parse_document("<a>x<b/>y</a>")
+        kinds = [type(child).__name__ for child in root.children]
+        assert kinds == ["Text", "Element", "Text"]

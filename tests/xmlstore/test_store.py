@@ -1,0 +1,118 @@
+"""XmlStore facade: documents, deletion, incremental replacement."""
+
+import pytest
+
+from repro.errors import XmlStoreError
+from repro.xmlstore.model import element, isomorphic
+from repro.xmlstore.shredder import SYS_RELATION
+from repro.xmlstore.store import XmlStore
+
+
+def _doc(n: int):
+    return element("doc", {"id": str(n)},
+                   element("title", None, f"title {n}"),
+                   element("body", None,
+                           element("p", None, f"text {n} alpha"),
+                           element("p", None, f"text {n} beta")))
+
+
+@pytest.fixture
+def store() -> XmlStore:
+    store = XmlStore()
+    for n in range(3):
+        store.insert(f"d{n}", _doc(n))
+    return store
+
+
+class TestRegistry:
+    def test_contains_and_len(self, store):
+        assert "d0" in store and len(store) == 3
+
+    def test_document_keys_sorted(self, store):
+        assert store.document_keys() == ["d0", "d1", "d2"]
+
+    def test_root_oid_and_back(self, store):
+        oid = store.root_oid("d1")
+        assert store.document_key(oid) == "d1"
+
+    def test_duplicate_insert_raises(self, store):
+        with pytest.raises(XmlStoreError):
+            store.insert("d0", _doc(0))
+
+    def test_unknown_key_raises(self, store):
+        with pytest.raises(XmlStoreError):
+            store.root_oid("nope")
+
+    def test_insert_many(self):
+        store = XmlStore()
+        oids = store.insert_many([("a", _doc(1)), ("b", _doc(2))])
+        assert len(oids) == 2 and len(store) == 2
+
+
+class TestReconstruction:
+    def test_each_document_reconstructs(self, store):
+        for n in range(3):
+            assert isomorphic(store.reconstruct(f"d{n}"), _doc(n))
+
+    def test_insert_from_text(self):
+        store = XmlStore()
+        store.insert("t", "<a><b>x</b></a>")
+        assert store.reconstruct("t").find("b").text() == "x"
+
+
+class TestDeletion:
+    def test_delete_removes_document(self, store):
+        store.delete("d1")
+        assert "d1" not in store
+        with pytest.raises(XmlStoreError):
+            store.reconstruct("d1")
+
+    def test_delete_leaves_others_intact(self, store):
+        store.delete("d1")
+        assert isomorphic(store.reconstruct("d0"), _doc(0))
+        assert isomorphic(store.reconstruct("d2"), _doc(2))
+
+    def test_delete_all_empties_relations(self, store):
+        for n in range(3):
+            store.delete(f"d{n}")
+        assert store.catalog.total_buns() == 0
+
+    def test_deleted_root_leaves_sys(self, store):
+        before = len(store.catalog.get(SYS_RELATION))
+        store.delete("d0")
+        assert len(store.catalog.get(SYS_RELATION)) == before - 1
+
+
+class TestReplace:
+    def test_replace_updates_content(self, store):
+        updated = _doc(0)
+        updated.find("title").children[0].value = "new title"
+        store.replace("d0", updated)
+        assert store.reconstruct("d0").find("title").text() == "new title"
+
+    def test_replace_changes_query_results(self, store):
+        titles = store.query("/doc/title/text()").value_list()
+        assert "title 0" in titles
+        updated = element("doc", {"id": "0"},
+                          element("title", None, "changed"))
+        store.replace("d0", updated)
+        titles = store.query("/doc/title/text()").value_list()
+        assert "title 0" not in titles and "changed" in titles
+
+    def test_replace_can_change_structure(self, store):
+        new_shape = element("doc", {"id": "0"},
+                            element("summary", None, "short"))
+        store.replace("d0", new_shape)
+        assert isomorphic(store.reconstruct("d0"), new_shape)
+
+
+class TestQueries:
+    def test_query_spans_documents(self, store):
+        values = store.query("/doc/body/p/text()").value_list()
+        assert len(values) == 6
+
+    def test_document_of_maps_back(self, store):
+        result = store.query("/doc/title")
+        node = result.paths[0]
+        keys = {store.document_of(node, oid) for oid in result.oids}
+        assert keys == {"d0", "d1", "d2"}

@@ -1,0 +1,50 @@
+"""Serialisation and escaping."""
+
+from repro.xmlstore.model import element, isomorphic
+from repro.xmlstore.sax import parse_document
+from repro.xmlstore.writer import escape_attribute, escape_text, serialize
+
+
+class TestEscaping:
+    def test_text_escapes_markup(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes_and_whitespace(self):
+        assert escape_attribute('a"b\nc') == "a&quot;b&#10;c"
+
+
+class TestSerialize:
+    def test_empty_element_selfcloses(self):
+        assert serialize(element("a")) == "<a/>"
+
+    def test_attributes_rendered(self):
+        assert serialize(element("a", {"x": "1"})) == '<a x="1"/>'
+
+    def test_text_content(self):
+        assert serialize(element("a", None, "hello")) == "<a>hello</a>"
+
+    def test_declaration(self):
+        out = serialize(element("a"), declaration=True)
+        assert out.startswith('<?xml version="1.0"')
+
+    def test_round_trip_plain(self):
+        doc = element("a", {"k": "v&w"},
+                      element("b", None, "x<y"),
+                      element("c"))
+        assert isomorphic(parse_document(serialize(doc)), doc)
+
+    def test_round_trip_pretty(self):
+        doc = element("a", None,
+                      element("b", None, "text body"),
+                      element("c", {"k": "v"}, element("d")))
+        assert isomorphic(parse_document(serialize(doc, pretty=True)), doc)
+
+    def test_pretty_indents(self):
+        doc = element("a", None, element("b", None, element("c")))
+        lines = serialize(doc, pretty=True).splitlines()
+        assert lines[1].startswith("  <b>")
+        assert lines[2].startswith("    <c/>")
+
+    def test_pretty_keeps_text_inline(self):
+        doc = element("a", None, element("b", None, "  keep  "))
+        assert "<b>  keep  </b>" in serialize(doc, pretty=True)
