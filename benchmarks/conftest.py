@@ -1,12 +1,15 @@
 """Shared corpora and engines for the benchmark suite (session-scoped)."""
 
 import random
+from pathlib import Path
 
 import pytest
 
 from repro.core.config import EngineConfig
 from repro.core.engine import SearchEngine
 from repro.ir.relations import IrRelations
+from repro.telemetry import NullTracer, Telemetry, telemetry_session, \
+    write_report
 from repro.web.ausopen import build_ausopen_site
 from repro.webspace.schema import australian_open_schema
 from repro.xmlstore.model import Element, element
@@ -48,6 +51,23 @@ def zipf_corpus(documents: int, vocabulary: int = 150,
             words += ["grandslam", "finalist"] * repeat
         docs.append((f"http://bench/d{d:04d}", " ".join(words)))
     return docs
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Record the whole benchmark session and dump ``BENCH_telemetry.json``.
+
+    Every counter the instrumented stack increments while the benchmarks
+    run (per-server tuple charges, detector calls, rpc traffic, ...) ends
+    up in one JSON report next to the other ``BENCH_*`` artifacts, so a
+    run's cost profile can be diffed across commits.  Tracing stays off:
+    pytest-benchmark repeats each workload thousands of times, and
+    retaining every span tree would dominate the session's memory.
+    """
+    with telemetry_session(Telemetry(tracer=NullTracer())) as telemetry:
+        yield telemetry
+        write_report(Path(__file__).parent / "BENCH_telemetry.json",
+                     telemetry, meta={"suite": "benchmarks"})
 
 
 @pytest.fixture(scope="session")

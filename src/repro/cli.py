@@ -8,11 +8,18 @@ against the bundled synthetic webspaces::
     repro-search query    --snapshot ./index \\
         "SELECT p.name FROM Player p WHERE p.plays = 'left' TOP 10"
     repro-search stats    --snapshot ./index
+    repro-search stats    --site ausopen --cluster 3 \\
+        --query "SELECT p.name FROM Player p \\
+                 WHERE p.history CONTAINS 'Winner' TOP 5"
     repro-search paths    --snapshot ./index
 
 ``populate`` builds the named site, populates an engine and saves a
 snapshot; ``query`` reloads the snapshot and runs a textual conceptual
-query; ``stats``/``paths`` inspect the stored index.
+query; ``stats``/``paths`` inspect the stored index.  ``stats`` with
+``--query`` runs the query under telemetry and prints the span tree
+(query → plan stage → operator → distributed IR plan) plus the metric
+snapshot with per-server cost accounting; ``--json`` writes the same
+report in the ``BENCH_*.json`` format the benchmarks use.
 """
 
 from __future__ import annotations
@@ -114,10 +121,48 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    engine = _load(args)
-    for section, values in engine.stats().items():
-        print(f"{section}: {values}")
-    return 0
+    from repro.telemetry import disable, enable, format_report, write_report
+
+    if not args.snapshot and not args.site:
+        raise ReproError("stats needs --snapshot or --site")
+    # telemetry goes on before the engine is built so every server's
+    # cost counter lands in the registry that the snapshot reads
+    telemetry = enable() if args.query else None
+    try:
+        if args.snapshot:
+            engine = _load(args)
+        else:
+            server, _, schema, extractor = _build_site(args.site, args)
+            engine = SearchEngine(
+                schema, server,
+                EngineConfig(fragment_count=args.fragments,
+                             cluster_size=args.cluster),
+                extractor=extractor)
+            engine.populate()
+        for section, values in engine.stats().items():
+            print(f"{section}: {values}")
+        if not args.query:
+            return 0
+        telemetry.reset()  # measure the query, not the population
+        result = engine.query_text(args.query)
+        print()
+        print(format_report(telemetry))
+        print()
+        print(f"query rows: {len(result.rows)}  "
+              f"tuples_touched: {result.tuples_touched}")
+        distributed = getattr(engine.ir, "last_result", None)
+        if distributed is not None:
+            per_node = distributed.tuples_read_per_node()
+            print(f"distributed per-node tuples: {per_node}  "
+                  f"total: {distributed.total_tuples()}")
+        if args.json:
+            write_report(args.json, telemetry,
+                         meta={"command": "stats", "query": args.query})
+            print(f"telemetry report written to {args.json}")
+        return 0
+    finally:
+        if telemetry is not None:
+            disable()
 
 
 def _cmd_paths(args: argparse.Namespace) -> int:
@@ -158,8 +203,24 @@ def _parser() -> argparse.ArgumentParser:
     query.add_argument("query")
     query.set_defaults(handler=_cmd_query)
 
-    stats = commands.add_parser("stats", help="index statistics")
-    stats.add_argument("--snapshot", required=True)
+    stats = commands.add_parser(
+        "stats", help="index statistics; with --query, a traced run")
+    stats.add_argument("--snapshot",
+                       help="inspect a saved snapshot")
+    stats.add_argument("--site", choices=["ausopen", "lonelyplanet"],
+                       help="or build+populate a site in memory")
+    stats.add_argument("--cluster", type=int, default=1,
+                       help="IR cluster size for --site (distributed plan)")
+    stats.add_argument("--players", type=int, default=12)
+    stats.add_argument("--articles", type=int, default=10)
+    stats.add_argument("--videos", type=int, default=4)
+    stats.add_argument("--frames", type=int, default=8)
+    stats.add_argument("--fragments", type=int, default=4)
+    stats.add_argument("--query",
+                       help="run this query under telemetry and print the "
+                            "span tree + metric snapshot")
+    stats.add_argument("--json",
+                       help="also write the telemetry report to this file")
     stats.set_defaults(handler=_cmd_stats)
 
     paths = commands.add_parser("paths", help="show the path summaries")

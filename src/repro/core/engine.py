@@ -27,6 +27,8 @@ from repro.featuregrammar.fds import FDS, MaintenanceReport
 from repro.featuregrammar.parsetree import tree_to_xml
 from repro.featuregrammar.versions import ChangeLevel, Version
 from repro.ir.engine import ClusterIrEngine, IrEngine
+from repro.monetdb.server import MonetServer
+from repro.telemetry.runtime import get_telemetry
 from repro.web.crawler import crawl
 from repro.web.reengineer import reengineer_site
 from repro.web.site import SimulatedWebServer
@@ -81,9 +83,10 @@ class SearchEngine:
         # their own extractor(schema, pages) -> [WebspaceDocument]
         self.extractor = extractor or reengineer_site
 
-        # physical level
-        self.conceptual_store = XmlStore()
-        self.meta_store = XmlStore()
+        # physical level (servers named per store so cost accounting is
+        # attributable in metric snapshots)
+        self.conceptual_store = XmlStore(MonetServer("conceptual"))
+        self.meta_store = XmlStore(MonetServer("meta"))
         if self.config.cluster_size > 1:
             # "distribute the query workload over several database
             # engines": content predicates run the distributed plan
@@ -275,9 +278,19 @@ class SearchEngine:
         if query.schema is not self.schema:
             raise QueryError("query was built for a different schema")
         self.conceptual_store.server.reset_accounting()
-        return execute_query(query, self._index,
-                             self._content_search, self._event_search,
-                             self._audio_search)
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("query", schema=self.schema.name,
+                                   bindings=len(query.bindings)) as span:
+            result = execute_query(query, self._index,
+                                   self._content_search, self._event_search,
+                                   self._audio_search)
+            span.set_attributes(rows=len(result.rows),
+                                tuples_touched=result.tuples_touched)
+        telemetry.metrics.counter("engine.queries").add(1)
+        duration = span.duration_ms
+        if duration is not None:
+            telemetry.metrics.histogram("engine.query_ms").observe(duration)
+        return result
 
     # -- the two optimization hooks -----------------------------------
 

@@ -78,8 +78,13 @@ def load_engine(directory: str | Path, schema: WebspaceSchema,
         crawl_seed=manifest["crawl_seed"],
     )
     engine = SearchEngine(schema, server, config, extractor=extractor)
-    engine.conceptual_store = XmlStore.load(directory / _CONCEPTUAL)
-    engine.meta_store = XmlStore.load(directory / _META)
+    # reuse the engine's own servers (XmlStore.load swaps their catalog):
+    # their telemetry counters stay the one "conceptual"/"meta" instrument
+    # instead of colliding with freshly created duplicates
+    engine.conceptual_store = XmlStore.load(directory / _CONCEPTUAL,
+                                            engine.conceptual_store.server)
+    engine.meta_store = XmlStore.load(directory / _META,
+                                      engine.meta_store.server)
     engine.ir.relations = IrRelations(load_catalog(directory / _IR))
     engine.ir.relations.refresh_idf()
     # rebind the conceptual index to the restored store

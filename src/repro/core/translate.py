@@ -25,6 +25,7 @@ from typing import Any
 
 from repro.errors import QueryError
 from repro.monetdb.atoms import Oid
+from repro.telemetry.runtime import get_telemetry
 from repro.webspace.query import WebspaceQuery
 from repro.xmlstore.pathexpr import descend, match_paths, node_oids
 from repro.xmlstore.store import XmlStore
@@ -164,6 +165,9 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
     physical level's optimization hooks.
     """
     query.validate()
+    telemetry = get_telemetry()
+    tracer = telemetry.tracer
+    operators = telemetry.metrics
     result = QueryResult()
     plan = PlanNode("TopN", f"limit={query.limit}")
     rank_node = plan.add(PlanNode("Rank", "by summed content scores"))
@@ -176,125 +180,173 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
     turns: dict[str, dict[str, list[TurnRange]]] = defaultdict(dict)
     bind_nodes: dict[str, PlanNode] = {}
 
-    for binding in query.bindings:
-        keys = set(index.keys_of(binding.cls))
-        candidates[binding.alias] = keys
-        bind_nodes[binding.alias] = join_root.add(PlanNode(
-            "Bind", f"{binding.alias}: {binding.cls}",
-            {"instances": len(keys)}))
+    with tracer.span("plan.bind", bindings=len(query.bindings)):
+        for binding in query.bindings:
+            with tracer.span("op.Bind", alias=binding.alias,
+                             cls=binding.cls) as op:
+                keys = set(index.keys_of(binding.cls))
+                op.set_attribute("instances", len(keys))
+            candidates[binding.alias] = keys
+            bind_nodes[binding.alias] = join_root.add(PlanNode(
+                "Bind", f"{binding.alias}: {binding.cls}",
+                {"instances": len(keys)}))
 
-    for predicate in query.attribute_predicates:
-        cls = query.cls_of(predicate.alias)
-        before = len(candidates[predicate.alias])
-        values = index.attribute_values(cls, predicate.attribute)
-        compare = _COMPARATORS[predicate.op]
-        candidates[predicate.alias] &= {
-            key for key, value in values.items()
-            if compare(value, predicate.value)}
-        bind_nodes[predicate.alias].add(PlanNode(
-            "AttrSelect",
-            f"{predicate.alias}.{predicate.attribute} {predicate.op} "
-            f"{predicate.value!r}",
-            {"in": before, "out": len(candidates[predicate.alias])}))
+    with tracer.span("plan.select",
+                     predicates=len(query.attribute_predicates)):
+        for predicate in query.attribute_predicates:
+            cls = query.cls_of(predicate.alias)
+            before = len(candidates[predicate.alias])
+            with tracer.span("op.AttrSelect",
+                             predicate=f"{predicate.alias}."
+                                       f"{predicate.attribute} "
+                                       f"{predicate.op} "
+                                       f"{predicate.value!r}") as op:
+                values = index.attribute_values(cls, predicate.attribute)
+                compare = _COMPARATORS[predicate.op]
+                candidates[predicate.alias] &= {
+                    key for key, value in values.items()
+                    if compare(value, predicate.value)}
+                op.set_attributes(
+                    out=len(candidates[predicate.alias]))
+            operators.counter("translate.operators",
+                              operator="AttrSelect").add(1)
+            bind_nodes[predicate.alias].add(PlanNode(
+                "AttrSelect",
+                f"{predicate.alias}.{predicate.attribute} {predicate.op} "
+                f"{predicate.value!r}",
+                {"in": before, "out": len(candidates[predicate.alias])}))
 
-    for predicate in query.content_predicates:
-        cls = query.cls_of(predicate.alias)
-        before = len(candidates[predicate.alias])
-        ranked = content_search(cls, predicate.attribute, predicate.text)
-        candidates[predicate.alias] &= set(ranked)
-        for key, score in ranked.items():
-            previous = scores[predicate.alias].get(key, 0.0)
-            scores[predicate.alias][key] = previous + score
-        bind_nodes[predicate.alias].add(PlanNode(
-            "IrProbe",
-            f"{predicate.alias}.{predicate.attribute} CONTAINS "
-            f"{predicate.text!r}",
-            {"in": before, "matched": len(ranked),
-             "out": len(candidates[predicate.alias])}))
+    with tracer.span("plan.content",
+                     predicates=len(query.content_predicates)):
+        for predicate in query.content_predicates:
+            cls = query.cls_of(predicate.alias)
+            before = len(candidates[predicate.alias])
+            with tracer.span("op.IrProbe", cls=cls,
+                             attribute=predicate.attribute,
+                             text=predicate.text) as op:
+                ranked = content_search(cls, predicate.attribute,
+                                        predicate.text)
+                op.set_attribute("matched", len(ranked))
+            operators.counter("translate.operators",
+                              operator="IrProbe").add(1)
+            candidates[predicate.alias] &= set(ranked)
+            for key, score in ranked.items():
+                previous = scores[predicate.alias].get(key, 0.0)
+                scores[predicate.alias][key] = previous + score
+            bind_nodes[predicate.alias].add(PlanNode(
+                "IrProbe",
+                f"{predicate.alias}.{predicate.attribute} CONTAINS "
+                f"{predicate.text!r}",
+                {"in": before, "matched": len(ranked),
+                 "out": len(candidates[predicate.alias])}))
 
-    for predicate in query.event_predicates:
-        cls = query.cls_of(predicate.alias)
-        before = len(candidates[predicate.alias])
-        media = index.attribute_values(cls, predicate.attribute)
-        surviving: set[str] = set()
-        for key in candidates[predicate.alias]:
-            url = media.get(key)
-            if not url:
-                continue
-            ranges = event_search(url, predicate.event)
-            if ranges:
-                surviving.add(key)
-                shots[predicate.alias][key] = [
-                    ShotRange(begin, end, predicate.event)
-                    for begin, end in ranges]
-        candidates[predicate.alias] &= surviving
-        bind_nodes[predicate.alias].add(PlanNode(
-            "MetaProbe",
-            f"{predicate.alias}.{predicate.attribute} EVENT "
-            f"{predicate.event}",
-            {"in": before, "out": len(candidates[predicate.alias])}))
+    with tracer.span("plan.events",
+                     predicates=len(query.event_predicates)):
+        for predicate in query.event_predicates:
+            cls = query.cls_of(predicate.alias)
+            before = len(candidates[predicate.alias])
+            with tracer.span("op.MetaProbe", cls=cls,
+                             event=predicate.event) as op:
+                media = index.attribute_values(cls, predicate.attribute)
+                surviving: set[str] = set()
+                for key in candidates[predicate.alias]:
+                    url = media.get(key)
+                    if not url:
+                        continue
+                    ranges = event_search(url, predicate.event)
+                    if ranges:
+                        surviving.add(key)
+                        shots[predicate.alias][key] = [
+                            ShotRange(begin, end, predicate.event)
+                            for begin, end in ranges]
+                op.set_attribute("out", len(surviving))
+            operators.counter("translate.operators",
+                              operator="MetaProbe").add(1)
+            candidates[predicate.alias] &= surviving
+            bind_nodes[predicate.alias].add(PlanNode(
+                "MetaProbe",
+                f"{predicate.alias}.{predicate.attribute} EVENT "
+                f"{predicate.event}",
+                {"in": before, "out": len(candidates[predicate.alias])}))
 
-    for predicate in query.audio_predicates:
-        if audio_search is None:
-            raise QueryError("this engine has no audio meta-index hook")
-        cls = query.cls_of(predicate.alias)
-        before = len(candidates[predicate.alias])
-        media = index.attribute_values(cls, predicate.attribute)
-        surviving: set[str] = set()
-        for key in candidates[predicate.alias]:
-            url = media.get(key)
-            if not url:
-                continue
-            matched, speaker_turns = audio_search(url, predicate.kind)
-            if matched:
-                surviving.add(key)
-                turns[predicate.alias][key] = [
-                    TurnRange(start, end, speaker)
-                    for start, end, speaker in speaker_turns]
-        candidates[predicate.alias] &= surviving
-        bind_nodes[predicate.alias].add(PlanNode(
-            "AudioProbe",
-            f"{predicate.alias}.{predicate.attribute} KIND "
-            f"{predicate.kind}",
-            {"in": before, "out": len(candidates[predicate.alias])}))
+    with tracer.span("plan.audio",
+                     predicates=len(query.audio_predicates)):
+        for predicate in query.audio_predicates:
+            if audio_search is None:
+                raise QueryError("this engine has no audio meta-index hook")
+            cls = query.cls_of(predicate.alias)
+            before = len(candidates[predicate.alias])
+            with tracer.span("op.AudioProbe", cls=cls,
+                             kind=predicate.kind) as op:
+                media = index.attribute_values(cls, predicate.attribute)
+                surviving = set()
+                for key in candidates[predicate.alias]:
+                    url = media.get(key)
+                    if not url:
+                        continue
+                    matched, speaker_turns = audio_search(url,
+                                                          predicate.kind)
+                    if matched:
+                        surviving.add(key)
+                        turns[predicate.alias][key] = [
+                            TurnRange(start, end, speaker)
+                            for start, end, speaker in speaker_turns]
+                op.set_attribute("out", len(surviving))
+            operators.counter("translate.operators",
+                              operator="AudioProbe").add(1)
+            candidates[predicate.alias] &= surviving
+            bind_nodes[predicate.alias].add(PlanNode(
+                "AudioProbe",
+                f"{predicate.alias}.{predicate.attribute} KIND "
+                f"{predicate.kind}",
+                {"in": before, "out": len(candidates[predicate.alias])}))
 
     result.candidates_considered = sum(len(keys)
                                        for keys in candidates.values())
 
     # 2. joins: build the connected row set
-    rows = _join_rows(query, candidates, index, join_root)
+    with tracer.span("plan.join", joins=len(query.joins)) as join_span:
+        rows = _join_rows(query, candidates, index, join_root,
+                          tracer=tracer)
+        join_span.set_attribute("rows", len(rows))
 
     # 3. rank by summed content scores, project, cut to top-N
-    scored_rows: list[ResultRow] = []
-    for keys in rows:
-        row = ResultRow(keys=dict(keys))
-        row.score = sum(scores[alias].get(key, 0.0)
-                        for alias, key in keys.items())
-        for alias, key in keys.items():
-            if alias in shots and key in shots[alias]:
-                row.shots[alias] = shots[alias][key]
-            if alias in turns and key in turns[alias]:
-                row.turns[alias] = turns[alias][key]
-        for alias, attribute in query.projections:
-            cls = query.cls_of(alias)
-            values = index.attribute_values(cls, attribute)
-            row.values[f"{alias}.{attribute}"] = values.get(keys[alias])
-        scored_rows.append(row)
-    scored_rows.sort(key=lambda row: (-row.score,
-                                      tuple(sorted(row.keys.items()))))
+    with tracer.span("plan.rank", rows=len(rows)):
+        scored_rows: list[ResultRow] = []
+        for keys in rows:
+            row = ResultRow(keys=dict(keys))
+            row.score = sum(scores[alias].get(key, 0.0)
+                            for alias, key in keys.items())
+            for alias, key in keys.items():
+                if alias in shots and key in shots[alias]:
+                    row.shots[alias] = shots[alias][key]
+                if alias in turns and key in turns[alias]:
+                    row.turns[alias] = turns[alias][key]
+            for alias, attribute in query.projections:
+                cls = query.cls_of(alias)
+                values = index.attribute_values(cls, attribute)
+                row.values[f"{alias}.{attribute}"] = values.get(keys[alias])
+            scored_rows.append(row)
+        scored_rows.sort(key=lambda row: (-row.score,
+                                          tuple(sorted(row.keys.items()))))
     rank_node.counter("rows", len(scored_rows))
     result.rows = scored_rows[:query.limit]
     plan.counter("rows", len(result.rows))
     result.tuples_touched = index.store.server.tuples_touched
     plan.counter("tuples_touched", result.tuples_touched)
+    telemetry.metrics.counter("translate.candidates").add(
+        result.candidates_considered)
     result.plan = plan
     return result
 
 
 def _join_rows(query: WebspaceQuery, candidates: dict[str, set[str]],
                index: ConceptualIndex,
-               plan: PlanNode | None = None) -> list[dict[str, str]]:
+               plan: PlanNode | None = None,
+               tracer=None) -> list[dict[str, str]]:
     """Combine per-binding candidates through the association joins."""
+    if tracer is None:
+        tracer = get_telemetry().tracer
     aliases = [binding.alias for binding in query.bindings]
     if len(aliases) == 1:
         alias = aliases[0]
@@ -308,7 +360,10 @@ def _join_rows(query: WebspaceQuery, candidates: dict[str, set[str]],
         progressed = False
         for join in list(remaining_joins):
             if join.source_alias in bound or join.target_alias in bound:
-                rows = _apply_join(rows, join, candidates, index, bound)
+                with tracer.span("op.AssocJoin",
+                                 association=join.association) as op:
+                    rows = _apply_join(rows, join, candidates, index, bound)
+                    op.set_attribute("rows", len(rows))
                 if plan is not None:
                     plan.add(PlanNode(
                         "AssocJoin",

@@ -28,6 +28,7 @@ from repro.featuregrammar.detectors import DetectorRegistry
 from repro.featuregrammar.parsetree import NodeKind, ParseNode
 from repro.featuregrammar.paths import resolve_value
 from repro.featuregrammar.tokens import Token, make_stack
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["FDE", "ParseOutcome"]
 
@@ -86,23 +87,35 @@ class FDE:
                 f"{len(start.parameters)} initial tokens "
                 f"({', '.join(start.parameters)}), got {len(start_tokens)}")
         self._reset_counters()
-        stack = make_stack([Token(value) for value in start_tokens],
-                           shared=self.shared_stacks)
-        holder = ParseNode("<holder>", NodeKind.VARIABLE)
-        term = Term(start.symbol)
-        outcome_stack = None
-        # Membership in L(G) means the whole sentence is explained: accept
-        # the first reading that consumes every token (detector outputs
-        # included), backtracking over readings that leave tokens behind.
-        for left in self._parse_single(term, holder, stack):
-            if left.is_empty():
-                outcome_stack = left
-                break
-        self._run_finals()
-        if outcome_stack is None or not holder.children:
-            raise ParseError(
-                f"input is not in L({self.grammar.name or 'G'}) for start "
-                f"symbol {start.symbol}")
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("fde.parse", start=start.symbol) as span:
+            stack = make_stack([Token(value) for value in start_tokens],
+                               shared=self.shared_stacks)
+            holder = ParseNode("<holder>", NodeKind.VARIABLE)
+            term = Term(start.symbol)
+            outcome_stack = None
+            # Membership in L(G) means the whole sentence is explained:
+            # accept the first reading that consumes every token (detector
+            # outputs included), backtracking over readings that leave
+            # tokens behind.
+            for left in self._parse_single(term, holder, stack):
+                if left.is_empty():
+                    outcome_stack = left
+                    break
+            self._run_finals()
+            span.set_attributes(detector_calls=self._detector_calls,
+                                backtracks=self._backtracks,
+                                nodes=self._nodes)
+            telemetry.metrics.counter("fde.parses").add(1)
+            telemetry.metrics.counter("fde.backtracks").add(self._backtracks)
+            if outcome_stack is None or not holder.children:
+                telemetry.metrics.counter("fde.parse_failures").add(1)
+                raise ParseError(
+                    f"input is not in L({self.grammar.name or 'G'}) for "
+                    f"start symbol {start.symbol}")
+        duration = span.duration_ms
+        if duration is not None:
+            telemetry.metrics.histogram("fde.parse_ms").observe(duration)
         tree = holder.children[0]
         tree.parent = None
         references = [(node.name, node.reference_key)
@@ -144,12 +157,18 @@ class FDE:
                     child.parent = node
                 node.invalidate()
             return truth
+        telemetry = get_telemetry()
         try:
             arguments = tuple(resolve_value(node, path)
                               for path in decl.parameters)
-            outputs = self.registry.execute(node.name, arguments)
+            with telemetry.tracer.span("fde.reparse", detector=node.name):
+                outputs = self.registry.execute(node.name, arguments)
             self._detector_calls += 1
+            telemetry.metrics.counter("fde.detector_calls",
+                                      detector=node.name).add(1)
         except DetectorError:
+            telemetry.metrics.counter("fde.detector_errors",
+                                      detector=node.name).add(1)
             node.valid = False
             return False
         tokens = [Token(value, producer=node.name)
@@ -398,12 +417,18 @@ class FDE:
 
         node = self._new_node(symbol, NodeKind.DETECTOR)
         parent.add(node)
+        telemetry = get_telemetry()
         try:
             arguments = tuple(resolve_value(node, path)
                               for path in decl.parameters)
-            outputs = self.registry.execute(symbol, arguments)
+            with telemetry.tracer.span("fde.detector", detector=symbol):
+                outputs = self.registry.execute(symbol, arguments)
             self._detector_calls += 1
+            telemetry.metrics.counter("fde.detector_calls",
+                                      detector=symbol).add(1)
         except DetectorError:
+            telemetry.metrics.counter("fde.detector_errors",
+                                      detector=symbol).add(1)
             self._backtracks += 1
             parent.children.pop()
             node.parent = None
@@ -415,6 +440,11 @@ class FDE:
         detector_stack = stack.push_all(tokens)
         produced = False
         for left in self._parse_alternatives(symbol, node, detector_stack):
+            if not produced:
+                # counted at the first accepted reading: the caller may
+                # stop consuming this generator as soon as one succeeds
+                telemetry.metrics.counter("fde.detector_hits",
+                                          detector=symbol).add(1)
             produced = True
             self._hooks(symbol, "end")
             yield left

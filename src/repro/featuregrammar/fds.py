@@ -35,6 +35,7 @@ from repro.featuregrammar.detectors import DetectorRegistry
 from repro.featuregrammar.fde import FDE, ParseOutcome
 from repro.featuregrammar.parsetree import NodeKind, ParseNode  # noqa: F401
 from repro.featuregrammar.versions import ChangeLevel, Version
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["FDS", "Priority", "MaintenanceReport"]
 
@@ -178,43 +179,62 @@ class FDS:
     def run(self, limit: int | None = None) -> MaintenanceReport:
         """Process queued maintenance tasks (all of them by default)."""
         report = MaintenanceReport()
-        processed = 0
-        while self._queue and (limit is None or processed < limit):
-            task = heapq.heappop(self._queue)
-            if task.kind == "regenerate":
-                self._regenerate(task.key, report)
-            else:
-                self._revalidate(task.key, task.detector, report)
-            processed += 1
-            report.tasks_processed += 1
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("fds.run", pending=len(self._queue)):
+            processed = 0
+            while self._queue and (limit is None or processed < limit):
+                task = heapq.heappop(self._queue)
+                telemetry.metrics.counter("fds.tasks",
+                                          kind=task.kind).add(1)
+                if task.kind == "regenerate":
+                    self._regenerate(task.key, report)
+                else:
+                    self._revalidate(task.key, task.detector, report)
+                processed += 1
+                report.tasks_processed += 1
         return report
 
     def _regenerate(self, key: Any, report: MaintenanceReport) -> None:
         stored = self._trees[key]
-        outcome = self.fde.parse(*stored.start_tokens)
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("fds.regenerate", key=str(key)):
+            outcome = self.fde.parse(*stored.start_tokens)
         stored.tree = outcome.tree
         stored.source_stamp = (self._source_stamp(key)
                                if self._source_stamp else None)
         report.trees_regenerated += 1
         report.detectors_rerun += outcome.detector_calls
+        telemetry.metrics.counter("fds.trees_regenerated").add(1)
 
     def _revalidate(self, key: Any, detector: str,
                     report: MaintenanceReport) -> None:
         stored = self._trees.get(key)
         if stored is None:
             return
+        telemetry = get_telemetry()
         closure = self.graph.downward_closure(detector)
         dependents = self.graph.parameter_dependents(closure)
         dependents.discard(detector)
+        tree_nodes = sum(1 for _ in stored.tree.walk())
         for node in stored.tree.find_all(detector):
             if node.kind != NodeKind.DETECTOR:
                 continue
             # step 1: the partial parse tree rooted here is invalidated
             # and incrementally re-parsed in place
-            report.nodes_invalidated += sum(
+            invalidated = sum(
                 1 for part in node.walk() if part.name in closure)
+            report.nodes_invalidated += invalidated
+            # the incremental win: every node *outside* the closure keeps
+            # its derivation — that is what a full re-parse would redo
+            telemetry.metrics.counter("fds.nodes_revalidated").add(
+                invalidated)
+            telemetry.metrics.counter("fds.nodes_skipped").add(
+                max(0, tree_nodes - invalidated))
             before = _leaf_snapshot(node)
-            ok = self.fde.reparse_detector(node)
+            with telemetry.tracer.span("fds.revalidate", key=str(key),
+                                       detector=detector) as span:
+                ok = self.fde.reparse_detector(node)
+                span.set_attribute("ok", ok)
             report.detectors_rerun += 1
             if ok:
                 # step 2: "If there has been a modification the dependent
@@ -231,6 +251,7 @@ class FDS:
                  report: MaintenanceReport) -> None:
         for dependent in sorted(dependents):
             report.cascaded_revalidations += 1
+            get_telemetry().metrics.counter("fds.cascades").add(1)
             if stored.tree.find_all(dependent):
                 self._enqueue(Priority.HIGH, "revalidate", key, dependent)
             else:

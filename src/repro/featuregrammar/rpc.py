@@ -22,6 +22,7 @@ import json
 from typing import Any, Callable
 
 from repro.errors import DetectorError
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["RpcServer", "Transport", "TransportRegistry",
            "default_transports"]
@@ -51,7 +52,12 @@ class RpcServer:
     def invoke(self, name: str, payload: str) -> str:
         """Execute a call from its serialised argument payload."""
         self.calls += 1
-        arguments = json.loads(payload)
+        try:
+            arguments = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise DetectorError(
+                f"server {self.name!r}: malformed call payload for "
+                f"{name!r}: {exc}") from exc
         result = self.procedure(name)(*arguments)
         return json.dumps(result)
 
@@ -66,16 +72,29 @@ class Transport:
         self.bytes_received = 0
 
     def call(self, name: str, arguments: tuple[Any, ...]) -> Any:
+        metrics = get_telemetry().metrics
         try:
             payload = json.dumps(list(arguments))
         except TypeError as exc:
+            metrics.counter("rpc.errors", protocol=self.protocol).add(1)
             raise DetectorError(
                 f"{self.protocol}::{name}: arguments are not serialisable"
             ) from exc
         self.bytes_sent += len(payload)
         response = self.server.invoke(name, payload)
         self.bytes_received += len(response)
-        return json.loads(response)
+        metrics.counter("rpc.calls", protocol=self.protocol).add(1)
+        metrics.counter("rpc.bytes_sent",
+                        protocol=self.protocol).add(len(payload))
+        metrics.counter("rpc.bytes_received",
+                        protocol=self.protocol).add(len(response))
+        try:
+            return json.loads(response)
+        except json.JSONDecodeError as exc:
+            metrics.counter("rpc.errors", protocol=self.protocol).add(1)
+            raise DetectorError(
+                f"{self.protocol}::{name}: malformed response from server "
+                f"{self.server.name!r}: {exc}") from exc
 
 
 class TransportRegistry:

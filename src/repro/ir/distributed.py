@@ -21,13 +21,20 @@ from repro.ir.fragmentation import FragmentSet, fragment_by_idf
 from repro.ir.ranking import Ranking, query_term_oids
 from repro.ir.relations import IrRelations
 from repro.ir.topn import TopNResult, topn_fragmented
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["DistributedIndex", "DistributedQueryResult"]
 
 
 @dataclass
 class DistributedQueryResult:
-    """Merged ranking plus per-node work accounting."""
+    """Merged ranking plus per-node work accounting.
+
+    The per-node numbers are also recorded on the telemetry registry
+    (``ir.node_tuples_read`` counters and the servers'
+    ``monetdb.tuples_touched``), so metric snapshots agree with the
+    accessors below — benchmarks can read either side.
+    """
 
     ranking: Ranking
     local_results: dict[str, TopNResult] = field(default_factory=dict)
@@ -114,36 +121,57 @@ class DistributedIndex:
         every node scores against the same weighting and the merged
         ranking equals the central ranking (verified by tests).
         """
-        # The central node stems the query and resolves the vocabulary.
-        central_terms = query_term_oids(self.central, query)
-        central_term_names = [self.central.T.find(oid)
-                              for oid in central_terms]
-        global_idf = {self.central.T.find(oid): self.central.idf(oid)
-                      for oid in central_terms}
+        telemetry = get_telemetry()
+        servers = {server.name: server for server in self.cluster.servers}
+        with telemetry.tracer.span("ir.distributed_query", n=n,
+                                   prune=prune,
+                                   nodes=len(self.nodes)) as span:
+            # The central node stems the query and resolves the vocabulary.
+            with telemetry.tracer.span("ir.stem_query") as stem_span:
+                central_terms = query_term_oids(self.central, query)
+                stem_span.set_attribute("terms", len(central_terms))
+            central_term_names = [self.central.T.find(oid)
+                                  for oid in central_terms]
+            global_idf = {self.central.T.find(oid): self.central.idf(oid)
+                          for oid in central_terms}
 
-        result = DistributedQueryResult(ranking=[])
-        local_rankings: list[Ranking] = []
-        for name, relations in self.nodes.items():
-            # translate global terms into this node's vocabulary space
-            local_terms = []
-            for term in central_term_names:
-                oid = relations.term_oid(term)
-                if oid is not None:
-                    local_terms.append(oid)
-            fragments = self._node_fragments(name)
-            # override local idf with the pushed global weights
-            patched = _patch_fragment_idf(fragments, relations, global_idf)
-            local = topn_fragmented(patched, local_terms, n, prune=prune,
-                                    refine=True)
-            # report work against the node's server accounting as well
-            for server in self.cluster.servers:
-                if server.name == name:
-                    server.charge(local.tuples_read)
-            result.local_results[name] = local
-            local_rankings.append(
-                [(self._to_central_doc(relations, doc), score)
-                 for doc, score in local.ranking])
-        result.ranking = topn_merge(local_rankings, n)
+            result = DistributedQueryResult(ranking=[])
+            local_rankings: list[Ranking] = []
+            for name, relations in self.nodes.items():
+                with telemetry.tracer.span("ir.node_topn",
+                                           node=name) as node_span:
+                    # translate global terms into this node's vocabulary
+                    local_terms = []
+                    for term in central_term_names:
+                        oid = relations.term_oid(term)
+                        if oid is not None:
+                            local_terms.append(oid)
+                    fragments = self._node_fragments(name)
+                    # override local idf with the pushed global weights
+                    patched = _patch_fragment_idf(fragments, relations,
+                                                  global_idf)
+                    local = topn_fragmented(patched, local_terms, n,
+                                            prune=prune, refine=True)
+                    node_span.set_attributes(
+                        tuples_read=local.tuples_read,
+                        fragments_read=local.fragments_read,
+                        stopped_early=local.stopped_early)
+                # report work against the node's server accounting and the
+                # registry, so snapshots show the per-node 1/k split
+                servers[name].charge(local.tuples_read)
+                telemetry.metrics.counter("ir.node_tuples_read",
+                                          node=name).add(local.tuples_read)
+                result.local_results[name] = local
+                local_rankings.append(
+                    [(self._to_central_doc(relations, doc), score)
+                     for doc, score in local.ranking])
+            with telemetry.tracer.span("ir.merge",
+                                       nodes=len(local_rankings)) as merge:
+                result.ranking = topn_merge(local_rankings, n)
+                merge.set_attribute("rows", len(result.ranking))
+            span.set_attributes(total_tuples=result.total_tuples(),
+                                max_node_tuples=result.max_node_tuples())
+        telemetry.metrics.counter("ir.distributed_queries").add(1)
         return result
 
     def _to_central_doc(self, relations: IrRelations, doc: Oid) -> Oid:

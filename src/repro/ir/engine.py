@@ -100,6 +100,10 @@ class ClusterIrEngine:
         self.cluster = Cluster(cluster_size)
         self.index = DistributedIndex(self.cluster,
                                       fragment_count=fragment_count)
+        # the most recent DistributedQueryResult, kept so diagnostics
+        # (CLI stats, tests) can cross-check registry counters against
+        # the per-node accounting of the last distributed plan
+        self.last_result = None
 
     @property
     def relations(self) -> IrRelations:
@@ -117,5 +121,6 @@ class ClusterIrEngine:
         limit = n if n is not None else max(
             1, self.index.central.document_count())
         result = self.index.query(query, n=limit)
+        self.last_result = result
         return [(self.index.central.doc_url(doc), score)
                 for doc, score in result.ranking]

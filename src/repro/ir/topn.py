@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.monetdb.atoms import Oid
 from repro.ir.fragmentation import FragmentSet
 from repro.ir.ranking import Ranking
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["TopNResult", "topn_fragmented", "topn_cutoff", "quality_degrade"]
 
@@ -66,6 +67,20 @@ def topn_fragmented(fragments: FragmentSet, query_terms: list[Oid],
     only*, making the returned scores exact (the distributed plan needs
     exact local scores before merging); ``prune=False`` is exhaustive.
     """
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("ir.topn", n=n, prune=prune,
+                               refine=refine) as span:
+        result = _topn_scan(fragments, query_terms, n, prune, refine)
+        span.set_attributes(tuples_read=result.tuples_read,
+                            fragments_read=result.fragments_read,
+                            stopped_early=result.stopped_early)
+    telemetry.metrics.counter("ir.topn_queries").add(1)
+    telemetry.metrics.counter("ir.topn_tuples_read").add(result.tuples_read)
+    return result
+
+
+def _topn_scan(fragments: FragmentSet, query_terms: list[Oid],
+               n: int, prune: bool, refine: bool) -> TopNResult:
     result = TopNResult(ranking=[])
     scores: dict[Oid, float] = defaultdict(float)
     wanted = set(query_terms)

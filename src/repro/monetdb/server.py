@@ -9,6 +9,14 @@ set of servers with a document-placement function.
 Cost accounting matters more than wall-clock here: each server counts the
 tuples its operators touch, so benchmarks can demonstrate the *shape* of
 the scalability claim (per-server work ~ 1/k) deterministically.
+
+Accounting is a telemetry counter (``monetdb.tuples_touched`` labelled
+with the server name): a server always owns a live
+:class:`~repro.telemetry.metrics.Counter` — so the numbers are correct
+whether or not telemetry is globally enabled — and adopts it into the
+active registry at construction time and again whenever the active
+registry has changed since the last charge, so telemetry sessions opened
+after the server was built still see its accounting in their snapshots.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from typing import Any, Callable, Iterable
 
 from repro.errors import CatalogError
 from repro.monetdb.catalog import Catalog
+from repro.telemetry.metrics import Counter
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["MonetServer", "Cluster"]
 
@@ -27,15 +37,33 @@ class MonetServer:
     def __init__(self, name: str, oid_start: int = 0, oid_stride: int = 1):
         self.name = name
         self.catalog = Catalog(oid_start=oid_start, oid_stride=oid_stride)
-        self.tuples_touched = 0
+        self._tuples = Counter("monetdb.tuples_touched", {"server": name})
+        self._bound_metrics = get_telemetry().metrics
+        self._bound_metrics.adopt(self._tuples)
+
+    def _bind(self) -> None:
+        # re-adopt into the registry active *now*: telemetry sessions may
+        # start after this server was built, and their snapshots must
+        # still see its accounting
+        metrics = get_telemetry().metrics
+        if metrics is not self._bound_metrics:
+            metrics.adopt(self._tuples)
+            self._bound_metrics = metrics
+
+    @property
+    def tuples_touched(self) -> int:
+        """Tuples touched since the last reset (reads the counter)."""
+        return self._tuples.value
 
     def charge(self, tuples: int) -> None:
         """Record that an operator touched ``tuples`` tuples on this server."""
-        self.tuples_touched += tuples
+        self._bind()
+        self._tuples.add(tuples)
 
     def reset_accounting(self) -> None:
         """Zero the tuples-touched counter (start of a measured query)."""
-        self.tuples_touched = 0
+        self._bind()
+        self._tuples.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MonetServer({self.name!r}, {len(self.catalog)} relations)"

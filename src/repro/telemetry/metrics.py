@@ -1,0 +1,353 @@
+"""Metric instruments and the registry that holds them.
+
+Three instrument kinds, modelled on the usual time-series trio:
+
+* :class:`Counter` — a monotonically increasing total (resettable at
+  measurement boundaries, e.g. the start of a measured query),
+* :class:`Gauge` — a point-in-time value (last write wins),
+* :class:`Histogram` — fixed-bucket value distribution with running
+  count and sum, for latency-style observations.
+
+Instruments are identified by a name plus a frozen label set
+(``counter("monetdb.tuples_touched", server="node0")``), so one metric
+family fans out per server / per detector / per transport without any
+registry-side configuration.  A :class:`MetricsRegistry` memoizes
+instruments by identity and renders a JSON-friendly snapshot; null
+variants (:class:`NullMetricsRegistry`) make every operation a no-op so
+instrumented code pays near-zero cost when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NullMetricsRegistry", "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
+    "DEFAULT_BUCKETS",
+]
+
+# Powers-of-ten-ish default bucket bounds: wide enough for both tuple
+# counts and millisecond latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+def _render_name(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}"
+                     for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Base: a named, labelled measurement slot."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, labels: dict[str, Any] | None = None):
+        self.name = name
+        self.labels = {key: str(value)
+                       for key, value in (labels or {}).items()}
+        self._lock = threading.Lock()
+
+    def key(self) -> tuple[str, LabelItems]:
+        return (self.name, _label_key(self.labels))
+
+    def render_name(self) -> str:
+        return _render_name(self.name, self.labels)
+
+    def snapshot_value(self) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.render_name()!r})"
+
+
+class Counter(Instrument):
+    """A monotonically increasing count of events or work units."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, Any] | None = None):
+        super().__init__(name, labels)
+        self._value = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def add(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(add({amount}))")
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (start of a measured interval)."""
+        with self._lock:
+            self._value = 0
+
+    def snapshot_value(self) -> int | float:
+        return self._value
+
+
+class Gauge(Instrument):
+    """A point-in-time value; the last ``set`` wins."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, Any] | None = None):
+        super().__init__(name, labels)
+        self._value: int | float = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def set(self, value: int | float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: int | float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def snapshot_value(self) -> int | float:
+        return self._value
+
+
+class Histogram(Instrument):
+    """Fixed-bucket distribution with running count and sum.
+
+    ``buckets`` are inclusive upper bounds in increasing order; a final
+    implicit ``+Inf`` bucket catches everything beyond the last bound.
+    Buckets are *not* cumulative in the snapshot — each holds only the
+    observations that fell into its own range, which keeps the JSON
+    report directly plottable.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, Any] | None = None,
+                 buckets: Iterable[float] | None = None):
+        super().__init__(name, labels)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r} buckets must strictly increase")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum: float = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: int | float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def bucket_counts(self) -> dict[str, int]:
+        names = [f"<={bound:g}" for bound in self.buckets] + ["+Inf"]
+        return dict(zip(names, self._counts))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def snapshot_value(self) -> dict[str, Any]:
+        return {"count": self._count, "sum": self._sum,
+                "buckets": self.bucket_counts()}
+
+
+class MetricsRegistry:
+    """Thread-safe, memoizing home of all instruments of one session."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelItems], Instrument] = {}
+        self._lock = threading.RLock()
+
+    # -- creation ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, labels: dict[str, Any],
+                       **kwargs) -> Instrument:
+        key = (name, _label_key({k: str(v) for k, v in labels.items()}))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, labels, **kwargs)
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None,
+                  **labels: Any) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def adopt(self, instrument: Instrument) -> Instrument:
+        """Register an externally created instrument.
+
+        Components that must keep counting even when the global
+        telemetry is off (e.g. :class:`~repro.monetdb.server.MonetServer`
+        cost accounting) own their instrument and *adopt* it into the
+        active registry, so snapshots see it.  Identity collisions —
+        two servers named alike — are disambiguated with an ``instance``
+        label rather than silently merged.
+        """
+        with self._lock:
+            serial = 2
+            key = instrument.key()
+            while key in self._instruments \
+                    and self._instruments[key] is not instrument:
+                instrument.labels = {**instrument.labels,
+                                     "instance": str(serial)}
+                key = instrument.key()
+                serial += 1
+            self._instruments[key] = instrument
+        return instrument
+
+    # -- reading ----------------------------------------------------------
+
+    def get(self, name: str, **labels: Any) -> Instrument | None:
+        key = (name, _label_key({k: str(v) for k, v in labels.items()}))
+        return self._instruments.get(key)
+
+    def instruments(self, kind: str | None = None) -> list[Instrument]:
+        found = list(self._instruments.values())
+        if kind is not None:
+            found = [inst for inst in found if inst.kind == kind]
+        return found
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A JSON-friendly view: kind -> rendered name -> value."""
+        snap: dict[str, dict[str, Any]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        section = {"counter": "counters", "gauge": "gauges",
+                   "histogram": "histograms"}
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            snap[section[instrument.kind]][instrument.render_name()] = \
+                instrument.snapshot_value()
+        return snap
+
+    def sum_counters(self, name: str) -> int | float:
+        """Total over every label combination of one counter family."""
+        return sum(inst.value for inst in self._instruments.values()
+                   if inst.kind == "counter" and inst.name == name)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (adopted ones included)."""
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.reset()
+
+
+class _NullInstrument(Instrument):
+    """Shared do-nothing instrument: every write is discarded."""
+
+    def __init__(self, kind: str):
+        super().__init__(f"null.{kind}")
+        self.kind = kind
+
+    value = 0
+    count = 0
+    sum = 0.0
+    buckets = ()
+
+    def add(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def bucket_counts(self) -> dict[str, int]:
+        return {}
+
+    def snapshot_value(self) -> int:
+        return 0
+
+
+NULL_COUNTER = _NullInstrument("counter")
+NULL_GAUGE = _NullInstrument("gauge")
+NULL_HISTOGRAM = _NullInstrument("histogram")
+
+
+class NullMetricsRegistry:
+    """The off switch: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None,
+                  **labels: Any) -> _NullInstrument:
+        return NULL_HISTOGRAM
+
+    def adopt(self, instrument: Instrument) -> Instrument:
+        return instrument
+
+    def get(self, name: str, **labels: Any) -> None:
+        return None
+
+    def instruments(self, kind: str | None = None) -> list:
+        return []
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def sum_counters(self, name: str) -> int:
+        return 0
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,113 @@
+"""The process-wide telemetry switch.
+
+Instrumented code everywhere asks :func:`get_telemetry` for the active
+:class:`Telemetry` (a metrics registry + a tracer).  By default that is
+the shared :data:`NULL_TELEMETRY` — both halves are no-ops, so the hot
+paths pay one global read and a handful of discarded method calls.
+Turning measurement on is one call::
+
+    telemetry = enable()          # fresh registry + tracer
+    ... run the workload ...
+    print(format_report(telemetry))
+    disable()
+
+or scoped, restoring whatever was active before::
+
+    with telemetry_session() as telemetry:
+        ... run the workload ...
+
+Swapping the active instance is lock-protected; reading it is a plain
+module-global load, which CPython makes atomic.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.telemetry.trace import NullTracer, Tracer
+
+__all__ = [
+    "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "get_telemetry",
+    "set_telemetry", "enable", "disable", "is_enabled", "telemetry_session",
+]
+
+
+class Telemetry:
+    """One measurement session: a metrics registry plus a tracer."""
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None):
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or Tracer()
+
+    def reset(self) -> None:
+        """Zero the metrics and drop collected spans."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+class NullTelemetry:
+    """The default: telemetry off, every operation a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NullMetricsRegistry()
+        self.tracer = NullTracer()
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+_active: Telemetry | NullTelemetry = NULL_TELEMETRY
+_swap_lock = threading.Lock()
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The active telemetry (the null instance when off)."""
+    return _active
+
+
+def set_telemetry(telemetry: Telemetry | NullTelemetry | None
+                  ) -> Telemetry | NullTelemetry:
+    """Install ``telemetry`` (None means off); returns the previous one."""
+    global _active
+    with _swap_lock:
+        previous = _active
+        _active = telemetry if telemetry is not None else NULL_TELEMETRY
+    return previous
+
+
+def enable(telemetry: Telemetry | None = None) -> Telemetry:
+    """Turn telemetry on; returns the now-active instance."""
+    active = telemetry or Telemetry()
+    set_telemetry(active)
+    return active
+
+
+def disable() -> Telemetry | NullTelemetry:
+    """Turn telemetry off; returns the previously active instance."""
+    return set_telemetry(NULL_TELEMETRY)
+
+
+def is_enabled() -> bool:
+    return _active.enabled
+
+
+@contextmanager
+def telemetry_session(telemetry: Telemetry | None = None
+                      ) -> Iterator[Telemetry]:
+    """Scoped enable: activates a session, restores the old one after."""
+    active = telemetry or Telemetry()
+    previous = set_telemetry(active)
+    try:
+        yield active
+    finally:
+        set_telemetry(previous)

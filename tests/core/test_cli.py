@@ -67,6 +67,51 @@ class TestInspection:
         out = capsys.readouterr().out
         assert "conceptual:" in out and "ir:" in out
 
+    def test_stats_query_prints_trace_and_metrics(self, snapshot, capsys,
+                                                  tmp_path):
+        import json
+
+        report_path = tmp_path / "report.json"
+        code = main(["stats", "--snapshot", str(snapshot),
+                     "--query",
+                     "SELECT p.name FROM Player p "
+                     "WHERE p.history CONTAINS 'Winner' TOP 5",
+                     "--json", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "== trace ==" in out and "== metrics ==" in out
+        # the span tree descends query -> plan stage -> operator
+        assert "query" in out and "plan.content" in out
+        assert "op.IrProbe" in out
+        assert "monetdb.tuples_touched{server=conceptual}" in out
+        report = json.loads(report_path.read_text())
+        assert report["spans"][0]["name"] == "query"
+        assert report["metrics"]["counters"]["engine.queries"] == 1
+
+    def test_stats_query_leaves_telemetry_disabled(self, snapshot):
+        from repro.telemetry import is_enabled
+
+        main(["stats", "--snapshot", str(snapshot),
+              "--query", "SELECT p.name FROM Player p TOP 3"])
+        assert not is_enabled()
+
+    def test_stats_site_builds_ephemeral_engine(self, capsys):
+        code = main(["stats", "--site", "ausopen", "--cluster", "2",
+                     "--players", "4", "--articles", "2", "--videos", "1",
+                     "--frames", "6",
+                     "--query",
+                     "SELECT p.name FROM Player p "
+                     "WHERE p.history CONTAINS 'Winner' TOP 5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ir.node_topn" in out
+        assert "distributed per-node tuples" in out
+
+    def test_stats_requires_a_source(self, capsys):
+        code = main(["stats"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_paths(self, snapshot, capsys):
         assert main(["paths", "--snapshot", str(snapshot)]) == 0
         out = capsys.readouterr().out

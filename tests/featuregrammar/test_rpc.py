@@ -52,6 +52,54 @@ class TestRpcServer:
         assert transport.bytes_received > 0
         assert server.calls == 1
 
+    def test_malformed_call_payload_raises_detector_error(self):
+        server = RpcServer(name="far-host")
+        server.register("echo", lambda x: x)
+        with pytest.raises(DetectorError) as excinfo:
+            server.invoke("echo", "{not json")
+        assert "far-host" in str(excinfo.value)
+        assert "echo" in str(excinfo.value)
+
+    def test_malformed_response_raises_detector_error_naming_server(self):
+        class GarblingServer(RpcServer):
+            def invoke(self, name, payload):
+                return "<<binary garbage>>"
+
+        server = GarblingServer(name="far-host")
+        transport = default_transports(server).get("corba")
+        with pytest.raises(DetectorError) as excinfo:
+            transport.call("echo", (1,))
+        message = str(excinfo.value)
+        assert "far-host" in message
+        assert "corba::echo" in message
+
+    def test_calls_and_bytes_land_in_telemetry(self):
+        from repro.telemetry import telemetry_session
+
+        server = RpcServer()
+        server.register("echo", lambda x: x)
+        transport = default_transports(server).get("xml-rpc")
+        with telemetry_session() as telemetry:
+            transport.call("echo", ("payload",))
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["rpc.calls{protocol=xml-rpc}"] == 1
+        assert counters["rpc.bytes_sent{protocol=xml-rpc}"] \
+            == transport.bytes_sent
+        assert counters["rpc.bytes_received{protocol=xml-rpc}"] \
+            == transport.bytes_received
+
+    def test_marshalling_failure_counts_as_rpc_error(self):
+        from repro.telemetry import telemetry_session
+
+        server = RpcServer()
+        server.register("id", lambda x: x)
+        transport = default_transports(server).get("system")
+        with telemetry_session() as telemetry:
+            with pytest.raises(DetectorError):
+                transport.call("id", (object(),))
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["rpc.errors{protocol=system}"] == 1
+
 
 class TestRegistryIntegration:
     def test_remote_detector_counts_executions(self):

@@ -1,0 +1,165 @@
+"""Instrument arithmetic and registry semantics."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry, NullMetricsRegistry)
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(41)
+        assert counter.value == 42
+
+    def test_reset_zeroes(self):
+        counter = Counter("c")
+        counter.add(7)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").add(-1)
+
+    def test_rendered_name_includes_sorted_labels(self):
+        counter = Counter("work", {"b": "2", "a": "1"})
+        assert counter.render_name() == "work{a=1,b=2}"
+
+    def test_concurrent_adds_do_not_lose_updates(self):
+        counter = Counter("c")
+
+        def worker():
+            for _ in range(1000):
+                counter.add()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_last_set_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(9)
+        assert gauge.value == 9
+
+    def test_add_adjusts(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.add(2)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_bucketing_is_upper_bound_inclusive(self):
+        histogram = Histogram("h", buckets=(10, 20, 30))
+        for value in (5, 10, 11, 25, 99):
+            histogram.observe(value)
+        assert histogram.bucket_counts() == {
+            "<=10": 2, "<=20": 1, "<=30": 1, "+Inf": 1}
+
+    def test_count_and_sum_track_observations(self):
+        histogram = Histogram("h", buckets=(1, 2))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(2.0)
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5, 5))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_reset(self):
+        histogram = Histogram("h", buckets=(1,))
+        histogram.observe(3)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.bucket_counts() == {"<=1": 0, "+Inf": 0}
+
+
+class TestRegistry:
+    def test_same_name_and_labels_memoize(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", server="n0")
+        b = registry.counter("hits", server="n0")
+        assert a is b
+
+    def test_different_labels_fan_out(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", server="n0").add(1)
+        registry.counter("hits", server="n1").add(2)
+        assert registry.sum_counters("hits") == 3
+
+    def test_snapshot_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").add(4)
+        registry.gauge("g").set(2)
+        registry.histogram("h", buckets=(1,)).observe(0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 4
+        assert snap["gauges"]["g"] == 2
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_adopt_surfaces_external_instrument(self):
+        registry = MetricsRegistry()
+        counter = Counter("monetdb.tuples_touched", {"server": "n0"})
+        registry.adopt(counter)
+        counter.add(12)
+        assert snapshot_value(registry) == 12
+
+    def test_adopt_collision_gets_instance_label(self):
+        registry = MetricsRegistry()
+        first = Counter("x", {"server": "s"})
+        second = Counter("x", {"server": "s"})
+        registry.adopt(first)
+        registry.adopt(second)
+        assert second.labels["instance"] == "2"
+        assert len(registry.instruments("counter")) == 2
+
+    def test_adopt_is_idempotent_per_instrument(self):
+        registry = MetricsRegistry()
+        counter = Counter("x")
+        registry.adopt(counter)
+        registry.adopt(counter)
+        assert len(registry.instruments()) == 1
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.add(3)
+        registry.reset()
+        assert counter.value == 0
+        assert registry.counter("c") is counter
+
+
+def snapshot_value(registry):
+    return registry.snapshot()["counters"][
+        "monetdb.tuples_touched{server=n0}"]
+
+
+class TestNullRegistry:
+    def test_everything_discards(self):
+        registry = NullMetricsRegistry()
+        registry.counter("c", any="label").add(99)
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1)
+        assert registry.counter("c").value == 0
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        assert registry.sum_counters("c") == 0
+
+    def test_shared_instances(self):
+        registry = NullMetricsRegistry()
+        assert registry.counter("a") is registry.counter("b")

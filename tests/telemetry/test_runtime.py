@@ -1,0 +1,113 @@
+"""The global default: switching, scoping, and the no-op mode."""
+
+import pytest
+
+from repro.telemetry import (NULL_TELEMETRY, Telemetry, disable, enable,
+                             get_telemetry, is_enabled, set_telemetry,
+                             telemetry_session)
+
+
+@pytest.fixture(autouse=True)
+def restore_global():
+    previous = set_telemetry(NULL_TELEMETRY)
+    yield
+    set_telemetry(previous)
+
+
+class TestSwitching:
+    def test_default_is_the_null_instance(self):
+        assert get_telemetry() is NULL_TELEMETRY
+        assert not is_enabled()
+
+    def test_enable_installs_a_live_session(self):
+        telemetry = enable()
+        assert get_telemetry() is telemetry
+        assert is_enabled()
+
+    def test_disable_returns_to_null(self):
+        enable()
+        disable()
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_set_telemetry_returns_previous(self):
+        first = enable()
+        second = Telemetry()
+        assert set_telemetry(second) is first
+        assert get_telemetry() is second
+
+    def test_session_restores_previous_on_exit(self):
+        outer = enable()
+        with telemetry_session() as inner:
+            assert get_telemetry() is inner
+            assert inner is not outer
+        assert get_telemetry() is outer
+
+    def test_session_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError("x")
+        assert get_telemetry() is NULL_TELEMETRY
+
+    def test_reset_clears_both_halves(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("c").add(1)
+        with telemetry.tracer.span("s"):
+            pass
+        telemetry.reset()
+        assert telemetry.metrics.counter("c").value == 0
+        assert telemetry.tracer.roots == []
+
+
+class TestNoOpMode:
+    def test_instrumented_code_records_nothing_when_off(self):
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("query", rows=5) as span:
+            span.set_attribute("ignored", True)
+            telemetry.metrics.counter("work").add(100)
+        assert telemetry.tracer.roots == ()
+        assert telemetry.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_monet_server_accounting_survives_noop_mode(self):
+        # cost accounting is correctness-bearing (benchmarks assert on
+        # it), so it must keep counting with global telemetry off
+        from repro.monetdb.server import MonetServer
+
+        server = MonetServer("offline")
+        server.charge(5)
+        assert server.tuples_touched == 5
+        server.reset_accounting()
+        assert server.tuples_touched == 0
+
+    def test_server_built_under_session_lands_in_registry(self):
+        from repro.monetdb.server import MonetServer
+
+        with telemetry_session() as telemetry:
+            server = MonetServer("n0")
+            server.charge(7)
+            snap = telemetry.metrics.snapshot()
+            assert snap["counters"][
+                "monetdb.tuples_touched{server=n0}"] == 7
+
+    def test_topn_runs_identically_with_telemetry_off_and_on(self):
+        from repro.ir.relations import IrRelations
+        from repro.ir.fragmentation import fragment_by_idf
+        from repro.ir.ranking import query_term_oids
+        from repro.ir.topn import topn_fragmented
+
+        relations = IrRelations()
+        relations.add_documents([
+            (f"http://x/d{i}", f"alpha beta gamma{i % 3} delta")
+            for i in range(20)])
+        fragments = fragment_by_idf(relations, 4)
+        terms = query_term_oids(relations, "alpha gamma0")
+
+        off = topn_fragmented(fragments, terms, 5)
+        with telemetry_session() as telemetry:
+            on = topn_fragmented(fragments, terms, 5)
+            assert telemetry.metrics.counter("ir.topn_queries").value == 1
+            assert telemetry.metrics.counter(
+                "ir.topn_tuples_read").value == on.tuples_read
+            assert len(telemetry.tracer.find_all("ir.topn")) == 1
+        assert on.ranking == off.ranking
+        assert on.tuples_read == off.tuples_read

@@ -1,0 +1,133 @@
+"""Span nesting, timing and the in-memory collector."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.trace import NULL_SPAN, NullTracer, Tracer
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild"):
+                    pass
+        assert parent.children == [child]
+        assert child.children[0].name == "grandchild"
+        assert tracer.roots == [parent]
+
+    def test_sibling_spans_share_the_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert [child.name for child in parent.children] == ["a", "b"]
+
+    def test_sequential_roots_all_collected(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_depth_counts_nesting_levels(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert a.depth() == 3
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+        assert tracer.current() is None
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-root") as span:
+                seen["children"] = list(span.children)
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        names = sorted(root.name for root in tracer.roots)
+        assert names == ["main-root", "thread-root"]
+        assert seen["children"] == []
+
+
+class TestMeasurement:
+    def test_duration_is_monotonic_nonnegative(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            sum(range(100))
+        assert span.duration_ns >= 0
+        assert span.duration_ms == pytest.approx(span.duration_ns / 1e6)
+
+    def test_unfinished_span_has_no_duration(self):
+        tracer = Tracer()
+        span = tracer.span("pending")
+        assert span.duration_ms is None
+
+    def test_attributes_at_creation_and_later(self):
+        tracer = Tracer()
+        with tracer.span("s", mode="fast") as span:
+            span.set_attribute("rows", 3)
+            span.set_attributes(cached=True)
+        assert span.attributes == {"mode": "fast", "rows": 3,
+                                   "cached": True}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        assert span.end_ns is not None
+
+    def test_find_all_walks_the_forest(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("op"):
+                pass
+        with tracer.span("query"):
+            pass
+        assert len(tracer.find_all("query")) == 2
+        assert len(tracer.find_all("op")) == 1
+
+    def test_reset_clears_collected_roots(self):
+        tracer = Tracer()
+        with tracer.span("old"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        tracer = NullTracer()
+        with tracer.span("anything", key="value") as span:
+            span.set_attribute("dropped", 1)
+            assert span is NULL_SPAN
+        assert tracer.roots == ()
+        assert tracer.find_all("anything") == []
+        assert tracer.current() is None
+
+    def test_null_span_is_reentrant(self):
+        tracer = NullTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                assert inner is NULL_SPAN
+        assert NULL_SPAN.attributes == {}
