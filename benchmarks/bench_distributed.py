@@ -11,6 +11,7 @@ the central ranking.
 
 import pytest
 
+from repro.core.config import ExecutionPolicy
 from repro.ir.distributed import DistributedIndex
 from repro.monetdb.server import Cluster
 
@@ -30,7 +31,7 @@ def _build(cluster_size):
 def test_distributed_query(benchmark, cluster_size):
     index = _build(cluster_size)
 
-    result = benchmark(index.query, QUERY, 10)
+    result = benchmark(index.query, QUERY, policy=ExecutionPolicy(n=10))
     benchmark.extra_info["cluster"] = cluster_size
     benchmark.extra_info["critical_path_tuples"] = result.max_node_tuples()
     benchmark.extra_info["total_tuples"] = result.total_tuples()
@@ -46,7 +47,7 @@ def test_critical_path_scales_down(benchmark):
         paths = {}
         for cluster_size in CLUSTER_SIZES:
             index = _build(cluster_size)
-            result = index.query(QUERY, n=10, prune=False)
+            result = index.query(QUERY, policy=ExecutionPolicy(n=10, prune=False))
             paths[cluster_size] = result.max_node_tuples()
         return paths
 

@@ -20,6 +20,11 @@ query; ``stats``/``paths`` inspect the stored index.  ``stats`` with
 (query → plan stage → operator → distributed IR plan) plus the metric
 snapshot with per-server cost accounting; ``--json`` writes the same
 report in the ``BENCH_*.json`` format the benchmarks use.
+
+``query`` and ``stats`` accept the execution-policy flags
+(``--workers``, ``--deadline-ms``, ``--retries``, ``--backoff-ms``,
+``--on-failure raise|degrade``) that configure the parallel cluster
+executor behind content predicates; see ``repro-search query --help``.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.core.config import EngineConfig
+from repro.core.config import EngineConfig, ExecutionPolicy
 from repro.core.engine import SearchEngine
 from repro.core.persistence import load_engine, save_engine
 from repro.errors import ReproError
@@ -95,9 +100,42 @@ def _load(args: argparse.Namespace) -> SearchEngine:
     return load_engine(snapshot, schema, server, extractor=extractor)
 
 
+def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
+    """One ExecutionPolicy from the shared execution flags."""
+    return ExecutionPolicy(
+        max_workers=args.workers,
+        node_deadline_ms=args.deadline_ms,
+        retries=args.retries,
+        backoff_ms=args.backoff_ms,
+        on_failure=args.on_failure)
+
+
+def _add_policy_flags(command: argparse.ArgumentParser) -> None:
+    """The ExecutionPolicy knobs, shared by ``query`` and ``stats``."""
+    group = command.add_argument_group(
+        "execution policy",
+        "how content predicates run on a clustered backend")
+    group.add_argument("--workers", type=int, default=None,
+                       help="fan-out width (default: one per node)")
+    group.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-node deadline in milliseconds "
+                            "(default: none)")
+    group.add_argument("--retries", type=int, default=0,
+                       help="retry budget per node (default: 0)")
+    group.add_argument("--backoff-ms", type=float, default=10.0,
+                       help="base retry backoff in milliseconds")
+    group.add_argument("--on-failure", choices=["raise", "degrade"],
+                       default="raise",
+                       help="node failure semantics: raise an error or "
+                            "degrade to the surviving nodes' ranking")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     engine = _load(args)
-    result = engine.query_text(args.query)
+    result = engine.query_text(args.query, policy=_policy_from_args(args))
+    if result.degraded:
+        print(f"warning: degraded result, failed nodes: "
+              f"{', '.join(sorted(result.failed_nodes))}", file=sys.stderr)
     if args.explain:
         print(result.explain())
         print()
@@ -144,20 +182,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if not args.query:
             return 0
         telemetry.reset()  # measure the query, not the population
-        result = engine.query_text(args.query)
+        result = engine.query_text(args.query,
+                                   policy=_policy_from_args(args))
         print()
         print(format_report(telemetry))
         print()
-        print(f"query rows: {len(result.rows)}  "
-              f"tuples_touched: {result.tuples_touched}")
-        distributed = getattr(engine.ir, "last_result", None)
-        if distributed is not None:
-            per_node = distributed.tuples_read_per_node()
-            print(f"distributed per-node tuples: {per_node}  "
-                  f"total: {distributed.total_tuples()}")
+        # one surface for both result types: the unified to_dict shape
+        summary = result.to_dict()
+        print(f"query rows: {summary['rows']}  "
+              f"tuples_touched: {summary['tuples']['total']}")
+        if summary["tuples"]["per_node"]:
+            print(f"distributed per-node tuples: "
+                  f"{summary['tuples']['per_node']}  "
+                  f"max_node: {summary['tuples']['max_node']}")
+        if summary["degraded"]:
+            print(f"degraded: failed nodes {summary['failed_nodes']}")
         if args.json:
             write_report(args.json, telemetry,
-                         meta={"command": "stats", "query": args.query})
+                         meta={"command": "stats", "query": args.query,
+                               "result": summary})
             print(f"telemetry report written to {args.json}")
         return 0
     finally:
@@ -200,6 +243,7 @@ def _parser() -> argparse.ArgumentParser:
     query.add_argument("--snapshot", required=True)
     query.add_argument("--explain", action="store_true",
                        help="print the executed physical plan")
+    _add_policy_flags(query)
     query.add_argument("query")
     query.set_defaults(handler=_cmd_query)
 
@@ -221,6 +265,7 @@ def _parser() -> argparse.ArgumentParser:
                             "span tree + metric snapshot")
     stats.add_argument("--json",
                        help="also write the telemetry report to this file")
+    _add_policy_flags(stats)
     stats.set_defaults(handler=_cmd_stats)
 
     paths = commands.add_parser("paths", help="show the path summaries")

@@ -1,0 +1,19 @@
+"""Cluster execution: parallel fan-out, deadlines, retries, fault hooks.
+
+One surface in front of the shared-nothing backend: an
+:class:`Executor` runs per-node work concurrently under an
+:class:`~repro.core.config.ExecutionPolicy` (re-exported here for
+convenience); a :class:`FaultInjector` makes slow and failing hosts
+reproducible.  The distributed IR plan
+(:mod:`repro.ir.distributed`) and the population path ride on it.
+"""
+
+from repro.cluster.executor import Executor, NodeOutcome
+from repro.cluster.faults import FaultInjector, InjectedFault
+from repro.core.config import ExecutionPolicy
+from repro.errors import ClusterExecutionError
+
+__all__ = [
+    "Executor", "NodeOutcome", "FaultInjector", "InjectedFault",
+    "ExecutionPolicy", "ClusterExecutionError",
+]

@@ -1,0 +1,155 @@
+"""Parallel, fault-tolerant fan-out over cluster nodes.
+
+The paper's distributed plan pushes one node-local top-N task to every
+host and merges the returned rankings — "almost perfect shared nothing
+parallelism".  :class:`Executor` is that fan-out: it runs one callable
+per node on a :class:`~concurrent.futures.ThreadPoolExecutor` and
+enforces the :class:`~repro.core.config.ExecutionPolicy` around each
+node:
+
+* **width** — ``max_workers`` bounds concurrency (``None`` = one worker
+  per node; ``1`` degenerates to the old sequential visit, which the
+  benchmarks use as the baseline),
+* **deadline** — ``node_deadline_ms`` is a per-node budget measured
+  from fan-out start; a node that misses it is *abandoned*: its cancel
+  event is set (so cancellable waits such as
+  :class:`~repro.cluster.faults.FaultInjector` delays wake immediately)
+  and its outcome is marked ``timed_out``,
+* **retry** — a raising attempt is retried up to ``retries`` times with
+  exponential backoff starting at ``backoff_ms`` (the backoff sleep is
+  also cancellable),
+* **faults** — an optional :class:`FaultInjector` hook runs before
+  every attempt, injecting latency or errors for tests and benchmarks.
+
+The executor never interprets failures — it reports one
+:class:`NodeOutcome` per node and leaves the partial-result policy
+(``on_failure``: raise vs. degrade) to the caller, which knows how to
+merge what survived.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.config import ExecutionPolicy
+
+__all__ = ["Executor", "NodeOutcome"]
+
+
+@dataclass
+class NodeOutcome:
+    """What happened on one node: value or error, attempts, timing."""
+
+    node: str
+    value: Any = None
+    error: str | None = None
+    attempts: int = 0
+    elapsed_ms: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not self.timed_out
+
+
+@dataclass
+class _NodeState:
+    """Coordinator-side bookkeeping for one submitted node task."""
+
+    cancel: threading.Event = field(default_factory=threading.Event)
+
+
+class Executor:
+    """Fan node tasks out under one :class:`ExecutionPolicy`."""
+
+    def __init__(self, policy: ExecutionPolicy | None = None,
+                 fault_injector=None):
+        self.policy = policy or ExecutionPolicy()
+        self.faults = fault_injector
+
+    def run(self, tasks: dict[str, Callable[[], Any]]
+            ) -> dict[str, NodeOutcome]:
+        """Run every named task; returns one :class:`NodeOutcome` each.
+
+        Outcomes preserve the order of ``tasks``.  The call blocks until
+        every node either finished, failed its retry budget, or was
+        abandoned at its deadline; abandoned nodes are cancelled
+        cooperatively so the pool drains promptly.
+        """
+        if not tasks:
+            return {}
+        policy = self.policy
+        workers = policy.max_workers or len(tasks)
+        states = {name: _NodeState() for name in tasks}
+        deadline_s = (policy.node_deadline_ms / 1000.0
+                      if policy.node_deadline_ms is not None else None)
+        outcomes: dict[str, NodeOutcome] = {}
+        pool = ThreadPoolExecutor(max_workers=workers,
+                                  thread_name_prefix="repro-cluster")
+        start = time.perf_counter()
+        try:
+            futures = {
+                name: pool.submit(self._run_node, name, fn,
+                                  states[name].cancel)
+                for name, fn in tasks.items()
+            }
+            for name, future in futures.items():
+                remaining = None
+                if deadline_s is not None:
+                    remaining = max(0.0,
+                                    start + deadline_s - time.perf_counter())
+                try:
+                    outcomes[name] = future.result(timeout=remaining)
+                except _FutureTimeout:
+                    # abandon the node: wake its cancellable waits; the
+                    # worker (if it ever started) returns an outcome we
+                    # no longer read
+                    states[name].cancel.set()
+                    future.cancel()
+                    outcomes[name] = NodeOutcome(
+                        node=name, attempts=1, timed_out=True,
+                        error=("deadline exceeded "
+                               f"({policy.node_deadline_ms:g}ms)"),
+                        elapsed_ms=(time.perf_counter() - start) * 1000.0)
+        finally:
+            pool.shutdown(wait=True)
+        return outcomes
+
+    # -- one node ----------------------------------------------------------
+
+    def _run_node(self, name: str, fn: Callable[[], Any],
+                  cancel: threading.Event) -> NodeOutcome:
+        policy = self.policy
+        outcome = NodeOutcome(node=name)
+        start = time.perf_counter()
+        for attempt in range(1, policy.retries + 2):
+            if cancel.is_set():
+                outcome.timed_out = True
+                outcome.error = outcome.error or "cancelled"
+                break
+            outcome.attempts = attempt
+            try:
+                if self.faults is not None \
+                        and self.faults.on_attempt(name, attempt, cancel):
+                    outcome.timed_out = True
+                    outcome.error = "cancelled during injected delay"
+                    break
+                outcome.value = fn()
+                outcome.error = None
+                break
+            except Exception as error:  # noqa: BLE001 - reported, not lost
+                outcome.value = None
+                outcome.error = f"{type(error).__name__}: {error}"
+                if attempt <= policy.retries:
+                    backoff_s = (policy.backoff_ms / 1000.0
+                                 * (2 ** (attempt - 1)))
+                    if backoff_s > 0 and cancel.wait(backoff_s):
+                        outcome.timed_out = True
+                        break
+        outcome.elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return outcome

@@ -1,10 +1,94 @@
-"""Engine configuration."""
+"""Engine configuration and the unified execution policy.
+
+Execution knobs used to be ad-hoc kwargs scattered over
+``DistributedIndex.query`` (``n``, ``prune``), the engine and the CLI.
+:class:`ExecutionPolicy` collapses them into one frozen value object that
+every query surface accepts (``SearchEngine.query``,
+``DistributedIndex.query``, ``repro-search`` flags); the old kwargs keep
+working for one release behind a :class:`DeprecationWarning`
+(:meth:`ExecutionPolicy.coerce`).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
-__all__ = ["EngineConfig"]
+__all__ = ["EngineConfig", "ExecutionPolicy"]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Every knob of one (distributed) query execution, in one place.
+
+    * ``n`` / ``prune`` — result size and fragment pruning (the former
+      ad-hoc kwargs of the top-N plans),
+    * ``max_workers`` — fan-out width of the cluster executor; ``None``
+      means one worker per node ("as parallel as the cluster"),
+    * ``node_deadline_ms`` — per-node time budget measured from fan-out
+      start; ``None`` disables deadlines,
+    * ``retries`` / ``backoff_ms`` — how often a failed node attempt is
+      retried and the base of the exponential backoff between attempts,
+    * ``on_failure`` — what a node failure means for the query:
+      ``"raise"`` propagates a
+      :class:`~repro.errors.ClusterExecutionError`; ``"degrade"``
+      returns the merged ranking of the surviving nodes with the
+      failures recorded on the result (``failed_nodes`` / ``degraded``).
+    """
+
+    n: int = 10
+    prune: bool = True
+    max_workers: int | None = None
+    node_deadline_ms: float | None = None
+    retries: int = 0
+    backoff_ms: float = 10.0
+    on_failure: str = "raise"  # "raise" | "degrade"
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"policy n must be >= 1, got {self.n}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError(
+                f"policy max_workers must be >= 1, got {self.max_workers}")
+        if self.node_deadline_ms is not None and self.node_deadline_ms <= 0:
+            raise ValueError("policy node_deadline_ms must be > 0, got "
+                             f"{self.node_deadline_ms}")
+        if self.retries < 0:
+            raise ValueError(f"policy retries must be >= 0, "
+                             f"got {self.retries}")
+        if self.backoff_ms < 0:
+            raise ValueError(f"policy backoff_ms must be >= 0, "
+                             f"got {self.backoff_ms}")
+        if self.on_failure not in ("raise", "degrade"):
+            raise ValueError("policy on_failure must be 'raise' or "
+                             f"'degrade', got {self.on_failure!r}")
+
+    def replace(self, **overrides) -> "ExecutionPolicy":
+        """A copy with some fields changed (re-validated)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def coerce(cls, policy: "ExecutionPolicy | None" = None, *,
+               n: int | None = None, prune: bool | None = None,
+               _stacklevel: int = 3) -> "ExecutionPolicy":
+        """Fold the deprecated ``n=``/``prune=`` kwargs into a policy.
+
+        Explicitly passed legacy kwargs override the policy's fields and
+        emit a :class:`DeprecationWarning` pointing at the caller.
+        """
+        base = policy if policy is not None else cls()
+        overrides: dict[str, object] = {}
+        if n is not None:
+            overrides["n"] = n
+        if prune is not None:
+            overrides["prune"] = prune
+        if overrides:
+            warnings.warn(
+                "passing n=/prune= directly is deprecated; pass "
+                "policy=ExecutionPolicy(n=..., prune=...) instead",
+                DeprecationWarning, stacklevel=_stacklevel)
+            base = replace(base, **overrides)
+        return base
 
 
 @dataclass(frozen=True)
@@ -14,7 +98,9 @@ class EngineConfig:
     ``cluster_size`` and ``fragment_count`` drive the physical level's
     scalability hooks (shared-nothing IR distribution and idf-ordered
     fragmentation); ``top_n`` is the default result size; ``crawl_seed``
-    is the crawler's entry page.
+    is the crawler's entry page; ``execution`` is the default
+    :class:`ExecutionPolicy` of every query this engine runs (per-query
+    policies override it).
     """
 
     cluster_size: int = 1
@@ -22,3 +108,4 @@ class EngineConfig:
     top_n: int = 10
     crawl_seed: str = "index.html"
     ranking_model: str = "tfidf"  # or "hiemstra"
+    execution: ExecutionPolicy = ExecutionPolicy()

@@ -36,7 +36,7 @@ from repro.webspace.documents import document_to_xml
 from repro.webspace.query import WebspaceQuery
 from repro.webspace.schema import WebspaceSchema
 from repro.xmlstore.store import XmlStore
-from repro.core.config import EngineConfig
+from repro.core.config import EngineConfig, ExecutionPolicy
 from repro.core.results import QueryResult
 from repro.core.translate import ConceptualIndex, execute_query
 
@@ -263,7 +263,8 @@ class SearchEngine:
         """Start a conceptual query over this engine's schema."""
         return WebspaceQuery(self.schema)
 
-    def query_text(self, source: str) -> QueryResult:
+    def query_text(self, source: str,
+                   policy: ExecutionPolicy | None = None) -> QueryResult:
         """Parse and execute a textual conceptual query.
 
         The textual language is the CLI-friendly counterpart of the
@@ -271,36 +272,68 @@ class SearchEngine:
         :mod:`repro.webspace.language` for the grammar.
         """
         from repro.webspace.language import parse_query
-        return self.query(parse_query(self.schema, source))
+        return self.query(parse_query(self.schema, source), policy=policy)
 
-    def query(self, query: WebspaceQuery) -> QueryResult:
-        """Execute an integrated conceptual + content-based query."""
+    def query(self, query: WebspaceQuery,
+              policy: ExecutionPolicy | None = None) -> QueryResult:
+        """Execute an integrated conceptual + content-based query.
+
+        ``policy`` governs how content predicates run on a clustered
+        backend (fan-out width, per-node deadlines, retry, raise vs.
+        degrade); it defaults to ``config.execution``.  A degraded
+        distributed plan surfaces on the result (``degraded``,
+        ``failed_nodes``, ``node_tuples``).
+        """
         if query.schema is not self.schema:
             raise QueryError("query was built for a different schema")
+        policy = policy or self.config.execution
         self.conceptual_store.server.reset_accounting()
+        recent = getattr(self.ir, "recent_results", None)
+        if recent is not None:
+            recent.clear()
         telemetry = get_telemetry()
         with telemetry.tracer.span("query", schema=self.schema.name,
                                    bindings=len(query.bindings)) as span:
+            content_search = (lambda cls, attribute, text:
+                              self._content_search(cls, attribute, text,
+                                                   policy))
             result = execute_query(query, self._index,
-                                   self._content_search, self._event_search,
+                                   content_search, self._event_search,
                                    self._audio_search)
+            if recent:
+                self._merge_distributed_accounting(result, recent)
             span.set_attributes(rows=len(result.rows),
-                                tuples_touched=result.tuples_touched)
+                                tuples_touched=result.tuples_touched,
+                                degraded=result.degraded)
         telemetry.metrics.counter("engine.queries").add(1)
         duration = span.duration_ms
         if duration is not None:
             telemetry.metrics.histogram("engine.query_ms").observe(duration)
         return result
 
+    @staticmethod
+    def _merge_distributed_accounting(result: QueryResult,
+                                      distributed) -> None:
+        """Fold the query's distributed plans into the unified surface."""
+        for plan in distributed:
+            result.degraded = result.degraded or plan.degraded
+            for node in plan.failed_nodes:
+                if node not in result.failed_nodes:
+                    result.failed_nodes.append(node)
+            for node, tuples in plan.tuples_read_per_node().items():
+                result.node_tuples[node] = \
+                    result.node_tuples.get(node, 0) + tuples
+
     # -- the two optimization hooks -----------------------------------
 
-    def _content_search(self, cls: str, attribute: str, text: str
+    def _content_search(self, cls: str, attribute: str, text: str,
+                        policy: ExecutionPolicy | None = None
                         ) -> dict[str, float]:
         """IR hook: ranked keys of one class/attribute namespace."""
         prefix = f"{cls}:"
         suffix = f":{attribute}"
         ranked: dict[str, float] = {}
-        for url, score in self.ir.search_urls(text, n=None):
+        for url, score in self.ir.search_urls(text, n=None, policy=policy):
             if url.startswith(prefix) and url.endswith(suffix):
                 key = url[len(prefix):len(url) - len(suffix)]
                 ranked[key] = score

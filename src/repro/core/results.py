@@ -49,16 +49,44 @@ class ResultRow:
 
 @dataclass
 class QueryResult:
-    """All answer rows plus execution accounting."""
+    """All answer rows plus execution accounting.
+
+    ``degraded`` / ``failed_nodes`` / ``node_tuples`` mirror the fields
+    of :class:`~repro.ir.distributed.DistributedQueryResult` — when the
+    engine runs on a cluster, the content predicates' distributed plans
+    aggregate into them, so one :meth:`to_dict` shape serves both result
+    types (``stats --json``, benchmarks).
+    """
 
     rows: list[ResultRow] = field(default_factory=list)
     candidates_considered: int = 0
     tuples_touched: int = 0
     plan: object = None  # PlanNode of the executed physical plan
+    degraded: bool = False
+    failed_nodes: list[str] = field(default_factory=list)
+    node_tuples: dict[str, int] = field(default_factory=dict)
 
     def explain(self) -> str:
         """The executed physical plan, EXPLAIN ANALYZE style."""
-        return str(self.plan) if self.plan is not None else "(no plan)"
+        text = str(self.plan) if self.plan is not None else "(no plan)"
+        if self.degraded:
+            text += ("\n(degraded: content ranking excludes failed nodes "
+                     f"{sorted(self.failed_nodes)})")
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """The unified result shape shared with the distributed result."""
+        return {
+            "kind": "conceptual",
+            "rows": len(self.rows),
+            "degraded": self.degraded,
+            "failed_nodes": sorted(self.failed_nodes),
+            "tuples": {
+                "total": self.tuples_touched,
+                "max_node": max(self.node_tuples.values(), default=0),
+                "per_node": dict(self.node_tuples),
+            },
+        }
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -73,6 +73,20 @@ class QueryError(ReproError):
     """A conceptual query is malformed or references unknown concepts."""
 
 
+class ClusterExecutionError(ReproError):
+    """Parallel cluster execution failed on one or more nodes.
+
+    ``failed_nodes`` maps node name -> error description, so callers
+    running under ``on_failure="raise"`` can see exactly which hosts
+    failed and why.
+    """
+
+    def __init__(self, message: str,
+                 failed_nodes: dict[str, str] | None = None):
+        super().__init__(message)
+        self.failed_nodes = dict(failed_nodes or {})
+
+
 class WebError(ReproError):
     """A simulated web access failed (unknown URL, bad HTML)."""
 

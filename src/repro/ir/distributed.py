@@ -8,12 +8,25 @@ their global idf weights); each node computes a *local* top-N over its
 own documents (optionally with fragment pruning), returns
 ``RES(doc-oid, rank)``, and the central node merges the local rankings
 into the final top-N — "almost perfect shared nothing parallelism".
+
+Since the cluster-execution redesign the fan-out is genuinely parallel:
+node tasks run on a :class:`~repro.cluster.Executor` under one
+:class:`~repro.core.config.ExecutionPolicy` (width, per-node deadline,
+retry/backoff), and a node failure either raises a
+:class:`~repro.errors.ClusterExecutionError` or degrades gracefully to
+the merged ranking of the surviving nodes
+(``DistributedQueryResult.failed_nodes`` / ``degraded``, plus the
+``ir.node_failures`` counter and a ``degraded`` span attribute).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
+from repro.cluster.executor import Executor
+from repro.core.config import ExecutionPolicy
+from repro.errors import ClusterExecutionError
 from repro.monetdb.algebra import topn_merge
 from repro.monetdb.atoms import Oid
 from repro.monetdb.server import Cluster
@@ -28,16 +41,22 @@ __all__ = ["DistributedIndex", "DistributedQueryResult"]
 
 @dataclass
 class DistributedQueryResult:
-    """Merged ranking plus per-node work accounting.
+    """Merged ranking plus per-node work and failure accounting.
 
     The per-node numbers are also recorded on the telemetry registry
     (``ir.node_tuples_read`` counters and the servers'
     ``monetdb.tuples_touched``), so metric snapshots agree with the
-    accessors below — benchmarks can read either side.
+    accessors below — benchmarks can read either side.  Under
+    ``on_failure="degrade"`` a failed node appears in ``failed_nodes``
+    (name -> error description) instead of ``local_results``, and
+    ``degraded`` is set.
     """
 
     ranking: Ranking
     local_results: dict[str, TopNResult] = field(default_factory=dict)
+    failed_nodes: dict[str, str] = field(default_factory=dict)
+    degraded: bool = False
+    attempts: dict[str, int] = field(default_factory=dict)
 
     def tuples_read_per_node(self) -> dict[str, int]:
         return {name: result.tuples_read
@@ -52,13 +71,48 @@ class DistributedQueryResult:
         return sum(result.tuples_read
                    for result in self.local_results.values())
 
+    # -- the unified result surface (shared with QueryResult) -------------
+
+    def to_dict(self) -> dict[str, object]:
+        """The common result shape (see ``QueryResult.to_dict``)."""
+        per_node = self.tuples_read_per_node()
+        return {
+            "kind": "distributed",
+            "rows": len(self.ranking),
+            "degraded": self.degraded,
+            "failed_nodes": sorted(self.failed_nodes),
+            "tuples": {
+                "total": self.total_tuples(),
+                "max_node": self.max_node_tuples(),
+                "per_node": per_node,
+            },
+        }
+
+    def explain(self) -> str:
+        """Per-node execution report, EXPLAIN ANALYZE style."""
+        header = (f"ir.distributed_query  (nodes="
+                  f"{len(self.local_results) + len(self.failed_nodes)}, "
+                  f"rows={len(self.ranking)}, degraded={self.degraded})")
+        lines = [header]
+        for name, local in self.local_results.items():
+            attempts = self.attempts.get(name, 1)
+            lines.append(
+                f"  {name}: tuples_read={local.tuples_read} "
+                f"fragments_read={local.fragments_read} "
+                f"stopped_early={local.stopped_early} attempts={attempts}")
+        for name, error in sorted(self.failed_nodes.items()):
+            lines.append(f"  {name}: FAILED {error}")
+        return "\n".join(lines)
+
 
 class DistributedIndex:
     """Global vocabulary at the central node, postings spread per-document."""
 
-    def __init__(self, cluster: Cluster, fragment_count: int = 4):
+    def __init__(self, cluster: Cluster, fragment_count: int = 4,
+                 fault_injector=None):
         self.cluster = cluster
         self.fragment_count = fragment_count
+        self.fault_injector = fault_injector
         # The central node's view: global T/D/DT/TF/IDF (used for exact
         # reference rankings and for stemming queries into term oids).
         self.central = IrRelations()
@@ -78,10 +132,28 @@ class DistributedIndex:
         self.nodes[node.name].add_document(url, text)
         self._fragments.clear()
 
-    def add_documents(self, documents) -> None:
-        for url, text in documents:
-            self.add_document(url, text)
-        self.refresh()
+    def add_documents(self, documents,
+                      policy: ExecutionPolicy | None = None) -> None:
+        """Bulk-index in parallel: one task per node plus the central copy.
+
+        Population is *not* idempotent (re-adding a document duplicates
+        postings), so the executor runs it under a strict derivative of
+        ``policy``: deadlines, retries and fault injection are disabled
+        and any node failure raises — only ``max_workers`` carries over.
+        """
+        docs = list(documents)
+        tasks = {"central": partial(self._add_local, self.central, docs)}
+        for name, items in self.cluster.scatter(docs).items():
+            tasks[name] = partial(self._add_local, self.nodes[name], items)
+        self._run_population(tasks, policy)
+        self._fragments.clear()
+        self.refresh(policy)
+
+    @staticmethod
+    def _add_local(relations: IrRelations, items) -> int:
+        for url, text in items:
+            relations.add_document(url, text)
+        return len(items)
 
     def remove_document(self, url: str) -> None:
         """Un-index a document centrally and on its placement node."""
@@ -96,15 +168,32 @@ class DistributedIndex:
             self.remove_document(url)
         self.add_document(url, text)
 
-    def refresh(self) -> None:
-        """Batch refresh: IDF everywhere, then rebuild node fragments."""
-        self.central.refresh_idf()
-        for relations in self.nodes.values():
-            relations.refresh_idf()
-        self._fragments = {
-            name: fragment_by_idf(relations, self.fragment_count)
-            for name, relations in self.nodes.items()
-        }
+    def refresh(self, policy: ExecutionPolicy | None = None) -> None:
+        """Batch refresh in parallel: IDF everywhere, then node fragments."""
+        tasks = {"central": self.central.refresh_idf}
+        for name, relations in self.nodes.items():
+            tasks[name] = partial(self._refresh_local, relations,
+                                  self.fragment_count)
+        outcomes = self._run_population(tasks, policy)
+        self._fragments = {name: outcomes[name].value
+                           for name in self.nodes}
+
+    @staticmethod
+    def _refresh_local(relations: IrRelations,
+                       fragment_count: int) -> FragmentSet:
+        relations.refresh_idf()
+        return fragment_by_idf(relations, fragment_count)
+
+    def _run_population(self, tasks, policy: ExecutionPolicy | None):
+        strict = ExecutionPolicy(
+            max_workers=policy.max_workers if policy is not None else None)
+        outcomes = Executor(strict).run(tasks)
+        failures = {name: outcome.error for name, outcome in outcomes.items()
+                    if not outcome.ok}
+        if failures:
+            raise ClusterExecutionError(
+                f"cluster population failed on {sorted(failures)}", failures)
+        return outcomes
 
     def _node_fragments(self, name: str) -> FragmentSet:
         if name not in self._fragments:
@@ -113,18 +202,23 @@ class DistributedIndex:
 
     # -- querying ---------------------------------------------------------
 
-    def query(self, query: str, n: int = 10, prune: bool = True
+    def query(self, query: str, n: int | None = None,
+              prune: bool | None = None, *,
+              policy: ExecutionPolicy | None = None
               ) -> DistributedQueryResult:
-        """Distributed top-N: local top-N per node, merged centrally.
+        """Distributed top-N: parallel local top-N per node, merged centrally.
 
         Global idf weights are pushed to the nodes with the term oids, so
         every node scores against the same weighting and the merged
-        ranking equals the central ranking (verified by tests).
+        ranking equals the central ranking (verified by tests).  All
+        execution knobs come from ``policy``; the ``n=``/``prune=``
+        kwargs remain as deprecated aliases for one release.
         """
+        policy = ExecutionPolicy.coerce(policy, n=n, prune=prune)
         telemetry = get_telemetry()
         servers = {server.name: server for server in self.cluster.servers}
-        with telemetry.tracer.span("ir.distributed_query", n=n,
-                                   prune=prune,
+        with telemetry.tracer.span("ir.distributed_query", n=policy.n,
+                                   prune=policy.prune,
                                    nodes=len(self.nodes)) as span:
             # The central node stems the query and resolves the vocabulary.
             with telemetry.tracer.span("ir.stem_query") as stem_span:
@@ -134,45 +228,79 @@ class DistributedIndex:
                                   for oid in central_terms]
             global_idf = {self.central.T.find(oid): self.central.idf(oid)
                           for oid in central_terms}
+            # build fragments up front: the lazy rebuild is not
+            # thread-safe, node tasks must only read
+            for name in self.nodes:
+                self._node_fragments(name)
+
+            tasks = {
+                name: partial(self._node_topn, span, name, relations,
+                              servers[name], central_term_names, global_idf,
+                              policy, telemetry)
+                for name, relations in self.nodes.items()
+            }
+            outcomes = Executor(policy, self.fault_injector).run(tasks)
 
             result = DistributedQueryResult(ranking=[])
             local_rankings: list[Ranking] = []
-            for name, relations in self.nodes.items():
-                with telemetry.tracer.span("ir.node_topn",
-                                           node=name) as node_span:
-                    # translate global terms into this node's vocabulary
-                    local_terms = []
-                    for term in central_term_names:
-                        oid = relations.term_oid(term)
-                        if oid is not None:
-                            local_terms.append(oid)
-                    fragments = self._node_fragments(name)
-                    # override local idf with the pushed global weights
-                    patched = _patch_fragment_idf(fragments, relations,
-                                                  global_idf)
-                    local = topn_fragmented(patched, local_terms, n,
-                                            prune=prune, refine=True)
-                    node_span.set_attributes(
-                        tuples_read=local.tuples_read,
-                        fragments_read=local.fragments_read,
-                        stopped_early=local.stopped_early)
-                # report work against the node's server accounting and the
-                # registry, so snapshots show the per-node 1/k split
-                servers[name].charge(local.tuples_read)
-                telemetry.metrics.counter("ir.node_tuples_read",
-                                          node=name).add(local.tuples_read)
-                result.local_results[name] = local
-                local_rankings.append(
-                    [(self._to_central_doc(relations, doc), score)
-                     for doc, score in local.ranking])
+            for name, outcome in outcomes.items():
+                result.attempts[name] = outcome.attempts
+                if outcome.ok:
+                    local, ranking = outcome.value
+                    result.local_results[name] = local
+                    local_rankings.append(ranking)
+                else:
+                    result.failed_nodes[name] = outcome.error
+                    telemetry.metrics.counter("ir.node_failures",
+                                              node=name).add(1)
+            if result.failed_nodes:
+                span.set_attributes(failed_nodes=sorted(result.failed_nodes))
+                if policy.on_failure == "raise":
+                    raise ClusterExecutionError(
+                        "distributed query failed on "
+                        f"{sorted(result.failed_nodes)}", result.failed_nodes)
+                result.degraded = True
             with telemetry.tracer.span("ir.merge",
                                        nodes=len(local_rankings)) as merge:
-                result.ranking = topn_merge(local_rankings, n)
+                result.ranking = topn_merge(local_rankings, policy.n)
                 merge.set_attribute("rows", len(result.ranking))
             span.set_attributes(total_tuples=result.total_tuples(),
-                                max_node_tuples=result.max_node_tuples())
+                                max_node_tuples=result.max_node_tuples(),
+                                degraded=result.degraded)
         telemetry.metrics.counter("ir.distributed_queries").add(1)
         return result
+
+    def _node_topn(self, parent_span, name: str, relations: IrRelations,
+                   server, central_term_names, global_idf,
+                   policy: ExecutionPolicy, telemetry):
+        """One node's local top-N (runs on an executor worker thread)."""
+        with telemetry.tracer.attach(parent_span):
+            with telemetry.tracer.span("ir.node_topn",
+                                       node=name) as node_span:
+                # translate global terms into this node's vocabulary
+                local_terms = []
+                for term in central_term_names:
+                    oid = relations.term_oid(term)
+                    if oid is not None:
+                        local_terms.append(oid)
+                fragments = self._node_fragments(name)
+                # override local idf with the pushed global weights
+                patched = _patch_fragment_idf(fragments, relations,
+                                              global_idf)
+                local = topn_fragmented(patched, local_terms, policy.n,
+                                        prune=policy.prune, refine=True)
+                node_span.set_attributes(
+                    tuples_read=local.tuples_read,
+                    fragments_read=local.fragments_read,
+                    stopped_early=local.stopped_early)
+        # report work against the node's server accounting and the
+        # registry, so snapshots show the per-node 1/k split
+        server.charge(local.tuples_read)
+        telemetry.metrics.counter("ir.node_tuples_read",
+                                  node=name).add(local.tuples_read)
+        ranking = [(self._to_central_doc(relations, doc), score)
+                   for doc, score in local.ranking]
+        return local, ranking
 
     def _to_central_doc(self, relations: IrRelations, doc: Oid) -> Oid:
         url = relations.doc_url(doc)

@@ -7,6 +7,7 @@ search.
 
 from __future__ import annotations
 
+from repro.core.config import ExecutionPolicy
 from repro.monetdb.atoms import Oid
 from repro.ir.fragmentation import FragmentSet, fragment_by_idf
 from repro.ir.ranking import Ranking, query_term_oids, rank_hiemstra, rank_tfidf
@@ -62,8 +63,14 @@ class IrEngine:
             return rank_hiemstra(self.relations, query, n)
         return rank_tfidf(self.relations, query, n)
 
-    def search_urls(self, query: str, n: int = 10) -> list[tuple[str, float]]:
-        """Like :meth:`search` but resolving doc oids to urls."""
+    def search_urls(self, query: str, n: int = 10,
+                    policy: ExecutionPolicy | None = None
+                    ) -> list[tuple[str, float]]:
+        """Like :meth:`search` but resolving doc oids to urls.
+
+        ``policy`` is accepted for surface parity with the clustered
+        backend; a single node has no fan-out knobs to apply.
+        """
         return [(self.relations.doc_url(doc), score)
                 for doc, score in self.search(query, n)]
 
@@ -93,17 +100,23 @@ class ClusterIrEngine:
     central node against pushed global idf weights).
     """
 
-    def __init__(self, cluster_size: int, fragment_count: int = 4):
+    def __init__(self, cluster_size: int, fragment_count: int = 4,
+                 fault_injector=None):
         from repro.ir.distributed import DistributedIndex
         from repro.monetdb.server import Cluster
 
         self.cluster = Cluster(cluster_size)
         self.index = DistributedIndex(self.cluster,
-                                      fragment_count=fragment_count)
+                                      fragment_count=fragment_count,
+                                      fault_injector=fault_injector)
         # the most recent DistributedQueryResult, kept so diagnostics
         # (CLI stats, tests) can cross-check registry counters against
         # the per-node accounting of the last distributed plan
         self.last_result = None
+        # every DistributedQueryResult since the engine last cleared it:
+        # SearchEngine.query aggregates these into the QueryResult's
+        # unified surface (degraded / failed_nodes / per-node tuples)
+        self.recent_results: list = []
 
     @property
     def relations(self) -> IrRelations:
@@ -116,11 +129,16 @@ class ClusterIrEngine:
     def remove(self, url: str) -> None:
         self.index.remove_document(url)
 
-    def search_urls(self, query: str, n: int | None = 10
+    def search_urls(self, query: str, n: int | None = 10,
+                    policy: ExecutionPolicy | None = None
                     ) -> list[tuple[str, float]]:
         limit = n if n is not None else max(
             1, self.index.central.document_count())
-        result = self.index.query(query, n=limit)
+        # the caller's limit wins over the policy's n: content predicates
+        # need the full per-namespace ranking for conceptual filtering
+        policy = (policy or ExecutionPolicy()).replace(n=limit)
+        result = self.index.query(query, policy=policy)
         self.last_result = result
+        self.recent_results.append(result)
         return [(self.index.central.doc_url(doc), score)
                 for doc, score in result.ranking]

@@ -21,9 +21,10 @@ after the server was built still see its accounting in their snapshots.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, QueryError
 from repro.monetdb.catalog import Catalog
 from repro.telemetry.metrics import Counter
 from repro.telemetry.runtime import get_telemetry
@@ -38,6 +39,10 @@ class MonetServer:
         self.name = name
         self.catalog = Catalog(oid_start=oid_start, oid_stride=oid_stride)
         self._tuples = Counter("monetdb.tuples_touched", {"server": name})
+        # charge()/reset_accounting() run concurrently under the cluster
+        # executor; the lock makes bind-then-update atomic so late
+        # registry adoption cannot race a concurrent charge
+        self._charge_lock = threading.Lock()
         self._bound_metrics = get_telemetry().metrics
         self._bound_metrics.adopt(self._tuples)
 
@@ -57,13 +62,15 @@ class MonetServer:
 
     def charge(self, tuples: int) -> None:
         """Record that an operator touched ``tuples`` tuples on this server."""
-        self._bind()
-        self._tuples.add(tuples)
+        with self._charge_lock:
+            self._bind()
+            self._tuples.add(tuples)
 
     def reset_accounting(self) -> None:
         """Zero the tuples-touched counter (start of a measured query)."""
-        self._bind()
-        self._tuples.reset()
+        with self._charge_lock:
+            self._bind()
+            self._tuples.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MonetServer({self.name!r}, {len(self.catalog)} relations)"
@@ -106,6 +113,9 @@ class Cluster:
 
     def place(self, key: Any) -> MonetServer:
         """Return the server responsible for the given document key."""
+        if not self.servers:
+            raise QueryError(
+                "cannot place documents on an empty cluster (no servers)")
         index = self._placement(key)
         if not 0 <= index < len(self.servers):
             raise CatalogError(
@@ -115,6 +125,9 @@ class Cluster:
     def scatter(self, items: Iterable[tuple[Any, Any]]
                 ) -> dict[str, list[tuple[Any, Any]]]:
         """Partition (key, payload) pairs by placement; returns name->items."""
+        if not self.servers:
+            raise QueryError(
+                "cannot scatter documents over an empty cluster (no servers)")
         parts: dict[str, list[tuple[Any, Any]]] = {
             server.name: [] for server in self.servers}
         for key, payload in items:
@@ -132,7 +145,8 @@ class Cluster:
 
     def max_tuples_touched(self) -> int:
         """The critical-path cost: the busiest server's tuple count."""
-        return max(server.tuples_touched for server in self.servers)
+        return max((server.tuples_touched for server in self.servers),
+                   default=0)
 
     def total_tuples_touched(self) -> int:
         """Total work across the cluster."""

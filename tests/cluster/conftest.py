@@ -1,0 +1,55 @@
+"""Shared fixtures for the cluster-execution suite.
+
+Every test here runs under the thread-leak check: a test that leaves a
+live non-daemon thread behind (an abandoned executor worker, an
+unjoined pool) fails, because leaked workers are exactly how a
+"parallel" search backend quietly serialises or deadlocks in
+production.  The corpus helpers mirror ``tests/ir/test_distributed``.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.ir.distributed import DistributedIndex
+from repro.monetdb.server import Cluster
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Fail any test that leaks a live non-daemon thread."""
+    before = set(threading.enumerate())
+    yield
+    leaked = set()
+    # executor shutdown is synchronous, but give cancelled workers a
+    # short grace period to unwind their stacks
+    for _ in range(100):
+        leaked = {thread for thread in threading.enumerate()
+                  if thread not in before
+                  and not thread.daemon and thread.is_alive()}
+        if not leaked:
+            break
+        time.sleep(0.01)
+    assert not leaked, f"leaked non-daemon threads: {sorted(t.name for t in leaked)}"
+
+
+def corpus(documents=60, seed=5):
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(80)]
+    weights = [1.0 / (i + 1) for i in range(80)]
+    docs = []
+    for d in range(documents):
+        words = rng.choices(vocab, weights=weights, k=40)
+        if d % 6 == 0:
+            words += ["trophy", "melbourne"]
+        docs.append((f"http://site/p{d}", " ".join(words)))
+    return docs
+
+
+def build_index(cluster_size=4, fault_injector=None, documents=60):
+    index = DistributedIndex(Cluster(cluster_size), fragment_count=4,
+                             fault_injector=fault_injector)
+    index.add_documents(corpus(documents))
+    return index

@@ -1,0 +1,89 @@
+"""Accounting exactness under concurrency.
+
+The per-node tuple accounting is correctness-bearing (benchmarks read
+it), so it must be *exactly* equal between a sequential visit and eight
+queries racing through the parallel executor.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cluster import ExecutionPolicy
+from repro.telemetry import telemetry_session
+
+from tests.cluster.conftest import build_index
+
+pytestmark = pytest.mark.cluster
+
+QUERY = "trophy melbourne w0 w1"
+CONCURRENCY = 8
+
+
+class TestConcurrentAccounting:
+    def test_eight_concurrent_queries_equal_sequential_totals(self):
+        index = build_index(cluster_size=4, documents=80)
+        policy = ExecutionPolicy(n=10)
+
+        with telemetry_session() as telemetry:
+            single = index.query(QUERY, policy=policy)
+            per_query = single.tuples_read_per_node()
+            sequential_total = {
+                node: tuples * CONCURRENCY
+                for node, tuples in per_query.items()}
+
+            telemetry.reset()
+            index.cluster.reset_accounting()
+            with ThreadPoolExecutor(max_workers=CONCURRENCY) as pool:
+                results = list(pool.map(
+                    lambda _: index.query(QUERY, policy=policy),
+                    range(CONCURRENCY)))
+
+            # every racing query carries the exact per-node numbers
+            for result in results:
+                assert result.tuples_read_per_node() == per_query
+                assert result.ranking == single.ranking
+            # and the shared counters sum exactly, no lost updates
+            assert index.cluster.accounting() == sequential_total
+            snapshot = telemetry.metrics.snapshot()["counters"]
+            for node, expected in sequential_total.items():
+                assert snapshot[f"ir.node_tuples_read{{node={node}}}"] \
+                    == expected
+                assert snapshot[f"monetdb.tuples_touched{{server={node}}}"] \
+                    == expected
+            assert telemetry.metrics.sum_counters("ir.distributed_queries") \
+                == CONCURRENCY
+
+    def test_sequential_and_parallel_widths_agree(self):
+        """max_workers=1 (old sequential loop) matches full fan-out."""
+        index = build_index(cluster_size=4, documents=80)
+        sequential = index.query(QUERY,
+                                 policy=ExecutionPolicy(n=10, max_workers=1))
+        parallel = index.query(QUERY, policy=ExecutionPolicy(n=10))
+        assert sequential.ranking == parallel.ranking
+        assert sequential.tuples_read_per_node() \
+            == parallel.tuples_read_per_node()
+
+    def test_parallel_population_matches_sequential(self):
+        """add_documents through the executor = per-document loop."""
+        from tests.cluster.conftest import corpus
+        from repro.ir.distributed import DistributedIndex
+        from repro.monetdb.server import Cluster
+
+        docs = corpus(documents=50)
+        bulk = DistributedIndex(Cluster(4), fragment_count=4)
+        bulk.add_documents(docs)
+        one_by_one = DistributedIndex(Cluster(4), fragment_count=4)
+        for url, text in docs:
+            one_by_one.add_document(url, text)
+        one_by_one.refresh()
+
+        assert bulk.central.document_count() \
+            == one_by_one.central.document_count()
+        for name in bulk.nodes:
+            assert bulk.nodes[name].document_count() \
+                == one_by_one.nodes[name].document_count()
+        left = bulk.query(QUERY, policy=ExecutionPolicy(n=10))
+        right = one_by_one.query(QUERY, policy=ExecutionPolicy(n=10))
+        assert left.ranking == right.ranking
+        assert left.tuples_read_per_node() == right.tuples_read_per_node()

@@ -1,0 +1,151 @@
+"""Fault semantics of the distributed query plan.
+
+The acceptance story of the cluster redesign: a timed-out node degrades
+the merge to exactly the surviving nodes' ranking, a transient fault is
+absorbed by the retry budget, ``on_failure="raise"`` propagates, and the
+failure is visible in telemetry (``ir.node_failures``, ``degraded``
+span attribute).
+"""
+
+import pytest
+
+from repro.cluster import ExecutionPolicy, FaultInjector
+from repro.errors import ClusterExecutionError
+from repro.monetdb.algebra import topn_merge
+from repro.telemetry import telemetry_session
+
+from tests.cluster.conftest import build_index
+
+pytestmark = pytest.mark.cluster
+
+QUERY = "trophy melbourne w0"
+
+
+def central_rankings_per_node(index, query, n):
+    """Each node's local ranking mapped to central doc oids (no faults)."""
+    clean = index.query(query, policy=ExecutionPolicy(n=n))
+    assert not clean.degraded
+    rankings = {}
+    for name, local in clean.local_results.items():
+        relations = index.nodes[name]
+        rankings[name] = [
+            (index.central.doc_oid(relations.doc_url(doc)), score)
+            for doc, score in local.ranking]
+    return rankings
+
+
+class TestDegradedMerge:
+    def test_timeout_degrades_to_surviving_nodes(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=4, fault_injector=faults)
+        expected = central_rankings_per_node(index, QUERY, n=10)
+
+        faults.delay("node0", 1000)
+        policy = ExecutionPolicy(n=10, node_deadline_ms=60,
+                                 on_failure="degrade")
+        result = index.query(QUERY, policy=policy)
+
+        assert result.degraded
+        assert list(result.failed_nodes) == ["node0"]
+        assert "node0" not in result.local_results
+        survivors = [ranking for name, ranking in expected.items()
+                     if name != "node0"]
+        assert result.ranking == topn_merge(survivors, 10)
+
+    def test_all_nodes_failed_degrades_to_empty(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=2, fault_injector=faults)
+        for name in index.nodes:
+            faults.fail(name, times=1)
+        result = index.query(QUERY, policy=ExecutionPolicy(
+            n=10, on_failure="degrade"))
+        assert result.degraded
+        assert sorted(result.failed_nodes) == sorted(index.nodes)
+        assert result.ranking == []
+
+    def test_degraded_result_surface(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=4, fault_injector=faults)
+        faults.fail("node2", times=1)
+        result = index.query(QUERY, policy=ExecutionPolicy(
+            n=10, on_failure="degrade"))
+        summary = result.to_dict()
+        assert summary["kind"] == "distributed"
+        assert summary["degraded"] is True
+        assert summary["failed_nodes"] == ["node2"]
+        assert "node2" not in summary["tuples"]["per_node"]
+        assert "FAILED" in result.explain()
+
+
+class TestRetry:
+    def test_transient_fault_absorbed_by_retry(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=4, fault_injector=faults)
+        exact = index.query(QUERY, policy=ExecutionPolicy(n=10)).ranking
+
+        faults.fail("node1", times=1)
+        policy = ExecutionPolicy(n=10, retries=2, backoff_ms=1,
+                                 on_failure="degrade")
+        result = index.query(QUERY, policy=policy)
+        assert not result.degraded
+        assert result.failed_nodes == {}
+        assert result.attempts["node1"] == 2
+        assert result.ranking == exact
+
+    def test_accounting_exact_after_retry(self):
+        """A retried node charges its server once, not per attempt."""
+        faults = FaultInjector()
+        index = build_index(cluster_size=4, fault_injector=faults)
+        clean = index.query(QUERY, policy=ExecutionPolicy(n=10))
+        index.cluster.reset_accounting()
+
+        faults.fail("node1", times=1)
+        policy = ExecutionPolicy(n=10, retries=2, backoff_ms=1)
+        retried = index.query(QUERY, policy=policy)
+        assert retried.tuples_read_per_node() \
+            == clean.tuples_read_per_node()
+        assert index.cluster.accounting() == clean.tuples_read_per_node()
+
+
+class TestRaisePropagation:
+    def test_on_failure_raise_propagates(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=4, fault_injector=faults)
+        faults.fail("node3", times=1, error=OSError("host down"))
+        with pytest.raises(ClusterExecutionError) as excinfo:
+            index.query(QUERY, policy=ExecutionPolicy(n=10,
+                                                      on_failure="raise"))
+        assert excinfo.value.failed_nodes == {"node3": "OSError: host down"}
+
+    def test_raise_is_the_default(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=2, fault_injector=faults)
+        faults.fail("node0", times=1)
+        with pytest.raises(ClusterExecutionError):
+            index.query(QUERY, policy=ExecutionPolicy(n=10))
+
+
+class TestFailureTelemetry:
+    def test_node_failure_counter_and_degraded_span(self):
+        faults = FaultInjector()
+        index = build_index(cluster_size=4, fault_injector=faults)
+        faults.delay("node0", 1000)
+        with telemetry_session() as telemetry:
+            result = index.query(QUERY, policy=ExecutionPolicy(
+                n=10, node_deadline_ms=60, on_failure="degrade"))
+            assert result.degraded
+            assert telemetry.metrics.sum_counters("ir.node_failures") == 1
+            counter = telemetry.metrics.get("ir.node_failures", node="node0")
+            assert counter is not None and counter.value == 1
+            span = telemetry.tracer.find_all("ir.distributed_query")[0]
+            assert span.attributes["degraded"] is True
+            assert span.attributes["failed_nodes"] == ["node0"]
+
+    def test_healthy_query_records_no_failures(self):
+        index = build_index(cluster_size=4)
+        with telemetry_session() as telemetry:
+            result = index.query(QUERY, policy=ExecutionPolicy(n=10))
+            assert not result.degraded
+            assert telemetry.metrics.sum_counters("ir.node_failures") == 0
+            span = telemetry.tracer.find_all("ir.distributed_query")[0]
+            assert span.attributes["degraded"] is False

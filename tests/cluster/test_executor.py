@@ -1,0 +1,151 @@
+"""Unit tests for the cluster Executor and FaultInjector."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (ExecutionPolicy, Executor, FaultInjector,
+                           InjectedFault)
+
+pytestmark = pytest.mark.cluster
+
+
+def tasks_returning(values):
+    return {name: (lambda v=value: v) for name, value in values.items()}
+
+
+class TestFanOut:
+    def test_every_task_produces_an_outcome(self):
+        outcomes = Executor().run(tasks_returning(
+            {"node0": 1, "node1": 2, "node2": 3}))
+        assert sorted(outcomes) == ["node0", "node1", "node2"]
+        assert all(outcome.ok for outcome in outcomes.values())
+        assert [outcomes[n].value for n in ("node0", "node1", "node2")] \
+            == [1, 2, 3]
+        assert all(outcome.attempts == 1 for outcome in outcomes.values())
+
+    def test_empty_task_set(self):
+        assert Executor().run({}) == {}
+
+    def test_outcomes_preserve_task_order(self):
+        outcomes = Executor().run(tasks_returning(
+            {"b": 1, "a": 2, "c": 3}))
+        assert list(outcomes) == ["b", "a", "c"]
+
+    def test_tasks_run_concurrently(self):
+        """With one worker per node, N sleeps overlap in wall-clock."""
+        barrier = threading.Barrier(4, timeout=5)
+        outcomes = Executor(ExecutionPolicy()).run(
+            {f"n{i}": barrier.wait for i in range(4)})
+        # the barrier releases only if all four waits overlap
+        assert all(outcome.ok for outcome in outcomes.values())
+
+    def test_max_workers_one_serialises(self):
+        running = []
+        overlap = []
+
+        def task():
+            running.append(None)
+            overlap.append(len(running))
+            time.sleep(0.005)
+            running.pop()
+            return True
+
+        policy = ExecutionPolicy(max_workers=1)
+        outcomes = Executor(policy).run({f"n{i}": task for i in range(4)})
+        assert all(outcome.ok for outcome in outcomes.values())
+        assert max(overlap) == 1
+
+
+class TestFailureHandling:
+    def test_error_reported_not_raised(self):
+        def boom():
+            raise ValueError("kaput")
+
+        outcomes = Executor().run({"node0": boom})
+        outcome = outcomes["node0"]
+        assert not outcome.ok
+        assert outcome.error == "ValueError: kaput"
+        assert outcome.attempts == 1
+
+    def test_retry_succeeds_after_transient_fault(self):
+        faults = FaultInjector().fail("node0", times=1)
+        policy = ExecutionPolicy(retries=1, backoff_ms=1)
+        outcomes = Executor(policy, faults).run(tasks_returning({"node0": 7}))
+        outcome = outcomes["node0"]
+        assert outcome.ok
+        assert outcome.value == 7
+        assert outcome.attempts == 2
+
+    def test_retry_budget_exhausted(self):
+        faults = FaultInjector().fail("node0", times=3)
+        policy = ExecutionPolicy(retries=1, backoff_ms=1)
+        outcome = Executor(policy, faults).run(
+            tasks_returning({"node0": 7}))["node0"]
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert "injected fault" in outcome.error
+
+    def test_injected_custom_error(self):
+        faults = FaultInjector().fail("node0", error=OSError("conn reset"))
+        outcome = Executor(None, faults).run(
+            tasks_returning({"node0": 7}))["node0"]
+        assert outcome.error == "OSError: conn reset"
+
+    def test_default_injected_error_is_typed(self):
+        faults = FaultInjector().fail("node0")
+        with pytest.raises(InjectedFault):
+            faults.on_attempt("node0", 1, threading.Event())
+
+
+class TestDeadlines:
+    def test_slow_node_times_out_others_survive(self):
+        faults = FaultInjector().delay("node1", 500)
+        policy = ExecutionPolicy(node_deadline_ms=40)
+        start = time.perf_counter()
+        outcomes = Executor(policy, faults).run(tasks_returning(
+            {"node0": 1, "node1": 2, "node2": 3}))
+        elapsed = time.perf_counter() - start
+        assert outcomes["node0"].ok and outcomes["node2"].ok
+        assert outcomes["node1"].timed_out
+        assert not outcomes["node1"].ok
+        assert "deadline" in outcomes["node1"].error \
+            or "cancelled" in outcomes["node1"].error
+        # the cancellable delay must not hold the pool for the full 500ms
+        assert elapsed < 0.4
+
+    def test_deadline_cancels_backoff_wait(self):
+        faults = FaultInjector().fail("node0", times=5)
+        policy = ExecutionPolicy(retries=5, backoff_ms=200,
+                                 node_deadline_ms=30)
+        start = time.perf_counter()
+        outcome = Executor(policy, faults).run(
+            tasks_returning({"node0": 1}))["node0"]
+        assert not outcome.ok
+        assert time.perf_counter() - start < 0.4
+
+    def test_no_deadline_waits_for_slow_node(self):
+        faults = FaultInjector().delay("node0", 30)
+        outcome = Executor(None, faults).run(
+            tasks_returning({"node0": 9}))["node0"]
+        assert outcome.ok
+        assert outcome.value == 9
+        assert outcome.elapsed_ms >= 25
+
+
+class TestInjectorConfig:
+    def test_delay_all_applies_to_every_node(self):
+        faults = FaultInjector().delay_all(20)
+        outcomes = Executor(None, faults).run(tasks_returning(
+            {"node0": 1, "node1": 2}))
+        assert all(outcome.elapsed_ms >= 15
+                   for outcome in outcomes.values())
+
+    def test_clear_removes_faults(self):
+        faults = FaultInjector().fail("node0", times=5).delay_all(50)
+        faults.clear()
+        outcome = Executor(None, faults).run(
+            tasks_returning({"node0": 1}))["node0"]
+        assert outcome.ok
+        assert outcome.elapsed_ms < 40

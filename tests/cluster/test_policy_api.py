@@ -1,0 +1,130 @@
+"""The ExecutionPolicy surface: validation, deprecation, CLI, results."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ExecutionPolicy
+from repro.core.config import EngineConfig
+from repro.errors import QueryError
+from repro.monetdb.server import Cluster
+
+from tests.cluster.conftest import build_index
+
+pytestmark = pytest.mark.cluster
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.n == 10 and policy.prune
+        assert policy.max_workers is None
+        assert policy.node_deadline_ms is None
+        assert policy.retries == 0
+        assert policy.on_failure == "raise"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n": 0}, {"max_workers": 0}, {"node_deadline_ms": 0},
+        {"node_deadline_ms": -5}, {"retries": -1}, {"backoff_ms": -1},
+        {"on_failure": "shrug"},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionPolicy().n = 5
+
+    def test_replace_revalidates(self):
+        policy = ExecutionPolicy().replace(n=5, on_failure="degrade")
+        assert policy.n == 5 and policy.on_failure == "degrade"
+        with pytest.raises(ValueError):
+            policy.replace(retries=-2)
+
+    def test_engine_config_carries_default_policy(self):
+        config = EngineConfig(execution=ExecutionPolicy(retries=2))
+        assert config.execution.retries == 2
+        assert EngineConfig().execution == ExecutionPolicy()
+
+
+class TestDeprecatedKwargs:
+    def test_n_kwarg_warns_and_works(self):
+        index = build_index(cluster_size=2)
+        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
+            legacy = index.query("trophy", n=5)
+        modern = index.query("trophy", policy=ExecutionPolicy(n=5))
+        assert legacy.ranking == modern.ranking
+
+    def test_prune_kwarg_warns_and_works(self):
+        index = build_index(cluster_size=2)
+        with pytest.warns(DeprecationWarning):
+            legacy = index.query("trophy", n=5, prune=False)
+        modern = index.query("trophy",
+                             policy=ExecutionPolicy(n=5, prune=False))
+        assert legacy.ranking == modern.ranking
+
+    def test_policy_alone_does_not_warn(self):
+        import warnings
+
+        index = build_index(cluster_size=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            index.query("trophy", policy=ExecutionPolicy(n=5))
+
+    def test_coerce_overrides_policy_fields(self):
+        with pytest.warns(DeprecationWarning):
+            policy = ExecutionPolicy.coerce(
+                ExecutionPolicy(n=10, retries=3), n=5)
+        assert policy.n == 5 and policy.retries == 3
+
+
+class TestEmptyCluster:
+    def test_place_on_empty_cluster_raises_query_error(self):
+        cluster = Cluster(2)
+        cluster.servers.clear()
+        with pytest.raises(QueryError, match="empty cluster"):
+            cluster.place("http://x/a")
+
+    def test_scatter_on_empty_cluster_raises_query_error(self):
+        cluster = Cluster(2)
+        cluster.servers.clear()
+        with pytest.raises(QueryError, match="empty cluster"):
+            cluster.scatter([("http://x/a", "text")])
+
+    def test_max_tuples_touched_empty_is_zero(self):
+        cluster = Cluster(2)
+        cluster.servers.clear()
+        assert cluster.max_tuples_touched() == 0
+
+
+class TestCliPolicyFlags:
+    def test_query_parser_accepts_policy_flags(self):
+        from repro.cli import _parser, _policy_from_args
+
+        args = _parser().parse_args([
+            "query", "--snapshot", "snap", "--workers", "2",
+            "--deadline-ms", "50", "--retries", "1", "--backoff-ms", "5",
+            "--on-failure", "degrade", "SELECT p.name FROM Player p"])
+        policy = _policy_from_args(args)
+        assert policy == ExecutionPolicy(
+            max_workers=2, node_deadline_ms=50, retries=1, backoff_ms=5,
+            on_failure="degrade")
+
+    def test_stats_parser_accepts_policy_flags(self):
+        from repro.cli import _parser, _policy_from_args
+
+        args = _parser().parse_args([
+            "stats", "--site", "ausopen", "--cluster", "3",
+            "--query", "q", "--on-failure", "degrade"])
+        assert _policy_from_args(args).on_failure == "degrade"
+
+    def test_policy_flags_in_help(self, capsys):
+        from repro.cli import _parser
+
+        with pytest.raises(SystemExit):
+            _parser().parse_args(["query", "--help"])
+        help_text = capsys.readouterr().out
+        for flag in ("--workers", "--deadline-ms", "--on-failure",
+                     "--retries", "--backoff-ms"):
+            assert flag in help_text

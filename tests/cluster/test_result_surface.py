@@ -1,0 +1,84 @@
+"""The unified result surface across QueryResult and the distributed plan."""
+
+import pytest
+
+from repro.cluster import ExecutionPolicy, FaultInjector
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+from tests.cluster.conftest import build_index
+
+pytestmark = pytest.mark.cluster
+
+CONTAINS = ("SELECT p.name FROM Player p "
+            "WHERE p.history CONTAINS 'Winner' TOP 5")
+
+
+@pytest.fixture(scope="module")
+def clustered_engine():
+    server, _ = build_ausopen_site(players=8, articles=4, videos=2,
+                                   frames_per_shot=6)
+    engine = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(cluster_size=3, fragment_count=4))
+    engine.populate()
+    return engine
+
+
+class TestUnifiedShape:
+    def test_both_result_types_share_the_dict_shape(self, clustered_engine):
+        engine_summary = clustered_engine.query_text(CONTAINS).to_dict()
+        distributed_summary = build_index(cluster_size=2).query(
+            "trophy", policy=ExecutionPolicy(n=5)).to_dict()
+        assert set(engine_summary) == set(distributed_summary)
+        for summary in (engine_summary, distributed_summary):
+            assert set(summary["tuples"]) == {"total", "max_node",
+                                              "per_node"}
+            assert isinstance(summary["failed_nodes"], list)
+            assert isinstance(summary["degraded"], bool)
+
+    def test_engine_result_carries_per_node_tuples(self, clustered_engine):
+        result = clustered_engine.query_text(CONTAINS)
+        assert sorted(result.node_tuples) == ["node0", "node1", "node2"]
+        assert result.to_dict()["tuples"]["per_node"] == result.node_tuples
+        assert not result.degraded
+        assert result.failed_nodes == []
+
+    def test_single_node_engine_has_empty_per_node(self):
+        server, _ = build_ausopen_site(players=6, articles=3, videos=2,
+                                       frames_per_shot=6)
+        engine = SearchEngine(australian_open_schema(), server,
+                              EngineConfig(cluster_size=1))
+        engine.populate()
+        summary = engine.query_text(CONTAINS).to_dict()
+        assert summary["tuples"]["per_node"] == {}
+        assert summary["degraded"] is False
+
+
+class TestEngineDegradedQuery:
+    def test_degraded_content_query_surfaces_failed_nodes(
+            self, clustered_engine):
+        faults = FaultInjector().fail("node1", times=99)
+        clustered_engine.ir.index.fault_injector = faults
+        try:
+            result = clustered_engine.query_text(
+                CONTAINS, policy=ExecutionPolicy(on_failure="degrade"))
+            assert result.degraded
+            assert result.failed_nodes == ["node1"]
+            assert "node1" not in result.node_tuples
+            assert "degraded" in result.explain()
+        finally:
+            clustered_engine.ir.index.fault_injector = None
+
+    def test_engine_raise_policy_propagates(self, clustered_engine):
+        from repro.errors import ClusterExecutionError
+
+        faults = FaultInjector().fail("node0", times=99)
+        clustered_engine.ir.index.fault_injector = faults
+        try:
+            with pytest.raises(ClusterExecutionError):
+                clustered_engine.query_text(
+                    CONTAINS, policy=ExecutionPolicy(on_failure="raise"))
+        finally:
+            clustered_engine.ir.index.fault_injector = None

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.core.config import ExecutionPolicy
 from repro.ir.distributed import DistributedIndex
 from repro.monetdb.server import Cluster
 
@@ -34,25 +35,26 @@ class TestMergeCorrectness:
         "trophy", "trophy melbourne", "w0 trophy", "w1 w2 w3",
     ])
     def test_distributed_equals_central(self, index, query):
-        distributed = index.query(query, n=10)
+        distributed = index.query(query, policy=ExecutionPolicy(n=10))
         central = index.exact_central_ranking(query, n=10)
         assert [doc for doc, _ in distributed.ranking] \
             == [doc for doc, _ in central]
 
     def test_scores_match_central(self, index):
-        distributed = dict(index.query("trophy", n=10).ranking)
+        distributed = dict(index.query("trophy", policy=ExecutionPolicy(n=10)).ranking)
         central = dict(index.exact_central_ranking("trophy", n=10))
         for doc, score in distributed.items():
             assert score == pytest.approx(central[doc])
 
     def test_unpruned_also_correct(self, index):
-        distributed = index.query("trophy melbourne", n=10, prune=False)
+        distributed = index.query("trophy melbourne",
+                                   policy=ExecutionPolicy(n=10, prune=False))
         central = index.exact_central_ranking("trophy melbourne", n=10)
         assert [doc for doc, _ in distributed.ranking] \
             == [doc for doc, _ in central]
 
     def test_empty_query(self, index):
-        assert index.query("zzzunknown", n=10).ranking == []
+        assert index.query("zzzunknown", policy=ExecutionPolicy(n=10)).ranking == []
 
 
 class TestSharedNothingShape:
@@ -63,7 +65,7 @@ class TestSharedNothingShape:
         assert sum(counts) == index.central.document_count()
 
     def test_work_splits_across_nodes(self, index):
-        result = index.query("w0 w1 trophy", n=10)
+        result = index.query("w0 w1 trophy", policy=ExecutionPolicy(n=10))
         per_node = result.tuples_read_per_node()
         assert len(per_node) == 4
         # critical path well below total work: that is the parallelism
@@ -76,6 +78,7 @@ class TestSharedNothingShape:
         large = DistributedIndex(Cluster(8), fragment_count=4)
         large.add_documents(docs)
         query = "w0 w1 w2 trophy"
-        small_path = small.query(query, n=10, prune=False).max_node_tuples()
-        large_path = large.query(query, n=10, prune=False).max_node_tuples()
+        NO_PRUNE = ExecutionPolicy(n=10, prune=False)
+        small_path = small.query(query, policy=NO_PRUNE).max_node_tuples()
+        large_path = large.query(query, policy=NO_PRUNE).max_node_tuples()
         assert large_path < small_path

@@ -8,7 +8,7 @@ engine query must produce the query → plan stage → operator span tree.
 
 import pytest
 
-from repro.core.config import EngineConfig
+from repro.core.config import EngineConfig, ExecutionPolicy
 from repro.core.engine import SearchEngine
 from repro.ir.distributed import DistributedIndex
 from repro.monetdb.server import Cluster
@@ -36,7 +36,8 @@ class TestDistributedAccounting:
             index = DistributedIndex(cluster, fragment_count=4)
             index.add_documents(corpus())
             telemetry.reset()  # only the query should be on the books
-            result = index.query("champion alpha", n=5)
+            result = index.query("champion alpha",
+                                 policy=ExecutionPolicy(n=5))
 
             per_node = result.tuples_read_per_node()
             snapshot = telemetry.metrics.snapshot()["counters"]
@@ -56,7 +57,7 @@ class TestDistributedAccounting:
             index = DistributedIndex(cluster, fragment_count=4)
             index.add_documents(corpus())
             telemetry.reset()
-            index.query("champion", n=5)
+            index.query("champion", policy=ExecutionPolicy(n=5))
 
             roots = telemetry.tracer.roots
             assert [root.name for root in roots] == ["ir.distributed_query"]
@@ -70,9 +71,11 @@ class TestDistributedAccounting:
         cluster = Cluster(2)
         index = DistributedIndex(cluster, fragment_count=4)
         index.add_documents(corpus())
-        plain = index.query("champion alpha", n=5)
+        plain = index.query("champion alpha",
+                            policy=ExecutionPolicy(n=5))
         with telemetry_session():
-            traced = index.query("champion alpha", n=5)
+            traced = index.query("champion alpha",
+                                 policy=ExecutionPolicy(n=5))
         assert traced.ranking == plain.ranking
         assert traced.tuples_read_per_node() == plain.tuples_read_per_node()
 
