@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.config import EngineConfig
+from repro.core.config import EngineConfig, ExecutionPolicy
 from repro.core.engine import SearchEngine
 from repro.ir.relations import IrRelations
 from repro.telemetry import NullTracer, Telemetry, telemetry_session, \
@@ -81,7 +81,11 @@ def ir_relations():
 def populated_engine():
     server, truth = build_ausopen_site(players=12, articles=10, videos=6,
                                        frames_per_shot=8)
-    engine = SearchEngine(australian_open_schema(), server,
-                          EngineConfig(fragment_count=4))
+    # cache=False: benchmark rounds repeat identical queries, which must
+    # measure plan execution, not the query cache (see bench_cache)
+    engine = SearchEngine(
+        australian_open_schema(), server,
+        EngineConfig(fragment_count=4,
+                     execution=ExecutionPolicy(cache=False)))
     engine.populate()
     return engine, truth

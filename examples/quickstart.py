@@ -10,6 +10,7 @@
 Run:  python examples/quickstart.py
 """
 
+from repro.core.config import ExecutionPolicy
 from repro.featuregrammar import FDE, DetectorRegistry, parse_grammar
 from repro.featuregrammar.parsetree import tree_to_xml
 from repro.ir import IrEngine
@@ -52,7 +53,8 @@ def ir_hooks() -> None:
     for url, text in corpus.items():
         engine.index(url, text)
 
-    for url, score in engine.search_urls("champion trophy", n=3):
+    for url, score in engine.search_urls("champion trophy",
+                                         policy=ExecutionPolicy(n=3)):
         print(f"  {score:6.3f}  {url}")
     result = engine.search_fragmented("champion trophy", n=3)
     print(f"fragment-pruned top-3 read {result.tuples_read} TF tuples "

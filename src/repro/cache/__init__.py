@@ -1,0 +1,27 @@
+"""Caching layer between the query surfaces and the physical store.
+
+Two cooperating pieces:
+
+* **generation stamps** — :class:`~repro.ir.relations.IrRelations`
+  bumps a ``generation`` counter on every mutation; IDF refresh and
+  idf-ordered fragmentation are memoized against it, so the per-query
+  recomputation the seed paid on every search happens only when the
+  index actually changed,
+* **query-result caches** — bounded, thread-safe LRUs
+  (:class:`LruCache`) keyed on normalized query terms + ranking model +
+  result-affecting :class:`~repro.core.config.ExecutionPolicy` knobs +
+  the generation stamp (:class:`QueryCache`), wired into
+  :class:`~repro.ir.engine.IrEngine`,
+  :class:`~repro.ir.distributed.DistributedIndex` and
+  :meth:`~repro.core.engine.SearchEngine.query_text`.
+
+Invalidation rides the write path: mutations bump generations, so old
+entries can never be matched again and simply age out of the LRU.
+"""
+
+from repro.cache.lru import LruCache, MISS
+from repro.cache.query_cache import (QueryCache, normalized_terms,
+                                     policy_signature)
+
+__all__ = ["LruCache", "QueryCache", "MISS", "normalized_terms",
+           "policy_signature"]

@@ -1,0 +1,87 @@
+"""Generation-stamped query-result caching.
+
+The invalidation protocol is the whole trick: every
+:class:`~repro.ir.relations.IrRelations` carries a monotonically
+bumped ``generation`` counter, and every cache key embeds the
+generation(s) of the index the result was computed against.  A write
+anywhere (``add_document`` / ``remove_document``, and for the
+integrated engine any conceptual- or meta-store mutation) bumps a
+generation, so stale entries are never *matched* again — there is no
+explicit purge on the write path, which keeps writers cheap and makes
+the scheme safe under concurrency: a racing reader either sees the old
+generation (and an old-but-consistent result) or the new one.
+
+Keys are built from:
+
+* the *normalized* query terms (stemmed, stopped — two spellings of
+  the same query share an entry),
+* the ranking model / access-path kind,
+* every :class:`~repro.core.config.ExecutionPolicy` knob that can
+  affect the result (``n``, ``prune``, and the fault knobs, since
+  deadlines and retry budgets change outcomes under failure),
+* the index generation stamp (per-node generations on a cluster).
+
+Degraded results (partial rankings after node failures) must never be
+cached — callers check ``degraded`` before :meth:`QueryCache.store`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.cache.lru import LruCache, MISS
+from repro.ir.text import analyze
+
+__all__ = ["QueryCache", "normalized_terms", "policy_signature", "MISS"]
+
+
+def normalized_terms(query: str) -> tuple[str, ...]:
+    """The stemmed, stopped term tuple a query normalizes to."""
+    return tuple(analyze(query))
+
+
+def policy_signature(policy) -> tuple:
+    """The policy fields that can affect a query's result.
+
+    ``cache`` / ``cache_size`` steer the cache itself and are excluded;
+    everything else participates: ``n`` and ``prune`` shape the ranking
+    directly, and the execution knobs (workers, deadline, retries,
+    backoff, failure mode) decide *which* ranking comes back when nodes
+    misbehave — a degraded-tolerant query must not be served a result
+    computed under different fault semantics.
+    """
+    return (policy.n, policy.prune, policy.max_workers,
+            policy.node_deadline_ms, policy.retries, policy.backoff_ms,
+            policy.on_failure)
+
+
+class QueryCache:
+    """A named LRU over query results, resized from the live policy."""
+
+    def __init__(self, capacity: int = 128, name: str = "query"):
+        self._lru = LruCache(capacity, name=name)
+
+    @property
+    def name(self) -> str:
+        return self._lru.name
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def prepare(self, policy) -> None:
+        """Adopt the policy's ``cache_size`` before a lookup."""
+        if policy.cache_size != self._lru.capacity:
+            self._lru.resize(policy.cache_size)
+
+    def lookup(self, key: Hashable) -> Any:
+        """Cached value or :data:`MISS`; records hit/miss telemetry."""
+        return self._lru.get(key)
+
+    def store(self, key: Hashable, value: Any) -> None:
+        self._lru.put(key, value)
+
+    def invalidate(self) -> int:
+        return self._lru.invalidate()
+
+    def stats(self) -> dict[str, int]:
+        return self._lru.stats()

@@ -24,7 +24,11 @@ report in the ``BENCH_*.json`` format the benchmarks use.
 ``query`` and ``stats`` accept the execution-policy flags
 (``--workers``, ``--deadline-ms``, ``--retries``, ``--backoff-ms``,
 ``--on-failure raise|degrade``) that configure the parallel cluster
-executor behind content predicates; see ``repro-search query --help``.
+executor behind content predicates, plus the cache knobs
+(``--no-cache``, ``--cache-size``) of the generation-stamped query
+cache; see ``repro-search query --help``.  ``stats --query --warm``
+runs the query once before measuring, so the report shows the warm
+(cached) execution — the ``cache.hit`` counter in the snapshot.
 """
 
 from __future__ import annotations
@@ -107,7 +111,9 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         node_deadline_ms=args.deadline_ms,
         retries=args.retries,
         backoff_ms=args.backoff_ms,
-        on_failure=args.on_failure)
+        on_failure=args.on_failure,
+        cache=not args.no_cache,
+        cache_size=args.cache_size)
 
 
 def _add_policy_flags(command: argparse.ArgumentParser) -> None:
@@ -128,6 +134,10 @@ def _add_policy_flags(command: argparse.ArgumentParser) -> None:
                        default="raise",
                        help="node failure semantics: raise an error or "
                             "degrade to the surviving nodes' ranking")
+    group.add_argument("--no-cache", action="store_true",
+                       help="bypass the generation-stamped query cache")
+    group.add_argument("--cache-size", type=int, default=128,
+                       help="LRU bound of the query cache (default: 128)")
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -181,9 +191,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(f"{section}: {values}")
         if not args.query:
             return 0
-        telemetry.reset()  # measure the query, not the population
-        result = engine.query_text(args.query,
-                                   policy=_policy_from_args(args))
+        policy = _policy_from_args(args)
+        if args.warm:
+            # warm the query cache so the measured run below is the
+            # cached execution (cache.hit in the metric snapshot)
+            engine.query_text(args.query, policy=policy)
+        telemetry.reset()  # measure the query, not the population/warm-up
+        result = engine.query_text(args.query, policy=policy)
         print()
         print(format_report(telemetry))
         print()
@@ -263,6 +277,9 @@ def _parser() -> argparse.ArgumentParser:
     stats.add_argument("--query",
                        help="run this query under telemetry and print the "
                             "span tree + metric snapshot")
+    stats.add_argument("--warm", action="store_true",
+                       help="run --query once before measuring, so the "
+                            "report shows the cached (warm) execution")
     stats.add_argument("--json",
                        help="also write the telemetry report to this file")
     _add_policy_flags(stats)

@@ -33,7 +33,12 @@ class ExecutionPolicy:
       ``"raise"`` propagates a
       :class:`~repro.errors.ClusterExecutionError`; ``"degrade"``
       returns the merged ranking of the surviving nodes with the
-      failures recorded on the result (``failed_nodes`` / ``degraded``).
+      failures recorded on the result (``failed_nodes`` / ``degraded``),
+    * ``cache`` / ``cache_size`` — whether this query may be served
+      from (and stored into) the engine's generation-stamped result
+      cache, and the cache's LRU bound.  ``cache=False`` bypasses the
+      cache entirely (the CLI's ``--no-cache``); degraded results are
+      never cached regardless.
     """
 
     n: int = 10
@@ -43,10 +48,15 @@ class ExecutionPolicy:
     retries: int = 0
     backoff_ms: float = 10.0
     on_failure: str = "raise"  # "raise" | "degrade"
+    cache: bool = True
+    cache_size: int = 128
 
     def __post_init__(self) -> None:
         if self.n < 1:
             raise ValueError(f"policy n must be >= 1, got {self.n}")
+        if self.cache_size < 1:
+            raise ValueError(
+                f"policy cache_size must be >= 1, got {self.cache_size}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError(
                 f"policy max_workers must be >= 1, got {self.max_workers}")

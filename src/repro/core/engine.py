@@ -16,8 +16,9 @@ One object drives the whole lifecycle:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.cache import MISS, QueryCache, policy_signature
 from repro.cobra.grammar import build_tennis_grammar, build_tennis_registry
 from repro.cobra.library import VideoLibrary
 from repro.errors import QueryError
@@ -105,6 +106,10 @@ class SearchEngine:
         self.fds = FDS(self.fde, source_stamp=self._source_stamp)
 
         self._index = ConceptualIndex(self.conceptual_store)
+        # generation-stamped cache of whole textual-query results; keys
+        # embed the generations of every store a query can read, so any
+        # write path (populate/recrawl/maintain/reindex) invalidates
+        self.query_cache = QueryCache(name="engine")
 
     # ------------------------------------------------------------------
     # populating
@@ -263,16 +268,44 @@ class SearchEngine:
         """Start a conceptual query over this engine's schema."""
         return WebspaceQuery(self.schema)
 
+    def _generation(self) -> tuple:
+        """Combined generation stamp of every store a query can read."""
+        return (self.ir.generation, self.conceptual_store.generation,
+                self.meta_store.generation)
+
     def query_text(self, source: str,
                    policy: ExecutionPolicy | None = None) -> QueryResult:
         """Parse and execute a textual conceptual query.
 
         The textual language is the CLI-friendly counterpart of the
         paper's graphical query interface (Fig 13); see
-        :mod:`repro.webspace.language` for the grammar.
+        :mod:`repro.webspace.language` for the grammar.  Repeated
+        queries against an unchanged engine are served from the
+        generation-stamped query cache (unless ``policy.cache`` is off);
+        any write through populate/recrawl/maintain/reindex bumps a
+        store generation and thereby invalidates.
         """
         from repro.webspace.language import parse_query
-        return self.query(parse_query(self.schema, source), policy=policy)
+        policy = policy or self.config.execution
+        key = None
+        if policy.cache:
+            self.query_cache.prepare(policy)
+            key = ("query_text", source.strip(), policy_signature(policy),
+                   self._generation())
+            cached = self.query_cache.lookup(key)
+            if cached is not MISS:
+                telemetry = get_telemetry()
+                with telemetry.tracer.span("query",
+                                           schema=self.schema.name) as span:
+                    span.set_attribute("cache_hit", True)
+                telemetry.metrics.counter("engine.queries").add(1)
+                return replace(cached, cache_hit=True)
+        result = self.query(parse_query(self.schema, source), policy=policy)
+        # degraded results are partial — never cache them, or a healed
+        # cluster would keep answering degraded until the next write
+        if key is not None and not result.degraded:
+            self.query_cache.store(key, result)
+        return result
 
     def query(self, query: WebspaceQuery,
               policy: ExecutionPolicy | None = None) -> QueryResult:
@@ -294,6 +327,7 @@ class SearchEngine:
         telemetry = get_telemetry()
         with telemetry.tracer.span("query", schema=self.schema.name,
                                    bindings=len(query.bindings)) as span:
+            span.set_attribute("cache_hit", False)
             content_search = (lambda cls, attribute, text:
                               self._content_search(cls, attribute, text,
                                                    policy))
@@ -333,7 +367,11 @@ class SearchEngine:
         prefix = f"{cls}:"
         suffix = f":{attribute}"
         ranked: dict[str, float] = {}
-        for url, score in self.ir.search_urls(text, n=None, policy=policy):
+        # the predicate filters a namespace out of the global ranking,
+        # so it needs the full collection ranked, whatever policy.n says
+        base = policy if policy is not None else ExecutionPolicy()
+        full = base.replace(n=max(1, self.ir.relations.document_count()))
+        for url, score in self.ir.search_urls(text, policy=full):
             if url.startswith(prefix) and url.endswith(suffix):
                 key = url[len(prefix):len(url) - len(suffix)]
                 ranked[key] = score

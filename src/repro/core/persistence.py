@@ -41,6 +41,9 @@ def save_engine(engine: SearchEngine, directory: str | Path) -> None:
     directory.mkdir(parents=True, exist_ok=True)
     engine.conceptual_store.save(directory / _CONCEPTUAL)
     engine.meta_store.save(directory / _META)
+    # materialise any deferred IDF refresh so the snapshot's relations
+    # are internally consistent (restores still re-derive defensively)
+    engine.ir.relations.refresh_idf()
     save_catalog(engine.ir.relations.catalog, directory / _IR)
     manifest = {
         "schema": engine.schema.name,

@@ -65,10 +65,15 @@ class QueryResult:
     degraded: bool = False
     failed_nodes: list[str] = field(default_factory=list)
     node_tuples: dict[str, int] = field(default_factory=dict)
+    # True on results served from the engine's generation-stamped query
+    # cache; the accounting fields then describe the original execution
+    cache_hit: bool = False
 
     def explain(self) -> str:
         """The executed physical plan, EXPLAIN ANALYZE style."""
         text = str(self.plan) if self.plan is not None else "(no plan)"
+        if self.cache_hit:
+            text += "\n(served from the query cache)"
         if self.degraded:
             text += ("\n(degraded: content ranking excludes failed nodes "
                      f"{sorted(self.failed_nodes)})")
@@ -80,6 +85,7 @@ class QueryResult:
             "kind": "conceptual",
             "rows": len(self.rows),
             "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
             "failed_nodes": sorted(self.failed_nodes),
             "tuples": {
                 "total": self.tuples_touched,

@@ -21,9 +21,10 @@ the merged ranking of the surviving nodes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import partial
 
+from repro.cache import MISS, QueryCache, normalized_terms, policy_signature
 from repro.cluster.executor import Executor
 from repro.core.config import ExecutionPolicy
 from repro.errors import ClusterExecutionError
@@ -57,6 +58,9 @@ class DistributedQueryResult:
     failed_nodes: dict[str, str] = field(default_factory=dict)
     degraded: bool = False
     attempts: dict[str, int] = field(default_factory=dict)
+    # True on results served from the generation-stamped query cache;
+    # the accounting fields then describe the original execution
+    cache_hit: bool = False
 
     def tuples_read_per_node(self) -> dict[str, int]:
         return {name: result.tuples_read
@@ -80,6 +84,7 @@ class DistributedQueryResult:
             "kind": "distributed",
             "rows": len(self.ranking),
             "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
             "failed_nodes": sorted(self.failed_nodes),
             "tuples": {
                 "total": self.total_tuples(),
@@ -92,7 +97,8 @@ class DistributedQueryResult:
         """Per-node execution report, EXPLAIN ANALYZE style."""
         header = (f"ir.distributed_query  (nodes="
                   f"{len(self.local_results) + len(self.failed_nodes)}, "
-                  f"rows={len(self.ranking)}, degraded={self.degraded})")
+                  f"rows={len(self.ranking)}, degraded={self.degraded}"
+                  f"{', cached' if self.cache_hit else ''})")
         lines = [header]
         for name, local in self.local_results.items():
             attempts = self.attempts.get(name, 1)
@@ -122,15 +128,34 @@ class DistributedIndex:
             for server in cluster.servers
         }
         self._fragments: dict[str, FragmentSet] = {}
+        self._fragment_generations: dict[str, int] = {}
+        self.query_cache = QueryCache(name="cluster")
+
+    @property
+    def generation(self) -> tuple:
+        """Central + per-node generation stamps.
+
+        Every mutation through this index bumps the central stamp *and*
+        the placement node's, so query-cache keys built from this tuple
+        go stale on any write — including writes that only touched one
+        node's relations directly.
+        """
+        return (self.central.generation,
+                tuple(sorted((name, relations.generation)
+                             for name, relations in self.nodes.items())))
 
     # -- indexing ---------------------------------------------------------
 
     def add_document(self, url: str, text: str) -> None:
-        """Index a document centrally and on its placement node."""
+        """Index a document centrally and on its placement node.
+
+        Write-path invalidation is implicit: both mutations bump their
+        relations' generation, which stales the node's fragment set and
+        every query-cache entry stamped with the old generations.
+        """
         self.central.add_document(url, text)
         node = self.cluster.place(url)
         self.nodes[node.name].add_document(url, text)
-        self._fragments.clear()
 
     def add_documents(self, documents,
                       policy: ExecutionPolicy | None = None) -> None:
@@ -146,7 +171,6 @@ class DistributedIndex:
         for name, items in self.cluster.scatter(docs).items():
             tasks[name] = partial(self._add_local, self.nodes[name], items)
         self._run_population(tasks, policy)
-        self._fragments.clear()
         self.refresh(policy)
 
     @staticmethod
@@ -160,7 +184,6 @@ class DistributedIndex:
         self.central.remove_document(url)
         node = self.cluster.place(url)
         self.nodes[node.name].remove_document(url)
-        self._fragments.clear()
 
     def reindex_document(self, url: str, text: str) -> None:
         """Replace a document's body everywhere."""
@@ -169,14 +192,24 @@ class DistributedIndex:
         self.add_document(url, text)
 
     def refresh(self, policy: ExecutionPolicy | None = None) -> None:
-        """Batch refresh in parallel: IDF everywhere, then node fragments."""
-        tasks = {"central": self.central.refresh_idf}
-        for name, relations in self.nodes.items():
-            tasks[name] = partial(self._refresh_local, relations,
+        """Batch refresh in parallel: IDF everywhere, then node fragments.
+
+        Generation-stamped: only nodes whose relations mutated since
+        their fragment set was built are rebuilt; an all-fresh refresh
+        is a handful of integer comparisons.
+        """
+        stale = [name for name, relations in self.nodes.items()
+                 if name not in self._fragments
+                 or self._fragment_generations.get(name)
+                 != relations.generation]
+        tasks: dict = {"central": self.central.refresh_idf}
+        for name in stale:
+            tasks[name] = partial(self._refresh_local, self.nodes[name],
                                   self.fragment_count)
         outcomes = self._run_population(tasks, policy)
-        self._fragments = {name: outcomes[name].value
-                           for name in self.nodes}
+        for name in stale:
+            self._fragments[name] = outcomes[name].value
+            self._fragment_generations[name] = self.nodes[name].generation
 
     @staticmethod
     def _refresh_local(relations: IrRelations,
@@ -196,7 +229,9 @@ class DistributedIndex:
         return outcomes
 
     def _node_fragments(self, name: str) -> FragmentSet:
-        if name not in self._fragments:
+        if name not in self._fragments \
+                or self._fragment_generations.get(name) \
+                != self.nodes[name].generation:
             self.refresh()
         return self._fragments[name]
 
@@ -216,10 +251,24 @@ class DistributedIndex:
         """
         policy = ExecutionPolicy.coerce(policy, n=n, prune=prune)
         telemetry = get_telemetry()
+        key = None
+        if policy.cache:
+            self.query_cache.prepare(policy)
+            key = ("distributed", normalized_terms(query),
+                   policy_signature(policy), self.generation)
+            cached = self.query_cache.lookup(key)
+            if cached is not MISS:
+                with telemetry.tracer.span("ir.distributed_query",
+                                           n=policy.n, prune=policy.prune,
+                                           nodes=len(self.nodes)) as span:
+                    span.set_attribute("cache_hit", True)
+                telemetry.metrics.counter("ir.distributed_queries").add(1)
+                return replace(cached, cache_hit=True)
         servers = {server.name: server for server in self.cluster.servers}
         with telemetry.tracer.span("ir.distributed_query", n=policy.n,
                                    prune=policy.prune,
                                    nodes=len(self.nodes)) as span:
+            span.set_attribute("cache_hit", False)
             # The central node stems the query and resolves the vocabulary.
             with telemetry.tracer.span("ir.stem_query") as stem_span:
                 central_terms = query_term_oids(self.central, query)
@@ -268,6 +317,11 @@ class DistributedIndex:
                                 max_node_tuples=result.max_node_tuples(),
                                 degraded=result.degraded)
         telemetry.metrics.counter("ir.distributed_queries").add(1)
+        # degraded rankings are partial by definition — never cache them,
+        # or a healed cluster would keep serving the degraded answer
+        # until the next write bumps the generation
+        if key is not None and not result.degraded:
+            self.query_cache.store(key, result)
         return result
 
     def _node_topn(self, parent_span, name: str, relations: IrRelations,

@@ -3,10 +3,20 @@
 Used by the integrated search engine (``repro.core``) for the Hypertext
 attributes of a webspace, and directly by examples that only need text
 search.
+
+Since the caching layer, both engines are generation-aware: IDF refresh
+and fragment builds are memoized against
+:attr:`~repro.ir.relations.IrRelations.generation`, and query results
+are served from a bounded LRU (:class:`~repro.cache.QueryCache`) keyed
+on normalized terms + ranking model + result-affecting
+:class:`~repro.core.config.ExecutionPolicy` knobs + the generation
+stamp.  Mutations bump the generation, which is the entire invalidation
+protocol.
 """
 
 from __future__ import annotations
 
+from repro.cache import MISS, QueryCache, normalized_terms, policy_signature
 from repro.core.config import ExecutionPolicy
 from repro.monetdb.atoms import Oid
 from repro.ir.fragmentation import FragmentSet, fragment_by_idf
@@ -26,20 +36,24 @@ class IrEngine:
         self.relations = IrRelations()
         self.fragment_count = fragment_count
         self.model = model
+        self.query_cache = QueryCache(name="ir")
         self._fragments: FragmentSet | None = None
+        self._fragments_generation = -1
+
+    @property
+    def generation(self) -> int:
+        """The index generation query caches stamp their keys with."""
+        return self.relations.generation
 
     # -- indexing ---------------------------------------------------------
 
     def index(self, url: str, text: str) -> Oid:
         """Index one document body under a url key."""
-        doc = self.relations.add_document(url, text)
-        self._fragments = None
-        return doc
+        return self.relations.add_document(url, text)
 
     def remove(self, url: str) -> None:
         """Un-index one document."""
         self.relations.remove_document(url)
-        self._fragments = None
 
     def reindex(self, url: str, text: str) -> Oid:
         """Replace a document body (source data changed)."""
@@ -48,38 +62,89 @@ class IrEngine:
         return self.index(url, text)
 
     def fragments(self) -> FragmentSet:
-        """The idf-ordered fragment set, rebuilt lazily after updates."""
-        if self._fragments is None:
+        """The idf-ordered fragment set, rebuilt lazily after updates.
+
+        Memoized against the relations' generation: mutations through
+        *any* path (engine methods or the relations directly) make the
+        next call rebuild; unchanged indexes reuse the built set.
+        """
+        generation = self.relations.generation
+        if self._fragments is None \
+                or self._fragments_generation != generation:
             self._fragments = fragment_by_idf(self.relations,
                                               self.fragment_count)
+            self._fragments_generation = generation
         return self._fragments
 
     # -- querying ---------------------------------------------------------
 
-    def search(self, query: str, n: int = 10) -> Ranking:
-        """Rank documents for a free-text query; returns (doc oid, score)."""
+    def search(self, query: str, n: int | None = 10,
+               policy: ExecutionPolicy | None = None) -> Ranking:
+        """Rank documents for a free-text query; returns (doc oid, score).
+
+        ``policy`` only contributes the cache knobs here — a single
+        node has no fan-out to steer.  Results are cached per
+        (terms, model, n, generation); any mutation bumps the
+        generation and thereby invalidates.
+        """
+        policy = policy if policy is not None else ExecutionPolicy()
+        key = None
+        if policy.cache:
+            self.query_cache.prepare(policy)
+            key = ("search", self.model, normalized_terms(query), n,
+                   self.relations.generation)
+            cached = self.query_cache.lookup(key)
+            if cached is not MISS:
+                return list(cached)
         self.relations.refresh_idf()
         if self.model == "hiemstra":
-            return rank_hiemstra(self.relations, query, n)
-        return rank_tfidf(self.relations, query, n)
+            ranking = rank_hiemstra(self.relations, query, n)
+        else:
+            ranking = rank_tfidf(self.relations, query, n)
+        if key is not None:
+            self.query_cache.store(key, list(ranking))
+        return ranking
 
-    def search_urls(self, query: str, n: int = 10,
+    def search_urls(self, query: str, n: int | None = None,
                     policy: ExecutionPolicy | None = None
                     ) -> list[tuple[str, float]]:
         """Like :meth:`search` but resolving doc oids to urls.
 
-        ``policy`` is accepted for surface parity with the clustered
-        backend; a single node has no fan-out knobs to apply.
+        The result size comes from ``policy.n``; the ``n=`` kwarg is a
+        deprecated alias folded in via
+        :meth:`ExecutionPolicy.coerce` — exactly the clustered
+        surface's contract, so single-node and distributed backends
+        answer identically.
         """
+        policy = ExecutionPolicy.coerce(policy, n=n)
         return [(self.relations.doc_url(doc), score)
-                for doc, score in self.search(query, n)]
+                for doc, score in self.search(query, policy.n,
+                                              policy=policy)]
 
     def search_fragmented(self, query: str, n: int = 10,
-                          prune: bool = True) -> TopNResult:
-        """Top-N through the fragment-pruned access path."""
-        self.relations.refresh_idf()
+                          prune: bool = True,
+                          policy: ExecutionPolicy | None = None
+                          ) -> TopNResult:
+        """Top-N through the fragment-pruned access path.
+
+        Exactly one (memoized) IDF refresh per call: the fragment build
+        refreshes lazily inside :func:`fragment_by_idf`, and only when
+        the generation moved.
+        """
+        policy = policy if policy is not None else ExecutionPolicy()
+        key = None
+        if policy.cache:
+            self.query_cache.prepare(policy)
+            key = ("fragmented", normalized_terms(query), n, prune,
+                   self.relations.generation)
+            cached = self.query_cache.lookup(key)
+            if cached is not MISS:
+                return cached
         terms = query_term_oids(self.relations, query)
-        return topn_fragmented(self.fragments(), terms, n, prune=prune)
+        result = topn_fragmented(self.fragments(), terms, n, prune=prune)
+        if key is not None:
+            self.query_cache.store(key, result)
+        return result
 
     def matching_documents(self, query: str) -> set[Oid]:
         """Doc oids containing at least one query term (boolean filter)."""
@@ -123,20 +188,32 @@ class ClusterIrEngine:
         """The central node's global relations (vocabulary + IDF)."""
         return self.index.central
 
+    @property
+    def generation(self) -> tuple:
+        """Central + per-node generation stamps (the cluster cache key)."""
+        return self.index.generation
+
+    @property
+    def query_cache(self) -> QueryCache:
+        """The distributed plan's result cache."""
+        return self.index.query_cache
+
     def reindex(self, url: str, text: str) -> None:
         self.index.reindex_document(url, text)
 
     def remove(self, url: str) -> None:
         self.index.remove_document(url)
 
-    def search_urls(self, query: str, n: int | None = 10,
+    def search_urls(self, query: str, n: int | None = None,
                     policy: ExecutionPolicy | None = None
                     ) -> list[tuple[str, float]]:
-        limit = n if n is not None else max(
-            1, self.index.central.document_count())
-        # the caller's limit wins over the policy's n: content predicates
-        # need the full per-namespace ranking for conceptual filtering
-        policy = (policy or ExecutionPolicy()).replace(n=limit)
+        """Urls ranked by the distributed plan, sized by ``policy.n``.
+
+        The ``n=`` kwarg is a deprecated alias (see
+        :meth:`IrEngine.search_urls` — both surfaces share the
+        contract).
+        """
+        policy = ExecutionPolicy.coerce(policy, n=n)
         result = self.index.query(query, policy=policy)
         self.last_result = result
         self.recent_results.append(result)

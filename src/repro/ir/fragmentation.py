@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from repro.errors import BatError
 from repro.monetdb.atoms import Oid
 from repro.ir.relations import IrRelations
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["Fragment", "FragmentSet", "fragment_by_idf"]
 
@@ -76,7 +77,9 @@ def fragment_by_idf(relations: IrRelations, fragment_count: int,
     """
     if fragment_count < 1:
         raise BatError("fragment_count must be >= 1")
+    # memoized against the relations' generation: a no-op when fresh
     relations.refresh_idf()
+    get_telemetry().metrics.counter("ir.fragment_rebuilds").add(1)
     term_oids = list(relations.IDF.head)
     if order == "idf":
         term_oids.sort(key=lambda oid: (-relations.idf(oid), oid))

@@ -11,14 +11,20 @@ integrates:
 
 BATs are binary, so the ternary DT is decomposed Monet-style into two
 BATs sharing the pair-oid head (``DT_doc`` and ``DT_term``).  The IDF
-relation is maintained *incrementally*: documents are added eagerly to
-T/D/DT/TF while IDF refresh is batched, mirroring the paper's "started
-every time the storage manager has parsed a certain number of document
-bodies".
+relation is maintained *lazily*: documents are added eagerly to
+T/D/DT/TF while every mutation only bumps the ``generation`` counter;
+:meth:`refresh_idf` recomputes IDF at most once per generation, on the
+first read that needs it.  This generalises the paper's batched refresh
+("started every time the storage manager has parsed a certain number of
+document bodies") — bulk population costs O(docs) instead of
+O(docs × vocabulary), and a query-time refresh is a no-op unless the
+index actually changed.  The generation stamp is also what the query
+caches key on (:mod:`repro.cache`).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Iterable
 
@@ -26,6 +32,7 @@ from repro.errors import CatalogError
 from repro.monetdb.atoms import Oid
 from repro.monetdb.catalog import Catalog
 from repro.ir.text import analyze
+from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["IrRelations"]
 
@@ -42,10 +49,18 @@ class IrRelations:
         self.DT_term = self.catalog.ensure("ir:DT:term", "oid", "oid")
         self.TF = self.catalog.ensure("ir:TF", "oid", "int")
         self.IDF = self.catalog.ensure("ir:IDF", "oid", "flt")
+        # kept for API compatibility; the generation-stamped lazy
+        # refresh made threshold-based batching redundant
         self.refresh_batch = refresh_batch
         self._term_oids: dict[str, Oid] = {t: o for o, t in self.T}
         self._doc_oids: dict[str, Oid] = {u: o for o, u in self.D}
-        self._pending_since_refresh = 0
+        # Bumped on every mutation; IDF (and the callers' fragment sets
+        # and query caches) are memoized against it.  A restored
+        # snapshot starts stale so the first read re-derives IDF from
+        # the authoritative DT relation.
+        self.generation = 0
+        self._idf_generation = -1
+        self._refresh_lock = threading.Lock()
         # total term occurrences (for LM ranking); restored from TF when
         # the catalog comes from a snapshot
         self.collection_length = sum(self.TF.tail)
@@ -89,7 +104,7 @@ class IrRelations:
     # -- indexing ---------------------------------------------------------
 
     def add_document(self, url: str, text: str) -> Oid:
-        """Index one document body; IDF refresh is batched."""
+        """Index one document body; IDF refresh is deferred (lazy)."""
         if url in self._doc_oids:
             raise CatalogError(f"document already indexed: {url!r}")
         doc = self.catalog.oids.new()
@@ -103,9 +118,7 @@ class IrRelations:
             self.DT_term.insert(pair, term_oid)
             self.TF.insert(pair, frequency)
             self.collection_length += frequency
-        self._pending_since_refresh += 1
-        if self._pending_since_refresh >= self.refresh_batch:
-            self.refresh_idf()
+        self.generation += 1
         return doc
 
     def add_documents(self, documents: Iterable[tuple[str, str]]) -> None:
@@ -126,24 +139,48 @@ class IrRelations:
             self.DT_term.delete_head(pair)
             self.TF.delete_head(pair)
         self.D.delete_head(doc)
-        self.refresh_idf()
+        self.generation += 1
+
+    def idf_fresh(self) -> bool:
+        """Whether IDF reflects the current generation."""
+        return self._idf_generation == self.generation
 
     def refresh_idf(self) -> None:
-        """Recompute IDF from DT (``idf = 1/df``, as in the paper)."""
-        frequencies: Counter[Oid] = Counter(self.DT_term.tail)
-        fresh = self.catalog.get("ir:IDF")
-        fresh._head.clear()  # rebuilt wholesale: IDF is small (vocabulary)
-        fresh._tail.clear()
-        fresh._head_index = None
-        fresh._tail_index = None
-        for term_oid, document_frequency in frequencies.items():
-            fresh.insert(term_oid, 1.0 / document_frequency)
-        self._pending_since_refresh = 0
+        """Recompute IDF from DT (``idf = 1/df``, as in the paper).
+
+        Memoized against :attr:`generation`: a no-op unless the index
+        mutated since the last refresh, so every read path may call it
+        defensively.  Double-checked under a lock so concurrent readers
+        racing a stale index rebuild IDF exactly once; the fast path is
+        one integer comparison.
+        """
+        if self._idf_generation == self.generation:
+            return
+        with self._refresh_lock:
+            generation = self.generation
+            if self._idf_generation == generation:
+                return
+            frequencies: Counter[Oid] = Counter(self.DT_term.tail)
+            fresh = self.catalog.get("ir:IDF")
+            fresh._head.clear()  # rebuilt wholesale: IDF is small (vocab)
+            fresh._tail.clear()
+            fresh._head_index = None
+            fresh._tail_index = None
+            for term_oid, document_frequency in frequencies.items():
+                fresh.insert(term_oid, 1.0 / document_frequency)
+            self._idf_generation = generation
+        get_telemetry().metrics.counter("ir.idf_refresh").add(1)
 
     # -- per-term access (used by ranking and fragmentation) -----------
 
     def idf(self, term_oid: Oid) -> float:
-        """idf of a term (0.0 when the term occurs nowhere)."""
+        """idf of a term (0.0 when the term occurs nowhere).
+
+        Reads through the lazy refresh: a stale IDF relation is
+        recomputed on first access after a mutation.
+        """
+        if self._idf_generation != self.generation:
+            self.refresh_idf()
         return self.IDF.get(term_oid, 0.0)
 
     def postings(self, term_oid: Oid) -> list[tuple[Oid, int]]:
@@ -163,4 +200,5 @@ class IrRelations:
             "terms": self.vocabulary_size(),
             "pairs": len(self.TF),
             "collection_length": self.collection_length,
+            "generation": self.generation,
         }

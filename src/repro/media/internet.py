@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.core.config import ExecutionPolicy
 from repro.errors import ParseError
 from repro.featuregrammar.detectors import DetectorRegistry
 from repro.featuregrammar.fde import FDE
@@ -127,7 +128,7 @@ class InternetSearchEngine:
                      expand: bool = True) -> list[tuple[str, float]]:
         """Pages ranked for a concept (thesaurus-expanded by default)."""
         query = self.thesaurus.expand_query(concept) if expand else concept
-        return self.ir.search_urls(query, n=n)
+        return self.ir.search_urls(query, policy=ExecutionPolicy(n=n))
 
     def portraits_about(self, concept: str, n: int = 10) -> list[PortraitHit]:
         """The paper's query: portraits embedded in pages semantically

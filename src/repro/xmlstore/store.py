@@ -38,6 +38,9 @@ class XmlStore:
         self.stats = LoadStats()
         self._doc_root: dict[str, Oid] = {}
         self._root_doc: dict[Oid, str] = {}
+        # bumped on every insert/delete (replace = both): generation
+        # stamp for caches keyed on the store's contents
+        self.generation = 0
         self._docs = self.catalog.ensure(DOCS_RELATION, "oid", "str")
         # restore the registry and path summary when the catalog was
         # loaded from a snapshot
@@ -87,6 +90,7 @@ class XmlStore:
         self._doc_root[key] = oid
         self._root_doc[oid] = key
         self._docs.insert(oid, key)
+        self.generation += 1
         return oid
 
     def insert_many(self, documents: Iterable[tuple[str, Element | str]]
@@ -112,6 +116,7 @@ class XmlStore:
         self._docs.delete_head(root)
         del self._doc_root[key]
         del self._root_doc[root]
+        self.generation += 1
 
     def _delete_subtree(self, context: PathNode, oid: Oid) -> None:
         for name in context.attribute_names:

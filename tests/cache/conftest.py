@@ -1,0 +1,30 @@
+"""Shared fixtures for the generation-stamped caching suite."""
+
+import random
+
+import pytest
+
+from repro.ir.engine import IrEngine
+
+
+def corpus(documents=40, seed=11):
+    """A small deterministic corpus with a skewed vocabulary."""
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(60)]
+    weights = [1.0 / (i + 1) for i in range(60)]
+    docs = []
+    for d in range(documents):
+        words = rng.choices(vocab, weights=weights, k=30)
+        if d % 5 == 0:
+            words += ["trophy", "champion"]
+        docs.append((f"http://site/p{d}", " ".join(words)))
+    return docs
+
+
+@pytest.fixture
+def engine():
+    """A populated single-node IR engine."""
+    ir = IrEngine(fragment_count=4)
+    for url, text in corpus():
+        ir.index(url, text)
+    return ir

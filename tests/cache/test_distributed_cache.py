@@ -1,0 +1,161 @@
+"""The cluster-level query cache: per-node generations, degraded results,
+thread safety under the parallel executor."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cluster import ExecutionPolicy, FaultInjector
+from repro.telemetry import telemetry_session
+
+from tests.cluster.conftest import build_index, corpus
+
+pytestmark = pytest.mark.cache
+
+QUERY = "trophy melbourne w0 w1"
+
+
+class TestHitAfterWarm:
+    def test_second_query_is_a_cache_hit(self):
+        index = build_index(cluster_size=3)
+        cold = index.query(QUERY, policy=ExecutionPolicy(n=5))
+        assert not cold.cache_hit
+        warm = index.query(QUERY, policy=ExecutionPolicy(n=5))
+        assert warm.cache_hit
+        assert warm.ranking == cold.ranking
+        assert warm.tuples_read_per_node() == cold.tuples_read_per_node()
+
+    def test_cache_hit_surfaces_on_dict_and_explain(self):
+        index = build_index(cluster_size=2)
+        index.query(QUERY, policy=ExecutionPolicy(n=5))
+        warm = index.query(QUERY, policy=ExecutionPolicy(n=5))
+        assert warm.to_dict()["cache_hit"] is True
+        assert "cached" in warm.explain()
+
+    def test_cached_ranking_is_bit_identical_to_uncached(self):
+        index = build_index(cluster_size=3)
+        uncached = index.query(QUERY,
+                               policy=ExecutionPolicy(n=10, cache=False))
+        index.query(QUERY, policy=ExecutionPolicy(n=10))
+        cached = index.query(QUERY, policy=ExecutionPolicy(n=10))
+        assert cached.cache_hit
+        assert cached.ranking == uncached.ranking
+
+    def test_policy_knobs_partition_the_cache(self):
+        index = build_index(cluster_size=2)
+        index.query(QUERY, policy=ExecutionPolicy(n=5))
+        pruned_off = index.query(QUERY,
+                                 policy=ExecutionPolicy(n=5, prune=False))
+        assert not pruned_off.cache_hit
+
+
+class TestInvalidation:
+    def test_add_documents_invalidates(self):
+        index = build_index(cluster_size=3, documents=40)
+        index.query(QUERY, policy=ExecutionPolicy(n=5))
+        index.add_documents([("http://site/extra0", "trophy melbourne"),
+                             ("http://site/extra1", "trophy trophy")])
+        after = index.query(QUERY, policy=ExecutionPolicy(n=5))
+        assert not after.cache_hit
+
+    def test_add_document_invalidates(self):
+        index = build_index(cluster_size=2, documents=30)
+        before = index.query("trophy", policy=ExecutionPolicy(n=5))
+        index.add_document("http://site/solo", "trophy " * 10)
+        after = index.query("trophy", policy=ExecutionPolicy(n=5))
+        assert not after.cache_hit
+        urls = {index.central.doc_url(doc) for doc, _ in after.ranking}
+        assert "http://site/solo" in urls
+        assert before.ranking != after.ranking
+
+    def test_remove_document_invalidates(self):
+        index = build_index(cluster_size=2, documents=30)
+        result = index.query("trophy", policy=ExecutionPolicy(n=5))
+        top_url = index.central.doc_url(result.ranking[0][0])
+        index.remove_document(top_url)
+        after = index.query("trophy", policy=ExecutionPolicy(n=5))
+        assert not after.cache_hit
+        assert top_url not in {index.central.doc_url(doc)
+                               for doc, _ in after.ranking}
+
+    def test_refresh_rebuilds_only_stale_nodes(self):
+        index = build_index(cluster_size=4)
+        with telemetry_session() as telemetry:
+            index.refresh()  # nothing changed: all nodes fresh
+            assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
+                == 0
+            index.add_document("http://site/one-more", "trophy melbourne")
+            index.refresh()  # exactly one node took the document
+            assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
+                == 1
+
+
+class TestDegradedNeverCached:
+    def test_degraded_result_is_not_stored(self):
+        faults = FaultInjector().fail("node1", times=1)
+        index = build_index(cluster_size=3, fault_injector=faults)
+        policy = ExecutionPolicy(n=5, on_failure="degrade")
+        degraded = index.query(QUERY, policy=policy)
+        assert degraded.degraded
+        # the fault budget is spent: this run executes cleanly — it must
+        # NOT be a hit on the degraded entry
+        healed = index.query(QUERY, policy=policy)
+        assert not healed.cache_hit
+        assert not healed.degraded
+        # and only now does the clean result populate the cache
+        warm = index.query(QUERY, policy=policy)
+        assert warm.cache_hit
+        assert warm.ranking == healed.ranking
+
+
+class TestThreadSafety:
+    def test_racing_queries_agree_with_sequential(self):
+        index = build_index(cluster_size=4, documents=60)
+        policy = ExecutionPolicy(n=10, max_workers=4)
+        reference = index.query(QUERY,
+                                policy=ExecutionPolicy(n=10, cache=False))
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(
+                lambda _: index.query(QUERY, policy=policy), range(16)))
+        for result in results:
+            assert result.ranking == reference.ranking
+        # racing cold starts may each execute (there is deliberately no
+        # request coalescing), but every store is idempotent: one entry,
+        # and the books balance
+        executions = sum(1 for result in results if not result.cache_hit)
+        assert 1 <= executions <= 16
+        stats = index.query_cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 16 - executions
+
+    def test_racing_mixed_queries_stay_consistent(self):
+        index = build_index(cluster_size=3, documents=50)
+        queries = [QUERY, "trophy", "melbourne w2", "w0 w3 w5"]
+        expected = {
+            query: index.query(query,
+                               policy=ExecutionPolicy(n=5,
+                                                      cache=False)).ranking
+            for query in queries}
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(
+                lambda i: (queries[i % 4],
+                           index.query(queries[i % 4],
+                                       policy=ExecutionPolicy(n=5))),
+                range(24)))
+        for query, result in results:
+            assert result.ranking == expected[query]
+
+
+class TestCentralIdfLaziness:
+    def test_population_then_query_refreshes_each_store_once(self):
+        from repro.ir.distributed import DistributedIndex
+        from repro.monetdb.server import Cluster
+
+        with telemetry_session() as telemetry:
+            index = DistributedIndex(Cluster(3), fragment_count=4)
+            index.add_documents(corpus(documents=30))
+            refreshes = telemetry.metrics.sum_counters("ir.idf_refresh")
+            # central + one per node, exactly once each
+            assert refreshes == 4
+            index.query(QUERY, policy=ExecutionPolicy(n=5))
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 4

@@ -1,0 +1,134 @@
+"""Generation stamping: the write path's entire invalidation protocol.
+
+The headline regression here is the old double IDF refresh of
+``search_fragmented`` (one eager refresh in the engine plus one inside
+the fragment build) and the old eager per-insert refresh of
+``add_document`` — both now collapse onto the generation-memoized
+``refresh_idf``, asserted through the ``ir.idf_refresh`` counter.
+"""
+
+import pytest
+
+from repro.core.config import ExecutionPolicy
+from repro.ir.engine import IrEngine
+from repro.ir.relations import IrRelations
+from repro.telemetry import telemetry_session
+
+from tests.cache.conftest import corpus
+
+pytestmark = pytest.mark.cache
+
+
+class TestRelationsGeneration:
+    def test_mutations_bump_the_generation(self):
+        relations = IrRelations()
+        start = relations.generation
+        relations.add_document("doc:a", "alpha beta")
+        assert relations.generation == start + 1
+        relations.add_document("doc:b", "beta gamma")
+        assert relations.generation == start + 2
+        relations.remove_document("doc:a")
+        assert relations.generation == start + 3
+
+    def test_population_defers_idf_work(self):
+        relations = IrRelations()
+        for url, text in corpus(documents=20):
+            relations.add_document(url, text)
+        assert len(relations.IDF) == 0
+        assert not relations.idf_fresh()
+        relations.refresh_idf()
+        assert relations.idf_fresh()
+        assert len(relations.IDF) == relations.vocabulary_size()
+
+    def test_refresh_is_memoized_per_generation(self):
+        relations = IrRelations()
+        relations.add_document("doc:a", "alpha beta")
+        with telemetry_session() as telemetry:
+            relations.refresh_idf()
+            relations.refresh_idf()
+            relations.refresh_idf()
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 1
+            relations.add_document("doc:b", "beta")
+            relations.refresh_idf()
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 2
+
+    def test_lazy_idf_read_refreshes_once(self):
+        relations = IrRelations()
+        relations.add_document("doc:a", "alpha beta")
+        relations.add_document("doc:b", "beta")
+        with telemetry_session() as telemetry:
+            beta = relations.term_oid("beta")
+            assert relations.idf(beta) == pytest.approx(0.5)
+            assert relations.idf(beta) == pytest.approx(0.5)
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 1
+
+
+class TestSingleRefreshRegression:
+    def test_search_fragmented_refreshes_idf_exactly_once(self, engine):
+        # regression: search_fragmented used to refresh IDF eagerly AND
+        # again inside the fragment build — one index mutation must cost
+        # exactly one refresh, however the query comes in
+        with telemetry_session() as telemetry:
+            engine.search_fragmented("trophy champion", n=5)
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 1
+            assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
+                == 1
+
+    def test_repeated_queries_never_refresh_again(self, engine):
+        with telemetry_session() as telemetry:
+            # distinct queries so the query cache cannot short-circuit
+            engine.search_fragmented("trophy", n=5)
+            engine.search_fragmented("champion", n=5)
+            engine.search("trophy w0", n=5)
+            engine.search("w1 w2", n=5)
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 1
+            assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
+                == 1
+
+    def test_mutation_triggers_one_more_refresh(self, engine):
+        with telemetry_session() as telemetry:
+            engine.search_fragmented("trophy", n=5)
+            engine.index("doc:new", "trophy trophy champion")
+            engine.search_fragmented("champion", n=5)
+            assert telemetry.metrics.sum_counters("ir.idf_refresh") == 2
+            assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
+                == 2
+
+
+class TestFragmentMemoization:
+    def test_fragments_reused_until_mutation(self, engine):
+        first = engine.fragments()
+        assert engine.fragments() is first
+        engine.index("doc:new", "something else entirely")
+        rebuilt = engine.fragments()
+        assert rebuilt is not first
+
+    def test_direct_relations_mutation_is_seen(self, engine):
+        # mutations bypassing the engine facade still stamp the
+        # generation, so the memoized fragment set goes stale too
+        first = engine.fragments()
+        engine.relations.add_document("doc:direct", "trophy")
+        assert engine.fragments() is not first
+
+
+class TestEngineGenerationSurface:
+    def test_engine_exposes_relations_generation(self, engine):
+        before = engine.generation
+        engine.index("doc:new", "alpha")
+        assert engine.generation == before + 1
+        engine.reindex("doc:new", "alpha beta")
+        # reindex of an existing document = remove + add
+        assert engine.generation == before + 3
+
+    def test_stats_report_the_generation(self, engine):
+        assert engine.relations.stats()["generation"] \
+            == engine.relations.generation
+
+    def test_search_results_unchanged_by_laziness(self, engine):
+        # deferred refresh must not change what queries return
+        lazy = engine.search("trophy champion", n=10,
+                             policy=ExecutionPolicy(cache=False))
+        engine.relations.refresh_idf()
+        eager = engine.search("trophy champion", n=10,
+                              policy=ExecutionPolicy(cache=False))
+        assert lazy == eager

@@ -23,7 +23,9 @@ CONCURRENCY = 8
 class TestConcurrentAccounting:
     def test_eight_concurrent_queries_equal_sequential_totals(self):
         index = build_index(cluster_size=4, documents=80)
-        policy = ExecutionPolicy(n=10)
+        # cache=False: the whole point is eight *executions* racing —
+        # the query cache would collapse them into one
+        policy = ExecutionPolicy(n=10, cache=False)
 
         with telemetry_session() as telemetry:
             single = index.query(QUERY, policy=policy)
@@ -57,9 +59,11 @@ class TestConcurrentAccounting:
     def test_sequential_and_parallel_widths_agree(self):
         """max_workers=1 (old sequential loop) matches full fan-out."""
         index = build_index(cluster_size=4, documents=80)
-        sequential = index.query(QUERY,
-                                 policy=ExecutionPolicy(n=10, max_workers=1))
-        parallel = index.query(QUERY, policy=ExecutionPolicy(n=10))
+        sequential = index.query(
+            QUERY, policy=ExecutionPolicy(n=10, max_workers=1,
+                                          cache=False))
+        parallel = index.query(QUERY,
+                               policy=ExecutionPolicy(n=10, cache=False))
         assert sequential.ranking == parallel.ranking
         assert sequential.tuples_read_per_node() \
             == parallel.tuples_read_per_node()

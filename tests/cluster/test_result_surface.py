@@ -62,8 +62,11 @@ class TestEngineDegradedQuery:
         faults = FaultInjector().fail("node1", times=99)
         clustered_engine.ir.index.fault_injector = faults
         try:
+            # cache=False: the injected faults are out-of-band state the
+            # cache key cannot see, so force a real execution
             result = clustered_engine.query_text(
-                CONTAINS, policy=ExecutionPolicy(on_failure="degrade"))
+                CONTAINS, policy=ExecutionPolicy(on_failure="degrade",
+                                                 cache=False))
             assert result.degraded
             assert result.failed_nodes == ["node1"]
             assert "node1" not in result.node_tuples
@@ -79,6 +82,7 @@ class TestEngineDegradedQuery:
         try:
             with pytest.raises(ClusterExecutionError):
                 clustered_engine.query_text(
-                    CONTAINS, policy=ExecutionPolicy(on_failure="raise"))
+                    CONTAINS, policy=ExecutionPolicy(on_failure="raise",
+                                                     cache=False))
         finally:
             clustered_engine.ir.index.fault_injector = None

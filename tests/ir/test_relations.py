@@ -64,12 +64,29 @@ class TestFrequencies:
     def test_idf_of_unknown_is_zero(self, relations):
         assert relations.idf(999999) == 0.0
 
-    def test_idf_refresh_batched(self):
-        relations = IrRelations(refresh_batch=2)
+    def test_idf_refresh_deferred_until_read(self):
+        relations = IrRelations()
         relations.add_document("doc:u1", "alpha")
-        assert len(relations.IDF) == 0  # not refreshed yet
+        assert len(relations.IDF) == 0  # population never refreshes
         relations.add_document("doc:u2", "alpha beta")
-        assert len(relations.IDF) == 2  # batch boundary hit
+        assert len(relations.IDF) == 0
+        assert not relations.idf_fresh()
+        # the first idf read refreshes through the generation stamp
+        alpha = relations.term_oid(stem("alpha"))
+        assert relations.idf(alpha) == pytest.approx(0.5)
+        assert len(relations.IDF) == 2
+        assert relations.idf_fresh()
+
+    def test_idf_refresh_memoized_per_generation(self):
+        relations = IrRelations()
+        relations.add_document("doc:u1", "alpha beta")
+        relations.refresh_idf()
+        generation = relations.generation
+        relations.refresh_idf()  # no mutation in between: a no-op
+        assert relations.generation == generation
+        relations.add_document("doc:u2", "beta")
+        assert relations.generation == generation + 1
+        assert not relations.idf_fresh()
 
 
 class TestRemoval:

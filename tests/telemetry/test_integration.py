@@ -126,9 +126,12 @@ class TestEngineSpans:
     def test_node_tuples_sum_matches_last_distributed_result(
             self, clustered_engine):
         with telemetry_session() as telemetry:
+            # cache=False: the assertion compares this run's counters to
+            # this run's per-node accounting, so the query must execute
             clustered_engine.query_text(
                 "SELECT p.name FROM Player p "
-                "WHERE p.history CONTAINS 'Winner' TOP 5")
+                "WHERE p.history CONTAINS 'Winner' TOP 5",
+                policy=ExecutionPolicy(cache=False))
             last = clustered_engine.ir.last_result
             assert last is not None
             assert telemetry.metrics.sum_counters("ir.node_tuples_read") \
