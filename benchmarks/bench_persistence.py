@@ -1,0 +1,105 @@
+"""Persistence — checkpoint cost, verified restore cost, recovery wins.
+
+Three numbers characterise the crash-safe snapshot subsystem:
+
+1. **Checkpoint latency** — ``save_engine`` end to end (atomic writes,
+   checksums, pointer flip) for a populated engine, and the snapshot's
+   on-disk size.
+2. **Restore latency, verified vs unverified** — ``load_engine`` pays
+   an up-front SHA-256 pass over every file when ``verify=True``; the
+   delta is the integrity tax.
+3. **Restore vs re-populate** — the reason snapshots exist: reloading a
+   checkpoint must beat crawling + shredding + detector analysis by a
+   wide margin (the acceptance bar is >= 2x; in practice it is much
+   larger, dominated by detector calls).
+
+Writes ``BENCH_persistence.json`` next to the other ``BENCH_*``
+artifacts.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.persistence import SnapshotStore, load_engine, save_engine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+ROUNDS = 5
+REPORT = Path(__file__).parent / "BENCH_persistence.json"
+
+
+def _build_populated():
+    server, _ = build_ausopen_site(players=10, articles=8, videos=3,
+                                   frames_per_shot=6)
+    engine = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(fragment_count=4))
+    engine.populate()
+    return engine, server
+
+
+def _median_ms(action, rounds=ROUNDS):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        action()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+def test_restore_beats_repopulate(tmp_path):
+    engine, server = _build_populated()
+    root = tmp_path / "snapshot"
+    schema = australian_open_schema()
+
+    save_ms = _median_ms(lambda: save_engine(engine, root))
+    store = SnapshotStore(root)
+    checkpoint = store.path(store.current_generation())
+    snapshot_bytes = sum(entry.stat().st_size
+                         for entry in checkpoint.iterdir())
+
+    verified_ms = _median_ms(
+        lambda: load_engine(root, schema, server, verify=True))
+    unverified_ms = _median_ms(
+        lambda: load_engine(root, schema, server, verify=False))
+
+    def repopulate():
+        fresh_server, _ = build_ausopen_site(players=10, articles=8,
+                                             videos=3, frames_per_shot=6)
+        fresh = SearchEngine(schema, fresh_server,
+                             EngineConfig(fragment_count=4))
+        fresh.populate()
+
+    repopulate_ms = _median_ms(repopulate, rounds=3)
+    speedup = repopulate_ms / verified_ms
+
+    # correctness guard: the restored engine answers like the original
+    query = "SELECT p.name FROM Player p WHERE " \
+            "p.history CONTAINS 'Winner' TOP 20"
+    restored = load_engine(root, schema, server)
+    assert engine.query_text(query).column("p.name") \
+        == restored.query_text(query).column("p.name")
+
+    report = {
+        "version": 1,
+        "meta": {
+            "suite": "bench_persistence",
+            "players": 10, "articles": 8, "videos": 3,
+            "rounds": ROUNDS,
+        },
+        "checkpoint_ms": round(save_ms, 4),
+        "snapshot_bytes": snapshot_bytes,
+        "restore_verified_ms": round(verified_ms, 4),
+        "restore_unverified_ms": round(unverified_ms, 4),
+        "verification_overhead_ms": round(verified_ms - unverified_ms, 4),
+        "repopulate_ms": round(repopulate_ms, 4),
+        "restore_speedup_over_repopulate": round(speedup, 2),
+    }
+    REPORT.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    assert speedup >= 2.0, (
+        f"verified restore only {speedup:.1f}x faster than re-populate "
+        f"(restore={verified_ms:.1f}ms repopulate={repopulate_ms:.1f}ms)")

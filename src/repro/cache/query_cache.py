@@ -30,13 +30,15 @@ from __future__ import annotations
 from typing import Any, Hashable
 
 from repro.cache.lru import LruCache, MISS
-from repro.ir.text import analyze
 
 __all__ = ["QueryCache", "normalized_terms", "policy_signature", "MISS"]
 
 
 def normalized_terms(query: str) -> tuple[str, ...]:
     """The stemmed, stopped term tuple a query normalizes to."""
+    # deferred: repro.ir imports this module, so a module-level import
+    # of repro.ir.text would make the two packages import-order dependent
+    from repro.ir.text import analyze
     return tuple(analyze(query))
 
 

@@ -15,7 +15,13 @@ against the bundled synthetic webspaces::
 
 ``populate`` builds the named site, populates an engine and saves a
 snapshot; ``query`` reloads the snapshot and runs a textual conceptual
-query; ``stats``/``paths`` inspect the stored index.  ``stats`` with
+query; ``stats``/``paths`` inspect the stored index.  Snapshots are
+crash-safe checkpoints (``snapshot/<generation>/`` directories behind
+an atomically flipped ``CURRENT`` pointer — see
+:mod:`repro.persistence`); ``snapshot`` writes a fresh checkpoint
+generation (or ``--list``\\ s them) and ``restore --verify`` reloads one
+with checksum verification, degrading to an older intact generation
+under ``--on-corrupt fallback``.  ``stats`` with
 ``--query`` runs the query under telemetry and prints the span tree
 (query → plan stage → operator → distributed IR plan) plus the metric
 snapshot with per-server cost accounting; ``--json`` writes the same
@@ -83,7 +89,7 @@ def _cmd_populate(args: argparse.Namespace) -> int:
                           extractor=extractor)
     report = engine.populate()
     snapshot = Path(args.snapshot)
-    save_engine(engine, snapshot)
+    save_engine(engine, snapshot, keep=args.keep)
     (snapshot / _SITE_MANIFEST).write_text(json.dumps({
         "site": args.site,
         "args": {"players": args.players, "articles": args.articles,
@@ -222,6 +228,65 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             disable()
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.persistence import Manifest, SnapshotStore
+
+    root = Path(args.snapshot)
+    store = SnapshotStore(root, keep=args.keep)
+    if args.list:
+        current = store.current_generation()
+        if current is None and not store.generations():
+            print(f"no checkpoints in {root}")
+            return 0
+        for generation in store.generations():
+            marker = " (CURRENT)" if generation == current else ""
+            path = store.path(generation)
+            size = sum(entry.stat().st_size for entry in path.iterdir())
+            print(f"generation {generation}: {size} bytes{marker}")
+        return 0
+    # reload the engine behind CURRENT and write a fresh checkpoint;
+    # with --on-corrupt fallback this repairs a corrupted CURRENT by
+    # re-checkpointing from the newest older intact generation
+    snapshot = Path(args.snapshot)
+    (server, _, schema, extractor), _ = _rebuild_from_manifest(snapshot)
+    engine = load_engine(snapshot, schema, server, extractor=extractor,
+                         on_corrupt=args.on_corrupt)
+    path = save_engine(engine, root, keep=args.keep)
+    manifest = Manifest.load(path)
+    size = sum(stamp.bytes for stamp in manifest.files.values())
+    print(f"checkpoint generation {manifest.generation} written to {path}")
+    print(f"{len(manifest.files) + 1} files, {size} data bytes, "
+          f"keeping last {args.keep}")
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from repro.persistence import Manifest, SnapshotStore
+
+    snapshot = Path(args.snapshot)
+    (server, _, schema, extractor), site = _rebuild_from_manifest(snapshot)
+    engine = load_engine(snapshot, schema, server, extractor=extractor,
+                         on_corrupt=args.on_corrupt,
+                         verify=args.verify)
+    store = SnapshotStore(snapshot)
+    # report the generation actually loaded — under on_corrupt=fallback
+    # it can be older than what CURRENT points at
+    loaded = engine.snapshot_generation
+    verified = "verified" if args.verify else "unverified"
+    if loaded is not None:
+        manifest = Manifest.load(store.path(loaded))
+        print(f"restored {site!r} from generation {loaded} "
+              f"({verified}): schema {manifest.schema}, "
+              f"cluster_size {manifest.config.cluster_size}")
+    else:
+        print(f"restored {site!r} from legacy snapshot {snapshot} "
+              f"(unverified: no manifest checksums)")
+    print(f"{len(engine.conceptual_store)} conceptual documents, "
+          f"{len(engine.meta_store)} parse trees, "
+          f"{len(engine.fds)} maintained objects")
+    return 0
+
+
 def _cmd_paths(args: argparse.Namespace) -> int:
     engine = _load(args)
     print("conceptual store path summary:")
@@ -250,7 +315,37 @@ def _parser() -> argparse.ArgumentParser:
     populate.add_argument("--videos", type=int, default=4)
     populate.add_argument("--frames", type=int, default=8)
     populate.add_argument("--fragments", type=int, default=4)
+    populate.add_argument("--keep", type=int, default=3,
+                          help="checkpoint generations to retain")
     populate.set_defaults(handler=_cmd_populate)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="write a fresh checkpoint generation (or --list them)")
+    snapshot.add_argument("--snapshot", required=True,
+                          help="the snapshot root directory")
+    snapshot.add_argument("--keep", type=int, default=3,
+                          help="checkpoint generations to retain")
+    snapshot.add_argument("--list", action="store_true",
+                          help="list on-disk generations instead of saving")
+    snapshot.add_argument("--on-corrupt", choices=["raise", "fallback"],
+                          default="raise",
+                          help="on corruption: fail, or re-checkpoint "
+                               "from the newest older intact generation")
+    snapshot.set_defaults(handler=_cmd_snapshot)
+
+    restore = commands.add_parser(
+        "restore", help="restore an engine from a snapshot and report")
+    restore.add_argument("--snapshot", required=True)
+    restore.add_argument("--verify", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="check manifest checksums before loading "
+                              "(default: on)")
+    restore.add_argument("--on-corrupt", choices=["raise", "fallback"],
+                         default="raise",
+                         help="on corruption: fail, or degrade to the "
+                              "newest older intact checkpoint")
+    restore.set_defaults(handler=_cmd_restore)
 
     query = commands.add_parser(
         "query", help="run a textual conceptual query against a snapshot")

@@ -10,7 +10,6 @@ Public surface:
 """
 
 from repro.core.config import EngineConfig
-from repro.core.persistence import load_engine, save_engine
 from repro.core.plan import PlanNode, format_plan
 from repro.core.engine import PopulationReport, RecrawlReport, SearchEngine
 from repro.core.results import QueryResult, ResultRow, ShotRange
@@ -22,3 +21,12 @@ __all__ = [
     "QueryResult", "ResultRow", "ShotRange",
     "ConceptualIndex", "execute_query",
 ]
+
+
+def __getattr__(name):
+    # lazy (PEP 562): the snapshot code lives in repro.persistence,
+    # which imports this package — an eager import here would cycle
+    if name in ("save_engine", "load_engine"):
+        from repro.core import persistence
+        return getattr(persistence, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

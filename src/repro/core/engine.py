@@ -110,6 +110,9 @@ class SearchEngine:
         # embed the generations of every store a query can read, so any
         # write path (populate/recrawl/maintain/reindex) invalidates
         self.query_cache = QueryCache(name="engine")
+        # which checkpoint generation this engine was restored from, if
+        # any; None for freshly built engines and legacy flat snapshots
+        self.snapshot_generation: int | None = None
 
     # ------------------------------------------------------------------
     # populating

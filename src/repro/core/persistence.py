@@ -1,96 +1,13 @@
-"""Engine persistence: save a populated index, reload it query-ready.
+"""Backward-compatible alias for :mod:`repro.persistence.engine`.
 
-Monet is a persistent main-memory system; our equivalent is explicit
-snapshots.  :func:`save_engine` writes the three physical stores — the
-conceptual store (shredded materialized views), the meta store
-(shredded parse trees) and the IR relations — into a directory;
-:func:`load_engine` restores a *query-ready* engine from them.
-
-Maintenance state (the FDS's live parse trees and the raw media
-library) intentionally stays outside the snapshot: the raw multimedia
-data is external to the DBMS by design, so a reloaded engine answers
-queries immediately and re-attaches maintenance by re-running
-:meth:`~repro.core.engine.SearchEngine.populate` against the live site
-(which skips already-analysed objects).
+The engine snapshot code moved into the crash-safe persistence
+subsystem (:mod:`repro.persistence`); this module keeps the historic
+``repro.core.persistence`` import path working.  New code should import
+:func:`~repro.persistence.engine.save_engine` /
+:func:`~repro.persistence.engine.load_engine` from
+:mod:`repro.persistence`.
 """
 
-from __future__ import annotations
-
-import json
-from pathlib import Path
-
-from repro.errors import CatalogError
-from repro.ir.relations import IrRelations
-from repro.monetdb.persistence import load_catalog, save_catalog
-from repro.web.site import SimulatedWebServer
-from repro.webspace.schema import WebspaceSchema
-from repro.core.config import EngineConfig
-from repro.core.engine import SearchEngine
+from repro.persistence.engine import load_engine, save_engine
 
 __all__ = ["save_engine", "load_engine"]
-
-_MANIFEST = "engine.json"
-_CONCEPTUAL = "conceptual.jsonl"
-_META = "meta.jsonl"
-_IR = "ir.jsonl"
-
-
-def save_engine(engine: SearchEngine, directory: str | Path) -> None:
-    """Snapshot a populated engine into a directory."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    engine.conceptual_store.save(directory / _CONCEPTUAL)
-    engine.meta_store.save(directory / _META)
-    # materialise any deferred IDF refresh so the snapshot's relations
-    # are internally consistent (restores still re-derive defensively)
-    engine.ir.relations.refresh_idf()
-    save_catalog(engine.ir.relations.catalog, directory / _IR)
-    manifest = {
-        "schema": engine.schema.name,
-        "fragment_count": engine.config.fragment_count,
-        "ranking_model": engine.config.ranking_model,
-        "top_n": engine.config.top_n,
-        "crawl_seed": engine.config.crawl_seed,
-    }
-    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
-
-
-def load_engine(directory: str | Path, schema: WebspaceSchema,
-                server: SimulatedWebServer,
-                extractor=None) -> SearchEngine:
-    """Restore a query-ready engine from a snapshot directory.
-
-    The caller supplies the schema object and the (simulated) web
-    server; the manifest's schema name must match.
-    """
-    from repro.xmlstore.store import XmlStore
-
-    directory = Path(directory)
-    manifest_path = directory / _MANIFEST
-    if not manifest_path.exists():
-        raise CatalogError(f"no engine snapshot in {directory}")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest["schema"] != schema.name:
-        raise CatalogError(
-            f"snapshot is for schema {manifest['schema']!r}, "
-            f"got {schema.name!r}")
-    config = EngineConfig(
-        fragment_count=manifest["fragment_count"],
-        ranking_model=manifest["ranking_model"],
-        top_n=manifest["top_n"],
-        crawl_seed=manifest["crawl_seed"],
-    )
-    engine = SearchEngine(schema, server, config, extractor=extractor)
-    # reuse the engine's own servers (XmlStore.load swaps their catalog):
-    # their telemetry counters stay the one "conceptual"/"meta" instrument
-    # instead of colliding with freshly created duplicates
-    engine.conceptual_store = XmlStore.load(directory / _CONCEPTUAL,
-                                            engine.conceptual_store.server)
-    engine.meta_store = XmlStore.load(directory / _META,
-                                      engine.meta_store.server)
-    engine.ir.relations = IrRelations(load_catalog(directory / _IR))
-    engine.ir.relations.refresh_idf()
-    # rebind the conceptual index to the restored store
-    from repro.core.translate import ConceptualIndex
-    engine._index = ConceptualIndex(engine.conceptual_store)
-    return engine

@@ -23,6 +23,20 @@ class BatError(ReproError):
     """An invalid operation on a binary association table."""
 
 
+class SnapshotError(CatalogError):
+    """A snapshot is missing, truncated, or fails checksum verification.
+
+    Subclasses :class:`CatalogError` so pre-existing callers that caught
+    catalog failures around ``load_engine``/``load_catalog`` keep
+    working; new code should catch :class:`SnapshotError` directly.
+    ``path`` names the offending snapshot file or directory when known.
+    """
+
+    def __init__(self, message: str, path=None):
+        super().__init__(message)
+        self.path = path
+
+
 class XmlSyntaxError(ReproError):
     """The XML tokenizer met malformed input."""
 

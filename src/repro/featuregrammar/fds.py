@@ -105,9 +105,47 @@ class FDS:
         stamp = self._source_stamp(key) if self._source_stamp else None
         self._trees[key] = _StoredTree(key, start_tokens, outcome.tree, stamp)
         for name in self.grammar.detectors:
-            if name in self.registry:
+            # only *baseline* detectors this scheduler has never seen:
+            # overwriting a tracked version here would silently absorb a
+            # bump that happened between add_object and
+            # notify_detector_change, and the stale trees would never be
+            # scheduled for revalidation
+            if name in self.registry and name not in self._known_versions:
                 self._known_versions[name] = self.registry.version(name)
         return outcome
+
+    def restore_object(self, key: Any, start_tokens: tuple[Any, ...],
+                       tree: ParseNode, source_stamp: Any = None) -> None:
+        """Install an already-parsed tree (snapshot restore path).
+
+        Unlike :meth:`add_object` this runs no detectors: the tree and
+        its source stamp come from a checkpoint, so the scheduler
+        resumes *incremental* maintenance exactly where the saved
+        engine left off.
+        """
+        self._trees[key] = _StoredTree(key, tuple(start_tokens), tree,
+                                       source_stamp)
+
+    def stored_objects(self) -> list[tuple[Any, tuple[Any, ...], ParseNode,
+                                           Any]]:
+        """(key, start_tokens, tree, source_stamp) of every stored object."""
+        return [(stored.key, stored.start_tokens, stored.tree,
+                 stored.source_stamp)
+                for stored in self._trees.values()]
+
+    def known_versions(self) -> dict[str, Version]:
+        """The detector versions this scheduler last observed (a copy)."""
+        return dict(self._known_versions)
+
+    def restore_known_versions(self, versions: dict[str, Version]) -> None:
+        """Reinstall observed detector versions (snapshot restore path).
+
+        A version bump that happens *after* the checkpoint is then
+        classified against the restored baseline, so
+        :meth:`notify_detector_change` schedules exactly the
+        revalidations the bump warrants — no full re-populate.
+        """
+        self._known_versions = dict(versions)
 
     def tree(self, key: Any) -> ParseNode:
         try:

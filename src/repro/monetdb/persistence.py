@@ -4,6 +4,13 @@ Monet is a main-memory system with explicit persistence; we mirror that
 with a line-oriented JSON snapshot (one header line per BAT, one line per
 association) so that example scripts can save and reload an index without
 rebuilding it.
+
+Since the crash-safe snapshot subsystem (:mod:`repro.persistence`) the
+snapshot is written through the atomic write path — temp file, fsync,
+``os.replace`` — so an interrupted :func:`save_catalog` leaves the
+previous file intact rather than a torn half-snapshot, and loaders of a
+truncated or malformed file get a typed
+:class:`~repro.errors.SnapshotError` instead of a silent partial load.
 """
 
 from __future__ import annotations
@@ -12,11 +19,11 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, SnapshotError
 from repro.monetdb.atoms import Oid
 from repro.monetdb.catalog import Catalog
 
-__all__ = ["save_catalog", "load_catalog"]
+__all__ = ["save_catalog", "load_catalog", "count_records"]
 
 _FORMAT_VERSION = 1
 
@@ -33,15 +40,23 @@ def _decode_value(value: Any, type_name: str) -> Any:
     return value
 
 
-def save_catalog(catalog: Catalog, path: str | Path) -> None:
-    """Write the catalog to ``path`` as a line-oriented JSON snapshot."""
+def save_catalog(catalog: Catalog, path: str | Path) -> int:
+    """Atomically write the catalog to ``path`` as a JSON-lines snapshot.
+
+    Returns the number of records (lines) written, which the snapshot
+    manifest stores next to the file's checksum.
+    """
+    from repro.persistence.atomic import atomic_write
+
     path = Path(path)
-    with path.open("w", encoding="utf-8") as stream:
+    records = 0
+    with atomic_write(path, "w") as stream:
         header = {
             "format": _FORMAT_VERSION,
             "next_oid": int(catalog.oids.peek()),
         }
         stream.write(json.dumps(header) + "\n")
+        records += 1
         for name in catalog.names():
             bat = catalog.get(name)
             meta = {
@@ -51,44 +66,84 @@ def save_catalog(catalog: Catalog, path: str | Path) -> None:
                 "count": len(bat),
             }
             stream.write(json.dumps(meta) + "\n")
+            records += 1
             for head, tail in bat:
                 pair = [_encode_value(head, bat.head_type.name),
                         _encode_value(tail, bat.tail_type.name)]
                 stream.write(json.dumps(pair) + "\n")
+                records += 1
+    return records
 
 
-def load_catalog(path: str | Path) -> Catalog:
-    """Load a catalog snapshot written by :func:`save_catalog`."""
+def count_records(path: str | Path) -> int:
+    """Line count of a JSON-lines snapshot (the manifest's record count)."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        return sum(1 for _ in stream)
+
+
+def load_catalog(path: str | Path, *, oid_start: int = 0,
+                 oid_stride: int = 1) -> Catalog:
+    """Load a catalog snapshot written by :func:`save_catalog`.
+
+    ``oid_start``/``oid_stride`` reconstruct a cluster node's strided
+    oid sequence, so a restored shared-nothing server keeps handing out
+    collision-free oids.  Truncated or malformed snapshots raise
+    :class:`~repro.errors.SnapshotError` (a :class:`CatalogError`
+    subclass, so pre-existing handlers still apply).
+    """
     path = Path(path)
-    catalog = Catalog()
+    catalog = Catalog(oid_start=oid_start, oid_stride=oid_stride)
     with path.open("r", encoding="utf-8") as stream:
         header_line = stream.readline()
         if not header_line:
-            raise CatalogError(f"empty snapshot: {path}")
-        header = json.loads(header_line)
-        if header.get("format") != _FORMAT_VERSION:
+            raise SnapshotError(f"empty snapshot: {path}", path=path)
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(f"corrupt snapshot header in {path}: {exc}",
+                                path=path) from exc
+        if not isinstance(header, dict) \
+                or header.get("format") != _FORMAT_VERSION:
             raise CatalogError(
-                f"unsupported snapshot format: {header.get('format')!r}")
+                "unsupported snapshot format: "
+                f"{header.get('format') if isinstance(header, dict) else header!r}")
         current = None
         remaining = 0
         for line in stream:
-            record = json.loads(line)
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SnapshotError(
+                    f"corrupt snapshot record in {path}: {exc}",
+                    path=path) from exc
             if isinstance(record, dict):
                 if remaining:
-                    raise CatalogError(
+                    raise SnapshotError(
                         f"snapshot truncated: {remaining} pairs missing in "
-                        f"{current.name if current else '?'}")
-                current = catalog.create(record["bat"], record["head"],
-                                         record["tail"])
-                remaining = record["count"]
+                        f"{current.name if current else '?'}", path=path)
+                try:
+                    current = catalog.create(record["bat"], record["head"],
+                                             record["tail"])
+                    remaining = int(record["count"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise SnapshotError(
+                        f"corrupt BAT header in {path}: {exc}",
+                        path=path) from exc
             else:
                 if current is None:
-                    raise CatalogError("snapshot pair before any BAT header")
-                head = _decode_value(record[0], current.head_type.name)
-                tail = _decode_value(record[1], current.tail_type.name)
+                    raise SnapshotError(
+                        f"snapshot pair before any BAT header in {path}",
+                        path=path)
+                try:
+                    head = _decode_value(record[0], current.head_type.name)
+                    tail = _decode_value(record[1], current.tail_type.name)
+                except (IndexError, TypeError, ValueError) as exc:
+                    raise SnapshotError(
+                        f"corrupt association record in {path}: {exc}",
+                        path=path) from exc
                 current.insert(head, tail)
                 remaining -= 1
         if remaining:
-            raise CatalogError("snapshot ends mid-BAT")
+            raise SnapshotError(f"snapshot {path} ends mid-BAT", path=path)
     catalog.oids.advance_past(header["next_oid"] - 1)
     return catalog

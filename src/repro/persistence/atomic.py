@@ -1,0 +1,97 @@
+"""Atomic, durable file writes: the snapshot layer's only write path.
+
+Every file a snapshot contains is produced the same way: written to a
+temporary sibling, flushed, ``fsync``-ed, and moved over the target with
+:func:`os.replace` — on POSIX an atomic rename within one filesystem.
+The containing directory is fsynced after the rename so the new
+directory entry itself is durable.  A reader therefore observes either
+the complete old file or the complete new file, never a torn mix, and a
+crash between any two steps leaves the previous state intact.
+
+The same primitive flips a snapshot's ``CURRENT`` pointer
+(:func:`write_pointer`), which is what makes a whole multi-file
+checkpoint atomic: all data files and the manifest land under a fresh
+generation directory first, and only the final pointer rename publishes
+them.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["atomic_write", "atomic_write_text", "atomic_write_bytes",
+           "fsync_directory", "write_pointer", "read_pointer"]
+
+
+def fsync_directory(directory: str | Path) -> None:
+    """Flush a directory's entry table (rename durability on POSIX)."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write(path: str | Path, mode: str = "w",
+                 encoding: str | None = "utf-8") -> Iterator[IO]:
+    """Yield a stream that atomically becomes ``path`` on clean exit.
+
+    The stream writes a temporary file in the target's directory; on
+    success it is fsynced and renamed over ``path``, and the directory
+    is fsynced.  On error the temporary file is removed and ``path`` is
+    left untouched.
+    """
+    path = Path(path)
+    if "b" in mode:
+        encoding = None
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name + ".", suffix=".tmp")
+    stream = os.fdopen(fd, mode, encoding=encoding)
+    try:
+        yield stream
+        stream.flush()
+        os.fsync(stream.fileno())
+        stream.close()
+        os.replace(tmp_name, str(path))
+        fsync_directory(path.parent)
+    except BaseException:
+        stream.close()
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str | Path, text: str) -> int:
+    """Atomically replace ``path`` with ``text``; returns bytes written."""
+    data = text.encode("utf-8")
+    with atomic_write(path, "wb") as stream:
+        stream.write(data)
+    return len(data)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> int:
+    """Atomically replace ``path`` with ``data``; returns bytes written."""
+    with atomic_write(path, "wb") as stream:
+        stream.write(data)
+    return len(data)
+
+
+def write_pointer(path: str | Path, value: str) -> None:
+    """Atomically (re)write a one-line pointer file (e.g. ``CURRENT``)."""
+    atomic_write_text(path, value.strip() + "\n")
+
+
+def read_pointer(path: str | Path) -> str | None:
+    """The pointer file's value, or ``None`` when it does not exist."""
+    path = Path(path)
+    try:
+        return path.read_text(encoding="utf-8").strip() or None
+    except FileNotFoundError:
+        return None

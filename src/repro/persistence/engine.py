@@ -1,0 +1,333 @@
+"""Crash-safe engine snapshots: save a populated index, reload it query-ready.
+
+Monet is a persistent main-memory system; our equivalent is explicit
+checkpoints, made crash-safe by three cooperating mechanisms:
+
+1. **Atomic writes everywhere** — every file goes through temp +
+   ``fsync`` + ``os.replace`` (:mod:`repro.persistence.atomic`), and the
+   manifest is written *last*, so a checkpoint directory is either
+   complete (manifest present, all files verified) or ignorable.
+2. **A versioned, checksummed manifest** — ``engine.json`` carries a
+   ``format_version``, per-file SHA-256 + size + record counts, the
+   store generation stamps and the *full*
+   :class:`~repro.core.config.EngineConfig`
+   (:mod:`repro.persistence.manifest`); loaders detect truncation and
+   bit-flips with a typed :class:`~repro.errors.SnapshotError` before
+   deserializing a single record.
+3. **Retention behind a ``CURRENT`` pointer** — checkpoints live in
+   ``snapshot/<generation>/`` directories published by one atomic
+   pointer flip (:mod:`repro.persistence.snapshot`); ``load_engine``'s
+   ``on_corrupt="fallback"`` degrades to the newest older intact
+   checkpoint, mirroring the cluster layer's ``on_failure`` semantics.
+
+The snapshot also carries the FDS's maintenance state (stored parse
+trees, source stamps, observed detector versions —
+:mod:`repro.persistence.fdsstate`), so a reloaded engine resumes
+*incremental* maintenance: a detector bump after restore schedules only
+the revalidations it warrants instead of a full re-populate.
+
+Pre-retention snapshots (the flat version-1 layout with ``engine.json``
+at the directory root) still load, with the legacy field subset and no
+integrity verification.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from shutil import rmtree
+
+from repro.errors import CatalogError, SnapshotError
+from repro.ir.relations import IrRelations
+from repro.monetdb.persistence import load_catalog, save_catalog
+from repro.telemetry.runtime import get_telemetry
+from repro.web.site import SimulatedWebServer
+from repro.webspace.schema import WebspaceSchema
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.persistence.atomic import atomic_write_text
+from repro.persistence.fdsstate import (FDS_STATE_NAME, dump_fds_state,
+                                        load_fds_state, restore_fds_state)
+from repro.persistence.manifest import Manifest, stamp_file, verify_files
+from repro.persistence.snapshot import SnapshotStore
+
+__all__ = ["save_engine", "load_engine"]
+
+_CONCEPTUAL = "conceptual.jsonl"
+_META = "meta.jsonl"
+_IR = "ir.jsonl"
+
+
+def _node_file(name: str) -> str:
+    return f"ir-{name}.jsonl"
+
+
+def _is_clustered(engine: SearchEngine) -> bool:
+    from repro.ir.engine import ClusterIrEngine
+    return isinstance(engine.ir, ClusterIrEngine)
+
+
+# ---------------------------------------------------------------------------
+# saving
+# ---------------------------------------------------------------------------
+
+def save_engine(engine: SearchEngine, directory: str | Path,
+                keep: int = 3) -> Path:
+    """Checkpoint a populated engine; returns the generation directory.
+
+    The snapshot root keeps the last ``keep`` checkpoints; readers see
+    either the previous complete checkpoint or the new complete one —
+    an interrupted save never corrupts what ``CURRENT`` points at.
+    """
+    store = SnapshotStore(directory, keep=keep)
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("snapshot.save",
+                               directory=str(directory)) as span:
+        generation, path = store.begin()
+        try:
+            files = _write_payload(engine, path)
+            manifest = Manifest(
+                schema=engine.schema.name,
+                config=engine.config,
+                generation=generation,
+                files=files,
+                generations=_generation_stamps(engine),
+            )
+            manifest.save(path)
+            store.commit(generation)
+        except BaseException:
+            # the checkpoint was never published: drop the partial
+            # generation directory, CURRENT still names the previous one
+            rmtree(path, ignore_errors=True)
+            raise
+        total_bytes = sum(stamp.bytes for stamp in files.values()) \
+            + (path / "engine.json").stat().st_size
+        span.set_attributes(generation=generation, files=len(files) + 1,
+                            bytes=total_bytes)
+    telemetry.metrics.counter("snapshot.saves").add(1)
+    telemetry.metrics.counter("snapshot.bytes").add(total_bytes)
+    return path
+
+
+def _write_payload(engine: SearchEngine, path: Path) -> dict:
+    """Write every data file of one checkpoint; returns name -> stamp."""
+    files = {}
+
+    def record(name: str, records: int) -> None:
+        files[name] = stamp_file(path / name, records)
+
+    record(_CONCEPTUAL, engine.conceptual_store.save(path / _CONCEPTUAL))
+    record(_META, engine.meta_store.save(path / _META))
+    # materialise any deferred IDF refresh so the snapshot's relations
+    # are internally consistent (restores still re-derive defensively)
+    engine.ir.relations.refresh_idf()
+    record(_IR, save_catalog(engine.ir.relations.catalog, path / _IR))
+    if _is_clustered(engine):
+        for name, relations in engine.ir.index.nodes.items():
+            relations.refresh_idf()
+            record(_node_file(name),
+                   save_catalog(relations.catalog, path / _node_file(name)))
+    state = dump_fds_state(engine.fds)
+    atomic_write_text(path / FDS_STATE_NAME, state)
+    files[FDS_STATE_NAME] = stamp_file(path / FDS_STATE_NAME,
+                                       len(engine.fds))
+    return files
+
+
+def _generation_stamps(engine: SearchEngine) -> dict:
+    """The store generation stamps, round-tripped so caches stay valid."""
+    stamps = {
+        "conceptual": engine.conceptual_store.generation,
+        "meta": engine.meta_store.generation,
+        "ir": engine.ir.relations.generation,
+        "ir_nodes": {},
+    }
+    if _is_clustered(engine):
+        stamps["ir_nodes"] = {
+            name: relations.generation
+            for name, relations in engine.ir.index.nodes.items()}
+    return stamps
+
+
+# ---------------------------------------------------------------------------
+# loading
+# ---------------------------------------------------------------------------
+
+def load_engine(directory: str | Path, schema: WebspaceSchema,
+                server: SimulatedWebServer, extractor=None, *,
+                on_corrupt: str = "raise",
+                verify: bool = True) -> SearchEngine:
+    """Restore a query-ready engine from a snapshot root.
+
+    The caller supplies the schema object and the (simulated) web
+    server; the manifest's schema name must match.  Integrity is
+    verified against the manifest checksums before anything is
+    deserialized; a corrupt checkpoint raises :class:`SnapshotError`
+    under ``on_corrupt="raise"`` or degrades to the newest older intact
+    checkpoint under ``on_corrupt="fallback"``.
+    """
+    if on_corrupt not in ("raise", "fallback"):
+        raise ValueError("on_corrupt must be 'raise' or 'fallback', "
+                         f"got {on_corrupt!r}")
+    directory = Path(directory)
+    store = SnapshotStore(directory)
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("snapshot.load",
+                               directory=str(directory)) as span:
+        try:
+            candidates = store.candidates()
+        except SnapshotError:
+            if on_corrupt == "raise":
+                raise
+            telemetry.metrics.counter("snapshot.corruptions").add(1)
+            # a torn CURRENT pointer: fall back over every on-disk
+            # generation, newest first
+            candidates = sorted(store.generations(), reverse=True)
+        if not candidates:
+            if (directory / "engine.json").exists():
+                span.set_attribute("legacy", True)
+                return _load_legacy(directory, schema, server, extractor)
+            raise SnapshotError(f"no engine snapshot in {directory}",
+                                path=directory)
+        last_error: SnapshotError | None = None
+        for attempt, generation in enumerate(candidates):
+            try:
+                engine = _load_generation(store.path(generation), schema,
+                                          server, extractor, verify)
+            except SnapshotError as exc:
+                telemetry.metrics.counter("snapshot.corruptions").add(1)
+                if on_corrupt == "raise":
+                    raise
+                last_error = exc
+                continue
+            engine.snapshot_generation = generation
+            span.set_attributes(generation=generation,
+                                fallback=attempt > 0)
+            if attempt > 0:
+                telemetry.metrics.counter("snapshot.fallbacks").add(1)
+            telemetry.metrics.counter("snapshot.loads").add(1)
+            return engine
+        raise SnapshotError(
+            f"no intact snapshot in {directory}: all "
+            f"{len(candidates)} generations failed verification "
+            f"(last error: {last_error})", path=directory)
+
+
+def _load_generation(path: Path, schema: WebspaceSchema,
+                     server: SimulatedWebServer, extractor,
+                     verify: bool) -> SearchEngine:
+    from repro.xmlstore.store import XmlStore
+    from repro.core.translate import ConceptualIndex
+
+    manifest = Manifest.load(path)
+    if manifest.schema != schema.name:
+        # a caller error, not corruption: never falls back
+        raise CatalogError(f"snapshot is for schema {manifest.schema!r}, "
+                           f"got {schema.name!r}")
+    if verify:
+        verify_files(path, manifest)
+    engine = SearchEngine(schema, server, manifest.config,
+                          extractor=extractor)
+    try:
+        # reuse the engine's own servers (XmlStore.load swaps their
+        # catalog): their telemetry counters stay the one
+        # "conceptual"/"meta" instrument instead of colliding with
+        # freshly created duplicates
+        engine.conceptual_store = XmlStore.load(
+            path / _CONCEPTUAL, engine.conceptual_store.server)
+        engine.meta_store = XmlStore.load(path / _META,
+                                          engine.meta_store.server)
+        stamps = manifest.generations
+        engine.conceptual_store.generation = int(stamps.get("conceptual", 0))
+        engine.meta_store.generation = int(stamps.get("meta", 0))
+        _restore_ir(engine, path, stamps)
+        state = load_fds_state(
+            (path / FDS_STATE_NAME).read_text(encoding="utf-8"))
+        restore_fds_state(engine.fds, state)
+        _reattach_media(engine)
+    except SnapshotError:
+        raise
+    except (CatalogError, OSError, TypeError, ValueError, KeyError) as exc:
+        raise SnapshotError(f"snapshot {path} failed to load: {exc}",
+                            path=path) from exc
+    # rebind the conceptual index to the restored store
+    engine._index = ConceptualIndex(engine.conceptual_store)
+    return engine
+
+
+def _reattach_media(engine: SearchEngine) -> None:
+    """Re-attach the raw media library from the live server.
+
+    The raw multimedia data is external to the DBMS by design, so it is
+    not part of the snapshot; without it a restored scheduler could not
+    re-run a single detector and every revalidation would escalate to a
+    (failing) full regeneration.
+    """
+    from repro.web.crawler import crawl
+
+    result = crawl(engine.server, seed=engine.config.crawl_seed)
+    for resource in result.media:
+        if resource.mime[0] in ("video", "audio") \
+                and resource.payload is not None:
+            engine.video_library.add(resource.payload, resource.mime)
+        elif resource.url not in engine.video_library:
+            engine.video_library.add_non_video(resource.url, resource.mime)
+
+
+def _restore_ir(engine: SearchEngine, path: Path, stamps: dict) -> None:
+    if _is_clustered(engine):
+        node_stamps = stamps.get("ir_nodes", {})
+        cluster = engine.ir.cluster
+        size = len(cluster)
+        for position, monet in enumerate(cluster.servers):
+            node_path = path / _node_file(monet.name)
+            # restore the node's strided oid sequence so a restored
+            # shared-nothing server keeps handing out unique oids
+            monet.catalog = load_catalog(node_path, oid_start=position,
+                                         oid_stride=size)
+            relations = IrRelations(monet.catalog)
+            relations.generation = int(node_stamps.get(monet.name, 0))
+            engine.ir.index.nodes[monet.name] = relations
+        central = IrRelations(load_catalog(path / _IR))
+        central.generation = int(stamps.get("ir", 0))
+        engine.ir.index.central = central
+        central.refresh_idf()
+    else:
+        relations = IrRelations(load_catalog(path / _IR))
+        relations.generation = int(stamps.get("ir", 0))
+        engine.ir.relations = relations
+        relations.refresh_idf()
+
+
+def _load_legacy(directory: Path, schema: WebspaceSchema,
+                 server: SimulatedWebServer, extractor) -> SearchEngine:
+    """Load a pre-retention (format 1) flat snapshot directory."""
+    import json
+
+    from repro.xmlstore.store import XmlStore
+    from repro.core.translate import ConceptualIndex
+
+    try:
+        manifest = json.loads(
+            (directory / "engine.json").read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"corrupt legacy manifest in {directory}: "
+                            f"{exc}", path=directory) from exc
+    if manifest.get("schema") != schema.name:
+        raise CatalogError(f"snapshot is for schema "
+                           f"{manifest.get('schema')!r}, got "
+                           f"{schema.name!r}")
+    config = EngineConfig(
+        fragment_count=manifest.get("fragment_count", 4),
+        ranking_model=manifest.get("ranking_model", "tfidf"),
+        top_n=manifest.get("top_n", 10),
+        crawl_seed=manifest.get("crawl_seed", "index.html"),
+    )
+    engine = SearchEngine(schema, server, config, extractor=extractor)
+    engine.conceptual_store = XmlStore.load(directory / _CONCEPTUAL,
+                                            engine.conceptual_store.server)
+    engine.meta_store = XmlStore.load(directory / _META,
+                                      engine.meta_store.server)
+    engine.ir.relations = IrRelations(load_catalog(directory / _IR))
+    engine.ir.relations.refresh_idf()
+    engine._index = ConceptualIndex(engine.conceptual_store)
+    return engine

@@ -1,0 +1,127 @@
+"""FDS durability: serialize stored parse trees and maintenance state.
+
+The FDS's state — stored parse trees, per-object source stamps, and the
+detector versions it last observed — is the paper's headline
+contribution (incremental index maintenance), and before this module it
+evaporated on every restart: a reloaded engine could answer queries but
+any detector upgrade forced a full re-populate.  ``fds.json`` captures
+the state losslessly so a restored scheduler classifies a post-restart
+version bump against the checkpointed baseline and schedules only the
+incremental revalidations the bump warrants.
+
+Parse trees serialize to JSON (not their XML dump): the XML form in the
+meta store drops node *kinds* and detector identities, which the
+incremental re-parse needs.  Node values are restricted to JSON scalars
+— exactly what grammar atoms coerce to — and anything else raises
+:class:`SnapshotError` at save time rather than corrupting silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SnapshotError
+from repro.featuregrammar.fds import FDS
+from repro.featuregrammar.parsetree import NodeKind, ParseNode
+from repro.featuregrammar.versions import Version
+
+__all__ = ["FDS_STATE_NAME", "encode_tree", "decode_tree",
+           "dump_fds_state", "load_fds_state", "restore_fds_state"]
+
+FDS_STATE_NAME = "fds.json"
+_SCALARS = (bool, int, float, str)
+
+
+def _encode_scalar(value: Any, context: str) -> Any:
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    raise SnapshotError(
+        f"cannot serialize non-scalar {type(value).__name__} value in "
+        f"{context}: {value!r}")
+
+
+def encode_tree(node: ParseNode) -> dict[str, Any]:
+    """One parse node (recursively) as a JSON-safe dict."""
+    encoded: dict[str, Any] = {"n": node.name, "k": node.kind.value}
+    if node.value is not None:
+        encoded["v"] = _encode_scalar(node.value, f"node {node.name!r}")
+    if not node.valid:
+        encoded["valid"] = False
+    if node.detector_version is not None:
+        encoded["dv"] = str(node.detector_version)
+    if node.reference_key is not None:
+        encoded["ref"] = _encode_scalar(node.reference_key,
+                                        f"reference {node.name!r}")
+    if node.children:
+        encoded["c"] = [encode_tree(child) for child in node.children]
+    return encoded
+
+
+def decode_tree(data: dict[str, Any]) -> ParseNode:
+    """Inverse of :func:`encode_tree`; raises :class:`SnapshotError`."""
+    try:
+        node = ParseNode(
+            data["n"], NodeKind(data["k"]), value=data.get("v"),
+            detector_version=(Version.parse(data["dv"])
+                              if "dv" in data else None),
+            reference_key=data.get("ref"))
+        node.valid = data.get("valid", True)
+        for child in data.get("c", ()):
+            node.add(decode_tree(child))
+        return node
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed parse-tree record: {exc}") from exc
+
+
+def dump_fds_state(fds: FDS) -> str:
+    """The scheduler's durable state as a JSON document."""
+    objects = []
+    for key, start_tokens, tree, source_stamp in fds.stored_objects():
+        objects.append({
+            "key": _encode_scalar(key, "object key"),
+            "start_tokens": [_encode_scalar(token, f"start token of {key!r}")
+                             for token in start_tokens],
+            "source_stamp": _encode_scalar(source_stamp,
+                                           f"source stamp of {key!r}"),
+            "tree": encode_tree(tree),
+        })
+    state = {
+        "known_versions": {name: str(version)
+                           for name, version
+                           in sorted(fds.known_versions().items())},
+        "objects": objects,
+    }
+    return json.dumps(state, indent=2, sort_keys=True)
+
+
+def load_fds_state(text: str) -> dict[str, Any]:
+    """Parse ``fds.json`` text; raises :class:`SnapshotError` when torn."""
+    try:
+        state = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"corrupt FDS state: {exc}") from exc
+    if not isinstance(state, dict) or "objects" not in state:
+        raise SnapshotError("corrupt FDS state: missing objects")
+    return state
+
+
+def restore_fds_state(fds: FDS, state: dict[str, Any]) -> int:
+    """Install a parsed state into a fresh scheduler; returns object count."""
+    try:
+        versions = {name: Version.parse(text)
+                    for name, text in state.get("known_versions",
+                                                {}).items()}
+        fds.restore_known_versions(versions)
+        for record in state["objects"]:
+            fds.restore_object(record["key"],
+                               tuple(record.get("start_tokens", ())),
+                               decode_tree(record["tree"]),
+                               record.get("source_stamp"))
+        return len(state["objects"])
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"corrupt FDS state: {exc}") from exc

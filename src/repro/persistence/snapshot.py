@@ -1,0 +1,143 @@
+"""Snapshot retention: generation directories behind a ``CURRENT`` pointer.
+
+A snapshot root looks like::
+
+    <root>/CURRENT                    -> "00000003"
+    <root>/snapshot/00000001/…        (older intact checkpoint)
+    <root>/snapshot/00000003/…        (the current checkpoint)
+
+A checkpoint is built in a *fresh* generation directory
+(:meth:`SnapshotStore.begin`), data files first, manifest last, each via
+the atomic write path; :meth:`SnapshotStore.commit` then flips
+``CURRENT`` with one atomic rename and prunes generations beyond the
+retention bound.  A crash at any point before the flip leaves
+``CURRENT`` on the previous complete checkpoint and at worst an orphan
+directory that the next commit's prune collects; a crash after the flip
+has already published a complete checkpoint.  Keeping the last K
+generations is what the loader's ``on_corrupt="fallback"`` degrades to
+when the current checkpoint fails verification — the persistence
+mirror of the cluster layer's ``on_failure="degrade"``.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+from repro.errors import SnapshotError
+from repro.persistence.atomic import fsync_directory, read_pointer, \
+    write_pointer
+
+__all__ = ["SnapshotStore", "CURRENT_NAME", "SNAPSHOT_DIR"]
+
+CURRENT_NAME = "CURRENT"
+SNAPSHOT_DIR = "snapshot"
+_WIDTH = 8  # zero-padded generation names sort lexicographically
+
+
+class SnapshotStore:
+    """Generation-directory bookkeeping under one snapshot root."""
+
+    def __init__(self, root: str | Path, keep: int = 3):
+        if keep < 1:
+            raise SnapshotError(f"retention must keep >= 1 snapshot, "
+                                f"got {keep}")
+        self.root = Path(root)
+        self.keep = keep
+
+    # -- layout --------------------------------------------------------
+
+    def path(self, generation: int) -> Path:
+        return self.root / SNAPSHOT_DIR / f"{generation:0{_WIDTH}d}"
+
+    def _pointer(self) -> Path:
+        return self.root / CURRENT_NAME
+
+    def generations(self) -> list[int]:
+        """All on-disk generation directories, ascending (committed or not)."""
+        base = self.root / SNAPSHOT_DIR
+        if not base.is_dir():
+            return []
+        found = []
+        for entry in base.iterdir():
+            if entry.is_dir() and entry.name.isdigit():
+                found.append(int(entry.name))
+        return sorted(found)
+
+    def current_generation(self) -> int | None:
+        """The committed generation ``CURRENT`` points at, or ``None``."""
+        value = read_pointer(self._pointer())
+        if value is None:
+            return None
+        if not value.isdigit():
+            raise SnapshotError(
+                f"corrupt CURRENT pointer in {self.root}: {value!r}",
+                path=self._pointer())
+        return int(value)
+
+    def candidates(self) -> list[int]:
+        """Generations to try loading, best first: CURRENT, then older."""
+        current = self.current_generation()
+        if current is None:
+            return []
+        older = [generation for generation in self.generations()
+                 if generation < current]
+        return [current] + sorted(older, reverse=True)
+
+    # -- checkpoint lifecycle ------------------------------------------
+
+    def begin(self) -> tuple[int, Path]:
+        """Create the next generation directory; returns (generation, path).
+
+        The directory is invisible to readers until :meth:`commit` flips
+        ``CURRENT`` — an interrupted save leaves only an orphan that the
+        next successful commit prunes.
+        """
+        existing = self.generations()
+        generation = (existing[-1] + 1) if existing else 1
+        path = self.path(generation)
+        path.mkdir(parents=True, exist_ok=False)
+        return generation, path
+
+    def commit(self, generation: int) -> None:
+        """Durably publish a fully-written generation and prune old ones."""
+        path = self.path(generation)
+        if not path.is_dir():
+            raise SnapshotError(f"cannot commit missing generation "
+                                f"{generation} in {self.root}", path=path)
+        try:
+            previous = self.current_generation()
+            collect_orphans = True
+        except SnapshotError:
+            # a corrupt pointer makes published and orphan generations
+            # indistinguishable: keep everything, rely on prune's bound
+            previous = None
+            collect_orphans = False
+        # the generation directory's entries (data files + manifest)
+        # were fsynced file-by-file; fsync the directory itself so the
+        # entries are durable before the pointer makes them reachable
+        fsync_directory(path)
+        write_pointer(self._pointer(), f"{generation:0{_WIDTH}d}")
+        if collect_orphans:
+            # generations begun after the previous commit but never
+            # published (interrupted saves): CURRENT never named them,
+            # so they are not fallback candidates — drop them
+            for orphan in self.generations():
+                if orphan != generation \
+                        and (previous is None or orphan > previous):
+                    shutil.rmtree(self.path(orphan), ignore_errors=True)
+        self.prune(generation)
+
+    def prune(self, current: int) -> None:
+        """Drop all but the newest ``keep`` generations up to ``current``.
+
+        Orphans *newer* than ``current`` (from an interrupted save that
+        never committed) are also removed — they were never published.
+        """
+        generations = self.generations()
+        keep = set(sorted(
+            (g for g in generations if g <= current), reverse=True
+        )[:self.keep])
+        for generation in generations:
+            if generation not in keep:
+                shutil.rmtree(self.path(generation), ignore_errors=True)

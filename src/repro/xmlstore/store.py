@@ -14,6 +14,7 @@ from typing import Iterable
 
 from repro.errors import XmlStoreError
 from repro.monetdb.atoms import Oid
+from repro.monetdb.catalog import Catalog
 from repro.monetdb.server import MonetServer
 from repro.xmlstore.model import Element
 from repro.xmlstore.pathexpr import (PathExpression, PathResult, evaluate,
@@ -99,7 +100,18 @@ class XmlStore:
         return [self.insert(key, document) for key, document in documents]
 
     def replace(self, key: str, document: Element | str) -> Oid:
-        """Incrementally update a document: delete the old, load the new."""
+        """Incrementally update a document: delete the old, load the new.
+
+        All-or-nothing: the replacement is validated (parsed and
+        trial-shredded into a scratch catalog) *before* the old document
+        is deleted, so a malformed replacement raises and leaves the
+        store untouched — previously the old document was deleted first
+        and a failing insert lost it.
+        """
+        self.root_oid(key)  # unknown key: raise before any validation work
+        if isinstance(document, str):
+            document = parse_document(document)
+        BulkLoader(Catalog(), PathSummary()).load_tree(document)
         self.delete(key)
         return self.insert(key, document)
 
@@ -192,10 +204,14 @@ class XmlStore:
                                                  "end"):
                 node.attribute_names.add(decoration)
 
-    def save(self, path) -> None:
-        """Snapshot the whole store (relations + registry) to a file."""
+    def save(self, path) -> int:
+        """Snapshot the whole store (relations + registry) to a file.
+
+        Returns the number of records written, which the snapshot
+        manifest stores next to the file's checksum.
+        """
         from repro.monetdb.persistence import save_catalog
-        save_catalog(self.catalog, path)
+        return save_catalog(self.catalog, path)
 
     @classmethod
     def load(cls, path, server: MonetServer | None = None) -> "XmlStore":

@@ -18,9 +18,12 @@ def snapshot(tmp_path_factory):
 
 class TestPopulate:
     def test_populate_writes_snapshot(self, snapshot):
-        assert (snapshot / "engine.json").exists()
+        # the crash-safe layout: generation directory behind CURRENT
         assert (snapshot / "site.json").exists()
-        assert (snapshot / "conceptual.jsonl").exists()
+        generation = (snapshot / "CURRENT").read_text().strip()
+        checkpoint = snapshot / "snapshot" / generation
+        assert (checkpoint / "engine.json").exists()
+        assert (checkpoint / "conceptual.jsonl").exists()
 
     def test_populate_report_printed(self, tmp_path, capsys):
         main(["populate", "--site", "lonelyplanet",
@@ -59,6 +62,73 @@ class TestQuery:
         code = main(["query", "--snapshot", str(snapshot), "SELECT"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestSnapshotRestore:
+    def test_snapshot_writes_new_generation(self, snapshot, capsys):
+        assert main(["snapshot", "--snapshot", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint generation 2 written" in out
+        assert (snapshot / "CURRENT").read_text().strip() == "00000002"
+
+    def test_snapshot_list(self, snapshot, capsys):
+        assert main(["snapshot", "--snapshot", str(snapshot),
+                     "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "(CURRENT)" in out
+
+    def test_restore_verifies_and_reports(self, snapshot, capsys):
+        assert main(["restore", "--snapshot", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+        assert "conceptual documents" in out
+
+    def test_restore_detects_corruption(self, snapshot, capsys):
+        generation = (snapshot / "CURRENT").read_text().strip()
+        target = snapshot / "snapshot" / generation / "ir.jsonl"
+        original = target.read_bytes()
+        try:
+            target.write_bytes(original[:-10])
+            code = main(["restore", "--snapshot", str(snapshot)])
+            err = capsys.readouterr().err
+            assert code == 1
+            assert "error:" in err
+        finally:
+            target.write_bytes(original)
+
+    def test_restore_fallback_degrades_to_older_generation(self, snapshot,
+                                                           capsys):
+        generation = (snapshot / "CURRENT").read_text().strip()
+        target = snapshot / "snapshot" / generation / "ir.jsonl"
+        original = target.read_bytes()
+        try:
+            target.write_bytes(original[:-10])
+            code = main(["restore", "--snapshot", str(snapshot),
+                         "--on-corrupt", "fallback"])
+            out = capsys.readouterr().out
+            assert code == 0
+            # the report names the generation actually loaded, not the
+            # (corrupt) one CURRENT still points at
+            assert f"from generation {int(generation) - 1} " in out
+        finally:
+            target.write_bytes(original)
+
+    def test_snapshot_fallback_repairs_corrupt_current(self, snapshot,
+                                                       capsys):
+        generation = (snapshot / "CURRENT").read_text().strip()
+        target = snapshot / "snapshot" / generation / "ir.jsonl"
+        original = target.read_bytes()
+        try:
+            target.write_bytes(original[:-10])
+            assert main(["snapshot", "--snapshot", str(snapshot)]) == 1
+            code = main(["snapshot", "--snapshot", str(snapshot),
+                         "--on-corrupt", "fallback"])
+            assert code == 0
+            capsys.readouterr()
+            # the fresh checkpoint behind CURRENT loads under strict mode
+            assert main(["restore", "--snapshot", str(snapshot)]) == 0
+        finally:
+            target.write_bytes(original)
 
 
 class TestInspection:

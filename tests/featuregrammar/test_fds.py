@@ -152,3 +152,43 @@ class TestSourceChanges:
 
     def test_source_check_without_stamp_function(self, fds):
         assert fds.notify_source_change("http://site/match.mpg") is False
+
+
+class TestVersionBaselineOrdering:
+    """Regression: ``add_object`` used to overwrite ``_known_versions``
+    for *every* detector, so a version bump that happened between an
+    add and its ``notify_detector_change`` was silently absorbed and
+    the stale trees were never scheduled for revalidation."""
+
+    def test_bump_then_add_then_notify_still_schedules(self, fds,
+                                                       registry, world):
+        # 1. bump the detector (no notification yet)
+        registry.set_version("segment", "1.1.0")
+        # 2. a new object arrives before anyone calls notify
+        world.add_video("http://site/late.mpg",
+                        [(0, 2, "tennis", [300.0, 250.0, 160.0])])
+        fds.add_object("http://site/late.mpg", "http://site/late.mpg")
+        # 3. the notification must classify against the *old* baseline
+        level = fds.notify_detector_change("segment")
+        assert level == ChangeLevel.MINOR
+        assert fds.pending() >= 1
+
+    def test_add_object_baselines_new_detectors_only(self, fds, registry,
+                                                     world):
+        known = fds.known_versions()
+        registry.set_version("segment", "1.1.0")
+        world.add_video("http://site/more.mpg",
+                        [(0, 2, "tennis", [300.0, 250.0, 160.0])])
+        fds.add_object("http://site/more.mpg", "http://site/more.mpg")
+        # the tracked version is still the pre-bump baseline
+        assert fds.known_versions()["segment"] == known["segment"]
+
+    def test_notify_after_absorbing_sequence_revalidates_old_trees(
+            self, fds, registry, world):
+        registry.set_version("segment", "2.0.0")
+        world.add_video("http://site/late.mpg",
+                        [(0, 2, "tennis", [300.0, 250.0, 160.0])])
+        fds.add_object("http://site/late.mpg", "http://site/late.mpg")
+        assert fds.notify_detector_change("segment") == ChangeLevel.MAJOR
+        report = fds.run()
+        assert report.tasks_processed >= 1

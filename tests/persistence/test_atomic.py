@@ -1,0 +1,82 @@
+"""The atomic write primitive: all-or-nothing file replacement."""
+
+import pytest
+
+from repro.persistence import (atomic_write, atomic_write_bytes,
+                               atomic_write_text, read_pointer,
+                               write_pointer)
+
+pytestmark = pytest.mark.persistence
+
+
+class TestAtomicWrite:
+    def test_creates_file(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as stream:
+            stream.write("hello")
+        assert target.read_text() == "hello"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_write(target) as stream:
+            stream.write("new")
+        assert target.read_text() == "new"
+
+    def test_failure_leaves_old_content_intact(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("precious")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as stream:
+                stream.write("half-written garbage")
+                raise RuntimeError("simulated crash mid-write")
+        assert target.read_text() == "precious"
+
+    def test_failure_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as stream:
+                stream.write("doomed")
+                raise RuntimeError("boom")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_success_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_write(target) as stream:
+            stream.write("done")
+        assert [entry.name for entry in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        payload = bytes(range(256))
+        with atomic_write(target, "wb") as stream:
+            stream.write(payload)
+        assert target.read_bytes() == payload
+
+
+class TestHelpers:
+    def test_write_text_returns_byte_count(self, tmp_path):
+        target = tmp_path / "t.txt"
+        written = atomic_write_text(target, "héllo")
+        assert written == len("héllo".encode())
+        assert target.stat().st_size == written
+
+    def test_write_bytes(self, tmp_path):
+        target = tmp_path / "b.bin"
+        assert atomic_write_bytes(target, b"abc") == 3
+        assert target.read_bytes() == b"abc"
+
+    def test_pointer_round_trip(self, tmp_path):
+        pointer = tmp_path / "CURRENT"
+        write_pointer(pointer, "00000042")
+        assert read_pointer(pointer) == "00000042"
+
+    def test_pointer_missing_is_none(self, tmp_path):
+        assert read_pointer(tmp_path / "CURRENT") is None
+
+    def test_pointer_rewrite_is_atomic_replace(self, tmp_path):
+        pointer = tmp_path / "CURRENT"
+        write_pointer(pointer, "00000001")
+        write_pointer(pointer, "00000002")
+        assert read_pointer(pointer) == "00000002"
+        assert [entry.name for entry in tmp_path.iterdir()] == ["CURRENT"]

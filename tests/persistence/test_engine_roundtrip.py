@@ -1,0 +1,194 @@
+"""Full engine round trips: config, generations, FDS state, clusters."""
+
+import json
+
+import pytest
+
+from repro.core.config import EngineConfig, ExecutionPolicy
+from repro.core.engine import SearchEngine
+from repro.errors import CatalogError, SnapshotError
+from repro.monetdb.persistence import save_catalog
+from repro.persistence import load_engine, save_engine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+from tests.persistence.conftest import build_engine
+
+pytestmark = pytest.mark.persistence
+
+QUERY = "SELECT p.name FROM Player p WHERE " \
+        "p.history CONTAINS 'Winner' TOP 20"
+
+
+def round_trip(engine, server, tmp_path, **load_kwargs):
+    save_engine(engine, tmp_path)
+    return load_engine(tmp_path, australian_open_schema(), server,
+                       **load_kwargs)
+
+
+class TestConfigRoundTrip:
+    def test_every_config_field_round_trips(self, tmp_path):
+        # regression: the old manifest dropped cluster_size and the
+        # execution policy (4 of 6 fields survived, silently)
+        config = EngineConfig(
+            fragment_count=5, ranking_model="hiemstra", top_n=7,
+            execution=ExecutionPolicy(n=7, max_workers=2, retries=1,
+                                      on_failure="degrade", cache_size=64))
+        server, _ = build_ausopen_site(players=4, articles=2, videos=1,
+                                       frames_per_shot=4)
+        engine = SearchEngine(australian_open_schema(), server, config)
+        engine.populate()
+        restored = round_trip(engine, server, tmp_path)
+        assert restored.config == config
+
+    def test_cluster_size_round_trips(self, tmp_path):
+        engine, server, _ = build_engine(cluster_size=3)
+        restored = round_trip(engine, server, tmp_path)
+        assert restored.config.cluster_size == 3
+        from repro.ir.engine import ClusterIrEngine
+        assert isinstance(restored.ir, ClusterIrEngine)
+
+
+class TestStateRoundTrip:
+    def test_query_results_identical(self, populated, tmp_path):
+        engine, server, _ = populated
+        restored = round_trip(engine, server, tmp_path)
+        assert engine.query_text(QUERY).column("p.name") \
+            == restored.query_text(QUERY).column("p.name")
+
+    def test_store_generations_round_trip(self, populated, tmp_path):
+        engine, server, _ = populated
+        restored = round_trip(engine, server, tmp_path)
+        assert restored.conceptual_store.generation \
+            == engine.conceptual_store.generation
+        assert restored.meta_store.generation \
+            == engine.meta_store.generation
+        assert restored.ir.relations.generation \
+            == engine.ir.relations.generation
+
+    def test_fds_state_round_trips(self, populated, tmp_path):
+        from repro.persistence import encode_tree
+        engine, server, _ = populated
+        restored = round_trip(engine, server, tmp_path)
+        assert len(restored.fds) == len(engine.fds)
+        assert restored.fds.known_versions() == engine.fds.known_versions()
+        for key in engine.fds.keys():
+            assert encode_tree(restored.fds.tree(key)) \
+                == encode_tree(engine.fds.tree(key))
+
+
+class TestIncrementalMaintenanceAfterRestore:
+    def test_minor_bump_after_restore_is_incremental(self, tmp_path):
+        # the acceptance criterion: a detector bump after restore
+        # schedules revalidations, not a full re-populate
+        engine, server, _ = build_engine()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path, australian_open_schema(), server)
+        restored.upgrade_detector("tennis", "1.1.0")
+        report = restored.maintain()
+        assert report.tasks_processed > 0
+        assert report.trees_regenerated == 0
+
+    def test_restored_maintenance_matches_original(self, tmp_path):
+        engine, server, _ = build_engine()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path, australian_open_schema(), server)
+        restored.upgrade_detector("tennis", "1.1.0")
+        engine.upgrade_detector("tennis", "1.1.0")
+        restored_report = restored.maintain()
+        original_report = engine.maintain()
+        assert restored_report.tasks_processed \
+            == original_report.tasks_processed
+        assert restored_report.detectors_rerun \
+            == original_report.detectors_rerun
+        assert restored_report.nodes_invalidated \
+            == original_report.nodes_invalidated
+
+    def test_source_change_detected_after_restore(self, tmp_path):
+        engine, server, _ = build_engine()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path, australian_open_schema(), server)
+        # unchanged sources: the restored stamps still match
+        assert restored.fds.check_all_sources() == 0
+
+
+class TestClusterRoundTrip:
+    def test_cluster_query_results_identical(self, tmp_path):
+        engine, server, _ = build_engine(cluster_size=3)
+        restored = round_trip(engine, server, tmp_path)
+        assert engine.query_text(QUERY).column("p.name") \
+            == restored.query_text(QUERY).column("p.name")
+
+    def test_per_node_files_written(self, tmp_path):
+        engine, server, _ = build_engine(cluster_size=3)
+        path = save_engine(engine, tmp_path)
+        names = {entry.name for entry in path.iterdir()}
+        assert {"ir.jsonl", "ir-node0.jsonl", "ir-node1.jsonl",
+                "ir-node2.jsonl"} <= names
+
+    def test_restored_cluster_keeps_strided_oids(self, tmp_path):
+        engine, server, _ = build_engine(cluster_size=3)
+        restored = round_trip(engine, server, tmp_path)
+        # new documents land on nodes whose oid sequences must not
+        # collide with restored (or each other's) oids
+        for i in range(6):
+            restored.ir.reindex(f"new:doc{i}", f"fresh text {i} winner")
+        urls = restored.ir.search_urls("winner")
+        assert urls  # the restored cluster answers over old + new docs
+
+
+class TestLegacySnapshots:
+    def legacy_snapshot(self, engine, directory):
+        """A pre-retention (format 1) flat snapshot directory."""
+        directory.mkdir(parents=True, exist_ok=True)
+        engine.conceptual_store.save(directory / "conceptual.jsonl")
+        engine.meta_store.save(directory / "meta.jsonl")
+        engine.ir.relations.refresh_idf()
+        save_catalog(engine.ir.relations.catalog, directory / "ir.jsonl")
+        (directory / "engine.json").write_text(json.dumps({
+            "schema": engine.schema.name,
+            "fragment_count": engine.config.fragment_count,
+            "ranking_model": engine.config.ranking_model,
+            "top_n": engine.config.top_n,
+            "crawl_seed": engine.config.crawl_seed,
+        }))
+
+    def test_legacy_flat_snapshot_still_loads(self, populated, tmp_path):
+        engine, server, _ = populated
+        self.legacy_snapshot(engine, tmp_path / "legacy")
+        restored = load_engine(tmp_path / "legacy",
+                               australian_open_schema(), server)
+        assert engine.query_text(QUERY).column("p.name") \
+            == restored.query_text(QUERY).column("p.name")
+
+    def test_legacy_schema_mismatch_rejected(self, populated, tmp_path):
+        engine, server, _ = populated
+        self.legacy_snapshot(engine, tmp_path / "legacy")
+        from repro.web.lonelyplanet import lonely_planet_schema
+        with pytest.raises(CatalogError):
+            load_engine(tmp_path / "legacy", lonely_planet_schema(), server)
+
+
+class TestLoadArguments:
+    def test_invalid_on_corrupt_value(self, populated, snapshot_root):
+        _, server, _ = populated
+        with pytest.raises(ValueError):
+            load_engine(snapshot_root, australian_open_schema(), server,
+                        on_corrupt="ignore")
+
+    def test_missing_snapshot_raises_typed_error(self, populated, tmp_path):
+        _, server, _ = populated
+        with pytest.raises(SnapshotError):
+            load_engine(tmp_path / "nowhere", australian_open_schema(),
+                        server)
+
+    def test_schema_mismatch_is_not_corruption(self, populated,
+                                               snapshot_root):
+        # a mismatch must not trigger fallback: it raises CatalogError
+        # (not SnapshotError) even under on_corrupt="fallback"
+        _, server, _ = populated
+        from repro.web.lonelyplanet import lonely_planet_schema
+        with pytest.raises(CatalogError) as excinfo:
+            load_engine(snapshot_root, lonely_planet_schema(), server,
+                        on_corrupt="fallback")
+        assert not isinstance(excinfo.value, SnapshotError)

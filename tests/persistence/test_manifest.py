@@ -1,0 +1,111 @@
+"""The versioned, checksummed manifest and its integrity checks."""
+
+import json
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.errors import SnapshotError
+from repro.persistence import (FORMAT_VERSION, FileStamp, Manifest,
+                               config_from_dict, config_to_dict, sha256_file,
+                               stamp_file, verify_files)
+
+pytestmark = pytest.mark.persistence
+
+
+def small_manifest(directory, **files):
+    """A manifest over literal file contents written into ``directory``."""
+    stamps = {}
+    for name, content in files.items():
+        path = directory / name
+        path.write_text(content)
+        stamps[name] = stamp_file(path, records=content.count("\n") + 1)
+    manifest = Manifest(schema="test", config=EngineConfig(), generation=1,
+                        files=stamps)
+    manifest.save(directory)
+    return manifest
+
+
+class TestRoundTrip:
+    def test_manifest_survives_save_load(self, tmp_path):
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one\ntwo"})
+        loaded = Manifest.load(tmp_path)
+        assert loaded.schema == manifest.schema
+        assert loaded.generation == manifest.generation
+        assert loaded.format_version == FORMAT_VERSION
+        assert loaded.files == manifest.files
+        assert loaded.config == manifest.config
+
+    def test_full_config_round_trips(self, full_config):
+        # the bugfix this layer exists for: cluster_size and the whole
+        # execution policy used to be dropped on the floor
+        assert config_from_dict(config_to_dict(full_config)) == full_config
+
+    def test_clustered_config_round_trips(self):
+        config = EngineConfig(cluster_size=4)
+        assert config_from_dict(config_to_dict(config)).cluster_size == 4
+
+    def test_malformed_config_raises(self):
+        with pytest.raises(SnapshotError):
+            config_from_dict({"no_such_field": 1})
+
+
+class TestLoadErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            Manifest.load(tmp_path)
+
+    def test_torn_manifest_json(self, tmp_path):
+        small_manifest(tmp_path, **{"a.jsonl": "x"})
+        path = tmp_path / "engine.json"
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(SnapshotError):
+            Manifest.load(tmp_path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        small_manifest(tmp_path, **{"a.jsonl": "x"})
+        path = tmp_path / "engine.json"
+        data = json.loads(path.read_text())
+        data["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(SnapshotError, match="format_version"):
+            Manifest.load(tmp_path)
+
+    def test_malformed_file_stamp(self):
+        with pytest.raises(SnapshotError):
+            FileStamp.from_dict({"sha256": "abc"})
+
+
+class TestVerifyFiles:
+    def test_intact_files_pass(self, tmp_path):
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one\ntwo"})
+        verify_files(tmp_path, manifest)  # does not raise
+
+    def test_missing_file_detected(self, tmp_path):
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one"})
+        (tmp_path / "a.jsonl").unlink()
+        with pytest.raises(SnapshotError, match="missing"):
+            verify_files(tmp_path, manifest)
+
+    def test_truncation_detected(self, tmp_path):
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one\ntwo\nthree"})
+        path = tmp_path / "a.jsonl"
+        path.write_bytes(path.read_bytes()[:-4])
+        with pytest.raises(SnapshotError, match="truncated"):
+            verify_files(tmp_path, manifest)
+
+    def test_bit_flip_detected(self, tmp_path):
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one\ntwo"})
+        path = tmp_path / "a.jsonl"
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0x01  # same size, different content
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            verify_files(tmp_path, manifest)
+
+    def test_sha256_file_matches_hashlib(self, tmp_path):
+        import hashlib
+        path = tmp_path / "f"
+        path.write_bytes(b"abc" * 100_000)
+        assert sha256_file(path) \
+            == hashlib.sha256(b"abc" * 100_000).hexdigest()

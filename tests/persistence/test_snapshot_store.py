@@ -1,0 +1,87 @@
+"""Generation retention behind the atomically flipped CURRENT pointer."""
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.persistence import SnapshotStore
+
+pytestmark = pytest.mark.persistence
+
+
+def committed(root, store, marker="x"):
+    """Begin + write a marker file + commit; returns the generation."""
+    generation, path = store.begin()
+    (path / "data.txt").write_text(marker)
+    store.commit(generation)
+    return generation
+
+
+class TestLifecycle:
+    def test_begin_creates_generation_directory(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        generation, path = store.begin()
+        assert generation == 1
+        assert path.is_dir()
+        assert path == tmp_path / "snapshot" / "00000001"
+
+    def test_uncommitted_generation_is_not_current(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.begin()
+        assert store.current_generation() is None
+        assert store.candidates() == []
+
+    def test_commit_publishes_generation(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        generation = committed(tmp_path, store)
+        assert store.current_generation() == generation
+        assert (tmp_path / "CURRENT").read_text().strip() == "00000001"
+
+    def test_generations_monotonically_increase(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert committed(tmp_path, store) == 1
+        assert committed(tmp_path, store) == 2
+        assert committed(tmp_path, store) == 3
+
+    def test_candidates_newest_first(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=10)
+        for _ in range(3):
+            committed(tmp_path, store)
+        assert store.candidates() == [3, 2, 1]
+
+
+class TestRetention:
+    def test_prune_keeps_last_k(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=2)
+        for _ in range(5):
+            committed(tmp_path, store)
+        assert store.generations() == [4, 5]
+        assert store.current_generation() == 5
+
+    def test_orphan_from_interrupted_save_is_collected(self, tmp_path):
+        store = SnapshotStore(tmp_path, keep=3)
+        committed(tmp_path, store)
+        # an interrupted save: begun, never committed
+        store.begin()
+        assert store.generations() == [1, 2]
+        # the next successful checkpoint collects the orphan
+        committed(tmp_path, store)
+        assert store.current_generation() == 3
+        assert 2 not in store.generations()
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            SnapshotStore(tmp_path, keep=0)
+
+
+class TestCorruptPointer:
+    def test_garbage_pointer_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        committed(tmp_path, store)
+        (tmp_path / "CURRENT").write_text("not-a-generation")
+        with pytest.raises(SnapshotError):
+            store.current_generation()
+
+    def test_commit_of_missing_generation_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        with pytest.raises(SnapshotError):
+            store.commit(7)

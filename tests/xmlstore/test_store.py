@@ -105,6 +105,57 @@ class TestReplace:
         store.replace("d0", new_shape)
         assert isomorphic(store.reconstruct("d0"), new_shape)
 
+    def test_replace_from_text(self, store):
+        store.replace("d0", "<doc id='0'><title>from text</title></doc>")
+        assert store.reconstruct("d0").find("title").text() == "from text"
+
+    def test_replace_unknown_key_raises(self, store):
+        with pytest.raises(XmlStoreError):
+            store.replace("nope", _doc(9))
+
+
+class TestReplaceIsAllOrNothing:
+    """Regression: replace used to delete the old document first, so a
+    failing insert lost it.  A failing replace must leave the store
+    byte-identical."""
+
+    def snapshot_bytes(self, store, tmp_path):
+        from repro.monetdb.persistence import save_catalog
+        target = tmp_path / "state.jsonl"
+        save_catalog(store.catalog, target)
+        return target.read_bytes()
+
+    def test_malformed_replacement_keeps_old_document(self, store,
+                                                      tmp_path):
+        from repro.errors import XmlSyntaxError
+        before = self.snapshot_bytes(store, tmp_path)
+        with pytest.raises(XmlSyntaxError):
+            store.replace("d0", "<doc><broken")
+        assert self.snapshot_bytes(store, tmp_path) == before
+        assert isomorphic(store.reconstruct("d0"), _doc(0))
+
+    def test_failed_replace_does_not_bump_generation(self, store):
+        from repro.errors import XmlSyntaxError
+        generation = store.generation
+        with pytest.raises(XmlSyntaxError):
+            store.replace("d0", "<doc><broken")
+        assert store.generation == generation
+
+    def test_failed_replace_keeps_store_queryable(self, store):
+        from repro.errors import XmlSyntaxError
+        with pytest.raises(XmlSyntaxError):
+            store.replace("d1", "not xml at <all")
+        titles = store.query("/doc/title/text()").value_list()
+        assert "title 1" in titles
+
+    def test_unknown_key_does_not_validate_first(self, store, tmp_path):
+        # the key check precedes validation: a bad key raises
+        # XmlStoreError even when the replacement is also malformed
+        before = self.snapshot_bytes(store, tmp_path)
+        with pytest.raises(XmlStoreError):
+            store.replace("nope", "<doc><broken")
+        assert self.snapshot_bytes(store, tmp_path) == before
+
 
 class TestQueries:
     def test_query_spans_documents(self, store):
