@@ -56,7 +56,8 @@ def ir_hooks() -> None:
     for url, score in engine.search_urls("champion trophy",
                                          policy=ExecutionPolicy(n=3)):
         print(f"  {score:6.3f}  {url}")
-    result = engine.search_fragmented("champion trophy", n=3)
+    result = engine.search_fragmented("champion trophy",
+                                      policy=ExecutionPolicy(n=3))
     print(f"fragment-pruned top-3 read {result.tuples_read} TF tuples "
           f"across {result.fragments_read} fragments "
           f"(early stop: {result.stopped_early})")

@@ -7,6 +7,7 @@ against the bundled synthetic webspaces::
     repro-search populate --site ausopen --snapshot ./index
     repro-search query    --snapshot ./index \\
         "SELECT p.name FROM Player p WHERE p.plays = 'left' TOP 10"
+    repro-search serve    --snapshot ./index --port 8080 --rate 50
     repro-search stats    --snapshot ./index
     repro-search stats    --site ausopen --cluster 3 \\
         --query "SELECT p.name FROM Player p \\
@@ -14,8 +15,14 @@ against the bundled synthetic webspaces::
     repro-search paths    --snapshot ./index
 
 ``populate`` builds the named site, populates an engine and saves a
-snapshot; ``query`` reloads the snapshot and runs a textual conceptual
-query; ``stats``/``paths`` inspect the stored index.  Snapshots are
+snapshot; ``query`` reloads the snapshot and runs a textual query
+(``--mode conceptual|content|fragmented``) through the
+:class:`~repro.service.SearchService` Request/Response path;
+``serve`` keeps that service resident behind the JSON/HTTP daemon
+(``POST /v1/search``, ``GET /healthz``, ``GET /metrics``) with the
+admission-control knobs (``--max-inflight``, ``--max-queue``,
+``--rate``) exposed as flags; ``stats``/``paths`` inspect the stored
+index.  Snapshots are
 crash-safe checkpoints (``snapshot/<generation>/`` directories behind
 an atomically flipped ``CURRENT`` pointer — see
 :mod:`repro.persistence`); ``snapshot`` writes a fresh checkpoint
@@ -147,16 +154,27 @@ def _add_policy_flags(command: argparse.ArgumentParser) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.service import SearchRequest, SearchService
+
     engine = _load(args)
-    result = engine.query_text(args.query, policy=_policy_from_args(args))
-    if result.degraded:
+    request = SearchRequest(query=args.query, mode=args.mode,
+                            policy=_policy_from_args(args))
+    with SearchService(engine) as service:
+        response = service.search(request)
+    if response.degraded:
         print(f"warning: degraded result, failed nodes: "
-              f"{', '.join(sorted(result.failed_nodes))}", file=sys.stderr)
-    if args.explain:
+              f"{', '.join(sorted(response.failed_nodes))}",
+              file=sys.stderr)
+    result = response.result
+    if args.explain and hasattr(result, "explain"):
         print(result.explain())
         print()
-    if not result.rows:
+    if not response.hits:
         print("no results")
+        return 0
+    if args.mode != "conceptual":
+        for hit in response.hits:
+            print(f"{hit.key}  score={hit.score:.3f}")
         return 0
     for row in result:
         values = "  ".join(f"{path}={value!r}"
@@ -171,6 +189,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
             for turn in turns:
                 print(f"    {alias}: speaker {turn.speaker} "
                       f"{turn.start:.2f}s-{turn.end:.2f}s")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SearchService, ServicePolicy, serve
+
+    engine = _load(args)
+    policy = ServicePolicy(
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        queue_timeout_ms=args.queue_timeout_ms,
+        rate=args.rate, burst=args.burst,
+        coalesce=not args.no_coalesce)
+    service = SearchService(engine, policy)
+    httpd = serve(service, args.host, args.port)
+    print(f"serving on {httpd.address} "
+          f"(POST /v1/search, GET /healthz, GET /metrics)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+        drained = service.drain(args.drain_timeout)
+        print("drained" if drained
+              else "drain timed out with requests in flight",
+              file=sys.stderr)
+    finally:
+        httpd.server_close()
     return 0
 
 
@@ -218,8 +262,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if summary["degraded"]:
             print(f"degraded: failed nodes {summary['failed_nodes']}")
         if args.json:
+            from repro.service.api import SCHEMA_VERSION
+
             write_report(args.json, telemetry,
-                         meta={"command": "stats", "query": args.query,
+                         meta={"schema_version": SCHEMA_VERSION,
+                               "command": "stats", "query": args.query,
                                "result": summary})
             print(f"telemetry report written to {args.json}")
         return 0
@@ -348,13 +395,45 @@ def _parser() -> argparse.ArgumentParser:
     restore.set_defaults(handler=_cmd_restore)
 
     query = commands.add_parser(
-        "query", help="run a textual conceptual query against a snapshot")
+        "query", help="run a textual query against a snapshot")
     query.add_argument("--snapshot", required=True)
+    query.add_argument("--mode", default="conceptual",
+                       choices=["conceptual", "content", "fragmented"],
+                       help="conceptual query language, ranked content "
+                            "search, or fragmented top-N (default: "
+                            "conceptual)")
     query.add_argument("--explain", action="store_true",
                        help="print the executed physical plan")
     _add_policy_flags(query)
     query.add_argument("query")
     query.set_defaults(handler=_cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="serve a snapshot over HTTP (POST /v1/search)")
+    serve.add_argument("--snapshot", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port; 0 picks an ephemeral port")
+    admission = serve.add_argument_group(
+        "admission control", "when to shed load instead of queueing")
+    admission.add_argument("--max-inflight", type=int, default=8,
+                           help="concurrently executing requests")
+    admission.add_argument("--max-queue", type=int, default=16,
+                           help="requests allowed to wait for a slot")
+    admission.add_argument("--queue-timeout-ms", type=float, default=1000.0,
+                           help="max wait for an execution slot")
+    admission.add_argument("--rate", type=float, default=None,
+                           help="token-bucket refill in requests/second "
+                                "(default: unlimited)")
+    admission.add_argument("--burst", type=int, default=None,
+                           help="token-bucket burst headroom")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="disable single-flight deduplication of "
+                            "identical in-flight requests")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for in-flight requests on "
+                            "shutdown")
+    serve.set_defaults(handler=_cmd_serve)
 
     stats = commands.add_parser(
         "stats", help="index statistics; with --query, a traced run")

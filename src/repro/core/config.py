@@ -4,14 +4,14 @@ Execution knobs used to be ad-hoc kwargs scattered over
 ``DistributedIndex.query`` (``n``, ``prune``), the engine and the CLI.
 :class:`ExecutionPolicy` collapses them into one frozen value object that
 every query surface accepts (``SearchEngine.query``,
-``DistributedIndex.query``, ``repro-search`` flags); the old kwargs keep
-working for one release behind a :class:`DeprecationWarning`
-(:meth:`ExecutionPolicy.coerce`).
+``DistributedIndex.query``, ``repro-search`` flags).  The legacy
+``n=``/``prune=`` kwargs spent one release as deprecated aliases; the
+deprecation is now finished and :meth:`ExecutionPolicy.coerce` rejects
+them with a :class:`TypeError` naming the replacement.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 __all__ = ["EngineConfig", "ExecutionPolicy"]
@@ -79,26 +79,26 @@ class ExecutionPolicy:
 
     @classmethod
     def coerce(cls, policy: "ExecutionPolicy | None" = None, *,
-               n: int | None = None, prune: bool | None = None,
-               _stacklevel: int = 3) -> "ExecutionPolicy":
-        """Fold the deprecated ``n=``/``prune=`` kwargs into a policy.
+               n: int | None = None, prune: bool | None = None
+               ) -> "ExecutionPolicy":
+        """Reject the removed ``n=``/``prune=`` kwargs; default the policy.
 
-        Explicitly passed legacy kwargs override the policy's fields and
-        emit a :class:`DeprecationWarning` pointing at the caller.
+        The aliases were deprecated for one release (DeprecationWarning
+        since the cluster-execution redesign); every query surface now
+        funnels through here, so passing either raises a
+        :class:`TypeError` naming :class:`ExecutionPolicy` — the single
+        sanctioned way to size or steer a query.
         """
-        base = policy if policy is not None else cls()
-        overrides: dict[str, object] = {}
-        if n is not None:
-            overrides["n"] = n
-        if prune is not None:
-            overrides["prune"] = prune
-        if overrides:
-            warnings.warn(
-                "passing n=/prune= directly is deprecated; pass "
-                "policy=ExecutionPolicy(n=..., prune=...) instead",
-                DeprecationWarning, stacklevel=_stacklevel)
-            base = replace(base, **overrides)
-        return base
+        if n is not None or prune is not None:
+            raise TypeError(
+                "the n=/prune= kwargs were removed; pass "
+                "policy=ExecutionPolicy(n=..., prune=...) instead")
+        if policy is not None and not isinstance(policy, cls):
+            raise TypeError(
+                "expected an ExecutionPolicy, got "
+                f"{type(policy).__name__}; bare result sizes were "
+                "removed — pass policy=ExecutionPolicy(n=...)")
+        return policy if policy is not None else cls()
 
 
 @dataclass(frozen=True)

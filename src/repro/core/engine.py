@@ -276,9 +276,45 @@ class SearchEngine:
         return (self.ir.generation, self.conceptual_store.generation,
                 self.meta_store.generation)
 
+    def execute(self, request) -> "SearchResponse":
+        """Run one :class:`~repro.service.api.SearchRequest`.
+
+        The single sanctioned query path: conceptual requests run the
+        integrated three-level plan; ``content``/``fragmented``
+        requests route to the IR backend's own ``execute``.  The
+        public ``query_text``/``query`` methods (and the IR engines'
+        ``search*``) are thin adapters over this, and
+        :class:`~repro.service.SearchService` adds admission control,
+        single-flight coalescing and reader–writer locking on top.
+        """
+        import time
+
+        from repro.service import api
+
+        if request.mode != api.MODE_CONCEPTUAL:
+            return self.ir.execute(request)
+        started = time.perf_counter()
+        result = self._query_text(request.query, request.policy)
+        return api.response_from_query_result(
+            request, result, api.elapsed_ms_since(started))
+
     def query_text(self, source: str,
                    policy: ExecutionPolicy | None = None) -> QueryResult:
         """Parse and execute a textual conceptual query.
+
+        A thin adapter over :meth:`execute` — it wraps ``source`` into
+        a :class:`~repro.service.api.SearchRequest` and unwraps the
+        :class:`QueryResult` from the response.
+        """
+        from repro.service.api import SearchRequest
+
+        request = SearchRequest(query=source,
+                                policy=policy or self.config.execution)
+        return self.execute(request).result
+
+    def _query_text(self, source: str, policy: ExecutionPolicy
+                    ) -> QueryResult:
+        """The conceptual-path core behind :meth:`execute`.
 
         The textual language is the CLI-friendly counterpart of the
         paper's graphical query interface (Fig 13); see
@@ -289,7 +325,6 @@ class SearchEngine:
         store generation and thereby invalidates.
         """
         from repro.webspace.language import parse_query
-        policy = policy or self.config.execution
         key = None
         if policy.cache:
             self.query_cache.prepare(policy)

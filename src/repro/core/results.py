@@ -71,17 +71,22 @@ class QueryResult:
 
     def explain(self) -> str:
         """The executed physical plan, EXPLAIN ANALYZE style."""
+        from repro.service.api import SCHEMA_VERSION
+
         text = str(self.plan) if self.plan is not None else "(no plan)"
         if self.cache_hit:
             text += "\n(served from the query cache)"
         if self.degraded:
             text += ("\n(degraded: content ranking excludes failed nodes "
                      f"{sorted(self.failed_nodes)})")
-        return text
+        return text + f"\n(schema_version {SCHEMA_VERSION})"
 
     def to_dict(self) -> dict[str, object]:
         """The unified result shape shared with the distributed result."""
+        from repro.service.api import SCHEMA_VERSION
+
         return {
+            "schema_version": SCHEMA_VERSION,
             "kind": "conceptual",
             "rows": len(self.rows),
             "degraded": self.degraded,

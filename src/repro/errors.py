@@ -101,6 +101,27 @@ class ClusterExecutionError(ReproError):
         self.failed_nodes = dict(failed_nodes or {})
 
 
+class ServiceOverloadedError(ReproError):
+    """The search service shed this request under admission control.
+
+    ``retry_after`` is the suggested back-off in seconds before the
+    client retries (the HTTP daemon maps it onto a ``Retry-After``
+    header with a 429 status); ``reason`` says which limit tripped:
+    ``"rate"`` (token bucket empty), ``"queue"`` (wait queue full) or
+    ``"timeout"`` (queued longer than the admission deadline).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05,
+                 reason: str = "overloaded"):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class ServiceClosedError(ReproError):
+    """The search service is draining or closed; no new requests."""
+
+
 class WebError(ReproError):
     """A simulated web access failed (unknown URL, bad HTML)."""
 

@@ -79,8 +79,11 @@ class DistributedQueryResult:
 
     def to_dict(self) -> dict[str, object]:
         """The common result shape (see ``QueryResult.to_dict``)."""
+        from repro.service.api import SCHEMA_VERSION
+
         per_node = self.tuples_read_per_node()
         return {
+            "schema_version": SCHEMA_VERSION,
             "kind": "distributed",
             "rows": len(self.ranking),
             "degraded": self.degraded,
@@ -95,7 +98,10 @@ class DistributedQueryResult:
 
     def explain(self) -> str:
         """Per-node execution report, EXPLAIN ANALYZE style."""
-        header = (f"ir.distributed_query  (nodes="
+        from repro.service.api import SCHEMA_VERSION
+
+        header = (f"ir.distributed_query  (schema_version={SCHEMA_VERSION}, "
+                  f"nodes="
                   f"{len(self.local_results) + len(self.failed_nodes)}, "
                   f"rows={len(self.ranking)}, degraded={self.degraded}"
                   f"{', cached' if self.cache_hit else ''})")
@@ -237,17 +243,18 @@ class DistributedIndex:
 
     # -- querying ---------------------------------------------------------
 
-    def query(self, query: str, n: int | None = None,
-              prune: bool | None = None, *,
-              policy: ExecutionPolicy | None = None
+    def query(self, query: str,
+              policy: ExecutionPolicy | None = None, *,
+              n: int | None = None, prune: bool | None = None
               ) -> DistributedQueryResult:
         """Distributed top-N: parallel local top-N per node, merged centrally.
 
         Global idf weights are pushed to the nodes with the term oids, so
         every node scores against the same weighting and the merged
         ranking equals the central ranking (verified by tests).  All
-        execution knobs come from ``policy``; the ``n=``/``prune=``
-        kwargs remain as deprecated aliases for one release.
+        execution knobs come from ``policy``; the removed
+        ``n=``/``prune=`` aliases raise a :class:`TypeError` naming
+        :class:`ExecutionPolicy`.
         """
         policy = ExecutionPolicy.coerce(policy, n=n, prune=prune)
         telemetry = get_telemetry()

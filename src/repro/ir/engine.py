@@ -12,6 +12,15 @@ on normalized terms + ranking model + result-affecting
 :class:`~repro.core.config.ExecutionPolicy` knobs + the generation
 stamp.  Mutations bump the generation, which is the entire invalidation
 protocol.
+
+Since the service layer, ``execute(request)`` is the execution core of
+both engines: a :class:`~repro.service.api.SearchRequest` in
+(``content`` or ``fragmented`` mode), a
+:class:`~repro.service.api.SearchResponse` out.  The public
+``search``/``search_urls``/``search_fragmented`` methods are thin
+adapters over it, and the removed legacy ``n=``/``prune=`` kwargs
+raise a ``TypeError`` naming
+:class:`~repro.core.config.ExecutionPolicy`.
 """
 
 from __future__ import annotations
@@ -78,73 +87,132 @@ class IrEngine:
 
     # -- querying ---------------------------------------------------------
 
-    def search(self, query: str, n: int | None = 10,
-               policy: ExecutionPolicy | None = None) -> Ranking:
-        """Rank documents for a free-text query; returns (doc oid, score).
+    def execute(self, request) -> "SearchResponse":
+        """Run one :class:`~repro.service.api.SearchRequest`.
 
-        ``policy`` only contributes the cache knobs here — a single
-        node has no fan-out to steer.  Results are cached per
-        (terms, model, n, generation); any mutation bumps the
-        generation and thereby invalidates.
+        The unified entry point every public query method adapts over
+        (and the one :class:`~repro.service.SearchService` calls).
+        Mode ``content`` answers with the ranked urls of
+        :meth:`search`; mode ``fragmented`` with the fragment-pruned
+        top-N.  Conceptual queries need the integrated engine.
         """
-        policy = policy if policy is not None else ExecutionPolicy()
+        import time
+
+        from repro.errors import QueryError
+        from repro.service import api
+
+        started = time.perf_counter()
+        if request.mode == api.MODE_CONTENT:
+            ranking, cache_hit = self._ranked(request.query, request.policy)
+            pairs = [(self.relations.doc_url(doc), score)
+                     for doc, score in ranking]
+            return api.response_from_ranking(
+                request, pairs, api.elapsed_ms_since(started),
+                cache_hit=cache_hit, result=ranking)
+        if request.mode == api.MODE_FRAGMENTED:
+            result, cache_hit = self._fragmented(request.query,
+                                                 request.policy)
+            pairs = [(self.relations.doc_url(doc), score)
+                     for doc, score in result.ranking]
+            return api.response_from_ranking(
+                request, pairs, api.elapsed_ms_since(started),
+                cache_hit=cache_hit, tuples_touched=result.tuples_read,
+                result=result)
+        raise QueryError(f"mode {request.mode!r} needs the integrated "
+                         "SearchEngine, not a bare IR engine")
+
+    def _ranked(self, query: str, policy: ExecutionPolicy
+                ) -> tuple[Ranking, bool]:
+        """The cached ranking core; returns (ranking, cache_hit)."""
         key = None
         if policy.cache:
             self.query_cache.prepare(policy)
-            key = ("search", self.model, normalized_terms(query), n,
+            key = ("search", self.model, normalized_terms(query), policy.n,
                    self.relations.generation)
             cached = self.query_cache.lookup(key)
             if cached is not MISS:
-                return list(cached)
+                return list(cached), True
         self.relations.refresh_idf()
         if self.model == "hiemstra":
-            ranking = rank_hiemstra(self.relations, query, n)
+            ranking = rank_hiemstra(self.relations, query, policy.n)
         else:
-            ranking = rank_tfidf(self.relations, query, n)
+            ranking = rank_tfidf(self.relations, query, policy.n)
         if key is not None:
             self.query_cache.store(key, list(ranking))
-        return ranking
+        return ranking, False
 
-    def search_urls(self, query: str, n: int | None = None,
-                    policy: ExecutionPolicy | None = None
-                    ) -> list[tuple[str, float]]:
-        """Like :meth:`search` but resolving doc oids to urls.
-
-        The result size comes from ``policy.n``; the ``n=`` kwarg is a
-        deprecated alias folded in via
-        :meth:`ExecutionPolicy.coerce` — exactly the clustered
-        surface's contract, so single-node and distributed backends
-        answer identically.
-        """
-        policy = ExecutionPolicy.coerce(policy, n=n)
-        return [(self.relations.doc_url(doc), score)
-                for doc, score in self.search(query, policy.n,
-                                              policy=policy)]
-
-    def search_fragmented(self, query: str, n: int = 10,
-                          prune: bool = True,
-                          policy: ExecutionPolicy | None = None
-                          ) -> TopNResult:
-        """Top-N through the fragment-pruned access path.
+    def _fragmented(self, query: str, policy: ExecutionPolicy
+                    ) -> tuple[TopNResult, bool]:
+        """The cached fragment-pruned core; returns (result, cache_hit).
 
         Exactly one (memoized) IDF refresh per call: the fragment build
         refreshes lazily inside :func:`fragment_by_idf`, and only when
         the generation moved.
         """
-        policy = policy if policy is not None else ExecutionPolicy()
         key = None
         if policy.cache:
             self.query_cache.prepare(policy)
-            key = ("fragmented", normalized_terms(query), n, prune,
-                   self.relations.generation)
+            key = ("fragmented", normalized_terms(query), policy.n,
+                   policy.prune, self.relations.generation)
             cached = self.query_cache.lookup(key)
             if cached is not MISS:
-                return cached
+                return cached, True
         terms = query_term_oids(self.relations, query)
-        result = topn_fragmented(self.fragments(), terms, n, prune=prune)
+        result = topn_fragmented(self.fragments(), terms, policy.n,
+                                 prune=policy.prune)
         if key is not None:
             self.query_cache.store(key, result)
-        return result
+        return result, False
+
+    def search(self, query: str, policy: ExecutionPolicy | None = None, *,
+               n: int | None = None) -> Ranking:
+        """Rank documents for a free-text query; returns (doc oid, score).
+
+        The result size is ``policy.n``; ``policy`` otherwise only
+        contributes the cache knobs here — a single node has no fan-out
+        to steer.  Results are cached per (terms, model, n, generation);
+        any mutation bumps the generation and thereby invalidates.  The
+        removed ``n=`` kwarg raises a :class:`TypeError` naming
+        :class:`ExecutionPolicy`.
+        """
+        policy = ExecutionPolicy.coerce(policy, n=n)
+        ranking, _ = self._ranked(query, policy)
+        return ranking
+
+    def search_urls(self, query: str,
+                    policy: ExecutionPolicy | None = None, *,
+                    n: int | None = None) -> list[tuple[str, float]]:
+        """Ranked urls — a thin adapter over :meth:`execute`.
+
+        The result size comes from ``policy.n`` — exactly the clustered
+        surface's contract, so single-node and distributed backends
+        answer identically.
+        """
+        from repro.service.api import MODE_CONTENT, SearchRequest
+
+        policy = ExecutionPolicy.coerce(policy, n=n)
+        response = self.execute(SearchRequest(query=query,
+                                              mode=MODE_CONTENT,
+                                              policy=policy))
+        return [(hit.key, hit.score) for hit in response.hits]
+
+    def search_fragmented(self, query: str,
+                          policy: ExecutionPolicy | None = None, *,
+                          n: int | None = None, prune: bool | None = None
+                          ) -> TopNResult:
+        """Fragment-pruned top-N — a thin adapter over :meth:`execute`.
+
+        ``policy.n`` / ``policy.prune`` size and steer the access path;
+        the removed ``n=``/``prune=`` kwargs raise a :class:`TypeError`
+        like every sibling surface.
+        """
+        from repro.service.api import MODE_FRAGMENTED, SearchRequest
+
+        policy = ExecutionPolicy.coerce(policy, n=n, prune=prune)
+        response = self.execute(SearchRequest(query=query,
+                                              mode=MODE_FRAGMENTED,
+                                              policy=policy))
+        return response.result
 
     def matching_documents(self, query: str) -> set[Oid]:
         """Doc oids containing at least one query term (boolean filter)."""
@@ -204,18 +272,45 @@ class ClusterIrEngine:
     def remove(self, url: str) -> None:
         self.index.remove_document(url)
 
-    def search_urls(self, query: str, n: int | None = None,
-                    policy: ExecutionPolicy | None = None
-                    ) -> list[tuple[str, float]]:
-        """Urls ranked by the distributed plan, sized by ``policy.n``.
+    def execute(self, request) -> "SearchResponse":
+        """Run one request as the paper's distributed plan.
 
-        The ``n=`` kwarg is a deprecated alias (see
-        :meth:`IrEngine.search_urls` — both surfaces share the
-        contract).
+        Only mode ``content`` exists on the clustered surface — the
+        fragment-pruned access path runs *inside* each node's local
+        top-N, not as a separate externally addressable mode.
         """
-        policy = ExecutionPolicy.coerce(policy, n=n)
-        result = self.index.query(query, policy=policy)
+        import time
+
+        from repro.errors import QueryError
+        from repro.service import api
+
+        if request.mode != api.MODE_CONTENT:
+            raise QueryError(f"mode {request.mode!r} is not served by the "
+                             "clustered IR surface (use 'content')")
+        started = time.perf_counter()
+        result = self.index.query(request.query, policy=request.policy)
         self.last_result = result
         self.recent_results.append(result)
-        return [(self.index.central.doc_url(doc), score)
-                for doc, score in result.ranking]
+        pairs = [(self.index.central.doc_url(doc), score)
+                 for doc, score in result.ranking]
+        return api.response_from_ranking(
+            request, pairs, api.elapsed_ms_since(started),
+            cache_hit=result.cache_hit, degraded=result.degraded,
+            failed_nodes=tuple(sorted(result.failed_nodes)),
+            tuples_touched=result.total_tuples(), result=result)
+
+    def search_urls(self, query: str,
+                    policy: ExecutionPolicy | None = None, *,
+                    n: int | None = None) -> list[tuple[str, float]]:
+        """Urls ranked by the distributed plan — an adapter over
+        :meth:`execute`, sized by ``policy.n`` (see
+        :meth:`IrEngine.search_urls`; both surfaces share the
+        contract).
+        """
+        from repro.service.api import MODE_CONTENT, SearchRequest
+
+        policy = ExecutionPolicy.coerce(policy, n=n)
+        response = self.execute(SearchRequest(query=query,
+                                              mode=MODE_CONTENT,
+                                              policy=policy))
+        return [(hit.key, hit.score) for hit in response.hits]

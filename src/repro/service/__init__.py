@@ -1,0 +1,49 @@
+"""The concurrent search service: one sanctioned query path.
+
+Public surface, lazily resolved (:pep:`562`) so that importing the
+lightweight wire contract (``repro.service.api``, which the engines
+themselves import) never drags in the full service stack — the service
+pulls in :mod:`repro.core.engine`, which would otherwise complete an
+import cycle through the engine adapters.
+
+* :class:`SearchRequest` / :class:`SearchResponse` / :class:`Hit` —
+  the versioned Request/Response pair every query path speaks,
+* :class:`SearchService` / :class:`ServicePolicy` — the embeddable,
+  thread-safe front door (admission control, single-flight coalescing,
+  reader–writer locking, graceful drain),
+* :class:`SearchServiceServer` / :func:`serve` — the stdlib HTTP
+  daemon behind ``repro-search serve``.
+"""
+
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.service.api import (MODE_CONCEPTUAL, MODE_CONTENT,
+                               MODE_FRAGMENTED, MODES, SCHEMA_VERSION, Hit,
+                               SearchRequest, SearchResponse)
+
+__all__ = [
+    "SCHEMA_VERSION", "MODES",
+    "MODE_CONCEPTUAL", "MODE_CONTENT", "MODE_FRAGMENTED",
+    "SearchRequest", "SearchResponse", "Hit",
+    "SearchService", "ServicePolicy",
+    "SearchServiceServer", "serve",
+    "ServiceOverloadedError", "ServiceClosedError",
+]
+
+_LAZY = {
+    "SearchService": "repro.service.service",
+    "ServicePolicy": "repro.service.admission",
+    "SearchServiceServer": "repro.service.httpd",
+    "serve": "repro.service.httpd",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value

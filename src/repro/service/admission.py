@@ -1,0 +1,174 @@
+"""Admission control: bounded concurrency + token-bucket rate limiting.
+
+A service that admits every request under overload does not degrade —
+it collapses: queues grow without bound, every request times out, and
+the clients retry into the same dying process.  Admission control makes
+shedding *explicit* instead: each request either gets an execution slot
+(possibly after a bounded wait in a bounded queue) or is rejected
+immediately with a :class:`~repro.errors.ServiceOverloadedError`
+carrying ``retry_after`` — the client-visible back-off that turns an
+overload into a flow-control signal rather than a crash.
+
+Three limits, all per :class:`ServicePolicy`:
+
+* ``max_inflight`` — requests executing concurrently,
+* ``max_queue`` / ``queue_timeout_ms`` — how many admitted-but-waiting
+  requests may queue for a slot, and for how long,
+* ``rate`` / ``burst`` — a token bucket over *offered* load, tripping
+  before the queue does when clients hammer faster than capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServiceOverloadedError
+
+__all__ = ["ServicePolicy", "TokenBucket", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Every service-level knob in one frozen value object.
+
+    ``max_inflight`` bounds concurrently executing requests;
+    ``max_queue`` bounds requests waiting for a slot and
+    ``queue_timeout_ms`` bounds how long they wait (``None`` waits
+    forever); ``rate`` is the token-bucket refill in requests/second
+    (``None`` disables rate limiting) with ``burst`` tokens of
+    headroom (defaults to ``max(1, int(rate))``); ``coalesce`` turns
+    single-flight deduplication of identical in-flight requests on.
+    """
+
+    max_inflight: int = 8
+    max_queue: int = 16
+    queue_timeout_ms: float | None = 1000.0
+    rate: float | None = None
+    burst: int | None = None
+    coalesce: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("service max_inflight must be >= 1, got "
+                             f"{self.max_inflight}")
+        if self.max_queue < 0:
+            raise ValueError("service max_queue must be >= 0, got "
+                             f"{self.max_queue}")
+        if self.queue_timeout_ms is not None and self.queue_timeout_ms <= 0:
+            raise ValueError("service queue_timeout_ms must be > 0, got "
+                             f"{self.queue_timeout_ms}")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"service rate must be > 0, got {self.rate}")
+        if self.burst is not None and self.burst < 1:
+            raise ValueError(f"service burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """A thread-safe token bucket; refills continuously at ``rate``/s."""
+
+    def __init__(self, rate: float, burst: int | None = None,
+                 clock=time.monotonic):
+        self.rate = float(rate)
+        self.capacity = float(burst if burst is not None
+                              else max(1, int(rate)))
+        self._tokens = self.capacity
+        self._clock = clock
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> float:
+        """Take one token; returns 0.0 on success, else the suggested
+        back-off in seconds until a token will be available."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.capacity, self._tokens
+                               + (now - self._updated) * self.rate)
+            self._updated = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionController:
+    """Hands out execution slots; sheds what it cannot queue."""
+
+    def __init__(self, policy: ServicePolicy, clock=time.monotonic):
+        self.policy = policy
+        self._clock = clock
+        self._bucket = (TokenBucket(policy.rate, policy.burst, clock)
+                        if policy.rate is not None else None)
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+
+    # -- the slot protocol -------------------------------------------------
+
+    def admit(self) -> float:
+        """Block until an execution slot is held; returns queued ms.
+
+        Raises :class:`ServiceOverloadedError` (with ``retry_after``
+        and the tripped limit as ``reason``) instead of queueing
+        unboundedly.
+        """
+        if self._bucket is not None:
+            retry_after = self._bucket.try_acquire()
+            if retry_after > 0.0:
+                raise ServiceOverloadedError(
+                    "request rate exceeds the service's token bucket",
+                    retry_after=retry_after, reason="rate")
+        with self._cond:
+            if self._active < self.policy.max_inflight:
+                self._active += 1
+                return 0.0
+            if self._waiting >= self.policy.max_queue:
+                raise ServiceOverloadedError(
+                    f"all {self.policy.max_inflight} execution slots busy "
+                    f"and the wait queue ({self.policy.max_queue}) is full",
+                    retry_after=self._estimate_retry(), reason="queue")
+            timeout = (None if self.policy.queue_timeout_ms is None
+                       else self.policy.queue_timeout_ms / 1000.0)
+            self._waiting += 1
+            started = self._clock()
+            try:
+                admitted = self._cond.wait_for(
+                    lambda: self._active < self.policy.max_inflight,
+                    timeout)
+                if not admitted:
+                    raise ServiceOverloadedError(
+                        "queued longer than the admission deadline "
+                        f"({self.policy.queue_timeout_ms:g}ms)",
+                        retry_after=self._estimate_retry(),
+                        reason="timeout")
+                self._active += 1
+            finally:
+                self._waiting -= 1
+            return (self._clock() - started) * 1000.0
+
+    def release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    def _estimate_retry(self) -> float:
+        """A shed request's suggested back-off, in seconds.
+
+        With a rate limit the bucket drains at ``rate``/s, so the queue
+        ahead of a retry clears in about ``waiting / rate``; without
+        one, fall back to the queue deadline (clients behind a full
+        queue should not retry sooner than queued peers can finish).
+        """
+        if self._bucket is not None:
+            return max(1.0 / self._bucket.rate,
+                       (self._waiting + 1) / self._bucket.rate)
+        if self.policy.queue_timeout_ms is not None:
+            return self.policy.queue_timeout_ms / 1000.0
+        return 0.05
+
+    # -- introspection -----------------------------------------------------
+
+    def status(self) -> dict[str, int]:
+        with self._cond:
+            return {"active": self._active, "waiting": self._waiting}

@@ -1,0 +1,234 @@
+"""The unified Request/Response contract of every query surface.
+
+After four PRs the engine had grown three divergent synchronous entry
+points (``SearchEngine.query_text``/``query``, ``IrEngine.search``/
+``search_urls``/``search_fragmented``, ``DistributedIndex.query``).
+FEDORA's lesson — a repository scales once every access path is
+funneled through one service interface with an explicit wire contract —
+is applied here: a frozen :class:`SearchRequest` goes in, a frozen
+:class:`SearchResponse` comes out, and *every* other query method is a
+thin adapter over an ``execute(request)`` implementation.
+
+The wire forms (:meth:`SearchRequest.to_dict` /
+:meth:`SearchResponse.to_dict`) are versioned from day one: every
+payload carries ``schema_version`` (:data:`SCHEMA_VERSION`), the same
+stamp :meth:`~repro.core.results.QueryResult.to_dict` and
+:meth:`~repro.ir.distributed.DistributedQueryResult.to_dict` carry —
+see DESIGN.md §11 for the documented schema.
+
+This module depends only on :mod:`repro.core.config`, so the engines
+(:mod:`repro.ir.engine`, :mod:`repro.core.engine`) can import it
+without cycles; the heavyweight service machinery lives in
+:mod:`repro.service.service` and is loaded lazily by the package
+``__init__``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields, replace
+
+from repro.core.config import ExecutionPolicy
+from repro.errors import QueryError
+
+__all__ = [
+    "SCHEMA_VERSION", "MODE_CONCEPTUAL", "MODE_CONTENT", "MODE_FRAGMENTED",
+    "MODES", "SearchRequest", "SearchResponse", "Hit", "policy_to_dict",
+    "policy_from_dict", "response_from_query_result",
+    "response_from_ranking", "elapsed_ms_since",
+]
+
+#: Version stamp of every JSON payload the engine emits (requests,
+#: responses, result dicts, ``stats --json`` reports).  Bump on any
+#: backwards-incompatible change to the shapes documented in DESIGN.md.
+SCHEMA_VERSION = 1
+
+#: Conceptual textual query (the paper's integrated three-level path).
+MODE_CONCEPTUAL = "conceptual"
+#: Free-text ranking over the IR relations (urls + scores).
+MODE_CONTENT = "content"
+#: Free-text top-N through the fragment-pruned access path.
+MODE_FRAGMENTED = "fragmented"
+
+MODES = (MODE_CONCEPTUAL, MODE_CONTENT, MODE_FRAGMENTED)
+
+
+def policy_to_dict(policy: ExecutionPolicy) -> dict[str, object]:
+    """Every :class:`ExecutionPolicy` knob as a JSON-friendly dict."""
+    return {spec.name: getattr(policy, spec.name)
+            for spec in fields(ExecutionPolicy)}
+
+
+def policy_from_dict(payload: dict[str, object]) -> ExecutionPolicy:
+    """Rebuild a policy from its wire dict; unknown knobs are errors."""
+    known = {spec.name for spec in fields(ExecutionPolicy)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise QueryError(f"unknown execution-policy knobs {unknown}; "
+                         f"known knobs: {sorted(known)}")
+    try:
+        return ExecutionPolicy(**payload)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"invalid execution policy: {exc}") from exc
+
+
+def elapsed_ms_since(started: float) -> float:
+    """Milliseconds since a ``time.perf_counter()`` reading."""
+    return (time.perf_counter() - started) * 1000.0
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One query, fully specified: text, access mode, execution policy.
+
+    The request is the *only* thing a caller hands the service — the
+    legacy per-method kwargs are gone.  ``trace_id`` is an opaque
+    client-chosen correlation token, echoed on the response and stamped
+    on the ``service.request`` span.
+    """
+
+    query: str
+    mode: str = MODE_CONCEPTUAL
+    policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
+    trace_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, str) or not self.query.strip():
+            raise QueryError("request query must be a non-empty string")
+        if self.mode not in MODES:
+            raise QueryError(f"unknown request mode {self.mode!r}; "
+                             f"expected one of {MODES}")
+        if not isinstance(self.policy, ExecutionPolicy):
+            raise QueryError("request policy must be an ExecutionPolicy, "
+                             f"got {type(self.policy).__name__}")
+
+    def to_dict(self) -> dict[str, object]:
+        """The versioned wire form (``POST /v1/search`` body)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "query": self.query,
+            "mode": self.mode,
+            "policy": policy_to_dict(self.policy),
+            "trace_id": self.trace_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "SearchRequest":
+        """Parse a wire payload; every malformation is a QueryError."""
+        if not isinstance(payload, dict):
+            raise QueryError("request payload must be a JSON object")
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise QueryError(f"unsupported schema_version {version!r}; "
+                             f"this server speaks {SCHEMA_VERSION}")
+        known = {"schema_version", "query", "mode", "policy", "trace_id"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise QueryError(f"unknown request fields {unknown}")
+        if "query" not in payload:
+            raise QueryError("request payload needs a 'query' field")
+        policy_payload = payload.get("policy") or {}
+        if not isinstance(policy_payload, dict):
+            raise QueryError("request policy must be a JSON object")
+        trace_id = payload.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise QueryError("request trace_id must be a string")
+        return cls(query=payload["query"],
+                   mode=payload.get("mode", MODE_CONCEPTUAL),
+                   policy=policy_from_dict(policy_payload),
+                   trace_id=trace_id)
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One ranked answer on the wire.
+
+    ``key`` is the stable identity of the hit — a document url for
+    content modes, the comma-joined ``alias:object-key`` bindings for
+    conceptual rows; ``values`` carries the projected attribute values
+    of a conceptual row as ``(path, value)`` pairs.
+    """
+
+    key: str
+    score: float = 0.0
+    values: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {"key": self.key, "score": self.score,
+                "values": {path: value for path, value in self.values}}
+
+
+@dataclass(frozen=True)
+class SearchResponse:
+    """What came back: ranked hits plus execution accounting.
+
+    ``result`` is the rich in-process result object (a
+    :class:`~repro.core.results.QueryResult`, a
+    :class:`~repro.ir.topn.TopNResult` or a raw ranking) for embedders
+    that need more than the wire shape; it never crosses the wire.
+    ``queue_ms`` and ``coalesced`` are stamped by the service layer —
+    zero / False on direct engine execution.
+    """
+
+    request: SearchRequest
+    hits: tuple[Hit, ...] = ()
+    elapsed_ms: float = 0.0
+    queue_ms: float = 0.0
+    degraded: bool = False
+    cache_hit: bool = False
+    coalesced: bool = False
+    failed_nodes: tuple[str, ...] = ()
+    tuples_touched: int = 0
+    result: object = None
+
+    def annotate(self, **overrides) -> "SearchResponse":
+        """A copy with service-layer fields stamped on."""
+        return replace(self, **overrides)
+
+    def to_dict(self) -> dict[str, object]:
+        """The versioned wire form (``POST /v1/search`` reply)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "query": self.request.query,
+            "mode": self.request.mode,
+            "trace_id": self.request.trace_id,
+            "rows": len(self.hits),
+            "hits": [hit.to_dict() for hit in self.hits],
+            "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "failed_nodes": list(self.failed_nodes),
+            "tuples_touched": self.tuples_touched,
+            "timings": {"total_ms": self.elapsed_ms,
+                        "queue_ms": self.queue_ms},
+        }
+
+
+def response_from_query_result(request: SearchRequest, result,
+                               elapsed_ms: float) -> SearchResponse:
+    """Wrap a conceptual :class:`QueryResult` into the wire shape."""
+    hits = tuple(
+        Hit(key=",".join(f"{alias}:{key}"
+                         for alias, key in sorted(row.keys.items())),
+            score=row.score,
+            values=tuple(sorted(row.values.items())))
+        for row in result.rows)
+    return SearchResponse(
+        request=request, hits=hits, elapsed_ms=elapsed_ms,
+        degraded=result.degraded, cache_hit=result.cache_hit,
+        failed_nodes=tuple(sorted(result.failed_nodes)),
+        tuples_touched=result.tuples_touched, result=result)
+
+
+def response_from_ranking(request: SearchRequest, pairs, elapsed_ms: float,
+                          *, cache_hit: bool = False, degraded: bool = False,
+                          failed_nodes: tuple[str, ...] = (),
+                          tuples_touched: int = 0,
+                          result: object = None) -> SearchResponse:
+    """Wrap a ``[(url, score), ...]`` ranking into the wire shape."""
+    hits = tuple(Hit(key=url, score=score) for url, score in pairs)
+    return SearchResponse(
+        request=request, hits=hits, elapsed_ms=elapsed_ms,
+        degraded=degraded, cache_hit=cache_hit,
+        failed_nodes=tuple(failed_nodes), tuples_touched=tuples_touched,
+        result=result)

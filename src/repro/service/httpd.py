@@ -1,0 +1,152 @@
+"""The JSON/HTTP daemon over a :class:`SearchService`.
+
+``repro-search serve`` exposes the wire contract of
+:mod:`repro.service.api` on a stdlib
+:class:`~http.server.ThreadingHTTPServer` — one OS thread per
+connection, each funneling into the service's admission control, so
+HTTP concurrency is bounded by ``ServicePolicy`` rather than by the
+socket backlog:
+
+* ``POST /v1/search`` — body is :meth:`SearchRequest.to_dict`, reply
+  is :meth:`SearchResponse.to_dict` (both ``schema_version``-stamped),
+* ``GET /healthz`` — liveness + service state (503 once draining),
+* ``GET /metrics`` — the service status plus the active telemetry
+  metric snapshot.
+
+Status mapping is part of the contract: a shed request is **429** with
+a ``Retry-After`` header (never a 5xx — overload is flow control, not
+failure), a draining/closed service is **503**, a malformed request is
+**400**, and only an unexpected engine fault is **500**.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import QueryError, ReproError, ServiceClosedError, \
+    ServiceOverloadedError
+from repro.service.api import SCHEMA_VERSION, SearchRequest
+from repro.service.service import SearchService
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["SearchServiceServer", "serve"]
+
+
+class SearchServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SearchService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, service: SearchService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown_gracefully(self, timeout: float | None = None) -> bool:
+        """Drain the service, then stop accepting connections."""
+        drained = self.service.drain(timeout)
+        self.shutdown()
+        return drained
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-search"
+    # HTTP/1.1 keeps client connections alive across requests; every
+    # reply below carries an explicit Content-Length, as 1.1 requires
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:
+        # request logging is telemetry's job (service.request spans),
+        # not stderr's
+        pass
+
+    # -- routes -----------------------------------------------------------
+
+    def do_POST(self) -> None:
+        if self.path != "/v1/search":
+            self._send_error(404, f"no such endpoint {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            request = SearchRequest.from_dict(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            self._send_error(400, f"malformed request body: {exc}")
+            return
+        except QueryError as exc:
+            self._send_error(400, str(exc))
+            return
+        try:
+            response = self.server.service.search(request)
+        except ServiceOverloadedError as exc:
+            self._send_error(429, str(exc), retry_after=exc.retry_after,
+                             reason=exc.reason)
+            return
+        except ServiceClosedError as exc:
+            self._send_error(503, str(exc))
+            return
+        except QueryError as exc:
+            self._send_error(400, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error(500, f"engine failure: {exc}")
+            return
+        self._send_json(200, response.to_dict())
+
+    def do_GET(self) -> None:
+        if self.path == "/healthz":
+            status = self.server.service.status()
+            code = 200 if status["state"] == "running" else 503
+            self._send_json(code, status)
+            return
+        if self.path == "/metrics":
+            status = self.server.service.status()
+            status["metrics"] = get_telemetry().metrics.snapshot()
+            self._send_json(200, status)
+            return
+        self._send_error(404, f"no such endpoint {self.path!r}")
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _send_json(self, code: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, code: int, message: str,
+                    retry_after: float | None = None,
+                    reason: str | None = None) -> None:
+        payload: dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
+            "error": message,
+        }
+        headers: dict[str, str] = {}
+        if retry_after is not None:
+            payload["retry_after"] = retry_after
+            payload["reason"] = reason
+            # Retry-After is integral seconds; round up so clients never
+            # retry before the bucket actually has a token
+            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+        self._send_json(code, payload, headers)
+
+
+def serve(service: SearchService, host: str = "127.0.0.1",
+          port: int = 0) -> SearchServiceServer:
+    """Bind a server (port 0 picks an ephemeral port); caller runs
+    ``serve_forever`` — or drives it from a background thread, as the
+    tests do."""
+    return SearchServiceServer(service, host, port)

@@ -1,0 +1,92 @@
+"""A write-preferring reader–writer lock for the search service.
+
+Queries are pure reads and may run concurrently with each other; index
+writes (``add_documents``/``reindex``/``refresh``/snapshot restore)
+must run alone — concurrent with neither readers nor other writers —
+or a query could observe a torn index (a document removed but not yet
+re-added mid-``reindex``, per-node IR relations half-rebuilt).
+
+Write preference: once a writer is waiting, newly arriving readers
+queue behind it.  A digital library's read traffic is effectively
+continuous, so a read-preferring lock would starve maintenance
+forever; with write preference the writer waits only for the readers
+already admitted.
+
+The lock is deliberately not reentrant — a reader upgrading to writer
+(or recursively re-acquiring) deadlocks by design, because upgrade
+semantics under concurrency are exactly the kind of subtle wrong this
+layer exists to rule out.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["RwLock"]
+
+
+class RwLock:
+    """Many concurrent readers or one writer, writers preferred."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- readers ----------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writers ----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (status endpoints, tests) --------------------------
+
+    def status(self) -> dict[str, int | bool]:
+        with self._cond:
+            return {"readers": self._readers,
+                    "writer_active": self._writer_active,
+                    "writers_waiting": self._writers_waiting}

@@ -1,0 +1,276 @@
+"""The thread-safe search service: the only sanctioned query path.
+
+:class:`SearchService` wraps an engine (the integrated
+:class:`~repro.core.engine.SearchEngine`, or any object exposing
+``execute(request)`` such as a bare
+:class:`~repro.ir.engine.IrEngine`) and layers on everything a live
+digital library needs that a naked engine lacks:
+
+* **Admission control** — a token bucket plus a bounded wait queue
+  (:mod:`repro.service.admission`); overload sheds requests with a
+  :class:`~repro.errors.ServiceOverloadedError` carrying
+  ``retry_after`` instead of queueing unboundedly.
+* **Single-flight coalescing** — identical in-flight requests execute
+  once (:mod:`repro.service.singleflight`), on top of the PR-3 query
+  cache which only collapses repeats *over time*.
+* **Reader–writer locking** — queries run concurrently with each
+  other but serialize against every write path
+  (``reindex``/``populate``/``recrawl``/``maintain``/snapshot
+  restore), so no request ever reads a torn index.
+* **Graceful drain** — :meth:`drain` finishes admitted requests and
+  rejects new ones with :class:`~repro.errors.ServiceClosedError`.
+
+Fully instrumented: ``service.request``/``service.write`` spans and
+``service.admitted/shed/coalesced/rejected`` counters, an
+``service.inflight`` gauge and queue/latency histograms.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cache import policy_signature
+from repro.errors import QueryError, ServiceClosedError, \
+    ServiceOverloadedError
+from repro.service.admission import AdmissionController, ServicePolicy
+from repro.service.api import SearchRequest, SearchResponse
+from repro.service.rwlock import RwLock
+from repro.service.singleflight import SingleFlight
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["SearchService", "ServicePolicy"]
+
+
+def _generation_of(engine) -> object:
+    """The engine's current index-generation stamp, best effort."""
+    stamp = getattr(engine, "_generation", None)
+    if callable(stamp):
+        return stamp()
+    return getattr(engine, "generation", None)
+
+
+class SearchService:
+    """An embeddable, concurrent front door over one search engine."""
+
+    def __init__(self, engine, policy: ServicePolicy | None = None):
+        self.engine = engine
+        self.policy = policy or ServicePolicy()
+        self._rw = RwLock()
+        self._admission = AdmissionController(self.policy)
+        self._flights = SingleFlight()
+        self._lifecycle = threading.Condition()
+        self._state = "running"
+        self._inflight = 0
+        self._stats_lock = threading.Lock()
+        self._counters = {"admitted": 0, "shed": 0, "coalesced": 0,
+                          "rejected": 0, "writes": 0}
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def search(self, request: SearchRequest) -> SearchResponse:
+        """Admit, coalesce and execute one request under the read lock."""
+        if not isinstance(request, SearchRequest):
+            raise QueryError("SearchService.search takes a SearchRequest "
+                             f"(got {type(request).__name__}); build one "
+                             "with repro.service.SearchRequest")
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("service.request", mode=request.mode,
+                                   trace_id=request.trace_id) as span:
+            self._enter(telemetry)
+            try:
+                try:
+                    queue_ms = self._admission.admit()
+                except ServiceOverloadedError as error:
+                    self._count("shed")
+                    telemetry.metrics.counter("service.shed",
+                                              reason=error.reason).add(1)
+                    span.set_attributes(shed=True, reason=error.reason)
+                    raise
+                self._count("admitted")
+                telemetry.metrics.counter("service.admitted").add(1)
+                telemetry.metrics.histogram("service.queue_ms") \
+                    .observe(queue_ms)
+                try:
+                    response, coalesced = self._run(request)
+                finally:
+                    self._admission.release()
+                if coalesced:
+                    self._count("coalesced")
+                    telemetry.metrics.counter("service.coalesced").add(1)
+                response = response.annotate(queue_ms=queue_ms,
+                                             coalesced=coalesced)
+                span.set_attributes(rows=len(response.hits),
+                                    cache_hit=response.cache_hit,
+                                    coalesced=coalesced,
+                                    degraded=response.degraded)
+                telemetry.metrics.histogram("service.request_ms") \
+                    .observe(response.elapsed_ms)
+                return response
+            finally:
+                self._leave(telemetry)
+
+    def submit(self, query: str, mode: str = "conceptual",
+               policy=None, trace_id: str | None = None) -> SearchResponse:
+        """Convenience wrapper: build the request, run :meth:`search`."""
+        from repro.core.config import ExecutionPolicy
+
+        return self.search(SearchRequest(
+            query=query, mode=mode,
+            policy=policy if policy is not None else ExecutionPolicy(),
+            trace_id=trace_id))
+
+    def _run(self, request: SearchRequest
+             ) -> tuple[SearchResponse, bool]:
+        if not self.policy.coalesce:
+            return self._execute(request), False
+        key = (request.mode, request.query.strip(),
+               policy_signature(request.policy),
+               _generation_of(self.engine))
+        return self._flights.run(key, lambda: self._execute(request))
+
+    def _execute(self, request: SearchRequest) -> SearchResponse:
+        with self._rw.read_locked():
+            return self.engine.execute(request)
+
+    # ------------------------------------------------------------------
+    # the write side (serialized against all queries)
+    # ------------------------------------------------------------------
+
+    @property
+    def _ir(self):
+        return getattr(self.engine, "ir", self.engine)
+
+    def _write(self, name: str, operation):
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("service.write", operation=name):
+            with self._rw.write_locked():
+                outcome = operation()
+        self._count("writes")
+        telemetry.metrics.counter("service.writes", operation=name).add(1)
+        return outcome
+
+    def reindex(self, url: str, text: str) -> None:
+        """Replace one document's index entry, atomically for readers."""
+        self._write("reindex", lambda: self._ir.reindex(url, text))
+
+    def remove(self, url: str) -> None:
+        """Un-index one document, atomically for readers."""
+        self._write("remove", lambda: self._ir.remove(url))
+
+    def add_documents(self, documents, policy=None) -> None:
+        """Bulk-index on the clustered backend (see DistributedIndex)."""
+        self._write("add_documents",
+                    lambda: self._ir.index.add_documents(documents, policy))
+
+    def populate(self):
+        return self._write("populate", self.engine.populate)
+
+    def recrawl(self):
+        return self._write("recrawl", self.engine.recrawl)
+
+    def maintain(self):
+        return self._write("maintain", self.engine.maintain)
+
+    def snapshot(self, directory, keep: int = 3):
+        """Checkpoint the engine; writes serialize against queries
+        because saving materialises deferred IDF refreshes."""
+        from repro.persistence import save_engine
+
+        return self._write("snapshot",
+                           lambda: save_engine(self.engine, directory,
+                                               keep=keep))
+
+    def restore(self, directory, *, verify: bool = True,
+                on_corrupt: str = "raise") -> None:
+        """Swap in an engine restored from a checkpoint, under the
+        write lock — queries in flight finish against the old engine;
+        the next admitted query sees the restored one."""
+        from repro.persistence import load_engine
+
+        def swap():
+            self.engine = load_engine(
+                directory, self.engine.schema, self.engine.server,
+                extractor=self.engine.extractor, verify=verify,
+                on_corrupt=on_corrupt)
+
+        self._write("restore", swap)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _enter(self, telemetry) -> None:
+        with self._lifecycle:
+            if self._state != "running":
+                self._count("rejected")
+                telemetry.metrics.counter("service.rejected").add(1)
+                raise ServiceClosedError(
+                    f"service is {self._state}; not accepting requests")
+            self._inflight += 1
+        telemetry.metrics.gauge("service.inflight").set(self._inflight)
+
+    def _leave(self, telemetry) -> None:
+        with self._lifecycle:
+            self._inflight -= 1
+            telemetry.metrics.gauge("service.inflight").set(self._inflight)
+            self._lifecycle.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting, wait for in-flight requests; True if empty.
+
+        Graceful shutdown: every request admitted before the drain
+        finishes normally; every later arrival is rejected with
+        :class:`ServiceClosedError`.  A timeout leaves the service in
+        the ``draining`` state (still rejecting) with stragglers
+        running.
+        """
+        with self._lifecycle:
+            if self._state == "running":
+                self._state = "draining"
+            drained = self._lifecycle.wait_for(
+                lambda: self._inflight == 0, timeout)
+            if drained:
+                self._state = "closed"
+            return drained
+
+    def close(self) -> None:
+        self.drain()
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # introspection (healthz / metrics endpoints, tests)
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        with self._stats_lock:
+            self._counters[name] += 1
+
+    def status(self) -> dict[str, object]:
+        """A JSON-friendly liveness/throughput snapshot."""
+        from repro.service.api import SCHEMA_VERSION
+
+        with self._stats_lock:
+            counters = dict(self._counters)
+        with self._lifecycle:
+            state = self._state
+            inflight = self._inflight
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "state": state,
+            "inflight": inflight,
+            "admission": self._admission.status(),
+            "lock": self._rw.status(),
+            "flights": self._flights.status(),
+            "counters": counters,
+        }

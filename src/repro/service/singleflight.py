@@ -1,0 +1,82 @@
+"""Single-flight coalescing of identical in-flight requests.
+
+The query cache (PR 3) collapses *repeats over time*; it does nothing
+for the thundering-herd case where the same popular query arrives on
+ten threads within one execution's latency — all ten miss the cache
+and all ten execute.  Single-flight closes that gap: the first arrival
+becomes the *leader* and executes; every identical request arriving
+while the leader is in flight becomes a *follower* and waits for the
+leader's response instead of executing.
+
+Keys must embed the index generation (the service builds them that
+way): a follower keyed to a *newer* generation than a running leader
+never joins that flight, so a write between leader start and follower
+arrival cannot serve the follower a pre-write answer.
+
+Leader failures propagate: followers re-raise the leader's exception —
+they asked the same question and would have failed the same way, and
+re-executing under overload is exactly the amplification this layer
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+__all__ = ["SingleFlight"]
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls per key: one executes, rest wait."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+
+    def run(self, key: Hashable, supplier: Callable[[], Any]
+            ) -> tuple[Any, bool]:
+        """``(result, coalesced)`` — coalesced is True for followers."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                flight.followers += 1
+                leader = False
+        if leader:
+            try:
+                flight.value = supplier()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                # unregister before waking followers: a request arriving
+                # after completion starts a fresh flight instead of
+                # joining a finished one
+                with self._lock:
+                    del self._flights[key]
+                flight.done.set()
+            return flight.value, False
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, True
+
+    def status(self) -> dict[str, int]:
+        with self._lock:
+            return {"flights": len(self._flights),
+                    "followers": sum(flight.followers
+                                     for flight in self._flights.values())}

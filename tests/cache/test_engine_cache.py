@@ -110,20 +110,18 @@ class TestSearchUrlsParity:
         for (_, left), (_, right) in zip(flat, distributed):
             assert left == pytest.approx(right)
 
-    def test_legacy_n_kwarg_warns_and_is_honored(self):
+    def test_legacy_n_kwarg_is_rejected(self):
         ir = IrEngine()
         for url, text in corpus(documents=20):
             ir.index(url, text)
-        with pytest.warns(DeprecationWarning):
-            results = ir.search_urls("trophy champion", n=2)
-        assert len(results) == 2
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            ir.search_urls("trophy champion", n=2)
 
-    def test_clustered_legacy_n_kwarg_warns_too(self):
+    def test_clustered_legacy_n_kwarg_is_rejected_too(self):
         clustered = ClusterIrEngine(cluster_size=2)
         clustered.index.add_documents(corpus(documents=20))
-        with pytest.warns(DeprecationWarning):
-            results = clustered.search_urls("trophy champion", n=2)
-        assert len(results) == 2
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            clustered.search_urls("trophy champion", n=2)
 
 
 class TestCliFlags:

@@ -69,7 +69,7 @@ class TestSingleRefreshRegression:
         # again inside the fragment build — one index mutation must cost
         # exactly one refresh, however the query comes in
         with telemetry_session() as telemetry:
-            engine.search_fragmented("trophy champion", n=5)
+            engine.search_fragmented("trophy champion", policy=ExecutionPolicy(n=5))
             assert telemetry.metrics.sum_counters("ir.idf_refresh") == 1
             assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
                 == 1
@@ -77,19 +77,19 @@ class TestSingleRefreshRegression:
     def test_repeated_queries_never_refresh_again(self, engine):
         with telemetry_session() as telemetry:
             # distinct queries so the query cache cannot short-circuit
-            engine.search_fragmented("trophy", n=5)
-            engine.search_fragmented("champion", n=5)
-            engine.search("trophy w0", n=5)
-            engine.search("w1 w2", n=5)
+            engine.search_fragmented("trophy", policy=ExecutionPolicy(n=5))
+            engine.search_fragmented("champion", policy=ExecutionPolicy(n=5))
+            engine.search("trophy w0", policy=ExecutionPolicy(n=5))
+            engine.search("w1 w2", policy=ExecutionPolicy(n=5))
             assert telemetry.metrics.sum_counters("ir.idf_refresh") == 1
             assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
                 == 1
 
     def test_mutation_triggers_one_more_refresh(self, engine):
         with telemetry_session() as telemetry:
-            engine.search_fragmented("trophy", n=5)
+            engine.search_fragmented("trophy", policy=ExecutionPolicy(n=5))
             engine.index("doc:new", "trophy trophy champion")
-            engine.search_fragmented("champion", n=5)
+            engine.search_fragmented("champion", policy=ExecutionPolicy(n=5))
             assert telemetry.metrics.sum_counters("ir.idf_refresh") == 2
             assert telemetry.metrics.sum_counters("ir.fragment_rebuilds") \
                 == 2
@@ -126,9 +126,9 @@ class TestEngineGenerationSurface:
 
     def test_search_results_unchanged_by_laziness(self, engine):
         # deferred refresh must not change what queries return
-        lazy = engine.search("trophy champion", n=10,
-                             policy=ExecutionPolicy(cache=False))
+        lazy = engine.search("trophy champion",
+                             policy=ExecutionPolicy(n=10, cache=False))
         engine.relations.refresh_idf()
-        eager = engine.search("trophy champion", n=10,
-                              policy=ExecutionPolicy(cache=False))
+        eager = engine.search("trophy champion",
+                              policy=ExecutionPolicy(n=10, cache=False))
         assert lazy == eager

@@ -11,77 +11,78 @@ pytestmark = pytest.mark.cache
 
 class TestHitAfterWarm:
     def test_second_search_is_a_hit(self, engine):
-        first = engine.search("trophy champion", n=5)
+        first = engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         assert engine.query_cache.stats()["misses"] == 1
-        second = engine.search("trophy champion", n=5)
+        second = engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         stats = engine.query_cache.stats()
         assert stats["hits"] == 1
         assert second == first
 
     def test_cached_ranking_is_bit_identical(self, engine):
-        uncached = engine.search("trophy champion w0",
-                                 n=10, policy=ExecutionPolicy(cache=False))
-        warm = engine.search("trophy champion w0", n=10)     # populates
-        cached = engine.search("trophy champion w0", n=10)   # serves
+        uncached = engine.search(
+            "trophy champion w0",
+            policy=ExecutionPolicy(n=10, cache=False))
+        warm = engine.search("trophy champion w0", policy=ExecutionPolicy(n=10))     # populates
+        cached = engine.search("trophy champion w0", policy=ExecutionPolicy(n=10))   # serves
         assert cached == uncached
         assert warm == uncached
         assert [score for _, score in cached] \
             == [score for _, score in uncached]
 
     def test_hit_returns_a_fresh_list(self, engine):
-        first = engine.search("trophy", n=5)
+        first = engine.search("trophy", policy=ExecutionPolicy(n=5))
         first.append(("tampered", 0.0))
-        second = engine.search("trophy", n=5)
+        second = engine.search("trophy", policy=ExecutionPolicy(n=5))
         assert ("tampered", 0.0) not in second
 
     def test_normalized_spellings_share_an_entry(self, engine):
-        engine.search("Trophy   CHAMPION", n=5)
-        engine.search("trophy champion", n=5)
+        engine.search("Trophy   CHAMPION", policy=ExecutionPolicy(n=5))
+        engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         assert engine.query_cache.stats()["hits"] == 1
 
     def test_fragmented_search_caches_too(self, engine):
-        first = engine.search_fragmented("trophy champion", n=5)
-        second = engine.search_fragmented("trophy champion", n=5)
+        first = engine.search_fragmented("trophy champion", policy=ExecutionPolicy(n=5))
+        second = engine.search_fragmented("trophy champion", policy=ExecutionPolicy(n=5))
         assert second.ranking == first.ranking
         assert engine.query_cache.stats()["hits"] == 1
 
     def test_distinct_n_are_distinct_entries(self, engine):
-        engine.search("trophy", n=5)
-        engine.search("trophy", n=10)
+        engine.search("trophy", policy=ExecutionPolicy(n=5))
+        engine.search("trophy", policy=ExecutionPolicy(n=10))
         assert engine.query_cache.stats()["hits"] == 0
         assert engine.query_cache.stats()["misses"] == 2
 
 
 class TestInvalidation:
     def test_index_invalidates(self, engine):
-        before = engine.search("trophy champion", n=5)
+        before = engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         engine.index("doc:fresh", "trophy trophy trophy champion")
-        after = engine.search("trophy champion", n=5)
+        after = engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         assert engine.query_cache.stats()["hits"] == 0
         assert after != before
         assert "doc:fresh" in {engine.relations.doc_url(doc)
                                for doc, _ in after}
 
     def test_remove_invalidates(self, engine):
-        before = engine.search("trophy champion", n=5)
+        before = engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         top_url = engine.relations.doc_url(before[0][0])
         engine.remove(top_url)
-        after = engine.search("trophy champion", n=5)
+        after = engine.search("trophy champion", policy=ExecutionPolicy(n=5))
         assert top_url not in {engine.relations.doc_url(doc)
                                for doc, _ in after}
 
     def test_reindex_invalidates(self, engine):
-        engine.search("melbournepark", n=5)
+        engine.search("melbournepark", policy=ExecutionPolicy(n=5))
         engine.reindex("http://site/p0", "melbournepark melbournepark")
-        after = engine.search("melbournepark", n=5)
+        after = engine.search("melbournepark", policy=ExecutionPolicy(n=5))
         assert engine.query_cache.stats()["hits"] == 0
         assert {engine.relations.doc_url(doc) for doc, _ in after} \
             == {"http://site/p0"}
 
     def test_stale_entries_age_out_rather_than_match(self, engine):
-        engine.search("trophy", n=5)
+        engine.search("trophy", policy=ExecutionPolicy(n=5))
         engine.index("doc:fresh", "unrelated words")
-        engine.search("trophy", n=5)
+        engine.search("trophy", policy=ExecutionPolicy(n=5))
         # the stale entry is still *stored* (no purge on write path) but
         # can never be matched again; both executions were misses
         assert engine.query_cache.stats()["misses"] == 2
@@ -90,24 +91,24 @@ class TestInvalidation:
 
 class TestBypass:
     def test_no_cache_policy_never_touches_the_cache(self, engine):
-        policy = ExecutionPolicy(cache=False)
-        engine.search("trophy champion", n=5, policy=policy)
-        engine.search("trophy champion", n=5, policy=policy)
+        policy = ExecutionPolicy(n=5, cache=False)
+        engine.search("trophy champion", policy=policy)
+        engine.search("trophy champion", policy=policy)
         stats = engine.query_cache.stats()
         assert stats["hits"] == 0
         assert stats["misses"] == 0
         assert stats["entries"] == 0
 
     def test_no_cache_still_returns_the_same_ranking(self, engine):
-        cached_path = engine.search("trophy w0", n=5)
-        bypassed = engine.search("trophy w0", n=5,
-                                 policy=ExecutionPolicy(cache=False))
+        cached_path = engine.search("trophy w0", policy=ExecutionPolicy(n=5))
+        bypassed = engine.search(
+            "trophy w0", policy=ExecutionPolicy(n=5, cache=False))
         assert bypassed == cached_path
 
     def test_telemetry_records_no_cache_traffic_when_bypassed(self, engine):
         with telemetry_session() as telemetry:
-            engine.search("trophy", n=5,
-                          policy=ExecutionPolicy(cache=False))
+            engine.search("trophy",
+                          policy=ExecutionPolicy(n=5, cache=False))
             counters = telemetry.metrics.snapshot()["counters"]
             assert "cache.miss{cache=ir}" not in counters
             assert "cache.hit{cache=ir}" not in counters
@@ -115,23 +116,24 @@ class TestBypass:
 
 class TestEvictionAtCapacity:
     def test_lru_eviction_under_small_capacity(self, engine):
-        policy = ExecutionPolicy(cache_size=2)
-        engine.search("trophy", n=5, policy=policy)
-        engine.search("champion", n=5, policy=policy)
-        engine.search("w0 w1", n=5, policy=policy)       # evicts "trophy"
+        policy = ExecutionPolicy(n=5, cache_size=2)
+        engine.search("trophy", policy=policy)
+        engine.search("champion", policy=policy)
+        engine.search("w0 w1", policy=policy)            # evicts "trophy"
         stats = engine.query_cache.stats()
         assert stats["entries"] == 2
         assert stats["evictions"] == 1
         # the evicted query misses again, the survivors still hit
-        engine.search("champion", n=5, policy=policy)
+        engine.search("champion", policy=policy)
         assert engine.query_cache.stats()["hits"] == 1
-        engine.search("trophy", n=5, policy=policy)
+        engine.search("trophy", policy=policy)
         assert engine.query_cache.stats()["misses"] == 4
 
     def test_policy_resizes_the_live_cache(self, engine):
-        engine.search("trophy", n=5)
+        engine.search("trophy", policy=ExecutionPolicy(n=5))
         assert engine.query_cache.stats()["capacity"] == 128
-        engine.search("trophy", n=5, policy=ExecutionPolicy(cache_size=3))
+        engine.search("trophy",
+                      policy=ExecutionPolicy(n=5, cache_size=3))
         assert engine.query_cache.stats()["capacity"] == 3
 
 
@@ -142,10 +144,10 @@ class TestModelSeparation:
         for ir in (tfidf, hiemstra):
             ir.index("doc:a", "trophy champion trophy")
             ir.index("doc:b", "champion")
-        tfidf.search("trophy champion", n=5)
+        tfidf.search("trophy champion", policy=ExecutionPolicy(n=5))
         # distinct engines have distinct caches; the model is also in
         # the key, so even a shared cache could not cross-serve
         assert hiemstra.query_cache.stats()["entries"] == 0
-        first = hiemstra.search("trophy champion", n=5)
+        first = hiemstra.search("trophy champion", policy=ExecutionPolicy(n=5))
         assert hiemstra.query_cache.stats()["misses"] == 1
-        assert hiemstra.search("trophy champion", n=5) == first
+        assert hiemstra.search("trophy champion", policy=ExecutionPolicy(n=5)) == first

@@ -48,35 +48,32 @@ class TestPolicyValidation:
         assert EngineConfig().execution == ExecutionPolicy()
 
 
-class TestDeprecatedKwargs:
-    def test_n_kwarg_warns_and_works(self):
+class TestRemovedKwargs:
+    def test_n_kwarg_raises_naming_the_replacement(self):
         index = build_index(cluster_size=2)
-        with pytest.warns(DeprecationWarning, match="ExecutionPolicy"):
-            legacy = index.query("trophy", n=5)
-        modern = index.query("trophy", policy=ExecutionPolicy(n=5))
-        assert legacy.ranking == modern.ranking
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            index.query("trophy", n=5)
 
-    def test_prune_kwarg_warns_and_works(self):
+    def test_prune_kwarg_raises_too(self):
         index = build_index(cluster_size=2)
-        with pytest.warns(DeprecationWarning):
-            legacy = index.query("trophy", n=5, prune=False)
-        modern = index.query("trophy",
-                             policy=ExecutionPolicy(n=5, prune=False))
-        assert legacy.ranking == modern.ranking
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            index.query("trophy", n=5, prune=False)
 
-    def test_policy_alone_does_not_warn(self):
-        import warnings
-
+    def test_policy_keyword_is_the_one_true_spelling(self):
         index = build_index(cluster_size=2)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            index.query("trophy", policy=ExecutionPolicy(n=5))
+        result = index.query("trophy", policy=ExecutionPolicy(n=5))
+        assert len(result.ranking) <= 5
 
-    def test_coerce_overrides_policy_fields(self):
-        with pytest.warns(DeprecationWarning):
-            policy = ExecutionPolicy.coerce(
-                ExecutionPolicy(n=10, retries=3), n=5)
-        assert policy.n == 5 and policy.retries == 3
+    def test_positional_int_is_rejected(self):
+        # the pre-PR-2 signature was query(text, n) — a stale caller
+        # must get a TypeError, not have its n swallowed as a policy
+        index = build_index(cluster_size=2)
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            index.query("trophy", 5)
+
+    def test_coerce_rejects_the_removed_kwargs(self):
+        with pytest.raises(TypeError, match="ExecutionPolicy"):
+            ExecutionPolicy.coerce(ExecutionPolicy(n=10, retries=3), n=5)
 
 
 class TestEmptyCluster:

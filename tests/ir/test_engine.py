@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.config import ExecutionPolicy
 from repro.ir.engine import IrEngine
 
 
@@ -52,8 +53,10 @@ class TestFragmentsCache:
         assert second.total_tuples() > first.total_tuples()
 
     def test_search_fragmented_matches_search(self, engine):
-        exact = engine.search("tennis champion", n=3)
-        fragmented = engine.search_fragmented("tennis champion", n=3)
+        exact = engine.search("tennis champion",
+                              policy=ExecutionPolicy(n=3))
+        fragmented = engine.search_fragmented("tennis champion",
+                                              policy=ExecutionPolicy(n=3))
         assert [doc for doc, _ in fragmented.ranking] \
             == [doc for doc, _ in exact]
 

@@ -1,0 +1,67 @@
+"""Shared fixtures for the service suite.
+
+Every test runs under the thread-leak check from the cluster suite: a
+service layer whose tests leak worker threads is a service layer that
+leaks them in production, where they pin the index in memory and keep
+the process from exiting on drain.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.ir.engine import IrEngine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Fail any test that leaks a live non-daemon thread."""
+    before = set(threading.enumerate())
+    yield
+    leaked = set()
+    # drained services and shut-down HTTP servers stop synchronously,
+    # but give unwinding workers a short grace period
+    for _ in range(100):
+        leaked = {thread for thread in threading.enumerate()
+                  if thread not in before
+                  and not thread.daemon and thread.is_alive()}
+        if not leaked:
+            break
+        time.sleep(0.01)
+    assert not leaked, \
+        f"leaked non-daemon threads: {sorted(t.name for t in leaked)}"
+
+
+def corpus(documents=40, seed=7):
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(60)]
+    weights = [1.0 / (i + 1) for i in range(60)]
+    docs = []
+    for d in range(documents):
+        words = rng.choices(vocab, weights=weights, k=30)
+        if d % 5 == 0:
+            words += ["trophy", "champion"]
+        docs.append((f"doc:p{d}", " ".join(words)))
+    return docs
+
+
+def build_ir_engine(documents=40) -> IrEngine:
+    engine = IrEngine(fragment_count=4)
+    for url, text in corpus(documents):
+        engine.index(url, text)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def search_engine() -> SearchEngine:
+    server, _ = build_ausopen_site(players=8, articles=4, videos=2,
+                                   frames_per_shot=6)
+    engine = SearchEngine(australian_open_schema(), server,
+                          EngineConfig(fragment_count=4))
+    engine.populate()
+    return engine

@@ -1,0 +1,128 @@
+"""Admission control under a fake clock: buckets, queues, shedding."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceOverloadedError
+from repro.service.admission import (AdmissionController, ServicePolicy,
+                                     TokenBucket)
+
+pytestmark = pytest.mark.service
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestServicePolicy:
+    def test_defaults_are_sane(self):
+        policy = ServicePolicy()
+        assert policy.max_inflight >= 1 and policy.coalesce
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_inflight": 0}, {"max_queue": -1},
+        {"queue_timeout_ms": 0.0}, {"rate": 0.0}, {"burst": 0},
+    ])
+    def test_bad_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServicePolicy(**kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_starvation(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        assert bucket.try_acquire() > 0.0
+
+    def test_refills_continuously(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # half a second at 2/s = one token
+        assert bucket.try_acquire() == 0.0
+
+    def test_retry_after_predicts_the_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        retry_after = bucket.try_acquire()
+        assert retry_after == pytest.approx(0.25)
+        clock.advance(retry_after)
+        assert bucket.try_acquire() == 0.0
+
+
+class TestAdmissionController:
+    def test_admits_up_to_max_inflight(self):
+        controller = AdmissionController(ServicePolicy(max_inflight=2,
+                                                       max_queue=0))
+        assert controller.admit() == 0.0
+        assert controller.admit() == 0.0
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit()
+        assert excinfo.value.reason == "queue"
+        assert excinfo.value.retry_after > 0.0
+        controller.release()
+        controller.release()
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(ServicePolicy(max_inflight=1,
+                                                       max_queue=0))
+        controller.admit()
+        controller.release()
+        assert controller.admit() == 0.0
+        controller.release()
+
+    def test_rate_limit_sheds_with_reason_rate(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            ServicePolicy(rate=1.0, burst=1), clock=clock)
+        controller.admit()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit()
+        assert excinfo.value.reason == "rate"
+        assert excinfo.value.retry_after > 0.0
+        controller.release()
+
+    def test_queue_timeout_sheds_with_reason_timeout(self):
+        controller = AdmissionController(
+            ServicePolicy(max_inflight=1, max_queue=4,
+                          queue_timeout_ms=30.0))
+        controller.admit()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            controller.admit()  # queues, then times out after 30ms
+        assert excinfo.value.reason == "timeout"
+        controller.release()
+
+    def test_queued_request_reports_its_wait(self):
+        controller = AdmissionController(
+            ServicePolicy(max_inflight=1, max_queue=1,
+                          queue_timeout_ms=2000.0))
+        controller.admit()
+        queued_ms = []
+
+        def waiter():
+            queued_ms.append(controller.admit())
+            controller.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # let the waiter actually enter the queue before releasing
+        for _ in range(200):
+            if controller.status()["waiting"] == 1:
+                break
+            threading.Event().wait(0.005)
+        controller.release()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert len(queued_ms) == 1 and queued_ms[0] >= 0.0
+        assert controller.status() == {"active": 0, "waiting": 0}

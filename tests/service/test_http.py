@@ -1,0 +1,143 @@
+"""HTTP round-trips against the JSON daemon on an ephemeral port."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import ExecutionPolicy
+from repro.service import (SearchRequest, SearchService, ServicePolicy,
+                           serve)
+from repro.service.api import SCHEMA_VERSION
+
+from tests.service.conftest import build_ir_engine
+
+pytestmark = pytest.mark.service
+
+
+def post(base, payload, timeout=5.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + "/v1/search", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+@pytest.fixture()
+def server():
+    engine = build_ir_engine(documents=30)
+    service = SearchService(engine, ServicePolicy(
+        max_inflight=4, max_queue=8))
+    httpd = serve(service, "127.0.0.1", 0)  # port 0: ephemeral
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown_gracefully(5.0)
+        httpd.server_close()
+        thread.join(5.0)
+
+
+class TestSearchEndpoint:
+    def test_roundtrip_speaks_the_versioned_contract(self, server):
+        request = SearchRequest(query="trophy champion", mode="content",
+                                policy=ExecutionPolicy(n=3),
+                                trace_id="req-42")
+        status, payload = post(server.address, request.to_dict())
+        assert status == 200
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["trace_id"] == "req-42"
+        assert payload["rows"] == len(payload["hits"]) <= 3
+        assert all(hit["score"] >= 0.0 for hit in payload["hits"])
+        assert payload["timings"]["total_ms"] >= 0.0
+
+    def test_malformed_json_is_a_400(self, server):
+        request = urllib.request.Request(
+            server.address + "/v1/search", data=b"{not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 400
+
+    def test_bad_request_fields_are_a_400_with_the_reason(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post(server.address, {"query": "trophy", "mode": "semantic"})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert "mode" in body["error"]
+
+    def test_unknown_endpoint_is_a_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.address + "/v2/search",
+                                   timeout=5.0)
+        assert excinfo.value.code == 404
+
+
+class TestOverloadIsNeverA5xx:
+    def test_rate_limited_requests_get_429_with_retry_after(self):
+        engine = build_ir_engine(documents=30)
+        service = SearchService(engine, ServicePolicy(rate=0.5, burst=1))
+        httpd = serve(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            request = SearchRequest(query="trophy", mode="content")
+            status, _ = post(httpd.address, request.to_dict())
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(httpd.address, request.to_dict())
+            assert excinfo.value.code == 429
+            assert float(excinfo.value.headers["Retry-After"]) >= 1.0
+            body = json.loads(excinfo.value.read())
+            assert body["reason"] == "rate"
+            assert body["retry_after"] > 0.0
+        finally:
+            httpd.shutdown_gracefully(5.0)
+            httpd.server_close()
+            thread.join(5.0)
+
+
+class TestIntrospectionEndpoints:
+    def test_healthz_reports_running(self, server):
+        with urllib.request.urlopen(server.address + "/healthz",
+                                    timeout=5.0) as reply:
+            payload = json.loads(reply.read())
+        assert reply.status == 200
+        assert payload["state"] == "running"
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_metrics_carries_counters_and_telemetry(self, server):
+        request = SearchRequest(query="trophy", mode="content")
+        post(server.address, request.to_dict())
+        with urllib.request.urlopen(server.address + "/metrics",
+                                    timeout=5.0) as reply:
+            payload = json.loads(reply.read())
+        assert payload["counters"]["admitted"] >= 1
+        assert "metrics" in payload
+
+    def test_draining_service_fails_healthz_and_sheds_searches(self):
+        engine = build_ir_engine(documents=20)
+        service = SearchService(engine)
+        httpd = serve(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            service.drain(5.0)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(httpd.address + "/healthz",
+                                       timeout=5.0)
+            assert excinfo.value.code == 503
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(httpd.address,
+                     SearchRequest(query="trophy",
+                                   mode="content").to_dict())
+            assert excinfo.value.code == 503
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(5.0)

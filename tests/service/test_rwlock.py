@@ -1,0 +1,86 @@
+"""The write-preferring reader–writer lock."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.rwlock import RwLock
+
+pytestmark = pytest.mark.service
+
+
+def run_all(threads, timeout=5.0):
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+class TestReaders:
+    def test_readers_share_the_lock(self):
+        lock = RwLock()
+        inside = threading.Barrier(3, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three must be inside at once
+
+        run_all([threading.Thread(target=reader) for _ in range(3)])
+        assert lock.status() == {"readers": 0, "writer_active": False,
+                                 "writers_waiting": 0}
+
+
+class TestWriterExclusion:
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RwLock()
+        active = []
+        torn = []
+
+        def writer(tag):
+            with lock.write_locked():
+                active.append(tag)
+                time.sleep(0.01)
+                if len(active) > 1:
+                    torn.append(tuple(active))
+                active.remove(tag)
+
+        def reader():
+            with lock.read_locked():
+                if active:
+                    torn.append(("reader-saw", tuple(active)))
+
+        run_all([threading.Thread(target=writer, args=(i,))
+                 for i in range(3)]
+                + [threading.Thread(target=reader) for _ in range(6)])
+        assert torn == []
+
+    def test_write_preference_blocks_new_readers(self):
+        lock = RwLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+        late_reader_ran_after_writer = []
+
+        def writer():
+            lock.acquire_write()
+            writer_done.set()
+            lock.release_write()
+
+        def late_reader():
+            # arrives while the writer is queued; with write preference
+            # it must run only after the writer finished
+            while lock.status()["writers_waiting"] == 0:
+                time.sleep(0.001)
+            with lock.read_locked():
+                late_reader_ran_after_writer.append(writer_done.is_set())
+
+        writer_thread = threading.Thread(target=writer)
+        reader_thread = threading.Thread(target=late_reader)
+        writer_thread.start()
+        reader_thread.start()
+        time.sleep(0.05)
+        lock.release_read()  # lets the writer in, then the late reader
+        writer_thread.join(5.0)
+        reader_thread.join(5.0)
+        assert late_reader_ran_after_writer == [True]

@@ -1,0 +1,77 @@
+"""Every legacy query method is a thin adapter over execute(request)."""
+
+import pytest
+
+from repro.core.config import EngineConfig, ExecutionPolicy
+from repro.errors import QueryError
+from repro.ir.engine import ClusterIrEngine
+from repro.service.api import SCHEMA_VERSION, SearchRequest
+
+from tests.service.conftest import build_ir_engine, corpus
+
+pytestmark = pytest.mark.service
+
+
+class TestIrEngineAdapters:
+    def test_search_equals_execute_content_mode(self):
+        engine = build_ir_engine()
+        policy = ExecutionPolicy(n=5)
+        adapter = engine.search("trophy champion", policy=policy)
+        response = engine.execute(SearchRequest(
+            query="trophy champion", mode="content", policy=policy))
+        ranked = [(engine.relations.doc_url(doc), score)
+                  for doc, score in adapter]
+        assert [(hit.key, hit.score) for hit in response.hits] == ranked
+
+    def test_search_urls_equals_execute_hits(self):
+        engine = build_ir_engine()
+        policy = ExecutionPolicy(n=5)
+        urls = engine.search_urls("trophy champion", policy=policy)
+        response = engine.execute(SearchRequest(
+            query="trophy champion", mode="content", policy=policy))
+        assert [(hit.key, hit.score) for hit in response.hits] == urls
+
+    def test_search_fragmented_returns_the_execute_result(self):
+        engine = build_ir_engine()
+        policy = ExecutionPolicy(n=5)
+        adapter = engine.search_fragmented("trophy champion",
+                                           policy=policy)
+        response = engine.execute(SearchRequest(
+            query="trophy champion", mode="fragmented", policy=policy))
+        assert adapter.ranking == response.result.ranking
+
+    def test_conceptual_mode_needs_the_integrated_engine(self):
+        engine = build_ir_engine()
+        with pytest.raises(QueryError, match="SearchEngine"):
+            engine.execute(SearchRequest(query="trophy"))
+
+
+class TestClusterAdapters:
+    def test_clustered_search_urls_equals_execute_hits(self):
+        clustered = ClusterIrEngine(cluster_size=3, fragment_count=4)
+        clustered.index.add_documents(corpus(documents=30))
+        policy = ExecutionPolicy(n=5)
+        urls = clustered.search_urls("trophy champion", policy=policy)
+        response = clustered.execute(SearchRequest(
+            query="trophy champion", mode="content", policy=policy))
+        assert [(hit.key, hit.score) for hit in response.hits] == urls
+        assert response.result.to_dict()["schema_version"] \
+            == SCHEMA_VERSION
+
+
+class TestSearchEngineAdapters:
+    def test_query_text_is_the_execute_result(self, search_engine):
+        query = ("SELECT p.name FROM Player p "
+                 "WHERE p.history CONTAINS 'Winner' TOP 5")
+        adapter = search_engine.query_text(query)
+        response = search_engine.execute(SearchRequest(query=query))
+        assert [row.values for row in adapter.rows] \
+            == [row.values for row in response.result.rows]
+        assert adapter.to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_content_mode_delegates_to_the_ir_engine(self, search_engine):
+        response = search_engine.execute(SearchRequest(
+            query="tennis", mode="content",
+            policy=ExecutionPolicy(n=3)))
+        assert response.hits
+        assert all(hit.score > 0.0 for hit in response.hits)
