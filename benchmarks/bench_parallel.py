@@ -88,6 +88,10 @@ def test_parallel_beats_sequential_wall_clock():
         "version": 1,
         "meta": {
             "suite": "bench_parallel",
+            # which execution backend produced these numbers — this
+            # suite measures the in-process thread fan-out; the process
+            # backend's numbers live in BENCH_replication.json
+            "backend": sequential.backend,
             "cluster_size": CLUSTER_SIZE,
             "node_latency_ms": NODE_LATENCY_MS,
             "rounds": ROUNDS,

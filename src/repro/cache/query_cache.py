@@ -48,13 +48,16 @@ def policy_signature(policy) -> tuple:
     ``cache`` / ``cache_size`` steer the cache itself and are excluded;
     everything else participates: ``n`` and ``prune`` shape the ranking
     directly, and the execution knobs (workers, deadline, retries,
-    backoff, failure mode) decide *which* ranking comes back when nodes
-    misbehave — a degraded-tolerant query must not be served a result
-    computed under different fault semantics.
+    backoff, failure mode, backend, hedging) decide *which* ranking
+    comes back when nodes misbehave — a degraded-tolerant query must
+    not be served a result computed under different fault semantics,
+    and a thread-backend result must not stand in for a process-backend
+    execution's accounting (the rankings are bit-identical, the
+    per-node bookkeeping is not).
     """
     return (policy.n, policy.prune, policy.max_workers,
             policy.node_deadline_ms, policy.retries, policy.backoff_ms,
-            policy.on_failure)
+            policy.on_failure, policy.backend, policy.hedge_after_ms)
 
 
 class QueryCache:

@@ -92,7 +92,8 @@ def _rebuild_from_manifest(snapshot: Path):
 def _cmd_populate(args: argparse.Namespace) -> int:
     server, _, schema, extractor = _build_site(args.site, args)
     engine = SearchEngine(schema, server,
-                          EngineConfig(fragment_count=args.fragments),
+                          EngineConfig(fragment_count=args.fragments,
+                                       cluster_size=args.cluster),
                           extractor=extractor)
     report = engine.populate()
     snapshot = Path(args.snapshot)
@@ -125,6 +126,8 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         retries=args.retries,
         backoff_ms=args.backoff_ms,
         on_failure=args.on_failure,
+        backend=args.backend,
+        hedge_after_ms=args.hedge_after_ms,
         cache=not args.no_cache,
         cache_size=args.cache_size)
 
@@ -147,20 +150,52 @@ def _add_policy_flags(command: argparse.ArgumentParser) -> None:
                        default="raise",
                        help="node failure semantics: raise an error or "
                             "degrade to the surviving nodes' ranking")
+    group.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="node execution backend: the in-process "
+                            "thread pool, or the shared-nothing "
+                            "process-per-node workers (needs a "
+                            "clustered index with replicas attached)")
+    group.add_argument("--hedge-after-ms", type=float, default=None,
+                       help="process backend: re-issue a straggling "
+                            "node read to another replica after this "
+                            "many milliseconds (default: no hedging)")
     group.add_argument("--no-cache", action="store_true",
                        help="bypass the generation-stamped query cache")
     group.add_argument("--cache-size", type=int, default=128,
                        help="LRU bound of the query cache (default: 128)")
+    group.add_argument("--replicas", type=int, default=2,
+                       help="replicas per node for --backend process "
+                            "(default: 2)")
+
+
+def _remote_index(engine):
+    """The engine's DistributedIndex, or a helpful error without one."""
+    index = getattr(getattr(engine, "ir", None), "index", None)
+    if index is None or not hasattr(index, "start_remote"):
+        raise ReproError(
+            "--backend process needs a clustered index; populate the "
+            "snapshot with --cluster N (N > 1) first")
+    return index
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.service import SearchRequest, SearchService
 
     engine = _load(args)
+    policy = _policy_from_args(args)
+    index = None
+    if policy.backend == "process":
+        index = _remote_index(engine)
+        index.start_remote(replication_factor=args.replicas)
     request = SearchRequest(query=args.query, mode=args.mode,
-                            policy=_policy_from_args(args))
-    with SearchService(engine) as service:
-        response = service.search(request)
+                            policy=policy)
+    try:
+        with SearchService(engine) as service:
+            response = service.search(request)
+    finally:
+        if index is not None:
+            index.stop_remote()
     if response.degraded:
         print(f"warning: degraded result, failed nodes: "
               f"{', '.join(sorted(response.failed_nodes))}",
@@ -196,6 +231,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import SearchService, ServicePolicy, serve
 
     engine = _load(args)
+    index = None
+    if args.backend == "process":
+        index = _remote_index(engine)
+        index.start_remote(replication_factor=args.replicas)
+        workers = sum(len(handles) for handles
+                      in index.remote.status()["nodes"].values())
+        print(f"process backend up: {workers} workers "
+              f"({args.replicas} replicas per node); requests opt in "
+              f'with policy {{"backend": "process"}}')
     policy = ServicePolicy(
         max_inflight=args.max_inflight, max_queue=args.max_queue,
         queue_timeout_ms=args.queue_timeout_ms,
@@ -215,6 +259,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
     finally:
         httpd.server_close()
+        if index is not None:
+            index.stop_remote()
     return 0
 
 
@@ -226,6 +272,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     # telemetry goes on before the engine is built so every server's
     # cost counter lands in the registry that the snapshot reads
     telemetry = enable() if args.query else None
+    index = None
     try:
         if args.snapshot:
             engine = _load(args)
@@ -242,6 +289,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if not args.query:
             return 0
         policy = _policy_from_args(args)
+        if policy.backend == "process":
+            index = _remote_index(engine)
+            index.start_remote(replication_factor=args.replicas)
         if args.warm:
             # warm the query cache so the measured run below is the
             # cached execution (cache.hit in the metric snapshot)
@@ -271,6 +321,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             print(f"telemetry report written to {args.json}")
         return 0
     finally:
+        if index is not None:
+            index.stop_remote()
         if telemetry is not None:
             disable()
 
@@ -334,6 +386,37 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workers(args: argparse.Namespace) -> int:
+    import time
+
+    if args.run:
+        # foreground: become one worker (what ReplicaSet spawns)
+        from repro.remote.worker import main as worker_main
+        return worker_main(["--host", args.host, "--port", str(args.port),
+                            "--name", args.name,
+                            "--fragments", str(args.fragments)])
+    from repro.ir.relations import IrRelations
+    from repro.remote.replicas import ReplicaSet
+
+    nodes = {f"node{i}": IrRelations() for i in range(args.count)}
+    replicas = ReplicaSet(nodes, replication_factor=1,
+                          fragment_count=args.fragments)
+    replicas.start()
+    try:
+        for node in nodes:
+            for handle in replicas.replicas[node]:
+                started = time.perf_counter()
+                info = handle.client.ping()
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                print(f"{handle.name}: pid {info['pid']} "
+                      f"port {handle.client.port} "
+                      f"ping {elapsed_ms:.2f}ms")
+    finally:
+        replicas.stop()
+    print(f"{args.count} workers spawned, pinged and shut down cleanly")
+    return 0
+
+
 def _cmd_paths(args: argparse.Namespace) -> int:
     engine = _load(args)
     print("conceptual store path summary:")
@@ -362,6 +445,10 @@ def _parser() -> argparse.ArgumentParser:
     populate.add_argument("--videos", type=int, default=4)
     populate.add_argument("--frames", type=int, default=8)
     populate.add_argument("--fragments", type=int, default=4)
+    populate.add_argument("--cluster", type=int, default=1,
+                          help="IR cluster size (N > 1 stores a "
+                               "distributed index, the prerequisite of "
+                               "--backend process at query/serve time)")
     populate.add_argument("--keep", type=int, default=3,
                           help="checkpoint generations to retain")
     populate.set_defaults(handler=_cmd_populate)
@@ -433,7 +520,32 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to wait for in-flight requests on "
                             "shutdown")
+    serve.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="with 'process', spawn shared-nothing "
+                            "process-per-node workers at startup; "
+                            "requests opt in per query via their "
+                            "execution policy")
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="replicas per node for --backend process "
+                            "(default: 2)")
     serve.set_defaults(handler=_cmd_serve)
+
+    workers = commands.add_parser(
+        "workers",
+        help="spawn and smoke-test shared-nothing node workers")
+    workers.add_argument("--count", type=int, default=2,
+                         help="workers to spawn for the smoke test")
+    workers.add_argument("--fragments", type=int, default=4)
+    workers.add_argument("--run", action="store_true",
+                         help="run ONE worker in the foreground instead "
+                              "(prints a ready line, serves until "
+                              "SIGTERM)")
+    workers.add_argument("--host", default="127.0.0.1")
+    workers.add_argument("--port", type=int, default=0,
+                         help="--run listen port; 0 picks one")
+    workers.add_argument("--name", default="worker")
+    workers.set_defaults(handler=_cmd_workers)
 
     stats = commands.add_parser(
         "stats", help="index statistics; with --query, a traced run")

@@ -16,8 +16,11 @@ node:
   :class:`~repro.cluster.faults.FaultInjector` delays wake immediately)
   and its outcome is marked ``timed_out``,
 * **retry** — a raising attempt is retried up to ``retries`` times with
-  exponential backoff starting at ``backoff_ms`` (the backoff sleep is
-  also cancellable),
+  *full-jitter* exponential backoff: the sleep before retry ``k`` is
+  drawn uniformly from ``[0, backoff_ms * 2**(k-1))``, so a cluster of
+  clients retrying against the same struggling node does not thunder
+  back in lock-step.  Pass ``rng=random.Random(seed)`` for reproducible
+  schedules in tests; the backoff sleep stays cancellable,
 * **faults** — an optional :class:`FaultInjector` hook runs before
   every attempt, injecting latency or errors for tests and benchmarks.
 
@@ -25,10 +28,21 @@ The executor never interprets failures — it reports one
 :class:`NodeOutcome` per node and leaves the partial-result policy
 (``on_failure``: raise vs. degrade) to the caller, which knows how to
 merge what survived.
+
+Abandoning a node used to be silent and unbounded: the timed-out
+worker thread kept running behind the pool's back and ``shutdown``
+waited on it forever if the task ignored its cancel event.  Now
+shutdown joins the recorded worker threads with a bounded grace period
+(``shutdown_grace_ms``) instead of blocking indefinitely, and every
+timed-out node whose thread is *still alive* after that join — a real,
+if bounded, thread leak — increments the ``cluster.abandoned_threads``
+counter; a node that honoured its cancel event drains inside the grace
+and is not counted.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -62,15 +76,22 @@ class _NodeState:
     """Coordinator-side bookkeeping for one submitted node task."""
 
     cancel: threading.Event = field(default_factory=threading.Event)
+    # the pool thread that picked the task up (set by _run_node); the
+    # bounded shutdown join and the abandonment accounting key off it
+    thread: threading.Thread | None = None
 
 
 class Executor:
     """Fan node tasks out under one :class:`ExecutionPolicy`."""
 
     def __init__(self, policy: ExecutionPolicy | None = None,
-                 fault_injector=None):
+                 fault_injector=None, *,
+                 rng: random.Random | None = None,
+                 shutdown_grace_ms: float = 1000.0):
         self.policy = policy or ExecutionPolicy()
         self.faults = fault_injector
+        self.rng = rng or random.Random()
+        self.shutdown_grace_ms = shutdown_grace_ms
 
     def run(self, tasks: dict[str, Callable[[], Any]]
             ) -> dict[str, NodeOutcome]:
@@ -94,8 +115,7 @@ class Executor:
         start = time.perf_counter()
         try:
             futures = {
-                name: pool.submit(self._run_node, name, fn,
-                                  states[name].cancel)
+                name: pool.submit(self._run_node, name, fn, states[name])
                 for name, fn in tasks.items()
             }
             for name, future in futures.items():
@@ -117,14 +137,52 @@ class Executor:
                                f"({policy.node_deadline_ms:g}ms)"),
                         elapsed_ms=(time.perf_counter() - start) * 1000.0)
         finally:
-            pool.shutdown(wait=True)
+            # don't block forever on a node that ignores its cancel
+            # event: cancel queued work, then join the live worker
+            # threads for at most the grace period
+            pool.shutdown(wait=False, cancel_futures=True)
+            deadline = time.perf_counter() + self.shutdown_grace_ms / 1000.0
+            for state in states.values():
+                thread = state.thread
+                if thread is None or thread is threading.current_thread():
+                    continue
+                thread.join(
+                    timeout=max(0.0, deadline - time.perf_counter()))
+            # a timed-out node whose thread outlived the grace join is a
+            # real (bounded) leak; a node that honoured its cancel event
+            # drained above and is *not* abandoned
+            abandoned = len({
+                state.thread
+                for name, state in states.items()
+                if outcomes.get(name) is not None
+                and outcomes[name].timed_out
+                and state.thread is not None
+                and state.thread is not threading.current_thread()
+                and state.thread.is_alive()})
+            if abandoned:
+                from repro.telemetry.runtime import get_telemetry
+                get_telemetry().metrics.counter(
+                    "cluster.abandoned_threads").add(abandoned)
         return outcomes
 
     # -- one node ----------------------------------------------------------
 
+    def _backoff_s(self, attempt: int) -> float:
+        """Full-jitter backoff before retrying after attempt ``attempt``.
+
+        Uniform over ``[0, backoff_ms * 2**(attempt-1))`` seconds —
+        the AWS-style "full jitter" variant, which decorrelates
+        retry storms while keeping the exponential ceiling.  Seed the
+        executor's ``rng`` to make schedules reproducible.
+        """
+        ceiling = self.policy.backoff_ms / 1000.0 * (2 ** (attempt - 1))
+        return self.rng.uniform(0.0, ceiling) if ceiling > 0 else 0.0
+
     def _run_node(self, name: str, fn: Callable[[], Any],
-                  cancel: threading.Event) -> NodeOutcome:
+                  state: _NodeState) -> NodeOutcome:
         policy = self.policy
+        cancel = state.cancel
+        state.thread = threading.current_thread()
         outcome = NodeOutcome(node=name)
         start = time.perf_counter()
         for attempt in range(1, policy.retries + 2):
@@ -146,8 +204,7 @@ class Executor:
                 outcome.value = None
                 outcome.error = f"{type(error).__name__}: {error}"
                 if attempt <= policy.retries:
-                    backoff_s = (policy.backoff_ms / 1000.0
-                                 * (2 ** (attempt - 1)))
+                    backoff_s = self._backoff_s(attempt)
                     if backoff_s > 0 and cancel.wait(backoff_s):
                         outcome.timed_out = True
                         break

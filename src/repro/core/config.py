@@ -28,7 +28,17 @@ class ExecutionPolicy:
     * ``node_deadline_ms`` — per-node time budget measured from fan-out
       start; ``None`` disables deadlines,
     * ``retries`` / ``backoff_ms`` — how often a failed node attempt is
-      retried and the base of the exponential backoff between attempts,
+      retried and the base of the (full-jitter) exponential backoff
+      between attempts,
+    * ``backend`` — where node tasks execute: ``"thread"`` fans out
+      over the in-process thread pool (the default, unchanged);
+      ``"process"`` routes them to the shared-nothing process-per-node
+      workers of an attached :class:`~repro.remote.ReplicaSet`
+      (``DistributedIndex.start_remote``),
+    * ``hedge_after_ms`` — process backend only: when a node's read has
+      not answered after this budget, the same task is re-issued to
+      another healthy replica and the first response wins (the loser is
+      cancelled).  ``None`` disables hedging,
     * ``on_failure`` — what a node failure means for the query:
       ``"raise"`` propagates a
       :class:`~repro.errors.ClusterExecutionError`; ``"degrade"``
@@ -48,6 +58,8 @@ class ExecutionPolicy:
     retries: int = 0
     backoff_ms: float = 10.0
     on_failure: str = "raise"  # "raise" | "degrade"
+    backend: str = "thread"  # "thread" | "process"
+    hedge_after_ms: float | None = None
     cache: bool = True
     cache_size: int = 128
 
@@ -72,6 +84,12 @@ class ExecutionPolicy:
         if self.on_failure not in ("raise", "degrade"):
             raise ValueError("policy on_failure must be 'raise' or "
                              f"'degrade', got {self.on_failure!r}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError("policy backend must be 'thread' or "
+                             f"'process', got {self.backend!r}")
+        if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
+            raise ValueError("policy hedge_after_ms must be > 0, got "
+                             f"{self.hedge_after_ms}")
 
     def replace(self, **overrides) -> "ExecutionPolicy":
         """A copy with some fields changed (re-validated)."""

@@ -101,6 +101,37 @@ class ClusterExecutionError(ReproError):
         self.failed_nodes = dict(failed_nodes or {})
 
 
+class RemoteError(ClusterExecutionError):
+    """A remote node worker failed an operation.
+
+    Subclasses :class:`ClusterExecutionError` so callers treating the
+    process backend like any other cluster backend keep their handlers.
+    ``kind`` carries the worker-side exception type name when the
+    failure crossed the wire as a structured error reply.
+    """
+
+    def __init__(self, message: str, kind: str | None = None):
+        super().__init__(message)
+        self.kind = kind
+
+
+class RemoteTransportError(RemoteError):
+    """The connection to a worker failed: refused, reset, timed out,
+    or the byte stream ended inside a frame (a torn frame).  Transport
+    errors are the ones that mark a replica unhealthy — the worker
+    process itself is suspect, not the request."""
+
+
+class RemoteProtocolError(RemoteError):
+    """A frame violated the wire protocol: oversized, malformed JSON,
+    or a payload that is not the JSON object the contract requires.
+    Protocol errors indicate a bug or corruption, never mere slowness."""
+
+
+class WorkerStartupError(RemoteError):
+    """A node worker subprocess failed to start or report readiness."""
+
+
 class ServiceOverloadedError(ReproError):
     """The search service shed this request under admission control.
 

@@ -17,6 +17,21 @@ retry/backoff), and a node failure either raises a
 the merged ranking of the surviving nodes
 (``DistributedQueryResult.failed_nodes`` / ``degraded``, plus the
 ``ir.node_failures`` counter and a ``degraded`` span attribute).
+
+The thread pool shares one interpreter (and one GIL), so its speed-up
+is I/O overlap, not CPU parallelism.  :meth:`DistributedIndex.start_remote`
+adds the *true* shared-nothing execution level: every node gets
+``replication_factor`` process-per-node workers
+(:class:`~repro.remote.ReplicaSet`), writes dual-apply to the local
+authoritative copies and to all replicas with generation-stamp
+reconciliation, and a query under
+``ExecutionPolicy(backend="process")`` fans its node tasks to the
+workers over the socket RPC — with per-replica failover, optional
+hedged requests, and automatic replacement-worker bootstrap from the
+newest snapshot.  Rankings are bit-identical between the two backends:
+the workers score the same postings against the same pushed global idf
+and tie-break in the same insertion order, and the coordinator merges
+both through :func:`~repro.monetdb.algebra.topn_merge` on central oids.
 """
 
 from __future__ import annotations
@@ -24,10 +39,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from functools import partial
 
+from pathlib import Path
+
 from repro.cache import MISS, QueryCache, normalized_terms, policy_signature
-from repro.cluster.executor import Executor
+from repro.cluster.executor import Executor, NodeOutcome
 from repro.core.config import ExecutionPolicy
-from repro.errors import ClusterExecutionError
+from repro.errors import ClusterExecutionError, QueryError
 from repro.monetdb.algebra import topn_merge
 from repro.monetdb.atoms import Oid
 from repro.monetdb.server import Cluster
@@ -37,7 +54,8 @@ from repro.ir.relations import IrRelations
 from repro.ir.topn import TopNResult, topn_fragmented
 from repro.telemetry.runtime import get_telemetry
 
-__all__ = ["DistributedIndex", "DistributedQueryResult"]
+__all__ = ["DistributedIndex", "DistributedQueryResult",
+           "patch_fragment_idf"]
 
 
 @dataclass
@@ -136,6 +154,8 @@ class DistributedIndex:
         self._fragments: dict[str, FragmentSet] = {}
         self._fragment_generations: dict[str, int] = {}
         self.query_cache = QueryCache(name="cluster")
+        # the process backend's replica set; attached by start_remote()
+        self.remote = None
 
     @property
     def generation(self) -> tuple:
@@ -150,6 +170,43 @@ class DistributedIndex:
                 tuple(sorted((name, relations.generation)
                              for name, relations in self.nodes.items())))
 
+    # -- the process backend (shared-nothing workers) ---------------------
+
+    def start_remote(self, replication_factor: int = 2, *,
+                     snapshot_root: str | Path | None = None,
+                     spawn_timeout_s: float = 30.0) -> "ReplicaSet":
+        """Spawn process-per-node workers and seed them from this index.
+
+        Every node gets ``replication_factor`` replicas, each a
+        ``python -m repro.remote.worker`` subprocess bootstrapped from a
+        snapshot of the node's authoritative local relations.  From then
+        on writes dual-apply (local + all replicas) and a query under
+        ``ExecutionPolicy(backend="process")`` executes on the workers.
+        ``snapshot_root`` also serves replacement-worker bootstraps; it
+        defaults to a private temporary directory.
+        """
+        from repro.remote.replicas import ReplicaSet
+
+        if self.remote is not None:
+            return self.remote
+        replicas = ReplicaSet(
+            self.nodes, replication_factor=replication_factor,
+            fragment_count=self.fragment_count,
+            snapshot_root=snapshot_root, spawn_timeout_s=spawn_timeout_s)
+        try:
+            replicas.start()
+        except Exception:
+            replicas.stop()
+            raise
+        self.remote = replicas
+        return replicas
+
+    def stop_remote(self) -> None:
+        """Shut the process backend down (workers, snapshots, all of it)."""
+        if self.remote is not None:
+            self.remote.stop()
+            self.remote = None
+
     # -- indexing ---------------------------------------------------------
 
     def add_document(self, url: str, text: str) -> None:
@@ -157,11 +214,16 @@ class DistributedIndex:
 
         Write-path invalidation is implicit: both mutations bump their
         relations' generation, which stales the node's fragment set and
-        every query-cache entry stamped with the old generations.
+        every query-cache entry stamped with the old generations.  With
+        the process backend attached the write also fans to the node's
+        replicas (dual-write with generation reconciliation).
         """
         self.central.add_document(url, text)
         node = self.cluster.place(url)
         self.nodes[node.name].add_document(url, text)
+        if self.remote is not None:
+            self.remote.apply_write(node.name, "add_documents",
+                                    {"documents": [[url, text]]})
 
     def add_documents(self, documents,
                       policy: ExecutionPolicy | None = None) -> None:
@@ -173,10 +235,17 @@ class DistributedIndex:
         and any node failure raises — only ``max_workers`` carries over.
         """
         docs = list(documents)
+        placements = self.cluster.scatter(docs)
         tasks = {"central": partial(self._add_local, self.central, docs)}
-        for name, items in self.cluster.scatter(docs).items():
+        for name, items in placements.items():
             tasks[name] = partial(self._add_local, self.nodes[name], items)
         self._run_population(tasks, policy)
+        if self.remote is not None:
+            for name, items in placements.items():
+                if items:
+                    self.remote.apply_write(
+                        name, "add_documents",
+                        {"documents": [[url, text] for url, text in items]})
         self.refresh(policy)
 
     @staticmethod
@@ -190,6 +259,9 @@ class DistributedIndex:
         self.central.remove_document(url)
         node = self.cluster.place(url)
         self.nodes[node.name].remove_document(url)
+        if self.remote is not None:
+            self.remote.apply_write(node.name, "remove_document",
+                                    {"url": url})
 
     def reindex_document(self, url: str, text: str) -> None:
         """Replace a document's body everywhere."""
@@ -216,6 +288,9 @@ class DistributedIndex:
         for name in stale:
             self._fragments[name] = outcomes[name].value
             self._fragment_generations[name] = self.nodes[name].generation
+        if self.remote is not None:
+            # derived state (IDF, fragment memos) refreshes replica-side
+            self.remote.broadcast("refresh")
 
     @staticmethod
     def _refresh_local(relations: IrRelations,
@@ -284,18 +359,24 @@ class DistributedIndex:
                                   for oid in central_terms]
             global_idf = {self.central.T.find(oid): self.central.idf(oid)
                           for oid in central_terms}
-            # build fragments up front: the lazy rebuild is not
-            # thread-safe, node tasks must only read
-            for name in self.nodes:
-                self._node_fragments(name)
+            span.set_attribute("backend", policy.backend)
+            if policy.backend == "process":
+                outcomes = self._remote_query(query, central_term_names,
+                                              global_idf, policy, servers,
+                                              telemetry)
+            else:
+                # build fragments up front: the lazy rebuild is not
+                # thread-safe, node tasks must only read
+                for name in self.nodes:
+                    self._node_fragments(name)
 
-            tasks = {
-                name: partial(self._node_topn, span, name, relations,
-                              servers[name], central_term_names, global_idf,
-                              policy, telemetry)
-                for name, relations in self.nodes.items()
-            }
-            outcomes = Executor(policy, self.fault_injector).run(tasks)
+                tasks = {
+                    name: partial(self._node_topn, span, name, relations,
+                                  servers[name], central_term_names,
+                                  global_idf, policy, telemetry)
+                    for name, relations in self.nodes.items()
+                }
+                outcomes = Executor(policy, self.fault_injector).run(tasks)
 
             result = DistributedQueryResult(ranking=[])
             local_rankings: list[Ranking] = []
@@ -323,6 +404,13 @@ class DistributedIndex:
             span.set_attributes(total_tuples=result.total_tuples(),
                                 max_node_tuples=result.max_node_tuples(),
                                 degraded=result.degraded)
+        if policy.backend == "process" and self.remote is not None \
+                and self.remote.needs_repair():
+            # heal in-line: replace dead/unhealthy replicas from the
+            # newest snapshot + op-log while the survivors keep serving
+            repaired = self.remote.repair()
+            if repaired:
+                telemetry.metrics.counter("remote.repairs").add(repaired)
         telemetry.metrics.counter("ir.distributed_queries").add(1)
         # degraded rankings are partial by definition — never cache them,
         # or a healed cluster would keep serving the degraded answer
@@ -346,8 +434,8 @@ class DistributedIndex:
                         local_terms.append(oid)
                 fragments = self._node_fragments(name)
                 # override local idf with the pushed global weights
-                patched = _patch_fragment_idf(fragments, relations,
-                                              global_idf)
+                patched = patch_fragment_idf(fragments, relations,
+                                             global_idf)
                 local = topn_fragmented(patched, local_terms, policy.n,
                                         prune=policy.prune, refine=True)
                 node_span.set_attributes(
@@ -363,6 +451,56 @@ class DistributedIndex:
                    for doc, score in local.ranking]
         return local, ranking
 
+    def _remote_query(self, query: str, central_term_names, global_idf,
+                      policy: ExecutionPolicy, servers, telemetry
+                      ) -> dict[str, NodeOutcome]:
+        """Fan the per-node top-N tasks to the process-backend workers.
+
+        Returns outcomes shaped exactly like the thread backend's —
+        ``value`` is ``(TopNResult, central-oid ranking)`` — so the
+        merge and degrade logic in :meth:`query` is backend-agnostic.
+        """
+        from repro.remote.executor import RemoteCall, RemoteExecutor
+        from repro.service.api import MODE_FRAGMENTED, SearchRequest
+
+        if self.remote is None:
+            raise QueryError(
+                "policy backend='process' needs the process backend "
+                "attached — call DistributedIndex.start_remote() first")
+        request = SearchRequest(query=query, mode=MODE_FRAGMENTED,
+                                policy=policy).to_dict()
+        calls = {
+            name: RemoteCall(node=name, op="search",
+                             params={"request": request,
+                                     "terms": list(central_term_names),
+                                     "idf": dict(global_idf)})
+            for name in self.nodes
+        }
+        outcomes = RemoteExecutor(self.remote, policy).run(calls)
+        for name, outcome in outcomes.items():
+            if not outcome.ok:
+                continue
+            reply = outcome.value
+            accounting = reply.get("accounting", {})
+            # workers ship (url, score); map onto central oids so the
+            # merge tie-breaks identically to the thread backend
+            ranking = []
+            for hit in reply.get("hits", ()):
+                central_doc = self.central.doc_oid(hit["key"])
+                if central_doc is not None:
+                    ranking.append((central_doc, hit["score"]))
+            local = TopNResult(
+                ranking=ranking,
+                fragments_read=int(accounting.get("fragments_read", 0)),
+                tuples_read=int(accounting.get("tuples_read", 0)),
+                stopped_early=bool(accounting.get("stopped_early",
+                                                  False)))
+            servers[name].charge(local.tuples_read)
+            telemetry.metrics.counter("ir.node_tuples_read",
+                                      node=name).add(local.tuples_read)
+            outcome.value = (local, ranking)
+        return outcomes
+
     def _to_central_doc(self, relations: IrRelations, doc: Oid) -> Oid:
         url = relations.doc_url(doc)
         central_doc = self.central.doc_oid(url)
@@ -375,9 +513,16 @@ class DistributedIndex:
         return rank_tfidf(self.central, query, n)
 
 
-def _patch_fragment_idf(fragments: FragmentSet, relations: IrRelations,
-                        global_idf: dict[str, float]) -> FragmentSet:
-    """Return a fragment view whose idf weights are the global ones."""
+def patch_fragment_idf(fragments: FragmentSet, relations: IrRelations,
+                       global_idf: dict[str, float]) -> FragmentSet:
+    """Return a fragment view whose idf weights are the global ones.
+
+    Shared by both backends: the thread backend patches the
+    coordinator's per-node fragment sets, the process backend's workers
+    (:mod:`repro.remote.worker`) patch their own against the idf dict
+    pushed over the wire — which is what makes the two executions score
+    identically.
+    """
     from repro.ir.fragmentation import Fragment
 
     patched = FragmentSet()

@@ -1,0 +1,146 @@
+"""Socket client for one node worker: deadlines, retries, typed errors.
+
+A :class:`WorkerClient` opens one TCP connection per call — the RPCs
+are chunky (a search, a bulk add), so connection reuse buys little and
+per-call connections make cancellation trivial: closing the socket of
+an abandoned hedge attempt makes its blocked ``recv`` fail immediately
+instead of leaking a thread until the worker answers.
+
+Failure taxonomy (what callers key replica-health decisions on):
+
+* :class:`~repro.errors.RemoteTransportError` — connect refused/reset,
+  deadline exceeded, torn frame.  The *worker* is suspect; the replica
+  set marks it unhealthy and fails over.
+* :class:`~repro.errors.RemoteProtocolError` — oversized or malformed
+  frames.  A bug or corruption; never mere slowness.
+* :class:`~repro.errors.RemoteError` — the worker executed the request
+  and replied with a structured error (``ok: false``); ``kind`` names
+  the worker-side exception type.  The worker is healthy.
+
+Byte and call counts land on the ``remote.rpcs`` /
+``remote.bytes_sent`` / ``remote.bytes_received`` telemetry counters.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable
+
+from repro.errors import (RemoteError, RemoteTransportError)
+from repro.remote.protocol import (MAX_FRAME_BYTES, PROTOCOL_VERSION,
+                                   frame_size, recv_frame, send_frame)
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["WorkerClient", "DEFAULT_CONNECT_TIMEOUT_S"]
+
+#: Connect budget when the caller supplies no deadline: workers are
+#: local processes, so a connect that takes longer than this is dead.
+DEFAULT_CONNECT_TIMEOUT_S = 5.0
+
+
+class WorkerClient:
+    """Typed RPC calls against one worker address."""
+
+    def __init__(self, host: str, port: int, name: str = "worker",
+                 max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.host = host
+        self.port = port
+        self.name = name
+        self.max_frame_bytes = max_frame_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkerClient({self.name}@{self.host}:{self.port})"
+
+    def call(self, op: str, params: dict | None = None, *,
+             deadline_s: float | None = None,
+             on_socket: Callable[[socket.socket], None] | None = None
+             ) -> dict:
+        """One RPC: connect, send, await the reply, close.
+
+        ``deadline_s`` bounds the *whole* call (connect + send + reply)
+        measured from entry; ``None`` means the default connect budget
+        and no read deadline.  ``on_socket`` receives the connected
+        socket before the request is sent — the hedging executor uses
+        it to retain a cancellation handle (closing the socket aborts a
+        blocked read immediately).
+        """
+        request = {"v": PROTOCOL_VERSION, "op": op}
+        if params:
+            request.update(params)
+        started = time.monotonic()
+        connect_timeout = DEFAULT_CONNECT_TIMEOUT_S if deadline_s is None \
+            else max(deadline_s, 0.001)
+        metrics = get_telemetry().metrics
+        metrics.counter("remote.rpcs").add(1)
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=connect_timeout)
+        except socket.timeout as exc:
+            raise RemoteTransportError(
+                f"connect to {self.name} ({self.host}:{self.port}) "
+                f"timed out") from exc
+        except OSError as exc:
+            raise RemoteTransportError(
+                f"connect to {self.name} ({self.host}:{self.port}) "
+                f"failed: {exc}") from exc
+        try:
+            if on_socket is not None:
+                on_socket(sock)
+            if deadline_s is not None:
+                remaining = deadline_s - (time.monotonic() - started)
+                if remaining <= 0:
+                    raise RemoteTransportError(
+                        f"deadline exceeded before sending to {self.name}")
+                sock.settimeout(remaining)
+            else:
+                sock.settimeout(None)
+            sent = send_frame(sock, request, self.max_frame_bytes)
+            metrics.counter("remote.bytes_sent").add(sent)
+            if deadline_s is not None:
+                remaining = deadline_s - (time.monotonic() - started)
+                if remaining <= 0:
+                    raise RemoteTransportError(
+                        f"deadline exceeded awaiting {self.name}")
+                sock.settimeout(remaining)
+            reply = recv_frame(sock, self.max_frame_bytes)
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+        if reply is None:
+            raise RemoteTransportError(
+                f"worker {self.name} closed the connection before "
+                f"replying to {op!r}")
+        metrics.counter("remote.bytes_received").add(frame_size(reply))
+        if reply.get("ok"):
+            return reply.get("value", {})
+        raise RemoteError(
+            f"worker {self.name} failed {op!r}: "
+            f"{reply.get('error', 'unknown error')}",
+            kind=reply.get("kind"))
+
+    def ping(self, deadline_s: float | None = 2.0) -> dict:
+        return self.call("ping", deadline_s=deadline_s)
+
+    def call_with_retry(self, op: str, params: dict | None = None, *,
+                        deadline_s: float | None = None,
+                        attempts: int = 3, backoff_s: float = 0.05
+                        ) -> dict:
+        """A write-path helper: retry transport failures a few times.
+
+        Only :class:`RemoteTransportError` retries — an application
+        error means the worker *executed* the request and replaying it
+        could double-apply a write.
+        """
+        last: RemoteTransportError | None = None
+        for attempt in range(max(1, attempts)):
+            if attempt:
+                time.sleep(backoff_s * (2 ** (attempt - 1)))
+            try:
+                return self.call(op, params, deadline_s=deadline_s)
+            except RemoteTransportError as exc:
+                last = exc
+        assert last is not None
+        raise last

@@ -1,0 +1,274 @@
+"""Read-path fan-out over replicas: failover, hedging, typed outcomes.
+
+:class:`RemoteExecutor` is the process-backend twin of
+:class:`~repro.cluster.executor.Executor`: it takes one task per node
+and returns one :class:`~repro.cluster.executor.NodeOutcome` per node,
+so :meth:`DistributedIndex.query <repro.ir.distributed.DistributedIndex.query>`
+can merge either backend's outcomes with the same code.  A task here is
+a :class:`RemoteCall` — an RPC op plus params — because the executor,
+not the caller, decides *which replica* answers it:
+
+* the node's healthy replicas are rotated (:meth:`ReplicaSet.route`)
+  and the first is tried;
+* a replica that fails **transport-wise** is marked unhealthy and the
+  call fails over to the next replica (``remote.failovers``);
+* under ``policy.hedge_after_ms``, a replica that has not answered in
+  time gets company: the same call is re-issued to the next replica
+  (``remote.hedges_issued``) and the first success wins
+  (``remote.hedges_won`` when the hedge beats the primary).  The loser
+  is cancelled by closing its socket, which aborts its blocked read
+  immediately — no thread outlives the call;
+* ``policy.node_deadline_ms`` bounds the whole per-node effort from
+  fan-out start, and ``retries``/``backoff_ms`` wrap the above in
+  full-jitter exponential retry rounds, mirroring the thread executor.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Empty, SimpleQueue
+
+from repro.cluster.executor import NodeOutcome
+from repro.core.config import ExecutionPolicy
+from repro.errors import RemoteError, RemoteTransportError
+from repro.remote.replicas import ReplicaSet, WorkerHandle
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["RemoteExecutor", "RemoteCall"]
+
+
+@dataclass
+class RemoteCall:
+    """One node's read task: an RPC the executor routes to a replica."""
+
+    node: str
+    op: str
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Attempt:
+    """One in-flight RPC attempt inside a race."""
+
+    handle: WorkerHandle
+    is_hedge: bool
+    thread: threading.Thread | None = None
+    sock: socket.socket | None = None
+    done: bool = False
+    cancelled: bool = False
+
+
+class RemoteExecutor:
+    """Run per-node :class:`RemoteCall` tasks against a replica set."""
+
+    def __init__(self, replicas: ReplicaSet,
+                 policy: ExecutionPolicy | None = None, *,
+                 rng: random.Random | None = None):
+        self.replicas = replicas
+        self.policy = policy or ExecutionPolicy()
+        self.rng = rng or random.Random()
+
+    def run(self, calls: dict[str, RemoteCall]) -> dict[str, NodeOutcome]:
+        """Execute every node's call; returns one outcome per node.
+
+        Mirrors :meth:`cluster.Executor.run`: outcomes preserve task
+        order, the deadline is measured from fan-out start, and the
+        call blocks until every node resolved — there are no leaked
+        attempt threads (losers are socket-cancelled and joined).
+        """
+        if not calls:
+            return {}
+        start = time.monotonic()
+        deadline = None
+        if self.policy.node_deadline_ms is not None:
+            deadline = start + self.policy.node_deadline_ms / 1000.0
+        outcomes: dict[str, NodeOutcome] = {}
+        workers = self.policy.max_workers or len(calls)
+        if workers >= len(calls):
+            threads = []
+            for name, call in calls.items():
+                outcomes[name] = NodeOutcome(node=name)
+                thread = threading.Thread(
+                    target=self._run_node,
+                    args=(name, call, deadline, outcomes[name]),
+                    name=f"repro-remote-{name}")
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+        else:
+            # width-limited: run node coordinations in bounded batches
+            pending = list(calls.items())
+            for name, _ in pending:
+                outcomes[name] = NodeOutcome(node=name)
+            for index in range(0, len(pending), workers):
+                batch = pending[index:index + workers]
+                threads = [threading.Thread(
+                    target=self._run_node,
+                    args=(name, call, deadline, outcomes[name]),
+                    name=f"repro-remote-{name}")
+                    for name, call in batch]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        return {name: outcomes[name] for name in calls}
+
+    # -- one node --------------------------------------------------------
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Full-jitter exponential backoff before retry ``attempt + 1``."""
+        ceiling = self.policy.backoff_ms / 1000.0 * (2 ** (attempt - 1))
+        return self.rng.uniform(0.0, ceiling) if ceiling > 0 else 0.0
+
+    def _run_node(self, name: str, call: RemoteCall,
+                  deadline: float | None, outcome: NodeOutcome) -> None:
+        start = time.monotonic()
+        for attempt in range(1, self.policy.retries + 2):
+            outcome.attempts = attempt
+            if deadline is not None and time.monotonic() >= deadline:
+                outcome.timed_out = True
+                outcome.error = outcome.error or (
+                    "deadline exceeded "
+                    f"({self.policy.node_deadline_ms:g}ms)")
+                break
+            targets = self.replicas.route(call.node)
+            if not targets:
+                outcome.error = f"no healthy replicas for node {call.node}"
+            else:
+                won = self._race(call, targets, deadline, outcome)
+                if won:
+                    outcome.error = None
+                    break
+                if outcome.timed_out:
+                    break
+            if attempt <= self.policy.retries:
+                pause = self._backoff_s(attempt)
+                if deadline is not None:
+                    pause = min(pause, max(0.0,
+                                           deadline - time.monotonic()))
+                if pause > 0:
+                    time.sleep(pause)
+        outcome.elapsed_ms = (time.monotonic() - start) * 1000.0
+
+    def _race(self, call: RemoteCall, targets: list[WorkerHandle],
+              deadline: float | None, outcome: NodeOutcome) -> bool:
+        """One round: primary + failovers + at most one hedge.
+
+        Returns True when some replica answered; the winning value is
+        stored on ``outcome``.  On False, ``outcome.error`` (or
+        ``timed_out``) says why.
+        """
+        metrics = get_telemetry().metrics
+        events: SimpleQueue = SimpleQueue()
+        attempts: list[_Attempt] = []
+        next_target = 0
+
+        def launch(is_hedge: bool) -> None:
+            nonlocal next_target
+            handle = targets[next_target]
+            next_target += 1
+            record = _Attempt(handle=handle, is_hedge=is_hedge)
+            attempts.append(record)
+
+            def runner() -> None:
+                try:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = max(0.001,
+                                        deadline - time.monotonic())
+                    value = handle.client.call(
+                        call.op, call.params, deadline_s=remaining,
+                        on_socket=lambda sock: setattr(
+                            record, "sock", sock))
+                except RemoteError as error:
+                    events.put((record, None, error))
+                else:
+                    events.put((record, value, None))
+
+            record.thread = threading.Thread(
+                target=runner,
+                name=f"repro-remote-rpc-{handle.name}")
+            record.thread.start()
+
+        launch(is_hedge=False)
+        hedge_at = None
+        if self.policy.hedge_after_ms is not None:
+            hedge_at = time.monotonic() + self.policy.hedge_after_ms / 1000.0
+        won = False
+        inflight = 1
+        try:
+            while inflight:
+                now = time.monotonic()
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - now
+                    if timeout <= 0:
+                        outcome.timed_out = True
+                        outcome.error = (
+                            "deadline exceeded "
+                            f"({self.policy.node_deadline_ms:g}ms)")
+                        return False
+                if hedge_at is not None and next_target < len(targets):
+                    until_hedge = hedge_at - now
+                    if until_hedge <= 0:
+                        launch(is_hedge=True)
+                        inflight += 1
+                        hedge_at = None
+                        metrics.counter("remote.hedges_issued").add(1)
+                        continue
+                    timeout = until_hedge if timeout is None \
+                        else min(timeout, until_hedge)
+                try:
+                    record, value, error = events.get(timeout=timeout)
+                except Empty:
+                    continue
+                record.done = True
+                inflight -= 1
+                if record.cancelled:
+                    continue  # a loser we aborted; not a real failure
+                if error is None:
+                    outcome.value = value
+                    won = True
+                    if record.is_hedge:
+                        metrics.counter("remote.hedges_won").add(1)
+                    return True
+                outcome.error = f"{type(error).__name__}: {error}"
+                if isinstance(error, RemoteTransportError):
+                    self.replicas.note_failure(record.handle)
+                if next_target < len(targets):
+                    metrics.counter("remote.failovers").add(1)
+                    launch(is_hedge=False)
+                    inflight += 1
+            return False
+        finally:
+            self._cancel_stragglers(attempts)
+
+    @staticmethod
+    def _cancel_stragglers(attempts: list[_Attempt]) -> None:
+        """Abort and join every unfinished attempt (hedge losers etc.).
+
+        ``shutdown(SHUT_RDWR)`` — not a bare ``close()``, which leaves a
+        TCP ``recv`` blocked in the kernel — makes the attempt's pending
+        read return EOF at once, so the join below is prompt: the race
+        never leaks a thread past :meth:`run`'s return.
+        """
+        for record in attempts:
+            if not record.done:
+                record.cancelled = True
+                if record.sock is not None:
+                    try:
+                        record.sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:  # pragma: no cover - already dead
+                        pass
+                    try:
+                        record.sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
+        for record in attempts:
+            if record.thread is not None:
+                record.thread.join(timeout=10.0)

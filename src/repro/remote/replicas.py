@@ -1,0 +1,463 @@
+"""N-way replica placement, spawning, repair and snapshot bootstrap.
+
+A :class:`ReplicaSet` gives every cluster node ``replication_factor``
+process-per-node workers (spawned as ``python -m repro.remote.worker``
+subprocesses).  The coordinator's in-process node relations stay the
+*authoritative* copy — every write is applied locally first and then
+fanned to all of the node's replicas (dual-write), which is what makes
+the ``backend`` knob switchable per query: the thread backend reads
+the local copies, the process backend reads the replicas, and the two
+are kept bit-identical.
+
+Consistency is generation-stamped: each write's RPC reply carries the
+replica's post-write generation, which must equal the local node's.  A
+replica that misses a write (transport failure) or diverges (generation
+mismatch) is marked unhealthy and queries route around it; a later
+:meth:`repair` replaces it with a fresh worker **bootstrapped from the
+newest committed snapshot** (written through
+:class:`~repro.persistence.snapshot.SnapshotStore`'s atomic
+generation-directory protocol) and caught up by replaying the per-node
+op-log past the snapshot's sequence number — the cluster keeps serving
+throughout.
+
+Every spawned worker registers in a module-level live-process registry
+so test fixtures can assert no worker outlives its test (the process
+analogue of the thread-leak checks in ``tests/cluster``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro
+from repro.errors import (RemoteError, RemoteTransportError, SnapshotError,
+                          WorkerStartupError)
+from repro.ir.relations import IrRelations
+from repro.monetdb.persistence import save_catalog
+from repro.persistence.snapshot import SnapshotStore
+from repro.remote.client import WorkerClient
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["ReplicaSet", "WorkerHandle", "live_worker_pids"]
+
+#: pid -> Popen of every worker this process spawned and has not yet
+#: reaped; test conftests assert it drains back to empty.
+_LIVE_WORKERS: dict[int, subprocess.Popen] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+CATALOG_FILE = "catalog.jsonl"
+META_FILE = "meta.json"
+
+
+def live_worker_pids() -> list[int]:
+    """Pids of spawned workers still registered (leak detection)."""
+    with _REGISTRY_LOCK:
+        for pid, proc in list(_LIVE_WORKERS.items()):
+            if proc.poll() is not None:
+                _LIVE_WORKERS.pop(pid, None)
+        return sorted(_LIVE_WORKERS)
+
+
+@dataclass
+class WorkerHandle:
+    """One replica: its subprocess, its RPC client, its health."""
+
+    node: str
+    slot: int
+    process: subprocess.Popen
+    client: WorkerClient
+    healthy: bool = True
+    generation: int = field(default=0, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.client.name
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def usable(self) -> bool:
+        return self.healthy and self.alive()
+
+
+class ReplicaSet:
+    """All replicas of all nodes, plus the machinery to keep them honest."""
+
+    def __init__(self, nodes: dict[str, IrRelations], *,
+                 replication_factor: int = 2, fragment_count: int = 4,
+                 snapshot_root: str | Path | None = None,
+                 spawn_timeout_s: float = 30.0,
+                 rpc_deadline_s: float = 60.0):
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1, "
+                             f"got {replication_factor}")
+        self.nodes = nodes
+        self.replication_factor = replication_factor
+        self.fragment_count = fragment_count
+        self.spawn_timeout_s = spawn_timeout_s
+        self.rpc_deadline_s = rpc_deadline_s
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        if snapshot_root is None:
+            self._tmpdir = tempfile.TemporaryDirectory(
+                prefix="repro-replicas-")
+            snapshot_root = self._tmpdir.name
+        self.snapshot_root = Path(snapshot_root)
+        self.replicas: dict[str, list[WorkerHandle]] = {}
+        self._oplog: dict[str, list[tuple[int, str, dict]]] = {
+            name: [] for name in nodes}
+        self._seq: dict[str, int] = {name: 0 for name in nodes}
+        self._slots: dict[str, int] = {name: 0 for name in nodes}
+        self._rr: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Checkpoint every node and spawn + bootstrap its replicas."""
+        if self._started:
+            return
+        for node in self.nodes:
+            path, meta = self._checkpoint_from_local(node)
+            handles = []
+            for _ in range(self.replication_factor):
+                handle = self._spawn(node)
+                self._bootstrap(handle, node, path, meta)
+                handles.append(handle)
+            self.replicas[node] = handles
+        self._started = True
+
+    def stop(self) -> None:
+        """Shut every worker down; best-effort RPC, then SIGTERM/SIGKILL."""
+        for handles in self.replicas.values():
+            for handle in handles:
+                self._stop_handle(handle)
+        self.replicas = {}
+        self._started = False
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def _stop_handle(self, handle: WorkerHandle) -> None:
+        if handle.alive():
+            try:
+                handle.client.call("shutdown", deadline_s=2.0)
+            except RemoteError:
+                pass
+            handle.process.terminate()
+        try:
+            handle.process.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+            handle.process.kill()
+            handle.process.wait(timeout=5.0)
+        if handle.process.stdout is not None:
+            handle.process.stdout.close()
+        with _REGISTRY_LOCK:
+            _LIVE_WORKERS.pop(handle.process.pid, None)
+
+    # -- spawning --------------------------------------------------------
+
+    def _spawn(self, node: str) -> WorkerHandle:
+        """Launch one worker subprocess and wait for its READY line."""
+        with self._lock:
+            slot = self._slots[node]
+            self._slots[node] += 1
+        name = f"{node}/r{slot}"
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        extra = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src_root if not extra \
+            else src_root + os.pathsep + extra
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.remote.worker",
+             "--port", "0", "--name", name,
+             "--fragments", str(self.fragment_count)],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            env=env, text=True)
+        with _REGISTRY_LOCK:
+            _LIVE_WORKERS[proc.pid] = proc
+        try:
+            info = self._await_ready(proc, name)
+        except WorkerStartupError:
+            with _REGISTRY_LOCK:
+                _LIVE_WORKERS.pop(proc.pid, None)
+            raise
+        client = WorkerClient(info["host"], info["port"], name=name)
+        get_telemetry().metrics.counter("remote.workers_spawned").add(1)
+        return WorkerHandle(node=node, slot=slot, process=proc,
+                            client=client)
+
+    def _await_ready(self, proc: subprocess.Popen, name: str) -> dict:
+        deadline = time.monotonic() + self.spawn_timeout_s
+        stream = proc.stdout
+        assert stream is not None
+        line = None
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([stream], [], [], 0.1)
+            if ready:
+                line = stream.readline()
+                break
+            if proc.poll() is not None:
+                break
+        if not line:
+            proc.kill()
+            proc.wait(timeout=5.0)
+            raise WorkerStartupError(
+                f"worker {name} did not report readiness within "
+                f"{self.spawn_timeout_s:g}s")
+        try:
+            info = json.loads(line)
+        except json.JSONDecodeError as exc:
+            proc.kill()
+            proc.wait(timeout=5.0)
+            raise WorkerStartupError(
+                f"worker {name} wrote a malformed ready line: "
+                f"{line!r}") from exc
+        if not info.get("ready"):
+            proc.wait(timeout=5.0)
+            raise WorkerStartupError(
+                f"worker {name} failed to start: "
+                f"{info.get('error', 'unknown error')}")
+        return info
+
+    # -- snapshots & bootstrap ------------------------------------------
+
+    def _store(self, node: str) -> SnapshotStore:
+        return SnapshotStore(self.snapshot_root / node.replace("/", "_"))
+
+    def _checkpoint_from_local(self, node: str) -> tuple[Path, dict]:
+        """Checkpoint the *authoritative* local copy of one node."""
+        local = self.nodes[node]
+        local.refresh_idf()
+        store = self._store(node)
+        generation, path = store.begin()
+        save_catalog(local.catalog, path / CATALOG_FILE)
+        meta = {"generation": local.generation, "seq": self._seq[node]}
+        (path / META_FILE).write_text(json.dumps(meta), encoding="utf-8")
+        store.commit(generation)
+        get_telemetry().metrics.counter("remote.checkpoints").add(1)
+        return path, meta
+
+    def checkpoint(self, node: str) -> tuple[Path, dict]:
+        """Checkpoint one node from a healthy replica (shared-nothing).
+
+        Falls back to the coordinator's local copy when no replica is
+        usable — the snapshot contents are identical either way, the
+        difference is only who pays the serialization work.
+        """
+        source = next((handle for handle in self.replicas.get(node, ())
+                       if handle.usable()), None)
+        if source is None:
+            return self._checkpoint_from_local(node)
+        store = self._store(node)
+        generation, path = store.begin()
+        try:
+            value = source.client.call(
+                "checkpoint", {"path": str(path / CATALOG_FILE)},
+                deadline_s=self.rpc_deadline_s)
+        except RemoteTransportError:
+            self.note_failure(source)
+            return self._checkpoint_from_local(node)
+        meta = {"generation": value["generation"], "seq": self._seq[node]}
+        (path / META_FILE).write_text(json.dumps(meta), encoding="utf-8")
+        store.commit(generation)
+        get_telemetry().metrics.counter("remote.checkpoints").add(1)
+        return path, meta
+
+    def _newest_checkpoint(self, node: str) -> tuple[Path, dict] | None:
+        store = self._store(node)
+        try:
+            candidates = store.candidates()
+        except SnapshotError:
+            return None
+        for generation in candidates:
+            path = store.path(generation)
+            catalog = path / CATALOG_FILE
+            meta_path = path / META_FILE
+            if not catalog.is_file() or not meta_path.is_file():
+                continue
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            return path, meta
+        return None
+
+    def _bootstrap(self, handle: WorkerHandle, node: str,
+                   path: Path, meta: dict) -> None:
+        """Restore a worker from a snapshot, then replay the op-log tail."""
+        value = handle.client.call(
+            "bootstrap",
+            {"path": str(path / CATALOG_FILE),
+             "generation": meta["generation"]},
+            deadline_s=self.rpc_deadline_s)
+        handle.generation = int(value["generation"])
+        with self._lock:
+            tail = [entry for entry in self._oplog[node]
+                    if entry[0] > meta["seq"]]
+        for _seq, op, params in tail:
+            reply = handle.client.call_with_retry(
+                op, params, deadline_s=self.rpc_deadline_s)
+            handle.generation = int(reply.get("generation",
+                                              handle.generation))
+        expected = self.nodes[node].generation
+        if handle.generation != expected:
+            raise RemoteError(
+                f"replica {handle.name} diverged after bootstrap: "
+                f"generation {handle.generation} != local {expected}")
+        handle.healthy = True
+        get_telemetry().metrics.counter("remote.bootstraps").add(1)
+
+    # -- health & repair -------------------------------------------------
+
+    def note_failure(self, handle: WorkerHandle) -> None:
+        """Mark one replica unhealthy (transport-level failure only)."""
+        if handle.healthy:
+            handle.healthy = False
+            get_telemetry().metrics.counter("remote.replica_unhealthy").add(1)
+
+    def healthy_replicas(self, node: str) -> list[WorkerHandle]:
+        return [handle for handle in self.replicas.get(node, ())
+                if handle.usable()]
+
+    def route(self, node: str) -> list[WorkerHandle]:
+        """Healthy replicas of a node, rotated for read balancing.
+
+        The first entry is the preferred primary for this read; the
+        rest are failover / hedging targets in order.
+        """
+        handles = self.healthy_replicas(node)
+        if not handles:
+            return []
+        with self._lock:
+            turn = self._rr[node] = self._rr.get(node, -1) + 1
+        pivot = turn % len(handles)
+        return handles[pivot:] + handles[:pivot]
+
+    def needs_repair(self) -> list[str]:
+        """Nodes with at least one dead or unhealthy replica slot."""
+        return [node for node, handles in self.replicas.items()
+                if any(not handle.usable() for handle in handles)]
+
+    def repair(self, node: str | None = None) -> int:
+        """Replace dead/unhealthy replicas; returns replicas replaced.
+
+        Each replacement bootstraps from the newest committed snapshot
+        (taking a fresh one from a healthy peer — or the local copy —
+        when none exists) and catches up via the op-log, all while the
+        node's surviving replicas keep serving reads.
+        """
+        names = [node] if node is not None else list(self.replicas)
+        replaced = 0
+        for name in names:
+            handles = self.replicas.get(name, [])
+            for index, handle in enumerate(handles):
+                if handle.usable():
+                    continue
+                self._stop_handle(handle)
+                checkpoint = self._newest_checkpoint(name)
+                if checkpoint is None:
+                    checkpoint = self.checkpoint(name)
+                replacement = self._spawn(name)
+                try:
+                    self._bootstrap(replacement, name, *checkpoint)
+                except RemoteError:
+                    # bootstrap from a *fresh* local checkpoint before
+                    # giving up: the snapshot may predate a long op-log
+                    # tail whose replay diverged
+                    fresh = self._checkpoint_from_local(name)
+                    self._bootstrap(replacement, name, *fresh)
+                handles[index] = replacement
+                replaced += 1
+        return replaced
+
+    # -- writes ----------------------------------------------------------
+
+    def apply_write(self, node: str, op: str, params: dict) -> None:
+        """Log a write and fan it to every replica of the node.
+
+        The caller has already applied the write to the authoritative
+        local relations; this method never raises — a replica that
+        misses the write or disagrees on the resulting generation is
+        marked unhealthy and healed later by :meth:`repair` (the op is
+        in the log, so nothing is lost).
+        """
+        local_generation = self.nodes[node].generation
+        with self._lock:
+            self._seq[node] += 1
+            self._oplog[node].append((self._seq[node], op, dict(params)))
+        for handle in self.replicas.get(node, ()):
+            if not handle.alive():
+                self.note_failure(handle)
+                continue
+            try:
+                reply = handle.client.call_with_retry(
+                    op, params, deadline_s=self.rpc_deadline_s)
+            except RemoteTransportError:
+                self.note_failure(handle)
+                continue
+            except RemoteError:
+                # the worker executed and refused — its state diverged
+                # from the authoritative copy; replace it
+                self.note_failure(handle)
+                continue
+            handle.generation = int(reply.get("generation",
+                                              handle.generation))
+            if handle.generation != local_generation:
+                self.note_failure(handle)
+
+    def broadcast(self, op: str, params: dict | None = None) -> None:
+        """Send a non-mutating op (e.g. ``refresh``) to every replica."""
+        for handles in self.replicas.values():
+            for handle in handles:
+                if not handle.usable():
+                    continue
+                try:
+                    handle.client.call(op, params or {},
+                                       deadline_s=self.rpc_deadline_s)
+                except RemoteTransportError:
+                    self.note_failure(handle)
+                except RemoteError:
+                    pass
+
+    # -- introspection & test hooks -------------------------------------
+
+    def set_fault(self, node: str, delay_ms: float, slot: int = 0) -> None:
+        """Inject per-search latency into one replica (tests, benchmarks)."""
+        handle = self.replicas[node][slot]
+        handle.client.call("set_fault", {"delay_ms": delay_ms},
+                           deadline_s=5.0)
+
+    def kill_replica(self, node: str, slot: int = 0) -> int:
+        """Hard-kill one replica's process (fault injection); returns pid."""
+        handle = self.replicas[node][slot]
+        pid = handle.process.pid
+        handle.process.kill()
+        handle.process.wait(timeout=5.0)
+        return pid
+
+    def status(self) -> dict:
+        """Per-replica health, the shape ``/healthz`` reports."""
+        return {
+            "replication_factor": self.replication_factor,
+            "nodes": {
+                node: [{
+                    "name": handle.name,
+                    "slot": handle.slot,
+                    "pid": handle.process.pid,
+                    "port": handle.client.port,
+                    "healthy": handle.usable(),
+                    "generation": handle.generation,
+                } for handle in handles]
+                for node, handles in self.replicas.items()
+            },
+        }

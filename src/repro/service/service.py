@@ -265,7 +265,7 @@ class SearchService:
         with self._lifecycle:
             state = self._state
             inflight = self._inflight
-        return {
+        status = {
             "schema_version": SCHEMA_VERSION,
             "state": state,
             "inflight": inflight,
@@ -274,3 +274,9 @@ class SearchService:
             "flights": self._flights.status(),
             "counters": counters,
         }
+        # with the process backend attached, healthz reports per-replica
+        # health so an operator sees failed/bootstrapping workers
+        remote = getattr(getattr(self._ir, "index", None), "remote", None)
+        if remote is not None:
+            status["replicas"] = remote.status()
+        return status

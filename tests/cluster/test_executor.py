@@ -1,5 +1,6 @@
 """Unit tests for the cluster Executor and FaultInjector."""
 
+import random
 import threading
 import time
 
@@ -7,6 +8,7 @@ import pytest
 
 from repro.cluster import (ExecutionPolicy, Executor, FaultInjector,
                            InjectedFault)
+from repro.telemetry import telemetry_session
 
 pytestmark = pytest.mark.cluster
 
@@ -132,6 +134,73 @@ class TestDeadlines:
         assert outcome.ok
         assert outcome.value == 9
         assert outcome.elapsed_ms >= 25
+
+
+class TestJitteredBackoff:
+    def test_backoff_is_uniform_within_exponential_ceiling(self):
+        executor = Executor(ExecutionPolicy(backoff_ms=10),
+                            rng=random.Random(42))
+        for attempt in (1, 2, 3, 4):
+            ceiling = 0.010 * (2 ** (attempt - 1))
+            samples = [executor._backoff_s(attempt) for _ in range(200)]
+            assert all(0.0 <= sample < ceiling for sample in samples)
+            # full jitter, not fixed exponential: the draws spread out
+            assert max(samples) - min(samples) > ceiling / 4
+
+    def test_seeded_rng_reproduces_the_schedule(self):
+        policy = ExecutionPolicy(backoff_ms=25)
+        first = Executor(policy, rng=random.Random(7))
+        second = Executor(policy, rng=random.Random(7))
+        schedule = [first._backoff_s(attempt) for attempt in (1, 2, 3)]
+        assert schedule == [second._backoff_s(a) for a in (1, 2, 3)]
+        third = Executor(policy, rng=random.Random(8))
+        assert schedule != [third._backoff_s(a) for a in (1, 2, 3)]
+
+    def test_zero_backoff_never_sleeps(self):
+        executor = Executor(ExecutionPolicy(backoff_ms=0))
+        assert executor._backoff_s(1) == 0.0
+        assert executor._backoff_s(5) == 0.0
+
+
+class TestAbandonedThreads:
+    def test_uncancellable_task_is_counted_and_bounded(self):
+        """A task that ignores its cancel event is abandoned at the
+        deadline: counted on ``cluster.abandoned_threads``, and run()
+        returns after the bounded shutdown grace instead of blocking
+        until the task finishes."""
+        release = threading.Event()
+
+        def stuck():
+            release.wait(10.0)  # ignores the executor's cancel event
+            return "late"
+
+        executor = Executor(ExecutionPolicy(node_deadline_ms=40),
+                            shutdown_grace_ms=100.0)
+        try:
+            with telemetry_session() as telemetry:
+                start = time.perf_counter()
+                outcomes = executor.run({"node0": stuck, "node1": lambda: 1})
+                elapsed = time.perf_counter() - start
+                counters = telemetry.metrics.snapshot()["counters"]
+            assert outcomes["node0"].timed_out
+            assert not outcomes["node0"].ok
+            assert outcomes["node1"].ok
+            assert counters.get("cluster.abandoned_threads") == 1
+            # deadline (40ms) + grace (100ms) + slack, not the task's 10s
+            assert elapsed < 2.0
+        finally:
+            release.set()  # let the abandoned thread unwind (leak check)
+
+    def test_cancellable_task_is_not_counted_abandoned(self):
+        """A task honouring its cancel event drains promptly — the
+        abandonment counter must stay untouched."""
+        faults = FaultInjector().delay("node0", 5000)
+        executor = Executor(ExecutionPolicy(node_deadline_ms=40), faults)
+        with telemetry_session() as telemetry:
+            outcomes = executor.run(tasks_returning({"node0": 1}))
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert outcomes["node0"].timed_out
+        assert "cluster.abandoned_threads" not in counters
 
 
 class TestInjectorConfig:

@@ -1,0 +1,87 @@
+"""Shared fixtures for the shared-nothing process-backend suite.
+
+Two leak checks run around every test:
+
+* the **thread**-leak check of ``tests/cluster`` — a hedge loser or an
+  abandoned RPC attempt that outlives its query is exactly the kind of
+  leak the socket-cancellation design must prevent;
+* a **process**-leak check — every worker subprocess spawned through
+  :mod:`repro.remote.replicas` registers in a live-worker registry, and
+  a test that exits with workers still registered fails.  Orphaned
+  workers are worse than orphaned threads: they survive the test
+  process and pin ports.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.config import ExecutionPolicy
+from repro.ir.distributed import DistributedIndex
+from repro.monetdb.server import Cluster
+from repro.remote.replicas import live_worker_pids
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Fail any test that leaks a live non-daemon thread."""
+    before = set(threading.enumerate())
+    yield
+    leaked = set()
+    for _ in range(100):
+        leaked = {thread for thread in threading.enumerate()
+                  if thread not in before
+                  and not thread.daemon and thread.is_alive()}
+        if not leaked:
+            break
+        time.sleep(0.01)
+    assert not leaked, \
+        f"leaked non-daemon threads: {sorted(t.name for t in leaked)}"
+
+
+@pytest.fixture(autouse=True)
+def no_process_leaks():
+    """Fail any test that leaves spawned worker processes running."""
+    before = set(live_worker_pids())
+    yield
+    leaked = [pid for pid in live_worker_pids() if pid not in before]
+    assert not leaked, f"leaked worker processes: {leaked}"
+
+
+def corpus(documents=60, seed=5):
+    rng = random.Random(seed)
+    vocab = [f"w{i}" for i in range(80)]
+    weights = [1.0 / (i + 1) for i in range(80)]
+    docs = []
+    for d in range(documents):
+        words = rng.choices(vocab, weights=weights, k=40)
+        if d % 6 == 0:
+            words += ["trophy", "melbourne"]
+        docs.append((f"http://site/p{d}", " ".join(words)))
+    return docs
+
+
+def build_index(cluster_size=4, documents=60) -> DistributedIndex:
+    index = DistributedIndex(Cluster(cluster_size), fragment_count=4)
+    index.add_documents(corpus(documents))
+    return index
+
+
+@pytest.fixture
+def replicated_index(tmp_path):
+    """A 3-node index with 2 replicas per node, torn down leak-free."""
+    index = build_index(cluster_size=3)
+    index.start_remote(replication_factor=2,
+                       snapshot_root=tmp_path / "snapshots")
+    try:
+        yield index
+    finally:
+        index.stop_remote()
+
+
+def process_policy(**overrides) -> ExecutionPolicy:
+    defaults = dict(n=10, cache=False, backend="process")
+    defaults.update(overrides)
+    return ExecutionPolicy(**defaults)

@@ -1,0 +1,139 @@
+"""Framing tests: roundtrips, torn frames, oversized frames, clean EOF."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import RemoteProtocolError, RemoteTransportError
+from repro.remote.protocol import (MAX_FRAME_BYTES, frame_size, recv_frame,
+                                   send_frame)
+
+pytestmark = pytest.mark.remote
+
+
+def socket_pair():
+    return socket.socketpair()
+
+
+class TestRoundtrip:
+    def test_payload_survives_the_wire(self):
+        left, right = socket_pair()
+        with left, right:
+            payload = {"op": "search", "terms": ["a", "b"],
+                       "idf": {"a": 0.5, "b": 1.0 / 3.0}, "n": 10}
+            sent = send_frame(left, payload)
+            assert recv_frame(right) == payload
+            assert sent == frame_size(payload)
+
+    def test_float_bits_roundtrip_exactly(self):
+        """JSON float round-trips preserve the exact double, which is
+        what makes process-backend rankings bit-identical."""
+        left, right = socket_pair()
+        with left, right:
+            values = [1.0 / 3.0, 0.1 + 0.2, 1e-308, 123456.789012345]
+            send_frame(left, {"v": values})
+            received = recv_frame(right)["v"]
+            assert all(a == b and str(a) == str(b)
+                       for a, b in zip(values, received))
+
+    def test_many_frames_on_one_connection(self):
+        left, right = socket_pair()
+        with left, right:
+            for index in range(20):
+                send_frame(left, {"seq": index})
+            for index in range(20):
+                assert recv_frame(right) == {"seq": index}
+
+
+class TestTornFrames:
+    def test_eof_inside_header_is_transport_error(self):
+        left, right = socket_pair()
+        with right:
+            left.sendall(b"\x00\x00")  # half a header
+            left.close()
+            with pytest.raises(RemoteTransportError, match="torn frame"):
+                recv_frame(right)
+
+    def test_eof_inside_body_is_transport_error(self):
+        left, right = socket_pair()
+        with right:
+            left.sendall(struct.pack(">I", 100) + b'{"partial":')
+            left.close()
+            with pytest.raises(RemoteTransportError, match="torn frame"):
+                recv_frame(right)
+
+    def test_clean_eof_at_frame_boundary_is_none(self):
+        left, right = socket_pair()
+        with right:
+            send_frame(left, {"last": True})
+            left.close()
+            assert recv_frame(right) == {"last": True}
+            assert recv_frame(right) is None
+
+    def test_read_deadline_is_transport_error(self):
+        left, right = socket_pair()
+        with left, right:
+            right.settimeout(0.05)
+            with pytest.raises(RemoteTransportError, match="deadline"):
+                recv_frame(right)
+
+
+class TestProtocolViolations:
+    def test_oversized_announcement_rejected_before_body(self):
+        left, right = socket_pair()
+        with left, right:
+            left.sendall(struct.pack(">I", 2 ** 31))
+            with pytest.raises(RemoteProtocolError, match="oversized"):
+                recv_frame(right, max_bytes=1024)
+
+    def test_oversized_send_refused_locally(self):
+        left, right = socket_pair()
+        with left, right:
+            with pytest.raises(RemoteProtocolError, match="oversized"):
+                send_frame(left, {"blob": "x" * 2048}, max_bytes=1024)
+
+    def test_malformed_json_is_protocol_error(self):
+        left, right = socket_pair()
+        with left, right:
+            body = b"{not json"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(RemoteProtocolError, match="malformed"):
+                recv_frame(right)
+
+    def test_non_object_payload_is_protocol_error(self):
+        left, right = socket_pair()
+        with left, right:
+            body = b"[1, 2, 3]"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(RemoteProtocolError, match="JSON object"):
+                recv_frame(right)
+
+    def test_default_bound_is_generous_but_finite(self):
+        assert MAX_FRAME_BYTES == 64 * 1024 * 1024
+
+
+class TestConcurrentUse:
+    def test_close_aborts_a_blocked_recv(self):
+        """Socket close is the hedge-cancellation mechanism: a blocked
+        reader must fail immediately, not wait for data."""
+        left, right = socket_pair()
+        errors = []
+        done = threading.Event()
+
+        def reader():
+            try:
+                recv_frame(right)
+            except (RemoteTransportError, RemoteProtocolError) as exc:
+                errors.append(exc)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        right.close()
+        assert done.wait(timeout=5.0), "blocked recv did not abort"
+        thread.join(timeout=5.0)
+        left.close()
+        assert len(errors) == 1

@@ -1,0 +1,64 @@
+"""The service surface of the process backend: /healthz replica status."""
+
+import pytest
+
+from repro.service.service import SearchService
+
+from tests.remote.conftest import build_index, process_policy
+
+pytestmark = pytest.mark.remote
+
+
+class _ClusteredEngine:
+    """The minimal engine shape SearchService needs: an ``ir`` backend
+    whose ``index`` is the clustered DistributedIndex."""
+
+    def __init__(self, index):
+        self.index = index
+
+
+class TestHealthzReplicas:
+    def test_status_reports_per_replica_health(self, tmp_path):
+        index = build_index(cluster_size=2, documents=24)
+        index.start_remote(replication_factor=2,
+                           snapshot_root=tmp_path / "snapshots")
+        try:
+            service = SearchService(_ClusteredEngine(index))
+            status = service.status()
+            replicas = status["replicas"]
+            assert replicas["replication_factor"] == 2
+            assert sorted(replicas["nodes"]) == ["node0", "node1"]
+            for node, handles in replicas["nodes"].items():
+                assert [handle["slot"] for handle in handles] == [0, 1]
+                for handle in handles:
+                    assert handle["healthy"]
+                    assert handle["pid"] > 0
+                    assert handle["port"] > 0
+                    assert handle["name"].startswith(f"{node}/r")
+
+            # a killed replica shows up unhealthy on the next probe
+            index.remote.kill_replica("node0", slot=1)
+            degraded = service.status()["replicas"]
+            health = [handle["healthy"]
+                      for handle in degraded["nodes"]["node0"]]
+            assert health == [True, False]
+        finally:
+            index.stop_remote()
+
+    def test_status_without_remote_has_no_replicas_key(self):
+        index = build_index(cluster_size=2, documents=24)
+        service = SearchService(_ClusteredEngine(index))
+        assert "replicas" not in service.status()
+
+    def test_query_through_backend_switch(self, tmp_path):
+        """The same index answers thread and process queries in turn."""
+        index = build_index(cluster_size=2, documents=24)
+        index.start_remote(replication_factor=1,
+                           snapshot_root=tmp_path / "snapshots")
+        try:
+            thread = index.query("trophy melbourne",
+                                 process_policy(backend="thread"))
+            process = index.query("trophy melbourne", process_policy())
+            assert process.ranking == thread.ranking
+        finally:
+            index.stop_remote()
