@@ -45,7 +45,9 @@ def normalized_terms(query: str) -> tuple[str, ...]:
 def policy_signature(policy) -> tuple:
     """The policy fields that can affect a query's result.
 
-    ``cache`` / ``cache_size`` steer the cache itself and are excluded;
+    ``cache`` / ``cache_size`` steer the cache itself and
+    ``plan_cache`` only steers plan *compilation* reuse (a cached plan
+    executes the identical access steps), so all three are excluded;
     everything else participates: ``n`` and ``prune`` shape the ranking
     directly, and the execution knobs (workers, deadline, retries,
     backoff, failure mode, backend, hedging) decide *which* ranking

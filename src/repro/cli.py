@@ -129,7 +129,8 @@ def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
         backend=args.backend,
         hedge_after_ms=args.hedge_after_ms,
         cache=not args.no_cache,
-        cache_size=args.cache_size)
+        cache_size=args.cache_size,
+        plan_cache=not args.no_plan_cache)
 
 
 def _add_policy_flags(command: argparse.ArgumentParser) -> None:
@@ -162,6 +163,10 @@ def _add_policy_flags(command: argparse.ArgumentParser) -> None:
                             "many milliseconds (default: no hedging)")
     group.add_argument("--no-cache", action="store_true",
                        help="bypass the generation-stamped query cache")
+    group.add_argument("--no-plan-cache", action="store_true",
+                       help="recompile the top-N physical plan on every "
+                            "execution instead of reusing compiled "
+                            "plans (result-neutral; for measurement)")
     group.add_argument("--cache-size", type=int, default=128,
                        help="LRU bound of the query cache (default: 128)")
     group.add_argument("--replicas", type=int, default=2,

@@ -48,7 +48,13 @@ class ExecutionPolicy:
       from (and stored into) the engine's generation-stamped result
       cache, and the cache's LRU bound.  ``cache=False`` bypasses the
       cache entirely (the CLI's ``--no-cache``); degraded results are
-      never cached regardless.
+      never cached regardless,
+    * ``plan_cache`` — whether the top-N scan may reuse compiled
+      physical plans from :mod:`repro.core.plan_cache`
+      (``plan_cache=False``, the CLI's ``--no-plan-cache``, recompiles
+      the plan on every execution).  Like ``cache`` it cannot change a
+      ranking, only how much work produces it, so it is excluded from
+      the result-cache key signature.
     """
 
     n: int = 10
@@ -62,6 +68,7 @@ class ExecutionPolicy:
     hedge_after_ms: float | None = None
     cache: bool = True
     cache_size: int = 128
+    plan_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.n < 1:

@@ -400,8 +400,16 @@ class SearchEngine:
 
     def _content_search(self, cls: str, attribute: str, text: str,
                         policy: ExecutionPolicy | None = None
-                        ) -> dict[str, float]:
-        """IR hook: ranked keys of one class/attribute namespace."""
+                        ) -> tuple[dict[str, float], dict[str, object]]:
+        """IR hook: ranked keys of one class/attribute namespace.
+
+        Returns ``(ranked, info)``: the info dict carries how the
+        physical level executed (columnar kernel or scalar reference
+        path, result-cache hit) and lands on the ``IrProbe`` plan node.
+        """
+        from repro.ir.topn import kernels_available
+        from repro.service.api import MODE_CONTENT, SearchRequest
+
         prefix = f"{cls}:"
         suffix = f":{attribute}"
         ranked: dict[str, float] = {}
@@ -409,11 +417,21 @@ class SearchEngine:
         # so it needs the full collection ranked, whatever policy.n says
         base = policy if policy is not None else ExecutionPolicy()
         full = base.replace(n=max(1, self.ir.relations.document_count()))
-        for url, score in self.ir.search_urls(text, policy=full):
+        response = self.ir.execute(SearchRequest(
+            query=text, mode=MODE_CONTENT, policy=full))
+        for hit in response.hits:
+            url = hit.key
             if url.startswith(prefix) and url.endswith(suffix):
                 key = url[len(prefix):len(url) - len(suffix)]
-                ranked[key] = score
-        return ranked
+                ranked[key] = hit.score
+        info: dict[str, object] = {
+            "kernel": "columnar" if kernels_available() else "scalar",
+            "cache_hit": response.cache_hit,
+        }
+        details = getattr(response.result, "details", None)
+        if isinstance(details, dict) and "plan_cache_hit" in details:
+            info["plan_cache_hit"] = details["plan_cache_hit"]
+        return ranked, info
 
     def _event_search(self, media_url: str, event: str
                       ) -> list[tuple[int, int]]:

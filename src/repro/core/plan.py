@@ -32,6 +32,33 @@ class PlanNode:
         self.counters[name] = value
         return self
 
+    def to_dict(self) -> dict[str, object]:
+        """The one structured EXPLAIN shape, stamped with the schema
+        version.
+
+        Both plan surfaces — ``QueryResult.explain()`` text and
+        ``repro-search stats --json`` — derive from this dict, so they
+        can never drift apart.  The columnar-execution fields
+        (``kernel``, ``rows_in``/``rows_out``, ``plan_cache_hit``) are
+        lifted out of the counters: ``None`` when the operator did not
+        record them.
+        """
+        from repro.service.api import SCHEMA_VERSION
+
+        counters = dict(self.counters)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "operator": self.operator,
+            "detail": self.detail,
+            "kernel": counters.get("kernel"),
+            "rows_in": counters.get("rows_in", counters.get("in")),
+            "rows_out": counters.get(
+                "rows_out", counters.get("out", counters.get("rows"))),
+            "plan_cache_hit": counters.get("plan_cache_hit"),
+            "counters": counters,
+            "children": [child.to_dict() for child in self.children],
+        }
+
     def find(self, operator: str) -> list["PlanNode"]:
         """All nodes of one operator kind, preorder."""
         found = []
@@ -47,16 +74,23 @@ class PlanNode:
         return format_plan(self)
 
 
-def format_plan(node: PlanNode, indent: int = 0) -> str:
-    """Render a plan tree in the usual EXPLAIN style."""
+def format_plan(node: "PlanNode | dict", indent: int = 0) -> str:
+    """Render a plan tree in the usual EXPLAIN style.
+
+    Accepts a :class:`PlanNode` or its :meth:`PlanNode.to_dict` shape —
+    internally everything renders from the dict, so the text and JSON
+    surfaces are two views of the same structure.
+    """
+    if isinstance(node, PlanNode):
+        node = node.to_dict()
     pad = "  " * indent
     counters = ""
-    if node.counters:
+    if node.get("counters"):
         parts = ", ".join(f"{name}={value}"
-                          for name, value in node.counters.items())
+                          for name, value in node["counters"].items())
         counters = f"  [{parts}]"
-    detail = f" {node.detail}" if node.detail else ""
-    lines = [f"{pad}{node.operator}{detail}{counters}"]
-    for child in node.children:
+    detail = f" {node['detail']}" if node.get("detail") else ""
+    lines = [f"{pad}{node['operator']}{detail}{counters}"]
+    for child in node.get("children", ()):
         lines.append(format_plan(child, indent + 1))
     return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Compiled physical-plan caching, keyed on (query shape, index layout).
+
+The result cache (:mod:`repro.cache.query_cache`) memoizes *answers*;
+this module memoizes the *work description*: which fragments a query's
+terms touch, in which order, against which packed postings columns.
+That plan depends only on the query's term set and the fragment
+layout — not on the idf weights (which the distributed plan patches
+per query) and not on which backend executes it — so one compiled plan
+serves repeated query shapes across the thread backend, the process
+backend's workers and the single-node engine alike.
+
+Invalidation follows the generation-stamp protocol: every
+:class:`~repro.ir.relations.PostingsIndex` build mints a fresh token,
+the :class:`~repro.ir.fragmentation.FragmentSet` embeds it in its
+``plan_token``, and the token is part of every cache key — a mutated
+index simply never matches an old plan again, and stale plans age out
+of the LRU order.
+
+Traffic is recorded on the active telemetry registry as
+``plan_cache.hit`` / ``plan_cache.miss`` (distinct from the result
+caches' ``cache.*`` counters, so ``stats --json`` can show both books).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["PlanCache", "get_plan_cache"]
+
+DEFAULT_CAPACITY = 256
+
+
+class PlanCache:
+    """A bounded LRU of compiled physical plans.
+
+    One lock covers lookup and insert; plan compilation itself runs
+    outside the lock (compiling the same plan twice under a race is
+    harmless — both compiles produce equivalent plans and the last
+    store wins).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"plan cache capacity must be >= 1, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compile(self, key: Hashable,
+                       compile_plan: Callable[[], Any]
+                       ) -> tuple[Any, bool]:
+        """Return ``(plan, cache_hit)``, compiling and storing on a miss."""
+        metrics = get_telemetry().metrics
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+        if plan is not None:
+            metrics.counter("plan_cache.hit").add(1)
+            return plan, True
+        plan = compile_plan()
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        metrics.counter("plan_cache.miss").add(1)
+        return plan, False
+
+    def invalidate(self) -> int:
+        """Drop every compiled plan; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PlanCache({len(self._entries)}/{self.capacity})"
+
+
+# One process-wide cache: plans are tiny (term/fragment step lists) and
+# keyed by layout tokens, so sharing across engines is safe by design.
+_DEFAULT = PlanCache()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache."""
+    return _DEFAULT

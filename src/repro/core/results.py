@@ -97,6 +97,10 @@ class QueryResult:
                 "max_node": max(self.node_tuples.values(), default=0),
                 "per_node": dict(self.node_tuples),
             },
+            # the same PlanNode.to_dict() shape explain() renders, so
+            # stats --json and the text EXPLAIN can never diverge
+            "plan": (self.plan.to_dict()
+                     if hasattr(self.plan, "to_dict") else None),
         }
 
     def __len__(self) -> int:

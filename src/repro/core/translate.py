@@ -72,8 +72,8 @@ class ConceptualIndex:
                 node.attribute_relation("id"))
             if id_relation is not None:
                 self.store.server.charge(len(id_relation))
-                keys = {id_relation.find(oid) for oid in oids
-                        if id_relation.exists(oid)}
+                keys = {key for key in id_relation.get_many(oids)
+                        if key is not None}
         self._key_cache[cls] = keys
         return keys
 
@@ -97,10 +97,14 @@ class ConceptualIndex:
                     pairs = descend(self.store.catalog, node, oids,
                                     attribute, self.store.server)
                     self.store.server.charge(len(href))
-                    for obj_oid, attr_oid in pairs:
-                        if href.exists(attr_oid):
-                            key = id_relation.find(obj_oid)
-                            values.setdefault(key, href.find(attr_oid))
+                    # batch lookups: one index probe pass per column
+                    keys = id_relation.get_many(
+                        [obj_oid for obj_oid, _ in pairs])
+                    tails = href.get_many(
+                        [attr_oid for _, attr_oid in pairs])
+                    for key, value in zip(keys, tails):
+                        if value is not None and key is not None:
+                            values.setdefault(key, value)
                 cdata_node = attr_node.get_child("pcdata")
                 if cdata_node is not None:
                     cdata = self.store.catalog.get_or_none(
@@ -110,9 +114,13 @@ class ConceptualIndex:
                                         f"{attribute}/pcdata",
                                         self.store.server)
                         self.store.server.charge(len(cdata))
-                        for obj_oid, text_oid in pairs:
-                            key = id_relation.find(obj_oid)
-                            values.setdefault(key, cdata.find(text_oid))
+                        keys = id_relation.get_many(
+                            [obj_oid for obj_oid, _ in pairs])
+                        texts = cdata.get_many(
+                            [text_oid for _, text_oid in pairs])
+                        for key, text in zip(keys, texts):
+                            if text is not None and key is not None:
+                                values.setdefault(key, text)
         self._attr_cache[slot] = values
         return values
 
@@ -132,9 +140,10 @@ class ConceptualIndex:
             if source is not None and target is not None:
                 self.store.server.charge(len(source) + len(target))
                 seen: set[tuple[str, str]] = set()
-                for oid in node_oids(self.store.catalog, node,
-                                     self.store.server):
-                    pair = (source.find(oid), target.find(oid))
+                oids = node_oids(self.store.catalog, node,
+                                 self.store.server)
+                for pair in zip(source.get_many(oids),
+                                target.get_many(oids)):
                     if pair not in seen:
                         seen.add(pair)
                         pairs.append(pair)
@@ -158,11 +167,14 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
     """Run a conceptual query.
 
     ``content_search(cls, attribute, text)`` must return
-    ``dict[object key, score]`` (the IR hook); ``event_search(media_url,
-    event)`` must return a list of (begin, end) shot ranges, empty when
-    the event never occurs; ``audio_search(media_url, kind)`` must
-    return (matched, [(start, end, speaker)]) — all three are the
-    physical level's optimization hooks.
+    ``dict[object key, score]`` (the IR hook), or a
+    ``(ranked, info)`` tuple whose ``info`` dict (``kernel``,
+    ``plan_cache_hit``, ``cache_hit``) is stamped onto the ``IrProbe``
+    plan node; ``event_search(media_url, event)`` must return a list of
+    (begin, end) shot ranges, empty when the event never occurs;
+    ``audio_search(media_url, kind)`` must return
+    (matched, [(start, end, speaker)]) — all three are the physical
+    level's optimization hooks.
     """
     query.validate()
     telemetry = get_telemetry()
@@ -224,8 +236,14 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
             with tracer.span("op.IrProbe", cls=cls,
                              attribute=predicate.attribute,
                              text=predicate.text) as op:
-                ranked = content_search(cls, predicate.attribute,
+                probed = content_search(cls, predicate.attribute,
                                         predicate.text)
+                # hooks may return (ranked, info) to surface how the
+                # physical level executed (kernel, plan-cache hit)
+                if isinstance(probed, tuple):
+                    ranked, probe_info = probed
+                else:
+                    ranked, probe_info = probed, {}
                 op.set_attribute("matched", len(ranked))
             operators.counter("translate.operators",
                               operator="IrProbe").add(1)
@@ -233,12 +251,16 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
             for key, score in ranked.items():
                 previous = scores[predicate.alias].get(key, 0.0)
                 scores[predicate.alias][key] = previous + score
-            bind_nodes[predicate.alias].add(PlanNode(
+            probe_node = PlanNode(
                 "IrProbe",
                 f"{predicate.alias}.{predicate.attribute} CONTAINS "
                 f"{predicate.text!r}",
                 {"in": before, "matched": len(ranked),
-                 "out": len(candidates[predicate.alias])}))
+                 "out": len(candidates[predicate.alias])})
+            for field in ("kernel", "plan_cache_hit"):
+                if field in probe_info:
+                    probe_node.counters[field] = probe_info[field]
+            bind_nodes[predicate.alias].add(probe_node)
 
     with tracer.span("plan.events",
                      predicates=len(query.event_predicates)):

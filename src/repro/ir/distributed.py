@@ -112,7 +112,39 @@ class DistributedQueryResult:
                 "max_node": self.max_node_tuples(),
                 "per_node": per_node,
             },
+            "plan": self._plan_dict(),
         }
+
+    def _plan_dict(self) -> dict[str, object]:
+        """The distributed plan in ``PlanNode.to_dict()`` shape.
+
+        One ``NodeTopN`` child per node, carrying the node's kernel and
+        plan-cache fields — the same schema the conceptual engine's
+        ``QueryResult`` emits, so ``stats --json`` reads one format.
+        """
+        # deferred: repro.core imports repro.ir, so a module-level
+        # import of repro.core.plan would be circular
+        from repro.core.plan import PlanNode
+
+        root = PlanNode(
+            "DistributedTopN",
+            f"merge of {len(self.local_results)} node rankings",
+            {"rows": len(self.ranking)})
+        for name, local in self.local_results.items():
+            counters: dict[str, object] = {
+                "tuples_read": local.tuples_read,
+                "fragments_read": local.fragments_read,
+                "stopped_early": local.stopped_early,
+                "attempts": self.attempts.get(name, 1),
+            }
+            details = getattr(local, "details", None) or {}
+            for field in ("kernel", "plan_cache_hit"):
+                if field in details:
+                    counters[field] = details[field]
+            root.add(PlanNode("NodeTopN", name, counters))
+        for name, error in sorted(self.failed_nodes.items()):
+            root.add(PlanNode("NodeTopN", name, {"failed": str(error)}))
+        return root.to_dict()
 
     def explain(self) -> str:
         """Per-node execution report, EXPLAIN ANALYZE style."""
@@ -437,7 +469,8 @@ class DistributedIndex:
                 patched = patch_fragment_idf(fragments, relations,
                                              global_idf)
                 local = topn_fragmented(patched, local_terms, policy.n,
-                                        prune=policy.prune, refine=True)
+                                        prune=policy.prune, refine=True,
+                                        plan_cache=policy.plan_cache)
                 node_span.set_attributes(
                     tuples_read=local.tuples_read,
                     fragments_read=local.fragments_read,
@@ -525,7 +558,11 @@ def patch_fragment_idf(fragments: FragmentSet, relations: IrRelations,
     """
     from repro.ir.fragmentation import Fragment
 
-    patched = FragmentSet()
+    # the packed columns, dense universe and plan token are shared:
+    # only the weights change, never the physical layout — so a plan
+    # compiled against the unpatched set drives the patched view too
+    patched = FragmentSet(doc_ids=fragments.doc_ids,
+                          plan_token=fragments.plan_token)
     for fragment in fragments:
         idf = {}
         for term_oid in fragment.term_oids:
@@ -538,5 +575,6 @@ def patch_fragment_idf(fragments: FragmentSet, relations: IrRelations,
             idf=idf,
             max_tf=fragment.max_tf,
             tuples=fragment.tuples,
+            packed=fragment.packed,
         ))
     return patched

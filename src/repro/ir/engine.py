@@ -159,7 +159,8 @@ class IrEngine:
                 return cached, True
         terms = query_term_oids(self.relations, query)
         result = topn_fragmented(self.fragments(), terms, policy.n,
-                                 prune=policy.prune)
+                                 prune=policy.prune,
+                                 plan_cache=policy.plan_cache)
         if key is not None:
             self.query_cache.store(key, result)
         return result, False

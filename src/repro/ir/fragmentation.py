@@ -13,11 +13,12 @@ per-term statistics (idf, max tf) the top-N optimizer's bounds need.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.errors import BatError
 from repro.monetdb.atoms import Oid
-from repro.ir.relations import IrRelations
+from repro.ir.relations import IrRelations, PackedPostings
 from repro.telemetry.runtime import get_telemetry
 
 __all__ = ["Fragment", "FragmentSet", "fragment_by_idf"]
@@ -25,7 +26,14 @@ __all__ = ["Fragment", "FragmentSet", "fragment_by_idf"]
 
 @dataclass
 class Fragment:
-    """One horizontal fragment of the TF relation."""
+    """One horizontal fragment of the TF relation.
+
+    ``postings`` is the scalar access path (tuple lists); ``packed``
+    shares the :class:`~repro.ir.relations.PackedPostings` columns of
+    the relations' postings index, which is what the batch scoring
+    kernels read.  Hand-built fragments may leave ``packed`` empty —
+    the top-N scorer then falls back to the scalar path.
+    """
 
     index: int
     term_oids: set[Oid]
@@ -33,6 +41,7 @@ class Fragment:
     idf: dict[Oid, float]
     max_tf: dict[Oid, int]
     tuples: int = 0
+    packed: dict[Oid, PackedPostings] = field(default_factory=dict)
 
     def max_score_bound(self, term_oid: Oid) -> float:
         """Upper bound on any document's score gain from this term here."""
@@ -45,9 +54,19 @@ class Fragment:
 
 @dataclass
 class FragmentSet:
-    """The ordered fragment list (highest-idf terms first)."""
+    """The ordered fragment list (highest-idf terms first).
+
+    ``doc_ids`` is the dense document universe (position -> doc oid)
+    the packed postings' ``dense`` columns index into, shared with the
+    postings index that built this set; ``plan_token`` identifies the
+    physical layout for the plan cache — an idf-patched view
+    (:func:`~repro.ir.distributed.patch_fragment_idf`) keeps the token
+    because only weights change, never the compiled access order.
+    """
 
     fragments: list[Fragment] = field(default_factory=list)
+    doc_ids: array | None = None
+    plan_token: tuple | None = None
 
     def __len__(self) -> int:
         return len(self.fragments)
@@ -88,22 +107,31 @@ def fragment_by_idf(relations: IrRelations, fragment_count: int,
     else:
         raise BatError(f"unknown fragmentation order: {order!r}")
 
-    postings_by_term = {oid: relations.postings(oid) for oid in term_oids}
-    total_tuples = sum(len(p) for p in postings_by_term.values())
+    # the packed postings index is the single O(pairs) precomputation;
+    # fragments share its columns instead of re-deriving per term
+    index = relations.postings_index()
+    packed_by_term = {oid: index.by_term.get(int(oid)) for oid in term_oids}
+    total_tuples = sum(len(p) for p in packed_by_term.values()
+                       if p is not None)
     target = max(1, -(-total_tuples // fragment_count))  # ceil division
 
-    fragment_set = FragmentSet()
+    fragment_set = FragmentSet(doc_ids=index.doc_ids,
+                               plan_token=(index.token, fragment_count,
+                                           order))
     current = Fragment(0, set(), {}, {}, {})
     for term_oid in term_oids:
-        postings = postings_by_term[term_oid]
+        packed = packed_by_term[term_oid]
+        if packed is None:
+            continue
         if (current.tuples >= target
                 and len(fragment_set.fragments) < fragment_count - 1):
             fragment_set.fragments.append(current)
             current = Fragment(len(fragment_set.fragments), set(), {}, {}, {})
         current.term_oids.add(term_oid)
-        current.postings[term_oid] = postings
+        current.postings[term_oid] = packed.pairs()
+        current.packed[term_oid] = packed
         current.idf[term_oid] = relations.idf(term_oid)
-        current.max_tf[term_oid] = max((tf for _, tf in postings), default=0)
-        current.tuples += len(postings)
+        current.max_tf[term_oid] = packed.max_tf
+        current.tuples += len(packed)
     fragment_set.fragments.append(current)
     return fragment_set

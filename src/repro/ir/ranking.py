@@ -21,6 +21,11 @@ from repro.monetdb.atoms import Oid
 from repro.ir.relations import IrRelations
 from repro.ir.text import analyze
 
+try:  # the tf·idf scoring kernel vectorizes through numpy when present
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 __all__ = ["query_term_oids", "rank_tfidf", "rank_hiemstra", "Ranking"]
 
 import math
@@ -46,15 +51,54 @@ def _sorted_ranking(scores: dict[Oid, float], n: int | None) -> Ranking:
     return ranking if n is None else ranking[:n]
 
 
-def rank_tfidf(relations: IrRelations, query: str, n: int | None = 10
-               ) -> Ranking:
-    """Exact tf·idf ranking over the full TF relation."""
+def rank_tfidf(relations: IrRelations, query: str, n: int | None = 10,
+               *, kernel: bool | None = None) -> Ranking:
+    """Exact tf·idf ranking over the full TF relation.
+
+    Runs the columnar scoring kernel (scatter-adds over the packed
+    postings index) when numpy is importable; ``kernel=False`` forces
+    the scalar reference loop.  Both accumulate per document in the
+    identical sequence (query-term order; each doc occurs at most once
+    per term), so rankings are bit-identical.
+    """
+    use_kernel = kernel if kernel is not None else _np is not None
+    if use_kernel and _np is None:
+        raise ValueError("kernel=True requires numpy")
+    terms = query_term_oids(relations, query)
+    if use_kernel:
+        return _rank_tfidf_kernel(relations, terms, n)
     scores: dict[Oid, float] = defaultdict(float)
-    for term_oid in query_term_oids(relations, query):
+    for term_oid in terms:
         weight = relations.idf(term_oid)
         for doc, tf in relations.postings(term_oid):
             scores[doc] += tf * weight
     return _sorted_ranking(scores, n)
+
+
+def _rank_tfidf_kernel(relations: IrRelations, terms: list[Oid],
+                       n: int | None) -> Ranking:
+    np = _np
+    index = relations.postings_index()
+    universe = len(index.doc_ids)
+    acc = np.zeros(universe)
+    touched = np.zeros(universe, dtype=bool)
+    for term_oid in terms:  # query order, duplicates contribute twice
+        packed = index.by_term.get(int(term_oid))
+        if packed is None:
+            continue
+        weight = relations.idf(term_oid)
+        dense = packed.dense_view(np)
+        acc[dense] += packed.weights_view(np) * weight
+        touched[dense] = True
+    selected = np.flatnonzero(touched)
+    if not len(selected):
+        return []
+    docs = np.frombuffer(index.doc_ids, dtype=np.int64)[selected]
+    raw = acc[selected]
+    order = np.lexsort((docs, -np.round(raw, 9)))
+    if n is not None:
+        order = order[:n]
+    return [(int(docs[i]), float(raw[i])) for i in order]
 
 
 def rank_hiemstra(relations: IrRelations, query: str, n: int | None = 10,

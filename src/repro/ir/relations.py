@@ -24,8 +24,11 @@ caches key on (:mod:`repro.cache`).
 
 from __future__ import annotations
 
+import itertools
 import threading
+from array import array
 from collections import Counter
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import CatalogError
@@ -34,7 +37,82 @@ from repro.monetdb.catalog import Catalog
 from repro.ir.text import analyze
 from repro.telemetry.runtime import get_telemetry
 
-__all__ = ["IrRelations"]
+__all__ = ["IrRelations", "PackedPostings", "PostingsIndex"]
+
+# Monotonic identity for postings-index builds: plan-cache keys embed it
+# so a compiled plan can never outlive the index layout it was built
+# against (two indexes never share a token, even across rebuilds that
+# reuse the same object addresses).
+_INDEX_TOKENS = itertools.count(1)
+
+
+@dataclass
+class PackedPostings:
+    """One term's postings as packed parallel columns.
+
+    ``docs`` holds the doc oids and ``dense`` their positions in the
+    owning index's ``doc_ids`` universe (both ``array('q')``, posting
+    order = DT insertion order); ``tfs`` are the integer term
+    frequencies and ``tf_weights`` the same values pre-widened to
+    float64 for the scoring kernels.  Each doc occurs at most once per
+    term (one DT pair per document-term), which is what lets the
+    kernels use unordered scatter-adds and stay bit-identical to the
+    sequential scalar accumulation.
+    """
+
+    docs: array
+    dense: array
+    tfs: array
+    tf_weights: array
+    max_tf: int = 0
+    # zero-copy numpy views over dense/tf_weights, built on first
+    # kernel touch and shared by every cached plan
+    _dense_view: object = field(default=None, repr=False, compare=False)
+    _weights_view: object = field(default=None, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.docs)
+
+    def pairs(self) -> list[tuple[int, int]]:
+        """The scalar view: ``[(doc, tf), ...]`` in posting order."""
+        return list(zip(self.docs, self.tfs))
+
+    def dense_view(self, np):
+        """The dense-position column as an int64 numpy view (zero-copy)."""
+        view = self._dense_view
+        if view is None:
+            view = np.frombuffer(self.dense, dtype=np.int64) \
+                if self.dense else np.empty(0, dtype=np.int64)
+            self._dense_view = view
+        return view
+
+    def weights_view(self, np):
+        """The float64 tf column as a numpy view (zero-copy)."""
+        view = self._weights_view
+        if view is None:
+            view = np.frombuffer(self.tf_weights, dtype=np.float64) \
+                if self.tf_weights else np.empty(0, dtype=np.float64)
+            self._weights_view = view
+        return view
+
+
+@dataclass
+class PostingsIndex:
+    """The TF access path, precomputed: term -> packed postings.
+
+    Built in one pass over DT/TF per index generation (the paper's
+    fragmentation then orders these terms by descending idf); also
+    carries the dense document universe (``doc_ids``: dense position ->
+    doc oid) the scoring kernels accumulate over, and the per-document
+    lengths the language model needs.
+    """
+
+    generation: int
+    token: int
+    by_term: dict[int, PackedPostings] = field(default_factory=dict)
+    doc_ids: array = field(default_factory=lambda: array("q"))
+    doc_dense: dict[int, int] = field(default_factory=dict)
+    doc_lengths: dict[int, int] = field(default_factory=dict)
 
 
 class IrRelations:
@@ -61,6 +139,8 @@ class IrRelations:
         self.generation = 0
         self._idf_generation = -1
         self._refresh_lock = threading.Lock()
+        self._postings_index: PostingsIndex | None = None
+        self._postings_lock = threading.Lock()
         # total term occurrences (for LM ranking); restored from TF when
         # the catalog comes from a snapshot
         self.collection_length = sum(self.TF.tail)
@@ -95,11 +175,8 @@ class IrRelations:
         return len(self._doc_oids)
 
     def document_length(self, doc: Oid) -> int:
-        """Total term occurrences of one document."""
-        total = 0
-        for pair in self.DT_doc.find_heads(doc):
-            total += self.TF.find(pair)
-        return total
+        """Total term occurrences of one document (via the packed index)."""
+        return self.postings_index().doc_lengths.get(int(doc), 0)
 
     # -- indexing ---------------------------------------------------------
 
@@ -162,12 +239,11 @@ class IrRelations:
                 return
             frequencies: Counter[Oid] = Counter(self.DT_term.tail)
             fresh = self.catalog.get("ir:IDF")
-            fresh._head.clear()  # rebuilt wholesale: IDF is small (vocab)
-            fresh._tail.clear()
-            fresh._head_index = None
-            fresh._tail_index = None
-            for term_oid, document_frequency in frequencies.items():
-                fresh.insert(term_oid, 1.0 / document_frequency)
+            fresh.clear()  # rebuilt wholesale: IDF is small (vocab)
+            fresh.append_many(
+                list(frequencies.keys()),
+                [1.0 / document_frequency
+                 for document_frequency in frequencies.values()])
             self._idf_generation = generation
         get_telemetry().metrics.counter("ir.idf_refresh").add(1)
 
@@ -183,16 +259,81 @@ class IrRelations:
             self.refresh_idf()
         return self.IDF.get(term_oid, 0.0)
 
+    def postings_index(self) -> PostingsIndex:
+        """The packed postings access path, memoized per generation.
+
+        One O(pairs) pass over DT/TF replaces the per-term
+        ``find_heads``/``find`` loops the scalar path used to run per
+        query: every term's (doc, tf) columns come out packed on
+        ``array('q')`` (posting order preserved), together with the
+        dense document universe the scoring kernels accumulate over.
+        Double-checked under a lock like :meth:`refresh_idf`.
+        """
+        index = self._postings_index
+        if index is not None and index.generation == self.generation:
+            return index
+        with self._postings_lock:
+            generation = self.generation
+            index = self._postings_index
+            if index is not None and index.generation == generation:
+                return index
+            index = self._build_postings_index(generation)
+            self._postings_index = index
+        get_telemetry().metrics.counter("ir.postings_rebuilds").add(1)
+        return index
+
+    def _build_postings_index(self, generation: int) -> PostingsIndex:
+        index = PostingsIndex(generation=generation,
+                              token=next(_INDEX_TOKENS))
+        doc_ids = index.doc_ids
+        doc_dense = index.doc_dense
+        for doc in self.D.head:
+            doc = int(doc)
+            if doc not in doc_dense:
+                doc_dense[doc] = len(doc_ids)
+                doc_ids.append(doc)
+        # pair oid -> (doc, tf); the dict probes are the only per-pair
+        # Python work, paid once per generation instead of per query
+        doc_of = dict(zip(self.DT_doc.head, self.DT_doc.tail))
+        tf_of = dict(zip(self.TF.head, self.TF.tail))
+        grouped: dict[int, tuple[list[int], list[int]]] = {}
+        doc_lengths = index.doc_lengths
+        for pair, term in zip(self.DT_term.head, self.DT_term.tail):
+            doc = doc_of[pair]
+            tf = tf_of[pair]
+            entry = grouped.get(term)
+            if entry is None:
+                entry = grouped[term] = ([], [])
+            entry[0].append(doc)
+            entry[1].append(tf)
+            doc_lengths[doc] = doc_lengths.get(doc, 0) + tf
+        for term, (docs, tfs) in grouped.items():
+            dense = []
+            for doc in docs:
+                position = doc_dense.get(doc)
+                if position is None:  # tolerate a pair outside D
+                    position = doc_dense[doc] = len(doc_ids)
+                    doc_ids.append(doc)
+                dense.append(position)
+            index.by_term[term] = PackedPostings(
+                docs=array("q", docs), dense=array("q", dense),
+                tfs=array("q", tfs),
+                tf_weights=array("d", tfs),
+                max_tf=max(tfs, default=0))
+        return index
+
     def postings(self, term_oid: Oid) -> list[tuple[Oid, int]]:
-        """(doc-oid, tf) postings of one term, via the DT/TF relations."""
-        result: list[tuple[Oid, int]] = []
-        pairs = self.DT_term.find_heads(term_oid)
-        for pair in pairs:
-            result.append((self.DT_doc.find(pair), self.TF.find(pair)))
-        return result
+        """(doc-oid, tf) postings of one term, in DT insertion order."""
+        packed = self.postings_index().by_term.get(int(term_oid))
+        return packed.pairs() if packed is not None else []
+
+    def packed_postings(self, term_oid: Oid) -> PackedPostings | None:
+        """The packed column view of one term's postings, or ``None``."""
+        return self.postings_index().by_term.get(int(term_oid))
 
     def document_frequency(self, term_oid: Oid) -> int:
-        return len(self.DT_term.find_heads(term_oid))
+        packed = self.postings_index().by_term.get(int(term_oid))
+        return len(packed) if packed is not None else 0
 
     def stats(self) -> dict[str, int]:
         return {

@@ -13,6 +13,22 @@ Two techniques from the paper's query section:
   and *estimate/measure* the resulting quality degrade, the cost-quality
   trade-off of [BHC+01] — "IR is inherently uncertain allowing other
   probabilistic query optimization tricks".
+
+Since the columnar redesign the scan has two interchangeable bodies:
+
+* the **scalar** reference path (:func:`_topn_scan`): per-posting Python
+  loops over the fragments' tuple lists, and
+* the **columnar kernel** (:func:`_topn_scan_kernel`): numpy
+  scatter-adds over the fragments' packed postings columns, following a
+  *compiled physical plan* — the per-(query shape, index layout) list
+  of (fragment, term) access steps cached in
+  :mod:`repro.core.plan_cache`.
+
+Both bodies execute the identical sequence of float additions per
+document (per-term postings hold each doc at most once, so an
+unordered scatter-add equals the sequential sum), and both tie-break
+through the canonical quantizer — rankings are bit-identical, which
+the ``kernels`` parity suite asserts across backends.
 """
 
 from __future__ import annotations
@@ -25,7 +41,18 @@ from repro.ir.fragmentation import FragmentSet
 from repro.ir.ranking import Ranking
 from repro.telemetry.runtime import get_telemetry
 
-__all__ = ["TopNResult", "topn_fragmented", "topn_cutoff", "quality_degrade"]
+try:  # the kernels vectorize through numpy when it is importable
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+__all__ = ["TopNResult", "topn_fragmented", "topn_cutoff",
+           "quality_degrade", "kernels_available"]
+
+
+def kernels_available() -> bool:
+    """Whether the columnar scoring kernels can run (numpy importable)."""
+    return _np is not None
 
 
 @dataclass
@@ -37,7 +64,7 @@ class TopNResult:
     tuples_read: int = 0
     exact: bool = True
     stopped_early: bool = False
-    details: dict[str, float] = field(default_factory=dict)
+    details: dict[str, object] = field(default_factory=dict)
 
 
 def _rank(scores: dict[Oid, float], n: int) -> Ranking:
@@ -47,9 +74,45 @@ def _rank(scores: dict[Oid, float], n: int) -> Ranking:
                   key=lambda item: (-round(item[1], 9), item[0]))[:n]
 
 
+# ----------------------------------------------------------------------
+# compiled physical plans
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _TopNPlan:
+    """The physical access plan of one (query shape, fragment layout).
+
+    ``steps`` lists, in scan order, each fragment position a query term
+    touches together with the touched terms (frozen in the same set
+    iteration order the scalar path uses, so both bodies accumulate in
+    the identical sequence).  Weights are *not* baked in: idf is read
+    from the executing fragment set, so one plan serves patched
+    (global-idf) and unpatched views alike.
+    """
+
+    steps: tuple[tuple[int, tuple[int, ...]], ...]
+    kernel_ready: bool  # every touched term has packed postings
+
+
+def _compile_plan(fragments: FragmentSet,
+                  wanted: set) -> _TopNPlan:
+    steps = []
+    kernel_ready = fragments.doc_ids is not None
+    for position, fragment in enumerate(fragments):
+        touched = wanted & fragment.term_oids
+        if not touched:
+            continue
+        if kernel_ready:
+            kernel_ready = all(term in fragment.packed for term in touched)
+        steps.append((position, tuple(touched)))
+    return _TopNPlan(steps=tuple(steps), kernel_ready=kernel_ready)
+
+
 def topn_fragmented(fragments: FragmentSet, query_terms: list[Oid],
                     n: int, prune: bool = True,
-                    refine: bool = False) -> TopNResult:
+                    refine: bool = False, *,
+                    plan_cache: bool = True,
+                    kernel: bool | None = None) -> TopNResult:
     """Exact top-N over fragments, stopping early when provably final.
 
     After each fragment, ``remaining[t]`` bounds the score any document
@@ -66,17 +129,55 @@ def topn_fragmented(fragments: FragmentSet, query_terms: list[Oid],
     reads the query terms' tail postings *for the member documents
     only*, making the returned scores exact (the distributed plan needs
     exact local scores before merging); ``prune=False`` is exhaustive.
+
+    ``plan_cache=False`` recompiles the physical plan instead of
+    consulting :mod:`repro.core.plan_cache`; ``kernel`` forces the
+    columnar (``True``) or scalar (``False``) body — by default the
+    kernel runs whenever numpy is importable and the fragments carry
+    packed postings, falling back to the scalar reference path
+    otherwise.  Both bodies produce bit-identical rankings.
     """
     telemetry = get_telemetry()
     with telemetry.tracer.span("ir.topn", n=n, prune=prune,
                                refine=refine) as span:
-        result = _topn_scan(fragments, query_terms, n, prune, refine)
+        wanted = set(query_terms)
+        plan, plan_hit = _plan_for(fragments, wanted, n, prune, plan_cache)
+        use_kernel = kernel if kernel is not None \
+            else (_np is not None and plan.kernel_ready)
+        if use_kernel and (_np is None or not plan.kernel_ready):
+            raise ValueError(
+                "kernel=True needs numpy and packed fragments; "
+                "build the FragmentSet through fragment_by_idf")
+        if use_kernel:
+            result = _topn_scan_kernel(fragments, wanted, n, prune,
+                                       refine, plan)
+            telemetry.metrics.counter("kernel.rows").add(result.tuples_read)
+        else:
+            result = _topn_scan(fragments, query_terms, n, prune, refine)
+        result.details["kernel"] = "columnar" if use_kernel else "scalar"
+        result.details["plan_cache_hit"] = plan_hit
         span.set_attributes(tuples_read=result.tuples_read,
                             fragments_read=result.fragments_read,
-                            stopped_early=result.stopped_early)
+                            stopped_early=result.stopped_early,
+                            kernel=result.details["kernel"],
+                            plan_cache_hit=plan_hit)
     telemetry.metrics.counter("ir.topn_queries").add(1)
     telemetry.metrics.counter("ir.topn_tuples_read").add(result.tuples_read)
     return result
+
+
+def _plan_for(fragments: FragmentSet, wanted: set, n: int, prune: bool,
+              plan_cache: bool) -> tuple[_TopNPlan, bool]:
+    if not plan_cache or fragments.plan_token is None:
+        # hand-built fragment sets carry no layout token; caching them
+        # on object identity would resurrect plans across rebuilds
+        return _compile_plan(fragments, wanted), False
+    # deferred: repro.core imports this package, so a module-level
+    # import of repro.core.plan_cache would make the import cyclic
+    from repro.core.plan_cache import get_plan_cache
+    key = (fragments.plan_token, tuple(sorted(wanted)), n, prune)
+    return get_plan_cache().get_or_compile(
+        key, lambda: _compile_plan(fragments, wanted))
 
 
 def _topn_scan(fragments: FragmentSet, query_terms: list[Oid],
@@ -138,6 +239,109 @@ def _topn_scan(fragments: FragmentSet, query_terms: list[Oid],
 
     result.ranking = _rank(scores, n)
     return result
+
+
+def _topn_scan_kernel(fragments: FragmentSet, wanted: set, n: int,
+                      prune: bool, refine: bool,
+                      plan: _TopNPlan) -> TopNResult:
+    """The columnar body: scatter-add scoring over packed postings.
+
+    Mirrors :func:`_topn_scan` decision for decision — the same bound
+    bookkeeping (plain Python floats, same accumulation order), the
+    same stop conditions against the same quantized interim rankings —
+    only the per-posting accumulation and the sorting are vectorized.
+    """
+    np = _np
+    result = TopNResult(ranking=[])
+    frags = fragments.fragments
+    universe = len(fragments.doc_ids)
+    doc_column = np.frombuffer(fragments.doc_ids, dtype=np.int64) \
+        if universe else np.empty(0, dtype=np.int64)
+    acc = np.zeros(universe)
+    touched_mask = np.zeros(universe, dtype=bool)
+
+    remaining: dict[int, float] = defaultdict(float)
+    for position, terms in plan.steps:
+        fragment = frags[position]
+        for term in terms:
+            remaining[term] += fragment.max_score_bound(term)
+
+    if not prune:
+        # the scalar body counts every fragment as read when exhaustive
+        result.fragments_read = len(frags)
+
+    stop_step = len(plan.steps)
+    stopped_at = len(frags)
+    for step_index, (position, terms) in enumerate(plan.steps):
+        fragment = frags[position]
+        if prune:
+            result.fragments_read += 1
+        for term in terms:
+            weight = fragment.idf[term]
+            packed = fragment.packed[term]
+            result.tuples_read += len(packed)
+            dense = packed.dense_view(np)
+            acc[dense] += packed.weights_view(np) * weight
+            touched_mask[dense] = True
+            remaining[term] -= fragment.max_score_bound(term)
+        if not prune:
+            continue
+        total_remaining = sum(remaining[term] for term in wanted)
+        if total_remaining <= 0.0:
+            result.stopped_early = True
+            stop_step = step_index + 1
+            stopped_at = position + 1
+            break
+        candidates = int(touched_mask.sum())
+        if candidates < n:
+            continue
+        selected = np.flatnonzero(touched_mask)
+        order, raw = _order_candidates(np, acc, doc_column, selected)
+        nth_score = float(raw[order[n - 1]])
+        if nth_score <= total_remaining:
+            continue
+        ceiling = float(raw[order[n:]].max()) if candidates > n else 0.0
+        # strict: an unseen or runner-up document can never even tie
+        if nth_score > ceiling + total_remaining:
+            result.stopped_early = True
+            stop_step = step_index + 1
+            stopped_at = position + 1
+            break
+
+    if refine and result.stopped_early:
+        selected = np.flatnonzero(touched_mask)
+        order, _ = _order_candidates(np, acc, doc_column, selected)
+        member_flags = np.zeros(universe, dtype=bool)
+        member_flags[selected[order[:n]]] = True
+        for position, terms in plan.steps[stop_step:]:
+            if position < stopped_at:
+                continue
+            fragment = frags[position]
+            for term in terms:
+                weight = fragment.idf[term]
+                packed = fragment.packed[term]
+                result.tuples_read += len(packed)
+                dense = packed.dense_view(np)
+                hit = member_flags[dense]
+                if hit.any():
+                    acc[dense[hit]] += packed.weights_view(np)[hit] * weight
+
+    selected = np.flatnonzero(touched_mask)
+    order, raw = _order_candidates(np, acc, doc_column, selected)
+    docs = doc_column[selected]
+    result.ranking = [(int(docs[i]), float(raw[i])) for i in order[:n]]
+    return result
+
+
+def _order_candidates(np, acc, doc_column, selected):
+    """Candidate order under the canonical quantized total order.
+
+    Returns ``(order, raw)``: positions into ``selected`` sorted by
+    quantized score desc then doc oid asc, plus the raw scores.
+    """
+    raw = acc[selected]
+    quantized = np.round(raw, 9)
+    return np.lexsort((doc_column[selected], -quantized)), raw
 
 
 def topn_cutoff(fragments: FragmentSet, query_terms: list[Oid], n: int,

@@ -1,22 +1,38 @@
-"""Relational algebra helpers over BATs.
+"""Relational algebra over BATs — batch-first columnar kernels.
 
-The query translator (``repro.core.translate``) breaks conceptual queries
-down to sequences of these operators; they are thin, well-named wrappers
-that keep translation code readable and chargeable to a server's cost
-accounting.
+The query translator (``repro.core.translate``) breaks conceptual
+queries down to sequences of these operators.  Since the columnar
+redesign the surface is *batch-first*: kernels take and return whole
+columns (``select_eq_many``, ``join_packed``, ``project_tails_many``,
+``lookup_many``) so per-tuple Python dispatch happens once per column,
+not once per value — the set-at-a-time execution model of Monet's BAT
+algebra rather than tuple-at-a-time loops in the host language.
+
+The old per-value scalar signatures (``select_eq``, ``select_where``,
+``project_tails``) remain as deprecated shims that emit a
+:class:`DeprecationWarning` naming their batch replacement, mirroring
+how the ``n=``/``prune=`` policy deprecation was finished.
+
+``topn_merge`` documents (and enforces) the ranking total order shared
+by every backend; :func:`quantize_score` is the one canonical score
+quantizer — the thread backend, the process workers and the columnar
+scoring kernels all tie-break through it.
 """
 
 from __future__ import annotations
 
-import heapq
+import warnings
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.monetdb.bat import BAT
 from repro.monetdb.server import MonetServer
 
 __all__ = [
-    "select_eq", "select_where", "join", "semijoin", "intersect_heads",
-    "union_heads", "difference_heads", "topn_merge", "project_tails",
+    "quantize_score", "ranking_sort_key",
+    "select_eq", "select_eq_many", "select_where", "select_where_many",
+    "join", "join_packed", "semijoin", "intersect_heads", "union_heads",
+    "difference_heads", "topn_merge", "project_tails",
+    "project_tails_many", "lookup_many", "group_count_packed",
 ]
 
 
@@ -25,18 +41,80 @@ def _charge(server: MonetServer | None, tuples: int) -> None:
         server.charge(tuples)
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use the batch kernel {new} instead",
+        DeprecationWarning, stacklevel=3)
+
+
+# ----------------------------------------------------------------------
+# the canonical ranking order
+# ----------------------------------------------------------------------
+
+def quantize_score(score: float) -> float:
+    """Quantize a ranking score for comparison (9 decimal places).
+
+    Summation order differs between access paths (scalar loops, the
+    columnar kernels, per-fragment partial sums), so raw doubles can
+    disagree in the last ulp; every ranking comparison in the system
+    quantizes through this one function so a 1-ulp difference never
+    flips a tie.
+    """
+    return round(score, 9)
+
+
+def ranking_sort_key(pair: tuple[Any, float]) -> tuple[float, Any]:
+    """The documented ranking total order: score desc, then key asc.
+
+    The key (a doc oid or a url) is unique within any one ranking, so
+    the order is total — merges are deterministic under equal scores
+    no matter which backend produced which input.
+    """
+    return (-quantize_score(pair[1]), pair[0])
+
+
+# ----------------------------------------------------------------------
+# selections
+# ----------------------------------------------------------------------
+
 def select_eq(bat: BAT, value: Any, server: MonetServer | None = None) -> BAT:
-    """Tail equality selection (indexed); charges the input size once."""
+    """Deprecated scalar form — use :func:`select_eq_many`."""
+    _deprecated("select_eq", "select_eq_many")
     _charge(server, len(bat))
     return bat.select_tail(value)
 
 
+def select_eq_many(bat: BAT, values: Iterable[Any],
+                   server: MonetServer | None = None) -> BAT:
+    """Tail membership selection over a whole value column (indexed).
+
+    The batch form of the old per-value ``select_eq``: one kernel call
+    selects every association whose tail is in ``values``, in BAT
+    position order, instead of one indexed probe per value.
+    """
+    _charge(server, len(bat))
+    wanted = set(values)
+    return bat.select(wanted.__contains__)
+
+
 def select_where(bat: BAT, predicate: Callable[[Any], bool],
                  server: MonetServer | None = None) -> BAT:
-    """Tail predicate selection (scan)."""
+    """Deprecated scalar form — use :func:`select_where_many`."""
+    _deprecated("select_where", "select_where_many")
     _charge(server, len(bat))
     return bat.select(predicate)
 
+
+def select_where_many(bat: BAT, predicate: Callable[[Any], bool],
+                      server: MonetServer | None = None) -> BAT:
+    """Tail predicate selection over the whole column (one scan)."""
+    _charge(server, len(bat))
+    return bat.select(predicate)
+
+
+# ----------------------------------------------------------------------
+# joins
+# ----------------------------------------------------------------------
 
 def join(left: BAT, right: BAT, server: MonetServer | None = None) -> BAT:
     """Hash equi-join on left.tail == right.head."""
@@ -44,11 +122,39 @@ def join(left: BAT, right: BAT, server: MonetServer | None = None) -> BAT:
     return left.join(right)
 
 
+def join_packed(left_pairs: Iterable[tuple[Any, Any]], right: BAT,
+                server: MonetServer | None = None
+                ) -> list[tuple[Any, Any]]:
+    """Join a packed (carry, key) column against a BAT's head in batch.
+
+    For every input pair ``(carry, key)`` emit ``(carry, tail)`` for
+    each of ``key``'s tails in ``right`` — the navigation step of path
+    expressions (carry = origin oid, key = parent, tails = children)
+    executed against the head index once per column instead of one
+    ``find_all`` per row.
+    """
+    pairs = list(left_pairs)
+    _charge(server, len(pairs) + len(right))
+    groups = right.head_groups()
+    tail = right.tail
+    result: list[tuple[Any, Any]] = []
+    append = result.append
+    empty: list[int] = []
+    for carry, key in pairs:
+        for position in groups.get(key, empty):
+            append((carry, tail[position]))
+    return result
+
+
 def semijoin(left: BAT, right: BAT, server: MonetServer | None = None) -> BAT:
     """Keep left associations whose head appears as a head of right."""
     _charge(server, len(left) + len(right))
     return left.semijoin(right)
 
+
+# ----------------------------------------------------------------------
+# head-set algebra
+# ----------------------------------------------------------------------
 
 def intersect_heads(bats: Sequence[BAT],
                     server: MonetServer | None = None) -> set[Any]:
@@ -79,27 +185,74 @@ def difference_heads(left: BAT, right: BAT,
     return set(left.head) - set(right.head)
 
 
+# ----------------------------------------------------------------------
+# projections
+# ----------------------------------------------------------------------
+
 def project_tails(bat: BAT, heads: Iterable[Any],
                   server: MonetServer | None = None) -> list[Any]:
-    """Tails of the associations whose head is in the given set, in order."""
+    """Deprecated scalar form — use :func:`project_tails_many`."""
+    _deprecated("project_tails", "project_tails_many")
     keys = set(heads)
     _charge(server, len(bat))
     return [tail for head, tail in bat if head in keys]
 
 
+def project_tails_many(bat: BAT, heads: Iterable[Any],
+                       server: MonetServer | None = None) -> list[Any]:
+    """Tails of the associations whose head is in ``heads``, in BAT order.
+
+    The batch replacement for per-head ``find`` loops *and* the old
+    scalar ``project_tails``: one pass over the column (set membership
+    per row) instead of one probe per head value.
+    """
+    keys = set(heads)
+    _charge(server, len(bat))
+    tail = bat.tail
+    return [tail[i] for i, head in enumerate(bat.head) if head in keys]
+
+
+def lookup_many(bat: BAT, heads: Iterable[Any], default: Any = None,
+                server: MonetServer | None = None) -> list[Any]:
+    """First-match tails for a whole head column, ``default`` when absent.
+
+    The batch form of per-oid ``bat.get(oid)`` loops: one index build
+    amortized over the column, results aligned with the input order.
+    """
+    heads = list(heads)
+    _charge(server, len(heads))
+    return bat.get_many(heads, default)
+
+
+# ----------------------------------------------------------------------
+# aggregation
+# ----------------------------------------------------------------------
+
+def group_count_packed(bat: BAT, server: MonetServer | None = None) -> BAT:
+    """Group by head with the count per group, as a packed BAT."""
+    _charge(server, len(bat))
+    return bat.group_count()
+
+
+# ----------------------------------------------------------------------
+# top-N merge
+# ----------------------------------------------------------------------
+
 def topn_merge(rankings: Sequence[Sequence[tuple[Any, float]]], n: int
                ) -> list[tuple[Any, float]]:
     """Merge per-server (key, score) rankings into one global top-N.
 
-    Each input ranking must already be sorted by descending score; the
-    merge is the central node's final step in the distributed top-N plan.
-    Ties break on the key for determinism.
+    The output order is the documented ranking **total order**:
+    quantized score descending (:func:`quantize_score`), then key
+    ascending.  Keys (central doc oids, or urls) are unique across one
+    merge, so the order is total and the merged top-N is a pure
+    function of the input *sets* — thread, process and columnar-kernel
+    backends merge identically under equal scores even when a node
+    mapped local oids onto central oids and thereby perturbed its
+    input's tie order.
     """
-    merged = heapq.merge(
-        *rankings, key=lambda pair: (-round(pair[1], 9), pair[0]))
-    result: list[tuple[Any, float]] = []
-    for pair in merged:
-        result.append(pair)
-        if len(result) == n:
-            break
-    return result
+    merged: list[tuple[Any, float]] = []
+    for ranking in rankings:
+        merged.extend(ranking)
+    merged.sort(key=ranking_sort_key)
+    return merged[:n]

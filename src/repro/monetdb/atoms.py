@@ -9,10 +9,16 @@ support: a small registry of atom types with validation and coercion.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import AtomTypeError
+
+try:  # batch validation vectorizes the bool scan when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
 
 __all__ = ["Oid", "AtomType", "ATOM_TYPES", "atom_type", "register_atom_type"]
 
@@ -75,16 +81,99 @@ def _check_url(value: Any) -> str:
     return value
 
 
+def _check_ints_many(values: Sequence[Any], label: str) -> Sequence[Any]:
+    # Fast path: the array constructor validates "is an int that fits
+    # int64" at C speed; only bools (accepted by array, rejected by the
+    # ADT) need a Python-level scan.
+    try:
+        packed = array("q", values)
+    except (TypeError, OverflowError):
+        # mixed junk or arbitrary-precision ints: per-value check gives
+        # the precise AtomTypeError (or keeps big ints on a list)
+        checker = _check_oid if label == "oid" else _check_int
+        return [checker(value) for value in values]
+    # bools pack as 0/1, so only positions holding 0 or 1 can hide one;
+    # find those at C speed and type-check just them
+    if _np is not None and len(packed) >= 1024:
+        column = _np.frombuffer(packed, dtype=_np.int64)
+        suspects = _np.flatnonzero(_np.abs(column) <= 1).tolist()
+        if any(type(values[i]) is bool for i in suspects):
+            raise AtomTypeError(f"not an {label}: True")
+    elif any(type(value) is bool for value in values):
+        raise AtomTypeError(f"not an {label}: True")
+    return packed
+
+
+def _check_oid_many(values: Sequence[Any]) -> Sequence[Any]:
+    if isinstance(values, array) and values.typecode == "q":
+        return values
+    return _check_ints_many(values, "oid")
+
+
+def _check_int_many(values: Sequence[Any]) -> Sequence[Any]:
+    if isinstance(values, array) and values.typecode == "q":
+        return values
+    return _check_ints_many(values, "int")
+
+
+def _check_flt_many(values: Sequence[Any]) -> Sequence[Any]:
+    if isinstance(values, array) and values.typecode == "d":
+        return values
+    try:
+        packed = array("d", values)
+    except TypeError:
+        return [_check_flt(value) for value in values]
+    if any(type(value) is bool for value in values):
+        raise AtomTypeError("not a flt: True")
+    return packed
+
+
+def _check_str_many(values: Sequence[Any]) -> Sequence[Any]:
+    if all(type(value) is str for value in values):
+        return list(values)
+    return [_check_str(value) for value in values]
+
+
+def _check_url_many(values: Sequence[Any]) -> Sequence[Any]:
+    if all(type(value) is str and value
+           and (":" in value or value.startswith("/"))
+           for value in values):
+        return list(values)
+    return [_check_url(value) for value in values]
+
+
 @dataclass(frozen=True)
 class AtomType:
-    """A named atom ADT with a validating coercion function."""
+    """A named atom ADT with a validating coercion function.
+
+    ``typecode`` names the :mod:`array` storage class of the packed
+    column layout (``'q'`` for oid/int, ``'d'`` for flt, ``None`` for
+    heap-object atoms); ``check_many`` is an optional batch validator
+    that coerces a whole column at C speed.
+    """
 
     name: str
     check: Callable[[Any], Any]
+    check_many: Callable[[Sequence[Any]], Sequence[Any]] | None = None
+    typecode: str | None = None
 
     def coerce(self, value: Any) -> Any:
         """Return ``value`` coerced to this ADT, or raise :class:`AtomTypeError`."""
         return self.check(value)
+
+    def coerce_many(self, values: Iterable[Any]) -> Sequence[Any]:
+        """Coerce a whole column; the batch twin of :meth:`coerce`.
+
+        Returns a sequence of the coerced values — an :mod:`array` when
+        the ADT packs (so bulk appends are memcpy-speed), a list
+        otherwise — or raises :class:`AtomTypeError` on the first
+        non-conforming value.
+        """
+        if not isinstance(values, (list, tuple, array)):
+            values = list(values)
+        if self.check_many is not None:
+            return self.check_many(values)
+        return [self.check(value) for value in values]
 
     def accepts(self, value: Any) -> bool:
         """Report whether ``value`` conforms to this ADT."""
@@ -99,12 +188,12 @@ class AtomType:
 
 
 ATOM_TYPES: dict[str, AtomType] = {
-    "oid": AtomType("oid", _check_oid),
-    "int": AtomType("int", _check_int),
-    "flt": AtomType("flt", _check_flt),
-    "str": AtomType("str", _check_str),
+    "oid": AtomType("oid", _check_oid, _check_oid_many, "q"),
+    "int": AtomType("int", _check_int, _check_int_many, "q"),
+    "flt": AtomType("flt", _check_flt, _check_flt_many, "d"),
+    "str": AtomType("str", _check_str, _check_str_many),
     "bit": AtomType("bit", _check_bit),
-    "url": AtomType("url", _check_url),
+    "url": AtomType("url", _check_url, _check_url_many),
 }
 
 

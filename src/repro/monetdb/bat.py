@@ -9,26 +9,134 @@ BAT with the operator repertoire the upper levels need:
 * equi-joins and semijoins,
 * reverse / mirror views,
 * grouped aggregation and sorting,
-* append with optional hash indexes kept up to date.
+* append with optional hash indexes kept up to date,
+* batch append (:meth:`BAT.append_many`) validating whole columns at
+  C speed.
 
-A BAT is deliberately simple: two parallel Python lists plus lazy hash
-indexes.  That keeps operator semantics obvious while still giving the
-asymptotics (hash join, indexed selection) the benchmarks rely on.
+Columns are *packed*: oid/int tails live on ``array('q')`` and flt
+tails on ``array('d')`` (eight bytes per atom, contiguous), spilling to
+a plain list only for heap-object atoms (str/url/bit, custom ADTs) or
+for integers outside the int64 range.  The packed layout is what the
+columnar kernels in :mod:`repro.monetdb.algebra` and the top-N scorer
+vectorize over; the operator semantics here are unchanged.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import BatError
-from repro.monetdb.atoms import AtomType, atom_type
+from repro.monetdb.atoms import AtomType, Oid, atom_type
 
-__all__ = ["BAT"]
+__all__ = ["BAT", "ColumnView"]
+
+Column = "list[Any] | array"
+
+
+class ColumnView(Sequence):
+    """A zero-copy, read-only view over one BAT column.
+
+    Columns are physically a list *or* an ``array`` (packed layout), so
+    the view restores the value semantics callers relied on when columns
+    were plain lists: ``bat.head == [1, 2]`` compares element-wise
+    regardless of the storage class underneath, and oid columns (stored
+    as raw int64) hand back :class:`~repro.monetdb.atoms.Oid` values.
+    """
+
+    __slots__ = ("_data", "_wrap")
+
+    def __init__(self, data: Any, wrap: Callable[[Any], Any] | None = None):
+        self._data = data
+        self._wrap = wrap
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, item: Any) -> Any:
+        if isinstance(item, slice):
+            values = self._data[item]
+            return [self._wrap(v) for v in values] if self._wrap \
+                else list(values)
+        value = self._data[item]
+        return self._wrap(value) if self._wrap else value
+
+    def __iter__(self) -> Iterator[Any]:
+        if self._wrap:
+            return map(self._wrap, self._data)
+        return iter(self._data)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._data
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ColumnView):
+            other = other._data
+        if isinstance(other, (list, tuple, array)):
+            return (len(self._data) == len(other)
+                    and all(a == b for a, b in zip(self._data, other)))
+        return NotImplemented
+
+    __hash__ = None  # mutable underneath; equality is by value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnView({list(self._data)!r})"
+
+
+def _new_column(atom: AtomType) -> Any:
+    """An empty column in the packed storage class of the ADT."""
+    return array(atom.typecode) if atom.typecode else []
+
+
+def _pack_column(atom: AtomType, values: Iterable[Any]) -> Any:
+    """Pack already-validated values, spilling to a list past int64."""
+    if atom.typecode is None:
+        return list(values)
+    try:
+        return array(atom.typecode, values)
+    except OverflowError:
+        return list(values)
+
+
+def _copy_column(column: Any) -> Any:
+    return column[:] if isinstance(column, array) else list(column)
+
+
+def _take(column: Any, positions: Sequence[int]) -> Any:
+    """The positional gather ``column[positions]``, storage-preserving."""
+    values = [column[i] for i in positions]
+    if isinstance(column, array):
+        return array(column.typecode, values)
+    return values
+
+
+def _rewrap(atom: AtomType, column: Any) -> Callable[[Any], Any] | None:
+    """The per-element wrapper restoring the logical atom type, if any.
+
+    Only oid columns need one: their packed storage is raw int64, but
+    callers of the logical surface expect :class:`Oid` values back.
+    """
+    if atom.name == "oid" and isinstance(column, array):
+        return Oid
+    return None
+
+
+def _extend_column(column: Any, values: Sequence[Any]) -> Any:
+    """Append a validated batch; returns the (possibly spilled) column."""
+    if isinstance(column, array) and not isinstance(values, array):
+        # the batch validator fell back to a list: it may hold ints
+        # outside int64, so try an atomic repack before extending
+        try:
+            values = array(column.typecode, values)
+        except (OverflowError, TypeError):
+            column = list(column)
+    column.extend(values)
+    return column
 
 
 class BAT:
-    """A binary association table with typed head and tail columns."""
+    """A binary association table with typed, packed head and tail columns."""
 
     __slots__ = ("name", "head_type", "tail_type", "_head", "_tail",
                  "_head_index", "_tail_index")
@@ -42,8 +150,8 @@ class BAT:
         self.name = name
         self.head_type = head_type
         self.tail_type = tail_type
-        self._head: list[Any] = []
-        self._tail: list[Any] = []
+        self._head = _new_column(head_type)
+        self._tail = _new_column(tail_type)
         self._head_index: dict[Any, list[int]] | None = None
         self._tail_index: dict[Any, list[int]] | None = None
 
@@ -63,18 +171,25 @@ class BAT:
                 f"({label}, {len(self)} buns)")
 
     @property
-    def head(self) -> list[Any]:
-        """The head column (read-only by convention)."""
-        return self._head
+    def head(self) -> ColumnView:
+        """The head column (a read-only, zero-copy :class:`ColumnView`)."""
+        return ColumnView(self._head, _rewrap(self.head_type, self._head))
 
     @property
-    def tail(self) -> list[Any]:
-        """The tail column (read-only by convention)."""
-        return self._tail
+    def tail(self) -> ColumnView:
+        """The tail column (a read-only, zero-copy :class:`ColumnView`)."""
+        return ColumnView(self._tail, _rewrap(self.tail_type, self._tail))
 
     def count(self) -> int:
         """Number of associations (buns) in the BAT."""
         return len(self._head)
+
+    def storage(self) -> tuple[str, str]:
+        """Physical storage classes: an array typecode or ``"list"``."""
+        return (self._head.typecode if isinstance(self._head, array)
+                else "list",
+                self._tail.typecode if isinstance(self._tail, array)
+                else "list")
 
     # ------------------------------------------------------------------
     # updates
@@ -85,8 +200,16 @@ class BAT:
         head = self.head_type.coerce(head)
         tail = self.tail_type.coerce(tail)
         position = len(self._head)
-        self._head.append(head)
-        self._tail.append(tail)
+        try:
+            self._head.append(head)
+        except OverflowError:  # int past int64: spill to a list column
+            self._head = list(self._head)
+            self._head.append(head)
+        try:
+            self._tail.append(tail)
+        except OverflowError:
+            self._tail = list(self._tail)
+            self._tail.append(tail)
         if self._head_index is not None:
             self._head_index[head].append(position)
         if self._tail_index is not None:
@@ -97,14 +220,48 @@ class BAT:
         for head, tail in pairs:
             self.insert(head, tail)
 
+    def append_many(self, heads: Iterable[Any], tails: Iterable[Any]) -> int:
+        """Batch append: validate and append two whole columns at once.
+
+        The batch twin of :meth:`insert` — validation runs through the
+        ADTs' ``coerce_many`` (C-speed for packable atoms) and the
+        append is a single ``extend`` per column.  Nothing is appended
+        unless both columns validate.  Returns the number of
+        associations appended.
+        """
+        checked_heads = self.head_type.coerce_many(heads)
+        checked_tails = self.tail_type.coerce_many(tails)
+        if len(checked_heads) != len(checked_tails):
+            raise BatError(
+                f"append_many column length mismatch: {len(checked_heads)} "
+                f"heads vs {len(checked_tails)} tails")
+        start = len(self._head)
+        self._head = _extend_column(self._head, checked_heads)
+        self._tail = _extend_column(self._tail, checked_tails)
+        if self._head_index is not None:
+            for position, head in enumerate(checked_heads, start):
+                self._head_index[head].append(position)
+        if self._tail_index is not None:
+            for position, tail in enumerate(checked_tails, start):
+                self._tail_index[tail].append(position)
+        return len(checked_heads)
+
+    def clear(self) -> None:
+        """Drop every association (the wholesale-rebuild update path)."""
+        self._head = _new_column(self.head_type)
+        self._tail = _new_column(self.tail_type)
+        self._head_index = None
+        self._tail_index = None
+
     def delete_head(self, head: Any) -> int:
         """Delete every association with the given head; return the count."""
         positions = self._positions_by_head(head)
         if not positions:
             return 0
         doomed = set(positions)
-        self._head = [h for i, h in enumerate(self._head) if i not in doomed]
-        self._tail = [t for i, t in enumerate(self._tail) if i not in doomed]
+        keep = [i for i in range(len(self._head)) if i not in doomed]
+        self._head = _take(self._head, keep)
+        self._tail = _take(self._tail, keep)
         self._head_index = None
         self._tail_index = None
         return len(doomed)
@@ -114,7 +271,11 @@ class BAT:
         tail = self.tail_type.coerce(tail)
         positions = self._positions_by_head(head)
         for position in positions:
-            self._tail[position] = tail
+            try:
+                self._tail[position] = tail
+            except OverflowError:
+                self._tail = list(self._tail)
+                self._tail[position] = tail
         if positions:
             self._tail_index = None
         return len(positions)
@@ -145,6 +306,14 @@ class BAT:
         index = self._tail_index or self._build_tail_index()
         return index.get(value, [])
 
+    def head_groups(self) -> dict[Any, list[int]]:
+        """The head hash index: value -> positions, in insertion order.
+
+        Batch kernels iterate this directly instead of probing
+        :meth:`find_all` per value.  Treat it as read-only.
+        """
+        return self._head_index or self._build_head_index()
+
     # ------------------------------------------------------------------
     # selections
     # ------------------------------------------------------------------
@@ -164,12 +333,27 @@ class BAT:
         """Return the tails of all associations with the given head."""
         return [self._tail[i] for i in self._positions_by_head(head)]
 
+    def find_all_many(self, heads: Iterable[Any]) -> list[list[Any]]:
+        """Batch :meth:`find_all`: one tail list per requested head."""
+        index = self._head_index or self._build_head_index()
+        tail = self._tail
+        empty: list[int] = []
+        return [[tail[i] for i in index.get(head, empty)] for head in heads]
+
     def get(self, head: Any, default: Any = None) -> Any:
         """Like :meth:`find` but returning ``default`` when absent."""
         positions = self._positions_by_head(head)
         if not positions:
             return default
         return self._tail[positions[0]]
+
+    def get_many(self, heads: Iterable[Any], default: Any = None
+                 ) -> list[Any]:
+        """Batch :meth:`get`: first-match tails for a whole head column."""
+        index = self._head_index or self._build_head_index()
+        tail = self._tail
+        return [tail[positions[0]] if (positions := index.get(head))
+                else default for head in heads]
 
     def exists(self, head: Any) -> bool:
         """Report whether any association has the given head."""
@@ -187,19 +371,19 @@ class BAT:
         """Select associations whose tail equals ``value`` (uses the index)."""
         result = BAT(self.head_type, self.tail_type,
                      name=f"{self.name}.select")
-        for position in self._positions_by_tail(value):
-            result._head.append(self._head[position])
-            result._tail.append(self._tail[position])
+        positions = self._positions_by_tail(value)
+        result._head = _take(self._head, positions)
+        result._tail = _take(self._tail, positions)
         return result
 
     def select(self, predicate: Callable[[Any], bool]) -> "BAT":
         """Select associations whose tail satisfies ``predicate`` (scan)."""
         result = BAT(self.head_type, self.tail_type,
                      name=f"{self.name}.select")
-        for head, tail in zip(self._head, self._tail):
-            if predicate(tail):
-                result._head.append(head)
-                result._tail.append(tail)
+        positions = [i for i, tail in enumerate(self._tail)
+                     if predicate(tail)]
+        result._head = _take(self._head, positions)
+        result._tail = _take(self._tail, positions)
         return result
 
     def select_range(self, low: Any, high: Any,
@@ -231,24 +415,24 @@ class BAT:
         """Return a BAT with head and tail swapped."""
         result = BAT(self.tail_type, self.head_type,
                      name=f"{self.name}.reverse")
-        result._head = list(self._tail)
-        result._tail = list(self._head)
+        result._head = _copy_column(self._tail)
+        result._tail = _copy_column(self._head)
         return result
 
     def mirror(self) -> "BAT":
         """Return a BAT mapping each head to itself."""
         result = BAT(self.head_type, self.head_type,
                      name=f"{self.name}.mirror")
-        result._head = list(self._head)
-        result._tail = list(self._head)
+        result._head = _copy_column(self._head)
+        result._tail = _copy_column(self._head)
         return result
 
     def copy(self, name: str = "") -> "BAT":
         """Return an independent copy of this BAT."""
         result = BAT(self.head_type, self.tail_type,
                      name=name or self.name)
-        result._head = list(self._head)
-        result._tail = list(self._tail)
+        result._head = _copy_column(self._head)
+        result._tail = _copy_column(self._tail)
         return result
 
     def slice(self, start: int, stop: int) -> "BAT":
@@ -275,43 +459,37 @@ class BAT:
         result = BAT(self.head_type, other.tail_type,
                      name=f"{self.name}.join({other.name})")
         other_index = other._head_index or other._build_head_index()
+        heads: list[Any] = []
+        tails: list[Any] = []
+        other_tail = other._tail
         for head, tail in zip(self._head, self._tail):
             for position in other_index.get(tail, ()):
-                result._head.append(head)
-                result._tail.append(other._tail[position])
+                heads.append(head)
+                tails.append(other_tail[position])
+        result._head = _pack_column(self.head_type, heads)
+        result._tail = _pack_column(other.tail_type, tails)
         return result
 
     def semijoin(self, other: "BAT") -> "BAT":
         """Keep associations whose head occurs as a head in ``other``."""
-        keys = set(other._head)
-        result = BAT(self.head_type, self.tail_type,
-                     name=f"{self.name}.semijoin")
-        for head, tail in zip(self._head, self._tail):
-            if head in keys:
-                result._head.append(head)
-                result._tail.append(tail)
-        return result
+        return self._filter_heads(set(other._head), keep=True, name="semijoin")
 
     def antijoin(self, other: "BAT") -> "BAT":
         """Keep associations whose head does NOT occur as a head in ``other``."""
-        keys = set(other._head)
-        result = BAT(self.head_type, self.tail_type,
-                     name=f"{self.name}.antijoin")
-        for head, tail in zip(self._head, self._tail):
-            if head not in keys:
-                result._head.append(head)
-                result._tail.append(tail)
-        return result
+        return self._filter_heads(set(other._head), keep=False,
+                                  name="antijoin")
 
     def semijoin_values(self, heads: Iterable[Any]) -> "BAT":
         """Keep associations whose head is in the given value set."""
-        keys = set(heads)
+        return self._filter_heads(set(heads), keep=True, name="semijoin")
+
+    def _filter_heads(self, keys: set, keep: bool, name: str) -> "BAT":
         result = BAT(self.head_type, self.tail_type,
-                     name=f"{self.name}.semijoin")
-        for head, tail in zip(self._head, self._tail):
-            if head in keys:
-                result._head.append(head)
-                result._tail.append(tail)
+                     name=f"{self.name}.{name}")
+        positions = [i for i, head in enumerate(self._head)
+                     if (head in keys) is keep]
+        result._head = _take(self._head, positions)
+        result._tail = _take(self._tail, positions)
         return result
 
     # ------------------------------------------------------------------
@@ -320,12 +498,13 @@ class BAT:
 
     def sort_tail(self, descending: bool = False) -> "BAT":
         """Return a copy ordered by tail value."""
+        tail = self._tail
         order = sorted(range(len(self._head)),
-                       key=lambda i: self._tail[i], reverse=descending)
+                       key=tail.__getitem__, reverse=descending)
         result = BAT(self.head_type, self.tail_type,
                      name=f"{self.name}.sort")
-        result._head = [self._head[i] for i in order]
-        result._tail = [self._tail[i] for i in order]
+        result._head = _take(self._head, order)
+        result._tail = _take(self._tail, order)
         return result
 
     def topn(self, n: int, descending: bool = True) -> "BAT":
@@ -344,9 +523,9 @@ class BAT:
             counts[head] += 1
         result = BAT(self.head_type, atom_type("int"),
                      name=f"{self.name}.count")
-        for head in order:
-            result._head.append(head)
-            result._tail.append(counts[head])
+        result._head = _pack_column(self.head_type, order)
+        result._tail = _pack_column(result.tail_type,
+                                    [counts[head] for head in order])
         return result
 
     def group_sum(self) -> "BAT":
@@ -361,30 +540,18 @@ class BAT:
                 sums[head] = sums[head] + tail
         result = BAT(self.head_type, self.tail_type,
                      name=f"{self.name}.sum")
-        for head in order:
-            result._head.append(head)
-            result._tail.append(sums[head])
+        result._head = _pack_column(self.head_type, order)
+        result._tail = _pack_column(self.tail_type,
+                                    [sums[head] for head in order])
         return result
 
     def unique_heads(self) -> list[Any]:
         """Distinct head values in first-appearance order."""
-        seen: set[Any] = set()
-        values: list[Any] = []
-        for head in self._head:
-            if head not in seen:
-                seen.add(head)
-                values.append(head)
-        return values
+        return list(dict.fromkeys(self._head))
 
     def unique_tails(self) -> list[Any]:
         """Distinct tail values in first-appearance order."""
-        seen: set[Any] = set()
-        values: list[Any] = []
-        for tail in self._tail:
-            if tail not in seen:
-                seen.add(tail)
-                values.append(tail)
-        return values
+        return list(dict.fromkeys(self._tail))
 
     # ------------------------------------------------------------------
     # bulk construction
@@ -396,4 +563,13 @@ class BAT:
         """Build a BAT from an iterable of (head, tail) pairs."""
         bat = cls(head_type, tail_type, name=name)
         bat.extend(pairs)
+        return bat
+
+    @classmethod
+    def from_columns(cls, head_type: AtomType | str,
+                     tail_type: AtomType | str, heads: Iterable[Any],
+                     tails: Iterable[Any], name: str = "") -> "BAT":
+        """Build a BAT from two whole columns (batch-validated)."""
+        bat = cls(head_type, tail_type, name=name)
+        bat.append_many(heads, tails)
         return bat

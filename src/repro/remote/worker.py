@@ -226,7 +226,8 @@ class NodeWorker:
                                  global_idf)
             local = topn_fragmented(fragments, local_terms,
                                     search.policy.n,
-                                    prune=search.policy.prune, refine=True)
+                                    prune=search.policy.prune, refine=True,
+                                    plan_cache=search.policy.plan_cache)
             pairs = [(self.relations.doc_url(doc), score)
                      for doc, score in local.ranking]
             generation = self.relations.generation

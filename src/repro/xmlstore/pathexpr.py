@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import PathExpressionError
+from repro.monetdb.algebra import join_packed
 from repro.monetdb.atoms import Oid
 from repro.monetdb.catalog import Catalog
 from repro.monetdb.server import MonetServer
@@ -223,16 +224,19 @@ def evaluate(catalog: Catalog, summary: PathSummary,
 
 
 def parent_of(catalog: Catalog, node: PathNode, oid: Oid) -> Oid | None:
-    """The parent oid of an instance at the given path node."""
+    """The parent oid of an instance at the given path node.
+
+    An indexed reverse lookup on the edge relation (the tail hash
+    index), not a column scan — ``root_of`` calls this once per
+    ancestor level.
+    """
     if node.parent is None:
         return None
     edges = catalog.get_or_none(node.edge_relation())
     if edges is None:
         return None
-    for parent, child in edges:
-        if child == oid:
-            return parent
-    return None
+    parents = edges.find_heads(oid)
+    return parents[0] if parents else None
 
 
 def root_of(catalog: Catalog, node: PathNode, oid: Oid) -> Oid:
@@ -272,11 +276,9 @@ def descend(catalog: Catalog, node: PathNode, oids: Iterable[Oid],
             return []
         if server is not None:
             server.charge(len(edges))
-        next_pairs: list[tuple[Oid, Oid]] = []
-        for origin, parent in current:
-            for child in edges.find_all(parent):
-                next_pairs.append((origin, child))
-        current = next_pairs
+        # one batch join per step (charged above, so accounting is
+        # unchanged from the per-row find_all loop this replaces)
+        current = join_packed(current, edges)
         current_node = child_node
         if not current:
             return []

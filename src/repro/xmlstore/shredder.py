@@ -85,17 +85,33 @@ class BulkLoader:
         self.stats = LoadStats()
         self.record_extents = record_extents
         self._position = 0
+        # per-relation (bat, heads, tails) append buffers: the loader
+        # batches one document's pairs and flushes them through the
+        # packed BAT.append_many path instead of per-pair insert()
+        self._buffers: dict[str, tuple] = {}
 
     # -- low-level insert helpers --------------------------------------
 
     def _insert(self, relation_name: str, head_type: str, tail_type: str,
                 head, tail) -> None:
-        before = len(self.catalog)
-        bat = self.catalog.ensure(relation_name, head_type, tail_type)
-        if len(self.catalog) != before:
-            self.stats.new_relations += 1
-        bat.insert(head, tail)
+        buffer = self._buffers.get(relation_name)
+        if buffer is None:
+            before = len(self.catalog)
+            bat = self.catalog.ensure(relation_name, head_type, tail_type)
+            if len(self.catalog) != before:
+                self.stats.new_relations += 1
+            buffer = self._buffers[relation_name] = (bat, [], [])
+        buffer[1].append(head)
+        buffer[2].append(tail)
         self.stats.inserts += 1
+
+    def _flush(self) -> None:
+        """Drain the append buffers into their BATs (batch validated)."""
+        for bat, heads, tails in self._buffers.values():
+            if heads:
+                bat.append_many(heads, tails)
+                heads.clear()
+                tails.clear()
 
     def _enter_node(self, frame_stack: list[_Frame], context: PathNode,
                     parent: _Frame | None) -> Oid:
@@ -114,7 +130,18 @@ class BulkLoader:
     # -- event consumption ------------------------------------------------
 
     def load_events(self, events: Iterable[SaxEvent]) -> Oid:
-        """Consume one document's event stream; return the root oid."""
+        """Consume one document's event stream; return the root oid.
+
+        Pairs buffer per relation and flush in one batch append per
+        relation when the stream ends (also on error, so a failed load
+        leaves exactly the pairs it produced, like the eager path did).
+        """
+        try:
+            return self._load_events(events)
+        finally:
+            self._flush()
+
+    def _load_events(self, events: Iterable[SaxEvent]) -> Oid:
         stack: list[_Frame] = []
         root_oid: Oid | None = None
         for event in events:

@@ -1,0 +1,49 @@
+"""Fixtures for the columnar-kernel parity suite.
+
+A deterministic ~80-document corpus over a small vocabulary, sized so
+queries hit multiple fragments and pruning actually stops early on some
+of them — the regime where the scalar and columnar bodies could diverge
+if their bound bookkeeping ever drifted apart.
+"""
+
+import random
+
+import pytest
+
+from repro.ir.fragmentation import fragment_by_idf
+from repro.ir.relations import IrRelations
+
+WORDS = [f"w{i}" for i in range(40)] + ["trophy", "melbourne"]
+
+QUERIES = [
+    "trophy melbourne",
+    "w0 w3",
+    "w10 w2 w5",
+    "w1",
+    "w7 w0 trophy",
+]
+
+
+def build_relations(seed: int = 7, docs: int = 80) -> IrRelations:
+    rng = random.Random(seed)
+    relations = IrRelations()
+    for i in range(docs):
+        # skewed draw: low-index words are common (low idf), the tail
+        # is rare (high idf) — gives fragment_by_idf a real gradient
+        length = rng.randint(5, 30)
+        body = " ".join(
+            WORDS[min(int(rng.expovariate(0.12)), len(WORDS) - 1)]
+            for _ in range(length))
+        relations.add_document(f"http://site/d{i}", body)
+    relations.refresh_idf()
+    return relations
+
+
+@pytest.fixture
+def relations():
+    return build_relations()
+
+
+@pytest.fixture
+def fragments(relations):
+    return fragment_by_idf(relations, 4)

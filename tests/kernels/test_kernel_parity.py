@@ -1,0 +1,159 @@
+"""Bit-identical parity: columnar kernels vs the scalar reference path.
+
+The redesign's bar is not "close" — every ranking (scores included) and
+every piece of work accounting must match the scalar body exactly, for
+every combination of pruning, refinement and fragment layout.
+"""
+
+import random
+
+import pytest
+
+from repro.ir.distributed import patch_fragment_idf
+from repro.ir.fragmentation import Fragment, FragmentSet, fragment_by_idf
+from repro.ir.ranking import query_term_oids, rank_tfidf
+from repro.ir.topn import kernels_available, topn_fragmented
+
+from tests.kernels.conftest import QUERIES, build_relations
+
+pytestmark = pytest.mark.kernels
+
+needs_numpy = pytest.mark.skipif(not kernels_available(),
+                                 reason="numpy not importable")
+
+
+def both_bodies(fragments, terms, n, **kwargs):
+    scalar = topn_fragmented(fragments, terms, n, kernel=False, **kwargs)
+    columnar = topn_fragmented(fragments, terms, n, kernel=True, **kwargs)
+    return scalar, columnar
+
+
+@needs_numpy
+class TestTopNParity:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("n", [5, 10, 50])
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_rankings_bit_identical(self, relations, fragments, query,
+                                    n, prune):
+        terms = query_term_oids(relations, query)
+        scalar, columnar = both_bodies(fragments, terms, n, prune=prune)
+        assert columnar.ranking == scalar.ranking  # scores included
+        assert columnar.tuples_read == scalar.tuples_read
+        assert columnar.fragments_read == scalar.fragments_read
+        assert columnar.stopped_early == scalar.stopped_early
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_refine_parity(self, relations, fragments, query):
+        terms = query_term_oids(relations, query)
+        scalar, columnar = both_bodies(fragments, terms, 5,
+                                       prune=True, refine=True)
+        assert columnar.ranking == scalar.ranking
+        assert columnar.tuples_read == scalar.tuples_read
+
+    def test_shuffled_term_order_parity(self, relations, fragments):
+        terms = query_term_oids(relations, "w7 w0 trophy w2")
+        shuffled = list(terms)
+        random.Random(3).shuffle(shuffled)
+        scalar, columnar = both_bodies(fragments, shuffled, 10)
+        assert columnar.ranking == scalar.ranking
+        # term order must not matter either way: the plan freezes one
+        # canonical set-iteration order for both bodies
+        assert columnar.ranking == topn_fragmented(
+            fragments, terms, 10, kernel=True).ranking
+
+    def test_random_order_fragmentation_parity(self, relations):
+        fragments = fragment_by_idf(relations, 4, order="random")
+        terms = query_term_oids(relations, "w10 w2 w5")
+        scalar, columnar = both_bodies(fragments, terms, 10)
+        assert columnar.ranking == scalar.ranking
+        assert columnar.tuples_read == scalar.tuples_read
+
+    def test_patched_idf_view_parity(self, relations, fragments):
+        # the distributed plan patches per-term idf with global weights
+        # keyed by the term *string*; the patched view shares the packed
+        # columns and plan token, so the kernel must follow
+        global_idf = {f"w{i}": 0.25 / (i + 1) for i in range(40)}
+        global_idf["trophy"] = 0.9
+        patched = patch_fragment_idf(fragments, relations, global_idf)
+        assert patched.plan_token == fragments.plan_token
+        terms = query_term_oids(relations, "w7 w0 trophy")
+        scalar, columnar = both_bodies(patched, terms, 10)
+        assert columnar.ranking == scalar.ranking
+        assert scalar.ranking != topn_fragmented(
+            fragments, terms, 10, kernel=False).ranking  # patch took
+
+    def test_single_fragment_layout(self, relations):
+        fragments = fragment_by_idf(relations, 1)
+        terms = query_term_oids(relations, "trophy melbourne")
+        scalar, columnar = both_bodies(fragments, terms, 10)
+        assert columnar.ranking == scalar.ranking
+
+    def test_out_of_vocabulary_query(self, relations, fragments):
+        assert query_term_oids(relations, "zzz qqq") == []
+        scalar, columnar = both_bodies(fragments, [], 10)
+        assert columnar.ranking == scalar.ranking == []
+
+
+@needs_numpy
+class TestRankTfidfParity:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_full_relation_scoring(self, relations, query):
+        assert rank_tfidf(relations, query, 10, kernel=True) == \
+            rank_tfidf(relations, query, 10, kernel=False)
+
+    def test_unlimited_n(self, relations):
+        assert rank_tfidf(relations, "w0 w1", None, kernel=True) == \
+            rank_tfidf(relations, "w0 w1", None, kernel=False)
+
+    def test_duplicate_query_terms_contribute_twice(self, relations):
+        assert rank_tfidf(relations, "w0 w0", 10, kernel=True) == \
+            rank_tfidf(relations, "w0 w0", 10, kernel=False)
+
+
+class TestKernelDispatch:
+    def test_auto_dispatch_reports_body(self, relations, fragments):
+        terms = query_term_oids(relations, "w0")
+        result = topn_fragmented(fragments, terms, 5)
+        expected = "columnar" if kernels_available() else "scalar"
+        assert result.details["kernel"] == expected
+
+    def test_forced_scalar_reports_scalar(self, relations, fragments):
+        terms = query_term_oids(relations, "w0")
+        result = topn_fragmented(fragments, terms, 5, kernel=False)
+        assert result.details["kernel"] == "scalar"
+
+    def test_hand_built_fragments_fall_back_to_scalar(self, relations):
+        # no packed columns, no doc universe: scalar reference path
+        terms = query_term_oids(relations, "w0")
+        term = terms[0]
+        hand_built = FragmentSet(fragments=[Fragment(
+            index=0, term_oids={term},
+            postings={term: relations.postings(term)},
+            idf={term: relations.idf(term)},
+            max_tf={term: max((tf for _, tf in relations.postings(term)),
+                              default=0)})])
+        result = topn_fragmented(hand_built, terms, 5)
+        assert result.details["kernel"] == "scalar"
+
+    def test_kernel_true_on_hand_built_fragments_raises(self, relations):
+        terms = query_term_oids(relations, "w0")
+        with pytest.raises(ValueError, match="packed fragments"):
+            topn_fragmented(FragmentSet(), terms, 5, kernel=True)
+
+    def test_fresh_index_rebuild_keeps_parity(self):
+        # mutate after fragmenting: rebuilt fragments carry a new plan
+        # token and both bodies agree on the new layout
+        relations = build_relations(seed=11, docs=40)
+        fragments = fragment_by_idf(relations, 3)
+        old_token = fragments.plan_token
+        relations.add_document("http://site/extra", "trophy w0 w0 w5")
+        relations.refresh_idf()
+        fragments = fragment_by_idf(relations, 3)
+        assert fragments.plan_token != old_token
+        terms = query_term_oids(relations, "trophy w0")
+        scalar = topn_fragmented(fragments, terms, 10, kernel=False)
+        if kernels_available():
+            columnar = topn_fragmented(fragments, terms, 10, kernel=True)
+            assert columnar.ranking == scalar.ranking
+        assert any(doc == relations.doc_oid("http://site/extra")
+                   for doc, _ in scalar.ranking)

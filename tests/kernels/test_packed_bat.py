@@ -1,0 +1,94 @@
+"""Packed BAT columns: storage classes, spill behavior, column views."""
+
+from array import array
+
+import pytest
+
+from repro.errors import AtomTypeError, BatError
+from repro.monetdb.atoms import Oid
+from repro.monetdb.bat import BAT, ColumnView
+
+pytestmark = pytest.mark.kernels
+
+
+class TestPackedStorage:
+    def test_numeric_atoms_pack_onto_arrays(self):
+        bat = BAT("oid", "int")
+        bat.insert(Oid(1), 10)
+        assert bat.storage() == ("q", "q")
+        flt = BAT("oid", "flt")
+        flt.insert(Oid(1), 0.5)
+        assert flt.storage() == ("q", "d")
+
+    def test_variable_width_atoms_stay_lists(self):
+        bat = BAT("oid", "str")
+        bat.insert(Oid(1), "a")
+        assert bat.storage() == ("q", "list")
+
+    def test_int64_overflow_spills_to_list(self):
+        bat = BAT("oid", "int")
+        bat.insert(Oid(1), 2 ** 80)  # big ints are valid int atoms
+        assert bat.storage() == ("q", "list")
+        assert bat.find(Oid(1)) == 2 ** 80
+
+    def test_append_many_overflow_spills(self):
+        bat = BAT("oid", "int")
+        bat.insert(Oid(1), 5)
+        bat.append_many([Oid(2)], [2 ** 80])
+        assert bat.storage() == ("q", "list")
+        assert bat.tail == [5, 2 ** 80]
+
+    def test_append_many_length_mismatch(self):
+        bat = BAT("oid", "int")
+        with pytest.raises(BatError, match="length mismatch"):
+            bat.append_many([Oid(1), Oid(2)], [1])
+
+    def test_append_many_rejects_bad_atoms_wholesale(self):
+        bat = BAT("oid", "int")
+        with pytest.raises(AtomTypeError):
+            bat.append_many([Oid(1), Oid(2)], [1, "nope"])
+        assert bat.count() == 0  # nothing partially appended
+
+    def test_find_after_batch_append(self):
+        bat = BAT("oid", "int")
+        bat.append_many([Oid(i) for i in range(100)], list(range(100)))
+        assert bat.find(Oid(42)) == 42
+        assert bat.get_many([Oid(3), Oid(99)]) == [3, 99]
+
+
+class TestColumnView:
+    def test_equals_lists_tuples_and_arrays(self):
+        bat = BAT("oid", "int")
+        bat.append_many([Oid(1), Oid(2)], [10, 20])
+        assert bat.tail == [10, 20]
+        assert bat.tail == (10, 20)
+        assert bat.tail == array("q", [10, 20])
+        assert bat.tail != [10, 21]
+        assert bat.tail != [10]
+
+    def test_oid_heads_rewrap_as_oid(self):
+        bat = BAT("oid", "int")
+        bat.insert(Oid(7), 1)
+        assert isinstance(bat.head[0], Oid)
+        assert all(isinstance(h, Oid) for h in bat.head)
+        assert isinstance(list(bat.head)[0], Oid)
+
+    def test_slicing_preserves_wrap(self):
+        bat = BAT("oid", "int")
+        bat.append_many([Oid(1), Oid(2), Oid(3)], [1, 2, 3])
+        tail_slice = bat.head[1:]
+        assert list(tail_slice) == [2, 3]
+        assert all(isinstance(h, Oid) for h in tail_slice)
+
+    def test_views_are_unhashable(self):
+        bat = BAT("oid", "int")
+        bat.insert(Oid(1), 1)
+        with pytest.raises(TypeError):
+            hash(bat.head)
+
+    def test_view_tracks_live_column(self):
+        bat = BAT("oid", "int")
+        view = bat.tail
+        bat.insert(Oid(1), 9)
+        assert isinstance(view, ColumnView)
+        assert len(bat.tail) == 1

@@ -1,8 +1,15 @@
-"""Algebra helpers and the top-N merge."""
+"""Algebra kernels (batch-first surface) and the top-N merge."""
 
-from repro.monetdb.algebra import (difference_heads, intersect_heads, join,
-                                   project_tails, select_eq, semijoin,
-                                   topn_merge, union_heads)
+import pytest
+
+from repro.monetdb.algebra import (difference_heads, group_count_packed,
+                                   intersect_heads, join, join_packed,
+                                   lookup_many, project_tails,
+                                   project_tails_many, quantize_score,
+                                   ranking_sort_key, select_eq,
+                                   select_eq_many, select_where,
+                                   select_where_many, semijoin, topn_merge,
+                                   union_heads)
 from repro.monetdb.atoms import Oid
 from repro.monetdb.bat import BAT
 from repro.monetdb.server import MonetServer
@@ -12,14 +19,71 @@ def _bat(pairs):
     return BAT.from_pairs("oid", "str", [(Oid(h), t) for h, t in pairs])
 
 
-class TestOperators:
-    def test_select_eq_charges_server(self):
+class TestBatchKernels:
+    def test_select_eq_many_charges_server(self):
         server = MonetServer("n")
-        bat = _bat([(1, "a"), (2, "b")])
-        result = select_eq(bat, "a", server)
-        assert result.head == [1]
-        assert server.tuples_touched == 2
+        bat = _bat([(1, "a"), (2, "b"), (3, "a")])
+        result = select_eq_many(bat, ["a"], server)
+        assert result.head == [1, 3]
+        assert server.tuples_touched == 3
 
+    def test_select_eq_many_multiple_values(self):
+        bat = _bat([(1, "a"), (2, "b"), (3, "c")])
+        assert select_eq_many(bat, ["a", "c"]).head == [1, 3]
+
+    def test_select_where_many(self):
+        bat = _bat([(1, "apple"), (2, "pear"), (3, "apricot")])
+        result = select_where_many(bat, lambda t: t.startswith("ap"))
+        assert result.head == [1, 3]
+
+    def test_join_packed_carries_origins(self):
+        edges = BAT.from_pairs("oid", "oid",
+                               [(Oid(1), Oid(10)), (Oid(1), Oid(11)),
+                                (Oid(2), Oid(12))])
+        pairs = join_packed([("origin-a", Oid(1)), ("origin-b", Oid(2))],
+                            edges)
+        assert pairs == [("origin-a", 10), ("origin-a", 11),
+                         ("origin-b", 12)]
+
+    def test_join_packed_missing_key_drops(self):
+        edges = BAT.from_pairs("oid", "oid", [(Oid(1), Oid(10))])
+        assert join_packed([("x", Oid(9))], edges) == []
+
+    def test_project_tails_many_preserves_order(self):
+        bat = _bat([(1, "a"), (2, "b"), (3, "c")])
+        assert project_tails_many(bat, {3, 1}) == ["a", "c"]
+
+    def test_lookup_many_aligned_with_input(self):
+        bat = _bat([(1, "a"), (2, "b")])
+        assert lookup_many(bat, [2, 9, 1], default="?") == ["b", "?", "a"]
+
+    def test_group_count_packed(self):
+        bat = BAT.from_pairs("oid", "str",
+                             [(Oid(1), "x"), (Oid(1), "y"), (Oid(2), "z")])
+        counts = dict(group_count_packed(bat))
+        assert counts == {1: 2, 2: 1}
+
+
+class TestDeprecatedScalarShims:
+    def test_select_eq_warns_and_delegates(self):
+        bat = _bat([(1, "a"), (2, "b")])
+        with pytest.warns(DeprecationWarning, match="select_eq_many"):
+            result = select_eq(bat, "a")
+        assert result.head == [1]
+
+    def test_select_where_warns(self):
+        bat = _bat([(1, "a"), (2, "b")])
+        with pytest.warns(DeprecationWarning, match="select_where_many"):
+            result = select_where(bat, lambda t: t == "b")
+        assert result.head == [2]
+
+    def test_project_tails_warns(self):
+        bat = _bat([(1, "a"), (2, "b"), (3, "c")])
+        with pytest.warns(DeprecationWarning, match="project_tails_many"):
+            assert project_tails(bat, {3, 1}) == ["a", "c"]
+
+
+class TestOperators:
     def test_join(self):
         left = _bat([(1, "x"), (2, "y")])
         right = BAT.from_pairs("str", "int", [("x", 7)])
@@ -45,9 +109,16 @@ class TestOperators:
         assert difference_heads(_bat([(1, "a"), (2, "b")]),
                                 _bat([(2, "x")])) == {1}
 
-    def test_project_tails_preserves_order(self):
-        bat = _bat([(1, "a"), (2, "b"), (3, "c")])
-        assert project_tails(bat, {3, 1}) == ["a", "c"]
+
+class TestRankingOrder:
+    def test_quantize_score_grid(self):
+        assert quantize_score(1.0000000001) == 1.0
+        assert quantize_score(0.5) == 0.5
+
+    def test_sort_key_orders_score_desc_then_key_asc(self):
+        pairs = [("b", 1.0), ("a", 1.0), ("c", 2.0)]
+        pairs.sort(key=ranking_sort_key)
+        assert pairs == [("c", 2.0), ("a", 1.0), ("b", 1.0)]
 
 
 class TestTopNMerge:
@@ -64,6 +135,20 @@ class TestTopNMerge:
     def test_ties_break_on_key(self):
         merged = topn_merge([[("b", 1.0)], [("a", 1.0)]], n=2)
         assert merged == [("a", 1.0), ("b", 1.0)]
+
+    def test_unsorted_inputs_still_merge_to_total_order(self):
+        # the documented total order is a pure function of the input
+        # *sets*: inputs whose tie order was perturbed (e.g. by a node
+        # mapping local oids onto central oids) merge identically
+        shuffled = topn_merge([[(3, 1.0), (1, 1.0)], [(2, 1.0)]], n=3)
+        sorted_in = topn_merge([[(1, 1.0), (3, 1.0)], [(2, 1.0)]], n=3)
+        assert shuffled == sorted_in == [(1, 1.0), (2, 1.0), (3, 1.0)]
+
+    def test_one_ulp_scores_do_not_flip_ties(self):
+        a = 0.1 + 0.2           # 0.30000000000000004
+        b = 0.3
+        merged = topn_merge([[(2, a)], [(1, b)]], n=2)
+        assert [key for key, _ in merged] == [1, 2]
 
     def test_empty_inputs(self):
         assert topn_merge([], n=5) == []

@@ -115,25 +115,30 @@ class TestProtocolViolations:
 
 
 class TestConcurrentUse:
-    def test_close_aborts_a_blocked_recv(self):
-        """Socket close is the hedge-cancellation mechanism: a blocked
-        reader must fail immediately, not wait for data."""
+    def test_shutdown_aborts_a_blocked_recv(self):
+        """Socket shutdown is the hedge-cancellation mechanism: a
+        blocked reader must wake immediately, not wait for data.  It
+        has to be ``shutdown(SHUT_RDWR)`` — the executor's actual
+        cancellation call — because a bare ``close()`` leaves a recv
+        already blocked in the kernel blocked forever (the in-flight
+        syscall pins the descriptor)."""
         left, right = socket_pair()
-        errors = []
+        outcomes = []
         done = threading.Event()
 
         def reader():
             try:
-                recv_frame(right)
+                outcomes.append(recv_frame(right))
             except (RemoteTransportError, RemoteProtocolError) as exc:
-                errors.append(exc)
+                outcomes.append(exc)
             finally:
                 done.set()
 
         thread = threading.Thread(target=reader)
         thread.start()
-        right.close()
+        right.shutdown(socket.SHUT_RDWR)
         assert done.wait(timeout=5.0), "blocked recv did not abort"
         thread.join(timeout=5.0)
+        right.close()
         left.close()
-        assert len(errors) == 1
+        assert outcomes == [None]  # the wake reads as clean EOF
