@@ -59,6 +59,7 @@ from repro.errors import ReproError
 __all__ = ["main"]
 
 _SITE_MANIFEST = "site.json"
+_WAL_DIR = "wal"
 
 
 def _build_site(name: str, args: argparse.Namespace):
@@ -98,7 +99,10 @@ def _cmd_populate(args: argparse.Namespace) -> int:
     report = engine.populate()
     snapshot = Path(args.snapshot)
     save_engine(engine, snapshot, keep=args.keep)
-    (snapshot / _SITE_MANIFEST).write_text(json.dumps({
+    # atomic for the same reason the snapshot files are: a torn site
+    # manifest would strand an otherwise intact checkpoint
+    from repro.persistence.atomic import atomic_write_text
+    atomic_write_text(snapshot / _SITE_MANIFEST, json.dumps({
         "site": args.site,
         "args": {"players": args.players, "articles": args.articles,
                  "videos": args.videos, "frames": args.frames},
@@ -112,10 +116,19 @@ def _cmd_populate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load(args: argparse.Namespace) -> SearchEngine:
+def _load(args: argparse.Namespace, wal=None) -> SearchEngine:
     snapshot = Path(args.snapshot)
     (server, _, schema, extractor), _ = _rebuild_from_manifest(snapshot)
-    return load_engine(snapshot, schema, server, extractor=extractor)
+    return load_engine(snapshot, schema, server, extractor=extractor,
+                       wal=wal)
+
+
+def _open_wal(args: argparse.Namespace):
+    """The snapshot's write-ahead log, when ``--wal`` asks for one."""
+    if not getattr(args, "wal", False):
+        return None
+    from repro.wal import WriteAheadLog
+    return WriteAheadLog(Path(args.snapshot) / _WAL_DIR)
 
 
 def _policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
@@ -235,7 +248,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import SearchService, ServicePolicy, serve
 
-    engine = _load(args)
+    wal = _open_wal(args)
+    engine = _load(args, wal=wal)
+    if wal is not None:
+        print(f"write-ahead log at {wal.root} "
+              f"(recovered through seq {wal.last_seq})")
     index = None
     if args.backend == "process":
         index = _remote_index(engine)
@@ -250,7 +267,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_timeout_ms=args.queue_timeout_ms,
         rate=args.rate, burst=args.burst,
         coalesce=not args.no_coalesce)
-    service = SearchService(engine, policy)
+    service = SearchService(engine, policy, wal=wal)
     httpd = serve(service, args.host, args.port)
     print(f"serving on {httpd.address} "
           f"(POST /v1/search, GET /healthz, GET /metrics)")
@@ -266,6 +283,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         httpd.server_close()
         if index is not None:
             index.stop_remote()
+        if wal is not None:
+            wal.close()
     return 0
 
 
@@ -369,9 +388,17 @@ def _cmd_restore(args: argparse.Namespace) -> int:
 
     snapshot = Path(args.snapshot)
     (server, _, schema, extractor), site = _rebuild_from_manifest(snapshot)
+    wal = None
+    if args.wal and (snapshot / _WAL_DIR).exists():
+        from repro.wal import WriteAheadLog
+        wal = WriteAheadLog(snapshot / _WAL_DIR)
     engine = load_engine(snapshot, schema, server, extractor=extractor,
                          on_corrupt=args.on_corrupt,
-                         verify=args.verify)
+                         verify=args.verify, wal=wal)
+    if wal is not None:
+        print(f"write-ahead log tail replayed through seq "
+              f"{engine.wal_seq}")
+        wal.close()
     store = SnapshotStore(snapshot)
     # report the generation actually loaded — under on_corrupt=fallback
     # it can be older than what CURRENT points at
@@ -484,6 +511,11 @@ def _parser() -> argparse.ArgumentParser:
                          default="raise",
                          help="on corruption: fail, or degrade to the "
                               "newest older intact checkpoint")
+    restore.add_argument("--wal", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="replay the snapshot's write-ahead-log "
+                              "tail past the checkpoint, when one "
+                              "exists (default: on)")
     restore.set_defaults(handler=_cmd_restore)
 
     query = commands.add_parser(
@@ -534,6 +566,12 @@ def _parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", type=int, default=2,
                        help="replicas per node for --backend process "
                             "(default: 2)")
+    serve.add_argument("--wal", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="write-ahead-log writer ops under "
+                            "<snapshot>/wal — recovery replays the "
+                            "tail past the newest checkpoint "
+                            "(default: on)")
     serve.set_defaults(handler=_cmd_serve)
 
     workers = commands.add_parser(

@@ -113,6 +113,10 @@ class SearchEngine:
         # which checkpoint generation this engine was restored from, if
         # any; None for freshly built engines and legacy flat snapshots
         self.snapshot_generation: int | None = None
+        # the last write-ahead-log sequence number this engine's state
+        # covers (snapshot wal_seq plus any replayed tail); None when
+        # no WAL is attached
+        self.wal_seq: int | None = None
 
     # ------------------------------------------------------------------
     # populating
@@ -252,16 +256,29 @@ class SearchEngine:
         """Tell the engine a media object's source data changed."""
         return self.fds.notify_source_change(location)
 
-    def maintain(self) -> MaintenanceReport:
-        """Run pending maintenance and refresh the meta store."""
-        report = self.fds.run()
-        for key in self.fds.keys():
+    def maintain(self, limit: int | None = None) -> MaintenanceReport:
+        """Run pending maintenance and refresh the touched meta entries.
+
+        ``limit`` bounds the number of scheduler tasks processed — one
+        *generation bump* of the incremental-maintenance loop.  The
+        service's batched maintain calls this repeatedly between short
+        writer-lock acquisitions so readers interleave; left at
+        ``None`` it drains the whole queue in one go.  Either way only
+        the meta-store entries of objects this run actually touched
+        are rewritten.
+        """
+        report = self.fds.run(limit=limit)
+        for key in sorted(report.touched_keys, key=str):
             xml = tree_to_xml(self.fds.tree(key))
             if key in self.meta_store:
                 self.meta_store.replace(key, xml)
             else:
                 self.meta_store.insert(key, xml)
         return report
+
+    def maintenance_pending(self) -> int:
+        """How many scheduler tasks are still queued."""
+        return self.fds.pending()
 
     # ------------------------------------------------------------------
     # querying

@@ -70,6 +70,20 @@ class MaintenanceReport:
     subtree_failures: int = 0
     trees_regenerated: int = 0
     cascaded_revalidations: int = 0
+    # which stored objects this run touched — the engine refreshes only
+    # these meta-store entries, so a bounded batch does bounded work
+    touched_keys: set = field(default_factory=set)
+
+    def merge(self, other: "MaintenanceReport") -> "MaintenanceReport":
+        """Fold another batch's report into this one (batched maintain)."""
+        self.tasks_processed += other.tasks_processed
+        self.nodes_invalidated += other.nodes_invalidated
+        self.detectors_rerun += other.detectors_rerun
+        self.subtree_failures += other.subtree_failures
+        self.trees_regenerated += other.trees_regenerated
+        self.cascaded_revalidations += other.cascaded_revalidations
+        self.touched_keys |= other.touched_keys
+        return self
 
 
 @dataclass
@@ -226,8 +240,11 @@ class FDS:
                                           kind=task.kind).add(1)
                 if task.kind == "regenerate":
                     self._regenerate(task.key, report)
+                    report.touched_keys.add(task.key)
                 else:
                     self._revalidate(task.key, task.detector, report)
+                    if task.key in self._trees:
+                        report.touched_keys.add(task.key)
                 processed += 1
                 report.tasks_processed += 1
         return report

@@ -301,28 +301,39 @@ class DistributedIndex:
             self.remove_document(url)
         self.add_document(url, text)
 
-    def refresh(self, policy: ExecutionPolicy | None = None) -> None:
+    def refresh(self, policy: ExecutionPolicy | None = None, *,
+                limit: int | None = None) -> int:
         """Batch refresh in parallel: IDF everywhere, then node fragments.
 
         Generation-stamped: only nodes whose relations mutated since
         their fragment set was built are rebuilt; an all-fresh refresh
         is a handful of integer comparisons.
+
+        ``limit`` bounds how many stale nodes rebuild in this call —
+        the online-maintenance path calls this between short
+        writer-lock acquisitions so readers interleave with a long
+        rebuild.  Returns the number of nodes still stale (0 means
+        fully refreshed).
         """
         stale = [name for name, relations in self.nodes.items()
                  if name not in self._fragments
                  or self._fragment_generations.get(name)
                  != relations.generation]
+        batch = stale if limit is None else stale[:max(0, limit)]
         tasks: dict = {"central": self.central.refresh_idf}
-        for name in stale:
+        for name in batch:
             tasks[name] = partial(self._refresh_local, self.nodes[name],
                                   self.fragment_count)
         outcomes = self._run_population(tasks, policy)
-        for name in stale:
+        for name in batch:
             self._fragments[name] = outcomes[name].value
             self._fragment_generations[name] = self.nodes[name].generation
-        if self.remote is not None:
+        remaining = len(stale) - len(batch)
+        if self.remote is not None and remaining == 0:
             # derived state (IDF, fragment memos) refreshes replica-side
+            # once the local rebuild is complete
             self.remote.broadcast("refresh")
+        return remaining
 
     @staticmethod
     def _refresh_local(relations: IrRelations,

@@ -27,11 +27,29 @@ __all__ = ["atomic_write", "atomic_write_text", "atomic_write_bytes",
            "fsync_directory", "write_pointer", "read_pointer"]
 
 
+# O_DIRECTORY makes the open fail loudly if the path is not a
+# directory (instead of fsyncing some same-named file); platforms
+# without it (Windows) fall back to a plain read-only open
+_O_DIRECTORY = getattr(os, "O_DIRECTORY", 0)
+
+
 def fsync_directory(directory: str | Path) -> None:
-    """Flush a directory's entry table (rename durability on POSIX)."""
-    fd = os.open(str(directory), os.O_RDONLY)
+    """Flush a directory's entry table (rename durability on POSIX).
+
+    Without this, the ``os.replace`` that published a checkpoint file
+    or flipped a ``CURRENT`` pointer is only durable once the kernel
+    happens to write back the directory inode — a power loss first can
+    silently undo the commit.  Every rename in this module is followed
+    by one of these.
+    """
+    fd = os.open(str(directory), os.O_RDONLY | _O_DIRECTORY)
     try:
         os.fsync(fd)
+    except OSError:
+        # some filesystems refuse fsync on directory handles; the
+        # rename itself still happened, so degrade silently as
+        # os.replace callers traditionally do
+        pass
     finally:
         os.close(fd)
 

@@ -71,12 +71,17 @@ def _is_clustered(engine: SearchEngine) -> bool:
 # ---------------------------------------------------------------------------
 
 def save_engine(engine: SearchEngine, directory: str | Path,
-                keep: int = 3) -> Path:
+                keep: int = 3, *, wal_seq: int | None = None) -> Path:
     """Checkpoint a populated engine; returns the generation directory.
 
     The snapshot root keeps the last ``keep`` checkpoints; readers see
     either the previous complete checkpoint or the new complete one —
     an interrupted save never corrupts what ``CURRENT`` points at.
+
+    ``wal_seq`` records the last write-ahead-log sequence number this
+    checkpoint covers (the service passes its WAL's ``last_seq`` while
+    holding the write lock), so recovery knows where tail replay
+    starts.
     """
     store = SnapshotStore(directory, keep=keep)
     telemetry = get_telemetry()
@@ -91,6 +96,7 @@ def save_engine(engine: SearchEngine, directory: str | Path,
                 generation=generation,
                 files=files,
                 generations=_generation_stamps(engine),
+                wal_seq=wal_seq,
             )
             manifest.save(path)
             store.commit(generation)
@@ -155,7 +161,7 @@ def _generation_stamps(engine: SearchEngine) -> dict:
 def load_engine(directory: str | Path, schema: WebspaceSchema,
                 server: SimulatedWebServer, extractor=None, *,
                 on_corrupt: str = "raise",
-                verify: bool = True) -> SearchEngine:
+                verify: bool = True, wal=None) -> SearchEngine:
     """Restore a query-ready engine from a snapshot root.
 
     The caller supplies the schema object and the (simulated) web
@@ -164,6 +170,11 @@ def load_engine(directory: str | Path, schema: WebspaceSchema,
     deserialized; a corrupt checkpoint raises :class:`SnapshotError`
     under ``on_corrupt="raise"`` or degrades to the newest older intact
     checkpoint under ``on_corrupt="fallback"``.
+
+    With a :class:`~repro.wal.WriteAheadLog` passed as ``wal``, every
+    intact log record past the loaded manifest's ``wal_seq`` is
+    replayed onto the restored engine before it is returned — crash
+    recovery for acknowledged writes since the checkpoint.
     """
     if on_corrupt not in ("raise", "fallback"):
         raise ValueError("on_corrupt must be 'raise' or 'fallback', "
@@ -185,7 +196,12 @@ def load_engine(directory: str | Path, schema: WebspaceSchema,
         if not candidates:
             if (directory / "engine.json").exists():
                 span.set_attribute("legacy", True)
-                return _load_legacy(directory, schema, server, extractor)
+                engine = _load_legacy(directory, schema, server, extractor)
+                if wal is not None:
+                    # legacy manifests predate wal_seq: the whole log
+                    # postdates the snapshot, replay it all
+                    _replay_wal_tail(engine, wal, span)
+                return engine
             raise SnapshotError(f"no engine snapshot in {directory}",
                                 path=directory)
         last_error: SnapshotError | None = None
@@ -205,11 +221,31 @@ def load_engine(directory: str | Path, schema: WebspaceSchema,
             if attempt > 0:
                 telemetry.metrics.counter("snapshot.fallbacks").add(1)
             telemetry.metrics.counter("snapshot.loads").add(1)
+            if wal is not None:
+                _replay_wal_tail(engine, wal, span)
             return engine
         raise SnapshotError(
             f"no intact snapshot in {directory}: all "
             f"{len(candidates)} generations failed verification "
             f"(last error: {last_error})", path=directory)
+
+
+def _replay_wal_tail(engine: SearchEngine, wal, span) -> None:
+    """Redo every intact WAL record past the snapshot's coverage.
+
+    A fallback load (older generation, smaller ``wal_seq``) replays a
+    correspondingly longer tail — the log is the source of truth for
+    everything after whichever checkpoint survived.
+    """
+    from repro.wal.replay import replay_records
+
+    after = engine.wal_seq or 0
+    outcome = replay_records(engine, wal.records(after_seq=after),
+                             after_seq=after)
+    engine.wal_seq = outcome["last_seq"]
+    span.set_attributes(wal_applied=outcome["applied"],
+                        wal_skipped=outcome["skipped"],
+                        wal_seq=outcome["last_seq"])
 
 
 def _load_generation(path: Path, schema: WebspaceSchema,
@@ -251,6 +287,7 @@ def _load_generation(path: Path, schema: WebspaceSchema,
                             path=path) from exc
     # rebind the conceptual index to the restored store
     engine._index = ConceptualIndex(engine.conceptual_store)
+    engine.wal_seq = manifest.wal_seq
     return engine
 
 

@@ -99,9 +99,13 @@ class Manifest:
     files: dict[str, FileStamp] = field(default_factory=dict)
     generations: dict[str, Any] = field(default_factory=dict)
     format_version: int = FORMAT_VERSION
+    # the last write-ahead-log sequence number this checkpoint covers;
+    # recovery replays the WAL tail strictly past it.  None for
+    # snapshots taken without a WAL attached (additive — still v2)
+    wal_seq: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "format_version": self.format_version,
             "schema": self.schema,
             "generation": self.generation,
@@ -110,6 +114,9 @@ class Manifest:
             "files": {name: stamp.to_dict()
                       for name, stamp in sorted(self.files.items())},
         }
+        if self.wal_seq is not None:
+            data["wal_seq"] = self.wal_seq
+        return data
 
     def save(self, directory: str | Path) -> None:
         """Atomically write ``engine.json`` (the commit record) last."""
@@ -139,12 +146,14 @@ class Manifest:
         try:
             files = {name: FileStamp.from_dict(stamp)
                      for name, stamp in data.get("files", {}).items()}
+            wal_seq = data.get("wal_seq")
             return cls(schema=str(data["schema"]),
                        config=config_from_dict(data["config"]),
                        generation=int(data["generation"]),
                        files=files,
                        generations=dict(data.get("generations", {})),
-                       format_version=int(version))
+                       format_version=int(version),
+                       wal_seq=None if wal_seq is None else int(wal_seq))
         except (KeyError, TypeError, ValueError) as exc:
             raise SnapshotError(f"malformed snapshot manifest {path}: "
                                 f"{exc}", path=path) from exc

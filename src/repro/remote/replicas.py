@@ -43,9 +43,11 @@ from repro.errors import (RemoteError, RemoteTransportError, SnapshotError,
                           WorkerStartupError)
 from repro.ir.relations import IrRelations
 from repro.monetdb.persistence import save_catalog
+from repro.persistence.atomic import atomic_write_text
 from repro.persistence.snapshot import SnapshotStore
 from repro.remote.client import WorkerClient
 from repro.telemetry.runtime import get_telemetry
+from repro.wal.record import Record
 
 __all__ = ["ReplicaSet", "WorkerHandle", "live_worker_pids"]
 
@@ -112,8 +114,10 @@ class ReplicaSet:
             snapshot_root = self._tmpdir.name
         self.snapshot_root = Path(snapshot_root)
         self.replicas: dict[str, list[WorkerHandle]] = {}
-        self._oplog: dict[str, list[tuple[int, str, dict]]] = {
-            name: [] for name in nodes}
+        # the per-node op-log speaks the WAL's record format
+        # (repro.wal.record.Record), so replica bootstrap replay and
+        # coordinator crash recovery share one replay vocabulary
+        self._oplog: dict[str, list[Record]] = {name: [] for name in nodes}
         self._seq: dict[str, int] = {name: 0 for name in nodes}
         self._slots: dict[str, int] = {name: 0 for name in nodes}
         self._rr: dict[str, int] = {}
@@ -242,9 +246,12 @@ class ReplicaSet:
         generation, path = store.begin()
         save_catalog(local.catalog, path / CATALOG_FILE)
         meta = {"generation": local.generation, "seq": self._seq[node]}
-        (path / META_FILE).write_text(json.dumps(meta), encoding="utf-8")
+        # atomic: a crash mid-write must not leave a committed-looking
+        # generation with a torn meta file
+        atomic_write_text(path / META_FILE, json.dumps(meta))
         store.commit(generation)
         get_telemetry().metrics.counter("remote.checkpoints").add(1)
+        self._truncate_oplog(node, meta["seq"])
         return path, meta
 
     def checkpoint(self, node: str) -> tuple[Path, dict]:
@@ -268,10 +275,30 @@ class ReplicaSet:
             self.note_failure(source)
             return self._checkpoint_from_local(node)
         meta = {"generation": value["generation"], "seq": self._seq[node]}
-        (path / META_FILE).write_text(json.dumps(meta), encoding="utf-8")
+        atomic_write_text(path / META_FILE, json.dumps(meta))
         store.commit(generation)
         get_telemetry().metrics.counter("remote.checkpoints").add(1)
+        self._truncate_oplog(node, meta["seq"])
         return path, meta
+
+    def _truncate_oplog(self, node: str, seq: int) -> int:
+        """Drop op-log entries a committed checkpoint covers.
+
+        Without this the log grows without bound between repairs.  The
+        trade-off is that *older* retained checkpoints can no longer be
+        caught up from the log — bootstrapping from one then diverges
+        (generation mismatch) and :meth:`repair` falls back to a fresh
+        local checkpoint, which needs no tail at all.
+        """
+        with self._lock:
+            log = self._oplog[node]
+            kept = [record for record in log if record.seq > seq]
+            dropped = len(log) - len(kept)
+            self._oplog[node] = kept
+        if dropped:
+            get_telemetry().metrics.counter("remote.oplog_truncated",
+                                            node=node).add(dropped)
+        return dropped
 
     def _newest_checkpoint(self, node: str) -> tuple[Path, dict] | None:
         store = self._store(node)
@@ -302,11 +329,11 @@ class ReplicaSet:
             deadline_s=self.rpc_deadline_s)
         handle.generation = int(value["generation"])
         with self._lock:
-            tail = [entry for entry in self._oplog[node]
-                    if entry[0] > meta["seq"]]
-        for _seq, op, params in tail:
+            tail = [record for record in self._oplog[node]
+                    if record.seq > meta["seq"]]
+        for record in tail:
             reply = handle.client.call_with_retry(
-                op, params, deadline_s=self.rpc_deadline_s)
+                record.op, record.params, deadline_s=self.rpc_deadline_s)
             handle.generation = int(reply.get("generation",
                                               handle.generation))
         expected = self.nodes[node].generation
@@ -380,6 +407,38 @@ class ReplicaSet:
                 replaced += 1
         return replaced
 
+    def expand(self, node: str, count: int = 1) -> int:
+        """Grow one node's replica set online; returns replicas added.
+
+        The rebalance path: each new worker bootstraps from the newest
+        committed snapshot and catches up by replaying the op-log tail
+        past the snapshot's sequence number — the node's existing
+        replicas keep serving reads and taking writes throughout, no
+        stop-the-world refresh.
+        """
+        if node not in self.nodes:
+            raise RemoteError(f"unknown node {node!r}")
+        if count < 1:
+            raise ValueError(f"expand count must be >= 1, got {count}")
+        checkpoint = self._newest_checkpoint(node)
+        if checkpoint is None:
+            checkpoint = self.checkpoint(node)
+        added = 0
+        for _ in range(count):
+            handle = self._spawn(node)
+            try:
+                self._bootstrap(handle, node, *checkpoint)
+            except RemoteError:
+                # the snapshot predates a truncated op-log tail: take a
+                # fresh checkpoint (needs no tail) and bootstrap from it
+                checkpoint = self._checkpoint_from_local(node)
+                self._bootstrap(handle, node, *checkpoint)
+            self.replicas.setdefault(node, []).append(handle)
+            added += 1
+        get_telemetry().metrics.counter("remote.replicas_expanded",
+                                        node=node).add(added)
+        return added
+
     # -- writes ----------------------------------------------------------
 
     def apply_write(self, node: str, op: str, params: dict) -> None:
@@ -394,7 +453,8 @@ class ReplicaSet:
         local_generation = self.nodes[node].generation
         with self._lock:
             self._seq[node] += 1
-            self._oplog[node].append((self._seq[node], op, dict(params)))
+            self._oplog[node].append(Record(self._seq[node], op,
+                                            dict(params)))
         for handle in self.replicas.get(node, ()):
             if not handle.alive():
                 self.note_failure(handle)
@@ -447,8 +507,11 @@ class ReplicaSet:
 
     def status(self) -> dict:
         """Per-replica health, the shape ``/healthz`` reports."""
+        with self._lock:
+            oplog = {node: len(log) for node, log in self._oplog.items()}
         return {
             "replication_factor": self.replication_factor,
+            "oplog": oplog,
             "nodes": {
                 node: [{
                     "name": handle.name,

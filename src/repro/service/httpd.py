@@ -31,7 +31,19 @@ from repro.service.api import SCHEMA_VERSION, SearchRequest
 from repro.service.service import SearchService
 from repro.telemetry.runtime import get_telemetry
 
-__all__ = ["SearchServiceServer", "serve"]
+__all__ = ["SearchServiceServer", "retry_after_header", "serve"]
+
+
+def retry_after_header(retry_after: float) -> str:
+    """The ``Retry-After`` header value for one shed response.
+
+    Integral seconds, rounded *up* and clamped to ``>= 1``: the
+    admission controller estimates sub-second waits (e.g. 0.05s until
+    the token bucket refills), and a naive round-down would emit
+    ``Retry-After: 0`` — which compliant clients read as "retry
+    immediately", turning flow control into a retry storm.
+    """
+    return str(max(1, math.ceil(retry_after)))
 
 
 class SearchServiceServer(ThreadingHTTPServer):
@@ -138,9 +150,7 @@ class _Handler(BaseHTTPRequestHandler):
         if retry_after is not None:
             payload["retry_after"] = retry_after
             payload["reason"] = reason
-            # Retry-After is integral seconds; round up so clients never
-            # retry before the bucket actually has a token
-            headers["Retry-After"] = str(max(1, math.ceil(retry_after)))
+            headers["Retry-After"] = retry_after_header(retry_after)
         self._send_json(code, payload, headers)
 
 

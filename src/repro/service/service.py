@@ -50,11 +50,25 @@ def _generation_of(engine) -> object:
 
 
 class SearchService:
-    """An embeddable, concurrent front door over one search engine."""
+    """An embeddable, concurrent front door over one search engine.
 
-    def __init__(self, engine, policy: ServicePolicy | None = None):
+    With a :class:`~repro.wal.WriteAheadLog` attached (``wal=``), every
+    writer op is appended and fsynced *before* it is applied and
+    acknowledged only after both — so a crash at any point after the
+    acknowledgement loses nothing: recovery loads the newest snapshot
+    and replays the log tail past its ``wal_seq``
+    (:func:`repro.persistence.load_engine` with ``wal=``).
+    """
+
+    def __init__(self, engine, policy: ServicePolicy | None = None,
+                 wal=None):
         self.engine = engine
         self.policy = policy or ServicePolicy()
+        self._wal = wal
+        # (generation, wal_seq) of checkpoints this service took, newest
+        # last; log truncation follows the *oldest retained* checkpoint
+        # so an on_corrupt="fallback" load still finds its tail
+        self._checkpoints: list[tuple[int, int]] = []
         self._rw = RwLock()
         self._admission = AdmissionController(self.policy)
         self._flights = SingleFlight()
@@ -142,10 +156,23 @@ class SearchService:
     def _ir(self):
         return getattr(self.engine, "ir", self.engine)
 
-    def _write(self, name: str, operation):
+    def _write(self, name: str, operation, *, log_params: dict | None = None):
+        """Run one writer op under the write lock, WAL-logged first.
+
+        ``log_params`` non-``None`` marks the op as replayable: with a
+        WAL attached the record is appended *and fsynced* before
+        ``operation()`` runs (log-before-apply, both under the write
+        lock so log order is apply order), and the call returns — the
+        acknowledgement — only after both.  ``None`` skips logging
+        (snapshot/restore manage the log themselves).
+        """
         telemetry = get_telemetry()
         with telemetry.tracer.span("service.write", operation=name):
             with self._rw.write_locked():
+                if self._wal is not None and log_params is not None:
+                    seq = self._wal.append(name, log_params)
+                    if hasattr(self.engine, "wal_seq"):
+                        self.engine.wal_seq = seq
                 outcome = operation()
         self._count("writes")
         telemetry.metrics.counter("service.writes", operation=name).add(1)
@@ -153,47 +180,115 @@ class SearchService:
 
     def reindex(self, url: str, text: str) -> None:
         """Replace one document's index entry, atomically for readers."""
-        self._write("reindex", lambda: self._ir.reindex(url, text))
+        self._write("reindex", lambda: self._ir.reindex(url, text),
+                    log_params={"url": url, "text": text})
 
     def remove(self, url: str) -> None:
         """Un-index one document, atomically for readers."""
-        self._write("remove", lambda: self._ir.remove(url))
+        self._write("remove", lambda: self._ir.remove(url),
+                    log_params={"url": url})
 
     def add_documents(self, documents, policy=None) -> None:
         """Bulk-index on the clustered backend (see DistributedIndex)."""
+        documents = [(str(url), str(text)) for url, text in documents]
         self._write("add_documents",
-                    lambda: self._ir.index.add_documents(documents, policy))
+                    lambda: self._ir.index.add_documents(documents, policy),
+                    log_params={"documents": [list(pair)
+                                              for pair in documents]})
 
     def populate(self):
-        return self._write("populate", self.engine.populate)
+        return self._write("populate", self.engine.populate, log_params={})
 
     def recrawl(self):
-        return self._write("recrawl", self.engine.recrawl)
+        return self._write("recrawl", self.engine.recrawl, log_params={})
 
-    def maintain(self):
-        return self._write("maintain", self.engine.maintain)
+    def maintain(self, batch_size: int | None = None):
+        """Run pending maintenance; ``batch_size`` bounds each lock hold.
+
+        Unbatched, one write-lock acquisition drains the whole queue —
+        readers stall for the duration.  With ``batch_size`` the queue
+        drains in bounded generation bumps: at most ``batch_size``
+        scheduler tasks per write-lock acquisition, readers interleaving
+        between batches.  Only the first batch logs a WAL record
+        (replaying ``maintain`` drains the restored queue whole, which
+        reaches the same state).
+        """
+        if batch_size is None:
+            return self._write("maintain", self.engine.maintain,
+                               log_params={})
+        if batch_size < 1:
+            raise QueryError(f"maintain batch_size must be >= 1, got "
+                             f"{batch_size}")
+        report = None
+        while True:
+            batch = self._write(
+                "maintain", lambda: self.engine.maintain(limit=batch_size),
+                log_params={} if report is None else None)
+            report = batch if report is None else report.merge(batch)
+            pending = getattr(self.engine, "maintenance_pending", None)
+            if pending is None or pending() == 0:
+                return report
 
     def snapshot(self, directory, keep: int = 3):
         """Checkpoint the engine; writes serialize against queries
-        because saving materialises deferred IDF refreshes."""
+        because saving materialises deferred IDF refreshes.
+
+        With a WAL attached the manifest records the log position the
+        checkpoint covers, then the log rotates onto a fresh segment
+        and drops segments fully covered by the *oldest retained*
+        checkpoint — a later fallback load of an older generation can
+        still find its replay tail.
+        """
         from repro.persistence import save_engine
 
-        return self._write("snapshot",
-                           lambda: save_engine(self.engine, directory,
-                                               keep=keep))
+        def checkpoint():
+            wal_seq = self._wal.last_seq if self._wal is not None else None
+            path = save_engine(self.engine, directory, keep=keep,
+                               wal_seq=wal_seq)
+            if self._wal is not None:
+                generation = int(path.name)
+                self._checkpoints.append((generation, wal_seq))
+                del self._checkpoints[:-max(1, keep)]
+                self._wal.checkpoint(self._checkpoints[0][1], generation)
+            return path
+
+        return self._write("snapshot", checkpoint)
 
     def restore(self, directory, *, verify: bool = True,
                 on_corrupt: str = "raise") -> None:
         """Swap in an engine restored from a checkpoint, under the
         write lock — queries in flight finish against the old engine;
-        the next admitted query sees the restored one."""
+        the next admitted query sees the restored one.
+
+        With a WAL attached, the log tail past the snapshot's
+        ``wal_seq`` is replayed before the swap completes, so the
+        restored engine includes every acknowledged write.  The
+        single-flight table and the query caches flush on swap: a
+        restored engine's generation stamps can coincide with the old
+        one's, and a post-restore query must never coalesce onto or be
+        served a pre-restore result.
+        """
         from repro.persistence import load_engine
 
         def swap():
+            old = self.engine
             self.engine = load_engine(
-                directory, self.engine.schema, self.engine.server,
-                extractor=self.engine.extractor, verify=verify,
-                on_corrupt=on_corrupt)
+                directory, old.schema, old.server,
+                extractor=old.extractor, verify=verify,
+                on_corrupt=on_corrupt, wal=self._wal)
+            flushed = self._flights.flush()
+            invalidated = 0
+            for owner in (old, self.engine):
+                for cache in (getattr(owner, "query_cache", None),
+                              getattr(getattr(owner, "ir", None),
+                                      "query_cache", None)):
+                    if cache is not None:
+                        invalidated += cache.invalidate()
+            telemetry = get_telemetry()
+            telemetry.metrics.counter("service.restore_flushed_flights") \
+                .add(flushed)
+            telemetry.metrics.counter("service.restore_invalidated") \
+                .add(invalidated)
 
         self._write("restore", swap)
 
@@ -274,6 +369,8 @@ class SearchService:
             "flights": self._flights.status(),
             "counters": counters,
         }
+        if self._wal is not None:
+            status["wal"] = self._wal.status()
         # with the process backend attached, healthz reports per-replica
         # health so an operator sees failed/bootstrapping workers
         remote = getattr(getattr(self._ir, "index", None), "remote", None)

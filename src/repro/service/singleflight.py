@@ -65,15 +65,34 @@ class SingleFlight:
             finally:
                 # unregister before waking followers: a request arriving
                 # after completion starts a fresh flight instead of
-                # joining a finished one
+                # joining a finished one.  Identity-guarded: a flush()
+                # may have already dropped this flight and a newer
+                # leader re-registered under the same key — never
+                # delete someone else's flight
                 with self._lock:
-                    del self._flights[key]
+                    if self._flights.get(key) is flight:
+                        del self._flights[key]
                 flight.done.set()
             return flight.value, False
         flight.done.wait()
         if flight.error is not None:
             raise flight.error
         return flight.value, True
+
+    def flush(self) -> int:
+        """Drop every registered flight; returns how many were dropped.
+
+        Called when the world changes under the table — e.g. a
+        snapshot restore swaps the engine, and a restored engine's
+        generation stamps can coincide with the old one's, so a
+        post-restore arrival must never coalesce onto a pre-restore
+        leader.  In-flight leaders finish undisturbed (their followers
+        still get the answer); they just stop being joinable.
+        """
+        with self._lock:
+            dropped = len(self._flights)
+            self._flights.clear()
+        return dropped
 
     def status(self) -> dict[str, int]:
         with self._lock:

@@ -1,0 +1,37 @@
+"""Write-ahead logging: durability *between* checkpoints.
+
+Snapshots (:mod:`repro.persistence`) make a populated engine crash-safe
+at checkpoint boundaries — but every acknowledged write since the last
+checkpoint used to live only in memory.  This package closes that gap
+with an ARIES-style redo log:
+
+* :mod:`repro.wal.record` — the append-only record format: a
+  length-prefixed, CRC-32-checksummed JSON payload carrying a global
+  sequence number, the operation name and its parameters.  One format
+  for the service's write log *and* the replica layer's per-node
+  op-log, so replica repair and coordinator recovery share a replay
+  path.
+* :mod:`repro.wal.log` — :class:`WriteAheadLog`: segment files under
+  ``<root>/wal/``, group-commit ``fsync`` batching (concurrent
+  appenders share one flush), segment rotation keyed to snapshot
+  generations, and torn-tail truncation on open.
+* :mod:`repro.wal.replay` — applying a record tail to a restored
+  engine, tolerant of deterministically-refailing operations.
+
+The protocol: a writer op is appended and fsynced *before* it is
+applied, and acknowledged only after both — so crash-recovery
+(snapshot + tail replay, seq-ordered) never loses an acknowledged
+write, and never double-applies one either, because replay always
+starts from a snapshot whose ``wal_seq`` predates the tail.
+"""
+
+from repro.wal.record import (HEADER_BYTES, MAX_RECORD_BYTES, Record,
+                              decode_records, encode_record)
+from repro.wal.log import WriteAheadLog
+from repro.wal.replay import replay_records
+
+__all__ = [
+    "HEADER_BYTES", "MAX_RECORD_BYTES", "Record",
+    "decode_records", "encode_record",
+    "WriteAheadLog", "replay_records",
+]

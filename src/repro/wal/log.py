@@ -1,0 +1,311 @@
+"""The append-only write-ahead log: segments, group commit, recovery.
+
+A :class:`WriteAheadLog` owns one directory of segment files::
+
+    <root>/0000000000000001-g00000000.wal
+    <root>/0000000000000042-g00000003.wal   (active)
+
+Segment names carry the first sequence number they hold (zero-padded,
+so lexicographic order is replay order) and the snapshot generation
+they were rotated for.  Sequence numbers are global and dense — record
+``n`` is always followed by record ``n+1`` — which lets truncation
+reason about a segment's coverage from the *next* segment's name alone.
+
+Three durability mechanisms:
+
+* **Append + group commit** — :meth:`append` writes the encoded record
+  and returns only after an ``fsync`` covering it completes.  While
+  one flush is in flight, later appenders wait and are then covered by
+  a single shared follow-up flush instead of issuing one each — the
+  classic group-commit batching, visible as ``wal.fsyncs`` growing
+  slower than ``wal.appends`` under concurrency.
+* **Rotation keyed to snapshot generations** — :meth:`checkpoint`
+  starts a fresh segment for the just-committed snapshot generation
+  and unlinks every older segment fully covered by the snapshot's
+  sequence number (the directory is fsynced after, via the same
+  :mod:`repro.persistence.atomic` primitive the snapshot layer uses).
+* **Torn-tail truncation on open** — a crash mid-append leaves a short
+  or checksum-failing tail; opening the log cuts each segment back to
+  its last intact record (``wal.torn_records``) and drops segments
+  past the first tear, so replay only ever sees records that were
+  completely written.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.errors import SnapshotError
+from repro.persistence.atomic import fsync_directory
+from repro.telemetry.runtime import get_telemetry
+from repro.wal.record import Record, decode_records, encode_record
+
+__all__ = ["WriteAheadLog", "SEGMENT_SUFFIX"]
+
+SEGMENT_SUFFIX = ".wal"
+_SEQ_WIDTH = 16
+_GEN_WIDTH = 8
+
+
+def _segment_name(first_seq: int, generation: int) -> str:
+    return (f"{first_seq:0{_SEQ_WIDTH}d}-g{generation:0{_GEN_WIDTH}d}"
+            f"{SEGMENT_SUFFIX}")
+
+
+def _first_seq_of(path: Path) -> int | None:
+    stem = path.name[:-len(SEGMENT_SUFFIX)]
+    first, _, _ = stem.partition("-")
+    return int(first) if first.isdigit() else None
+
+
+def _sort_key(path: Path) -> tuple[int, int]:
+    """Replay order: first sequence number, then generation.
+
+    Two segments can share a first sequence number — a rotation before
+    any append leaves the old segment empty and names the new one for
+    the same next seq.  The generation tiebreak keeps the empty older
+    twin first, so coverage reasoning (``next first_seq - 1 <= seq``)
+    and active-segment selection (the last entry) both stay sound.
+    """
+    stem = path.name[:-len(SEGMENT_SUFFIX)]
+    first, _, gen = stem.partition("-g")
+    return (int(first), int(gen) if gen.isdigit() else 0)
+
+
+class WriteAheadLog:
+    """An append-only, checksummed record log under one directory.
+
+    ``fsync=False`` keeps the record format and recovery behaviour but
+    skips the per-append flush — for benchmarks that want to isolate
+    the fsync tax, never for durability-bearing deployments.
+    """
+
+    def __init__(self, root: str | Path, *, start_seq: int = 0,
+                 fsync: bool = True):
+        self.root = Path(root)
+        self.fsync = fsync
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        # group-commit state: ``_synced`` is the (epoch, offset) high
+        # water mark an fsync has covered; rotation bumps the epoch
+        # (the old file is fully synced before the bump, so any
+        # earlier-epoch waiter is covered by definition)
+        self._sync_cond = threading.Condition()
+        self._sync_inflight = False
+        self._epoch = 0
+        self._synced: tuple[int, int] = (0, 0)
+        self._file = None
+        self._seq = 0
+        self._closed = False
+        self._recover(start_seq)
+
+    # -- recovery ------------------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        found = [path for path in self.root.iterdir()
+                 if path.name.endswith(SEGMENT_SUFFIX)
+                 and _first_seq_of(path) is not None]
+        return sorted(found, key=_sort_key)
+
+    def _recover(self, start_seq: int) -> None:
+        """Scan segments, truncate the torn tail, resume the sequence."""
+        telemetry = get_telemetry()
+        last_seq = 0
+        torn = False
+        removed = False
+        for path in self._segments():
+            if torn:
+                # past the first tear nothing is trustworthy: these
+                # bytes were written after a record that never became
+                # durable, so no acknowledged write can live here
+                path.unlink()
+                removed = True
+                continue
+            result = decode_records(path.read_bytes())
+            if result.records:
+                last_seq = result.records[-1].seq
+            if result.torn is not None:
+                torn = True
+                telemetry.metrics.counter("wal.torn_records",
+                                          reason=result.torn).add(1)
+                if result.intact_bytes > 0:
+                    with path.open("rb+") as stream:
+                        stream.truncate(result.intact_bytes)
+                        stream.flush()
+                        os.fsync(stream.fileno())
+                else:
+                    path.unlink()
+                    removed = True
+        if removed:
+            fsync_directory(self.root)
+        self._seq = max(last_seq, start_seq)
+        self._open_active()
+
+    def _open_active(self, generation: int | None = None) -> None:
+        """Append to the newest segment, or start one if none exists."""
+        segments = self._segments()
+        if generation is None and segments:
+            path = segments[-1]
+        else:
+            path = self.root / _segment_name(self._seq + 1,
+                                             generation or 0)
+            path.touch()
+            fsync_directory(self.root)
+        self._file = path.open("ab")
+
+    # -- appending -----------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """The newest assigned sequence number (durable once acked)."""
+        return self._seq
+
+    def append(self, op: str, params: dict | None = None) -> int:
+        """Durably log one writer op; returns its sequence number.
+
+        The record is on disk *and fsynced* when this returns — the
+        caller may then apply the operation and acknowledge it.
+        Concurrent appenders share flushes (group commit).
+        """
+        telemetry = get_telemetry()
+        with self._lock:
+            if self._closed:
+                raise SnapshotError(f"write-ahead log {self.root} is closed")
+            self._seq += 1
+            record = Record(self._seq, op, dict(params or {}))
+            data = encode_record(record)
+            self._file.write(data)
+            self._file.flush()
+            offset = self._file.tell()
+            epoch = self._epoch
+        telemetry.metrics.counter("wal.appends", op=op).add(1)
+        telemetry.metrics.counter("wal.bytes").add(len(data))
+        if self.fsync:
+            self._sync_past(epoch, offset)
+        return record.seq
+
+    def _sync_past(self, epoch: int, offset: int) -> None:
+        """Block until an fsync covering (epoch, offset) has run."""
+        while True:
+            with self._sync_cond:
+                if self._synced >= (epoch, offset):
+                    return
+                if self._sync_inflight:
+                    self._sync_cond.wait()
+                    continue
+                self._sync_inflight = True
+            try:
+                with self._lock:
+                    self._file.flush()
+                    covered = (self._epoch, self._file.tell())
+                    os.fsync(self._file.fileno())
+                get_telemetry().metrics.counter("wal.fsyncs").add(1)
+            finally:
+                with self._sync_cond:
+                    self._sync_inflight = False
+                    if covered > self._synced:
+                        self._synced = covered
+                    self._sync_cond.notify_all()
+
+    # -- reading -------------------------------------------------------
+
+    def records(self, after_seq: int = 0) -> list[Record]:
+        """All intact records with ``seq > after_seq``, replay-ordered."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+            segments = self._segments()
+        tail: list[Record] = []
+        for index, path in enumerate(segments):
+            nxt = (_first_seq_of(segments[index + 1])
+                   if index + 1 < len(segments) else None)
+            if nxt is not None and nxt - 1 <= after_seq:
+                continue  # fully covered: sequence numbers are dense
+            for record in decode_records(path.read_bytes()).records:
+                if record.seq > after_seq:
+                    tail.append(record)
+        return tail
+
+    # -- checkpoint coordination --------------------------------------
+
+    def checkpoint(self, seq: int, generation: int) -> int:
+        """A snapshot covering ``seq`` committed: rotate and truncate.
+
+        Starts a fresh segment named for the snapshot ``generation``
+        and unlinks every older segment whose records are all
+        ``<= seq`` — they are fully covered by the checkpoint and will
+        never be replayed.  Returns the number of segments dropped.
+        """
+        with self._lock:
+            self._rotate(generation)
+            dropped = self._truncate_covered(seq)
+        if dropped:
+            get_telemetry().metrics.counter("wal.truncated_segments") \
+                .add(dropped)
+        return dropped
+
+    def _rotate(self, generation: int) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+        self._open_active(generation)
+        with self._sync_cond:
+            self._epoch += 1
+            # the old file is fully fsynced: every earlier-epoch waiter
+            # is covered, whatever offset it was waiting on
+            self._synced = (self._epoch, 0)
+            self._sync_cond.notify_all()
+        get_telemetry().metrics.counter("wal.rotations").add(1)
+
+    def _truncate_covered(self, seq: int) -> int:
+        segments = self._segments()
+        dropped = 0
+        for index, path in enumerate(segments[:-1]):
+            nxt = _first_seq_of(segments[index + 1])
+            if nxt is not None and nxt - 1 <= seq:
+                path.unlink()
+                dropped += 1
+        if dropped:
+            fsync_directory(self.root)
+        return dropped
+
+    # -- lifecycle -----------------------------------------------------
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far."""
+        with self._lock:
+            self._file.flush()
+            offset = self._file.tell()
+            epoch = self._epoch
+        self._sync_past(epoch, offset)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------
+
+    def status(self) -> dict[str, object]:
+        """A JSON-friendly snapshot for ``/healthz`` and the CLI."""
+        with self._lock:
+            segments = self._segments()
+            return {
+                "last_seq": self._seq,
+                "segments": len(segments),
+                "bytes": sum(path.stat().st_size for path in segments),
+                "fsync": self.fsync,
+            }

@@ -1,0 +1,97 @@
+"""Applying a WAL tail to a restored engine.
+
+Recovery is redo-only: :func:`repro.persistence.load_engine` rebuilds
+the engine from the newest intact snapshot, whose manifest records the
+last WAL sequence number it covers (``wal_seq``); replay then applies
+every intact record past that point, in order.  Because the snapshot
+state strictly predates the tail, in-order redo reproduces the
+pre-crash state without ever double-applying a write.
+
+A record whose operation *failed* when it ran live (the log-before-
+apply protocol logs first, so a rejected duplicate-add still leaves a
+record) deterministically refails on replay — :func:`replay_records`
+tolerates :class:`~repro.errors.ReproError` from the apply step and
+counts the skip rather than aborting recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError, SnapshotError
+from repro.telemetry.runtime import get_telemetry
+from repro.wal.record import Record
+
+__all__ = ["replay_records", "REPLAYABLE_OPS"]
+
+#: Operation names the service logs and recovery knows how to redo.
+REPLAYABLE_OPS = ("reindex", "remove", "add_documents",
+                  "populate", "recrawl", "maintain")
+
+
+def _ir_of(engine):
+    """The IR surface a record applies to (mirrors SearchService._ir)."""
+    return getattr(engine, "ir", engine)
+
+
+def _apply(engine, record: Record) -> None:
+    ir = _ir_of(engine)
+    params = record.params
+    if record.op == "reindex":
+        ir.reindex(str(params["url"]), str(params["text"]))
+    elif record.op == "remove":
+        ir.remove(str(params["url"]))
+    elif record.op == "add_documents":
+        # JSON round-trips the (url, text) pairs as lists
+        documents = [(str(url), str(text))
+                     for url, text in params["documents"]]
+        ir.index.add_documents(documents)
+    elif record.op == "populate":
+        engine.populate()
+    elif record.op == "recrawl":
+        engine.recrawl()
+    elif record.op == "maintain":
+        engine.maintain()
+    else:
+        raise SnapshotError(
+            f"write-ahead log record {record.seq} names unknown "
+            f"operation {record.op!r}; refusing to guess — the log was "
+            "written by a newer build or is corrupt past its checksums")
+
+
+def replay_records(engine, records: Iterable[Record],
+                   *, after_seq: int = 0) -> dict[str, int]:
+    """Redo ``records`` with ``seq > after_seq`` against ``engine``.
+
+    Returns ``{"applied": …, "skipped": …, "last_seq": …}`` —
+    ``skipped`` counts records whose operation refailed on redo
+    exactly as it failed live (e.g. removing a never-indexed URL).
+    Out-of-order sequence numbers are a corruption the checksums
+    cannot see, so they raise :class:`~repro.errors.SnapshotError`.
+    """
+    telemetry = get_telemetry()
+    applied = skipped = 0
+    last_seq = after_seq
+    ordered: Sequence[Record] = list(records)
+    with telemetry.tracer.span("wal.replay", after_seq=after_seq) as span:
+        for record in ordered:
+            if record.seq <= after_seq:
+                continue
+            if record.seq <= last_seq:
+                raise SnapshotError(
+                    f"write-ahead log replay saw sequence {record.seq} "
+                    f"after {last_seq}; segments are out of order")
+            last_seq = record.seq
+            try:
+                _apply(engine, record)
+                applied += 1
+            except ReproError:
+                # the live run logged before applying; an op that was
+                # rejected then is rejected identically now
+                skipped += 1
+                telemetry.metrics.counter("wal.replay_skipped",
+                                          op=record.op).add(1)
+        span.set_attributes(applied=applied, skipped=skipped,
+                            last_seq=last_seq)
+    telemetry.metrics.counter("wal.replays").add(applied)
+    return {"applied": applied, "skipped": skipped, "last_seq": last_seq}

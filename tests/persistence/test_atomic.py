@@ -80,3 +80,62 @@ class TestHelpers:
         write_pointer(pointer, "00000002")
         assert read_pointer(pointer) == "00000002"
         assert [entry.name for entry in tmp_path.iterdir()] == ["CURRENT"]
+
+
+class TestFsyncDirectory:
+    def test_opens_the_directory_with_o_directory(self, tmp_path,
+                                                  monkeypatch):
+        """The fd must name the *directory* (O_DIRECTORY), not some
+        same-named file — the historical bug was fsyncing nothing."""
+        import os
+
+        from repro.persistence import atomic as atomic_module
+
+        opened = {}
+        real_open = os.open
+
+        def spy_open(path, flags, *args, **kwargs):
+            opened["path"], opened["flags"] = path, flags
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(os, "open", spy_open)
+        atomic_module.fsync_directory(tmp_path)
+        assert opened["path"] == str(tmp_path)
+        if hasattr(os, "O_DIRECTORY"):
+            assert opened["flags"] & os.O_DIRECTORY
+
+    def test_fsyncs_the_directory_fd(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.persistence import fsync_directory
+
+        synced = []
+        monkeypatch.setattr(os, "fsync", synced.append)
+        fsync_directory(tmp_path)
+        assert len(synced) == 1
+
+    def test_refusing_filesystem_degrades_silently(self, tmp_path,
+                                                   monkeypatch):
+        import os
+
+        from repro.persistence import fsync_directory
+
+        def refuse(fd):
+            raise OSError("EINVAL: directory fsync unsupported")
+
+        monkeypatch.setattr(os, "fsync", refuse)
+        fsync_directory(tmp_path)  # must not raise
+
+    def test_non_directory_fails_loudly(self, tmp_path):
+        import os
+
+        import pytest as _pytest
+
+        from repro.persistence import fsync_directory
+
+        if not hasattr(os, "O_DIRECTORY"):
+            _pytest.skip("platform lacks O_DIRECTORY")
+        target = tmp_path / "a-file"
+        target.write_text("not a directory")
+        with _pytest.raises(OSError):
+            fsync_directory(target)

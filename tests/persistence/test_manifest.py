@@ -109,3 +109,19 @@ class TestVerifyFiles:
         path.write_bytes(b"abc" * 100_000)
         assert sha256_file(path) \
             == hashlib.sha256(b"abc" * 100_000).hexdigest()
+
+
+class TestWalSeq:
+    def test_wal_seq_round_trips(self, tmp_path):
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one"})
+        manifest.wal_seq = 41
+        manifest.save(tmp_path)
+        assert Manifest.load(tmp_path).wal_seq == 41
+
+    def test_absent_wal_seq_loads_as_none(self, tmp_path):
+        """Pre-WAL manifests (and WAL-less saves) have no field."""
+        manifest = small_manifest(tmp_path, **{"a.jsonl": "one"})
+        assert manifest.wal_seq is None
+        data = json.loads((tmp_path / "engine.json").read_text())
+        assert "wal_seq" not in data
+        assert Manifest.load(tmp_path).wal_seq is None

@@ -1,0 +1,95 @@
+"""Op-log hygiene: checkpoint-driven truncation and online expansion."""
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.telemetry import telemetry_session
+
+from tests.remote.conftest import process_policy
+
+pytestmark = pytest.mark.remote
+
+
+def _oplog_sizes(index):
+    return index.remote.status()["oplog"]
+
+
+class TestOplogTruncation:
+    def test_checkpoint_truncates_the_covered_prefix(self,
+                                                     replicated_index):
+        """The regression this file exists for: before truncation the
+        per-node op-log grew without bound across checkpoints."""
+        replicated_index.add_document("http://site/t1", "trophy w0 w1")
+        replicated_index.add_document("http://site/t2", "melbourne w2")
+        replicated_index.refresh()
+        node = replicated_index.cluster.place("http://site/t1").name
+        assert _oplog_sizes(replicated_index)[node] > 0
+        with telemetry_session() as telemetry:
+            _, meta = replicated_index.remote.checkpoint(node)
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert _oplog_sizes(replicated_index)[node] == 0
+        assert counters[f"remote.oplog_truncated{{node={node}}}"] > 0
+        assert meta["seq"] > 0
+
+    def test_entries_past_the_checkpoint_survive(self, replicated_index):
+        replicated_index.add_document("http://site/t1", "trophy w0 w1")
+        replicated_index.refresh()
+        node = replicated_index.cluster.place("http://site/t1").name
+        replicated_index.remote.checkpoint(node)
+        # a write after the checkpoint is *not* covered: it must stay
+        replicated_index.add_document("http://site/t3", "w3 w4 trophy")
+        late_node = replicated_index.cluster.place("http://site/t3").name
+        assert _oplog_sizes(replicated_index)[late_node] > 0
+
+    def test_repair_still_catches_up_after_truncation(self,
+                                                      replicated_index):
+        """Kill-and-repair works across a truncation boundary: the
+        replacement bootstraps from the newest checkpoint, whose seq
+        matches the truncated log's base."""
+        replicated_index.add_document("http://site/t1", "trophy w0 w1")
+        replicated_index.refresh()
+        node = replicated_index.cluster.place("http://site/t1").name
+        replicated_index.remote.checkpoint(node)
+        replicated_index.add_document("http://site/t4", "melbourne w5")
+        replicated_index.refresh()
+        replicated_index.remote.kill_replica(node, slot=0)
+        assert replicated_index.remote.repair() == 1
+        thread = replicated_index.query(
+            "trophy melbourne", process_policy(backend="thread"))
+        process = replicated_index.query("trophy melbourne",
+                                         process_policy())
+        assert process.ranking == thread.ranking
+
+
+class TestExpand:
+    def test_expand_adds_a_caught_up_replica_online(self,
+                                                    replicated_index):
+        """Rebalance bootstrap: the new worker restores the newest
+        snapshot, replays the op-log tail, and serves identically."""
+        replicated_index.add_document("http://site/x1", "trophy w0 w1")
+        replicated_index.refresh()
+        node = replicated_index.cluster.place("http://site/x1").name
+        before = len(replicated_index.remote.replicas[node])
+        with telemetry_session() as telemetry:
+            added = replicated_index.remote.expand(node)
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert added == 1
+        assert counters[f"remote.replicas_expanded{{node={node}}}"] == 1
+        handles = replicated_index.remote.replicas[node]
+        assert len(handles) == before + 1
+        expected = replicated_index.nodes[node].generation
+        assert all(handle.healthy and handle.generation == expected
+                   for handle in handles)
+        thread = replicated_index.query(
+            "trophy melbourne", process_policy(backend="thread"))
+        process = replicated_index.query("trophy melbourne",
+                                         process_policy())
+        assert process.ranking == thread.ranking
+
+    def test_expand_unknown_node_is_a_remote_error(self, replicated_index):
+        with pytest.raises(RemoteError, match="unknown node"):
+            replicated_index.remote.expand("no-such-node")
+
+    def test_expand_rejects_non_positive_counts(self, replicated_index):
+        with pytest.raises(ValueError, match=">= 1"):
+            replicated_index.remote.expand("node0", count=0)

@@ -141,3 +141,48 @@ class TestIntrospectionEndpoints:
             httpd.shutdown()
             httpd.server_close()
             thread.join(5.0)
+
+
+class TestRetryAfterClamp:
+    """The header is clamped to >= 1 whole second: sub-second hints
+    serialize as ``Retry-After: 0`` and compliant clients hammer."""
+
+    def test_sub_second_hints_clamp_to_one(self):
+        from repro.service.httpd import retry_after_header
+
+        assert retry_after_header(0.0) == "1"
+        assert retry_after_header(0.049) == "1"
+        assert retry_after_header(0.999) == "1"
+
+    def test_longer_hints_round_up_to_whole_seconds(self):
+        from repro.service.httpd import retry_after_header
+
+        assert retry_after_header(1.0) == "1"
+        assert retry_after_header(1.2) == "2"
+        assert retry_after_header(30.0) == "30"
+
+    def test_wire_header_is_a_positive_integer(self):
+        """End to end: a shed response carries an integral header >= 1
+        even when the admission hint is a few milliseconds."""
+        engine = build_ir_engine(documents=30)
+        service = SearchService(engine, ServicePolicy(rate=2.0, burst=1))
+        httpd = serve(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            request = SearchRequest(query="trophy", mode="content")
+            status, _ = post(httpd.address, request.to_dict())
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post(httpd.address, request.to_dict())
+            assert excinfo.value.code == 429
+            header = excinfo.value.headers["Retry-After"]
+            assert header == str(int(header))  # integral, no decimals
+            assert int(header) >= 1
+            # the JSON body keeps the precise sub-second hint
+            body = json.loads(excinfo.value.read())
+            assert 0.0 < body["retry_after"] <= 1.0
+        finally:
+            httpd.shutdown_gracefully(5.0)
+            httpd.server_close()
+            thread.join(5.0)

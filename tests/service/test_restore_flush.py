@@ -1,0 +1,145 @@
+"""Restore must flush coalescing state: single-flight table, caches.
+
+The restored engine's generation stamps can coincide with the old
+engine's (both counted from zero), so any state keyed by generation —
+an in-flight single-flight leader, a cached query result — can leak a
+pre-restore answer to a post-restore request unless the swap flushes
+it.
+"""
+
+import threading
+
+import pytest
+
+from repro.service import SearchService
+from repro.service.singleflight import SingleFlight
+from repro.telemetry import telemetry_session
+
+pytestmark = pytest.mark.service
+
+
+class TestSingleFlightFlush:
+    def test_flush_drops_every_flight_and_counts_them(self):
+        flights = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(5.0)
+            return "stale"
+
+        thread = threading.Thread(
+            target=lambda: flights.run("k", slow))
+        thread.start()
+        assert started.wait(5.0)
+        assert flights.status()["flights"] == 1
+        assert flights.flush() == 1
+        assert flights.status()["flights"] == 0
+        release.set()
+        thread.join(5.0)
+        assert flights.flush() == 0
+
+    def test_post_flush_arrival_leads_its_own_flight(self):
+        """After a flush, an identical key must execute fresh instead
+        of coalescing onto the pre-flush leader."""
+        flights = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+        outcomes = {}
+
+        def old_world():
+            started.set()
+            release.wait(5.0)
+            return "pre-restore"
+
+        def leader():
+            outcomes["old"] = flights.run("k", old_world)
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        assert started.wait(5.0)
+        flights.flush()
+        value, coalesced = flights.run("k", lambda: "post-restore")
+        assert (value, coalesced) == ("post-restore", False)
+        release.set()
+        thread.join(5.0)
+        assert outcomes["old"] == ("pre-restore", False)
+
+    def test_finished_leader_never_deletes_a_successors_flight(self):
+        """The leader's cleanup is identity-guarded: when a flush has
+        already dropped its flight and a newer leader re-registered
+        under the same key, finishing must not unregister the newer
+        flight (followers would then miss its answer)."""
+        flights = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+
+        def old_world():
+            started.set()
+            release.wait(5.0)
+            return "pre-restore"
+
+        thread = threading.Thread(target=lambda: flights.run("k", old_world))
+        thread.start()
+        assert started.wait(5.0)
+        flights.flush()
+
+        new_started = threading.Event()
+        new_release = threading.Event()
+
+        def new_world():
+            new_started.set()
+            new_release.wait(5.0)
+            return "post-restore"
+
+        new_leader = threading.Thread(
+            target=lambda: flights.run("k", new_world))
+        new_leader.start()
+        assert new_started.wait(5.0)
+        # old leader finishes while the new flight is still running
+        release.set()
+        thread.join(5.0)
+        assert flights.status()["flights"] == 1  # the new one survives
+        # a follower arriving now coalesces onto the *new* leader
+        follower_result = {}
+
+        def follower():
+            follower_result["got"] = flights.run("k", lambda: "wrong")
+
+        tail = threading.Thread(target=follower)
+        tail.start()
+        new_release.set()
+        new_leader.join(5.0)
+        tail.join(5.0)
+        assert follower_result["got"] == ("post-restore", True)
+
+
+class TestRestoreFlushesState:
+    def test_restore_flushes_flights_and_invalidates_caches(
+            self, search_engine, tmp_path):
+        service = SearchService(search_engine)
+        service.snapshot(tmp_path)
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(5.0)
+            return "stale"
+
+        thread = threading.Thread(
+            target=lambda: service._flights.run("hot-query", slow))
+        thread.start()
+        assert started.wait(5.0)
+        try:
+            with telemetry_session() as telemetry:
+                service.restore(tmp_path)
+                counters = telemetry.metrics.snapshot()["counters"]
+            assert counters["service.restore_flushed_flights"] == 1
+            assert "service.restore_invalidated" in counters
+            assert service._flights.status()["flights"] == 0
+        finally:
+            release.set()
+            thread.join(5.0)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the write-ahead-log durability suite.
+
+Thread-leak checked like the service suite: a WAL whose group-commit
+machinery wedges a waiter is a service that never acknowledges a
+write.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SearchEngine
+from repro.web.ausopen import build_ausopen_site
+from repro.webspace.schema import australian_open_schema
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Fail any test that leaks a live non-daemon thread."""
+    before = set(threading.enumerate())
+    yield
+    leaked = set()
+    for _ in range(100):
+        leaked = {thread for thread in threading.enumerate()
+                  if thread not in before
+                  and not thread.daemon and thread.is_alive()}
+        if not leaked:
+            break
+        time.sleep(0.01)
+    assert not leaked, \
+        f"leaked non-daemon threads: {sorted(t.name for t in leaked)}"
+
+
+def build_engine(**config_overrides):
+    """A small populated engine over a fresh synthetic site."""
+    server, truth = build_ausopen_site(players=6, articles=4, videos=2,
+                                       frames_per_shot=4)
+    config = EngineConfig(fragment_count=3, **config_overrides)
+    engine = SearchEngine(australian_open_schema(), server, config)
+    engine.populate()
+    return engine, server, truth

@@ -1,0 +1,179 @@
+"""The log itself: append, group commit, rotation, truncation."""
+
+import threading
+
+import pytest
+
+from repro.errors import SnapshotError
+from repro.telemetry.runtime import telemetry_session
+from repro.wal import WriteAheadLog
+
+pytestmark = pytest.mark.wal
+
+
+def _counter_total(counters, name):
+    return sum(value for key, value in counters.items()
+               if key == name or key.startswith(name + "{"))
+
+
+class TestAppend:
+    def test_append_assigns_dense_increasing_seqs(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            seqs = [log.append("remove", {"url": f"u{i}"})
+                    for i in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_records_reads_back_what_was_appended(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("reindex", {"url": "a", "text": "x y"})
+            log.append("remove", {"url": "a"})
+            records = log.records()
+        assert [(r.seq, r.op) for r in records] == [(1, "reindex"),
+                                                    (2, "remove")]
+        assert records[0].params == {"url": "a", "text": "x y"}
+
+    def test_records_after_seq_skips_the_covered_prefix(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            for i in range(10):
+                log.append("remove", {"url": f"u{i}"})
+            tail = log.records(after_seq=7)
+        assert [record.seq for record in tail] == [8, 9, 10]
+
+    def test_append_after_close_raises(self, tmp_path):
+        log = WriteAheadLog(tmp_path)
+        log.close()
+        with pytest.raises(SnapshotError, match="closed"):
+            log.append("remove", {"url": "u"})
+
+    def test_start_seq_floors_the_sequence(self, tmp_path):
+        """An engine restored from a snapshot with ``wal_seq=42`` but a
+        fully truncated log must not reuse sequence numbers."""
+        with WriteAheadLog(tmp_path, start_seq=42) as log:
+            assert log.append("remove", {"url": "u"}) == 43
+
+
+class TestGroupCommit:
+    def test_concurrent_appenders_share_fsyncs(self, tmp_path):
+        """Group commit: while one flush is in flight, later appenders
+        wait and share a follow-up flush — total fsyncs stays well
+        under one-per-append."""
+        threads, per_thread = 8, 25
+        with telemetry_session() as telemetry:
+            with WriteAheadLog(tmp_path) as log:
+                barrier = threading.Barrier(threads)
+                errors = []
+
+                def writer(index):
+                    try:
+                        barrier.wait()
+                        for j in range(per_thread):
+                            log.append("remove",
+                                       {"url": f"u{index}-{j}"})
+                    except BaseException as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                workers = [threading.Thread(target=writer, args=(i,))
+                           for i in range(threads)]
+                for worker in workers:
+                    worker.start()
+                for worker in workers:
+                    worker.join()
+                assert not errors
+                assert log.last_seq == threads * per_thread
+                records = log.records()
+            counters = telemetry.metrics.snapshot()["counters"]
+        appends = _counter_total(counters, "wal.appends")
+        fsyncs = _counter_total(counters, "wal.fsyncs")
+        assert appends == threads * per_thread
+        assert [record.seq for record in records] \
+            == list(range(1, threads * per_thread + 1))
+        assert 0 < fsyncs <= appends
+
+    def test_every_append_is_covered_by_an_fsync_before_return(
+            self, tmp_path):
+        """Single-threaded, each append pays its own flush — the
+        batching never skips coverage, it only shares it."""
+        with telemetry_session() as telemetry:
+            with WriteAheadLog(tmp_path) as log:
+                for i in range(4):
+                    log.append("remove", {"url": f"u{i}"})
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert _counter_total(counters, "wal.fsyncs") == 4
+
+
+class TestCheckpoint:
+    def test_checkpoint_rotates_onto_a_generation_named_segment(
+            self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            for i in range(3):
+                log.append("remove", {"url": f"u{i}"})
+            # seq 0: nothing is covered yet, so the old segment stays
+            log.checkpoint(0, generation=7)
+            log.append("remove", {"url": "after"})
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert names == ["0000000000000001-g00000000.wal",
+                         "0000000000000004-g00000007.wal"]
+
+    def test_checkpoint_drops_fully_covered_segments(self, tmp_path):
+        with telemetry_session() as telemetry:
+            with WriteAheadLog(tmp_path) as log:
+                for i in range(3):
+                    log.append("remove", {"url": f"u{i}"})
+                log.checkpoint(0, generation=1)  # rotate only
+                for i in range(3):
+                    log.append("remove", {"url": f"v{i}"})
+                # seqs 1..6 all covered: both older segments go
+                dropped = log.checkpoint(log.last_seq, generation=2)
+                assert dropped == 2
+                assert log.records() == []
+                assert log.last_seq == 6
+            counters = telemetry.metrics.snapshot()["counters"]
+        assert _counter_total(counters, "wal.truncated_segments") == 2
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_partially_covered_segment_is_kept(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            for i in range(5):
+                log.append("remove", {"url": f"u{i}"})
+            dropped = log.checkpoint(3, generation=1)
+            assert dropped == 0
+            assert [record.seq for record in log.records(after_seq=3)] \
+                == [4, 5]
+
+    def test_appends_continue_after_rotation(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("remove", {"url": "a"})
+            log.checkpoint(1, generation=1)
+            assert log.append("remove", {"url": "b"}) == 2
+            assert [record.seq for record in log.records(after_seq=1)] \
+                == [2]
+
+
+class TestReopen:
+    def test_reopen_resumes_the_sequence(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            for i in range(4):
+                log.append("remove", {"url": f"u{i}"})
+        with WriteAheadLog(tmp_path) as reopened:
+            assert reopened.last_seq == 4
+            assert reopened.append("remove", {"url": "next"}) == 5
+
+    def test_reopen_across_rotated_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path) as log:
+            log.append("remove", {"url": "a"})
+            log.checkpoint(0, generation=1)  # rotate, keep everything
+            log.append("remove", {"url": "b"})
+        with WriteAheadLog(tmp_path) as reopened:
+            assert reopened.last_seq == 2
+            assert [record.seq for record in reopened.records()] == [1, 2]
+
+    def test_status_is_json_friendly(self, tmp_path):
+        import json
+
+        with WriteAheadLog(tmp_path) as log:
+            log.append("remove", {"url": "a"})
+            status = log.status()
+        assert json.loads(json.dumps(status)) == status
+        assert status["last_seq"] == 1
+        assert status["segments"] == 1
+        assert status["bytes"] > 0
