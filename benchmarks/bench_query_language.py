@@ -1,0 +1,134 @@
+"""E10 — what the schema-2 query language costs.
+
+Three prices worth knowing before turning rich queries on by default:
+
+1. **Phrase vs bag-of-words latency**: a phrase query pays positional
+   adjacency checks on top of the postings scan.  Measured as the
+   median ratio on a 300-document Zipf corpus; the bar only guards
+   against pathological blow-ups (<= 50x), the interesting number is
+   the recorded ratio.
+
+2. **Facet-counting cost**: facets count the *full* match set, so a
+   faceted query re-walks every matched url.  Measured as faceted vs
+   plain latency of the same structured query.
+
+3. **v1-vs-v2 parse overhead**: the rich grammar (lexer + recursive
+   descent + analysis) vs the v1 flat term split, and the request
+   wire-parse (``SearchRequest.from_dict``) for both dialects.
+
+Writes ``BENCH_query_language.json`` next to the other artifacts.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core.config import ExecutionPolicy
+from repro.ir.engine import IrEngine
+from repro.ir.text import analyze
+from repro.query import parse_rich_query
+from repro.service.api import MODE_CONTENT, SearchRequest
+
+from benchmarks.conftest import zipf_corpus
+
+DOCUMENTS = 300
+ROUNDS = 40
+REPORT = Path(__file__).parent / "BENCH_query_language.json"
+
+BAG_QUERY = "grandslam finalist"
+PHRASE_QUERY = '"grandslam finalist"'  # adjacent in the marker docs
+RICH_QUERY = "(grandslam OR finalist) AND NOT term000"
+
+
+def _build_engine():
+    engine = IrEngine(fragment_count=4)
+    for url, text in zipf_corpus(DOCUMENTS, seed=31):
+        engine.index(url, text)
+    return engine
+
+
+def _median_ms(run, rounds=ROUNDS):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        samples.append((time.perf_counter() - start) * 1000.0)
+    return statistics.median(samples)
+
+
+def _request(query, **kwargs):
+    # cache off: rounds repeat identical queries and must measure the
+    # scan + match work, not the generation-stamped result cache
+    return SearchRequest(query=query, mode=MODE_CONTENT,
+                         policy=ExecutionPolicy(cache=False),
+                         schema_version=2, **kwargs)
+
+
+def test_query_language_costs():
+    engine = _build_engine()
+
+    bag_ms = _median_ms(lambda: engine.execute(_request(BAG_QUERY)))
+    phrase_ms = _median_ms(lambda: engine.execute(_request(PHRASE_QUERY)))
+    faceted_ms = _median_ms(lambda: engine.execute(
+        _request(BAG_QUERY, facets=("class", "attribute"))))
+    rich_ms = _median_ms(lambda: engine.execute(_request(RICH_QUERY)))
+
+    # correctness guard: the phrase is a strict subset of the bag
+    bag_keys = {hit.key for hit in engine.execute(_request(BAG_QUERY)).hits}
+    phrase_keys = {hit.key
+                   for hit in engine.execute(_request(PHRASE_QUERY)).hits}
+    assert phrase_keys and phrase_keys <= bag_keys
+
+    # parse-only costs, v1 split vs v2 grammar
+    v1_parse_ms = _median_ms(lambda: analyze(BAG_QUERY), rounds=200)
+    v2_parse_ms = _median_ms(
+        lambda: parse_rich_query(
+            'title:grandslam^4 AND ("digital library" OR year:1990-2001)'),
+        rounds=200)
+    v1_payload = SearchRequest(query=BAG_QUERY,
+                               mode=MODE_CONTENT).to_dict()
+    v2_payload = _request(RICH_QUERY, facets=("class",),
+                          filters=(("year", "1990-2001"),),
+                          sort=(("url", "asc"),), limit=10,
+                          boosts=(("title", 4.0),)).to_dict()
+    v1_wire_ms = _median_ms(lambda: SearchRequest.from_dict(v1_payload),
+                            rounds=200)
+    v2_wire_ms = _median_ms(lambda: SearchRequest.from_dict(v2_payload),
+                            rounds=200)
+
+    report = {
+        "version": 1,
+        "meta": {
+            "suite": "bench_query_language",
+            "documents": DOCUMENTS,
+            "rounds": ROUNDS,
+            "bag_query": BAG_QUERY,
+            "phrase_query": PHRASE_QUERY,
+            "rich_query": RICH_QUERY,
+        },
+        "bag_query_ms": round(bag_ms, 4),
+        "phrase_query_ms": round(phrase_ms, 4),
+        "phrase_over_bag": round(phrase_ms / bag_ms, 2),
+        "faceted_query_ms": round(faceted_ms, 4),
+        "facet_overhead": round(faceted_ms / bag_ms, 2),
+        "rich_boolean_ms": round(rich_ms, 4),
+        "parse": {
+            "v1_analyze_ms": round(v1_parse_ms, 5),
+            "v2_grammar_ms": round(v2_parse_ms, 5),
+            "grammar_over_analyze": round(v2_parse_ms / v1_parse_ms, 2),
+            "v1_from_dict_ms": round(v1_wire_ms, 5),
+            "v2_from_dict_ms": round(v2_wire_ms, 5),
+            "wire_overhead": round(v2_wire_ms / v1_wire_ms, 2),
+        },
+    }
+    REPORT.write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    # generous bars: catch pathological regressions, not noise
+    assert phrase_ms / bag_ms <= 50.0, (
+        f"phrase queries {phrase_ms / bag_ms:.1f}x over bag-of-words "
+        f"(bag={bag_ms:.3f}ms phrase={phrase_ms:.3f}ms)")
+    assert faceted_ms / bag_ms <= 20.0, (
+        f"facet counting {faceted_ms / bag_ms:.1f}x over the plain query")
+    assert v2_wire_ms / v1_wire_ms <= 25.0, (
+        f"v2 wire parse {v2_wire_ms / v1_wire_ms:.1f}x over v1")

@@ -197,6 +197,71 @@ def _remote_index(engine):
     return index
 
 
+def _rich_request_fields(args: argparse.Namespace) -> dict:
+    """SearchRequest kwargs from the schema-2 CLI flags (empty = v1)."""
+    from repro.service.api import SCHEMA_VERSION_V2
+
+    filters = []
+    for spec in args.filters:
+        if ":" not in spec:
+            raise ReproError(f"--filter needs FIELD:SPEC, got {spec!r}")
+        name, _, value = spec.partition(":")
+        filters.append((name, value))
+    if args.year:
+        filters.append(("year", args.year))
+    sort = []
+    for spec in args.sort:
+        name, _, direction = spec.partition(":")
+        direction = direction or "desc"
+        if direction not in ("asc", "desc"):
+            raise ReproError(f"--sort direction must be asc or desc, "
+                             f"got {spec!r}")
+        sort.append((name, direction))
+    boosts = []
+    for spec in args.boosts:
+        name, caret, weight = spec.partition("^")
+        if not caret or not name:
+            raise ReproError(f"--boost needs FIELD^N, got {spec!r}")
+        try:
+            boosts.append((name, float(weight)))
+        except ValueError:
+            raise ReproError(f"--boost weight must be a number, "
+                             f"got {spec!r}") from None
+    offset = 0
+    if args.page is not None:
+        if args.limit is None:
+            raise ReproError("--page needs --limit")
+        if args.page < 1:
+            raise ReproError("--page is 1-based")
+        offset = (args.page - 1) * args.limit
+    fields: dict = {}
+    if filters:
+        fields["filters"] = tuple(filters)
+    if args.facets:
+        fields["facets"] = tuple(args.facets)
+    if sort:
+        fields["sort"] = tuple(sort)
+    if args.limit is not None:
+        fields["limit"] = args.limit
+    if offset:
+        fields["offset"] = offset
+    if boosts:
+        fields["boosts"] = tuple(boosts)
+    if fields:
+        fields["schema_version"] = SCHEMA_VERSION_V2
+    return fields
+
+
+def _print_rich_footer(response) -> None:
+    """Facet counts and the pre-pagination total of a schema-2 answer."""
+    for name, counts in response.facets:
+        print(f"facet {name}:")
+        for value, count in counts:
+            print(f"    {value}: {count}")
+    if response.total is not None:
+        print(f"total matches: {response.total}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.service import SearchRequest, SearchService
 
@@ -207,7 +272,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         index = _remote_index(engine)
         index.start_remote(replication_factor=args.replicas)
     request = SearchRequest(query=args.query, mode=args.mode,
-                            policy=policy)
+                            policy=policy, **_rich_request_fields(args))
     try:
         with SearchService(engine) as service:
             response = service.search(request)
@@ -224,10 +289,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print()
     if not response.hits:
         print("no results")
+        _print_rich_footer(response)
         return 0
     if args.mode != "conceptual":
         for hit in response.hits:
             print(f"{hit.key}  score={hit.score:.3f}")
+        _print_rich_footer(response)
         return 0
     for row in result:
         values = "  ".join(f"{path}={value!r}"
@@ -242,6 +309,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             for turn in turns:
                 print(f"    {alias}: speaker {turn.speaker} "
                       f"{turn.start:.2f}s-{turn.end:.2f}s")
+    _print_rich_footer(response)
     return 0
 
 
@@ -526,6 +594,34 @@ def _parser() -> argparse.ArgumentParser:
                        help="conceptual query language, ranked content "
                             "search, or fragmented top-N (default: "
                             "conceptual)")
+    rich = query.add_argument_group(
+        "rich queries (schema 2)",
+        "any of these flags upgrades the request to SearchRequest "
+        "schema 2; the query string itself then supports the rich "
+        "language (field:term, AND/OR/NOT, \"quoted phrases\", "
+        "title^4 boosts, year:1990-2001 ranges)")
+    rich.add_argument("--filter", action="append", default=[],
+                      metavar="FIELD:SPEC", dest="filters",
+                      help="restrict matches: FIELD:VALUE for equality, "
+                           "FIELD:LO-HI for a numeric range (repeatable)")
+    rich.add_argument("--year", metavar="LO-HI",
+                      help="shorthand for --filter year:LO-HI")
+    rich.add_argument("-s", "--sort", action="append", default=[],
+                      metavar="FIELD[:asc|desc]", dest="sort",
+                      help="sort keys, e.g. -s downloads:desc "
+                           "(repeatable; default direction desc)")
+    rich.add_argument("-l", "--limit", type=int, default=None,
+                      help="page size (rows per page)")
+    rich.add_argument("-p", "--page", type=int, default=None,
+                      help="1-based page number (needs --limit)")
+    rich.add_argument("--facet", action="append", default=[],
+                      metavar="FIELD", dest="facets",
+                      help="count FIELD values over the full match set "
+                           "(repeatable)")
+    rich.add_argument("--boost", action="append", default=[],
+                      metavar="FIELD^N", dest="boosts",
+                      help="weight a field's term matches, e.g. "
+                           "--boost title^4 (repeatable)")
     query.add_argument("--explain", action="store_true",
                        help="print the executed physical plan")
     _add_policy_flags(query)

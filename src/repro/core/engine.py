@@ -311,7 +311,10 @@ class SearchEngine:
         if request.mode != api.MODE_CONCEPTUAL:
             return self.ir.execute(request)
         started = time.perf_counter()
-        result = self._query_text(request.query, request.policy)
+        extras = (request if request.schema_version == api.SCHEMA_VERSION_V2
+                  else None)
+        result = self._query_text(request.query, request.policy,
+                                  request=extras)
         return api.response_from_query_result(
             request, result, api.elapsed_ms_since(started))
 
@@ -329,8 +332,8 @@ class SearchEngine:
                                 policy=policy or self.config.execution)
         return self.execute(request).result
 
-    def _query_text(self, source: str, policy: ExecutionPolicy
-                    ) -> QueryResult:
+    def _query_text(self, source: str, policy: ExecutionPolicy,
+                    request=None) -> QueryResult:
         """The conceptual-path core behind :meth:`execute`.
 
         The textual language is the CLI-friendly counterpart of the
@@ -340,6 +343,11 @@ class SearchEngine:
         generation-stamped query cache (unless ``policy.cache`` is off);
         any write through populate/recrawl/maintain/reindex bumps a
         store generation and thereby invalidates.
+
+        ``request`` carries the schema-2 extras (filters, facets, sort,
+        pagination, CONTAINS remapped to the rich language); the cache
+        key then includes the request's shape token so v2 variants of
+        the same text never collide with each other or with v1.
         """
         from repro.webspace.language import parse_query
         key = None
@@ -347,6 +355,8 @@ class SearchEngine:
             self.query_cache.prepare(policy)
             key = ("query_text", source.strip(), policy_signature(policy),
                    self._generation())
+            if request is not None:
+                key = key + (request.shape_token(),)
             cached = self.query_cache.lookup(key)
             if cached is not MISS:
                 telemetry = get_telemetry()
@@ -355,12 +365,73 @@ class SearchEngine:
                     span.set_attribute("cache_hit", True)
                 telemetry.metrics.counter("engine.queries").add(1)
                 return replace(cached, cache_hit=True)
-        result = self.query(parse_query(self.schema, source), policy=policy)
+        query = parse_query(self.schema, source)
+        if request is not None:
+            self._apply_request_extras(query, request)
+        result = self.query(query, policy=policy)
         # degraded results are partial — never cache them, or a healed
         # cluster would keep answering degraded until the next write
         if key is not None and not result.degraded:
             self.query_cache.store(key, result)
         return result
+
+    def _resolve_path(self, query: WebspaceQuery, name: str) -> str:
+        """Resolve a bare field name to a unique ``alias.attribute``."""
+        if "." in name:
+            return name
+        owners = []
+        for binding in query.bindings:
+            try:
+                self.schema.cls(binding.cls).attribute(name)
+            except Exception:
+                continue
+            owners.append(binding.alias)
+        if not owners:
+            raise QueryError(f"no bound class has attribute {name!r}")
+        if len(owners) > 1:
+            raise QueryError(
+                f"attribute {name!r} is ambiguous across bindings "
+                f"{sorted(owners)}; qualify it as alias.{name}")
+        return f"{owners[0]}.{name}"
+
+    def _apply_request_extras(self, query: WebspaceQuery, request) -> None:
+        """Fold a schema-2 request's extras into a conceptual query.
+
+        CONTAINS predicates are upgraded from the v1 bag of words to
+        the rich language (so phrases, fields and booleans work inside
+        them); filters/sort/facets name conceptual attributes, either
+        qualified (``p.year``) or bare when unambiguous (``year``).
+        """
+        import re as _re
+
+        from repro.webspace.query import (CONTENT_RICH, CONTENT_TERMS,
+                                          ContentPredicate)
+
+        query.content_predicates = [
+            ContentPredicate(pred.alias, pred.attribute, pred.text,
+                             CONTENT_RICH)
+            if pred.kind == CONTENT_TERMS else pred
+            for pred in query.content_predicates]
+        range_re = _re.compile(r"^(\d+(?:\.\d+)?)?-(\d+(?:\.\d+)?)?$")
+        for name, spec in request.filters:
+            path = self._resolve_path(query, name)
+            match = range_re.match(spec)
+            if match and (match.group(1) or match.group(2)):
+                low = float(match.group(1)) if match.group(1) else None
+                high = float(match.group(2)) if match.group(2) else None
+                query.where_range(path, low, high)
+            else:
+                query.where(path, "==", spec)
+        for name in request.facets:
+            query.facet(self._resolve_path(query, name))
+        for name, direction in request.sort:
+            path = name if name == "score" \
+                else self._resolve_path(query, name)
+            query.order_by(path, descending=(direction == "desc"))
+        if request.limit is not None:
+            query.top(request.limit)
+        if request.offset:
+            query.skip(request.offset)
 
     def query(self, query: WebspaceQuery,
               policy: ExecutionPolicy | None = None) -> QueryResult:
@@ -383,9 +454,9 @@ class SearchEngine:
         with telemetry.tracer.span("query", schema=self.schema.name,
                                    bindings=len(query.bindings)) as span:
             span.set_attribute("cache_hit", False)
-            content_search = (lambda cls, attribute, text:
+            content_search = (lambda cls, attribute, text, kind="terms":
                               self._content_search(cls, attribute, text,
-                                                   policy))
+                                                   policy, kind=kind))
             result = execute_query(query, self._index,
                                    content_search, self._event_search,
                                    self._audio_search)
@@ -416,16 +487,23 @@ class SearchEngine:
     # -- the two optimization hooks -----------------------------------
 
     def _content_search(self, cls: str, attribute: str, text: str,
-                        policy: ExecutionPolicy | None = None
+                        policy: ExecutionPolicy | None = None,
+                        kind: str = "terms"
                         ) -> tuple[dict[str, float], dict[str, object]]:
         """IR hook: ranked keys of one class/attribute namespace.
+
+        ``kind`` selects the IR interpretation of ``text``: ``"terms"``
+        builds the v1 bag-of-words request (bit-identical to before),
+        ``"phrase"`` quotes it into a schema-2 phrase query, and
+        ``"rich"`` passes it to the schema-2 language verbatim.
 
         Returns ``(ranked, info)``: the info dict carries how the
         physical level executed (columnar kernel or scalar reference
         path, result-cache hit) and lands on the ``IrProbe`` plan node.
         """
         from repro.ir.topn import kernels_available
-        from repro.service.api import MODE_CONTENT, SearchRequest
+        from repro.service.api import (MODE_CONTENT, SCHEMA_VERSION_V2,
+                                       SearchRequest)
 
         prefix = f"{cls}:"
         suffix = f":{attribute}"
@@ -434,8 +512,16 @@ class SearchEngine:
         # so it needs the full collection ranked, whatever policy.n says
         base = policy if policy is not None else ExecutionPolicy()
         full = base.replace(n=max(1, self.ir.relations.document_count()))
-        response = self.ir.execute(SearchRequest(
-            query=text, mode=MODE_CONTENT, policy=full))
+        if kind == "terms":
+            request = SearchRequest(query=text, mode=MODE_CONTENT,
+                                    policy=full)
+        else:
+            source = (f'"{text.replace(chr(34), " ")}"'
+                      if kind == "phrase" else text)
+            request = SearchRequest(query=source, mode=MODE_CONTENT,
+                                    policy=full,
+                                    schema_version=SCHEMA_VERSION_V2)
+        response = self.ir.execute(request)
         for hit in response.hits:
             url = hit.key
             if url.startswith(prefix) and url.endswith(suffix):
@@ -445,6 +531,8 @@ class SearchEngine:
             "kernel": "columnar" if kernels_available() else "scalar",
             "cache_hit": response.cache_hit,
         }
+        if kind != "terms":
+            info["content_kind"] = kind
         details = getattr(response.result, "details", None)
         if isinstance(details, dict) and "plan_cache_hit" in details:
             info["plan_cache_hit"] = details["plan_cache_hit"]

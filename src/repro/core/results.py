@@ -68,6 +68,11 @@ class QueryResult:
     # True on results served from the engine's generation-stamped query
     # cache; the accounting fields then describe the original execution
     cache_hit: bool = False
+    # schema-2 extras: per-facet value counts over the full (pre-limit)
+    # row set, and that set's size.  Empty/None on v1 queries, and only
+    # then omitted from to_dict() so v1 result shapes stay byte-stable.
+    facets: dict[str, dict[str, int]] = field(default_factory=dict)
+    total_rows: int | None = None
 
     def explain(self) -> str:
         """The executed physical plan, EXPLAIN ANALYZE style."""
@@ -101,7 +106,10 @@ class QueryResult:
             # stats --json and the text EXPLAIN can never diverge
             "plan": (self.plan.to_dict()
                      if hasattr(self.plan, "to_dict") else None),
-        }
+        } | ({"facets": {name: dict(counts)
+                         for name, counts in self.facets.items()},
+              "total_rows": self.total_rows}
+             if self.facets or self.total_rows is not None else {})
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -161,6 +161,43 @@ _COMPARATORS = {
 }
 
 
+def _numeric(value: object) -> float | None:
+    try:
+        return float(str(value))
+    except (TypeError, ValueError):
+        return None
+
+
+def _in_range(value: object, low: float | None,
+              high: float | None) -> bool:
+    """Numeric containment when the stored value parses as a number."""
+    number = _numeric(value)
+    if number is None:
+        return False
+    if low is not None and number < low:
+        return False
+    if high is not None and number > high:
+        return False
+    return True
+
+
+def _order_value(value: object):
+    """A sort key that compares numbers numerically, text after."""
+    number = _numeric(value)
+    if number is not None:
+        return (0, number, "")
+    return (1, 0.0, "" if value is None else str(value))
+
+
+def _content_probe(content_search, cls: str, predicate):
+    """Call the IR hook, passing ``kind`` only for non-v1 predicates —
+    three-argument hooks (embedders, tests) keep working for v1."""
+    kind = getattr(predicate, "kind", "terms")
+    if kind == "terms":
+        return content_search(cls, predicate.attribute, predicate.text)
+    return content_search(cls, predicate.attribute, predicate.text, kind)
+
+
 def execute_query(query: WebspaceQuery, index: ConceptualIndex,
                   content_search, event_search,
                   audio_search=None) -> QueryResult:
@@ -228,6 +265,29 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
                 f"{predicate.value!r}",
                 {"in": before, "out": len(candidates[predicate.alias])}))
 
+    with tracer.span("plan.range",
+                     predicates=len(query.range_predicates)):
+        for predicate in query.range_predicates:
+            cls = query.cls_of(predicate.alias)
+            before = len(candidates[predicate.alias])
+            with tracer.span("op.RangeSelect",
+                             predicate=f"{predicate.alias}."
+                                       f"{predicate.attribute} in "
+                                       f"[{predicate.low}, "
+                                       f"{predicate.high}]") as op:
+                values = index.attribute_values(cls, predicate.attribute)
+                candidates[predicate.alias] &= {
+                    key for key, value in values.items()
+                    if _in_range(value, predicate.low, predicate.high)}
+                op.set_attributes(out=len(candidates[predicate.alias]))
+            operators.counter("translate.operators",
+                              operator="RangeSelect").add(1)
+            bind_nodes[predicate.alias].add(PlanNode(
+                "RangeSelect",
+                f"{predicate.alias}.{predicate.attribute} in "
+                f"[{predicate.low}, {predicate.high}]",
+                {"in": before, "out": len(candidates[predicate.alias])}))
+
     with tracer.span("plan.content",
                      predicates=len(query.content_predicates)):
         for predicate in query.content_predicates:
@@ -236,8 +296,7 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
             with tracer.span("op.IrProbe", cls=cls,
                              attribute=predicate.attribute,
                              text=predicate.text) as op:
-                probed = content_search(cls, predicate.attribute,
-                                        predicate.text)
+                probed = _content_probe(content_search, cls, predicate)
                 # hooks may return (ranked, info) to surface how the
                 # physical level executed (kernel, plan-cache hit)
                 if isinstance(probed, tuple):
@@ -351,8 +410,36 @@ def execute_query(query: WebspaceQuery, index: ConceptualIndex,
             scored_rows.append(row)
         scored_rows.sort(key=lambda row: (-row.score,
                                           tuple(sorted(row.keys.items()))))
+        # explicit sort keys re-order stably on top of the canonical
+        # (score, keys) order — applied last-key-first so the first
+        # key dominates
+        for order_key in reversed(query.order):
+            if order_key.alias is None:
+                scored_rows.sort(key=lambda row: row.score,
+                                 reverse=order_key.descending)
+                continue
+            values = index.attribute_values(
+                query.cls_of(order_key.alias), order_key.attribute)
+            scored_rows.sort(
+                key=lambda row, values=values, alias=order_key.alias:
+                    _order_value(values.get(row.keys[alias])),
+                reverse=order_key.descending)
     rank_node.counter("rows", len(scored_rows))
-    result.rows = scored_rows[:query.limit]
+
+    # facet counts run over the *full* match set, before pagination
+    for alias, attribute in query.facets:
+        values = index.attribute_values(query.cls_of(alias), attribute)
+        counts: dict[str, int] = {}
+        for row in scored_rows:
+            value = values.get(row.keys.get(alias))
+            if value is not None:
+                counts[value] = counts.get(value, 0) + 1
+        result.facets[f"{alias}.{attribute}"] = dict(sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])))
+    if query.facets or query.offset or query.order:
+        result.total_rows = len(scored_rows)
+
+    result.rows = scored_rows[query.offset:query.offset + query.limit]
     plan.counter("rows", len(result.rows))
     result.tuples_touched = index.store.server.tuples_touched
     plan.counter("tuples_touched", result.tuples_touched)

@@ -36,6 +36,38 @@ from repro.ir.topn import TopNResult, topn_fragmented
 __all__ = ["IrEngine", "ClusterIrEngine"]
 
 
+def _sort_pairs(pairs: list[tuple[str, float]],
+                sort: tuple[tuple[str, str], ...]) -> list[tuple[str, float]]:
+    """Re-order a ``(url, score)`` ranking by the request's sort keys.
+
+    Stable multi-key: applied last-key-first so earlier keys dominate.
+    Content modes know four sortable properties — ``score``, the
+    ``url`` itself, and its ``class``/``attribute`` segments.
+    """
+    from repro.errors import QueryError
+    from repro.query import doc_class_of, doc_field_of
+
+    key_functions = {
+        # quantized like the canonical ranking order, so sort=score:desc
+        # is a no-op relative to the scan's own tie-breaking
+        "score": lambda pair: round(pair[1], 9),
+        "url": lambda pair: pair[0],
+        "key": lambda pair: pair[0],
+        "class": lambda pair: doc_class_of(pair[0]),
+        "field": lambda pair: doc_field_of(pair[0]),
+        "attribute": lambda pair: doc_field_of(pair[0]),
+    }
+    ranked = list(pairs)
+    for name, direction in reversed(sort):
+        key_function = key_functions.get(name)
+        if key_function is None:
+            raise QueryError(
+                f"unknown sort field {name!r} for content modes; "
+                f"expected one of {sorted(set(key_functions))}")
+        ranked.sort(key=key_function, reverse=(direction == "desc"))
+    return ranked
+
+
 class IrEngine:
     """Single-node full-text engine over the paper's IR relations."""
 
@@ -95,6 +127,11 @@ class IrEngine:
         Mode ``content`` answers with the ranked urls of
         :meth:`search`; mode ``fragmented`` with the fragment-pruned
         top-N.  Conceptual queries need the integrated engine.
+
+        A ``schema_version`` 2 request routes both content modes
+        through the structured path instead: the rich query language
+        (:mod:`repro.query`) compiled against the relations and scanned
+        by :func:`~repro.ir.topn.topn_structured`.
         """
         import time
 
@@ -102,6 +139,12 @@ class IrEngine:
         from repro.service import api
 
         started = time.perf_counter()
+        if request.schema_version == api.SCHEMA_VERSION_V2:
+            if request.mode not in (api.MODE_CONTENT, api.MODE_FRAGMENTED):
+                raise QueryError(
+                    f"mode {request.mode!r} needs the integrated "
+                    "SearchEngine, not a bare IR engine")
+            return self._structured(request, started)
         if request.mode == api.MODE_CONTENT:
             ranking, cache_hit = self._ranked(request.query, request.policy)
             pairs = [(self.relations.doc_url(doc), score)
@@ -140,6 +183,93 @@ class IrEngine:
         if key is not None:
             self.query_cache.store(key, list(ranking))
         return ranking, False
+
+    def _structured(self, request, started: float) -> "SearchResponse":
+        """The schema-2 execution core: parse, compile, scan, paginate.
+
+        Cached like the v1 paths, but keyed on the raw query string
+        *plus* :meth:`~repro.service.api.SearchRequest.shape_token` —
+        identical term lists under different fields/boosts/filters/
+        sort/pagination never share an entry.
+        """
+        from repro.service import api
+
+        policy = request.policy
+        key = None
+        if policy.cache:
+            self.query_cache.prepare(policy)
+            key = ("structured", self.model, request.query.strip(),
+                   request.shape_token(), policy.n,
+                   self.relations.generation)
+            cached = self.query_cache.lookup(key)
+            if cached is not MISS:
+                pairs, facets, total, tuples = cached
+                return api.response_from_ranking(
+                    request, pairs, api.elapsed_ms_since(started),
+                    cache_hit=True, tuples_touched=tuples,
+                    facets=facets, total=total)
+        pairs, facets, total, result = self._structured_core(request)
+        if key is not None:
+            self.query_cache.store(
+                key, (list(pairs), facets, total, result.tuples_read))
+        return api.response_from_ranking(
+            request, pairs, api.elapsed_ms_since(started),
+            tuples_touched=result.tuples_read, facets=facets,
+            total=total, result=result)
+
+    def _structured_core(self, request):
+        from repro.ir.topn import topn_structured
+        from repro.query import compile_query, parse_rich_query
+
+        parsed = parse_rich_query(request.query)
+        compiled = compile_query(self.relations, parsed,
+                                 field_boosts=request.boosts,
+                                 filters=request.filters)
+        limit = request.limit if request.limit is not None \
+            else request.policy.n
+        # a non-score sort reorders the *whole* match set before the
+        # page is cut, so the scan must rank everything; the default
+        # score order only needs offset + limit rows
+        need = len(compiled.matched) if request.sort \
+            else request.offset + limit
+        result = topn_structured(self.fragments(), compiled, max(need, 1),
+                                 plan_cache=request.policy.plan_cache)
+        pairs = [(self.relations.doc_url(doc), score)
+                 for doc, score in result.ranking]
+        if request.sort:
+            pairs = _sort_pairs(pairs, request.sort)
+        page = pairs[request.offset:request.offset + limit]
+        facets = self._facet_counts(compiled.matched, request.facets)
+        return page, facets, len(compiled.matched), result
+
+    def _facet_counts(self, matched, facet_names):
+        """Value counts over the full match set (content modes facet
+        on the two url segments the IR level knows: class, attribute)."""
+        if not facet_names:
+            return ()
+        from collections import Counter
+
+        from repro.errors import QueryError
+        from repro.query import doc_class_of, doc_field_of
+
+        facets = []
+        for name in facet_names:
+            if name == "class":
+                extract = doc_class_of
+            elif name in ("field", "attribute"):
+                extract = doc_field_of
+            else:
+                raise QueryError(
+                    f"unknown facet {name!r} for content modes; "
+                    "expected 'class' or 'attribute'")
+            counts: Counter[str] = Counter()
+            for doc in matched:
+                value = extract(self.relations.doc_url(doc))
+                if value:
+                    counts[value] += 1
+            facets.append((name, tuple(sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])))))
+        return tuple(facets)
 
     def _fragmented(self, query: str, policy: ExecutionPolicy
                     ) -> tuple[TopNResult, bool]:
@@ -288,6 +418,10 @@ class ClusterIrEngine:
         if request.mode != api.MODE_CONTENT:
             raise QueryError(f"mode {request.mode!r} is not served by the "
                              "clustered IR surface (use 'content')")
+        if request.schema_version == api.SCHEMA_VERSION_V2:
+            raise QueryError(
+                "schema_version 2 structured queries are not yet served "
+                "by the clustered IR surface; use a single-node engine")
         started = time.perf_counter()
         result = self.index.query(request.query, policy=request.policy)
         self.last_result = result

@@ -7,7 +7,9 @@ integrates:
 * ``D(doc-oid, doc-url)`` — the global document collection,
 * ``DT(doc-oid, term-oid, pair-oid)`` — the document-term list,
 * ``TF(pair-oid, tf)``    — term frequency per pair (derivable from DT),
-* ``IDF(term-oid, idf)``  — with ``idf = 1/df`` (derivable from TF).
+* ``IDF(term-oid, idf)``  — with ``idf = 1/df`` (derivable from TF),
+* ``POS(pair-oid, positions)`` — occurrence positions per pair over the
+  analyzed token sequence (phrase search; absent on pre-v2 snapshots).
 
 BATs are binary, so the ternary DT is decomposed Monet-style into two
 BATs sharing the pair-oid head (``DT_doc`` and ``DT_term``).  The IDF
@@ -65,6 +67,15 @@ class PackedPostings:
     tfs: array
     tf_weights: array
     max_tf: int = 0
+    # packed positional columns (phrase search): ``positions`` is the
+    # flat int64 concatenation of every posting's occurrence positions
+    # (in analyzed-token order, stop words removed before numbering) and
+    # ``position_offsets`` the per-posting prefix offsets
+    # (len(docs) + 1).  ``None`` when any pair of this term predates the
+    # POS relation (a pre-v2 snapshot) — phrase matching then treats the
+    # term as position-less rather than guessing adjacency.
+    positions: array | None = None
+    position_offsets: array | None = None
     # zero-copy numpy views over dense/tf_weights, built on first
     # kernel touch and shared by every cached plan
     _dense_view: object = field(default=None, repr=False, compare=False)
@@ -76,6 +87,18 @@ class PackedPostings:
     def pairs(self) -> list[tuple[int, int]]:
         """The scalar view: ``[(doc, tf), ...]`` in posting order."""
         return list(zip(self.docs, self.tfs))
+
+    @property
+    def has_positions(self) -> bool:
+        return self.positions is not None
+
+    def positions_at(self, row: int) -> list[int]:
+        """Occurrence positions of posting ``row``; ``[]`` w/o positions."""
+        if self.positions is None or self.position_offsets is None:
+            return []
+        start = self.position_offsets[row]
+        stop = self.position_offsets[row + 1]
+        return list(self.positions[start:stop])
 
     def dense_view(self, np):
         """The dense-position column as an int64 numpy view (zero-copy)."""
@@ -127,6 +150,12 @@ class IrRelations:
         self.DT_term = self.catalog.ensure("ir:DT:term", "oid", "oid")
         self.TF = self.catalog.ensure("ir:TF", "oid", "int")
         self.IDF = self.catalog.ensure("ir:IDF", "oid", "flt")
+        # POS(pair-oid, positions) — the occurrence positions of each
+        # document-term pair as a space-joined string over the analyzed
+        # (stopped, stemmed) token sequence; feeds phrase matching.
+        # Catalogs restored from pre-v2 snapshots simply lack entries:
+        # those pairs stay searchable, just not phrase-matchable.
+        self.POS = self.catalog.ensure("ir:POS", "oid", "str")
         # kept for API compatibility; the generation-stamped lazy
         # refresh made threshold-based batching redundant
         self.refresh_batch = refresh_batch
@@ -187,13 +216,19 @@ class IrRelations:
         doc = self.catalog.oids.new()
         self.D.insert(doc, url)
         self._doc_oids[url] = doc
-        counts = Counter(analyze(text))
+        terms = analyze(text)
+        counts = Counter(terms)
+        occurrences: dict[str, list[int]] = {}
+        for position, term in enumerate(terms):
+            occurrences.setdefault(term, []).append(position)
         for term, frequency in counts.items():
             term_oid = self._intern_term(term)
             pair = self.catalog.oids.new()
             self.DT_doc.insert(pair, doc)
             self.DT_term.insert(pair, term_oid)
             self.TF.insert(pair, frequency)
+            self.POS.insert(pair, " ".join(
+                str(position) for position in occurrences[term]))
             self.collection_length += frequency
         self.generation += 1
         return doc
@@ -215,6 +250,8 @@ class IrRelations:
             self.DT_doc.delete_head(pair)
             self.DT_term.delete_head(pair)
             self.TF.delete_head(pair)
+            if self.POS.get(pair) is not None:  # pre-v2 pairs lack POS
+                self.POS.delete_head(pair)
         self.D.delete_head(doc)
         self.generation += 1
 
@@ -296,18 +333,20 @@ class IrRelations:
         # Python work, paid once per generation instead of per query
         doc_of = dict(zip(self.DT_doc.head, self.DT_doc.tail))
         tf_of = dict(zip(self.TF.head, self.TF.tail))
-        grouped: dict[int, tuple[list[int], list[int]]] = {}
+        pos_of = dict(zip(self.POS.head, self.POS.tail))
+        grouped: dict[int, tuple[list[int], list[int], list[str | None]]] = {}
         doc_lengths = index.doc_lengths
         for pair, term in zip(self.DT_term.head, self.DT_term.tail):
             doc = doc_of[pair]
             tf = tf_of[pair]
             entry = grouped.get(term)
             if entry is None:
-                entry = grouped[term] = ([], [])
+                entry = grouped[term] = ([], [], [])
             entry[0].append(doc)
             entry[1].append(tf)
+            entry[2].append(pos_of.get(pair))
             doc_lengths[doc] = doc_lengths.get(doc, 0) + tf
-        for term, (docs, tfs) in grouped.items():
+        for term, (docs, tfs, encoded_positions) in grouped.items():
             dense = []
             for doc in docs:
                 position = doc_dense.get(doc)
@@ -315,11 +354,22 @@ class IrRelations:
                     position = doc_dense[doc] = len(doc_ids)
                     doc_ids.append(doc)
                 dense.append(position)
+            positions: array | None = array("q")
+            offsets: array | None = array("q", [0])
+            for encoded in encoded_positions:
+                if encoded is None:  # pre-v2 pair: no positions at all
+                    positions = offsets = None
+                    break
+                if encoded:
+                    positions.extend(
+                        int(value) for value in encoded.split(" "))
+                offsets.append(len(positions))
             index.by_term[term] = PackedPostings(
                 docs=array("q", docs), dense=array("q", dense),
                 tfs=array("q", tfs),
                 tf_weights=array("d", tfs),
-                max_tf=max(tfs, default=0))
+                max_tf=max(tfs, default=0),
+                positions=positions, position_offsets=offsets)
         return index
 
     def postings(self, term_oid: Oid) -> list[tuple[Oid, int]]:

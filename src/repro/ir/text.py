@@ -26,13 +26,28 @@ will with you your yours yourself yourselves
 """.split())
 
 
+# Apostrophe forms that glue word halves together ("don't", "it’s").
+_APOSTROPHES = frozenset("'’")
+
+
 def tokenize(text: str) -> list[str]:
-    """Split text into lowercase word tokens (letters and digits)."""
+    """Split text into lowercase word tokens (letters and digits).
+
+    An apostrophe *inside* a word is dropped rather than split on, so
+    ``don't`` tokenizes as ``dont`` instead of the one-letter junk pair
+    ``don`` + ``t`` that used to pollute the vocabulary (and would have
+    forced phrase matching to require the halves adjacently).  A
+    leading or trailing apostrophe still separates.
+    """
     tokens: list[str] = []
     word: list[str] = []
-    for char in text:
+    length = len(text)
+    for index, char in enumerate(text):
         if char.isalnum():
             word.append(char.lower())
+        elif (char in _APOSTROPHES and word
+              and index + 1 < length and text[index + 1].isalnum()):
+            continue  # intra-word apostrophe: join the halves
         elif word:
             tokens.append("".join(word))
             word.clear()
@@ -42,8 +57,16 @@ def tokenize(text: str) -> list[str]:
 
 
 def normalize(token: str) -> str | None:
-    """Stop-and-stem one token; ``None`` when it is a stop word."""
-    if token in STOP_WORDS:
+    """Lowercase, stop and stem one token; ``None`` for stop words.
+
+    Self-contained on purpose: callers that bypass :func:`tokenize`
+    (the rich-query parser hands raw user words straight in) must not
+    be able to leak unstopped or unstemmed case variants into postings
+    or cache keys, so the lowercasing lives here and not only in the
+    tokenizer.
+    """
+    token = token.lower()
+    if not token or token in STOP_WORDS:
         return None
     return stem(token)
 

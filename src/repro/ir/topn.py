@@ -46,8 +46,8 @@ try:  # the kernels vectorize through numpy when it is importable
 except ImportError:  # pragma: no cover - numpy is a declared dependency
     _np = None
 
-__all__ = ["TopNResult", "topn_fragmented", "topn_cutoff",
-           "quality_degrade", "kernels_available"]
+__all__ = ["TopNResult", "topn_fragmented", "topn_structured",
+           "topn_cutoff", "quality_degrade", "kernels_available"]
 
 
 def kernels_available() -> bool:
@@ -167,7 +167,8 @@ def topn_fragmented(fragments: FragmentSet, query_terms: list[Oid],
 
 
 def _plan_for(fragments: FragmentSet, wanted: set, n: int, prune: bool,
-              plan_cache: bool) -> tuple[_TopNPlan, bool]:
+              plan_cache: bool,
+              shape: tuple | None = None) -> tuple[_TopNPlan, bool]:
     if not plan_cache or fragments.plan_token is None:
         # hand-built fragment sets carry no layout token; caching them
         # on object identity would resurrect plans across rebuilds
@@ -175,7 +176,13 @@ def _plan_for(fragments: FragmentSet, wanted: set, n: int, prune: bool,
     # deferred: repro.core imports this package, so a module-level
     # import of repro.core.plan_cache would make the import cyclic
     from repro.core.plan_cache import get_plan_cache
+    # ``shape`` is the structured query's canonical token: two v2
+    # queries over the same terms but different fields/boosts/filters
+    # must never share a compiled plan entry (a v1 key is a 4-tuple, a
+    # v2 key a 5-tuple, so the spaces cannot collide either)
     key = (fragments.plan_token, tuple(sorted(wanted)), n, prune)
+    if shape is not None:
+        key = key + (shape,)
     return get_plan_cache().get_or_compile(
         key, lambda: _compile_plan(fragments, wanted))
 
@@ -342,6 +349,156 @@ def _order_candidates(np, acc, doc_column, selected):
     raw = acc[selected]
     quantized = np.round(raw, 9)
     return np.lexsort((doc_column[selected], -quantized)), raw
+
+
+# ----------------------------------------------------------------------
+# structured (schema-2) queries: boolean/phrase/fielded/boosted
+# ----------------------------------------------------------------------
+
+def topn_structured(fragments: FragmentSet, compiled, n: int, *,
+                    plan_cache: bool = True,
+                    kernel: bool | None = None) -> TopNResult:
+    """Exhaustive top-N over a compiled structured query.
+
+    ``compiled`` is a :class:`~repro.query.eval.CompiledQuery`: the
+    boolean/phrase/range match set was evaluated up front (scalar, once)
+    and this scan only accumulates the scoring entries over documents in
+    ``compiled.allowed`` — fielded entries additionally restricted to
+    their own ``docs`` sets, every contribution multiplied by the
+    per-document field boost.  Match-only documents (filter hits whose
+    terms score nothing, e.g. a pure ``NOT`` or range query) rank with
+    score 0.0 in doc-oid order.
+
+    Unlike :func:`topn_fragmented` the scan is exhaustive — early-stop
+    bounds under per-entry doc restrictions and per-doc boosts would
+    need per-restriction ceilings to stay safe, and structured queries
+    are rare enough that correctness beats the saved fragments.  Both
+    bodies (scalar reference / columnar kernel) follow the same compiled
+    plan steps and accumulate in the same order, so rankings are
+    bit-identical; the plan-cache key embeds ``compiled.shape``.
+    """
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("ir.topn_structured", n=n) as span:
+        wanted = {entry.term_oid for entry in compiled.entries}
+        plan, plan_hit = _plan_for(fragments, wanted, n, False, plan_cache,
+                                   shape=compiled.shape)
+        use_kernel = kernel if kernel is not None \
+            else (_np is not None and plan.kernel_ready)
+        if use_kernel and (_np is None or not plan.kernel_ready):
+            raise ValueError(
+                "kernel=True needs numpy and packed fragments; "
+                "build the FragmentSet through fragment_by_idf")
+        if use_kernel:
+            result = _structured_scan_kernel(fragments, compiled, n, plan)
+            telemetry.metrics.counter("kernel.rows").add(result.tuples_read)
+        else:
+            result = _structured_scan(fragments, compiled, n, plan)
+        result.details["kernel"] = "columnar" if use_kernel else "scalar"
+        result.details["plan_cache_hit"] = plan_hit
+        result.details["matched"] = len(compiled.matched)
+        span.set_attributes(tuples_read=result.tuples_read,
+                            matched=len(compiled.matched),
+                            kernel=result.details["kernel"],
+                            plan_cache_hit=plan_hit)
+    telemetry.metrics.counter("ir.topn_structured_queries").add(1)
+    return result
+
+
+def _entries_by_term(compiled) -> dict[int, list]:
+    grouped: dict[int, list] = {}
+    for entry in compiled.entries:
+        grouped.setdefault(entry.term_oid, []).append(entry)
+    return grouped
+
+
+def _structured_scan(fragments: FragmentSet, compiled, n: int,
+                     plan: _TopNPlan) -> TopNResult:
+    """Scalar reference body: per-posting loops, plan-step order."""
+    result = TopNResult(ranking=[])
+    frags = fragments.fragments
+    grouped = _entries_by_term(compiled)
+    field_weight = compiled.field_weight
+    # every matched doc is a candidate from the start: match-only docs
+    # must appear (score 0.0) and the kernel body seeds the same mask
+    scores: dict[Oid, float] = {doc: 0.0 for doc in compiled.allowed}
+    result.fragments_read = len(frags)
+    for position, terms in plan.steps:
+        fragment = frags[position]
+        for term in terms:
+            idf = fragment.idf[term]
+            postings = fragment.postings[term]
+            for entry in grouped[term]:
+                weight = idf * entry.weight
+                restriction = entry.docs
+                result.tuples_read += len(postings)
+                for doc, tf in postings:
+                    if doc not in scores:
+                        continue  # outside the boolean match set
+                    if restriction is not None and doc not in restriction:
+                        continue
+                    scores[doc] += tf * weight * field_weight.get(doc, 1.0)
+    result.ranking = _rank(scores, n)
+    return result
+
+
+def _structured_scan_kernel(fragments: FragmentSet, compiled, n: int,
+                            plan: _TopNPlan) -> TopNResult:
+    """Columnar body: masked scatter-adds, decision-identical to the
+    scalar reference (same plan-step order, same per-entry sequence,
+    same ``(tf · weight) · boost`` association)."""
+    np = _np
+    result = TopNResult(ranking=[])
+    frags = fragments.fragments
+    grouped = _entries_by_term(compiled)
+    universe = len(fragments.doc_ids)
+    doc_column = np.frombuffer(fragments.doc_ids, dtype=np.int64) \
+        if universe else np.empty(0, dtype=np.int64)
+    acc = np.zeros(universe)
+    doc_dense = compiled.doc_dense
+
+    def _mask_of(docs) -> object:
+        mask = np.zeros(universe, dtype=bool)
+        for doc in docs:
+            dense = doc_dense.get(int(doc))
+            if dense is not None and dense < universe:
+                mask[dense] = True
+        return mask
+
+    allowed_mask = _mask_of(compiled.allowed)
+    boost_column = np.ones(universe)
+    for doc, weight in compiled.field_weight.items():
+        dense = doc_dense.get(int(doc))
+        if dense is not None and dense < universe:
+            boost_column[dense] = weight
+    restriction_masks = {
+        id(entry): _mask_of(entry.docs)
+        for entries in grouped.values() for entry in entries
+        if entry.docs is not None}
+
+    result.fragments_read = len(frags)
+    for position, terms in plan.steps:
+        fragment = frags[position]
+        for term in terms:
+            idf = fragment.idf[term]
+            packed = fragment.packed[term]
+            dense = packed.dense_view(np)
+            weights = packed.weights_view(np)
+            for entry in grouped[term]:
+                weight = idf * entry.weight
+                result.tuples_read += len(packed)
+                hit = allowed_mask[dense]
+                restriction = restriction_masks.get(id(entry))
+                if restriction is not None:
+                    hit = hit & restriction[dense]
+                if hit.any():
+                    rows = dense[hit]
+                    acc[rows] += (weights[hit] * weight) \
+                        * boost_column[rows]
+    selected = np.flatnonzero(allowed_mask)
+    order, raw = _order_candidates(np, acc, doc_column, selected)
+    docs = doc_column[selected]
+    result.ranking = [(int(docs[i]), float(raw[i])) for i in order[:n]]
+    return result
 
 
 def topn_cutoff(fragments: FragmentSet, query_terms: list[Oid], n: int,

@@ -1,0 +1,20 @@
+"""The rich query language of SearchRequest schema 2.
+
+``parse_rich_query`` (surface syntax -> typed AST) and
+``compile_query`` (AST -> match set + scoring entries) are the two
+halves; :func:`repro.ir.topn.topn_structured` executes the compiled
+form over the idf-ordered fragments.  See DESIGN.md §15.
+"""
+
+from repro.query.ast import And, Filter, Node, Not, Or, ParsedQuery, \
+    Phrase, Range, Term
+from repro.query.eval import CompiledQuery, ScoringEntry, compile_query, \
+    doc_class_of, doc_field_of, filters_to_nodes
+from repro.query.parser import parse_rich_query
+
+__all__ = [
+    "And", "Filter", "Node", "Not", "Or", "ParsedQuery", "Phrase",
+    "Range", "Term", "CompiledQuery", "ScoringEntry", "compile_query",
+    "doc_class_of", "doc_field_of", "filters_to_nodes",
+    "parse_rich_query",
+]

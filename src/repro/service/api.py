@@ -32,16 +32,27 @@ from repro.core.config import ExecutionPolicy
 from repro.errors import QueryError
 
 __all__ = [
-    "SCHEMA_VERSION", "MODE_CONCEPTUAL", "MODE_CONTENT", "MODE_FRAGMENTED",
+    "SCHEMA_VERSION", "SCHEMA_VERSION_V2", "SUPPORTED_SCHEMA_VERSIONS",
+    "MODE_CONCEPTUAL", "MODE_CONTENT", "MODE_FRAGMENTED",
     "MODES", "SearchRequest", "SearchResponse", "Hit", "policy_to_dict",
     "policy_from_dict", "response_from_query_result",
     "response_from_ranking", "elapsed_ms_since",
 ]
 
-#: Version stamp of every JSON payload the engine emits (requests,
-#: responses, result dicts, ``stats --json`` reports).  Bump on any
-#: backwards-incompatible change to the shapes documented in DESIGN.md.
+#: Version stamp of every *v1* JSON payload the engine emits (requests,
+#: responses, result dicts, ``stats --json`` reports).  Schema 2 is a
+#: per-request opt-in, not a global bump: a payload carrying
+#: ``schema_version: 2`` unlocks the rich-query fields below, while
+#: every v1 payload — including ones omitting ``schema_version``
+#: entirely — keeps producing byte-identical responses.
 SCHEMA_VERSION = 1
+#: The rich-query schema: fielded/boolean/phrase/boosted queries plus
+#: ``filters``/``facets``/``sort``/``limit``/``offset``/``boosts``.
+SCHEMA_VERSION_V2 = 2
+SUPPORTED_SCHEMA_VERSIONS = (SCHEMA_VERSION, SCHEMA_VERSION_V2)
+
+#: The request fields that only exist on schema 2.
+_V2_FIELDS = ("filters", "facets", "sort", "limit", "offset", "boosts")
 
 #: Conceptual textual query (the paper's integrated three-level path).
 MODE_CONCEPTUAL = "conceptual"
@@ -77,6 +88,40 @@ def elapsed_ms_since(started: float) -> float:
     return (time.perf_counter() - started) * 1000.0
 
 
+def _parse_pairs(payload: object, name: str, value_type,
+                 type_label: str) -> tuple:
+    """A JSON object of ``{key: value}`` as a sorted tuple of pairs."""
+    if not isinstance(payload, dict):
+        raise QueryError(f"request {name} must be a JSON object")
+    pairs = []
+    for key, value in payload.items():
+        if not isinstance(key, str) or not key:
+            raise QueryError(f"request {name} keys must be strings")
+        if not isinstance(value, value_type) or isinstance(value, bool):
+            raise QueryError(f"request {name} values must be "
+                             f"{type_label}, got {value!r}")
+        pairs.append((key, value))
+    return tuple(sorted(pairs))
+
+
+def _parse_sort(payload: object) -> tuple[tuple[str, str], ...]:
+    """``["field:desc", ...]`` as ``((field, direction), ...)``."""
+    if not isinstance(payload, list):
+        raise QueryError("request sort must be a JSON array of "
+                         "'field' / 'field:asc' / 'field:desc' strings")
+    keys = []
+    for spec in payload:
+        if not isinstance(spec, str) or not spec:
+            raise QueryError(f"malformed sort key {spec!r}")
+        name, _, direction = spec.partition(":")
+        direction = direction or "desc"
+        if not name or direction not in ("asc", "desc"):
+            raise QueryError(f"malformed sort key {spec!r}; expected "
+                             "'field', 'field:asc' or 'field:desc'")
+        keys.append((name, direction))
+    return tuple(keys)
+
+
 @dataclass(frozen=True)
 class SearchRequest:
     """One query, fully specified: text, access mode, execution policy.
@@ -85,12 +130,39 @@ class SearchRequest:
     legacy per-method kwargs are gone.  ``trace_id`` is an opaque
     client-chosen correlation token, echoed on the response and stamped
     on the ``service.request`` span.
+
+    ``schema_version`` selects the wire dialect.  Version 1 (the
+    default) is the frozen flat-term-list contract.  Version 2 turns
+    ``query`` into the rich language of :mod:`repro.query`
+    (``field:term``, AND/OR/NOT, quoted phrases, ``^boost`` suffixes,
+    ``year:1990-2001`` ranges) and unlocks the structured extras:
+
+    * ``filters``  — match-only restrictions, ``{"field": "lo-hi"}``
+      ranges or ``{"field": "value"}`` equalities,
+    * ``facets``   — attribute paths to count values over the full
+      match set,
+    * ``sort``     — ``(field, "asc"|"desc")`` keys replacing the
+      default score order,
+    * ``limit`` / ``offset`` — pagination over the sorted matches
+      (``limit`` defaults to the policy's ``n``),
+    * ``boosts``   — per-field score multipliers
+      (``{"title": 4, "abstract": 3}``).
+
+    The v2 extras are rejected on v1 requests: old clients cannot set
+    them by accident, and the v1 wire shape stays byte-identical.
     """
 
     query: str
     mode: str = MODE_CONCEPTUAL
     policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     trace_id: str | None = None
+    schema_version: int = SCHEMA_VERSION
+    filters: tuple[tuple[str, str], ...] = ()
+    facets: tuple[str, ...] = ()
+    sort: tuple[tuple[str, str], ...] = ()
+    limit: int | None = None
+    offset: int = 0
+    boosts: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, str) or not self.query.strip():
@@ -101,27 +173,75 @@ class SearchRequest:
         if not isinstance(self.policy, ExecutionPolicy):
             raise QueryError("request policy must be an ExecutionPolicy, "
                              f"got {type(self.policy).__name__}")
+        if self.schema_version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise QueryError(
+                f"unsupported schema_version {self.schema_version!r}; "
+                f"this server speaks {list(SUPPORTED_SCHEMA_VERSIONS)}")
+        if self.schema_version == SCHEMA_VERSION:
+            used = [name for name in _V2_FIELDS
+                    if getattr(self, name) not in ((), None, 0)]
+            if used:
+                raise QueryError(
+                    f"request fields {used} need schema_version "
+                    f"{SCHEMA_VERSION_V2}")
+            return
+        if self.limit is not None and self.limit < 1:
+            raise QueryError(f"request limit must be >= 1, "
+                             f"got {self.limit}")
+        if self.offset < 0:
+            raise QueryError(f"request offset must be >= 0, "
+                             f"got {self.offset}")
+
+    def shape_token(self) -> tuple:
+        """The structured request shape as one hashable token.
+
+        Cache layers (result cache, single-flight coalescing) append
+        this to their keys: identical term lists under different
+        fields/boosts/filters/sort/pagination must never share an
+        entry.  Constant for every v1 request, so v1 keys keep
+        coalescing exactly as before.
+        """
+        return (self.schema_version, self.filters, self.facets,
+                self.sort, self.limit, self.offset, self.boosts)
 
     def to_dict(self) -> dict[str, object]:
         """The versioned wire form (``POST /v1/search`` body)."""
-        return {
-            "schema_version": SCHEMA_VERSION,
+        payload: dict[str, object] = {
+            "schema_version": self.schema_version,
             "query": self.query,
             "mode": self.mode,
             "policy": policy_to_dict(self.policy),
             "trace_id": self.trace_id,
         }
+        if self.schema_version == SCHEMA_VERSION_V2:
+            payload["filters"] = {name: spec for name, spec in self.filters}
+            payload["facets"] = list(self.facets)
+            payload["sort"] = [f"{name}:{direction}"
+                               for name, direction in self.sort]
+            payload["limit"] = self.limit
+            payload["offset"] = self.offset
+            payload["boosts"] = {name: value for name, value in self.boosts}
+        return payload
 
     @classmethod
     def from_dict(cls, payload: object) -> "SearchRequest":
-        """Parse a wire payload; every malformation is a QueryError."""
+        """Parse a wire payload; every malformation is a QueryError.
+
+        A payload *omitting* ``schema_version`` is a v1 request: old
+        clients predate versioned schemas, so missing must mean 1 —
+        defaulting to the newest version would silently reparse their
+        flat term lists under v2 grammar.
+        """
         if not isinstance(payload, dict):
             raise QueryError("request payload must be a JSON object")
         version = payload.get("schema_version", SCHEMA_VERSION)
-        if version != SCHEMA_VERSION:
-            raise QueryError(f"unsupported schema_version {version!r}; "
-                             f"this server speaks {SCHEMA_VERSION}")
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise QueryError(
+                f"unsupported schema_version {version!r}; this server "
+                f"speaks {list(SUPPORTED_SCHEMA_VERSIONS)}")
         known = {"schema_version", "query", "mode", "policy", "trace_id"}
+        if version == SCHEMA_VERSION_V2:
+            known |= set(_V2_FIELDS)
         unknown = sorted(set(payload) - known)
         if unknown:
             raise QueryError(f"unknown request fields {unknown}")
@@ -133,10 +253,40 @@ class SearchRequest:
         trace_id = payload.get("trace_id")
         if trace_id is not None and not isinstance(trace_id, str):
             raise QueryError("request trace_id must be a string")
+        extras: dict[str, object] = {}
+        if version == SCHEMA_VERSION_V2:
+            extras["filters"] = _parse_pairs(
+                payload.get("filters") or {}, "filters", (str, int, float),
+                "strings or numbers")
+            extras["filters"] = tuple(
+                (name, str(value)) for name, value in extras["filters"])
+            facets = payload.get("facets") or []
+            if not isinstance(facets, list) or any(
+                    not isinstance(name, str) or not name
+                    for name in facets):
+                raise QueryError("request facets must be an array of "
+                                 "attribute-path strings")
+            extras["facets"] = tuple(facets)
+            extras["sort"] = _parse_sort(payload.get("sort") or [])
+            limit = payload.get("limit")
+            if limit is not None and (not isinstance(limit, int)
+                                      or isinstance(limit, bool)):
+                raise QueryError("request limit must be an integer")
+            extras["limit"] = limit
+            offset = payload.get("offset", 0)
+            if not isinstance(offset, int) or isinstance(offset, bool):
+                raise QueryError("request offset must be an integer")
+            extras["offset"] = offset
+            boosts = _parse_pairs(payload.get("boosts") or {}, "boosts",
+                                  (int, float), "numbers")
+            extras["boosts"] = tuple(
+                (name, float(value)) for name, value in boosts)
         return cls(query=payload["query"],
                    mode=payload.get("mode", MODE_CONCEPTUAL),
                    policy=policy_from_dict(policy_payload),
-                   trace_id=trace_id)
+                   trace_id=trace_id,
+                   schema_version=version,
+                   **extras)
 
 
 @dataclass(frozen=True)
@@ -180,15 +330,26 @@ class SearchResponse:
     failed_nodes: tuple[str, ...] = ()
     tuples_touched: int = 0
     result: object = None
+    #: schema 2 only: per-facet value counts, ``((facet, ((value,
+    #: count), ...)), ...)`` sorted by count desc then value — counted
+    #: over the *full* match set, not the returned page.
+    facets: tuple[tuple[str, tuple[tuple[str, int], ...]], ...] = ()
+    #: schema 2 only: total matching rows before limit/offset.
+    total: int | None = None
 
     def annotate(self, **overrides) -> "SearchResponse":
         """A copy with service-layer fields stamped on."""
         return replace(self, **overrides)
 
     def to_dict(self) -> dict[str, object]:
-        """The versioned wire form (``POST /v1/search`` reply)."""
-        return {
-            "schema_version": SCHEMA_VERSION,
+        """The versioned wire form (``POST /v1/search`` reply).
+
+        The reply echoes the request's dialect: a v1 request gets the
+        frozen v1 key set byte-for-byte; only a v2 request sees the
+        ``facets``/``total`` keys.
+        """
+        payload: dict[str, object] = {
+            "schema_version": self.request.schema_version,
             "query": self.request.query,
             "mode": self.request.mode,
             "trace_id": self.request.trace_id,
@@ -202,6 +363,12 @@ class SearchResponse:
             "timings": {"total_ms": self.elapsed_ms,
                         "queue_ms": self.queue_ms},
         }
+        if self.request.schema_version == SCHEMA_VERSION_V2:
+            payload["facets"] = {
+                name: {value: count for value, count in counts}
+                for name, counts in self.facets}
+            payload["total"] = self.total
+        return payload
 
 
 def response_from_query_result(request: SearchRequest, result,
@@ -213,22 +380,29 @@ def response_from_query_result(request: SearchRequest, result,
             score=row.score,
             values=tuple(sorted(row.values.items())))
         for row in result.rows)
+    facets = tuple(
+        (name, tuple(sorted(counts.items(),
+                            key=lambda item: (-item[1], item[0]))))
+        for name, counts in sorted(getattr(result, "facets", {}).items()))
     return SearchResponse(
         request=request, hits=hits, elapsed_ms=elapsed_ms,
         degraded=result.degraded, cache_hit=result.cache_hit,
         failed_nodes=tuple(sorted(result.failed_nodes)),
-        tuples_touched=result.tuples_touched, result=result)
+        tuples_touched=result.tuples_touched, result=result,
+        facets=facets, total=getattr(result, "total_rows", None))
 
 
 def response_from_ranking(request: SearchRequest, pairs, elapsed_ms: float,
                           *, cache_hit: bool = False, degraded: bool = False,
                           failed_nodes: tuple[str, ...] = (),
                           tuples_touched: int = 0,
-                          result: object = None) -> SearchResponse:
+                          result: object = None,
+                          facets: tuple = (),
+                          total: int | None = None) -> SearchResponse:
     """Wrap a ``[(url, score), ...]`` ranking into the wire shape."""
     hits = tuple(Hit(key=url, score=score) for url, score in pairs)
     return SearchResponse(
         request=request, hits=hits, elapsed_ms=elapsed_ms,
         degraded=degraded, cache_hit=cache_hit,
         failed_nodes=tuple(failed_nodes), tuples_touched=tuples_touched,
-        result=result)
+        result=result, facets=facets, total=total)

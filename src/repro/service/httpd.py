@@ -8,7 +8,11 @@ HTTP concurrency is bounded by ``ServicePolicy`` rather than by the
 socket backlog:
 
 * ``POST /v1/search`` — body is :meth:`SearchRequest.to_dict`, reply
-  is :meth:`SearchResponse.to_dict` (both ``schema_version``-stamped),
+  is :meth:`SearchResponse.to_dict` (both ``schema_version``-stamped).
+  Bodies may opt into ``schema_version: 2`` to use the rich query
+  language plus ``filters``/``facets``/``sort``/``limit``/``offset``/
+  ``boosts``; a missing ``schema_version`` always means 1 and v1
+  replies are byte-identical to before schema 2 existed,
 * ``GET /healthz`` — liveness + service state (503 once draining),
 * ``GET /metrics`` — the service status plus the active telemetry
   metric snapshot.

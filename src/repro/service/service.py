@@ -139,8 +139,12 @@ class SearchService:
              ) -> tuple[SearchResponse, bool]:
         if not self.policy.coalesce:
             return self._execute(request), False
+        # the shape token folds in schema_version and every v2 extra
+        # (filters/facets/sort/pagination/boosts), so two requests only
+        # coalesce when their full wire contract is identical
         key = (request.mode, request.query.strip(),
                policy_signature(request.policy),
+               request.shape_token(),
                _generation_of(self.engine))
         return self._flights.run(key, lambda: self._execute(request))
 

@@ -28,10 +28,16 @@ from repro.errors import QueryError, SchemaError
 from repro.webspace.schema import WebspaceSchema
 
 __all__ = ["WebspaceQuery", "ClassBinding", "AttributePredicate",
-           "ContentPredicate", "EventPredicate", "AudioPredicate",
-           "AssociationJoin"]
+           "ContentPredicate", "RangePredicate", "EventPredicate",
+           "AudioPredicate", "AssociationJoin", "OrderKey"]
 
 _OPERATORS = {"==", "!=", "<", "<=", ">", ">="}
+
+#: How a :class:`ContentPredicate`'s text is interpreted.
+CONTENT_TERMS = "terms"    # v1 bag of words
+CONTENT_PHRASE = "phrase"  # adjacency over the positional postings
+CONTENT_RICH = "rich"      # full schema-2 query language
+_CONTENT_KINDS = (CONTENT_TERMS, CONTENT_PHRASE, CONTENT_RICH)
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,37 @@ class ContentPredicate:
     alias: str
     attribute: str
     text: str
+    #: "terms" (v1 bag of words), "phrase" (positional adjacency) or
+    #: "rich" (the schema-2 query language of :mod:`repro.query`)
+    kind: str = CONTENT_TERMS
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """A numeric range over a conceptual attribute (year 1990-2001).
+
+    Compares numerically when both the stored value and the bound parse
+    as numbers, lexicographically otherwise; open ends are ``None``.
+    """
+
+    alias: str
+    attribute: str
+    low: float | None
+    high: float | None
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One sort key: an ``alias.attribute`` path or the IR score.
+
+    ``alias is None`` means the summed content score (the default
+    ranking); attribute sorts compare numerically when both values
+    parse as numbers, lexicographically otherwise.
+    """
+
+    alias: str | None
+    attribute: str | None
+    descending: bool = False
 
 
 @dataclass(frozen=True)
@@ -84,11 +121,15 @@ class WebspaceQuery:
     bindings: list[ClassBinding] = field(default_factory=list)
     attribute_predicates: list[AttributePredicate] = field(default_factory=list)
     content_predicates: list[ContentPredicate] = field(default_factory=list)
+    range_predicates: list[RangePredicate] = field(default_factory=list)
     event_predicates: list[EventPredicate] = field(default_factory=list)
     audio_predicates: list[AudioPredicate] = field(default_factory=list)
     joins: list[AssociationJoin] = field(default_factory=list)
     projections: list[tuple[str, str]] = field(default_factory=list)
     limit: int = 10
+    offset: int = 0
+    order: list[OrderKey] = field(default_factory=list)
+    facets: list[tuple[str, str]] = field(default_factory=list)
 
     # -- builder ------------------------------------------------------------
 
@@ -123,8 +164,17 @@ class WebspaceQuery:
             AttributePredicate(alias, attribute, op, value))
         return self
 
-    def contains(self, path: str, text: str) -> "WebspaceQuery":
-        """A ranked free-text predicate on a Hypertext attribute."""
+    def contains(self, path: str, text: str,
+                 kind: str = CONTENT_TERMS) -> "WebspaceQuery":
+        """A ranked free-text predicate on a Hypertext attribute.
+
+        ``kind`` selects the interpretation of ``text``: ``"terms"``
+        (the v1 bag of words), ``"phrase"`` (the words must occur
+        adjacently) or ``"rich"`` (the full schema-2 query language).
+        """
+        if kind not in _CONTENT_KINDS:
+            raise QueryError(f"unknown contains kind {kind!r}; "
+                             f"expected one of {_CONTENT_KINDS}")
         alias, attribute = self._split(path)
         atype = self.schema.cls(self.cls_of(alias)).attribute(attribute)
         if not atype.multimedia or atype.by_reference:
@@ -132,7 +182,51 @@ class WebspaceQuery:
                 f"contains() needs a Hypertext attribute, "
                 f"{path!r} is {atype.name}")
         self.content_predicates.append(
-            ContentPredicate(alias, attribute, text))
+            ContentPredicate(alias, attribute, text, kind))
+        return self
+
+    def contains_phrase(self, path: str, text: str) -> "WebspaceQuery":
+        """A quoted-phrase predicate: the words must occur adjacently."""
+        return self.contains(path, text, kind=CONTENT_PHRASE)
+
+    def contains_query(self, path: str, text: str) -> "WebspaceQuery":
+        """A rich (schema-2 language) predicate on a Hypertext attribute."""
+        return self.contains(path, text, kind=CONTENT_RICH)
+
+    def where_range(self, path: str, low: float | None,
+                    high: float | None) -> "WebspaceQuery":
+        """A numeric range predicate (``year`` between 1990 and 2001)."""
+        if low is None and high is None:
+            raise QueryError("where_range() needs at least one bound")
+        alias, attribute = self._split(path)
+        self.range_predicates.append(
+            RangePredicate(alias, attribute, low, high))
+        return self
+
+    def facet(self, path: str) -> "WebspaceQuery":
+        """Count attribute values over the full (pre-limit) match set."""
+        self.facets.append(self._split(path))
+        return self
+
+    def order_by(self, path: str,
+                 descending: bool = False) -> "WebspaceQuery":
+        """Sort rows by an ``alias.attribute`` path (or ``"score"``).
+
+        Keys apply in the order given; rows beyond them keep the
+        default (score, keys) order — the sort is stable.
+        """
+        if path == "score":
+            self.order.append(OrderKey(None, None, descending))
+            return self
+        alias, attribute = self._split(path)
+        self.order.append(OrderKey(alias, attribute, descending))
+        return self
+
+    def skip(self, n: int) -> "WebspaceQuery":
+        """Skip the first n rows (pagination offset)."""
+        if n < 0:
+            raise QueryError("skip() needs n >= 0")
+        self.offset = n
         return self
 
     def video_event(self, path: str, event: str) -> "WebspaceQuery":

@@ -9,7 +9,19 @@ from repro.ir.text import STOP_WORDS, analyze, normalize, tokenize
 class TestTokenize:
     def test_splits_on_punctuation(self):
         assert tokenize("Hello, world! It's me.") \
-            == ["hello", "world", "it", "s", "me"]
+            == ["hello", "world", "its", "me"]
+
+    def test_intra_word_apostrophes_joined(self):
+        # "don't" must not shed one-letter junk tokens into the index
+        assert tokenize("don't") == ["dont"]
+        assert tokenize("O'Brien's serve") == ["obriens", "serve"]
+        # the unicode right single quote behaves identically
+        assert tokenize("it’s") == ["its"]
+
+    def test_edge_apostrophes_still_separate(self):
+        assert tokenize("'quoted'") == ["quoted"]
+        assert tokenize("rock 'n roll") == ["rock", "n", "roll"]
+        assert tokenize("ends'") == ["ends"]
 
     def test_lowercases(self):
         assert tokenize("Monica SELES") == ["monica", "seles"]
@@ -30,6 +42,13 @@ class TestNormalize:
     def test_content_words_stemmed(self):
         assert normalize("winners") == "winner"
         assert normalize("approaching") == "approach"
+
+    def test_self_contained_on_raw_input(self):
+        # callers bypassing tokenize (the rich-query parser) hand in
+        # raw case: normalize must lowercase before stopping/stemming
+        assert normalize("The") is None
+        assert normalize("WINNERS") == "winner"
+        assert normalize("") is None
 
 
 class TestAnalyze:
@@ -57,3 +76,11 @@ def test_tokens_are_lowercase_alnum(text):
     for token in tokenize(text):
         assert token == token.lower()
         assert token.isalnum()
+
+
+@given(st.text(max_size=200))
+def test_analyze_is_normalize_of_tokenize(text):
+    # the documented contract: the one-shot pipeline is exactly the
+    # composition of its stages (so parsers may call normalize alone)
+    assert analyze(text) \
+        == [term for term in map(normalize, tokenize(text)) if term]

@@ -1,0 +1,68 @@
+"""Fixtures for the schema-2 query-language suite.
+
+A small deterministic digital-library corpus: papers indexed the way
+the integrated engine does it — one IR document per Hypertext
+attribute, keyed ``class:key:attribute`` — plus a few plain-url
+documents, so fielded queries, facets and range filters all have
+something to bite on.
+"""
+
+import pytest
+
+from repro.ir.fragmentation import fragment_by_idf
+from repro.ir.relations import IrRelations
+
+#: (key, title, abstract, year)
+PAPERS = [
+    ("p01", "flexible digital library search",
+     "scalable retrieval over digital libraries", "1999"),
+    ("p02", "database fragmentation strategies",
+     "fragment the database for top ranking speed", "1995"),
+    ("p03", "information retrieval kernels",
+     "columnar kernels accelerate information retrieval", "2001"),
+    ("p04", "distributed query processing",
+     "query shipping and data shipping in distributed databases", "1989"),
+    ("p05", "multimedia feature grammars",
+     "feature grammar detectors annotate multimedia objects", "2000"),
+    ("p06", "webspace modelling method",
+     "conceptual modelling of web data with schemas", "1998"),
+    ("p07", "digital library metadata",
+     "metadata harvesting for digital library federations", "1993"),
+    ("p08", "ranking with inverse document frequency",
+     "idf weighting ranks documents in information retrieval", "1996"),
+]
+
+#: (key, title) — a second class, so class facets have two values
+ARTICLES = [
+    ("a01", "library search engines compared"),
+    ("a02", "the flexible web database"),
+]
+
+PLAIN_DOCS = [
+    ("http://site/report1", "a 1994 report about digital libraries"),
+    ("http://site/report2", "database kernels measured in 2001"),
+]
+
+
+def build_relations() -> IrRelations:
+    relations = IrRelations()
+    for key, title, abstract, year in PAPERS:
+        relations.add_document(f"Paper:{key}:title", title)
+        relations.add_document(f"Paper:{key}:abstract", abstract)
+        relations.add_document(f"Paper:{key}:year", year)
+    for key, title in ARTICLES:
+        relations.add_document(f"Article:{key}:title", title)
+    for url, text in PLAIN_DOCS:
+        relations.add_document(url, text)
+    relations.refresh_idf()
+    return relations
+
+
+@pytest.fixture
+def relations():
+    return build_relations()
+
+
+@pytest.fixture
+def fragments(relations):
+    return fragment_by_idf(relations, 4)

@@ -1,0 +1,125 @@
+"""Wire-contract regression: schema 2 must not move a single v1 byte."""
+
+import json
+
+import pytest
+
+from repro.errors import QueryError
+from repro.service import api
+from repro.service.api import SearchRequest, SearchResponse
+
+pytestmark = pytest.mark.query
+
+
+class TestFromDictVersionDefault:
+    def test_missing_schema_version_means_1(self):
+        # the bug this PR fixes: a payload omitting schema_version is a
+        # v1 request from an old client, never the newest version
+        request = SearchRequest.from_dict({"query": "digital library"})
+        assert request.schema_version == api.SCHEMA_VERSION == 1
+
+    def test_explicit_1_and_missing_parse_identically(self):
+        implicit = SearchRequest.from_dict({"query": "x y"})
+        explicit = SearchRequest.from_dict({"query": "x y",
+                                            "schema_version": 1})
+        assert implicit == explicit
+
+    def test_unsupported_version_is_a_query_error(self):
+        with pytest.raises(QueryError):
+            SearchRequest.from_dict({"query": "x", "schema_version": 3})
+        with pytest.raises(QueryError):
+            SearchRequest.from_dict({"query": "x",
+                                     "schema_version": "two"})
+
+
+class TestV1ByteIdentity:
+    def test_v1_request_roundtrip_is_byte_identical(self):
+        request = SearchRequest(query="digital library", mode="content")
+        wire = json.dumps(request.to_dict(), sort_keys=True)
+        reparsed = SearchRequest.from_dict(json.loads(wire))
+        assert json.dumps(reparsed.to_dict(), sort_keys=True) == wire
+
+    def test_v1_request_dict_has_no_v2_keys(self):
+        payload = SearchRequest(query="x").to_dict()
+        assert set(payload) == {"schema_version", "query", "mode",
+                                "policy", "trace_id"}
+
+    def test_v1_response_dict_has_no_v2_keys(self):
+        request = SearchRequest(query="x", mode="content")
+        response = api.response_from_ranking(request, [("u", 1.0)], 0.5)
+        payload = response.to_dict()
+        assert payload["schema_version"] == 1
+        assert "facets" not in payload
+        assert "total" not in payload
+
+    def test_v2_fields_rejected_on_v1_requests(self):
+        for kwargs in ({"filters": (("year", "1990-"),)},
+                       {"facets": ("class",)},
+                       {"sort": (("name", "asc"),)},
+                       {"limit": 5},
+                       {"offset": 3},
+                       {"boosts": (("title", 4.0),)}):
+            with pytest.raises(QueryError):
+                SearchRequest(query="x", **kwargs)
+
+    def test_v2_keys_in_a_v1_payload_are_unknown_fields(self):
+        with pytest.raises(QueryError):
+            SearchRequest.from_dict({"query": "x", "facets": ["class"]})
+
+
+class TestV2Wire:
+    def test_v2_roundtrip(self):
+        request = SearchRequest(
+            query='title:database AND "digital library"', mode="content",
+            schema_version=2, filters=(("year", "1990-2001"),),
+            facets=("class",), sort=(("downloads", "desc"),),
+            limit=10, offset=20, boosts=(("title", 4.0),))
+        reparsed = SearchRequest.from_dict(request.to_dict())
+        assert reparsed == request
+
+    def test_v2_response_carries_facets_and_total(self):
+        request = SearchRequest(query="x", mode="content",
+                                schema_version=2, facets=("class",))
+        response = api.response_from_ranking(
+            request, [("u", 1.0)], 0.5,
+            facets=(("class", (("Paper", 3), ("Article", 1))),), total=4)
+        payload = response.to_dict()
+        assert payload["schema_version"] == 2
+        assert payload["facets"] == {"class": {"Paper": 3, "Article": 1}}
+        assert payload["total"] == 4
+
+    def test_v2_validation(self):
+        with pytest.raises(QueryError):
+            SearchRequest(query="x", schema_version=2, limit=0)
+        with pytest.raises(QueryError):
+            SearchRequest(query="x", schema_version=2, offset=-1)
+
+    def test_malformed_v2_extras_are_query_errors(self):
+        base = {"query": "x", "schema_version": 2}
+        for extra in ({"filters": ["year"]},
+                      {"facets": "class"},
+                      {"sort": ["field:sideways"]},
+                      {"limit": True},
+                      {"offset": "zero"},
+                      {"boosts": {"title": "big"}}):
+            with pytest.raises(QueryError):
+                SearchRequest.from_dict(base | extra)
+
+    def test_shape_token_constant_on_v1(self):
+        a = SearchRequest(query="x").shape_token()
+        b = SearchRequest(query="completely different").shape_token()
+        assert a == b
+
+    def test_shape_token_distinguishes_every_extra(self):
+        base = dict(query="x", mode="content", schema_version=2)
+        tokens = {
+            SearchRequest(**base).shape_token(),
+            SearchRequest(**base,
+                          filters=(("year", "1990-"),)).shape_token(),
+            SearchRequest(**base, facets=("class",)).shape_token(),
+            SearchRequest(**base, sort=(("name", "asc"),)).shape_token(),
+            SearchRequest(**base, limit=5).shape_token(),
+            SearchRequest(**base, limit=5, offset=5).shape_token(),
+            SearchRequest(**base, boosts=(("title", 2.0),)).shape_token(),
+        }
+        assert len(tokens) == 7
