@@ -1,0 +1,168 @@
+"""Offline tier — export cost, static-reader QPS, bulk amortization.
+
+Three numbers characterise the offline tier:
+
+1. **Export + cold load** — how long ``export-index`` takes on the
+   benchmark corpus, how many bytes the artifact occupies, and how
+   long a cold :class:`StaticIndexReader` (full checksum verification)
+   takes to become queryable.
+2. **Static vs served QPS** — the same request mix answered by a
+   reader against the artifact and by a ``SearchService`` over the
+   live engine.  The reader skips admission control and locking, so
+   it must at least keep up (the rankings are bit-identical either
+   way — the parity suite pins that down; here we only measure).
+3. **Bulk amortization** — ``POST /v1/search:bulk`` with a 100-item
+   batch against 100 sequential ``POST /v1/search`` calls.  One HTTP
+   round-trip, one admission, one lock hold per batch must deliver
+   >= 3x the sequential QPS.
+
+Writes ``BENCH_offline.json`` next to the other ``BENCH_*`` artifacts.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.config import ExecutionPolicy
+from repro.ir.engine import IrEngine
+from repro.offline import StaticIndexReader, export_index
+from repro.service import (SearchRequest, SearchService, ServicePolicy,
+                           serve)
+
+from benchmarks.conftest import zipf_corpus
+
+REPORT = Path(__file__).parent / "BENCH_offline.json"
+
+DOCUMENTS = 200
+BATCH = 100
+#: cache=False everywhere: the benchmark measures execution, not the
+#: query cache serving repeats for free.
+NO_CACHE = ExecutionPolicy(n=10, cache=False)
+
+_report: dict = {"version": 1,
+                 "meta": {"suite": "bench_offline",
+                          "documents": DOCUMENTS, "batch": BATCH}}
+
+
+def _build_engine() -> IrEngine:
+    engine = IrEngine(fragment_count=4)
+    for url, text in zipf_corpus(DOCUMENTS, vocabulary=300,
+                                 words_per_doc=240):
+        engine.index(url, text)
+    engine.relations.refresh_idf()
+    return engine
+
+
+def _requests(count: int) -> list[SearchRequest]:
+    # distinct multi-term queries (no repeats for a cache to serve),
+    # half of them schema-2 shapes so the structured path is in the mix
+    batch = []
+    for i in range(count):
+        a, b, c = i % 280, (i * 7 + 3) % 280, (i * 13 + 11) % 280
+        if i % 2:
+            batch.append(SearchRequest(
+                query=f"term{a:03d} OR term{b:03d} OR term{c:03d}",
+                mode="content", schema_version=2, limit=10,
+                policy=NO_CACHE))
+        else:
+            batch.append(SearchRequest(
+                query=f"term{a:03d} term{b:03d} term{c:03d}",
+                mode="content", policy=NO_CACHE))
+    return batch
+
+
+def test_export_and_cold_load(tmp_path):
+    engine = _build_engine()
+    started = time.perf_counter()
+    artifact = export_index(engine, tmp_path / "artifact")
+    export_s = time.perf_counter() - started
+    size = sum(entry.stat().st_size for entry in artifact.iterdir())
+    started = time.perf_counter()
+    reader = StaticIndexReader(artifact)  # cold, full verification
+    load_s = time.perf_counter() - started
+    assert reader.document_count() == DOCUMENTS
+    _report["export"] = {
+        "export_ms": round(export_s * 1000.0, 1),
+        "artifact_bytes": size,
+        "cold_load_ms": round(load_s * 1000.0, 1),
+        "documents": reader.document_count(),
+        "vocabulary": reader.vocabulary_size(),
+    }
+
+
+def test_static_reader_qps_vs_served_qps(tmp_path):
+    engine = _build_engine()
+    reader = StaticIndexReader(export_index(engine, tmp_path / "artifact"))
+    requests = _requests(200)
+
+    with SearchService(engine) as service:
+        started = time.perf_counter()
+        for request in requests:
+            service.search(request)
+        served_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for request in requests:
+        reader.execute(request)
+    static_s = time.perf_counter() - started
+
+    served_qps = len(requests) / served_s
+    static_qps = len(requests) / static_s
+    _report["static_vs_served"] = {
+        "requests": len(requests),
+        "served_qps": round(served_qps, 1),
+        "static_qps": round(static_qps, 1),
+        "ratio": round(static_qps / served_qps, 2),
+    }
+    # no admission, no locks, no envelope: the reader must not be
+    # meaningfully slower than the full service on the same engine code
+    assert static_qps >= 0.5 * served_qps
+
+
+def test_bulk_amortizes_three_x_over_sequential(tmp_path):
+    engine = _build_engine()
+    service = SearchService(engine, ServicePolicy(
+        max_inflight=8, max_queue=16, queue_timeout_ms=30000.0))
+    httpd = serve(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        items = [request.to_dict() for request in _requests(BATCH)]
+
+        def post(path, payload):
+            body = json.dumps(payload).encode("utf-8")
+            request = urllib.request.Request(
+                httpd.address + path, data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=60.0) as reply:
+                return json.loads(reply.read())
+
+        started = time.perf_counter()
+        for item in items:
+            post("/v1/search", item)
+        sequential_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        reply = post("/v1/search:bulk", {"requests": items})
+        bulk_s = time.perf_counter() - started
+        assert reply["items"] == BATCH and reply["errors"] == 0
+
+        sequential_qps = BATCH / sequential_s
+        bulk_qps = BATCH / bulk_s
+        speedup = bulk_qps / sequential_qps
+        _report["bulk"] = {
+            "batch": BATCH,
+            "sequential_qps": round(sequential_qps, 1),
+            "bulk_qps": round(bulk_qps, 1),
+            "speedup": round(speedup, 2),
+        }
+        REPORT.write_text(json.dumps(_report, indent=2, sort_keys=True))
+        assert speedup >= 3.0, (
+            f"bulk only {speedup:.2f}x sequential QPS "
+            f"({bulk_qps:.0f} vs {sequential_qps:.0f})")
+    finally:
+        httpd.shutdown_gracefully(5.0)
+        httpd.server_close()
+        thread.join(5.0)

@@ -13,6 +13,7 @@ against the bundled synthetic webspaces::
         --query "SELECT p.name FROM Player p \\
                  WHERE p.history CONTAINS 'Winner' TOP 5"
     repro-search paths    --snapshot ./index
+    repro-search export-index --snapshot ./index --output ./artifact
 
 ``populate`` builds the named site, populates an engine and saves a
 snapshot; ``query`` reloads the snapshot and runs a textual query
@@ -22,7 +23,11 @@ snapshot; ``query`` reloads the snapshot and runs a textual query
 (``POST /v1/search``, ``GET /healthz``, ``GET /metrics``) with the
 admission-control knobs (``--max-inflight``, ``--max-queue``,
 ``--rate``) exposed as flags; ``stats``/``paths`` inspect the stored
-index.  Snapshots are
+index; ``export-index`` packs the IR index into the immutable,
+checksummed static artifact that
+:class:`~repro.offline.StaticIndexReader` queries without a server
+(the command reloads and verifies the artifact before reporting
+success).  Snapshots are
 crash-safe checkpoints (``snapshot/<generation>/`` directories behind
 an atomically flipped ``CURRENT`` pointer — see
 :mod:`repro.persistence`); ``snapshot`` writes a fresh checkpoint
@@ -517,6 +522,25 @@ def _cmd_workers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_index(args: argparse.Namespace) -> int:
+    from repro.offline import StaticIndexReader, export_index
+
+    engine = _load(args)
+    destination = Path(args.output)
+    export_index(engine, destination)
+    # reload what was just written — the exported artifact is proven
+    # loadable (checksums, versions, analyzer fingerprint) before the
+    # command reports success
+    reader = StaticIndexReader(destination)
+    stats = reader.stats()
+    print(f"static index artifact written to {destination}")
+    print(f"format {stats['format_version']}, schema "
+          f"{stats['schema_version']}, generation {stats['generation']}")
+    print(f"{stats['documents']} documents, {stats['vocabulary']} terms, "
+          f"{stats['bytes']} data bytes")
+    return 0
+
+
 def _cmd_paths(args: argparse.Namespace) -> int:
     engine = _load(args)
     print("conceptual store path summary:")
@@ -709,6 +733,16 @@ def _parser() -> argparse.ArgumentParser:
                        help="also write the telemetry report to this file")
     _add_policy_flags(stats)
     stats.set_defaults(handler=_cmd_stats)
+
+    export = commands.add_parser(
+        "export-index",
+        help="export a snapshot's IR index as a static, self-describing "
+             "artifact for serverless StaticIndexReader consumers")
+    export.add_argument("--snapshot", required=True,
+                        help="the live snapshot to export from")
+    export.add_argument("--output", required=True,
+                        help="directory to write the artifact into")
+    export.set_defaults(handler=_cmd_export_index)
 
     paths = commands.add_parser("paths", help="show the path summaries")
     paths.add_argument("--snapshot", required=True)

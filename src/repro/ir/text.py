@@ -8,9 +8,12 @@ vocabulary space.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.ir.stemmer import stem
 
-__all__ = ["STOP_WORDS", "tokenize", "normalize", "analyze"]
+__all__ = ["STOP_WORDS", "tokenize", "normalize", "analyze",
+           "analyzer_config"]
 
 # A compact classic English stopword list (van Rijsbergen-style subset).
 STOP_WORDS = frozenset("""
@@ -79,3 +82,24 @@ def analyze(text: str) -> list[str]:
         if term is not None:
             terms.append(term)
     return terms
+
+
+def analyzer_config() -> dict[str, object]:
+    """A JSON-friendly fingerprint of the analysis pipeline.
+
+    Static index artifacts record this at export time and readers
+    compare it at load time: an index built under a different
+    tokenizer, stemmer or stopword list would silently miss (or
+    mis-rank) queries analyzed under this one, so a mismatch must be a
+    typed load error, never a wrong answer.  The stopword list is
+    fingerprinted by content hash — adding or removing a single word
+    changes the vocabulary space.
+    """
+    stop_digest = hashlib.sha256(
+        "\n".join(sorted(STOP_WORDS)).encode("utf-8")).hexdigest()
+    return {
+        "tokenizer": "alnum-lower-apostrophe-joining",
+        "stemmer": "porter-1980",
+        "stop_words": len(STOP_WORDS),
+        "stop_words_sha256": stop_digest,
+    }

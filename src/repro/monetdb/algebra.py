@@ -9,9 +9,10 @@ not once per value — the set-at-a-time execution model of Monet's BAT
 algebra rather than tuple-at-a-time loops in the host language.
 
 The old per-value scalar signatures (``select_eq``, ``select_where``,
-``project_tails``) remain as deprecated shims that emit a
-:class:`DeprecationWarning` naming their batch replacement, mirroring
-how the ``n=``/``prune=`` policy deprecation was finished.
+``project_tails``) have completed their deprecation cycle: the names
+remain importable, but calling one raises :class:`TypeError` naming
+its batch replacement — the same end state the ``n=``/``prune=``
+policy deprecation reached through ``ExecutionPolicy.coerce``.
 
 ``topn_merge`` documents (and enforces) the ranking total order shared
 by every backend; :func:`quantize_score` is the one canonical score
@@ -21,7 +22,6 @@ scoring kernels all tie-break through it.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.monetdb.bat import BAT
@@ -41,10 +41,10 @@ def _charge(server: MonetServer | None, tuples: int) -> None:
         server.charge(tuples)
 
 
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use the batch kernel {new} instead",
-        DeprecationWarning, stacklevel=3)
+def _removed(old: str, new: str) -> TypeError:
+    return TypeError(
+        f"{old} was removed after its deprecation cycle; "
+        f"use the batch kernel {new} instead")
 
 
 # ----------------------------------------------------------------------
@@ -77,11 +77,9 @@ def ranking_sort_key(pair: tuple[Any, float]) -> tuple[float, Any]:
 # selections
 # ----------------------------------------------------------------------
 
-def select_eq(bat: BAT, value: Any, server: MonetServer | None = None) -> BAT:
-    """Deprecated scalar form — use :func:`select_eq_many`."""
-    _deprecated("select_eq", "select_eq_many")
-    _charge(server, len(bat))
-    return bat.select_tail(value)
+def select_eq(*args: Any, **kwargs: Any) -> BAT:
+    """Removed scalar form — use :func:`select_eq_many`."""
+    raise _removed("select_eq", "select_eq_many")
 
 
 def select_eq_many(bat: BAT, values: Iterable[Any],
@@ -97,12 +95,9 @@ def select_eq_many(bat: BAT, values: Iterable[Any],
     return bat.select(wanted.__contains__)
 
 
-def select_where(bat: BAT, predicate: Callable[[Any], bool],
-                 server: MonetServer | None = None) -> BAT:
-    """Deprecated scalar form — use :func:`select_where_many`."""
-    _deprecated("select_where", "select_where_many")
-    _charge(server, len(bat))
-    return bat.select(predicate)
+def select_where(*args: Any, **kwargs: Any) -> BAT:
+    """Removed scalar form — use :func:`select_where_many`."""
+    raise _removed("select_where", "select_where_many")
 
 
 def select_where_many(bat: BAT, predicate: Callable[[Any], bool],
@@ -189,13 +184,9 @@ def difference_heads(left: BAT, right: BAT,
 # projections
 # ----------------------------------------------------------------------
 
-def project_tails(bat: BAT, heads: Iterable[Any],
-                  server: MonetServer | None = None) -> list[Any]:
-    """Deprecated scalar form — use :func:`project_tails_many`."""
-    _deprecated("project_tails", "project_tails_many")
-    keys = set(heads)
-    _charge(server, len(bat))
-    return [tail for head, tail in bat if head in keys]
+def project_tails(*args: Any, **kwargs: Any) -> list[Any]:
+    """Removed scalar form — use :func:`project_tails_many`."""
+    raise _removed("project_tails", "project_tails_many")
 
 
 def project_tails_many(bat: BAT, heads: Iterable[Any],

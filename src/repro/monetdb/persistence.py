@@ -40,11 +40,18 @@ def _decode_value(value: Any, type_name: str) -> Any:
     return value
 
 
-def save_catalog(catalog: Catalog, path: str | Path) -> int:
+def save_catalog(catalog: Catalog, path: str | Path,
+                 names: list[str] | None = None) -> int:
     """Atomically write the catalog to ``path`` as a JSON-lines snapshot.
 
     Returns the number of records (lines) written, which the snapshot
-    manifest stores next to the file's checksum.
+    manifest stores next to the file's checksum.  ``names`` restricts
+    the snapshot to a subset of the catalog's BATs (in the given
+    order) — the offline index artifact splits one catalog over
+    several files this way; an unknown name is a
+    :class:`~repro.errors.CatalogError`.  Every file keeps the full
+    header, so any subset file alone still restores a collision-free
+    oid sequence.
     """
     from repro.persistence.atomic import atomic_write
 
@@ -57,7 +64,7 @@ def save_catalog(catalog: Catalog, path: str | Path) -> int:
         }
         stream.write(json.dumps(header) + "\n")
         records += 1
-        for name in catalog.names():
+        for name in (catalog.names() if names is None else names):
             bat = catalog.get(name)
             meta = {
                 "bat": name,
@@ -82,17 +89,23 @@ def count_records(path: str | Path) -> int:
 
 
 def load_catalog(path: str | Path, *, oid_start: int = 0,
-                 oid_stride: int = 1) -> Catalog:
+                 oid_stride: int = 1,
+                 catalog: Catalog | None = None) -> Catalog:
     """Load a catalog snapshot written by :func:`save_catalog`.
 
     ``oid_start``/``oid_stride`` reconstruct a cluster node's strided
     oid sequence, so a restored shared-nothing server keeps handing out
-    collision-free oids.  Truncated or malformed snapshots raise
+    collision-free oids.  Passing an existing ``catalog`` merges the
+    snapshot's BATs into it instead of building a fresh one — how a
+    multi-file artifact (postings / positions / meta) reassembles into
+    one catalog; a BAT name present in both is a
+    :class:`CatalogError`.  Truncated or malformed snapshots raise
     :class:`~repro.errors.SnapshotError` (a :class:`CatalogError`
     subclass, so pre-existing handlers still apply).
     """
     path = Path(path)
-    catalog = Catalog(oid_start=oid_start, oid_stride=oid_stride)
+    if catalog is None:
+        catalog = Catalog(oid_start=oid_start, oid_stride=oid_stride)
     with path.open("r", encoding="utf-8") as stream:
         header_line = stream.readline()
         if not header_line:

@@ -1,0 +1,103 @@
+"""``export-index``: write one static index artifact from a live index.
+
+The export is the offline tier's producer half: any populated engine —
+the integrated :class:`~repro.core.engine.SearchEngine` or a bare
+:class:`~repro.ir.engine.IrEngine` — flattens its IR relations into
+the artifact layout of :mod:`repro.offline.artifact`.  Data files are
+written first through the atomic write path, the checksummed manifest
+last: an interrupted export leaves either the previous complete
+artifact or no manifest, never a torn one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import QueryError
+from repro.ir.text import analyzer_config
+from repro.monetdb.persistence import save_catalog
+from repro.offline.artifact import (META_BATS, META_FILE, POSITIONS_BATS,
+                                    POSITIONS_FILE, POSTINGS_BATS,
+                                    POSTINGS_FILE, OfflineManifest)
+from repro.persistence.manifest import stamp_file
+from repro.service.api import SCHEMA_VERSION_V2
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["export_index"]
+
+
+def _ir_engine(engine):
+    """The single-node IR engine behind any exportable engine."""
+    from repro.ir.engine import ClusterIrEngine, IrEngine
+
+    ir = getattr(engine, "ir", engine)
+    if isinstance(ir, ClusterIrEngine):
+        raise QueryError(
+            "clustered engines are not exportable: the static artifact "
+            "is a single sequential scan surface; export from a "
+            "single-node engine (cluster_size=1)")
+    if not isinstance(ir, IrEngine):
+        raise QueryError(
+            "export_index needs a SearchEngine or IrEngine, got "
+            f"{type(engine).__name__}")
+    return ir
+
+
+def _engine_config(engine, ir):
+    """The full EngineConfig recorded in the manifest.
+
+    A bare IrEngine has no EngineConfig; synthesize one from its two
+    result-affecting knobs so the reader rebuilds an identical engine.
+    """
+    from repro.core.config import EngineConfig
+
+    config = getattr(engine, "config", None)
+    if isinstance(config, EngineConfig):
+        return config
+    return EngineConfig(fragment_count=ir.fragment_count,
+                        ranking_model=ir.model)
+
+
+def export_index(engine, directory: str | Path) -> Path:
+    """Write a static index artifact; returns the artifact directory.
+
+    The exporting index's deferred IDF refresh is materialised first so
+    the artifact is internally consistent, then each relation group
+    lands in its data file (atomic temp + fsync + replace), and the
+    ``index.json`` manifest — format version, schema version,
+    generation, analyzer fingerprint, full engine config, per-file
+    SHA-256 stamps — commits the artifact last.
+    """
+    ir = _ir_engine(engine)
+    relations = ir.relations
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    telemetry = get_telemetry()
+    with telemetry.tracer.span("offline.export",
+                               directory=str(directory)) as span:
+        relations.refresh_idf()
+        catalog = relations.catalog
+        files = {}
+        for name, bats in ((POSTINGS_FILE, POSTINGS_BATS),
+                           (POSITIONS_FILE, POSITIONS_BATS),
+                           (META_FILE, META_BATS)):
+            records = save_catalog(catalog, directory / name,
+                                   names=list(bats))
+            files[name] = stamp_file(directory / name, records)
+        manifest = OfflineManifest(
+            generation=relations.generation,
+            config=_engine_config(engine, ir),
+            analyzer=analyzer_config(),
+            schema_version=SCHEMA_VERSION_V2,
+            documents=relations.document_count(),
+            vocabulary=relations.vocabulary_size(),
+            files=files,
+        )
+        manifest.save(directory)
+        total_bytes = sum(stamp.bytes for stamp in files.values())
+        span.set_attributes(generation=relations.generation,
+                            documents=manifest.documents,
+                            files=len(files) + 1, bytes=total_bytes)
+    telemetry.metrics.counter("offline.exports").add(1)
+    telemetry.metrics.counter("offline.export_bytes").add(total_bytes)
+    return directory

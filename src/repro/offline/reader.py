@@ -1,0 +1,124 @@
+"""The zero-server consumer: query a static index artifact in place.
+
+:class:`StaticIndexReader` memory-loads an :func:`~repro.offline.
+export.export_index` artifact and answers the full schema-2
+:class:`~repro.service.api.SearchRequest` surface — boolean, phrase,
+fielded, boosted, faceted, sorted, paginated — with rankings
+**bit-identical** to the live service over the same index generation.
+The identity is by construction, not by re-implementation: the reader
+reassembles the exported catalog into the same
+:class:`~repro.ir.relations.IrRelations` and delegates to a private
+:class:`~repro.ir.engine.IrEngine`, so every scoring path (scalar and
+columnar kernels alike) is the very code the served engine runs.  What
+it deliberately lacks is everything a *server* needs: no admission
+control, no locks, no HTTP — the artifact is immutable, so a reader is
+a plain object any analytics process can hold.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import SnapshotError
+from repro.ir.engine import IrEngine
+from repro.ir.relations import IrRelations
+from repro.ir.text import analyzer_config
+from repro.monetdb.persistence import load_catalog
+from repro.offline.artifact import (ARTIFACT_FILES, OfflineManifest)
+from repro.persistence.manifest import verify_files
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["StaticIndexReader"]
+
+
+class StaticIndexReader:
+    """An immutable, dependency-light engine over one index artifact.
+
+    Loading verifies the manifest (format version, analyzer
+    fingerprint) and every data file's SHA-256 / size stamp before a
+    single record is deserialized — a corrupted or version-skewed
+    artifact is always a typed :class:`~repro.errors.SnapshotError`,
+    never a silently wrong ranking.  ``verify=False`` skips only the
+    checksum pass (for repeated loads of an already-trusted artifact);
+    the structural and version checks always run.
+    """
+
+    def __init__(self, directory: str | Path, *, verify: bool = True):
+        self.directory = Path(directory)
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("offline.load",
+                                   directory=str(self.directory)) as span:
+            self.manifest = OfflineManifest.load(self.directory)
+            live = analyzer_config()
+            if self.manifest.analyzer != live:
+                raise SnapshotError(
+                    f"index artifact {self.directory} was built under a "
+                    f"different analyzer ({self.manifest.analyzer!r}); "
+                    f"this reader analyzes with {live!r} — queries "
+                    "would miss silently", path=self.directory)
+            missing = [name for name in ARTIFACT_FILES
+                       if name not in self.manifest.files]
+            if missing:
+                raise SnapshotError(
+                    f"index manifest {self.directory} lacks stamps for "
+                    f"{missing}", path=self.directory)
+            if verify:
+                verify_files(self.directory, self.manifest)
+            catalog = None
+            for name in ARTIFACT_FILES:
+                catalog = load_catalog(self.directory / name,
+                                       catalog=catalog)
+            relations = IrRelations(catalog)
+            # the artifact generation keys the reader's query cache the
+            # same way the live engine's does; IDF is re-derived once
+            # here (the manifest's IDF column is verified input, but
+            # the authoritative derivation is DT, exactly as on restore)
+            relations.generation = self.manifest.generation
+            relations.refresh_idf()
+            config = self.manifest.config
+            self._engine = IrEngine(fragment_count=config.fragment_count,
+                                    model=config.ranking_model)
+            self._engine.relations = relations
+            span.set_attributes(generation=self.manifest.generation,
+                                documents=self.manifest.documents)
+        telemetry.metrics.counter("offline.loads").add(1)
+
+    # -- querying ---------------------------------------------------------
+
+    def execute(self, request) -> "SearchResponse":
+        """Run one :class:`~repro.service.api.SearchRequest`.
+
+        The same ``execute(request)`` contract every engine speaks —
+        content and fragmented modes, v1 and schema-2 dialects;
+        conceptual mode needs the integrated engine and raises
+        :class:`~repro.errors.QueryError`, exactly as a bare IR engine
+        does.
+        """
+        get_telemetry().metrics.counter("offline.requests").add(1)
+        return self._engine.execute(request)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The exported index generation this reader answers for."""
+        return self.manifest.generation
+
+    def document_count(self) -> int:
+        return self._engine.relations.document_count()
+
+    def vocabulary_size(self) -> int:
+        return self._engine.relations.vocabulary_size()
+
+    def stats(self) -> dict[str, object]:
+        """A JSON-friendly summary (CLI + benchmark reporting)."""
+        return {
+            "directory": str(self.directory),
+            "format_version": self.manifest.format_version,
+            "schema_version": self.manifest.schema_version,
+            "generation": self.manifest.generation,
+            "documents": self.document_count(),
+            "vocabulary": self.vocabulary_size(),
+            "bytes": sum(stamp.bytes
+                         for stamp in self.manifest.files.values()),
+        }

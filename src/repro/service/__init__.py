@@ -16,14 +16,15 @@ import cycle through the engine adapters.
 """
 
 from repro.errors import ServiceClosedError, ServiceOverloadedError
-from repro.service.api import (MODE_CONCEPTUAL, MODE_CONTENT,
-                               MODE_FRAGMENTED, MODES, SCHEMA_VERSION, Hit,
+from repro.service.api import (MAX_BULK_ITEMS, MODE_CONCEPTUAL,
+                               MODE_CONTENT, MODE_FRAGMENTED, MODES,
+                               SCHEMA_VERSION, ErrorResponse, Hit,
                                SearchRequest, SearchResponse)
 
 __all__ = [
-    "SCHEMA_VERSION", "MODES",
+    "SCHEMA_VERSION", "MODES", "MAX_BULK_ITEMS",
     "MODE_CONCEPTUAL", "MODE_CONTENT", "MODE_FRAGMENTED",
-    "SearchRequest", "SearchResponse", "Hit",
+    "SearchRequest", "SearchResponse", "Hit", "ErrorResponse",
     "SearchService", "ServicePolicy",
     "SearchServiceServer", "serve",
     "ServiceOverloadedError", "ServiceClosedError",

@@ -78,18 +78,26 @@ class TokenBucket:
         self._updated = clock()
         self._lock = threading.Lock()
 
-    def try_acquire(self) -> float:
-        """Take one token; returns 0.0 on success, else the suggested
-        back-off in seconds until a token will be available."""
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` tokens; returns 0.0 on success, else the
+        suggested back-off in seconds until they will be available.
+
+        A bulk batch charges its item count here — rate limits bound
+        *queries per second*, and a 100-item batch is 100 queries no
+        matter how few HTTP requests carried them.  A charge beyond
+        ``capacity`` can still succeed: the bucket goes negative and
+        repays at ``rate``/s, so one oversized batch borrows from the
+        future instead of being permanently unadmittable.
+        """
         with self._lock:
             now = self._clock()
             self._tokens = min(self.capacity, self._tokens
                                + (now - self._updated) * self.rate)
             self._updated = now
-            if self._tokens >= 1.0:
-                self._tokens -= 1.0
+            if self._tokens >= min(tokens, self.capacity):
+                self._tokens -= tokens
                 return 0.0
-            return (1.0 - self._tokens) / self.rate
+            return (min(tokens, self.capacity) - self._tokens) / self.rate
 
 
 class AdmissionController:
@@ -106,15 +114,19 @@ class AdmissionController:
 
     # -- the slot protocol -------------------------------------------------
 
-    def admit(self) -> float:
+    def admit(self, weight: int = 1) -> float:
         """Block until an execution slot is held; returns queued ms.
 
         Raises :class:`ServiceOverloadedError` (with ``retry_after``
         and the tripped limit as ``reason``) instead of queueing
-        unboundedly.
+        unboundedly.  ``weight`` is how many *queries* this admission
+        carries: a bulk batch occupies one execution slot (it runs
+        sequentially under one lock hold) but charges the token
+        bucket per item, so rate limits stay limits on offered query
+        load rather than on HTTP request count.
         """
         if self._bucket is not None:
-            retry_after = self._bucket.try_acquire()
+            retry_after = self._bucket.try_acquire(float(weight))
             if retry_after > 0.0:
                 raise ServiceOverloadedError(
                     "request rate exceeds the service's token bucket",

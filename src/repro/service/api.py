@@ -34,7 +34,8 @@ from repro.errors import QueryError
 __all__ = [
     "SCHEMA_VERSION", "SCHEMA_VERSION_V2", "SUPPORTED_SCHEMA_VERSIONS",
     "MODE_CONCEPTUAL", "MODE_CONTENT", "MODE_FRAGMENTED",
-    "MODES", "SearchRequest", "SearchResponse", "Hit", "policy_to_dict",
+    "MODES", "MAX_BULK_ITEMS", "SearchRequest", "SearchResponse", "Hit",
+    "ErrorResponse", "policy_to_dict",
     "policy_from_dict", "response_from_query_result",
     "response_from_ranking", "elapsed_ms_since",
 ]
@@ -62,6 +63,13 @@ MODE_CONTENT = "content"
 MODE_FRAGMENTED = "fragmented"
 
 MODES = (MODE_CONCEPTUAL, MODE_CONTENT, MODE_FRAGMENTED)
+
+#: Hard cap on ``POST /v1/search:bulk`` batch size.  A batch holds one
+#: execution slot and the read lock for its whole evaluation, so an
+#: unbounded batch would starve interactive requests; the cap keeps
+#: the longest lock hold bounded while still amortizing per-request
+#: overhead a few-hundredfold.
+MAX_BULK_ITEMS = 256
 
 
 def policy_to_dict(policy: ExecutionPolicy) -> dict[str, object]:
@@ -307,6 +315,33 @@ class Hit:
         return {"key": self.key, "score": self.score,
                 "values": {path: value for path, value in self.values}}
 
+    @classmethod
+    def from_dict(cls, payload: object) -> "Hit":
+        """Parse one wire hit; every malformation is a QueryError.
+
+        The exact inverse of :meth:`to_dict`: ``values`` comes back as
+        the sorted ``(path, value)`` tuple the producing side built it
+        from, so ``from_dict(to_dict(hit)) == hit``.
+        """
+        if not isinstance(payload, dict):
+            raise QueryError("hit payload must be a JSON object")
+        unknown = sorted(set(payload) - {"key", "score", "values"})
+        if unknown:
+            raise QueryError(f"unknown hit fields {unknown}")
+        key = payload.get("key")
+        if not isinstance(key, str):
+            raise QueryError("hit key must be a string")
+        score = payload.get("score", 0.0)
+        if not isinstance(score, (int, float)) or isinstance(score, bool):
+            raise QueryError("hit score must be a number")
+        values = payload.get("values") or {}
+        if not isinstance(values, dict) or any(
+                not isinstance(path, str) for path in values):
+            raise QueryError("hit values must be a JSON object with "
+                             "string attribute paths")
+        return cls(key=key, score=float(score),
+                   values=tuple(sorted(values.items())))
+
 
 @dataclass(frozen=True)
 class SearchResponse:
@@ -369,6 +404,166 @@ class SearchResponse:
                 for name, counts in self.facets}
             payload["total"] = self.total
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "SearchResponse":
+        """Parse a wire reply; every malformation is a QueryError.
+
+        The consuming half the contract lacked: offline readers and
+        bulk clients parse replies, they do not only produce them.
+        The reconstructed ``request`` carries exactly what the reply
+        echoes (query, mode, trace_id, schema_version) with a default
+        policy, and ``result`` is ``None`` — neither crosses the wire
+        by design.  Within that wire surface the contract is
+        symmetric: ``to_dict(from_dict(d)) == d`` for every valid
+        payload, v1 and v2 alike.
+        """
+        if not isinstance(payload, dict):
+            raise QueryError("response payload must be a JSON object")
+        version = payload.get("schema_version", SCHEMA_VERSION)
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise QueryError(
+                f"unsupported schema_version {version!r}; this client "
+                f"speaks {list(SUPPORTED_SCHEMA_VERSIONS)}")
+        known = {"schema_version", "query", "mode", "trace_id", "rows",
+                 "hits", "degraded", "cache_hit", "coalesced",
+                 "failed_nodes", "tuples_touched", "timings"}
+        if version == SCHEMA_VERSION_V2:
+            known |= {"facets", "total"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise QueryError(f"unknown response fields {unknown}")
+        if "query" not in payload or "hits" not in payload:
+            raise QueryError("response payload needs 'query' and 'hits'")
+        hits_payload = payload["hits"]
+        if not isinstance(hits_payload, list):
+            raise QueryError("response hits must be a JSON array")
+        hits = tuple(Hit.from_dict(hit) for hit in hits_payload)
+        rows = payload.get("rows", len(hits))
+        if rows != len(hits):
+            raise QueryError(f"response says {rows} rows but carries "
+                             f"{len(hits)} hits")
+        timings = payload.get("timings") or {}
+        if not isinstance(timings, dict):
+            raise QueryError("response timings must be a JSON object")
+        failed = payload.get("failed_nodes") or []
+        if not isinstance(failed, list) or any(
+                not isinstance(node, str) for node in failed):
+            raise QueryError("response failed_nodes must be an array "
+                             "of node names")
+        request = SearchRequest(
+            query=payload["query"],
+            mode=payload.get("mode", MODE_CONCEPTUAL),
+            trace_id=payload.get("trace_id"),
+            schema_version=version)
+        facets: tuple = ()
+        total = None
+        if version == SCHEMA_VERSION_V2:
+            facets_payload = payload.get("facets") or {}
+            if not isinstance(facets_payload, dict) or any(
+                    not isinstance(counts, dict)
+                    for counts in facets_payload.values()):
+                raise QueryError("response facets must be an object of "
+                                 "per-facet value counts")
+            facets = tuple(
+                (name, tuple(sorted(
+                    counts.items(), key=lambda item: (-item[1], item[0]))))
+                for name, counts in facets_payload.items())
+            total = payload.get("total")
+            if total is not None and (not isinstance(total, int)
+                                      or isinstance(total, bool)):
+                raise QueryError("response total must be an integer")
+        try:
+            return cls(
+                request=request, hits=hits,
+                elapsed_ms=float(timings.get("total_ms", 0.0)),
+                queue_ms=float(timings.get("queue_ms", 0.0)),
+                degraded=bool(payload.get("degraded", False)),
+                cache_hit=bool(payload.get("cache_hit", False)),
+                coalesced=bool(payload.get("coalesced", False)),
+                failed_nodes=tuple(failed),
+                tuples_touched=int(payload.get("tuples_touched", 0)),
+                facets=facets, total=total)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"malformed response payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """The one error envelope of every non-200 answer.
+
+    Before this class each HTTP error body was assembled ad hoc (a
+    bare ``"error": message`` string with ``retry_after``/``reason``
+    keys sometimes floating at top level).  Now every failure — full
+    responses and per-item ``search:bulk`` errors alike — serializes
+    as::
+
+        {"error": {"kind": ..., "message": ..., "retry_after"?: ...},
+         "schema_version": 1}
+
+    ``kind`` is a stable, machine-matchable discriminator
+    (``bad_request``, ``not_found``, ``rate``, ``queue``, ``timeout``,
+    ``draining``, ``internal``); ``message`` is for humans and carries
+    no contract.  ``retry_after`` appears only on shed requests and
+    keeps the precise sub-second hint — the HTTP ``Retry-After``
+    *header* (integral, clamped ``>= 1``) is produced by the daemon
+    and is byte-identical to the pre-envelope behavior.
+    """
+
+    kind: str
+    message: str
+    retry_after: float | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        error: dict[str, object] = {"kind": self.kind,
+                                    "message": self.message}
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"schema_version": SCHEMA_VERSION, "error": error}
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "ErrorResponse":
+        """Parse one wire error envelope (the bulk client's half)."""
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("error"), dict):
+            raise QueryError("error payload must be a JSON object with "
+                             "an 'error' object")
+        error = payload["error"]
+        kind = error.get("kind")
+        message = error.get("message")
+        if not isinstance(kind, str) or not isinstance(message, str):
+            raise QueryError("error envelope needs string 'kind' and "
+                             "'message'")
+        retry_after = error.get("retry_after")
+        if retry_after is not None and (
+                not isinstance(retry_after, (int, float))
+                or isinstance(retry_after, bool)):
+            raise QueryError("error retry_after must be a number")
+        return cls(kind=kind, message=message,
+                   retry_after=None if retry_after is None
+                   else float(retry_after))
+
+    @classmethod
+    def from_exception(cls, error: Exception) -> "ErrorResponse":
+        """Map a library exception onto its envelope.
+
+        The one place exception types translate to error kinds, used
+        by the HTTP daemon and the per-item bulk path so both agree.
+        """
+        from repro.errors import (QueryError as _QueryError, ReproError,
+                                  ServiceClosedError,
+                                  ServiceOverloadedError)
+
+        if isinstance(error, ServiceOverloadedError):
+            return cls(kind=error.reason, message=str(error),
+                       retry_after=error.retry_after)
+        if isinstance(error, ServiceClosedError):
+            return cls(kind="draining", message=str(error))
+        if isinstance(error, _QueryError):
+            return cls(kind="bad_request", message=str(error))
+        if isinstance(error, ReproError):
+            return cls(kind="internal", message=f"engine failure: {error}")
+        return cls(kind="internal", message=str(error))
 
 
 def response_from_query_result(request: SearchRequest, result,

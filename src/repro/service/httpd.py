@@ -13,6 +13,13 @@ socket backlog:
   language plus ``filters``/``facets``/``sort``/``limit``/``offset``/
   ``boosts``; a missing ``schema_version`` always means 1 and v1
   replies are byte-identical to before schema 2 existed,
+* ``POST /v1/search:bulk`` — body is ``{"requests": [...]}`` (each
+  item a ``POST /v1/search`` body, at most
+  :data:`~repro.service.api.MAX_BULK_ITEMS`); the batch is admitted
+  once and evaluated under one read-lock hold
+  (:meth:`SearchService.execute_bulk`), and the reply's ``results``
+  array aligns positionally with the request array — each slot a
+  response dict or, with per-item error isolation, an error envelope,
 * ``GET /healthz`` — liveness + service state (503 once draining),
 * ``GET /metrics`` — the service status plus the active telemetry
   metric snapshot.
@@ -20,7 +27,12 @@ socket backlog:
 Status mapping is part of the contract: a shed request is **429** with
 a ``Retry-After`` header (never a 5xx — overload is flow control, not
 failure), a draining/closed service is **503**, a malformed request is
-**400**, and only an unexpected engine fault is **500**.
+**400**, and only an unexpected engine fault is **500**.  Every
+non-200 body is the one frozen
+:class:`~repro.service.api.ErrorResponse` envelope — ``{"error":
+{"kind", "message", "retry_after"?}, "schema_version"}`` — and the
+``Retry-After`` *header* behavior is byte-identical to the
+pre-envelope daemon.
 """
 
 from __future__ import annotations
@@ -31,7 +43,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import QueryError, ReproError, ServiceClosedError, \
     ServiceOverloadedError
-from repro.service.api import SCHEMA_VERSION, SearchRequest
+from repro.service.api import (MAX_BULK_ITEMS, SCHEMA_VERSION,
+                               ErrorResponse, SearchRequest)
 from repro.service.service import SearchService
 from repro.telemetry.runtime import get_telemetry
 
@@ -87,35 +100,100 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes -----------------------------------------------------------
 
     def do_POST(self) -> None:
-        if self.path != "/v1/search":
-            self._send_error(404, f"no such endpoint {self.path!r}")
-            return
+        if self.path == "/v1/search":
+            self._post_search()
+        elif self.path == "/v1/search:bulk":
+            self._post_search_bulk()
+        else:
+            self._send_error(404, "not_found",
+                             f"no such endpoint {self.path!r}")
+
+    def _post_search(self) -> None:
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            payload = json.loads(self.rfile.read(length) or b"{}")
-            request = SearchRequest.from_dict(payload)
+            request = SearchRequest.from_dict(self._read_body())
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
-            self._send_error(400, f"malformed request body: {exc}")
+            self._send_error(400, "bad_request",
+                             f"malformed request body: {exc}")
             return
         except QueryError as exc:
-            self._send_error(400, str(exc))
+            self._send_error(400, "bad_request", str(exc))
             return
         try:
             response = self.server.service.search(request)
         except ServiceOverloadedError as exc:
-            self._send_error(429, str(exc), retry_after=exc.retry_after,
-                             reason=exc.reason)
+            self._send_error(429, exc.reason, str(exc),
+                             retry_after=exc.retry_after)
             return
         except ServiceClosedError as exc:
-            self._send_error(503, str(exc))
+            self._send_error(503, "draining", str(exc))
             return
         except QueryError as exc:
-            self._send_error(400, str(exc))
+            self._send_error(400, "bad_request", str(exc))
             return
         except ReproError as exc:
-            self._send_error(500, f"engine failure: {exc}")
+            self._send_error(500, "internal", f"engine failure: {exc}")
             return
         self._send_json(200, response.to_dict())
+
+    def _post_search_bulk(self) -> None:
+        try:
+            payload = self._read_body()
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            self._send_error(400, "bad_request",
+                             f"malformed request body: {exc}")
+            return
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("requests"), list):
+            self._send_error(400, "bad_request",
+                             "bulk body must be a JSON object with a "
+                             "'requests' array")
+            return
+        items = payload["requests"]
+        if not items:
+            self._send_error(400, "bad_request",
+                             "bulk 'requests' array must not be empty")
+            return
+        if len(items) > MAX_BULK_ITEMS:
+            self._send_error(400, "bad_request",
+                             f"bulk batch of {len(items)} requests "
+                             f"exceeds the {MAX_BULK_ITEMS}-item cap; "
+                             "split the batch")
+            return
+        # per-item error isolation starts at the parse: a malformed
+        # item occupies its result slot with an error envelope while
+        # the well-formed rest of the batch still executes
+        slots: list[object] = []
+        parsed: list[tuple[int, SearchRequest]] = []
+        for position, item in enumerate(items):
+            try:
+                parsed.append((position, SearchRequest.from_dict(item)))
+                slots.append(None)
+            except QueryError as exc:
+                slots.append(ErrorResponse.from_exception(exc))
+        try:
+            if parsed:
+                outcomes = self.server.service.execute_bulk(
+                    [request for _, request in parsed])
+                for (position, _), outcome in zip(parsed, outcomes):
+                    slots[position] = outcome
+        except ServiceOverloadedError as exc:
+            self._send_error(429, exc.reason, str(exc),
+                             retry_after=exc.retry_after)
+            return
+        except ServiceClosedError as exc:
+            self._send_error(503, "draining", str(exc))
+            return
+        except ReproError as exc:
+            self._send_error(500, "internal", f"engine failure: {exc}")
+            return
+        errors = sum(1 for slot in slots
+                     if isinstance(slot, ErrorResponse))
+        self._send_json(200, {
+            "schema_version": SCHEMA_VERSION,
+            "items": len(slots),
+            "errors": errors,
+            "results": [slot.to_dict() for slot in slots],
+        })
 
     def do_GET(self) -> None:
         if self.path == "/healthz":
@@ -128,9 +206,14 @@ class _Handler(BaseHTTPRequestHandler):
             status["metrics"] = get_telemetry().metrics.snapshot()
             self._send_json(200, status)
             return
-        self._send_error(404, f"no such endpoint {self.path!r}")
+        self._send_error(404, "not_found",
+                         f"no such endpoint {self.path!r}")
 
     # -- plumbing ---------------------------------------------------------
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length", 0))
+        return json.loads(self.rfile.read(length) or b"{}")
 
     def _send_json(self, code: int, payload: dict,
                    headers: dict[str, str] | None = None) -> None:
@@ -143,19 +226,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, code: int, message: str,
-                    retry_after: float | None = None,
-                    reason: str | None = None) -> None:
-        payload: dict[str, object] = {
-            "schema_version": SCHEMA_VERSION,
-            "error": message,
-        }
+    def _send_error(self, code: int, kind: str, message: str,
+                    retry_after: float | None = None) -> None:
+        """One envelope for every non-200; the ``Retry-After`` header
+        (integral, clamped, only on shed responses) is unchanged from
+        the pre-envelope contract."""
+        envelope = ErrorResponse(kind=kind, message=message,
+                                 retry_after=retry_after)
         headers: dict[str, str] = {}
         if retry_after is not None:
-            payload["retry_after"] = retry_after
-            payload["reason"] = reason
             headers["Retry-After"] = retry_after_header(retry_after)
-        self._send_json(code, payload, headers)
+        self._send_json(code, envelope.to_dict(), headers)
 
 
 def serve(service: SearchService, host: str = "127.0.0.1",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 
 from repro.cache import policy_signature
-from repro.errors import QueryError, ServiceClosedError, \
+from repro.errors import QueryError, ReproError, ServiceClosedError, \
     ServiceOverloadedError
 from repro.service.admission import AdmissionController, ServicePolicy
 from repro.service.api import SearchRequest, SearchResponse
@@ -122,6 +122,83 @@ class SearchService:
                 telemetry.metrics.histogram("service.request_ms") \
                     .observe(response.elapsed_ms)
                 return response
+            finally:
+                self._leave(telemetry)
+
+    def execute_bulk(self, requests) -> list:
+        """Evaluate a whole batch under one admission and one lock hold.
+
+        The amortized path for analytics workloads: the batch is
+        admitted *once* (charging the token bucket per item, so rate
+        limits stay limits on query load), occupies one execution
+        slot, and takes the read lock once — hundreds of requests per
+        call without hundreds of admission/lock round-trips.  Items
+        evaluate sequentially in order; each result slot is either the
+        item's :class:`SearchResponse` or — per-item error isolation —
+        an :class:`~repro.service.api.ErrorResponse`, so one malformed
+        sub-request never fails its batch.  Only batch-level failures
+        raise: an empty or oversized batch
+        (:data:`~repro.service.api.MAX_BULK_ITEMS`), shedding, or a
+        draining service.
+
+        Bulk items bypass single-flight coalescing: the batch already
+        holds its slot, and its items execute back-to-back under one
+        lock hold — there is no concurrent duplicate to coalesce with
+        that could answer sooner.
+        """
+        from repro.service.api import MAX_BULK_ITEMS, ErrorResponse
+
+        requests = list(requests)
+        if not requests:
+            raise QueryError("execute_bulk needs at least one request")
+        if len(requests) > MAX_BULK_ITEMS:
+            raise QueryError(
+                f"bulk batch of {len(requests)} requests exceeds the "
+                f"{MAX_BULK_ITEMS}-item cap; split the batch")
+        telemetry = get_telemetry()
+        with telemetry.tracer.span("service.bulk",
+                                   items=len(requests)) as span:
+            self._enter(telemetry)
+            try:
+                try:
+                    queue_ms = self._admission.admit(weight=len(requests))
+                except ServiceOverloadedError as error:
+                    self._count("shed")
+                    telemetry.metrics.counter("service.shed",
+                                              reason=error.reason).add(1)
+                    span.set_attributes(shed=True, reason=error.reason)
+                    raise
+                self._count("admitted")
+                telemetry.metrics.counter("service.admitted").add(1)
+                telemetry.metrics.histogram("service.queue_ms") \
+                    .observe(queue_ms)
+                results: list = []
+                errors = 0
+                try:
+                    with self._rw.read_locked():
+                        for request in requests:
+                            try:
+                                if not isinstance(request, SearchRequest):
+                                    raise QueryError(
+                                        "bulk items must be SearchRequests"
+                                        f" (got "
+                                        f"{type(request).__name__})")
+                                response = self.engine.execute(request)
+                                results.append(
+                                    response.annotate(queue_ms=queue_ms))
+                            except ReproError as error:
+                                errors += 1
+                                results.append(
+                                    ErrorResponse.from_exception(error))
+                finally:
+                    self._admission.release()
+                telemetry.metrics.counter("service.bulk_items") \
+                    .add(len(requests))
+                if errors:
+                    telemetry.metrics.counter("service.bulk_errors") \
+                        .add(errors)
+                span.set_attributes(errors=errors)
+                return results
             finally:
                 self._leave(telemetry)
 

@@ -64,23 +64,29 @@ class TestBatchKernels:
         assert counts == {1: 2, 2: 1}
 
 
-class TestDeprecatedScalarShims:
-    def test_select_eq_warns_and_delegates(self):
-        bat = _bat([(1, "a"), (2, "b")])
-        with pytest.warns(DeprecationWarning, match="select_eq_many"):
-            result = select_eq(bat, "a")
-        assert result.head == [1]
+class TestRemovedScalarShims:
+    """The scalar forms finished their deprecation cycle: still
+    importable (so old code fails loudly at the call, not the import),
+    but any call is a TypeError naming the batch replacement."""
 
-    def test_select_where_warns(self):
+    def test_select_eq_raises_naming_the_batch_kernel(self):
         bat = _bat([(1, "a"), (2, "b")])
-        with pytest.warns(DeprecationWarning, match="select_where_many"):
-            result = select_where(bat, lambda t: t == "b")
-        assert result.head == [2]
+        with pytest.raises(TypeError, match="select_eq_many"):
+            select_eq(bat, "a")
 
-    def test_project_tails_warns(self):
+    def test_select_where_raises_naming_the_batch_kernel(self):
+        bat = _bat([(1, "a"), (2, "b")])
+        with pytest.raises(TypeError, match="select_where_many"):
+            select_where(bat, lambda t: t == "b")
+
+    def test_project_tails_raises_naming_the_batch_kernel(self):
         bat = _bat([(1, "a"), (2, "b"), (3, "c")])
-        with pytest.warns(DeprecationWarning, match="project_tails_many"):
-            assert project_tails(bat, {3, 1}) == ["a", "c"]
+        with pytest.raises(TypeError, match="project_tails_many"):
+            project_tails(bat, {3, 1})
+
+    def test_removal_message_says_it_was_a_deprecation_cycle(self):
+        with pytest.raises(TypeError, match="deprecation cycle"):
+            select_eq()
 
 
 class TestOperators:

@@ -1,0 +1,45 @@
+"""Fixtures for the offline tier: an exported artifact of the query
+suite's digital-library corpus, plus the live engine it came from.
+
+The corpus is deliberately the same one the schema-2 query-language
+tests use (:mod:`tests.query.conftest`), so the parity suite here can
+replay the exact query-shape matrix those tests pin down — the offline
+reader has to answer every shape the live engine answers.
+"""
+
+import pytest
+
+from repro.ir.engine import IrEngine
+from repro.offline import StaticIndexReader, export_index
+
+from tests.query.conftest import ARTICLES, PAPERS, PLAIN_DOCS
+
+
+def build_engine(fragment_count: int = 4) -> IrEngine:
+    """A live IrEngine over the query suite's corpus."""
+    engine = IrEngine(fragment_count=fragment_count)
+    for key, title, abstract, year in PAPERS:
+        engine.index(f"Paper:{key}:title", title)
+        engine.index(f"Paper:{key}:abstract", abstract)
+        engine.index(f"Paper:{key}:year", year)
+    for key, title in ARTICLES:
+        engine.index(f"Article:{key}:title", title)
+    for url, text in PLAIN_DOCS:
+        engine.index(url, text)
+    return engine
+
+
+@pytest.fixture
+def engine() -> IrEngine:
+    return build_engine()
+
+
+@pytest.fixture
+def artifact(engine, tmp_path):
+    """An exported artifact directory for the corpus engine."""
+    return export_index(engine, tmp_path / "artifact")
+
+
+@pytest.fixture
+def reader(artifact) -> StaticIndexReader:
+    return StaticIndexReader(artifact)

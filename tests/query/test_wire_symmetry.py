@@ -1,0 +1,154 @@
+"""Property tests: the response wire contract is symmetric.
+
+Two laws, both dialects:
+
+* object law — ``SearchResponse.from_dict(x.to_dict()) == x`` for
+  every response whose non-wire fields are at their defaults (the
+  ``result`` object and the request's execution policy never cross
+  the wire, by design),
+* payload law — ``from_dict(d).to_dict() == d`` for every valid wire
+  payload, so a relay that parses and re-serializes is a byte-level
+  no-op.
+
+:class:`~repro.service.api.ErrorResponse` obeys the same pair.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.service.api import (MODE_CONTENT, MODE_FRAGMENTED, MODES,
+                               SCHEMA_VERSION, SCHEMA_VERSION_V2,
+                               ErrorResponse, Hit, SearchRequest,
+                               SearchResponse)
+
+pytestmark = [pytest.mark.query, pytest.mark.offline]
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1, max_size=12)
+
+
+@st.composite
+def hits(draw):
+    values = draw(st.dictionaries(names, st.one_of(
+        st.text(max_size=20), st.integers(), finite,
+        st.booleans(), st.none()), max_size=3))
+    return Hit(key=draw(st.text(min_size=1, max_size=30)),
+               score=draw(finite),
+               values=tuple(sorted(values.items(), key=lambda kv: kv[0])))
+
+
+@st.composite
+def facet_tables(draw):
+    """Facets in the canonical order to_dict/from_dict agree on:
+    count desc, then value asc."""
+    table = draw(st.dictionaries(
+        names,
+        st.dictionaries(names, st.integers(min_value=1, max_value=99),
+                        max_size=4),
+        max_size=3))
+    return tuple(
+        (facet, tuple(sorted(counts.items(),
+                             key=lambda item: (-item[1], item[0]))))
+        for facet, counts in table.items())
+
+
+@st.composite
+def responses(draw):
+    version = draw(st.sampled_from((SCHEMA_VERSION, SCHEMA_VERSION_V2)))
+    mode = draw(st.sampled_from(
+        MODES if version == SCHEMA_VERSION
+        else (MODE_CONTENT, MODE_FRAGMENTED)))
+    request = SearchRequest(
+        query=draw(st.text(min_size=1, max_size=40)
+                   .filter(lambda s: s.strip())),
+        mode=mode,
+        trace_id=draw(st.none() | st.text(min_size=1, max_size=16)),
+        schema_version=version)
+    extras = {}
+    if version == SCHEMA_VERSION_V2:
+        extras["facets"] = draw(facet_tables())
+        extras["total"] = draw(
+            st.none() | st.integers(min_value=0, max_value=10_000))
+    return SearchResponse(
+        request=request,
+        hits=tuple(draw(st.lists(hits(), max_size=5))),
+        elapsed_ms=draw(finite), queue_ms=draw(finite),
+        degraded=draw(st.booleans()), cache_hit=draw(st.booleans()),
+        coalesced=draw(st.booleans()),
+        failed_nodes=tuple(draw(st.lists(names, max_size=3))),
+        tuples_touched=draw(st.integers(min_value=0, max_value=10**6)),
+        **extras)
+
+
+@st.composite
+def error_envelopes(draw):
+    return ErrorResponse(
+        kind=draw(st.sampled_from(("bad_request", "not_found", "rate",
+                                   "queue", "timeout", "draining",
+                                   "internal"))),
+        message=draw(st.text(min_size=1, max_size=60)),
+        retry_after=draw(st.none() | st.floats(min_value=0.001,
+                                               max_value=3600.0)))
+
+
+class TestRoundTripLaws:
+    @settings(max_examples=200)
+    @given(hit=hits())
+    def test_hit_object_law(self, hit):
+        assert Hit.from_dict(hit.to_dict()) == hit
+
+    @settings(max_examples=200)
+    @given(response=responses())
+    def test_response_object_law(self, response):
+        assert SearchResponse.from_dict(response.to_dict()) == response
+
+    @settings(max_examples=200)
+    @given(response=responses())
+    def test_response_payload_law(self, response):
+        payload = response.to_dict()
+        assert SearchResponse.from_dict(payload).to_dict() == payload
+
+    @settings(max_examples=100)
+    @given(envelope=error_envelopes())
+    def test_error_envelope_both_laws(self, envelope):
+        assert ErrorResponse.from_dict(envelope.to_dict()) == envelope
+        payload = envelope.to_dict()
+        assert ErrorResponse.from_dict(payload).to_dict() == payload
+
+
+class TestMalformationsAreTyped:
+    def base(self, **overrides):
+        payload = SearchResponse(
+            request=SearchRequest(query="q", mode="content")).to_dict()
+        payload.update(overrides)
+        return payload
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(QueryError, match="unknown response fields"):
+            SearchResponse.from_dict(self.base(surprise=1))
+
+    def test_v2_only_fields_are_rejected_on_v1(self):
+        # 'facets' is not part of the frozen v1 key set; a v1 payload
+        # carrying it is malformed, not leniently accepted
+        with pytest.raises(QueryError, match="facets"):
+            SearchResponse.from_dict(self.base(facets={}))
+
+    def test_row_count_must_match_hits(self):
+        with pytest.raises(QueryError, match="rows"):
+            SearchResponse.from_dict(self.base(rows=7))
+
+    def test_non_numeric_score_is_rejected(self):
+        with pytest.raises(QueryError, match="score"):
+            Hit.from_dict({"key": "k", "score": "high"})
+
+    def test_unsupported_schema_version_is_rejected(self):
+        with pytest.raises(QueryError, match="schema_version"):
+            SearchResponse.from_dict(self.base(schema_version=3))
+
+    def test_error_envelope_needs_kind_and_message(self):
+        with pytest.raises(QueryError, match="kind"):
+            ErrorResponse.from_dict({"error": {"message": "m"}})

@@ -1,0 +1,218 @@
+"""Bulk search: one admission, one lock hold, per-item isolation.
+
+``SearchService.execute_bulk`` and its HTTP surface
+(``POST /v1/search:bulk``) — the amortized path for analytics
+workloads.  The contract under test: results align positionally with
+the request batch, one malformed item never fails its siblings, the
+token bucket is charged per *item* (rate limits bound query load, not
+HTTP request count), and batch-level failures keep the exact status
+mapping of the single-request endpoint.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import QueryError, ServiceOverloadedError
+from repro.service import (MAX_BULK_ITEMS, ErrorResponse, SearchRequest,
+                           SearchResponse, SearchService, ServicePolicy,
+                           serve)
+from repro.service.api import SCHEMA_VERSION, SCHEMA_VERSION_V2
+
+from tests.service.conftest import build_ir_engine
+
+pytestmark = [pytest.mark.service, pytest.mark.offline]
+
+
+@pytest.fixture
+def service():
+    with SearchService(build_ir_engine(documents=30)) as svc:
+        yield svc
+
+
+class TestExecuteBulk:
+    def test_results_align_with_the_batch(self, service):
+        batch = [
+            SearchRequest(query="trophy champion", mode="content"),
+            SearchRequest(query="trophy", mode="fragmented"),
+            SearchRequest(query="trophy", mode="content",
+                          schema_version=SCHEMA_VERSION_V2, limit=2),
+        ]
+        results = service.execute_bulk(batch)
+        assert len(results) == len(batch)
+        assert all(isinstance(r, SearchResponse) for r in results)
+        assert results[0].request.mode == "content"
+        assert results[1].request.mode == "fragmented"
+        assert len(results[2].hits) <= 2
+
+    def test_bulk_matches_sequential_answers(self, service):
+        batch = [SearchRequest(query="trophy champion", mode="content"),
+                 SearchRequest(query="w0 w1", mode="content")]
+        bulk = service.execute_bulk(batch)
+        for request, bulk_response in zip(batch, bulk):
+            single = service.search(request)
+            one, other = single.to_dict(), bulk_response.to_dict()
+            one.pop("timings"), other.pop("timings")
+            # single-request path may coalesce/cache; ranking must match
+            one.pop("cache_hit"), other.pop("cache_hit")
+            one.pop("coalesced"), other.pop("coalesced")
+            assert one == other
+
+    def test_per_item_errors_never_fail_the_batch(self, service):
+        batch = [
+            SearchRequest(query="trophy", mode="content"),
+            SearchRequest(query="x", mode="conceptual"),  # bare IR: fails
+            "not a request at all",
+            SearchRequest(query="champion", mode="content"),
+        ]
+        results = service.execute_bulk(batch)
+        assert isinstance(results[0], SearchResponse)
+        assert isinstance(results[1], ErrorResponse)
+        assert results[1].kind == "bad_request"
+        assert isinstance(results[2], ErrorResponse)
+        assert "SearchRequest" in results[2].message
+        assert isinstance(results[3], SearchResponse)
+
+    def test_empty_batch_is_a_query_error(self, service):
+        with pytest.raises(QueryError, match="at least one"):
+            service.execute_bulk([])
+
+    def test_oversized_batch_is_a_query_error(self, service):
+        batch = [SearchRequest(query="w0", mode="content")] \
+            * (MAX_BULK_ITEMS + 1)
+        with pytest.raises(QueryError, match=str(MAX_BULK_ITEMS)):
+            service.execute_bulk(batch)
+
+    def test_batch_runs_in_one_execution_slot(self):
+        # max_inflight=1: a batch bigger than the inflight bound still
+        # completes, because the whole batch occupies a single slot
+        with SearchService(build_ir_engine(documents=20),
+                           ServicePolicy(max_inflight=1,
+                                         max_queue=0)) as svc:
+            batch = [SearchRequest(query="trophy", mode="content")] * 8
+            assert len(svc.execute_bulk(batch)) == 8
+
+    def test_rate_bucket_is_charged_per_item(self):
+        # burst 4, batch 6: admitted (the bucket borrows), but the
+        # borrow is real — the next single request is shed
+        with SearchService(build_ir_engine(documents=20),
+                           ServicePolicy(rate=0.001, burst=4)) as svc:
+            batch = [SearchRequest(query="trophy", mode="content")] * 6
+            assert len(svc.execute_bulk(batch)) == 6
+            with pytest.raises(ServiceOverloadedError) as excinfo:
+                svc.search(SearchRequest(query="trophy", mode="content"))
+            assert excinfo.value.reason == "rate"
+
+
+def post_bulk(base, payload, timeout=10.0):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + "/v1/search:bulk", data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+@pytest.fixture
+def server():
+    engine = build_ir_engine(documents=30)
+    service = SearchService(engine, ServicePolicy(max_inflight=4,
+                                                  max_queue=8))
+    httpd = serve(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd
+    finally:
+        httpd.shutdown_gracefully(5.0)
+        httpd.server_close()
+        thread.join(5.0)
+
+
+class TestBulkEndpoint:
+    def test_bulk_roundtrip_with_item_isolation(self, server):
+        status, payload = post_bulk(server.address, {"requests": [
+            {"query": "trophy champion", "mode": "content"},
+            {"query": "trophy", "mode": "semantic"},  # malformed item
+            {"query": "trophy", "mode": "content",
+             "schema_version": 2, "limit": 2, "facets": ["class"]},
+        ]})
+        assert status == 200
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["items"] == 3
+        assert payload["errors"] == 1
+        results = payload["results"]
+        assert len(results) == 3
+        assert results[0]["hits"]
+        assert results[1]["error"]["kind"] == "bad_request"
+        assert "mode" in results[1]["error"]["message"]
+        assert len(results[2]["hits"]) <= 2
+
+    def test_non_object_body_is_a_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_bulk(server.address, ["not", "an", "object"])
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["kind"] == "bad_request"
+
+    def test_empty_batch_is_a_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_bulk(server.address, {"requests": []})
+        assert excinfo.value.code == 400
+
+    def test_oversized_batch_is_a_400(self, server):
+        item = {"query": "trophy", "mode": "content"}
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_bulk(server.address,
+                      {"requests": [item] * (MAX_BULK_ITEMS + 1)})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert str(MAX_BULK_ITEMS) in body["error"]["message"]
+
+    def test_shed_batch_is_429_with_retry_after_header(self):
+        engine = build_ir_engine(documents=20)
+        service = SearchService(engine,
+                                ServicePolicy(rate=0.001, burst=1))
+        httpd = serve(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            item = {"query": "trophy", "mode": "content"}
+            status, _ = post_bulk(httpd.address, {"requests": [item]})
+            assert status == 200
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_bulk(httpd.address, {"requests": [item] * 3})
+            assert excinfo.value.code == 429
+            header = excinfo.value.headers["Retry-After"]
+            assert header == str(int(header)) and int(header) >= 1
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["kind"] == "rate"
+            assert body["error"]["retry_after"] > 0.0
+        finally:
+            httpd.shutdown_gracefully(5.0)
+            httpd.server_close()
+            thread.join(5.0)
+
+    def test_draining_service_fails_the_batch_with_503(self):
+        engine = build_ir_engine(documents=20)
+        service = SearchService(engine)
+        httpd = serve(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            service.drain(5.0)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_bulk(httpd.address, {"requests": [
+                    {"query": "trophy", "mode": "content"}]})
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert body["error"]["kind"] == "draining"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(5.0)

@@ -69,13 +69,16 @@ class TestSearchEndpoint:
         assert excinfo.value.code == 400
         body = json.loads(excinfo.value.read())
         assert body["schema_version"] == SCHEMA_VERSION
-        assert "mode" in body["error"]
+        assert body["error"]["kind"] == "bad_request"
+        assert "mode" in body["error"]["message"]
 
     def test_unknown_endpoint_is_a_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(server.address + "/v2/search",
                                    timeout=5.0)
         assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["kind"] == "not_found"
 
 
 class TestOverloadIsNeverA5xx:
@@ -94,8 +97,8 @@ class TestOverloadIsNeverA5xx:
             assert excinfo.value.code == 429
             assert float(excinfo.value.headers["Retry-After"]) >= 1.0
             body = json.loads(excinfo.value.read())
-            assert body["reason"] == "rate"
-            assert body["retry_after"] > 0.0
+            assert body["error"]["kind"] == "rate"
+            assert body["error"]["retry_after"] > 0.0
         finally:
             httpd.shutdown_gracefully(5.0)
             httpd.server_close()
@@ -181,7 +184,7 @@ class TestRetryAfterClamp:
             assert int(header) >= 1
             # the JSON body keeps the precise sub-second hint
             body = json.loads(excinfo.value.read())
-            assert 0.0 < body["retry_after"] <= 1.0
+            assert 0.0 < body["error"]["retry_after"] <= 1.0
         finally:
             httpd.shutdown_gracefully(5.0)
             httpd.server_close()
